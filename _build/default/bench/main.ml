@@ -1,0 +1,162 @@
+(* Benchmark driver regenerating every figure of the paper's evaluation
+   (Section V) plus a single-threaded Bechamel micro-benchmark suite.
+
+       Fig. 8: uniform keys, range (0, 10^6), ratios i5-d5-f90 and
+               i50-d50-f0, throughput vs threads, all six structures.
+       Fig. 9: same but range (0, 10^2) — very high contention.
+       Fig. 10: replace workload i10-d10-r80, range (0, 10^6), PAT only.
+       Fig. 11: non-uniform keys (runs of 50), i15-d15-f70, range (0, 10^6).
+
+   Absolute numbers depend on this machine (the paper used a 128-thread
+   UltraSPARC T2+); what must reproduce is the *shape*: who scales, who
+   collapses under contention, and who wins on clustered keys.
+
+   Environment knobs (all optional):
+     REPRO_SECONDS   seconds per timed trial        (default 0.3)
+     REPRO_TRIALS    trials per data point          (default 2)
+     REPRO_THREADS   comma-separated thread counts  (default "1,2,4")
+     REPRO_LARGE     large key range                (default 1000000)
+     REPRO_SMALL     small key range                (default 100)
+     REPRO_ONLY      comma-separated sections to run
+                     (fig8,fig9,fig10,fig11,micro; default all)
+     REPRO_SKIP_MICRO  set to skip the Bechamel suite *)
+
+let getenv_int name default =
+  match Sys.getenv_opt name with Some s -> int_of_string s | None -> default
+
+let getenv_float name default =
+  match Sys.getenv_opt name with Some s -> float_of_string s | None -> default
+
+let seconds = getenv_float "REPRO_SECONDS" 0.3
+let trials = getenv_int "REPRO_TRIALS" 2
+let large_range = getenv_int "REPRO_LARGE" 1_000_000
+let small_range = getenv_int "REPRO_SMALL" 100
+
+let threads_list =
+  match Sys.getenv_opt "REPRO_THREADS" with
+  | Some s -> String.split_on_char ',' s |> List.map int_of_string
+  | None -> [ 1; 2; 4 ]
+
+let sections =
+  match Sys.getenv_opt "REPRO_ONLY" with
+  | Some s -> String.split_on_char ',' s
+  | None -> [ "fig8"; "fig9"; "fig10"; "fig11"; "micro" ]
+
+let enabled s = List.mem s sections
+
+let config threads =
+  Harness.
+    {
+      threads;
+      seconds;
+      trials;
+      warmup_seconds = min 0.2 (seconds /. 2.0);
+      seed = 2013;
+    }
+
+let sweep subjects workload =
+  List.map
+    (fun subject ->
+      ( subject.Harness.label,
+        List.map
+          (fun threads -> Harness.run_subject subject workload (config threads))
+          threads_list ))
+    subjects
+
+let figure ~id ~title subjects workload =
+  Format.printf "@.=== %s: %s ===@." id title;
+  let rows = sweep subjects workload in
+  Harness.pp_series Format.std_formatter
+    ~title:
+      (Printf.sprintf "%s, key range (0, %d), throughput in ops/s" title
+         workload.Harness.universe)
+    ~threads_list rows;
+  Format.print_flush ()
+
+let () =
+  Format.printf
+    "Benchmarks for \"Non-blocking Patricia Tries with Replace Operations\"@.";
+  Format.printf "threads=%s seconds/trial=%.2f trials=%d (cores available: %d)@."
+    (String.concat "," (List.map string_of_int threads_list))
+    seconds trials
+    (Domain.recommended_domain_count ());
+  if enabled "fig8" then begin
+    figure ~id:"Figure 8 (top)" ~title:"uniform, i5-d5-f90"
+      Harness.all_subjects
+      Harness.{ universe = large_range; mix = Mix.i5_d5_f90; dist = Uniform };
+    figure ~id:"Figure 8 (bottom)" ~title:"uniform, i50-d50-f0"
+      Harness.all_subjects
+      Harness.{ universe = large_range; mix = Mix.i50_d50_f0; dist = Uniform }
+  end;
+  if enabled "fig9" then begin
+    figure ~id:"Figure 9 (top)" ~title:"uniform high contention, i5-d5-f90"
+      Harness.all_subjects
+      Harness.{ universe = small_range; mix = Mix.i5_d5_f90; dist = Uniform };
+    figure ~id:"Figure 9 (bottom)" ~title:"uniform high contention, i50-d50-f0"
+      Harness.all_subjects
+      Harness.{ universe = small_range; mix = Mix.i50_d50_f0; dist = Uniform }
+  end;
+  if enabled "fig10" then
+    figure ~id:"Figure 10" ~title:"replace operations, i10-d10-r80"
+      [ Harness.pat_subject ]
+      Harness.{ universe = large_range; mix = Mix.i10_d10_r80; dist = Uniform };
+  if enabled "fig11" then
+    figure ~id:"Figure 11" ~title:"non-uniform (runs of 50), i15-d15-f70"
+      Harness.all_subjects
+      Harness.
+        { universe = large_range; mix = Mix.i15_d15_f70; dist = Clustered 50 }
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: single-threaded operation latency on a
+   half-full structure of 2^16 keys — one test per structure and
+   operation. *)
+
+let micro_universe = 65_536
+
+let make_cycle (subject : Harness.subject) =
+  let ops = subject.Harness.make ~universe:micro_universe in
+  let rng = Rng.of_int_seed 99 in
+  Harness.prefill ops micro_universe rng;
+  let cursor = ref 0 in
+  fun () ->
+    (* One insert, one member, one delete per run, on a rolling key. *)
+    let k = !cursor in
+    cursor := (k + 7919) land (micro_universe - 1);
+    ignore (ops.Harness.insert k);
+    ignore (ops.Harness.member ((k + 31) land (micro_universe - 1)));
+    ignore (ops.Harness.delete k)
+
+let micro_tests () =
+  let open Bechamel in
+  List.map
+    (fun subject ->
+      Test.make
+        ~name:(subject.Harness.label ^ " ins+mem+del")
+        (Staged.stage (make_cycle subject)))
+    Harness.all_subjects
+
+let run_micro () =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  Format.printf "@.=== Micro: single-thread op latency (ns per ins+mem+del cycle) ===@.";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analysis = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Format.printf "%-24s %12.1f ns/cycle@." name est
+          | _ -> Format.printf "%-24s (no estimate)@." name)
+        analysis)
+    (micro_tests ());
+  Format.print_flush ()
+
+let () =
+  if enabled "micro" && Sys.getenv_opt "REPRO_SKIP_MICRO" = None then run_micro ()

@@ -1,0 +1,448 @@
+(* patbench — full-control benchmark CLI for the Patricia-trie repro.
+
+   Where bench/main.exe regenerates every figure with one command and
+   environment-variable knobs, this tool exposes each experiment as a
+   subcommand with proper flags, adds the paper's mentioned-but-not-
+   plotted configurations, and adds our ablations:
+
+     patbench figure --id 8 --threads 1,2,4 --seconds 2 --trials 4
+     patbench extra  --which medium-contention
+     patbench custom --insert 20 --delete 20 --find 60 --range 1000 \
+                     --clustered 50
+     patbench ablation --which replace|helping|width
+*)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Common options *)
+
+let threads_arg =
+  let doc = "Comma-separated list of thread counts to sweep." in
+  Arg.(value & opt (list int) [ 1; 2; 4 ] & info [ "threads" ] ~doc)
+
+let seconds_arg =
+  let doc = "Seconds per timed trial." in
+  Arg.(value & opt float 1.0 & info [ "seconds" ] ~doc)
+
+let trials_arg =
+  let doc = "Trials per data point (mean and stddev are reported)." in
+  Arg.(value & opt int 3 & info [ "trials" ] ~doc)
+
+let seed_arg =
+  let doc = "Base random seed for workloads and prefill." in
+  Arg.(value & opt int 2013 & info [ "seed" ] ~doc)
+
+let csv_arg =
+  let doc = "Also print data points as CSV rows (structure,threads,mean,stddev)." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let config ~seconds ~trials ~seed threads =
+  Harness.
+    { threads; seconds; trials; warmup_seconds = min 0.3 (seconds /. 2.0); seed }
+
+let run_sweep ~threads_list ~seconds ~trials ~seed ~csv ~title subjects workload =
+  Format.printf "@.=== %s ===@." title;
+  let rows =
+    List.map
+      (fun subject ->
+        ( subject.Harness.label,
+          List.map
+            (fun threads ->
+              Harness.run_subject subject workload
+                (config ~seconds ~trials ~seed threads))
+            threads_list ))
+      subjects
+  in
+  Harness.pp_series Format.std_formatter ~title ~threads_list rows;
+  if csv then
+    List.iter
+      (fun (label, points) ->
+        List.iter2
+          (fun threads dp ->
+            Format.printf "csv,%s,%d,%.0f,%.0f@." label threads dp.Harness.mean
+              dp.Harness.stddev)
+          threads_list points)
+      rows;
+  Format.print_flush ()
+
+(* ------------------------------------------------------------------ *)
+(* figure subcommand *)
+
+let figure_cmd =
+  let id_arg =
+    let doc = "Which figure to regenerate (8, 9, 10 or 11)." in
+    Arg.(required & opt (some int) None & info [ "id" ] ~doc)
+  in
+  let range_arg =
+    let doc = "Override the key range (defaults to the paper's)." in
+    Arg.(value & opt (some int) None & info [ "range" ] ~doc)
+  in
+  let run id range threads_list seconds trials seed csv =
+    let sweep = run_sweep ~threads_list ~seconds ~trials ~seed ~csv in
+    match id with
+    | 8 ->
+        let universe = Option.value range ~default:1_000_000 in
+        sweep ~title:"Figure 8 (top): uniform i5-d5-f90" Harness.all_subjects
+          Harness.{ universe; mix = Mix.i5_d5_f90; dist = Uniform };
+        sweep ~title:"Figure 8 (bottom): uniform i50-d50-f0" Harness.all_subjects
+          Harness.{ universe; mix = Mix.i50_d50_f0; dist = Uniform };
+        `Ok ()
+    | 9 ->
+        let universe = Option.value range ~default:100 in
+        sweep ~title:"Figure 9 (top): uniform i5-d5-f90, high contention"
+          Harness.all_subjects
+          Harness.{ universe; mix = Mix.i5_d5_f90; dist = Uniform };
+        sweep ~title:"Figure 9 (bottom): uniform i50-d50-f0, high contention"
+          Harness.all_subjects
+          Harness.{ universe; mix = Mix.i50_d50_f0; dist = Uniform };
+        `Ok ()
+    | 10 ->
+        let universe = Option.value range ~default:1_000_000 in
+        sweep ~title:"Figure 10: PAT replace i10-d10-r80"
+          [ Harness.pat_subject ]
+          Harness.{ universe; mix = Mix.i10_d10_r80; dist = Uniform };
+        `Ok ()
+    | 11 ->
+        let universe = Option.value range ~default:1_000_000 in
+        sweep ~title:"Figure 11: non-uniform (runs of 50) i15-d15-f70"
+          Harness.all_subjects
+          Harness.{ universe; mix = Mix.i15_d15_f70; dist = Clustered 50 };
+        `Ok ()
+    | n -> `Error (false, Printf.sprintf "no figure %d in the paper's evaluation" n)
+  in
+  let doc = "Regenerate one of the paper's evaluation figures." in
+  Cmd.v (Cmd.info "figure" ~doc)
+    Term.(
+      ret
+        (const run $ id_arg $ range_arg $ threads_arg $ seconds_arg $ trials_arg
+       $ seed_arg $ csv_arg))
+
+(* ------------------------------------------------------------------ *)
+(* extra subcommand: configurations the paper mentions without plotting *)
+
+let extra_cmd =
+  let which_arg =
+    let doc =
+      "Which extra experiment: medium-contention (range 10^3, the paper says \
+       it resembles low contention), i15-d15-f70-uniform (ditto), or \
+       clustered-runs (longer run lengths degrade BST/4-ST further)."
+    in
+    Arg.(
+      value
+      & opt (enum
+               [
+                 ("medium-contention", `Medium);
+                 ("i15-d15-f70-uniform", `I15);
+                 ("clustered-runs", `Runs);
+                 ("kary-arity", `Arity);
+               ])
+          `Medium
+      & info [ "which" ] ~doc)
+  in
+  let run which threads_list seconds trials seed csv =
+    let sweep = run_sweep ~threads_list ~seconds ~trials ~seed ~csv in
+    match which with
+    | `Medium ->
+        sweep ~title:"Extra: uniform i5-d5-f90, range 10^3 (medium contention)"
+          Harness.all_subjects
+          Harness.{ universe = 1_000; mix = Mix.i5_d5_f90; dist = Uniform };
+        sweep ~title:"Extra: uniform i50-d50-f0, range 10^3" Harness.all_subjects
+          Harness.{ universe = 1_000; mix = Mix.i50_d50_f0; dist = Uniform }
+    | `I15 ->
+        sweep ~title:"Extra: uniform i15-d15-f70, range 10^6" Harness.all_subjects
+          Harness.
+            { universe = 1_000_000; mix = Mix.i15_d15_f70; dist = Uniform }
+    | `Runs ->
+        List.iter
+          (fun len ->
+            sweep
+              ~title:
+                (Printf.sprintf "Extra: non-uniform runs of %d, i15-d15-f70" len)
+              Harness.all_subjects
+              Harness.
+                {
+                  universe = 1_000_000;
+                  mix = Mix.i15_d15_f70;
+                  dist = Clustered len;
+                })
+          [ 50; 200; 1000 ]
+    | `Arity ->
+        (* Re-check Brown & Helga's finding (which the paper adopts) that
+           k = 4 is the sweet spot for the k-ary search tree. *)
+        let subjects =
+          List.map
+            (fun arity ->
+              Harness.
+                {
+                  label = Printf.sprintf "%d-ST" arity;
+                  make =
+                    (fun ~universe ->
+                      let t = Kary.create_k ~k:arity ~universe () in
+                      {
+                        insert = Kary.insert t;
+                        delete = Kary.delete t;
+                        member = Kary.member t;
+                        replace = None;
+                      });
+                })
+            [ 2; 4; 8; 16; 32 ]
+        in
+        sweep ~title:"Extra: k-ary arity sweep, uniform i50-d50-f0, range 10^6"
+          subjects
+          Harness.{ universe = 1_000_000; mix = Mix.i50_d50_f0; dist = Uniform }
+  in
+  let doc = "Run configurations the paper mentions but does not plot." in
+  Cmd.v (Cmd.info "extra" ~doc)
+    Term.(
+      const run $ which_arg $ threads_arg $ seconds_arg $ trials_arg $ seed_arg
+      $ csv_arg)
+
+(* ------------------------------------------------------------------ *)
+(* custom subcommand *)
+
+let custom_cmd =
+  let pct name = Arg.(value & opt int 0 & info [ name ] ~doc:(name ^ " percentage")) in
+  let range_arg =
+    Arg.(value & opt int 1_000_000 & info [ "range" ] ~doc:"Key range (universe).")
+  in
+  let clustered_arg =
+    let doc = "Use the non-uniform distribution with runs of this length." in
+    Arg.(value & opt (some int) None & info [ "clustered" ] ~doc)
+  in
+  let run insert delete find replace range clustered threads_list seconds trials
+      seed csv =
+    match Harness.Mix.v ~insert ~delete ~find ~replace () with
+    | exception Invalid_argument m -> `Error (false, m)
+    | mix ->
+        let dist =
+          match clustered with
+          | None -> Harness.Uniform
+          | Some len -> Harness.Clustered len
+        in
+        let subjects =
+          if replace > 0 then [ Harness.pat_subject ] else Harness.all_subjects
+        in
+        run_sweep ~threads_list ~seconds ~trials ~seed ~csv
+          ~title:
+            (Printf.sprintf "Custom: %s, range (0, %d)%s" (Harness.Mix.to_string mix)
+               range
+               (match clustered with
+               | None -> ""
+               | Some l -> Printf.sprintf ", runs of %d" l))
+          subjects
+          Harness.{ universe = range; mix; dist };
+        `Ok ()
+  in
+  let doc = "Run a custom operation mix / distribution / range." in
+  Cmd.v (Cmd.info "custom" ~doc)
+    Term.(
+      ret
+        (const run $ pct "insert" $ pct "delete" $ pct "find" $ pct "replace"
+       $ range_arg $ clustered_arg $ threads_arg $ seconds_arg $ trials_arg
+       $ seed_arg $ csv_arg))
+
+(* ------------------------------------------------------------------ *)
+(* ablation subcommand *)
+
+(* Replace vs non-atomic delete+insert on PAT: quantifies what the atomic
+   operation costs (or saves) relative to the naive composition. *)
+let ablation_replace ~threads_list ~seconds ~trials ~seed ~csv =
+  let composed_subject =
+    Harness.
+      {
+        label = "del+ins";
+        make =
+          (fun ~universe ->
+            let t = Core.Patricia.create ~universe () in
+            {
+              insert = Core.Patricia.insert t;
+              delete = Core.Patricia.delete t;
+              member = Core.Patricia.member t;
+              replace =
+                Some
+                  (fun remove add ->
+                    (* Non-atomic composition: the pair of states is
+                       transiently visible, unlike the real replace. *)
+                    if Core.Patricia.delete t remove then begin
+                      ignore (Core.Patricia.insert t add);
+                      true
+                    end
+                    else false);
+            });
+      }
+  in
+  run_sweep ~threads_list ~seconds ~trials ~seed ~csv
+    ~title:"Ablation: atomic replace vs delete+insert, i10-d10-r80, range 10^6"
+    [ Harness.pat_subject; composed_subject ]
+    Harness.{ universe = 1_000_000; mix = Mix.i10_d10_r80; dist = Uniform }
+
+(* Help-rate: how often updates retry or abandon flagging as contention
+   rises; uses the trie's optional internal counters. *)
+let ablation_helping ~threads_list ~seconds ~trials ~seed ~csv =
+  ignore csv;
+  Format.printf
+    "@.=== Ablation: PAT coordination overhead vs contention (i50-d50-f0) ===@.";
+  Format.printf "%-10s %12s %14s %14s %16s@." "range" "threads" "ops/s"
+    "attempts/op" "flag-fail/op";
+  List.iter
+    (fun universe ->
+      List.iter
+        (fun threads ->
+          let t = ref None in
+          let baseline = ref (0, 0, 0) in
+          let make_ops () =
+            let trie = Core.Patricia.create ~universe ~record_stats:true () in
+            t := Some trie;
+            Harness.
+              {
+                insert = Core.Patricia.insert trie;
+                delete = Core.Patricia.delete trie;
+                member = Core.Patricia.member trie;
+                replace = None;
+              }
+          in
+          (* Snapshot the counters after prefill and warm-up so the ratios
+             reflect only the timed window. *)
+          let before_timed () =
+            baseline :=
+              Option.value
+                (Option.bind !t Core.Patricia.stats_snapshot)
+                ~default:(0, 0, 0)
+          in
+          let workload =
+            Harness.{ universe; mix = Mix.i50_d50_f0; dist = Uniform }
+          in
+          let cfg = config ~seconds ~trials:1 ~seed threads in
+          let dp = Harness.run ~before_timed ~make_ops workload cfg in
+          let attempts, _, flag_failures =
+            match Option.bind !t Core.Patricia.stats_snapshot with
+            | Some (a, h, f) ->
+                let a0, h0, f0 = !baseline in
+                (a - a0, h - h0, f - f0)
+            | None -> (0, 0, 0)
+          in
+          let ops_total = dp.Harness.mean *. seconds in
+          Format.printf "%-10d %12d %14.0f %14.3f %16.5f@." universe threads
+            dp.Harness.mean
+            (float_of_int attempts /. ops_total)
+            (float_of_int flag_failures /. ops_total))
+        threads_list)
+    [ 100; 10_000; 1_000_000 ];
+  ignore trials;
+  Format.print_flush ()
+
+(* Key-width sweep: same live key count, growing universe — longer keys
+   mean longer trie paths; quantifies the height-vs-width tradeoff. *)
+let ablation_width ~threads_list ~seconds ~trials ~seed ~csv =
+  List.iter
+    (fun universe ->
+      run_sweep ~threads_list ~seconds ~trials ~seed ~csv
+        ~title:
+          (Printf.sprintf "Ablation: PAT key-width, range (0, %d), i50-d50-f0"
+             universe)
+        [ Harness.pat_subject ]
+        Harness.{ universe; mix = Mix.i50_d50_f0; dist = Uniform })
+    [ 1 lsl 8; 1 lsl 12; 1 lsl 16; 1 lsl 20; 1 lsl 24 ]
+
+(* The price of lock-freedom: the concurrent trie vs the plain sequential
+   trie, single-threaded.  The gap is the flag/descriptor machinery. *)
+let ablation_seq ~threads_list ~seconds ~trials ~seed ~csv =
+  ignore threads_list;
+  let seq_subject =
+    Harness.
+      {
+        label = "SEQ-PAT";
+        make =
+          (fun ~universe ->
+            let t = Core.Patricia_seq.create ~universe () in
+            {
+              insert = Core.Patricia_seq.insert t;
+              delete = Core.Patricia_seq.delete t;
+              member = Core.Patricia_seq.member t;
+              replace = None;
+            });
+      }
+  in
+  List.iter
+    (fun universe ->
+      run_sweep ~threads_list:[ 1 ] ~seconds ~trials ~seed ~csv
+        ~title:
+          (Printf.sprintf
+             "Ablation: coordination cost, 1 thread, range (0, %d), i50-d50-f0"
+             universe)
+        [ Harness.pat_subject; seq_subject ]
+        Harness.{ universe; mix = Mix.i50_d50_f0; dist = Uniform })
+    [ 1_000; 1_000_000 ]
+
+(* Unbounded-length keys (Section VI) vs fixed-width keys carrying the
+   same information: the cost of multi-word labels. *)
+let ablation_vlk ~threads_list ~seconds ~trials ~seed ~csv =
+  let universe = 65_536 in
+  let vlk_subject =
+    Harness.
+      {
+        label = "PAT-VLK";
+        make =
+          (fun ~universe:_ ->
+            let t = Core.Patricia_vlk.create () in
+            let key k = Printf.sprintf "%08x" k in
+            {
+              insert = (fun k -> Core.Patricia_vlk.insert t (key k));
+              delete = (fun k -> Core.Patricia_vlk.delete t (key k));
+              member = (fun k -> Core.Patricia_vlk.member t (key k));
+              replace =
+                Some
+                  (fun remove add ->
+                    Core.Patricia_vlk.replace t ~remove:(key remove)
+                      ~add:(key add));
+            });
+      }
+  in
+  run_sweep ~threads_list ~seconds ~trials ~seed ~csv
+    ~title:
+      (Printf.sprintf
+         "Ablation: fixed-width vs unbounded keys, range (0, %d), i50-d50-f0"
+         universe)
+    [ Harness.pat_subject; vlk_subject ]
+    Harness.{ universe; mix = Mix.i50_d50_f0; dist = Uniform }
+
+let ablation_cmd =
+  let which_arg =
+    let doc = "Which ablation: replace, helping, width, seq, or vlk." in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("replace", `Replace);
+               ("helping", `Helping);
+               ("width", `Width);
+               ("seq", `Seq);
+               ("vlk", `Vlk);
+             ])
+          `Replace
+      & info [ "which" ] ~doc)
+  in
+  let run which threads_list seconds trials seed csv =
+    match which with
+    | `Replace -> ablation_replace ~threads_list ~seconds ~trials ~seed ~csv
+    | `Helping -> ablation_helping ~threads_list ~seconds ~trials ~seed ~csv
+    | `Width -> ablation_width ~threads_list ~seconds ~trials ~seed ~csv
+    | `Seq -> ablation_seq ~threads_list ~seconds ~trials ~seed ~csv
+    | `Vlk -> ablation_vlk ~threads_list ~seconds ~trials ~seed ~csv
+  in
+  let doc = "Run an ablation study on the Patricia trie's design choices." in
+  Cmd.v (Cmd.info "ablation" ~doc)
+    Term.(
+      const run $ which_arg $ threads_arg $ seconds_arg $ trials_arg $ seed_arg
+      $ csv_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc =
+    "Benchmarks for the non-blocking Patricia trie reproduction (ICDCS 2013)."
+  in
+  let info = Cmd.info "patbench" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ figure_cmd; extra_cmd; custom_cmd; ablation_cmd ]))

@@ -1,0 +1,1 @@
+examples/priority_queue.ml: Array Atomic Core Domain Int List Printf Rng

@@ -1,0 +1,1 @@
+examples/priority_queue.mli:

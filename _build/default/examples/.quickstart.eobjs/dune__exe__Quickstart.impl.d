@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Domain List Printf String

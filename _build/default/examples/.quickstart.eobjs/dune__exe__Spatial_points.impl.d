@@ -1,0 +1,1 @@
+examples/spatial_points.ml: Array Atomic Domain List Printf Rng Spatial

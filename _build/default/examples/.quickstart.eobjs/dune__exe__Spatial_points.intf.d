@@ -1,0 +1,1 @@
+examples/spatial_points.mli:

@@ -1,0 +1,1 @@
+examples/string_keys.ml: Bitkey Core Domain List Printf String

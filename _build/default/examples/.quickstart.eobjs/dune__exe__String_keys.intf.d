@@ -1,0 +1,1 @@
+examples/string_keys.mli:

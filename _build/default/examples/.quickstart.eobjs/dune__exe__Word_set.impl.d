@@ -1,0 +1,1 @@
+examples/word_set.ml: Array Atomic Core Domain List Printf Rng String

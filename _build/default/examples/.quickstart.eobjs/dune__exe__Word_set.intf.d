@@ -1,0 +1,1 @@
+examples/word_set.mli:

@@ -1,0 +1,87 @@
+(* A concurrent priority queue with changeable priorities, the second
+   application sketched in the paper's introduction (Section I): "the
+   replace operation would also be useful if the Patricia trie were
+   adapted to implement a priority queue, so that one can change the
+   priority of an element in the queue."
+
+   A queue entry is the key  priority * capacity + task_id,  so ordering
+   by key orders by priority first.  Changing a task's priority is one
+   atomic [replace]: no scheduler can ever observe the task at two
+   priorities, or temporarily missing.
+
+   Run with:  dune exec examples/priority_queue.exe *)
+
+module Pat = Core.Patricia
+
+let n_tasks = 128
+let n_priorities = 64
+let key ~priority ~task = (priority * n_tasks) + task
+let priority_of k = k / n_tasks
+let task_of k = k mod n_tasks
+
+let () =
+  let q = Pat.create ~universe:(n_priorities * n_tasks) () in
+  let rng = Rng.of_int_seed 1 in
+
+  (* Enqueue every task at a random priority. *)
+  let prio = Array.init n_tasks (fun _ -> Rng.int rng n_priorities) in
+  Array.iteri (fun task priority -> ignore (Pat.insert q (key ~priority ~task))) prio;
+  assert (Pat.size q = n_tasks);
+
+  (* Re-prioritizers: each domain owns a slice of tasks and keeps
+     adjusting their priorities with atomic replaces. *)
+  let reprioritize d =
+    let rng = Rng.of_int_seed (100 + d) in
+    let per = n_tasks / 4 in
+    for _ = 1 to 20_000 do
+      let task = (d * per) + Rng.int rng per in
+      let old_p = prio.(task) in
+      let new_p = Rng.int rng n_priorities in
+      if
+        new_p <> old_p
+        && Pat.replace q ~remove:(key ~priority:old_p ~task)
+             ~add:(key ~priority:new_p ~task)
+      then prio.(task) <- new_p
+    done
+  in
+  let movers = List.init 4 (fun d -> Domain.spawn (fun () -> reprioritize d)) in
+
+  (* A monitor thread keeps peeking at the globally smallest entry (the
+     head of the queue); it must always find a well-formed entry. *)
+  let stop = Atomic.make false in
+  let monitor =
+    Domain.spawn (fun () ->
+        let peeks = ref 0 in
+        while not (Atomic.get stop) do
+          (match Pat.to_list q with
+          | [] -> failwith "queue can never be empty here"
+          | head :: _ ->
+              assert (priority_of head < n_priorities);
+              assert (task_of head < n_tasks));
+          incr peeks
+        done;
+        !peeks)
+  in
+  List.iter Domain.join movers;
+  Atomic.set stop true;
+  let peeks = Domain.join monitor in
+
+  (* Exactly one entry per task survived all the re-prioritization. *)
+  assert (Pat.size q = n_tasks);
+  Array.iteri
+    (fun task priority -> assert (Pat.member q (key ~priority ~task)))
+    prio;
+
+  (* Drain in priority order, like a scheduler would. *)
+  let order = Pat.to_list q in
+  let sorted = List.sort Int.compare order in
+  assert (order = sorted);
+  List.iter (fun k -> assert (Pat.delete q k)) order;
+  assert (Pat.size q = 0);
+
+  let head = List.hd order in
+  Printf.printf
+    "priority_queue: %d tasks, head was task %d at priority %d (monitor peeked \
+     %d times)\n"
+    n_tasks (task_of head) (priority_of head) peeks;
+  print_endline "priority_queue: OK"

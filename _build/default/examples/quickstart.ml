@@ -1,0 +1,51 @@
+(* Quickstart: the public API of the non-blocking Patricia trie.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Pat = Core.Patricia
+
+let () =
+  (* A trie over the key universe [0, 1000). *)
+  let t = Pat.create ~universe:1000 () in
+
+  (* insert returns true iff the key was absent. *)
+  assert (Pat.insert t 42);
+  assert (not (Pat.insert t 42));
+  assert (Pat.insert t 7);
+
+  (* member (the paper's find) is wait-free and never writes. *)
+  assert (Pat.member t 42);
+  assert (not (Pat.member t 99));
+
+  (* replace atomically deletes one key and inserts another: the paper's
+     distinguishing operation.  Both changes become visible at a single
+     linearization point — no concurrent reader can see 42 and 43
+     simultaneously absent (or present). *)
+  assert (Pat.replace t ~remove:42 ~add:43);
+  assert (not (Pat.member t 42));
+  assert (Pat.member t 43);
+
+  (* replace fails (and changes nothing) unless the removed key is
+     present and the added key absent. *)
+  assert (not (Pat.replace t ~remove:42 ~add:44));
+  assert (not (Pat.replace t ~remove:43 ~add:7));
+
+  (* delete returns true iff the key was present. *)
+  assert (Pat.delete t 7);
+  assert (not (Pat.delete t 7));
+
+  (* All operations are safe to call from multiple domains at once; the
+     updates are lock-free and searches are wait-free. *)
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = d * 100 to (d * 100) + 99 do
+              ignore (Pat.insert t i)
+            done))
+  in
+  List.iter Domain.join domains;
+  Printf.printf "contents: %d keys, first few: %s\n" (Pat.size t)
+    (Pat.to_list t |> List.filteri (fun i _ -> i < 10)
+    |> List.map string_of_int |> String.concat ", ");
+  assert (Pat.size t = 400);
+  print_endline "quickstart: OK"

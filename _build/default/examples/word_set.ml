@@ -1,0 +1,74 @@
+(* A concurrent dictionary of words of unbounded length, built on the
+   Section-VI variant of the trie (Patricia_vlk): keys are arbitrary
+   non-empty strings, stored under the 0->01 / 1->10 / $->11 encoding so
+   words that are prefixes of one another ("in", "inn", "inner") coexist.
+
+   Atomic [replace] renames an entry in one step — useful for, say, a
+   symbol table where an identifier is renamed while other threads keep
+   resolving names and must never observe both or neither spelling.
+
+   Run with:  dune exec examples/word_set.exe *)
+
+module V = Core.Patricia_vlk
+
+let corpus =
+  [
+    "a"; "an"; "ant"; "anthem"; "in"; "inn"; "inner"; "innermost";
+    "pat"; "patricia"; "trie"; "tried"; "tries"; "replace"; "replaced";
+  ]
+
+let () =
+  let dict = V.create () in
+  List.iter (fun w -> assert (V.insert dict w)) corpus;
+  assert (V.size dict = List.length corpus);
+
+  (* Prefix words are distinct entries. *)
+  assert (V.member dict "in");
+  assert (V.member dict "inner");
+  assert (not (V.member dict "inne"));
+
+  (* Concurrent renamers: each domain renames its own word back and
+     forth; resolvers keep looking words up. *)
+  let stop = Atomic.make false in
+  let resolvers =
+    List.init 2 (fun d ->
+        Domain.spawn (fun () ->
+            let rng = Rng.of_int_seed (40 + d) in
+            let hits = ref 0 in
+            let words = Array.of_list corpus in
+            while not (Atomic.get stop) do
+              let w = words.(Rng.int rng (Array.length words)) in
+              if V.member dict w then incr hits
+            done;
+            !hits))
+  in
+  let renamers =
+    List.init 2 (fun d ->
+        Domain.spawn (fun () ->
+            let mine = List.nth [ "anthem"; "innermost" ] d in
+            let alt = mine ^ "-v2" in
+            let cur = ref mine and other = ref alt in
+            for _ = 1 to 10_000 do
+              if V.replace dict ~remove:!cur ~add:!other then begin
+                let tmp = !cur in
+                cur := !other;
+                other := tmp
+              end
+            done;
+            !cur))
+  in
+  let finals = List.map Domain.join renamers in
+  Atomic.set stop true;
+  let lookups = List.fold_left ( + ) 0 (List.map Domain.join resolvers) in
+
+  (* Every rename conserved exactly one spelling of each entry. *)
+  assert (V.size dict = List.length corpus);
+  List.iter (fun w -> assert (V.member dict w)) finals;
+  (match V.check_invariants dict with Ok () -> () | Error e -> failwith e);
+
+  Printf.printf
+    "word_set: %d words, renamed entries ended as [%s], resolvers hit %d times\n"
+    (V.size dict)
+    (String.concat "; " finals)
+    lookups;
+  print_endline "word_set: OK"

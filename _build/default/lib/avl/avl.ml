@@ -1,0 +1,498 @@
+(* Lock-based relaxed-balance AVL tree in the style of
+
+     N. Bronson, J. Casper, H. Chafi, K. Olukotun,
+     "A practical concurrent binary search tree", PPoPP 2010,
+
+   the "AVL" baseline of the Patricia-trie paper's evaluation.
+
+   Faithful-shape reproduction (see DESIGN.md): like Bronson's tree it is
+
+   - partially external: a deleted node with two children stays in the
+     tree as an unmarked routing node ([present = false]); nodes with at
+     most one child are physically unlinked;
+   - optimistically traversed: readers take no locks, validating a
+     per-node version (seqlock style) around every child-pointer read and
+     restarting on interference, with a lock-coupling fallback after
+     repeated interference so reads always terminate;
+   - relaxed-balance: writers fix heights and rotate on the way back up
+     under fine-grained per-node mutexes, so the tree is approximately
+     height-balanced rather than strictly AVL at every instant.
+
+   Simplification vs. Bronson: a single version counter per node is
+   bumped on any structural change (Bronson distinguishes grow/shrink to
+   let some readers continue); this is conservative, never unsafe. *)
+
+type node = {
+  key : int;
+  mutable present : bool; (* guarded by [lock] for writes *)
+  left : node option Atomic.t;
+  right : node option Atomic.t;
+  parent : node option Atomic.t;
+  mutable height : int;
+  version : int Atomic.t;
+  mutable unlinked : bool; (* set under [lock] when removed from the tree *)
+  lock : Mutex.t;
+}
+
+type t = { header : node; universe : int }
+(* [header] is a permanent pseudo-root with key = max_int; the real tree
+   hangs off header.left and the header is never rotated or unlinked. *)
+
+let name = "AVL"
+
+let mk_node ?parent key present =
+  {
+    key;
+    present;
+    left = Atomic.make None;
+    right = Atomic.make None;
+    parent = Atomic.make parent;
+    height = 1;
+    version = Atomic.make 0;
+    unlinked = false;
+    lock = Mutex.create ();
+  }
+
+let create ~universe () =
+  if universe < 1 then invalid_arg "Avl.create: universe must be >= 1";
+  { header = mk_node max_int false; universe }
+
+let height = function None -> 0 | Some n -> n.height
+
+let child n dir = if dir < 0 then n.left else n.right
+
+(* Seqlock protocol on node versions: a mutator (holding the node's lock)
+   makes the version odd *before* touching the node's links and even again
+   after, so an optimistic reader that sees the same even version on both
+   sides of a read knows it saw a consistent state — a bump-after-mutate
+   scheme would let a reader validate against a half-applied rotation. *)
+let begin_change n = Atomic.incr n.version
+let end_change n = Atomic.incr n.version
+let changing v = v land 1 = 1
+
+(* ------------------------------------------------------------------ *)
+(* Reads *)
+
+(* Optimistic descent with Bronson-style overlapping version validation.
+   The invariant carried by a call [descend key n v] is: at the moment [v]
+   was read from [n.version], the key belonged to n's subtree.  Because a
+   node's version is bumped whenever its children change (in particular
+   whenever a rotation changes the key range it is responsible for), an
+   unchanged version extends that moment forward.  The child's version is
+   captured *while the parent edge is still valid* — that overlap is what
+   makes the chain of certificates continuous. *)
+type descent =
+  | Found of node
+  | Absent_at of node * int * int (* attach parent, direction, its version *)
+  | Retry
+
+let rec descend key (n : node) v =
+  let dir = compare key n.key in
+  if dir = 0 then Found n
+  else
+    let rec loop () =
+      let c = Atomic.get (child n dir) in
+      if Atomic.get n.version <> v then Retry
+      else
+        match c with
+        | None -> Absent_at (n, dir, v)
+        | Some c ->
+            let cv = Atomic.get c.version in
+            let edge_still =
+              (match Atomic.get (child n dir) with
+              | Some c' -> c' == c
+              | None -> false)
+              && Atomic.get n.version = v
+            in
+            if not edge_still then Retry
+            else if changing cv then
+              (* c is mid-mutation: wait it out by re-reading from n. *)
+              if Atomic.get n.version = v then loop () else Retry
+            else (
+              match descend key c cv with
+              | Retry -> if Atomic.get n.version = v then loop () else Retry
+              | r -> r)
+    in
+    loop ()
+
+let opt_descend t key =
+  let rec start () =
+    let v = Atomic.get t.header.version in
+    if changing v then start () else descend key t.header v
+  in
+  start ()
+
+(* Lock-coupling fallback: always terminates, used when the optimistic
+   path keeps getting interfered with.  Returns with the terminal node
+   still locked; every structural change locks all nodes whose child
+   pointers it alters, so the coupled descent needs no validation. *)
+type locked_descent = L_found of node | L_absent of node * int
+
+let locked_descend t key =
+  let rec go (n : node) =
+    if n.key = key then L_found n
+    else
+      match Atomic.get (child n (compare key n.key)) with
+      | None -> L_absent (n, compare key n.key)
+      | Some c ->
+          Mutex.lock c.lock;
+          Mutex.unlock n.lock;
+          go c
+  in
+  Mutex.lock t.header.lock;
+  go t.header
+
+let member t key =
+  if key < 0 || key >= t.universe then invalid_arg "Avl.member: key out of universe";
+  let rec attempt tries =
+    if tries = 0 then begin
+      match locked_descend t key with
+      | L_found n ->
+          let r = n.present in
+          Mutex.unlock n.lock;
+          r
+      | L_absent (n, _) ->
+          Mutex.unlock n.lock;
+          false
+    end
+    else
+      match opt_descend t key with
+      | Found n ->
+          (* A node that was reached while unlinked has present = false
+             (unlinking requires it), so reading [present] alone is a
+             valid linearization either way. *)
+          n.present
+      | Absent_at _ -> false
+      | Retry -> attempt (tries - 1)
+  in
+  attempt 64
+
+(* ------------------------------------------------------------------ *)
+(* Rebalancing.  Writers walk from the point of change toward the header,
+   fixing heights and rotating.  All lock acquisitions go parent-first
+   (top-down), so the lock order is acyclic and deadlock-free. *)
+
+let recompute_height n =
+  let h = 1 + max (height (Atomic.get n.left)) (height (Atomic.get n.right)) in
+  if h <> n.height then begin
+    n.height <- h;
+    true
+  end
+  else false
+
+(* Nodes form cycles through their parent pointers, so options of nodes
+   must only ever be compared by the physical identity of the node inside
+   — structural (=/<>) comparison would diverge. *)
+let replace_child (p : node) (old_c : node) (new_c : node option) =
+  (match Atomic.get p.left with
+  | Some l when l == old_c -> Atomic.set p.left new_c
+  | _ -> Atomic.set p.right new_c);
+  match new_c with Some c -> Atomic.set c.parent (Some p) | None -> ()
+
+(* Rotate right around [n] (mirrored for [rotate_left]).  Caller holds the
+   locks of p and n; we additionally lock the pivot child. *)
+let rotate_right (p : node) (n : node) =
+  match Atomic.get n.left with
+  | None -> ()
+  | Some l ->
+      Mutex.lock l.lock;
+      begin_change p;
+      begin_change n;
+      begin_change l;
+      let lr = Atomic.get l.right in
+      Atomic.set n.left lr;
+      (match lr with Some x -> Atomic.set x.parent (Some n) | None -> ());
+      Atomic.set l.right (Some n);
+      Atomic.set n.parent (Some l);
+      replace_child p n (Some l);
+      ignore (recompute_height n);
+      ignore (recompute_height l);
+      end_change l;
+      end_change n;
+      end_change p;
+      Mutex.unlock l.lock
+
+let rotate_left (p : node) (n : node) =
+  match Atomic.get n.right with
+  | None -> ()
+  | Some r ->
+      Mutex.lock r.lock;
+      begin_change p;
+      begin_change n;
+      begin_change r;
+      let rl = Atomic.get r.left in
+      Atomic.set n.right rl;
+      (match rl with Some x -> Atomic.set x.parent (Some n) | None -> ());
+      Atomic.set r.left (Some n);
+      Atomic.set n.parent (Some r);
+      replace_child p n (Some r);
+      ignore (recompute_height n);
+      ignore (recompute_height r);
+      end_change r;
+      end_change n;
+      end_change p;
+      Mutex.unlock r.lock
+
+let balance_factor n = height (Atomic.get n.left) - height (Atomic.get n.right)
+
+(* Fix one node under the locks of (p, n); returns whether anything moved.
+   Double rotations lock the inner child before rotating through it; the
+   acquisition stays strictly top-down (p, n, child, grandchild). *)
+let fix_node (p : node) (n : node) =
+  let changed = recompute_height n in
+  let bf = balance_factor n in
+  if bf > 1 then begin
+    (match Atomic.get n.left with
+    | Some l when balance_factor l < 0 ->
+        Mutex.lock l.lock;
+        rotate_left n l;
+        Mutex.unlock l.lock
+    | _ -> ());
+    rotate_right p n;
+    true
+  end
+  else if bf < -1 then begin
+    (match Atomic.get n.right with
+    | Some r when balance_factor r > 0 ->
+        Mutex.lock r.lock;
+        rotate_right n r;
+        Mutex.unlock r.lock
+    | _ -> ());
+    rotate_left p n;
+    true
+  end
+  else changed
+
+(* Walk upward from [start], locking parent-then-node at each step and
+   re-validating the edge, until heights stop changing. *)
+let rec rebalance_up t (n : node) =
+  if n != t.header && not n.unlinked then begin
+    match Atomic.get n.parent with
+    | None -> ()
+    | Some p ->
+        Mutex.lock p.lock;
+        let still_parent =
+          match Atomic.get n.parent with Some p' -> p' == p | None -> false
+        in
+        if p.unlinked || not still_parent then begin
+          Mutex.unlock p.lock;
+          rebalance_up t n (* parent changed under us: re-read and retry *)
+        end
+        else begin
+          Mutex.lock n.lock;
+          let continue_at =
+            if n.unlinked then None
+            else begin
+              let moved = fix_node p n in
+              if moved then Some p else None
+            end
+          in
+          Mutex.unlock n.lock;
+          Mutex.unlock p.lock;
+          match continue_at with Some p -> rebalance_up t p | None -> ()
+        end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Updates *)
+
+let attach t (n : node) dir key =
+  (* Caller holds n.lock and has validated the slot. *)
+  let c = mk_node ~parent:n key true in
+  begin_change n;
+  Atomic.set (child n dir) (Some c);
+  end_change n;
+  Mutex.unlock n.lock;
+  (* Heights are fixed by the walk itself: it continues upward exactly as
+     long as a height changes or a rotation fires. *)
+  rebalance_up t n
+
+let insert t key =
+  if key < 0 || key >= t.universe then invalid_arg "Avl.insert: key out of universe";
+  let rec attempt tries =
+    if tries = 0 then begin
+      (* Contention fallback: lock-coupled descent, act under the lock. *)
+      match locked_descend t key with
+      | L_found n ->
+          if n.present then begin
+            Mutex.unlock n.lock;
+            false
+          end
+          else begin
+            n.present <- true;
+            Mutex.unlock n.lock;
+            true
+          end
+      | L_absent (n, dir) ->
+          attach t n dir key;
+          true
+    end
+    else
+      match opt_descend t key with
+      | Retry -> attempt (tries - 1)
+      | Found n ->
+          Mutex.lock n.lock;
+          if n.unlinked then begin
+            Mutex.unlock n.lock;
+            attempt (tries - 1)
+          end
+          else if n.present then begin
+            Mutex.unlock n.lock;
+            false
+          end
+          else begin
+            n.present <- true;
+            Mutex.unlock n.lock;
+            true
+          end
+      | Absent_at (n, dir, v) ->
+          Mutex.lock n.lock;
+          if
+            n.unlinked
+            || Atomic.get n.version <> v
+            || Atomic.get (child n dir) <> None
+          then begin
+            Mutex.unlock n.lock;
+            attempt (tries - 1)
+          end
+          else begin
+            attach t n dir key;
+            true
+          end
+  in
+  attempt 256
+
+(* Physically unlink [n] (which has at most one child) from [p]; caller
+   holds both locks.  Returns false if n grew a second child meanwhile. *)
+let try_unlink (p : node) (n : node) =
+  let l = Atomic.get n.left and r = Atomic.get n.right in
+  match (l, r) with
+  | Some _, Some _ -> false
+  | _ ->
+      let repl = match l with Some _ -> l | None -> r in
+      begin_change p;
+      begin_change n;
+      replace_child p n repl;
+      n.unlinked <- true;
+      end_change n;
+      end_change p;
+      true
+
+let rec delete t key =
+  if key < 0 || key >= t.universe then invalid_arg "Avl.delete: key out of universe";
+  let logically_remove t (n : node) =
+    (* Caller holds n.lock with n linked and present. *)
+    n.present <- false;
+    let needs_unlink = Atomic.get n.left = None || Atomic.get n.right = None in
+    Mutex.unlock n.lock;
+    (* A node with two children stays as an unmarked routing node, the
+       partially-external discipline of Bronson et al. *)
+    if needs_unlink then unlink_routing t n
+  in
+  let rec attempt tries =
+    if tries = 0 then begin
+      match locked_descend t key with
+      | L_absent (n, _) ->
+          Mutex.unlock n.lock;
+          false
+      | L_found n ->
+          if not n.present then begin
+            Mutex.unlock n.lock;
+            false
+          end
+          else begin
+            logically_remove t n;
+            true
+          end
+    end
+    else
+      match opt_descend t key with
+      | Retry -> attempt (tries - 1)
+      | Absent_at _ -> false
+      | Found n ->
+          Mutex.lock n.lock;
+          if n.unlinked then begin
+            Mutex.unlock n.lock;
+            attempt (tries - 1)
+          end
+          else if not n.present then begin
+            Mutex.unlock n.lock;
+            false
+          end
+          else begin
+            logically_remove t n;
+            true
+          end
+  in
+  attempt 256
+
+(* Remove a non-present node with at most one child; also called to clean
+   up routing nodes that lost a child.  Locks parent-then-node. *)
+and unlink_routing t (n : node) =
+  if (not n.unlinked) && n != t.header then begin
+    match Atomic.get n.parent with
+    | None -> ()
+    | Some p ->
+        Mutex.lock p.lock;
+        let still_parent =
+          match Atomic.get n.parent with Some p' -> p' == p | None -> false
+        in
+        if p.unlinked || not still_parent then begin
+          Mutex.unlock p.lock;
+          unlink_routing t n
+        end
+        else begin
+          Mutex.lock n.lock;
+          let unlinked =
+            (not n.unlinked) && (not n.present) && try_unlink p n
+          in
+          Mutex.unlock n.lock;
+          Mutex.unlock p.lock;
+          if unlinked then rebalance_up t p
+        end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Quiescent traversals *)
+
+let fold t ~init ~f =
+  let rec go acc = function
+    | None -> acc
+    | Some n ->
+        let acc = go acc (Atomic.get n.left) in
+        let acc = if n.present then f acc n.key else acc in
+        go acc (Atomic.get n.right)
+  in
+  go init (Atomic.get t.header.left)
+
+let to_list t = List.rev (fold t ~init:[] ~f:(fun acc k -> k :: acc))
+let size t = fold t ~init:0 ~f:(fun acc _ -> acc + 1)
+
+let check_invariants t =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let count = ref 0 in
+  let rec go lo hi = function
+    | None -> 0
+    | Some n ->
+        if not (lo < n.key && n.key < hi) then
+          err "key %d outside (%d, %d)" n.key lo hi;
+        incr count;
+        let hl = go lo n.key (Atomic.get n.left) in
+        let hr = go n.key hi (Atomic.get n.right) in
+        (* The balance is relaxed: concurrent updates can leave a node a
+           few units out of AVL shape until the next walk repairs it, so
+           per-node we only flag egregious skew and globally we bound the
+           height logarithmically, which is the property the tree is paid
+           to maintain. *)
+        if abs (hl - hr) > 4 then err "imbalance %d at key %d" (hl - hr) n.key;
+        1 + max hl hr
+  in
+  let h = go min_int max_int (Atomic.get t.header.left) in
+  let n = !count in
+  let bound =
+    let rec log2 acc x = if x <= 1 then acc else log2 (acc + 1) (x / 2) in
+    max 6 (2 * log2 0 (n + 2))
+  in
+  if h > bound then err "height %d exceeds bound %d for %d nodes" h bound n;
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " es)

@@ -1,0 +1,26 @@
+(** Lock-based relaxed-balance AVL tree in the style of Bronson, Casper,
+    Chafi & Olukotun (PPoPP 2010) — the "AVL" baseline of the
+    Patricia-trie paper's evaluation.
+
+    Partially external (a deleted node with two children remains as a
+    routing node), optimistically traversed (readers validate per-node
+    seqlock versions and take no locks on the fast path, with a
+    lock-coupling fallback), and relaxed-balance (writers repair heights
+    and rotate under fine-grained per-node mutexes on the way up).  See
+    DESIGN.md for the deltas against Bronson's full OVL protocol. *)
+
+type t
+
+val name : string
+(** ["AVL"]. *)
+
+val create : universe:int -> unit -> t
+val insert : t -> int -> bool
+val delete : t -> int -> bool
+val member : t -> int -> bool
+val to_list : t -> int list
+val size : t -> int
+
+val check_invariants : t -> (unit, string) result
+(** BST order (strict), no egregious per-node skew, and a logarithmic
+    bound on the total height — the relaxed-balance guarantee. *)

@@ -1,0 +1,1 @@
+lib/bitkey/bitkey.ml: Bitstr Buffer Format Int String

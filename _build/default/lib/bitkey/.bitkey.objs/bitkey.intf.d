@@ -1,0 +1,1 @@
+lib/bitkey/bitkey.mli: Bitstr Format

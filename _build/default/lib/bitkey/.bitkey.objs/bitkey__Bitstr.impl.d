@@ -1,0 +1,1 @@
+lib/bitkey/bitstr.ml: Buffer Bytes Char Format Int String

@@ -1,0 +1,1 @@
+lib/bitkey/bitstr.mli: Format

@@ -1,0 +1,161 @@
+(* Immutable variable-length bit strings, the key/label type for the
+   unbounded-key Patricia trie of the paper's Section VI ("since labels
+   of nodes never change, they need not fit in a single word").
+
+   Bits are packed MSB-first into bytes; [len] is the exact bit count.
+   All operations treat the value as the bit sequence b1 ... b_len. *)
+
+type t = { data : string; len : int }
+
+let empty = { data = ""; len = 0 }
+
+let length t = t.len
+
+let bytes_for len = (len + 7) / 8
+
+(* Invariant: trailing pad bits of the last byte are zero, so structural
+   string equality coincides with bit-sequence equality. *)
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Bitstr.get: index out of range";
+  (Char.code t.data.[i lsr 3] lsr (7 - (i land 7))) land 1
+
+let make len f =
+  if len < 0 then invalid_arg "Bitstr.make: negative length";
+  let b = Bytes.make (bytes_for len) '\000' in
+  for i = 0 to len - 1 do
+    if f i <> 0 then
+      Bytes.set b (i lsr 3)
+        (Char.chr (Char.code (Bytes.get b (i lsr 3)) lor (1 lsl (7 - (i land 7)))))
+  done;
+  { data = Bytes.unsafe_to_string b; len }
+
+let of_string s =
+  make (String.length s) (fun i ->
+      match s.[i] with
+      | '0' -> 0
+      | '1' -> 1
+      | _ -> invalid_arg "Bitstr.of_string: not a binary string")
+
+let to_string t = String.init t.len (fun i -> if get t i = 1 then '1' else '0')
+
+let equal a b = a.len = b.len && String.equal a.data b.data
+
+(* Number of leading bits the two strings share (up to the shorter). *)
+let common_prefix_len a b =
+  let n = min a.len b.len in
+  let nb = bytes_for n in
+  let rec byte_loop i =
+    if i >= nb then n
+    else
+      let xa = Char.code a.data.[i] and xb = Char.code b.data.[i] in
+      if xa = xb then byte_loop (i + 1)
+      else
+        let x = xa lxor xb in
+        let rec first_diff bit = if x land (0x80 lsr bit) <> 0 then bit else first_diff (bit + 1) in
+        min n ((i * 8) + first_diff 0)
+  in
+  byte_loop 0
+
+let is_prefix a b = a.len <= b.len && common_prefix_len a b = a.len
+let is_proper_prefix a b = a.len < b.len && is_prefix a b
+
+let prefix t n =
+  if n < 0 || n > t.len then invalid_arg "Bitstr.prefix: bad length";
+  if n = t.len then t
+  else begin
+    let nb = bytes_for n in
+    let b = Bytes.make nb '\000' in
+    Bytes.blit_string t.data 0 b 0 nb;
+    (* zero the pad bits so equality stays structural *)
+    let pad = (nb * 8) - n in
+    if pad > 0 then begin
+      let last = Char.code (Bytes.get b (nb - 1)) in
+      Bytes.set b (nb - 1) (Char.chr (last land (0xFF lsl pad)))
+    end;
+    { data = Bytes.unsafe_to_string b; len = n }
+  end
+
+let lcp a b = prefix a (common_prefix_len a b)
+
+(* The bit of [b] immediately after prefix [t]. *)
+let next_bit t b =
+  if t.len >= b.len then invalid_arg "Bitstr.next_bit: not a proper prefix";
+  get b t.len
+
+let append a b =
+  make (a.len + b.len) (fun i -> if i < a.len then get a i else get b (i - a.len))
+
+let extend t bit =
+  if bit <> 0 && bit <> 1 then invalid_arg "Bitstr.extend: bit";
+  make (t.len + 1) (fun i -> if i < t.len then get t i else bit)
+
+(* Any total order works for the trie's deadlock-free flag ordering;
+   length-then-bytes is cheap. *)
+let compare a b =
+  match Int.compare a.len b.len with
+  | 0 -> String.compare a.data b.data
+  | c -> c
+
+let pp fmt t = Format.fprintf fmt "%s" (if t.len = 0 then "ε" else to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* The Section-VI encoding: 0 -> 01, 1 -> 10 and a terminating 11, so
+   every encoded key is strictly between the sentinels 00 and 111 and
+   distinct keys are never prefixes of one another. *)
+
+let sentinel_lo = of_string "00"
+let sentinel_hi = of_string "111"
+
+let encode_binary s =
+  let n = String.length s in
+  if n = 0 then
+    invalid_arg "Bitstr.encode_binary: the empty string is reserved";
+  make ((2 * n) + 2) (fun i ->
+      if i >= 2 * n then 1 (* terminator 11 *)
+      else
+        let c = s.[i / 2] in
+        let hi = i land 1 = 0 in
+        match c with
+        | '0' -> if hi then 0 else 1 (* 01 *)
+        | '1' -> if hi then 1 else 0 (* 10 *)
+        | _ -> invalid_arg "Bitstr.encode_binary: not a binary string")
+
+let decode_binary t =
+  if t.len < 2 || t.len mod 2 <> 0 then
+    invalid_arg "Bitstr.decode_binary: invalid encoding";
+  let pairs = (t.len / 2) - 1 in
+  let buf = Buffer.create pairs in
+  for i = 0 to pairs - 1 do
+    match (get t (2 * i), get t ((2 * i) + 1)) with
+    | 0, 1 -> Buffer.add_char buf '0'
+    | 1, 0 -> Buffer.add_char buf '1'
+    | _ -> invalid_arg "Bitstr.decode_binary: invalid encoding"
+  done;
+  if get t (t.len - 2) <> 1 || get t (t.len - 1) <> 1 then
+    invalid_arg "Bitstr.decode_binary: missing terminator";
+  Buffer.contents buf
+
+(* Arbitrary byte strings ride on the same scheme, one byte = 8 binary
+   digits. *)
+let encode_bytes s =
+  if String.length s = 0 then
+    invalid_arg "Bitstr.encode_bytes: the empty string is reserved";
+  let n = String.length s in
+  make ((16 * n) + 2) (fun i ->
+      if i >= 16 * n then 1
+      else
+        let bit_idx = i / 2 in
+        let bit = (Char.code s.[bit_idx / 8] lsr (7 - (bit_idx mod 8))) land 1 in
+        let hi = i land 1 = 0 in
+        if bit = 0 then if hi then 0 else 1 else if hi then 1 else 0)
+
+let decode_bytes t =
+  let bin = decode_binary t in
+  let n = String.length bin in
+  if n mod 8 <> 0 then invalid_arg "Bitstr.decode_bytes: invalid encoding";
+  String.init (n / 8) (fun i ->
+      let v = ref 0 in
+      for j = 0 to 7 do
+        v := (!v lsl 1) lor if bin.[(i * 8) + j] = '1' then 1 else 0
+      done;
+      Char.chr !v)

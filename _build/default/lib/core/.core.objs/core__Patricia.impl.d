@@ -1,0 +1,1 @@
+lib/core/patricia.ml: Array Atomic Bitkey Format List Option String

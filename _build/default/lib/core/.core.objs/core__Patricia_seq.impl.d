@@ -1,0 +1,1 @@
+lib/core/patricia_seq.ml: Array Bitkey Format Int List String

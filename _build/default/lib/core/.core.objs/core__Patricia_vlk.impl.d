@@ -1,0 +1,1 @@
+lib/core/patricia_vlk.ml: Array Atomic Bitkey Format List Option String

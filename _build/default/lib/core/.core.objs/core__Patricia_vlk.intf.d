@@ -1,0 +1,1 @@
+lib/core/patricia_vlk.mli: Bitkey

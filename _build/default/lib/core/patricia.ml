@@ -1,0 +1,863 @@
+(* Non-blocking Patricia trie with replace operations.
+
+   This is a direct transcription of the algorithm of
+
+     N. Shafiei, "Non-blocking Patricia Tries with Replace Operations",
+     ICDCS 2013 (arXiv:1303.3626),
+
+   for an asynchronous shared-memory system with single-word CAS.  Line
+   numbers in comments refer to the paper's pseudocode (Figures 2-4).
+
+   Concurrency notes specific to OCaml 5:
+
+   - [Atomic.compare_and_set] compares by physical equality, which matches
+     the paper's pointer-identity CAS.
+   - The paper avoids the ABA problem on [info] fields by installing a
+     *newly allocated* Unflag object on every unflag/backtrack CAS; we
+     reproduce this with [Unflag (ref ())], whose block is fresh per
+     allocation, so two Unflags are never physically equal.
+   - A Flag descriptor must be wrapped in the [info] variant exactly once
+     so that all CASes and reads compare the same physical value; the
+     shared wrapper is created in [new_flag] and threaded everywhere. *)
+
+module Label = Bitkey.Label
+
+type info = Unflag of unit ref | Flag of flag
+
+and node = Leaf of leaf | Internal of internal
+
+and leaf = { key : int; linfo : info Atomic.t }
+
+and internal = {
+  label : Label.t;
+  children : node Atomic.t array; (* length 2: left (bit 0), right (bit 1) *)
+  iinfo : info Atomic.t;
+}
+
+(* The Flag descriptor (paper Figure 2, lines 8-16).  [flag_nodes] are the
+   internal nodes to flag, sorted by label; [old_infos.(i)] is the value
+   that must still be in [flag_nodes.(i).iinfo] for the flag CAS to
+   succeed.  [pnodes.(i).children.(k)] is CASed from [old_children.(i)] to
+   [new_children.(i)].  [unflag_nodes] are unflagged afterwards; flagged
+   nodes absent from it are removed from the trie and stay flagged
+   ("marked") forever.  [rmv_leaf] is the leaf logically removed by a
+   general-case replace. *)
+and flag = {
+  flag_nodes : internal array;
+  old_infos : info array;
+  unflag_nodes : internal array;
+  pnodes : internal array;
+  old_children : node array;
+  new_children : node array;
+  rmv_leaf : leaf option;
+  flag_done : bool Atomic.t;
+  fwidth : int; (* key width of the owning trie, for child-index computation *)
+}
+
+(* Counters for the help-rate ablation; disabled (None) by default so the
+   hot path pays a single branch. *)
+type stats = {
+  attempts : int Atomic.t; (* retry-loop iterations across all updates *)
+  helps_given : int Atomic.t; (* calls to help on *another* op's descriptor *)
+  flag_failures : int Atomic.t; (* attempts abandoned in the flagging phase *)
+}
+
+type t = {
+  width : int;
+  root : internal;
+  offset : int;
+  bound : int; (* exclusive upper bound on user keys *)
+  stats : stats option;
+}
+
+let fresh_unflag () = Unflag (ref ())
+
+let new_leaf key = { key; linfo = Atomic.make (fresh_unflag ()) }
+
+let node_info = function
+  | Leaf l -> l.linfo
+  | Internal i -> i.iinfo
+
+let node_label ~width = function
+  | Leaf l -> Label.of_key ~width l.key
+  | Internal i -> i.label
+
+let make_stats () =
+  { attempts = Atomic.make 0; helps_given = Atomic.make 0; flag_failures = Atomic.make 0 }
+
+let bump t field =
+  match t.stats with
+  | None -> ()
+  | Some s -> Atomic.incr (field s)
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let create_width ~width ?(record_stats = false) () =
+  if width < 2 || width > Bitkey.max_width then
+    invalid_arg "Patricia.create_width: width must be in [2, 62]";
+  let lo = new_leaf 0 and hi = new_leaf ((1 lsl width) - 1) in
+  (* Line 18-19: the root is permanent, its children start as the two
+     sentinel leaves 00...0 and 11...1, which are never elements of D. *)
+  let root =
+    {
+      label = Label.empty;
+      children = [| Atomic.make (Leaf lo); Atomic.make (Leaf hi) |];
+      iinfo = Atomic.make (fresh_unflag ());
+    }
+  in
+  {
+    width;
+    root;
+    offset = 0;
+    bound = (1 lsl width) - 1;
+    stats = (if record_stats then Some (make_stats ()) else None);
+  }
+
+let create ~universe ?record_stats () =
+  if universe < 1 then invalid_arg "Patricia.create: universe must be >= 1";
+  (* Embed user keys [0, universe) as internal keys [1, universe], leaving
+     0 and 2^width - 1 free for the sentinels. *)
+  let width = max 2 (Bitkey.bit_length (universe + 1)) in
+  let t = create_width ~width ?record_stats () in
+  { t with offset = 1; bound = universe }
+
+let max_sentinel t = (1 lsl t.width) - 1
+
+let internal_key t k =
+  let k' = k + t.offset in
+  if k < 0 || k >= t.bound || k' < 1 || k' >= max_sentinel t then
+    invalid_arg "Patricia: key out of the universe"
+  else k'
+
+(* ------------------------------------------------------------------ *)
+(* Search (lines 76-85) — wait-free: at most [width] iterations, no writes *)
+
+(* logicallyRemoved (lines 122-124): a leaf flagged by a general-case
+   replace is logically removed once the replace's first child CAS has
+   happened, i.e. once oldChild[0] is no longer a child of pNode[0]. *)
+let logically_removed = function
+  | Unflag _ -> false
+  | Flag f ->
+      let p = f.pnodes.(0) and old = f.old_children.(0) in
+      not
+        (Atomic.get p.children.(0) == old || Atomic.get p.children.(1) == old)
+
+type search_result = {
+  gp : internal option;
+  p : internal;
+  p_node : node;
+      (* The *same physical* [node] value stored in gp's child array for
+         [p].  CAS compares physical identity, so an update whose old
+         child is [p] must use this value — re-wrapping [p] in the
+         [Internal] constructor would allocate a distinct block and the
+         child CAS would never succeed. *)
+  node : node;
+  gp_info : info option;
+  p_info : info;
+  rmvd : bool;
+}
+
+let search t v =
+  let width = t.width in
+  (* The root's label ε is a prefix of every key, so the loop body runs at
+     least once and [p] is always an internal node on return.  The root is
+     never an old child of any CAS, so its boxed stand-in is harmless. *)
+  let rec go gp gp_info (p : internal) p_boxed p_info =
+    let node =
+      Atomic.get p.children.(Label.next_bit_of_key ~width p.label v)
+    in
+    match node with
+    | Internal i when Label.is_prefix_of_key ~width i.label v ->
+        go (Some p) (Some p_info) i node (Atomic.get i.iinfo)
+    | _ ->
+        let rmvd =
+          match node with
+          | Leaf l -> logically_removed (Atomic.get l.linfo)
+          | Internal _ -> false
+        in
+        { gp; p; p_node = p_boxed; node; gp_info; p_info; rmvd }
+  in
+  go None None t.root (Internal t.root) (Atomic.get t.root.iinfo)
+
+(* keyInTrie (lines 125-126) *)
+let key_in_trie node v rmvd =
+  match node with Leaf l -> l.key = v && not rmvd | Internal _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* help (lines 86-106) *)
+
+(* [flag_phase fi f] performs the flag CASes in order (lines 87-92) and
+   returns the paper's [doChildCAS]: whether every node in f.flag_nodes
+   was observed flagged with [fi] immediately after our CAS on it. *)
+let flag_phase fi f =
+  let n = Array.length f.flag_nodes in
+  let rec loop i =
+    if i >= n then true
+    else begin
+      let x = f.flag_nodes.(i) in
+      ignore (Atomic.compare_and_set x.iinfo f.old_infos.(i) fi);
+      if Atomic.get x.iinfo == fi then loop (i + 1) else false
+    end
+  in
+  loop 0
+
+let child_cas_phase f =
+  Array.iteri
+    (fun i p ->
+      let nc = f.new_children.(i) in
+      (* Line 97: the child index is the (|p.label|+1)-th bit of the new
+         child's label, which p.label properly prefixes by Invariant 7. *)
+      let k = Label.next_bit p.label (node_label ~width:f.fwidth nc) in
+      ignore (Atomic.compare_and_set p.children.(k) f.old_children.(i) nc))
+    f.pnodes
+
+let help_counter_hook : (unit -> unit) option ref = ref None
+
+let rec help (fi : info) : bool =
+  let f = match fi with Flag f -> f | Unflag _ -> assert false in
+  (match !help_counter_hook with Some h -> h () | None -> ());
+  let do_child_cas = flag_phase fi f in
+  if do_child_cas then begin
+    Atomic.set f.flag_done true;
+    (* Line 95: flag the leaf removed by a general-case replace; leaves
+       are flagged by a plain write, never by CAS, and never unflagged. *)
+    (match f.rmv_leaf with Some l -> Atomic.set l.linfo fi | None -> ());
+    child_cas_phase f
+  end;
+  if Atomic.get f.flag_done then begin
+    (* Lines 99-102: unflag, in reverse order, the nodes still in the trie. *)
+    for i = Array.length f.unflag_nodes - 1 downto 0 do
+      ignore
+        (Atomic.compare_and_set f.unflag_nodes.(i).iinfo fi (fresh_unflag ()))
+    done;
+    true
+  end
+  else begin
+    (* Lines 103-106: flagging failed — back the flags out. *)
+    for i = Array.length f.flag_nodes - 1 downto 0 do
+      ignore
+        (Atomic.compare_and_set f.flag_nodes.(i).iinfo fi (fresh_unflag ()))
+    done;
+    false
+  end
+
+(* Specialized newFlag for the one-flag shape (insert at a leaf, replace
+   special case 1): allocation-lean version of the generic constructor
+   below, to which it is behaviourally identical. *)
+and new_flag1 ~width ~node ~old ~old_child ~new_child =
+  match old with
+  | Flag _ ->
+      ignore (help old);
+      None
+  | Unflag _ ->
+      let nodes = [| node |] in
+      Some
+        (Flag
+           {
+             flag_nodes = nodes;
+             old_infos = [| old |];
+             unflag_nodes = nodes;
+             pnodes = nodes;
+             old_children = [| old_child |];
+             new_children = [| new_child |];
+             rmv_leaf = None;
+             flag_done = Atomic.make false;
+             fwidth = width;
+           })
+
+(* Specialized newFlag for the two-flag, one-child-CAS shape (delete;
+   insert replacing an internal node; replace special cases 2/3).  The
+   first node of the pair is the one to unflag and CAS; the other is
+   removed from the trie and stays flagged. *)
+and new_flag2 ~width ~a ~a_old ~b ~b_old ~old_child ~new_child =
+  match a_old with
+  | Flag _ ->
+      ignore (help a_old);
+      None
+  | Unflag _ -> (
+      match b_old with
+      | Flag _ ->
+          ignore (help b_old);
+          None
+      | Unflag _ ->
+          if a == b then
+            (* Duplicate flag target (lines 112-114): allowed only when
+               both reads saw the same info value. *)
+            if a_old == b_old then
+              Some
+                (Flag
+                   {
+                     flag_nodes = [| a |];
+                     old_infos = [| a_old |];
+                     unflag_nodes = [| a |];
+                     pnodes = [| a |];
+                     old_children = [| old_child |];
+                     new_children = [| new_child |];
+                     rmv_leaf = None;
+                     flag_done = Atomic.make false;
+                     fwidth = width;
+                   })
+            else None
+          else
+            let flag_nodes, old_infos =
+              if Label.compare a.label b.label <= 0 then
+                ([| a; b |], [| a_old; b_old |])
+              else ([| b; a |], [| b_old; a_old |])
+            in
+            Some
+              (Flag
+                 {
+                   flag_nodes;
+                   old_infos;
+                   unflag_nodes = [| a |];
+                   pnodes = [| a |];
+                   old_children = [| old_child |];
+                   new_children = [| new_child |];
+                   rmv_leaf = None;
+                   flag_done = Atomic.make false;
+                   fwidth = width;
+                 }))
+
+(* newFlag (lines 107-116), generic form used by the replace cases that
+   flag three or four nodes.  Takes the nodes to flag paired with the
+   info values read from them; returns the shared [Flag] info value, or
+   [None] after helping a conflicting update (the caller then retries). *)
+and new_flag ~width ~flags ~unflag ~pnodes ~old_children ~new_children ~rmv_leaf =
+  match
+    List.find_opt (fun (_, i) -> match i with Flag _ -> true | _ -> false) flags
+  with
+  | Some (_, old) ->
+      (* Lines 109-111: someone else's update is pending on a node we
+         need; help it, then fail so our caller restarts from scratch. *)
+      ignore (help old);
+      None
+  | None -> (
+      (* Lines 112-114: duplicates in [flags] are fine iff they carry the
+         same old info value (the same node read twice); otherwise the
+         node changed between our two reads and we must retry. *)
+      let rec dedup acc = function
+        | [] -> Some (List.rev acc)
+        | (n, i) :: rest -> (
+            match List.find_opt (fun (n', _) -> n' == n) acc with
+            | Some (_, i') -> if i' == i then dedup acc rest else None
+            | None -> dedup ((n, i) :: acc) rest)
+      in
+      match dedup [] flags with
+      | None -> None
+      | Some flags ->
+          let flags =
+            (* Line 115: flag in a fixed total order to avoid livelock. *)
+            List.sort
+              (fun ((a : internal), _) (b, _) -> Label.compare a.label b.label)
+              flags
+          in
+          let dedup_nodes l =
+            List.fold_left
+              (fun acc n -> if List.exists (fun n' -> n' == n) acc then acc else n :: acc)
+              [] l
+            |> List.rev
+          in
+          let unflag = dedup_nodes unflag in
+          Some
+            (Flag
+               {
+                 flag_nodes = Array.of_list (List.map fst flags);
+                 old_infos = Array.of_list (List.map snd flags);
+                 unflag_nodes = Array.of_list unflag;
+                 pnodes = Array.of_list pnodes;
+                 old_children = Array.of_list old_children;
+                 new_children = Array.of_list new_children;
+                 rmv_leaf;
+                 flag_done = Atomic.make false;
+                 fwidth = width;
+               }))
+
+(* createNode (lines 117-121): a new internal node whose children are
+   [n1] and [n2], unless one label prefixes the other — in which case the
+   trie already (logically) contains a conflicting key and the caller
+   must retry, after helping the update recorded in [info] if any. *)
+and create_node ~width n1 n2 info =
+  let l1 = node_label ~width n1 and l2 = node_label ~width n2 in
+  if Label.is_prefix l1 l2 || Label.is_prefix l2 l1 then begin
+    (match info with Some (Flag _ as fi) -> ignore (help fi) | _ -> ());
+    None
+  end
+  else
+    let lcp = Label.lcp l1 l2 in
+    let d1 = Label.next_bit lcp l1 in
+    let c0, c1 = if d1 = 0 then (n1, n2) else (n2, n1) in
+    Some
+      {
+        label = lcp;
+        children = [| Atomic.make c0; Atomic.make c1 |];
+        iinfo = Atomic.make (fresh_unflag ());
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Node copying (lines 26 and 52).  The copy must be taken *after* the
+   node's info field was read: the flag CAS on that info value then
+   guarantees the children did not change in between (Lemma 31), so the
+   copy's children equal the original's at the child CAS. *)
+
+let copy_node = function
+  | Leaf l -> Leaf (new_leaf l.key)
+  | Internal i ->
+      Internal
+        {
+          label = i.label;
+          children =
+            [|
+              Atomic.make (Atomic.get i.children.(0));
+              Atomic.make (Atomic.get i.children.(1));
+            |];
+          iinfo = Atomic.make (fresh_unflag ());
+        }
+
+(* ------------------------------------------------------------------ *)
+(* find (lines 72-75) *)
+
+let member_internal t v =
+  let r = search t v in
+  key_in_trie r.node v r.rmvd
+
+let member t k = member_internal t (internal_key t k)
+
+(* ------------------------------------------------------------------ *)
+(* insert (lines 20-32) *)
+
+let sibling_index ~width (p : internal) v =
+  1 - Label.next_bit_of_key ~width p.label v
+
+let insert_internal t v =
+  let width = t.width in
+  let rec attempt () =
+    bump t (fun s -> s.attempts);
+    let r = search t v in
+    if key_in_trie r.node v r.rmvd then false
+    else begin
+      let node_info_v = Atomic.get (node_info r.node) in
+      let node_copy = copy_node r.node in
+      match create_node ~width node_copy (Leaf (new_leaf v)) (Some node_info_v) with
+      | None ->
+          bump t (fun s -> s.helps_given);
+          attempt ()
+      | Some new_node ->
+          let fi =
+            match r.node with
+            | Internal i ->
+                (* Line 30: replacing an internal node permanently flags
+                   it, since it leaves the trie. *)
+                new_flag2 ~width ~a:r.p ~a_old:r.p_info ~b:i ~b_old:node_info_v
+                  ~old_child:r.node ~new_child:(Internal new_node)
+            | Leaf _ ->
+                new_flag1 ~width ~node:r.p ~old:r.p_info ~old_child:r.node
+                  ~new_child:(Internal new_node)
+          in
+          (match fi with
+          | Some fi when help fi -> true
+          | Some _ ->
+              bump t (fun s -> s.flag_failures);
+              attempt ()
+          | None -> attempt ())
+    end
+  in
+  attempt ()
+
+let insert t k = insert_internal t (internal_key t k)
+
+(* ------------------------------------------------------------------ *)
+(* delete (lines 33-41) *)
+
+let delete_internal t v =
+  let width = t.width in
+  let rec attempt () =
+    bump t (fun s -> s.attempts);
+    let r = search t v in
+    if not (key_in_trie r.node v r.rmvd) then false
+    else begin
+      let node_sibling = Atomic.get r.p.children.(sibling_index ~width r.p v) in
+      match (r.gp, r.gp_info) with
+      | Some gp, Some gp_info -> (
+          (* Line 40: flag gp, mark p (p leaves the trie), and swing
+             gp's child from p to node's sibling. *)
+          match
+            new_flag2 ~width ~a:gp ~a_old:gp_info ~b:r.p ~b_old:r.p_info
+              ~old_child:r.p_node ~new_child:node_sibling
+          with
+          | Some fi when help fi -> true
+          | Some _ ->
+              bump t (fun s -> s.flag_failures);
+              attempt ()
+          | None -> attempt ())
+      | _ ->
+          (* gp = null can only be observed transiently: a real key's leaf
+             always has an internal proper ancestor besides the root
+             (the sentinel on its side shares that subtree).  Retry. *)
+          attempt ()
+    end
+  in
+  attempt ()
+
+let delete t k = delete_internal t (internal_key t k)
+
+(* ------------------------------------------------------------------ *)
+(* replace (lines 42-71) *)
+
+let replace_internal t vd vi =
+  let width = t.width in
+  let rec attempt () =
+    bump t (fun s -> s.attempts);
+    let rd = search t vd in
+    if not (key_in_trie rd.node vd rd.rmvd) then false
+    else begin
+      let ri = search t vi in
+      if key_in_trie ri.node vi ri.rmvd then false
+      else begin
+        let node_info_i = Atomic.get (node_info ri.node) in
+        let node_sibling_d =
+          Atomic.get rd.p.children.(sibling_index ~width rd.p vd)
+        in
+        let node_d = rd.node and node_i = ri.node in
+        let pd = rd.p and pi = ri.p in
+        let leaf_d = match node_d with Leaf l -> l | Internal _ -> assert false in
+        let same_node a b =
+          match (a, b) with
+          | Leaf x, Leaf y -> x == y
+          | Internal x, Internal y -> x == y
+          | _ -> false
+        in
+        let node_i_is ni (x : internal) =
+          match ni with Internal i -> i == x | Leaf _ -> false
+        in
+        let fi =
+          if
+            rd.gp <> None
+            && (not (same_node node_i node_d))
+            && (not (node_i_is node_i pd))
+            && (not (match rd.gp with Some gp -> node_i_is node_i gp | None -> false))
+            && not (pi == pd)
+          then begin
+            (* General case (lines 51-57): insert vi at pi, then delete
+               vd's leaf by swinging gp_d — two child CASes, linearized
+               at the first; noded is flagged as the logically-removed
+               leaf in between. *)
+            let gpd = Option.get rd.gp and gpd_info = Option.get rd.gp_info in
+            let copy_i = copy_node node_i in
+            match
+              create_node ~width copy_i (Leaf (new_leaf vi)) (Some node_info_i)
+            with
+            | None -> None
+            | Some new_node_i -> (
+                match node_i with
+                | Internal i ->
+                    new_flag ~width
+                      ~flags:
+                        [
+                          (gpd, gpd_info);
+                          (pd, rd.p_info);
+                          (pi, ri.p_info);
+                          (i, node_info_i);
+                        ]
+                      ~unflag:[ gpd; pi ]
+                      ~pnodes:[ pi; gpd ]
+                      ~old_children:[ node_i; rd.p_node ]
+                      ~new_children:[ Internal new_node_i; node_sibling_d ]
+                      ~rmv_leaf:(Some leaf_d)
+                | Leaf _ ->
+                    new_flag ~width
+                      ~flags:
+                        [ (gpd, gpd_info); (pd, rd.p_info); (pi, ri.p_info) ]
+                      ~unflag:[ gpd; pi ]
+                      ~pnodes:[ pi; gpd ]
+                      ~old_children:[ node_i; rd.p_node ]
+                      ~new_children:[ Internal new_node_i; node_sibling_d ]
+                      ~rmv_leaf:(Some leaf_d))
+          end
+          else if same_node node_i node_d then
+            (* Special case 1 (lines 58-59): both searches ended at vd's
+               leaf; replace it by a fresh leaf containing vi. *)
+            new_flag1 ~width ~node:pd ~old:rd.p_info ~old_child:node_i
+              ~new_child:(Leaf (new_leaf vi))
+          else if
+            (node_i_is node_i pd
+            && match rd.gp with Some gp -> pi == gp | None -> false)
+            || (rd.gp <> None && pi == pd)
+          then begin
+            (* Special cases 2 and 3 (lines 60-64): the insertion point
+               is pd itself (or shares it), and pd is removed by the
+               deletion; one CAS replaces pd by a new node built from
+               noded's sibling and the new leaf. *)
+            let gpd = Option.get rd.gp and gpd_info = Option.get rd.gp_info in
+            let sib_info = Atomic.get (node_info node_sibling_d) in
+            match
+              create_node ~width node_sibling_d (Leaf (new_leaf vi))
+                (Some sib_info)
+            with
+            | None -> None
+            | Some new_node_i ->
+                new_flag2 ~width ~a:gpd ~a_old:gpd_info ~b:pd ~b_old:rd.p_info
+                  ~old_child:rd.p_node ~new_child:(Internal new_node_i)
+          end
+          else if
+            match rd.gp with Some gp -> node_i_is node_i gp | None -> false
+          then begin
+            (* Special case 4 (lines 65-70): the insertion replaces gp_d,
+               which the deletion also restructures; one CAS replaces
+               gp_d by a new two-level node built from the two siblings
+               and the new leaf. *)
+            let gpd = Option.get rd.gp in
+            let p_sibling_d =
+              Atomic.get gpd.children.(sibling_index ~width gpd vd)
+            in
+            match create_node ~width node_sibling_d p_sibling_d None with
+            | None -> None
+            | Some new_child_i -> (
+                match
+                  create_node ~width (Internal new_child_i)
+                    (Leaf (new_leaf vi)) None
+                with
+                | None -> None
+                | Some new_node_i ->
+                    new_flag ~width
+                      ~flags:
+                        [ (pi, ri.p_info); (gpd, Option.get rd.gp_info); (pd, rd.p_info) ]
+                      ~unflag:[ pi ] ~pnodes:[ pi ] ~old_children:[ node_i ]
+                      ~new_children:[ Internal new_node_i ] ~rmv_leaf:None)
+          end
+          else None
+        in
+        match fi with
+        | Some fi when help fi -> true
+        | Some _ ->
+            bump t (fun s -> s.flag_failures);
+            attempt ()
+        | None -> attempt ()
+      end
+    end
+  in
+  attempt ()
+
+(* replace(v, v) is always false: the sequential specification requires
+   [remove] present *and* [add] absent, which a single key cannot satisfy. *)
+let replace t ~remove ~add =
+  let vd = internal_key t remove and vi = internal_key t add in
+  if vd = vi then false else replace_internal t vd vi
+
+(* ------------------------------------------------------------------ *)
+(* Quiescent traversals and invariant checking (test/debug interface) *)
+
+(* In-order traversal of the current leaves.  Like the Ctrie paper's
+   snapshot-free iterator this is weakly consistent: each leaf is
+   observed at the moment the traversal reaches it, so the view is a
+   union of states the trie passed through, exact in quiescence. *)
+let fold_leaves t ~init ~f =
+  let rec go acc = function
+    | Leaf l ->
+        if
+          l.key = 0
+          || l.key = max_sentinel t
+          || logically_removed (Atomic.get l.linfo)
+        then acc
+        else f acc l.key
+    | Internal i -> go (go acc (Atomic.get i.children.(0))) (Atomic.get i.children.(1))
+  in
+  go init (Internal t.root)
+
+let fold t ~init ~f = fold_leaves t ~init ~f:(fun acc k -> f acc (k - t.offset))
+let iter t ~f = fold t ~init:() ~f:(fun () k -> f k)
+
+(* Children are visited in label order, so leaves come out ascending. *)
+let to_list t = List.rev (fold t ~init:[] ~f:(fun acc k -> k :: acc))
+let size t = fold_leaves t ~init:0 ~f:(fun acc _ -> acc + 1)
+
+exception Found_key of int
+
+let min_elt t =
+  match fold t ~init:() ~f:(fun () k -> raise_notrace (Found_key k)) with
+  | () -> None
+  | exception Found_key k -> Some k
+
+let max_elt t =
+  (* Mirror traversal: rightmost real leaf first. *)
+  let rec go = function
+    | Leaf l ->
+        if
+          l.key <> 0
+          && l.key <> max_sentinel t
+          && not (logically_removed (Atomic.get l.linfo))
+        then raise_notrace (Found_key (l.key - t.offset))
+    | Internal i ->
+        go (Atomic.get i.children.(1));
+        go (Atomic.get i.children.(0))
+  in
+  match go (Internal t.root) with
+  | () -> None
+  | exception Found_key k -> Some k
+
+(* Range query: visit keys in [lo, hi] in ascending order, pruning every
+   subtree whose label interval is disjoint from the range — the
+   quadtree-style search the paper's GIS application relies on. *)
+let fold_range t ~lo ~hi ~init ~f =
+  (* Clamp to the valid user-key range: [0, bound) for embedded-universe
+     tries, [1, 2^w - 2] for raw-width tries (offset 0). *)
+  let lo = max lo (1 - t.offset) and hi = min hi (t.bound - 1) in
+  if lo > hi then init
+  else begin
+    let ilo = internal_key t lo and ihi = internal_key t hi in
+    let width = t.width in
+    let rec go acc node =
+      match node with
+      | Leaf l ->
+          if
+            l.key >= ilo && l.key <= ihi
+            && not (logically_removed (Atomic.get l.linfo))
+          then f acc (l.key - t.offset)
+          else acc
+      | Internal i ->
+          (* The subtree under a node labelled (bits, len) holds exactly
+             the keys in [bits << (width-len), (bits+1) << (width-len)). *)
+          let shift = width - Label.length i.label in
+          let node_lo = i.label.Label.bits lsl shift in
+          let node_hi = node_lo lor ((1 lsl shift) - 1) in
+          if node_hi < ilo || node_lo > ihi then acc
+          else go (go acc (Atomic.get i.children.(0))) (Atomic.get i.children.(1))
+    in
+    go init (Internal t.root)
+  end
+
+let stats_snapshot t =
+  match t.stats with
+  | None -> None
+  | Some s ->
+      Some
+        ( Atomic.get s.attempts,
+          Atomic.get s.helps_given,
+          Atomic.get s.flag_failures )
+
+(* Structural invariants of the Patricia trie (paper Invariant 7 and the
+   sentinel properties).  Only meaningful in quiescent states. *)
+let check_invariants t =
+  let width = t.width in
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let rec go (lab : Label.t) node =
+    match node with
+    | Leaf l ->
+        let kl = Label.of_key ~width l.key in
+        if not (Label.is_prefix lab kl) then
+          err "leaf %d not under its path label %a" l.key Label.pp lab
+    | Internal i ->
+        if not (Label.equal i.label lab) && not (Label.is_proper_prefix lab i.label)
+        then err "internal label %a does not extend path %a" Label.pp i.label Label.pp lab;
+        if Label.length i.label >= width then
+          err "internal label %a too long" Label.pp i.label;
+        let c0 = Atomic.get i.children.(0) and c1 = Atomic.get i.children.(1) in
+        let check_child dir c =
+          let expect = Label.extend i.label dir in
+          let cl = node_label ~width c in
+          if not (Label.is_prefix expect cl) then
+            err "child %d of %a has label %a (expected prefix %a)" dir Label.pp
+              i.label Label.pp cl Label.pp expect;
+          if Label.length cl <= Label.length i.label then
+            err "child of %a has shorter label %a" Label.pp i.label Label.pp cl
+        in
+        check_child 0 c0;
+        check_child 1 c1;
+        go (Label.extend i.label 0) c0;
+        go (Label.extend i.label 1) c1
+  in
+  go Label.empty (Internal t.root);
+  (* The two sentinels must always be logically in the trie (Lemma 62). *)
+  let rec find_leaf k = function
+    | Leaf l -> l.key = k
+    | Internal i ->
+        find_leaf k (Atomic.get i.children.(Label.next_bit_of_key ~width i.label k))
+  in
+  if not (find_leaf 0 (Internal t.root)) then err "missing sentinel 00...0";
+  if not (find_leaf (max_sentinel t) (Internal t.root)) then
+    err "missing sentinel 11...1";
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " es)
+
+(* ------------------------------------------------------------------ *)
+(* Test-only access to the coordination machinery, used to exercise the
+   helping paths deterministically (e.g. a process that "crashes" after
+   flagging, which others must complete — paper Section IV, part 4). *)
+
+module For_testing = struct
+  type descriptor = info
+
+  let help = help
+
+  (* Run one insert attempt up to and including descriptor creation, but
+     do not apply it.  Returns None if the attempt would have restarted. *)
+  let prepare_insert t k =
+    let v = internal_key t k in
+    let width = t.width in
+    let r = search t v in
+    if key_in_trie r.node v r.rmvd then None
+    else
+      let node_info_v = Atomic.get (node_info r.node) in
+      let node_copy = copy_node r.node in
+      match
+        create_node ~width:t.width node_copy (Leaf (new_leaf v)) (Some node_info_v)
+      with
+      | None -> None
+      | Some new_node -> (
+          match r.node with
+          | Internal i ->
+              new_flag ~width
+                ~flags:[ (r.p, r.p_info); (i, node_info_v) ]
+                ~unflag:[ r.p ] ~pnodes:[ r.p ] ~old_children:[ r.node ]
+                ~new_children:[ Internal new_node ] ~rmv_leaf:None
+          | Leaf _ ->
+              new_flag ~width
+                ~flags:[ (r.p, r.p_info) ]
+                ~unflag:[ r.p ] ~pnodes:[ r.p ] ~old_children:[ r.node ]
+                ~new_children:[ Internal new_node ] ~rmv_leaf:None)
+
+  (* Run one delete attempt up to descriptor creation without applying
+     it.  Returns None if the key is absent or the attempt would have
+     restarted. *)
+  let prepare_delete t k =
+    let v = internal_key t k in
+    let width = t.width in
+    let r = search t v in
+    if not (key_in_trie r.node v r.rmvd) then None
+    else
+      let node_sibling = Atomic.get r.p.children.(sibling_index ~width r.p v) in
+      match (r.gp, r.gp_info) with
+      | Some gp, Some gp_info ->
+          new_flag2 ~width ~a:gp ~a_old:gp_info ~b:r.p ~b_old:r.p_info
+            ~old_child:r.p_node ~new_child:node_sibling
+      | _ -> None
+
+  (* Perform only the flagging phase of a descriptor, simulating a
+     process that dies between flagging and the child CAS. *)
+  let flag_only fi =
+    match fi with
+    | Flag f -> flag_phase fi f
+    | Unflag _ -> invalid_arg "flag_only: not a Flag descriptor"
+
+  let set_help_hook h = help_counter_hook := h
+
+  (* Count of nodes currently flagged along the search path of [k]. *)
+  let flags_on_path t k =
+    let v = internal_key t k in
+    let width = t.width in
+    let rec go acc (node : node) =
+      match node with
+      | Leaf l -> (
+          acc + match Atomic.get l.linfo with Flag _ -> 1 | Unflag _ -> 0)
+      | Internal i ->
+          let acc =
+            acc + match Atomic.get i.iinfo with Flag _ -> 1 | Unflag _ -> 0
+          in
+          if Label.is_prefix_of_key ~width i.label v then
+            go acc (Atomic.get i.children.(Label.next_bit_of_key ~width i.label v))
+          else acc
+    in
+    go 0 (Internal t.root)
+end
+
+let name = "PAT"

@@ -1,0 +1,128 @@
+(** Non-blocking Patricia trie with an atomic replace operation.
+
+    OCaml implementation of N. Shafiei, {e Non-blocking Patricia Tries with
+    Replace Operations}, ICDCS 2013 (arXiv:1303.3626).
+
+    The trie stores a linearizable set of integer keys.  {!insert},
+    {!delete} and {!replace} are lock-free; {!find}/{!member} is wait-free
+    and never writes to shared memory.  {!replace} removes one key and
+    inserts another {e atomically}: both changes become visible at a single
+    linearization point, the first successful child CAS.  Updates operating
+    on disjoint parts of the trie run completely concurrently.
+
+    All operations may be called from any number of domains. *)
+
+type t
+(** A concurrent Patricia trie. *)
+
+val name : string
+(** ["PAT"], the label used in the paper's charts. *)
+
+val create : universe:int -> ?record_stats:bool -> unit -> t
+(** [create ~universe ()] is an empty trie accepting keys in
+    [\[0, universe)].  Internally keys are embedded into [l]-bit strings
+    with [l = ceil(log2 (universe + 2))]; the all-zeros and all-ones
+    strings are reserved for the two permanent sentinel leaves (paper
+    Section III-A).  [record_stats] enables the retry/help counters
+    reported by {!stats_snapshot} (small constant overhead).
+
+    @raise Invalid_argument if [universe < 1]. *)
+
+val create_width : width:int -> ?record_stats:bool -> unit -> t
+(** [create_width ~width ()] is a trie over raw [width]-bit keys; valid
+    keys are [1 .. 2^width - 2] (the extremes are the sentinels).  Use
+    this when the bit structure of keys matters, e.g. for Morton-encoded
+    points or the Section-VI string encoding.
+
+    @raise Invalid_argument unless [2 <= width <= 62]. *)
+
+val insert : t -> int -> bool
+(** [insert t v] adds [v] and returns [true], or returns [false] if [v]
+    was already present.  Lock-free. *)
+
+val delete : t -> int -> bool
+(** [delete t v] removes [v] and returns [true], or returns [false] if
+    [v] was absent.  Lock-free. *)
+
+val replace : t -> remove:int -> add:int -> bool
+(** [replace t ~remove ~add] atomically removes [remove] and inserts
+    [add].  Returns [true] iff [remove] was present and [add] absent at
+    the linearization point; otherwise the trie is unchanged and the
+    result is [false].  [replace t ~remove:v ~add:v] is always [false].
+    Lock-free; performs at most two child CASes (one in the special
+    cases of Figure 6). *)
+
+val member : t -> int -> bool
+(** [member t v] is [true] iff [v] is in the set.  Wait-free: it reads at
+    most [l] child pointers and never writes. *)
+
+val to_list : t -> int list
+(** Ascending list of the keys currently stored.  Accurate in quiescent
+    states; during concurrent updates it is a consistent-enough audit
+    view used by tests. *)
+
+val size : t -> int
+(** Number of keys stored (quiescent accuracy, like {!to_list}). *)
+
+val fold : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** In-order (ascending-key) fold over the stored keys.  Like the Ctrie
+    paper's snapshot-free iterator this traversal is weakly consistent
+    under concurrency: every key it reports was present at the moment it
+    was visited; it is exact in quiescent states. *)
+
+val iter : t -> f:(int -> unit) -> unit
+
+val min_elt : t -> int option
+(** Smallest stored key, or [None] if empty.  Weakly consistent. *)
+
+val max_elt : t -> int option
+(** Largest stored key, or [None] if empty.  Weakly consistent. *)
+
+val fold_range : t -> lo:int -> hi:int -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** Ascending fold over the stored keys within [\[lo, hi\]] (clamped to
+    the universe), pruning every subtree whose label interval misses the
+    range — the quadtree-style search behind the paper's GIS use case.
+    Weakly consistent like {!fold}. *)
+
+val check_invariants : t -> (unit, string) result
+(** Validate the structural invariants: Invariant 7 (a node's child label
+    extends the node's label plus the branch bit), every internal node
+    has two children, and both sentinels are reachable.  Quiescent use. *)
+
+val stats_snapshot : t -> (int * int * int) option
+(** [(attempts, helps_given, flag_failures)] if the trie was created with
+    [~record_stats:true]. *)
+
+(** Test-only access to the coordination machinery.  These entry points
+    let the test-suite create an update descriptor, apply only its
+    flagging phase (simulating a process that stops mid-update), and have
+    other operations or an explicit {!For_testing.help} complete it —
+    exercising the non-blocking property of Section IV part 4. *)
+module For_testing : sig
+  type descriptor
+
+  val prepare_insert : t -> int -> descriptor option
+  (** Run one insert attempt up to descriptor creation without applying
+      it.  [None] if the attempt would have restarted (conflict) or the
+      key is already present. *)
+
+  val prepare_delete : t -> int -> descriptor option
+  (** Like {!prepare_insert} for a deletion: the descriptor flags the
+      grandparent and parent of the key's leaf but is not applied. *)
+
+  val flag_only : descriptor -> bool
+  (** Perform only the flag CASes of the descriptor; returns the paper's
+      [doChildCAS].  The caller then "crashes", leaving flags behind. *)
+
+  val help : descriptor -> bool
+  (** Complete (or back out) the update described by the descriptor,
+      exactly as any helping process would. *)
+
+  val set_help_hook : (unit -> unit) option -> unit
+  (** Install a callback invoked at every entry to the internal help
+      routine; used by tests to count helping. *)
+
+  val flags_on_path : t -> int -> int
+  (** Number of flagged nodes on the search path of a key — 0 in any
+      quiescent state where no update died holding flags. *)
+end

@@ -1,0 +1,165 @@
+(* Sequential Patricia trie over the same key representation as the
+   concurrent implementation.  It serves two purposes:
+
+   - a trusted reference model for the concurrent trie's tests (identical
+     sequential specification: set of keys with insert/delete/replace/find);
+   - the single-threaded baseline the paper's introduction alludes to when
+     arguing the concurrent trie is "as simple as an unbalanced search tree".
+
+   The structure mirrors the paper's Figure 1: internal nodes store the
+   longest common prefix of their two children; elements live in leaves;
+   two permanent sentinel leaves 00...0 and 11...1 hang under the root. *)
+
+module Label = Bitkey.Label
+
+type node = Leaf of int | Internal of { label : Label.t; mutable children : node array }
+
+type t = {
+  width : int;
+  root : node array ref;
+  offset : int;
+  bound : int; (* exclusive upper bound on user keys *)
+  mutable cardinal : int;
+}
+(* The root internal node is represented by its child array only: its label
+   is always ε and it is never replaced, exactly as in the paper. *)
+
+let create_width ~width () =
+  if width < 2 || width > Bitkey.max_width then
+    invalid_arg "Patricia_seq.create_width: width must be in [2, 62]";
+  {
+    width;
+    root = ref [| Leaf 0; Leaf ((1 lsl width) - 1) |];
+    offset = 0;
+    bound = (1 lsl width) - 1;
+    cardinal = 0;
+  }
+
+let create ~universe () =
+  if universe < 1 then invalid_arg "Patricia_seq.create: universe must be >= 1";
+  let width = max 2 (Bitkey.bit_length (universe + 1)) in
+  { (create_width ~width ()) with offset = 1; bound = universe }
+
+let max_sentinel t = (1 lsl t.width) - 1
+
+let internal_key t k =
+  let k' = k + t.offset in
+  if k < 0 || k >= t.bound || k' < 1 || k' >= max_sentinel t then
+    invalid_arg "Patricia_seq: key out of the universe"
+  else k'
+
+let node_label ~width = function
+  | Leaf k -> Label.of_key ~width k
+  | Internal { label; _ } -> label
+
+(* Descend to where key [v] lives (or would live), returning the child
+   array holding the final node, the index within it, and the node. *)
+let locate t v =
+  let width = t.width in
+  let rec go arr idx =
+    match arr.(idx) with
+    | Internal ({ label; children } as _i) when Label.is_prefix_of_key ~width label v ->
+        go children (Label.next_bit_of_key ~width label v)
+    | _ -> (arr, idx)
+  in
+  let arr = !(t.root) in
+  go arr (Label.next_bit_of_key ~width Label.empty v)
+
+let member_internal t v =
+  let arr, idx = locate t v in
+  match arr.(idx) with Leaf k -> k = v | Internal _ -> false
+
+let member t k = member_internal t (internal_key t k)
+
+let join ~width n1 n2 =
+  let l1 = node_label ~width n1 and l2 = node_label ~width n2 in
+  let lcp = Label.lcp l1 l2 in
+  let d1 = Label.next_bit lcp l1 in
+  let children = if d1 = 0 then [| n1; n2 |] else [| n2; n1 |] in
+  Internal { label = lcp; children }
+
+let insert_internal t v =
+  let arr, idx = locate t v in
+  match arr.(idx) with
+  | Leaf k when k = v -> false
+  | node ->
+      arr.(idx) <- join ~width:t.width node (Leaf v);
+      t.cardinal <- t.cardinal + 1;
+      true
+
+let insert t k = insert_internal t (internal_key t k)
+
+(* Delete: replace the leaf's parent by the leaf's sibling.  We re-descend
+   tracking the grandparent slot, as the paper's delete does. *)
+let delete_internal t v =
+  let width = t.width in
+  let rec go (gp_arr : node array) gp_idx =
+    match gp_arr.(gp_idx) with
+    | Leaf _ -> false
+    | Internal { label; children } when Label.is_prefix_of_key ~width label v -> (
+        let dir = Label.next_bit_of_key ~width label v in
+        match children.(dir) with
+        | Leaf k when k = v ->
+            gp_arr.(gp_idx) <- children.(1 - dir);
+            t.cardinal <- t.cardinal - 1;
+            true
+        | Leaf _ -> false
+        | Internal _ -> go children dir)
+    | Internal _ -> false
+  in
+  let arr = !(t.root) in
+  go arr (Label.next_bit_of_key ~width Label.empty v)
+
+let delete t k = delete_internal t (internal_key t k)
+
+let replace t ~remove ~add =
+  let vd = internal_key t remove and vi = internal_key t add in
+  if vd = vi then false
+  else if member_internal t vd && not (member_internal t vi) then begin
+    ignore (delete_internal t vd);
+    ignore (insert_internal t vi);
+    true
+  end
+  else false
+
+let fold_leaves t ~init ~f =
+  let rec go acc = function
+    | Leaf k -> if k = 0 || k = max_sentinel t then acc else f acc k
+    | Internal { children; _ } -> go (go acc children.(0)) children.(1)
+  in
+  let arr = !(t.root) in
+  go (go init arr.(0)) arr.(1)
+
+let to_list t =
+  fold_leaves t ~init:[] ~f:(fun acc k -> (k - t.offset) :: acc)
+  |> List.sort Int.compare
+
+let size t = t.cardinal
+
+let check_invariants t =
+  let width = t.width in
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let rec go (path : Label.t) node =
+    match node with
+    | Leaf k ->
+        if not (Label.is_prefix path (Label.of_key ~width k)) then
+          err "leaf %d not under path %a" k Label.pp path
+    | Internal { label; children } ->
+        if not (Label.is_prefix path label) then
+          err "internal %a not under path %a" Label.pp label Label.pp path;
+        if Array.length children <> 2 then err "internal node without 2 children";
+        Array.iteri
+          (fun dir c ->
+            let expect = Label.extend label dir in
+            if not (Label.is_prefix expect (node_label ~width c)) then
+              err "child %d of %a mislabelled" dir Label.pp label;
+            go expect c)
+          children
+  in
+  let arr = !(t.root) in
+  go (Label.extend Label.empty 0) arr.(0);
+  go (Label.extend Label.empty 1) arr.(1);
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " es)
+
+let name = "SEQ-PAT"

@@ -1,0 +1,471 @@
+(* Non-blocking Patricia trie over variable-length keys — the extension
+   described in the paper's conclusion (Section VI).
+
+   Same algorithm as {!Patricia} (flag descriptors, helping, one help
+   routine for all updates, atomic replace), but keys and labels are
+   {!Bitkey.Bitstr} bit strings of unbounded length instead of l-bit
+   machine integers.  Keys are stored under the 0->01 / 1->10 / $->11
+   encoding, which makes distinct keys mutually prefix-free and bounds
+   them strictly between the sentinel leaves 00 and 111.
+
+   As the paper notes, with unbounded keys searches remain non-blocking
+   (they terminate: the trie's height at any moment is bounded by the
+   longest key currently stored) but are no longer wait-free, since
+   concurrent insertions of ever-longer keys can extend a search path. *)
+
+module B = Bitkey.Bitstr
+
+type info = Unflag of unit ref | Flag of flag
+
+and node = Leaf of leaf | Internal of internal
+
+and leaf = { key : B.t; linfo : info Atomic.t }
+
+and internal = {
+  label : B.t;
+  children : node Atomic.t array;
+  iinfo : info Atomic.t;
+}
+
+and flag = {
+  flag_nodes : internal array;
+  old_infos : info array;
+  unflag_nodes : internal array;
+  pnodes : internal array;
+  old_children : node array;
+  new_children : node array;
+  rmv_leaf : leaf option;
+  flag_done : bool Atomic.t;
+}
+
+type t = { root : internal }
+
+let fresh_unflag () = Unflag (ref ())
+let new_leaf key = { key; linfo = Atomic.make (fresh_unflag ()) }
+
+let node_info = function Leaf l -> l.linfo | Internal i -> i.iinfo
+let node_label = function Leaf l -> l.key | Internal i -> i.label
+
+let name = "PAT-VLK"
+
+let create () =
+  {
+    root =
+      {
+        label = B.empty;
+        children =
+          [|
+            Atomic.make (Leaf (new_leaf B.sentinel_lo));
+            Atomic.make (Leaf (new_leaf B.sentinel_hi));
+          |];
+        iinfo = Atomic.make (fresh_unflag ());
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Search *)
+
+let logically_removed = function
+  | Unflag _ -> false
+  | Flag f ->
+      let p = f.pnodes.(0) and old = f.old_children.(0) in
+      not
+        (Atomic.get p.children.(0) == old || Atomic.get p.children.(1) == old)
+
+type search_result = {
+  gp : internal option;
+  p : internal;
+  p_node : node;
+  node : node;
+  gp_info : info option;
+  p_info : info;
+  rmvd : bool;
+}
+
+let search t v =
+  let rec go gp gp_info (p : internal) p_boxed p_info =
+    let node = Atomic.get p.children.(B.next_bit p.label v) in
+    match node with
+    | Internal i when B.is_proper_prefix i.label v ->
+        go (Some p) (Some p_info) i node (Atomic.get i.iinfo)
+    | _ ->
+        let rmvd =
+          match node with
+          | Leaf l -> logically_removed (Atomic.get l.linfo)
+          | Internal _ -> false
+        in
+        { gp; p; p_node = p_boxed; node; gp_info; p_info; rmvd }
+  in
+  go None None t.root (Internal t.root) (Atomic.get t.root.iinfo)
+
+let key_in_trie node v rmvd =
+  match node with Leaf l -> B.equal l.key v && not rmvd | Internal _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* help / newFlag / createNode — identical in structure to Patricia *)
+
+let flag_phase fi f =
+  let n = Array.length f.flag_nodes in
+  let rec loop i =
+    if i >= n then true
+    else begin
+      let x = f.flag_nodes.(i) in
+      ignore (Atomic.compare_and_set x.iinfo f.old_infos.(i) fi);
+      if Atomic.get x.iinfo == fi then loop (i + 1) else false
+    end
+  in
+  loop 0
+
+let child_cas_phase f =
+  Array.iteri
+    (fun i p ->
+      let nc = f.new_children.(i) in
+      let k = B.next_bit p.label (node_label nc) in
+      ignore (Atomic.compare_and_set p.children.(k) f.old_children.(i) nc))
+    f.pnodes
+
+let rec help (fi : info) : bool =
+  let f = match fi with Flag f -> f | Unflag _ -> assert false in
+  let do_child_cas = flag_phase fi f in
+  if do_child_cas then begin
+    Atomic.set f.flag_done true;
+    (match f.rmv_leaf with Some l -> Atomic.set l.linfo fi | None -> ());
+    child_cas_phase f
+  end;
+  if Atomic.get f.flag_done then begin
+    for i = Array.length f.unflag_nodes - 1 downto 0 do
+      ignore
+        (Atomic.compare_and_set f.unflag_nodes.(i).iinfo fi (fresh_unflag ()))
+    done;
+    true
+  end
+  else begin
+    for i = Array.length f.flag_nodes - 1 downto 0 do
+      ignore
+        (Atomic.compare_and_set f.flag_nodes.(i).iinfo fi (fresh_unflag ()))
+    done;
+    false
+  end
+
+and new_flag ~flags ~unflag ~pnodes ~old_children ~new_children ~rmv_leaf =
+  match
+    List.find_opt (fun (_, i) -> match i with Flag _ -> true | _ -> false) flags
+  with
+  | Some (_, old) ->
+      ignore (help old);
+      None
+  | None -> (
+      let rec dedup acc = function
+        | [] -> Some (List.rev acc)
+        | (n, i) :: rest -> (
+            match List.find_opt (fun (n', _) -> n' == n) acc with
+            | Some (_, i') -> if i' == i then dedup acc rest else None
+            | None -> dedup ((n, i) :: acc) rest)
+      in
+      match dedup [] flags with
+      | None -> None
+      | Some flags ->
+          let flags =
+            List.sort
+              (fun ((a : internal), _) (b, _) -> B.compare a.label b.label)
+              flags
+          in
+          let dedup_nodes l =
+            List.fold_left
+              (fun acc n ->
+                if List.exists (fun n' -> n' == n) acc then acc else n :: acc)
+              [] l
+            |> List.rev
+          in
+          Some
+            (Flag
+               {
+                 flag_nodes = Array.of_list (List.map fst flags);
+                 old_infos = Array.of_list (List.map snd flags);
+                 unflag_nodes = Array.of_list (dedup_nodes unflag);
+                 pnodes = Array.of_list pnodes;
+                 old_children = Array.of_list old_children;
+                 new_children = Array.of_list new_children;
+                 rmv_leaf;
+                 flag_done = Atomic.make false;
+               }))
+
+and create_node n1 n2 info =
+  let l1 = node_label n1 and l2 = node_label n2 in
+  if B.is_prefix l1 l2 || B.is_prefix l2 l1 then begin
+    (match info with Some (Flag _ as fi) -> ignore (help fi) | _ -> ());
+    None
+  end
+  else
+    let lcp = B.lcp l1 l2 in
+    let d1 = B.next_bit lcp l1 in
+    let c0, c1 = if d1 = 0 then (n1, n2) else (n2, n1) in
+    Some
+      {
+        label = lcp;
+        children = [| Atomic.make c0; Atomic.make c1 |];
+        iinfo = Atomic.make (fresh_unflag ());
+      }
+
+let copy_node = function
+  | Leaf l -> Leaf (new_leaf l.key)
+  | Internal i ->
+      Internal
+        {
+          label = i.label;
+          children =
+            [|
+              Atomic.make (Atomic.get i.children.(0));
+              Atomic.make (Atomic.get i.children.(1));
+            |];
+          iinfo = Atomic.make (fresh_unflag ());
+        }
+
+(* ------------------------------------------------------------------ *)
+(* Operations over raw encoded keys *)
+
+let check_key v =
+  if
+    B.is_prefix v B.sentinel_lo
+    || B.is_prefix B.sentinel_lo v
+    || B.is_prefix v B.sentinel_hi
+    || B.is_prefix B.sentinel_hi v
+  then invalid_arg "Patricia_vlk: key collides with a sentinel"
+
+let member_key t v =
+  check_key v;
+  let r = search t v in
+  key_in_trie r.node v r.rmvd
+
+let sibling_index (p : internal) v = 1 - B.next_bit p.label v
+
+let insert_key t v =
+  check_key v;
+  let rec attempt () =
+    let r = search t v in
+    if key_in_trie r.node v r.rmvd then false
+    else begin
+      let node_info_v = Atomic.get (node_info r.node) in
+      let node_copy = copy_node r.node in
+      match create_node node_copy (Leaf (new_leaf v)) (Some node_info_v) with
+      | None -> attempt ()
+      | Some new_node ->
+          let fi =
+            match r.node with
+            | Internal i ->
+                new_flag
+                  ~flags:[ (r.p, r.p_info); (i, node_info_v) ]
+                  ~unflag:[ r.p ] ~pnodes:[ r.p ] ~old_children:[ r.node ]
+                  ~new_children:[ Internal new_node ] ~rmv_leaf:None
+            | Leaf _ ->
+                new_flag
+                  ~flags:[ (r.p, r.p_info) ]
+                  ~unflag:[ r.p ] ~pnodes:[ r.p ] ~old_children:[ r.node ]
+                  ~new_children:[ Internal new_node ] ~rmv_leaf:None
+          in
+          (match fi with
+          | Some fi when help fi -> true
+          | Some _ | None -> attempt ())
+    end
+  in
+  attempt ()
+
+let delete_key t v =
+  check_key v;
+  let rec attempt () =
+    let r = search t v in
+    if not (key_in_trie r.node v r.rmvd) then false
+    else begin
+      let node_sibling = Atomic.get r.p.children.(sibling_index r.p v) in
+      match (r.gp, r.gp_info) with
+      | Some gp, Some gp_info -> (
+          match
+            new_flag
+              ~flags:[ (gp, gp_info); (r.p, r.p_info) ]
+              ~unflag:[ gp ] ~pnodes:[ gp ] ~old_children:[ r.p_node ]
+              ~new_children:[ node_sibling ] ~rmv_leaf:None
+          with
+          | Some fi when help fi -> true
+          | Some _ | None -> attempt ())
+      | _ -> attempt ()
+    end
+  in
+  attempt ()
+
+let replace_key t vd vi =
+  check_key vd;
+  check_key vi;
+  if B.equal vd vi then false
+  else
+    let rec attempt () =
+      let rd = search t vd in
+      if not (key_in_trie rd.node vd rd.rmvd) then false
+      else begin
+        let ri = search t vi in
+        if key_in_trie ri.node vi ri.rmvd then false
+        else begin
+          let node_info_i = Atomic.get (node_info ri.node) in
+          let node_sibling_d = Atomic.get rd.p.children.(sibling_index rd.p vd) in
+          let node_d = rd.node and node_i = ri.node in
+          let pd = rd.p and pi = ri.p in
+          let leaf_d =
+            match node_d with Leaf l -> l | Internal _ -> assert false
+          in
+          let same_node a b =
+            match (a, b) with
+            | Leaf x, Leaf y -> x == y
+            | Internal x, Internal y -> x == y
+            | _ -> false
+          in
+          let node_i_is ni (x : internal) =
+            match ni with Internal i -> i == x | Leaf _ -> false
+          in
+          let fi =
+            if
+              rd.gp <> None
+              && (not (same_node node_i node_d))
+              && (not (node_i_is node_i pd))
+              && (not
+                    (match rd.gp with
+                    | Some gp -> node_i_is node_i gp
+                    | None -> false))
+              && not (pi == pd)
+            then begin
+              let gpd = Option.get rd.gp and gpd_info = Option.get rd.gp_info in
+              let copy_i = copy_node node_i in
+              match
+                create_node copy_i (Leaf (new_leaf vi)) (Some node_info_i)
+              with
+              | None -> None
+              | Some new_node_i -> (
+                  match node_i with
+                  | Internal i ->
+                      new_flag
+                        ~flags:
+                          [
+                            (gpd, gpd_info);
+                            (pd, rd.p_info);
+                            (pi, ri.p_info);
+                            (i, node_info_i);
+                          ]
+                        ~unflag:[ gpd; pi ]
+                        ~pnodes:[ pi; gpd ]
+                        ~old_children:[ node_i; rd.p_node ]
+                        ~new_children:[ Internal new_node_i; node_sibling_d ]
+                        ~rmv_leaf:(Some leaf_d)
+                  | Leaf _ ->
+                      new_flag
+                        ~flags:
+                          [ (gpd, gpd_info); (pd, rd.p_info); (pi, ri.p_info) ]
+                        ~unflag:[ gpd; pi ]
+                        ~pnodes:[ pi; gpd ]
+                        ~old_children:[ node_i; rd.p_node ]
+                        ~new_children:[ Internal new_node_i; node_sibling_d ]
+                        ~rmv_leaf:(Some leaf_d))
+            end
+            else if same_node node_i node_d then
+              new_flag
+                ~flags:[ (pd, rd.p_info) ]
+                ~unflag:[ pd ] ~pnodes:[ pd ] ~old_children:[ node_i ]
+                ~new_children:[ Leaf (new_leaf vi) ] ~rmv_leaf:None
+            else if
+              (node_i_is node_i pd
+              && match rd.gp with Some gp -> pi == gp | None -> false)
+              || (rd.gp <> None && pi == pd)
+            then begin
+              let gpd = Option.get rd.gp and gpd_info = Option.get rd.gp_info in
+              let sib_info = Atomic.get (node_info node_sibling_d) in
+              match
+                create_node node_sibling_d (Leaf (new_leaf vi)) (Some sib_info)
+              with
+              | None -> None
+              | Some new_node_i ->
+                  new_flag
+                    ~flags:[ (gpd, gpd_info); (pd, rd.p_info) ]
+                    ~unflag:[ gpd ] ~pnodes:[ gpd ] ~old_children:[ rd.p_node ]
+                    ~new_children:[ Internal new_node_i ] ~rmv_leaf:None
+            end
+            else if
+              match rd.gp with Some gp -> node_i_is node_i gp | None -> false
+            then begin
+              let gpd = Option.get rd.gp in
+              let p_sibling_d = Atomic.get gpd.children.(sibling_index gpd vd) in
+              match create_node node_sibling_d p_sibling_d None with
+              | None -> None
+              | Some new_child_i -> (
+                  match
+                    create_node (Internal new_child_i) (Leaf (new_leaf vi)) None
+                  with
+                  | None -> None
+                  | Some new_node_i ->
+                      new_flag
+                        ~flags:
+                          [
+                            (pi, ri.p_info);
+                            (gpd, Option.get rd.gp_info);
+                            (pd, rd.p_info);
+                          ]
+                        ~unflag:[ pi ] ~pnodes:[ pi ] ~old_children:[ node_i ]
+                        ~new_children:[ Internal new_node_i ] ~rmv_leaf:None)
+            end
+            else None
+          in
+          match fi with
+          | Some fi when help fi -> true
+          | Some _ | None -> attempt ()
+        end
+      end
+    in
+    attempt ()
+
+(* ------------------------------------------------------------------ *)
+(* Byte-string front end (one byte = 8 binary digits) *)
+
+let insert t s = insert_key t (B.encode_bytes s)
+let delete t s = delete_key t (B.encode_bytes s)
+let member t s = member_key t (B.encode_bytes s)
+let replace t ~remove ~add = replace_key t (B.encode_bytes remove) (B.encode_bytes add)
+
+let fold_leaves t ~init ~f =
+  let rec go acc = function
+    | Leaf l ->
+        if
+          B.equal l.key B.sentinel_lo
+          || B.equal l.key B.sentinel_hi
+          || logically_removed (Atomic.get l.linfo)
+        then acc
+        else f acc l.key
+    | Internal i ->
+        go (go acc (Atomic.get i.children.(0))) (Atomic.get i.children.(1))
+  in
+  go init (Internal t.root)
+
+let to_list t =
+  List.rev (fold_leaves t ~init:[] ~f:(fun acc k -> B.decode_bytes k :: acc))
+
+let size t = fold_leaves t ~init:0 ~f:(fun acc _ -> acc + 1)
+
+let check_invariants t =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let rec go (path : B.t) node =
+    match node with
+    | Leaf l ->
+        if not (B.is_prefix path l.key) then
+          err "leaf %a not under path %a" B.pp l.key B.pp path
+    | Internal i ->
+        if not (B.is_prefix path i.label) then
+          err "internal %a not under path %a" B.pp i.label B.pp path;
+        let c0 = Atomic.get i.children.(0) and c1 = Atomic.get i.children.(1) in
+        let check dir c =
+          let expect = B.extend i.label dir in
+          if not (B.is_prefix expect (node_label c)) then
+            err "child %d of %a mislabelled" dir B.pp i.label
+        in
+        check 0 c0;
+        check 1 c1;
+        go (B.extend i.label 0) c0;
+        go (B.extend i.label 1) c1
+  in
+  go B.empty (Internal t.root);
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " es)

@@ -1,0 +1,47 @@
+(** Non-blocking Patricia trie over variable-length keys — the
+    Section-VI extension of the paper: node labels are arbitrary-length
+    bit strings rather than l-bit words, so the trie stores unbounded
+    strings.
+
+    Keys are held under the [0 -> 01, 1 -> 10, $ -> 11] encoding, which
+    makes distinct keys mutually prefix-free and strictly between the
+    sentinel leaves [00] and [111].  The byte-string API below performs
+    the encoding; the [_key] API takes pre-encoded {!Bitkey.Bitstr.t}
+    values (useful to store raw binary strings).
+
+    Updates are lock-free exactly as in {!Patricia}; searches terminate
+    and are non-blocking but — as the paper points out — no longer
+    wait-free, because the height is bounded only by the longest key
+    currently stored. *)
+
+type t
+
+val name : string
+(** ["PAT-VLK"]. *)
+
+val create : unit -> t
+
+(** {1 Byte-string API} (keys are arbitrary {e non-empty} strings) *)
+
+val insert : t -> string -> bool
+val delete : t -> string -> bool
+val member : t -> string -> bool
+
+val replace : t -> remove:string -> add:string -> bool
+(** Atomic replace, exactly as in the fixed-width trie. *)
+
+val to_list : t -> string list
+(** Stored strings in encoded-key order (quiescent accuracy).  Only
+    valid when every key was inserted through the byte-string API; keys
+    inserted through the raw API with a different encoding make the
+    decode raise. *)
+
+val size : t -> int
+val check_invariants : t -> (unit, string) result
+
+(** {1 Raw encoded-key API} *)
+
+val insert_key : t -> Bitkey.Bitstr.t -> bool
+val delete_key : t -> Bitkey.Bitstr.t -> bool
+val member_key : t -> Bitkey.Bitstr.t -> bool
+val replace_key : t -> Bitkey.Bitstr.t -> Bitkey.Bitstr.t -> bool

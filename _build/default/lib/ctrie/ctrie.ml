@@ -1,0 +1,261 @@
+(* Concurrent hash trie (Ctrie) of
+
+     A. Prokopec, N. Bronson, P. Bagwell, M. Odersky,
+     "Concurrent tries with efficient non-blocking snapshots", PPoPP 2012,
+
+   the "Ctrie" baseline of the Patricia-trie paper's evaluation.
+
+   Structure: indirection nodes (INodes) point to main nodes; a main node
+   is either a CNode — a bitmap-compressed array of up to 32 branches,
+   each an INode or a singleton key (SNode) — or a TNode (tombed
+   singleton) awaiting compression.  Keys are spread by a bijective
+   62-bit hash, so two distinct keys never share all hash bits and no
+   collision lists (LNodes) are needed.
+
+   The paper's evaluation never uses snapshots, so this is the
+   snapshot-free variant: plain CAS on INode.main instead of GCAS, which
+   is exactly the PPoPP paper's algorithm with the snapshot machinery
+   stripped.  Note the paper's remark that Ctrie searches may perform CAS
+   steps: a lookup that encounters a TNode helps compress before retrying
+   — ours does too. *)
+
+let w = 5 (* branching 2^w = 32, as in the paper's evaluation *)
+
+type t = { root : inode; universe : int }
+
+and inode = { main : main Atomic.t }
+
+and main = C of cnode | T of int (* tombed singleton *)
+
+and cnode = { bmp : int; arr : branch array }
+
+and branch = B_inode of inode | B_snode of int
+
+let name = "Ctrie"
+
+(* Bijective mixing hash on 62-bit ints (odd multiplier and xor-shift are
+   both invertible), so distinct keys always eventually diverge. *)
+let hash k =
+  let h = k * 0x2545F4914F6CDD1 land max_int in
+  h lxor (h lsr 31)
+
+let empty_cnode = C { bmp = 0; arr = [||] }
+
+let create ~universe () =
+  if universe < 1 then invalid_arg "Ctrie.create: universe must be >= 1";
+  { root = { main = Atomic.make empty_cnode }; universe }
+
+let flag_pos cn hc lvl =
+  let idx = (hc lsr lvl) land 31 in
+  let flag = 1 lsl idx in
+  let pos = Bitkey.popcount (cn.bmp land (flag - 1)) in
+  (flag, pos)
+
+let cnode_inserted cn pos flag branch =
+  let n = Array.length cn.arr in
+  let arr = Array.make (n + 1) branch in
+  Array.blit cn.arr 0 arr 0 pos;
+  Array.blit cn.arr pos arr (pos + 1) (n - pos);
+  { bmp = cn.bmp lor flag; arr }
+
+let cnode_updated cn pos branch =
+  let arr = Array.copy cn.arr in
+  arr.(pos) <- branch;
+  { cn with arr }
+
+let cnode_removed cn pos flag =
+  let n = Array.length cn.arr in
+  let arr = Array.make (n - 1) (B_snode 0) in
+  Array.blit cn.arr 0 arr 0 pos;
+  Array.blit cn.arr (pos + 1) arr pos (n - 1 - pos);
+  { bmp = cn.bmp lxor flag; arr }
+
+(* A non-root CNode left with a single singleton entry becomes a tomb. *)
+let to_contracted cn lvl =
+  if lvl > 0 && Array.length cn.arr = 1 then
+    match cn.arr.(0) with B_snode s -> T s | B_inode _ -> C cn
+  else C cn
+
+(* Resurrect tombed sub-INodes into inline singletons, then contract. *)
+let to_compressed cn lvl =
+  let arr =
+    Array.map
+      (fun b ->
+        match b with
+        | B_inode si -> (
+            match Atomic.get si.main with T s -> B_snode s | C _ -> b)
+        | B_snode _ -> b)
+      cn.arr
+  in
+  to_contracted { cn with arr } lvl
+
+let clean (p : inode) lvl =
+  let m = Atomic.get p.main in
+  match m with
+  | C cn -> ignore (Atomic.compare_and_set p.main m (to_compressed cn lvl))
+  | T _ -> ()
+
+(* Propagate a tomb in [i] into its parent [p] (at level [lvl]). *)
+let rec clean_parent (p : inode) (i : inode) hc lvl =
+  let m = Atomic.get i.main in
+  let pm = Atomic.get p.main in
+  match pm with
+  | C cn -> (
+      let flag, pos = flag_pos cn hc lvl in
+      if cn.bmp land flag <> 0 then
+        match cn.arr.(pos) with
+        | B_inode x when x == i -> (
+            match m with
+            | T s ->
+                let ncn = cnode_updated cn pos (B_snode s) in
+                if not (Atomic.compare_and_set p.main pm (to_contracted ncn lvl))
+                then clean_parent p i hc lvl
+            | C _ -> ())
+        | _ -> ())
+  | T _ -> ()
+
+(* Expand two colliding singletons into nested CNodes until their hash
+   bits diverge. *)
+let rec pair_main k1 h1 k2 h2 lvl =
+  let i1 = (h1 lsr lvl) land 31 and i2 = (h2 lsr lvl) land 31 in
+  if i1 = i2 then
+    let inner = { main = Atomic.make (pair_main k1 h1 k2 h2 (lvl + w)) } in
+    C { bmp = 1 lsl i1; arr = [| B_inode inner |] }
+  else
+    let arr =
+      if i1 < i2 then [| B_snode k1; B_snode k2 |] else [| B_snode k2; B_snode k1 |]
+    in
+    C { bmp = (1 lsl i1) lor (1 lsl i2); arr }
+
+type 'a outcome = Done of 'a | Restart
+
+let member t k =
+  if k < 0 || k >= t.universe then invalid_arg "Ctrie.member: key out of universe";
+  let hc = hash k in
+  let rec go (i : inode) lvl parent =
+    match Atomic.get i.main with
+    | C cn -> (
+        let flag, pos = flag_pos cn hc lvl in
+        if cn.bmp land flag = 0 then Done false
+        else
+          match cn.arr.(pos) with
+          | B_inode si -> go si (lvl + w) (Some i)
+          | B_snode k' -> Done (k' = k))
+    | T _ ->
+        (match parent with Some p -> clean p (lvl - w) | None -> ());
+        Restart
+  in
+  let rec loop () =
+    match go t.root 0 None with Done r -> r | Restart -> loop ()
+  in
+  loop ()
+
+let insert t k =
+  if k < 0 || k >= t.universe then invalid_arg "Ctrie.insert: key out of universe";
+  let hc = hash k in
+  let rec go (i : inode) lvl parent =
+    let m = Atomic.get i.main in
+    match m with
+    | C cn -> (
+        let flag, pos = flag_pos cn hc lvl in
+        if cn.bmp land flag = 0 then
+          let ncn = cnode_inserted cn pos flag (B_snode k) in
+          if Atomic.compare_and_set i.main m (C ncn) then Done true else Restart
+        else
+          match cn.arr.(pos) with
+          | B_inode si -> go si (lvl + w) (Some i)
+          | B_snode k' when k' = k -> Done false
+          | B_snode k' ->
+              let inner =
+                { main = Atomic.make (pair_main k' (hash k') k hc (lvl + w)) }
+              in
+              let ncn = cnode_updated cn pos (B_inode inner) in
+              if Atomic.compare_and_set i.main m (C ncn) then Done true
+              else Restart)
+    | T _ ->
+        (match parent with Some p -> clean p (lvl - w) | None -> ());
+        Restart
+  in
+  let rec loop () =
+    match go t.root 0 None with Done r -> r | Restart -> loop ()
+  in
+  loop ()
+
+let delete t k =
+  if k < 0 || k >= t.universe then invalid_arg "Ctrie.delete: key out of universe";
+  let hc = hash k in
+  let rec go (i : inode) lvl parent =
+    let m = Atomic.get i.main in
+    match m with
+    | C cn -> (
+        let flag, pos = flag_pos cn hc lvl in
+        if cn.bmp land flag = 0 then Done false
+        else
+          match cn.arr.(pos) with
+          | B_inode si -> go si (lvl + w) (Some i)
+          | B_snode k' when k' = k ->
+              let ncn = cnode_removed cn pos flag in
+              if Atomic.compare_and_set i.main m (to_contracted ncn lvl) then begin
+                (* If we just tombed this INode, fold it into the parent. *)
+                (match parent with
+                | Some p -> (
+                    match Atomic.get i.main with
+                    | T _ -> clean_parent p i hc (lvl - w)
+                    | C _ -> ())
+                | None -> ());
+                Done true
+              end
+              else Restart
+          | B_snode _ -> Done false)
+    | T _ ->
+        (match parent with Some p -> clean p (lvl - w) | None -> ());
+        Restart
+  in
+  let rec loop () =
+    match go t.root 0 None with Done r -> r | Restart -> loop ()
+  in
+  loop ()
+
+let fold t ~init ~f =
+  let rec go acc (m : main) =
+    match m with
+    | T s -> f acc s
+    | C cn ->
+        Array.fold_left
+          (fun acc b ->
+            match b with
+            | B_snode s -> f acc s
+            | B_inode si -> go acc (Atomic.get si.main))
+          acc cn.arr
+  in
+  go init (Atomic.get t.root.main)
+
+let to_list t = fold t ~init:[] ~f:(fun acc k -> k :: acc) |> List.sort Int.compare
+let size t = fold t ~init:0 ~f:(fun acc _ -> acc + 1)
+
+let check_invariants t =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let rec go (m : main) lvl prefix =
+    match m with
+    | T s ->
+        if lvl = 0 then err "tomb at root";
+        if (hash s) land ((1 lsl lvl) - 1) <> prefix then err "tomb %d misplaced" s
+    | C cn ->
+        if Bitkey.popcount cn.bmp <> Array.length cn.arr then
+          err "bitmap/array mismatch at level %d" lvl;
+        let pos = ref 0 in
+        for idx = 0 to 31 do
+          if cn.bmp land (1 lsl idx) <> 0 then begin
+            let sub_prefix = prefix lor (idx lsl lvl) in
+            (match cn.arr.(!pos) with
+            | B_snode s ->
+                if (hash s) land ((1 lsl (lvl + w)) - 1) <> sub_prefix then
+                  err "singleton %d misplaced at level %d" s lvl
+            | B_inode si -> go (Atomic.get si.main) (lvl + w) sub_prefix);
+            incr pos
+          end
+        done
+  in
+  go (Atomic.get t.root.main) 0 0;
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " es)

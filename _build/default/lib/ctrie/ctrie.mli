@@ -1,0 +1,28 @@
+(** Concurrent hash trie (Ctrie) of Prokopec, Bronson, Bagwell & Odersky
+    (PPoPP 2012), snapshot-free variant — the "Ctrie" baseline of the
+    Patricia-trie paper's evaluation.
+
+    32-way bitmap-compressed nodes behind INode indirections, updated by
+    CAS; removal tombs single-entry nodes and folds them into parents.
+    As the paper notes, a Ctrie search may itself perform CAS steps
+    (helping compress tombs) — unlike the Patricia trie's wait-free,
+    read-only find. *)
+
+type t
+
+val w : int
+(** Bits per level (5, i.e. 32 children — the configuration the paper
+    benchmarks). *)
+
+val name : string
+(** ["Ctrie"]. *)
+
+val create : universe:int -> unit -> t
+val insert : t -> int -> bool
+val delete : t -> int -> bool
+val member : t -> int -> bool
+val to_list : t -> int list
+val size : t -> int
+
+val check_invariants : t -> (unit, string) result
+(** Bitmap/array agreement and hash-prefix placement of every entry. *)

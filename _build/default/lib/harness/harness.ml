@@ -1,0 +1,302 @@
+(** Concurrent-set benchmark harness reproducing the methodology of the
+    paper's Section V:
+
+    - operation mixes are given as percentages (e.g. i5-d5-f90);
+    - keys are drawn uniformly from a range, or non-uniformly as runs of
+      50 consecutive keys from a random starting point;
+    - each data point is the mean of several timed trials on a structure
+      prefilled to half-full, after a warm-up run; the standard deviation
+      is reported (the paper's error bars);
+    - throughput is total completed operations per second across all
+      threads (OCaml domains). *)
+
+(** Operation mix in percent; must sum to 100. *)
+module Mix = struct
+  type t = { insert : int; delete : int; find : int; replace : int }
+
+  let v ?(insert = 0) ?(delete = 0) ?(find = 0) ?(replace = 0) () =
+    if insert + delete + find + replace <> 100 then
+      invalid_arg "Mix.v: percentages must sum to 100";
+    { insert; delete; find; replace }
+
+  let i5_d5_f90 = v ~insert:5 ~delete:5 ~find:90 ()
+  let i50_d50_f0 = v ~insert:50 ~delete:50 ()
+  let i15_d15_f70 = v ~insert:15 ~delete:15 ~find:70 ()
+  let i10_d10_r80 = v ~insert:10 ~delete:10 ~replace:80 ()
+
+  let to_string m =
+    let parts =
+      List.filter
+        (fun (_, p) -> p > 0)
+        [ ("i", m.insert); ("d", m.delete); ("f", m.find); ("r", m.replace) ]
+    in
+    String.concat "-" (List.map (fun (n, p) -> Printf.sprintf "%s%d" n p) parts)
+end
+
+(** Key distribution: uniform over the range, or the paper's non-uniform
+    workload — operations on runs of [run_length] consecutive keys
+    starting from a random key (Section V uses 50). *)
+type distribution = Uniform | Clustered of int
+
+type workload = {
+  universe : int;
+  mix : Mix.t;
+  dist : distribution;
+}
+
+type config = {
+  threads : int;
+  seconds : float; (* length of each timed trial *)
+  trials : int;
+  warmup_seconds : float;
+  seed : int;
+}
+
+let default_config =
+  { threads = 4; seconds = 1.0; trials = 3; warmup_seconds = 0.3; seed = 2013 }
+
+(** The operations of one structure instance, as closures so the runner is
+    agnostic to the concrete module (and to whether replace exists). *)
+type ops = {
+  insert : int -> bool;
+  delete : int -> bool;
+  member : int -> bool;
+  replace : (int -> int -> bool) option; (* remove add *)
+}
+
+type datapoint = {
+  mean : float; (* ops per second *)
+  stddev : float;
+  samples : float list;
+}
+
+let mean_stddev samples =
+  let n = float_of_int (List.length samples) in
+  let mean = List.fold_left ( +. ) 0.0 samples /. n in
+  let var =
+    List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 samples /. n
+  in
+  { mean; stddev = sqrt var; samples }
+
+(* ------------------------------------------------------------------ *)
+(* Key generators *)
+
+let key_stream dist universe rng =
+  match dist with
+  | Uniform -> fun () -> Rng.int rng universe
+  | Clustered run_length ->
+      let base = ref (Rng.int rng universe) in
+      let off = ref 0 in
+      fun () ->
+        if !off >= run_length then begin
+          base := Rng.int rng universe;
+          off := 0
+        end;
+        let k = (!base + !off) mod universe in
+        incr off;
+        k
+
+(* ------------------------------------------------------------------ *)
+(* One timed trial *)
+
+let run_loop ops workload stop rng =
+  let next_key = key_stream workload.dist workload.universe rng in
+  let m = workload.mix in
+  let t_ins = m.Mix.insert in
+  let t_del = t_ins + m.Mix.delete in
+  let t_find = t_del + m.Mix.find in
+  let count = ref 0 in
+  while not (Atomic.get stop) do
+    let r = Rng.int rng 100 in
+    let k = next_key () in
+    if r < t_ins then ignore (ops.insert k)
+    else if r < t_del then ignore (ops.delete k)
+    else if r < t_find then ignore (ops.member k)
+    else begin
+      match ops.replace with
+      | Some replace -> ignore (replace k (next_key ()))
+      | None -> ignore (ops.member k)
+    end;
+    incr count
+  done;
+  !count
+
+(* Prefill to half-full: insert a uniformly random half of the universe
+   in random order — the steady state of the paper's i50-d50 prefill run.
+   Insertion order matters: a sorted sweep would degenerate the
+   non-rebalancing trees (BST, 4-ST) into linear lists and bias every
+   measurement, which is why the paper prefills with random updates. *)
+let prefill ops universe rng =
+  let perm = Array.init universe Fun.id in
+  for i = universe - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let tmp = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- tmp
+  done;
+  for i = 0 to (universe / 2) - 1 do
+    ignore (ops.insert perm.(i))
+  done
+
+let run_trial ?(before_timed = fun () -> ()) ~make_ops workload config trial_idx
+    =
+  let ops = make_ops () in
+  let rng = Rng.of_int_seed (config.seed + (trial_idx * 7919)) in
+  prefill ops workload.universe rng;
+  let run_phase seconds =
+    let stop = Atomic.make false in
+    let ready = Atomic.make 0 in
+    let go = Atomic.make false in
+    let worker d =
+      Domain.spawn (fun () ->
+          let rng = Rng.of_int_seed (config.seed + (trial_idx * 7919) + (d * 104729) + 1) in
+          Atomic.incr ready;
+          while not (Atomic.get go) do
+            Domain.cpu_relax ()
+          done;
+          run_loop ops workload stop rng)
+    in
+    let domains = List.init config.threads worker in
+    while Atomic.get ready < config.threads do
+      Domain.cpu_relax ()
+    done;
+    let t0 = Unix.gettimeofday () in
+    Atomic.set go true;
+    Unix.sleepf seconds;
+    Atomic.set stop true;
+    let total = List.fold_left (fun acc d -> acc + Domain.join d) 0 domains in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    float_of_int total /. elapsed
+  in
+  if config.warmup_seconds > 0.0 then ignore (run_phase config.warmup_seconds);
+  before_timed ();
+  run_phase config.seconds
+
+let run ?before_timed ~make_ops workload config =
+  let samples =
+    List.init config.trials (fun i ->
+        run_trial ?before_timed ~make_ops workload config i)
+  in
+  mean_stddev samples
+
+(* ------------------------------------------------------------------ *)
+(* The six structures of the paper's evaluation, packaged uniformly. *)
+
+type subject = { label : string; make : universe:int -> ops }
+
+let pat_subject =
+  {
+    label = Core.Patricia.name;
+    make =
+      (fun ~universe ->
+        let t = Core.Patricia.create ~universe () in
+        {
+          insert = Core.Patricia.insert t;
+          delete = Core.Patricia.delete t;
+          member = Core.Patricia.member t;
+          replace =
+            Some (fun remove add -> Core.Patricia.replace t ~remove ~add);
+        });
+  }
+
+let bst_subject =
+  {
+    label = Nbbst.name;
+    make =
+      (fun ~universe ->
+        let t = Nbbst.create ~universe () in
+        {
+          insert = Nbbst.insert t;
+          delete = Nbbst.delete t;
+          member = Nbbst.member t;
+          replace = None;
+        });
+  }
+
+let kary_subject =
+  {
+    label = Kary.name;
+    make =
+      (fun ~universe ->
+        let t = Kary.create ~universe () in
+        {
+          insert = Kary.insert t;
+          delete = Kary.delete t;
+          member = Kary.member t;
+          replace = None;
+        });
+  }
+
+let skiplist_subject =
+  {
+    label = Skiplist.name;
+    make =
+      (fun ~universe ->
+        let t = Skiplist.create ~universe () in
+        {
+          insert = Skiplist.insert t;
+          delete = Skiplist.delete t;
+          member = Skiplist.member t;
+          replace = None;
+        });
+  }
+
+let avl_subject =
+  {
+    label = Avl.name;
+    make =
+      (fun ~universe ->
+        let t = Avl.create ~universe () in
+        {
+          insert = Avl.insert t;
+          delete = Avl.delete t;
+          member = Avl.member t;
+          replace = None;
+        });
+  }
+
+let ctrie_subject =
+  {
+    label = Ctrie.name;
+    make =
+      (fun ~universe ->
+        let t = Ctrie.create ~universe () in
+        {
+          insert = Ctrie.insert t;
+          delete = Ctrie.delete t;
+          member = Ctrie.member t;
+          replace = None;
+        });
+  }
+
+(** In the order the paper's legends list them. *)
+let all_subjects =
+  [
+    pat_subject;
+    kary_subject;
+    bst_subject;
+    avl_subject;
+    skiplist_subject;
+    ctrie_subject;
+  ]
+
+let run_subject subject workload config =
+  run ~make_ops:(fun () -> subject.make ~universe:workload.universe) workload config
+
+(* ------------------------------------------------------------------ *)
+(* Figure-style reporting *)
+
+let pp_series fmt ~title ~threads_list (rows : (string * datapoint list) list) =
+  Format.fprintf fmt "## %s@." title;
+  Format.fprintf fmt "%-8s" "threads";
+  List.iter (fun t -> Format.fprintf fmt "%14d" t) threads_list;
+  Format.fprintf fmt "@.";
+  List.iter
+    (fun (label, points) ->
+      Format.fprintf fmt "%-8s" label;
+      List.iter (fun p -> Format.fprintf fmt "%14.0f" p.mean) points;
+      Format.fprintf fmt "@.";
+      Format.fprintf fmt "%-8s" "  ±";
+      List.iter (fun p -> Format.fprintf fmt "%14.0f" p.stddev) points;
+      Format.fprintf fmt "@.")
+    rows

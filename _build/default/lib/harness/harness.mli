@@ -1,0 +1,108 @@
+(** Concurrent-set benchmark harness reproducing the methodology of the
+    paper's Section V: percentage operation mixes, uniform or clustered
+    key distributions, half-full prefill, warm-up, timed trials on
+    parallel domains, and mean/stddev reporting (the paper's error
+    bars). *)
+
+(** Operation mix in percent; components must sum to 100. *)
+module Mix : sig
+  type t = { insert : int; delete : int; find : int; replace : int }
+
+  val v :
+    ?insert:int -> ?delete:int -> ?find:int -> ?replace:int -> unit -> t
+  (** @raise Invalid_argument unless the percentages sum to 100. *)
+
+  val i5_d5_f90 : t  (** Figures 8 and 9 (top). *)
+
+  val i50_d50_f0 : t  (** Figures 8 and 9 (bottom). *)
+
+  val i15_d15_f70 : t  (** Figure 11. *)
+
+  val i10_d10_r80 : t  (** Figure 10 (replace workload). *)
+
+  val to_string : t -> string
+  (** e.g. ["i5-d5-f90"], the paper's naming. *)
+end
+
+(** Uniform keys, or the paper's non-uniform workload: operations on
+    runs of [n] consecutive keys from random starting points (the paper
+    uses runs of 50). *)
+type distribution = Uniform | Clustered of int
+
+type workload = { universe : int; mix : Mix.t; dist : distribution }
+
+type config = {
+  threads : int;
+  seconds : float;  (** length of each timed trial *)
+  trials : int;
+  warmup_seconds : float;
+  seed : int;
+}
+
+val default_config : config
+
+(** Operations of one structure instance, as closures so the runner is
+    agnostic to the module behind them ([replace] is [None] for the five
+    comparison structures, which is why Figure 10 is PAT-only). *)
+type ops = {
+  insert : int -> bool;
+  delete : int -> bool;
+  member : int -> bool;
+  replace : (int -> int -> bool) option;  (** remove, add *)
+}
+
+type datapoint = { mean : float; stddev : float; samples : float list }
+
+val mean_stddev : float list -> datapoint
+
+val key_stream : distribution -> int -> Rng.t -> unit -> int
+(** A generator of keys in [\[0, universe)] under the distribution. *)
+
+val prefill : ops -> int -> Rng.t -> unit
+(** Insert a uniformly random half of the universe in random order (the
+    steady state of the paper's i50-d50 prefill; randomizing the order
+    matters — a sorted sweep would degenerate the unbalanced trees). *)
+
+val run_trial :
+  ?before_timed:(unit -> unit) ->
+  make_ops:(unit -> ops) ->
+  workload ->
+  config ->
+  int ->
+  float
+(** One prefill + warm-up + timed trial; returns ops/second.
+    [before_timed] runs after warm-up (used to snapshot ablation
+    counters). *)
+
+val run :
+  ?before_timed:(unit -> unit) ->
+  make_ops:(unit -> ops) ->
+  workload ->
+  config ->
+  datapoint
+(** [config.trials] independent trials on fresh structures. *)
+
+(** One of the six structures of the paper's evaluation. *)
+type subject = { label : string; make : universe:int -> ops }
+
+val pat_subject : subject
+val bst_subject : subject
+val kary_subject : subject
+val skiplist_subject : subject
+val avl_subject : subject
+val ctrie_subject : subject
+
+val all_subjects : subject list
+(** In the order of the paper's chart legends:
+    PAT, 4-ST, BST, AVL, SL, Ctrie. *)
+
+val run_subject : subject -> workload -> config -> datapoint
+
+val pp_series :
+  Format.formatter ->
+  title:string ->
+  threads_list:int list ->
+  (string * datapoint list) list ->
+  unit
+(** Print one figure's series as a table: a row of means and a row of
+    standard deviations per structure. *)

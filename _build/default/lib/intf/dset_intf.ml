@@ -1,0 +1,51 @@
+(** Common interface implemented by every concurrent set in this repository.
+
+    All six data structures of the paper's evaluation (PAT, BST, 4-ST, SL,
+    AVL, Ctrie) store sets of integer keys drawn from a bounded universe
+    [0, universe).  The harness and the benchmarks are written against this
+    signature so the same workload code drives every structure. *)
+
+module type CONCURRENT_SET = sig
+  type t
+
+  (** Human-readable name used in benchmark output ("PAT", "BST", ...). *)
+  val name : string
+
+  (** [create ~universe ()] makes an empty set accepting keys in
+      [0, universe).  Raises [Invalid_argument] if [universe < 1]. *)
+  val create : universe:int -> unit -> t
+
+  (** [insert t k] adds [k]; returns [true] iff [k] was absent. *)
+  val insert : t -> int -> bool
+
+  (** [delete t k] removes [k]; returns [true] iff [k] was present. *)
+  val delete : t -> int -> bool
+
+  (** [member t k] — wait-free on PAT; read-only everywhere. *)
+  val member : t -> int -> bool
+
+  (** Linearizable snapshot of the current contents, sorted ascending.
+      Only required to be accurate in quiescent states; used by tests. *)
+  val to_list : t -> int list
+
+  (** Number of keys currently stored (quiescent accuracy suffices). *)
+  val size : t -> int
+end
+
+(** Structures that additionally support the paper's atomic replace. *)
+module type CONCURRENT_SET_WITH_REPLACE = sig
+  include CONCURRENT_SET
+
+  (** [replace t ~remove ~add] atomically deletes [remove] and inserts [add].
+      Returns [true] iff [remove] was present and [add] absent; in that case
+      both changes become visible at a single linearization point. *)
+  val replace : t -> remove:int -> add:int -> bool
+end
+
+(** First-class packaging so the harness can iterate over structures. *)
+type packed = Packed : (module CONCURRENT_SET with type t = 'a) -> packed
+
+type packed_replace =
+  | Packed_replace :
+      (module CONCURRENT_SET_WITH_REPLACE with type t = 'a)
+      -> packed_replace

@@ -1,0 +1,36 @@
+(** Non-blocking k-ary search tree in the style of Brown & Helga
+    (OPODIS 2011), with k = 4 — the "4-ST" baseline of the Patricia-trie
+    paper's evaluation.
+
+    Leaf-oriented: an internal node has k children and k-1 routing keys;
+    a leaf holds up to k-1 keys.  Inserts replace a leaf by a bigger
+    leaf, or "sprout" a full leaf into an internal node; deletes shrink
+    a leaf, or "prune" a parent whose children's remaining keys fit in
+    one leaf.  Coordination is the Ellen-et-al. flag/mark/help scheme. *)
+
+type t
+
+val k : int
+(** Default arity, 4 (found optimal in Brown & Helga's experiments and
+    used by the paper). *)
+
+val name : string
+(** ["4-ST"]. *)
+
+val create : universe:int -> unit -> t
+(** A tree of the default arity {!k}. *)
+
+val create_k : k:int -> universe:int -> unit -> t
+(** A tree of arbitrary arity [k >= 2], used by the arity-sweep
+    experiment; [k = 2] degenerates to a leaf-oriented binary tree with
+    one key per leaf. *)
+
+val insert : t -> int -> bool
+val delete : t -> int -> bool
+val member : t -> int -> bool
+val to_list : t -> int list
+val size : t -> int
+
+val check_invariants : t -> (unit, string) result
+(** Routing keys sorted; every internal node has exactly k children and
+    k-1 keys; every key within its inherited interval. *)

@@ -1,0 +1,127 @@
+(** Linearizability checking for concurrent-set histories.
+
+    The tests record small concurrent histories (operations with invoke
+    and return timestamps and their results) and this module decides —
+    by exhaustive search in the style of Wing & Gong — whether some
+    sequential order of the operations (a) respects real time (an
+    operation that returned before another was invoked must precede it)
+    and (b) yields exactly the recorded results under the sequential set
+    specification, including the paper's replace operation.
+
+    To keep the search tractable the checker is specialized to histories
+    of at most 62 operations over key universes of at most 62 keys: both
+    the set state and the set of already-linearized operations are then
+    bitmasks, and memoizing (state, linearized) pairs makes the search
+    fast in practice. *)
+
+type op_kind =
+  | Insert of int
+  | Delete of int
+  | Member of int
+  | Replace of int * int (* remove, add *)
+
+type recorded = {
+  kind : op_kind;
+  result : bool;
+  invoke : int; (* strictly increasing global timestamps *)
+  return : int;
+}
+
+let max_ops = 62
+let max_universe = 62
+
+(* Sequential specification over a bitmask state.  Returns the expected
+   result and the post-state. *)
+let apply state = function
+  | Insert k ->
+      let present = state land (1 lsl k) <> 0 in
+      (not present, state lor (1 lsl k))
+  | Delete k ->
+      let present = state land (1 lsl k) <> 0 in
+      (present, state land lnot (1 lsl k))
+  | Member k -> (state land (1 lsl k) <> 0, state)
+  | Replace (kd, ki) ->
+      let d_in = state land (1 lsl kd) <> 0 in
+      let i_in = state land (1 lsl ki) <> 0 in
+      if kd <> ki && d_in && not i_in then
+        (true, state land lnot (1 lsl kd) lor (1 lsl ki))
+      else (false, state)
+
+let check_key op =
+  match op.kind with
+  | Insert k | Delete k | Member k ->
+      if k < 0 || k >= max_universe then invalid_arg "Linearize: key too large"
+  | Replace (a, b) ->
+      if a < 0 || a >= max_universe || b < 0 || b >= max_universe then
+        invalid_arg "Linearize: key too large"
+
+(** [check ?initial history] is [true] iff the history is linearizable
+    with respect to the set specification starting from [initial]
+    (a bitmask of present keys, default empty). *)
+let check ?(initial = 0) (history : recorded array) =
+  let n = Array.length history in
+  if n > max_ops then invalid_arg "Linearize.check: too many operations";
+  Array.iter check_key history;
+  if n = 0 then true
+  else begin
+    let all_done = (1 lsl n) - 1 in
+    let memo = Hashtbl.create 1024 in
+    (* An operation is a candidate for the next linearization point iff
+       no other pending operation returned before it was invoked. *)
+    let rec go linearized state =
+      if linearized = all_done then true
+      else
+        let key = (linearized, state) in
+        if Hashtbl.mem memo key then false (* already explored, failed *)
+        else begin
+          let min_return = ref max_int in
+          for i = 0 to n - 1 do
+            if linearized land (1 lsl i) = 0 then
+              if history.(i).return < !min_return then
+                min_return := history.(i).return
+          done;
+          let ok = ref false in
+          let i = ref 0 in
+          while (not !ok) && !i < n do
+            let idx = !i in
+            incr i;
+            if linearized land (1 lsl idx) = 0 then begin
+              let op = history.(idx) in
+              if op.invoke <= !min_return then begin
+                let expected, state' = apply state op.kind in
+                if expected = op.result then
+                  if go (linearized lor (1 lsl idx)) state' then ok := true
+              end
+            end
+          done;
+          if not !ok then Hashtbl.add memo key ();
+          !ok
+        end
+    in
+    go 0 initial
+  end
+
+(* ------------------------------------------------------------------ *)
+(* History recording *)
+
+module Recorder = struct
+  type t = {
+    clock : int Atomic.t;
+    buffers : recorded list ref array; (* one per thread, no sharing *)
+  }
+
+  let create ~threads =
+    { clock = Atomic.make 0; buffers = Array.init threads (fun _ -> ref []) }
+
+  (** [record r ~thread kind run] times [run ()] around the global clock
+      and stores the completed operation in the thread's buffer. *)
+  let record r ~thread kind run =
+    let invoke = Atomic.fetch_and_add r.clock 1 in
+    let result = run () in
+    let return = Atomic.fetch_and_add r.clock 1 in
+    r.buffers.(thread) := { kind; result; invoke; return } :: !(r.buffers.(thread));
+    result
+
+  let history r =
+    Array.of_list (List.concat_map (fun b -> !b) (Array.to_list r.buffers))
+end

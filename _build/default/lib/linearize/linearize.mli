@@ -1,0 +1,51 @@
+(** Linearizability checking for concurrent-set histories (Wing & Gong
+    style exhaustive search with memoization).
+
+    Specialized to histories of at most {!max_ops} operations over key
+    universes of at most {!max_universe} keys, so both the set state and
+    the linearized-operation set fit in int bitmasks. *)
+
+type op_kind =
+  | Insert of int
+  | Delete of int
+  | Member of int
+  | Replace of int * int  (** remove, add *)
+
+type recorded = {
+  kind : op_kind;
+  result : bool;
+  invoke : int;  (** globally unique, increasing timestamps *)
+  return : int;
+}
+
+val max_ops : int
+val max_universe : int
+
+val apply : int -> op_kind -> bool * int
+(** The sequential set specification over a bitmask state: expected
+    result and post-state.  [Replace] succeeds iff the removed key is
+    present, the added key absent and the two differ; on failure the
+    state is unchanged. *)
+
+val check : ?initial:int -> recorded array -> bool
+(** [check history] is [true] iff some sequential ordering of the
+    operations respects real time (an operation that returned before
+    another's invocation precedes it) and reproduces every recorded
+    result from the [initial] state (a bitmask, default empty).
+    @raise Invalid_argument if the history exceeds {!max_ops} operations
+    or uses keys outside [\[0, max_universe)]. *)
+
+(** Concurrent history recording: a global clock plus per-thread buffers
+    so recording does not serialize the threads beyond two fetch-adds. *)
+module Recorder : sig
+  type t
+
+  val create : threads:int -> t
+
+  val record : t -> thread:int -> op_kind -> (unit -> bool) -> bool
+  (** [record r ~thread kind run] executes [run ()] between two clock
+      ticks and stores the completed operation; returns [run]'s result. *)
+
+  val history : t -> recorded array
+  (** All recorded operations (call after the threads have joined). *)
+end

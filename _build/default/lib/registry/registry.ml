@@ -1,0 +1,45 @@
+(** First-class registry of every concurrent set in the repository,
+    packaged behind the common {!Dset_intf.CONCURRENT_SET} signature.
+
+    Generic client code (tests, tools) can iterate over {!all} without
+    naming concrete modules; the Patricia trie additionally satisfies
+    {!Dset_intf.CONCURRENT_SET_WITH_REPLACE} through {!Pat}. *)
+
+(** The paper's trie, adapted to the plain signature (the stats switch
+    of [Core.Patricia.create] is dropped). *)
+module Pat : Dset_intf.CONCURRENT_SET_WITH_REPLACE with type t = Core.Patricia.t =
+struct
+  type t = Core.Patricia.t
+
+  let name = Core.Patricia.name
+  let create ~universe () = Core.Patricia.create ~universe ()
+  let insert = Core.Patricia.insert
+  let delete = Core.Patricia.delete
+  let member = Core.Patricia.member
+  let to_list = Core.Patricia.to_list
+  let size = Core.Patricia.size
+  let replace = Core.Patricia.replace
+end
+
+module Bst : Dset_intf.CONCURRENT_SET with type t = Nbbst.t = Nbbst
+module Kary_st : Dset_intf.CONCURRENT_SET with type t = Kary.t = Kary
+module Sl : Dset_intf.CONCURRENT_SET with type t = Skiplist.t = Skiplist
+module Avl_tree : Dset_intf.CONCURRENT_SET with type t = Avl.t = Avl
+module Hash_trie : Dset_intf.CONCURRENT_SET with type t = Ctrie.t = Ctrie
+
+(** All six structures of the paper's evaluation, in legend order. *)
+let all : Dset_intf.packed list =
+  [
+    Dset_intf.Packed (module Pat);
+    Dset_intf.Packed (module Kary_st);
+    Dset_intf.Packed (module Bst);
+    Dset_intf.Packed (module Avl_tree);
+    Dset_intf.Packed (module Sl);
+    Dset_intf.Packed (module Hash_trie);
+  ]
+
+(** The structures supporting the paper's atomic replace — only PAT, as
+    the evaluation notes ("we could not compare these results with other
+    data structures since none provide atomic replace operations"). *)
+let with_replace : Dset_intf.packed_replace list =
+  [ Dset_intf.Packed_replace (module Pat) ]

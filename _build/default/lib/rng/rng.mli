@@ -1,0 +1,26 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    The benchmark harness and the tests need generators that are fast,
+    seedable per domain (reproducible runs) and independent across
+    domains; SplitMix64 (Steele, Lea & Flood, OOPSLA 2014) provides all
+    three.  Generators are not thread-safe: create one per domain. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+val of_int_seed : int -> t
+
+val next : t -> int
+(** A uniformly distributed non-negative 62-bit integer. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform over [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform over [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** Derive an independent child generator (advances the parent). *)

@@ -1,0 +1,236 @@
+(* Lock-free skip list, the "SL" baseline of the paper's evaluation.
+
+   The paper benchmarks java.util.concurrent.ConcurrentSkipListMap, Doug
+   Lea's implementation from the Fomitchev/Ruppert-Fraser lock-free skip
+   list family.  We implement the standard CAS-based lock-free skip list
+   with Harris-style marked successor pointers, following the
+   LockFreeSkipList of Herlihy & Shavit ("The Art of Multiprocessor
+   Programming", ch. 14), which is the same algorithm family.
+
+   A successor reference is an immutable (node, marked) record, freshly
+   allocated per write; physical-equality CAS on it plays the role of
+   Java's AtomicMarkableReference with no ABA.  A node is logically
+   deleted when the mark in its *own* level-0 successor record is set;
+   higher levels are only an index and are marked/unlinked opportunistically. *)
+
+let max_level = 24 (* supports ~2^24 keys at p = 1/2 *)
+
+type node = { key : int; next : succ Atomic.t array }
+and succ = { succ_node : node; marked : bool }
+
+type t = { head : node; tail : node; universe : int; seed : int Atomic.t }
+
+let name = "SL"
+
+let create ~universe () =
+  if universe < 1 then invalid_arg "Skiplist.create: universe must be >= 1";
+  let tail = { key = max_int; next = [||] } in
+  let head =
+    {
+      key = min_int;
+      next =
+        Array.init max_level (fun _ ->
+            Atomic.make { succ_node = tail; marked = false });
+    }
+  in
+  { head; tail; universe; seed = Atomic.make 0x9E3779B9 }
+
+(* Geometric tower height with p = 1/2 from a cheap shared mixed counter;
+   the race on the counter only perturbs the distribution harmlessly. *)
+let random_level t =
+  let s = Atomic.fetch_and_add t.seed 0x6A09E667 in
+  let x = s * 0x2545F4914F6CDD1D in
+  let x = x lxor (x lsr 29) in
+  let rec go lvl bits =
+    if lvl >= max_level - 1 || bits land 1 = 0 then lvl else go (lvl + 1) (bits lsr 1)
+  in
+  go 0 x
+
+(* [find t key preds succs] fills preds/succs so that at every level
+   preds.(l).key < key <= succs.(l).key with an unmarked link between
+   them, snipping marked nodes it passes; restarts when a snip races.
+   Returns true iff an unmarked node with [key] sits at level 0. *)
+let find t key preds succs =
+  let rec retry () =
+    let rec down (pred : node) lvl =
+      let rec step pred curr =
+        if curr == t.tail then finish pred curr
+        else
+          let s = Atomic.get curr.next.(lvl) in
+          if s.marked then begin
+            (* curr is deleted: unlink it at this level before moving on. *)
+            let exp = Atomic.get pred.next.(lvl) in
+            if
+              exp.succ_node == curr && (not exp.marked)
+              && Atomic.compare_and_set pred.next.(lvl) exp
+                   { succ_node = s.succ_node; marked = false }
+            then step pred s.succ_node
+            else retry ()
+          end
+          else if curr.key < key then step curr s.succ_node
+          else finish pred curr
+      and finish pred curr =
+        preds.(lvl) <- pred;
+        succs.(lvl) <- curr;
+        if lvl = 0 then curr != t.tail && curr.key = key else down pred (lvl - 1)
+      in
+      step pred (Atomic.get pred.next.(lvl)).succ_node
+    in
+    down t.head (max_level - 1)
+  in
+  retry ()
+
+let member t key =
+  if key < 0 || key >= t.universe then
+    invalid_arg "Skiplist.member: key out of universe";
+  (* Same traversal as [find] but read-only: marked nodes are skipped,
+     never snipped. *)
+  let rec down (pred : node) lvl =
+    let rec step pred curr =
+      if curr == t.tail then if lvl = 0 then false else down pred (lvl - 1)
+      else
+        let s = Atomic.get curr.next.(lvl) in
+        if s.marked then step pred s.succ_node
+        else if curr.key < key then step curr s.succ_node
+        else if lvl = 0 then curr.key = key
+        else down pred (lvl - 1)
+    in
+    step pred (Atomic.get pred.next.(lvl)).succ_node
+  in
+  down t.head (max_level - 1)
+
+let insert t key =
+  if key < 0 || key >= t.universe then
+    invalid_arg "Skiplist.insert: key out of universe";
+  let preds = Array.make max_level t.head and succs = Array.make max_level t.tail in
+  let rec attempt () =
+    if find t key preds succs then false
+    else begin
+      let top = random_level t in
+      let node =
+        {
+          key;
+          next =
+            Array.init (top + 1) (fun lvl ->
+                Atomic.make { succ_node = succs.(lvl); marked = false });
+        }
+      in
+      (* The level-0 CAS linearizes the insert. *)
+      let pred = preds.(0) and succ = succs.(0) in
+      let exp = Atomic.get pred.next.(0) in
+      if not (exp.succ_node == succ && not exp.marked) then attempt ()
+      else if
+        not
+          (Atomic.compare_and_set pred.next.(0) exp
+             { succ_node = node; marked = false })
+      then attempt ()
+      else begin
+        (* Build the index levels.  Failures here cost only search time;
+           we stop early if the node is concurrently deleted. *)
+        for lvl = 1 to top do
+          let rec link () =
+            let s = Atomic.get node.next.(lvl) in
+            if not s.marked then begin
+              let pred = preds.(lvl) and succ = succs.(lvl) in
+              (* Keep the node's forward pointer aimed at the insertion
+                 point so the level stays key-monotone. *)
+              if
+                s.succ_node == succ
+                || Atomic.compare_and_set node.next.(lvl) s
+                     { succ_node = succ; marked = false }
+              then begin
+                let exp = Atomic.get pred.next.(lvl) in
+                if
+                  not
+                    (exp.succ_node == succ && (not exp.marked)
+                    && Atomic.compare_and_set pred.next.(lvl) exp
+                         { succ_node = node; marked = false })
+                then if find t key preds succs && succs.(0) == node then link ()
+              end
+              else link ()
+            end
+          in
+          link ()
+        done;
+        true
+      end
+    end
+  in
+  attempt ()
+
+let delete t key =
+  if key < 0 || key >= t.universe then
+    invalid_arg "Skiplist.delete: key out of universe";
+  let preds = Array.make max_level t.head and succs = Array.make max_level t.tail in
+  let rec attempt () =
+    if not (find t key preds succs) then false
+    else begin
+      let victim = succs.(0) in
+      let top = Array.length victim.next - 1 in
+      (* Mark the index levels top-down; only the level-0 mark decides
+         which deleter wins. *)
+      for lvl = top downto 1 do
+        let rec mark () =
+          let s = Atomic.get victim.next.(lvl) in
+          if
+            (not s.marked)
+            && not
+                 (Atomic.compare_and_set victim.next.(lvl) s
+                    { succ_node = s.succ_node; marked = true })
+          then mark ()
+        in
+        mark ()
+      done;
+      let rec mark_bottom () =
+        let s = Atomic.get victim.next.(0) in
+        if s.marked then false
+        else if
+          Atomic.compare_and_set victim.next.(0) s
+            { succ_node = s.succ_node; marked = true }
+        then begin
+          (* Physically unlink with a cleanup pass. *)
+          ignore (find t key preds succs);
+          true
+        end
+        else mark_bottom ()
+      in
+      if mark_bottom () then true else attempt ()
+    end
+  in
+  attempt ()
+
+let fold t ~init ~f =
+  let rec go acc (n : node) =
+    if n == t.tail then acc
+    else
+      let s = Atomic.get n.next.(0) in
+      let acc = if s.marked then acc else f acc n.key in
+      go acc s.succ_node
+  in
+  go init (Atomic.get t.head.next.(0)).succ_node
+
+let to_list t = List.rev (fold t ~init:[] ~f:(fun acc k -> k :: acc))
+let size t = fold t ~init:0 ~f:(fun acc _ -> acc + 1)
+
+let check_invariants t =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  (* Unmarked level-0 keys strictly increase; towers are well-formed. *)
+  let rec walk prev (n : node) =
+    if n != t.tail then begin
+      let s = Atomic.get n.next.(0) in
+      if not s.marked then
+        if n.key <= prev then err "keys not strictly increasing at %d" n.key;
+      walk (if s.marked then prev else n.key) s.succ_node
+    end
+  in
+  walk min_int (Atomic.get t.head.next.(0)).succ_node;
+  for lvl = 1 to max_level - 1 do
+    let rec walk (n : node) =
+      if n != t.tail then
+        if Array.length n.next <= lvl then err "link into short tower at %d" n.key
+        else walk (Atomic.get n.next.(lvl)).succ_node
+    in
+    walk (Atomic.get t.head.next.(lvl)).succ_node
+  done;
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " es)

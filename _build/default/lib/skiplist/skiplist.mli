@@ -1,0 +1,26 @@
+(** Lock-free skip list (Fraser/Herlihy-Shavit style, the algorithm
+    family behind java.util.concurrent.ConcurrentSkipListMap) — the "SL"
+    baseline of the Patricia-trie paper's evaluation.
+
+    A node is logically deleted by marking its own level-0 successor
+    reference; higher levels are an index that searches repair
+    opportunistically.  [insert] and [delete] are lock-free; [member] is
+    a read-only traversal. *)
+
+type t
+
+val max_level : int
+
+val name : string
+(** ["SL"]. *)
+
+val create : universe:int -> unit -> t
+val insert : t -> int -> bool
+val delete : t -> int -> bool
+val member : t -> int -> bool
+val to_list : t -> int list
+val size : t -> int
+
+val check_invariants : t -> (unit, string) result
+(** Level-0 keys strictly increasing; no index link points into a tower
+    shorter than its level. *)

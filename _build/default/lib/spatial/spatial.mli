@@ -1,0 +1,51 @@
+(** Concurrent 2-D point set: the paper's Geographic Information System
+    application (Section I).
+
+    Points on a [2^coord_bits x 2^coord_bits] grid are stored in a
+    Patricia trie under their Morton (Z-order) keys, so the trie behaves
+    like a quadtree.  All operations are safe from any number of
+    domains; {!move} is the paper's atomic replace, so a moving object
+    is never observed in two places or in none. *)
+
+type t
+
+val create : coord_bits:int -> unit -> t
+(** A grid of side [2^coord_bits] ([1 <= coord_bits <= 31]).  The two
+    extreme corners [(0,0)] and [(side-1, side-1)] are reserved (they
+    are the trie's sentinel keys). *)
+
+val side : t -> int
+
+val add : t -> x:int -> y:int -> bool
+(** [true] iff the cell was free.  Lock-free. *)
+
+val remove : t -> x:int -> y:int -> bool
+(** [true] iff the cell was occupied.  Lock-free. *)
+
+val mem : t -> x:int -> y:int -> bool
+(** Wait-free. *)
+
+val move : t -> from_x:int -> from_y:int -> to_x:int -> to_y:int -> bool
+(** Atomically move a point.  [true] iff the source was occupied and
+    the destination free; otherwise nothing changes.  Lock-free. *)
+
+val size : t -> int
+
+val to_points : t -> (int * int) list
+(** All points, in Z-order (quiescent accuracy). *)
+
+val fold_rect :
+  t ->
+  x0:int ->
+  y0:int ->
+  x1:int ->
+  y1:int ->
+  init:'a ->
+  f:('a -> int -> int -> 'a) ->
+  'a
+(** Fold over the points inside the rectangle [\[x0,x1\] x \[y0,y1\]]
+    (inclusive, clamped to the grid), via one pruned Z-order range scan.
+    Weakly consistent under concurrent updates, exact in quiescence. *)
+
+val count_in_rect : t -> x0:int -> y0:int -> x1:int -> y1:int -> int
+val points_in_rect : t -> x0:int -> y0:int -> x1:int -> y1:int -> (int * int) list

@@ -1,0 +1,1 @@
+test/test_baseline_edges.ml: Alcotest Avl Ctrie Int Kary List Nbbst Printf Rng Set Skiplist Tutil

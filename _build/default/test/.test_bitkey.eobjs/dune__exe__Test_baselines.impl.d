@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Fun Int List QCheck2 Tutil

@@ -1,0 +1,1 @@
+test/test_baselines_concurrent.ml: Alcotest Array Atomic List Rng Tutil

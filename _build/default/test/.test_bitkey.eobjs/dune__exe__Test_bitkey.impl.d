@@ -1,0 +1,1 @@
+test/test_bitkey.ml: Alcotest Bitkey Label List Printf QCheck2 Tutil

@@ -1,0 +1,1 @@
+test/test_bitstr.ml: Alcotest Bitkey Fun List QCheck2 String Tutil

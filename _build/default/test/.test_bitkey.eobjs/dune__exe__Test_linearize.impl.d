@@ -1,0 +1,1 @@
+test/test_linearize.ml: Alcotest Array Linearize List QCheck2 Recorder Tutil

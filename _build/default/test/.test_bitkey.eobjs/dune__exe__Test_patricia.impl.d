@@ -1,0 +1,1 @@
+test/test_patricia.ml: Alcotest Core Fun Int List QCheck2 Rng Set Tutil

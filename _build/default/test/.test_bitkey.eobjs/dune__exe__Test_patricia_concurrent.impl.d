@@ -1,0 +1,1 @@
+test/test_patricia_concurrent.ml: Alcotest Array Atomic Core Fun List Rng Tutil

@@ -1,0 +1,1 @@
+test/test_patricia_order.ml: Alcotest Atomic Core Int List QCheck2 Rng Set Tutil

@@ -1,0 +1,1 @@
+test/test_patricia_seq.ml: Alcotest Core Int List QCheck2 Set Tutil

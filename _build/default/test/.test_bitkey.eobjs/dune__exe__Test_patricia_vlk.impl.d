@@ -1,0 +1,1 @@
+test/test_patricia_vlk.ml: Alcotest Bitkey Core Fun List Printf QCheck2 Rng Set String Tutil

@@ -1,0 +1,1 @@
+test/test_registry.ml: Alcotest Dset_intf Int List Registry Rng Set Tutil

@@ -1,0 +1,1 @@
+test/test_replace.ml: Alcotest Atomic Core Domain Fun Linearize List Printf Rng Tutil

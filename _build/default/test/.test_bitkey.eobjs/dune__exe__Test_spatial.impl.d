@@ -1,0 +1,1 @@
+test/test_spatial.ml: Alcotest Array Atomic Domain List QCheck2 Rng Spatial Tutil

@@ -1,0 +1,1 @@
+test/tutil.ml: Alcotest Array Avl Core Ctrie Domain Int Kary Linearize List Nbbst Option QCheck2 QCheck_alcotest Rng Set Skiplist

@@ -1,0 +1,117 @@
+(* Single-threaded tests for the five comparison structures of the
+   paper's evaluation (BST, 4-ST, SL, AVL, Ctrie), parameterized over a
+   common closure record so every structure gets the same battery. *)
+
+module IS = Tutil.IS
+
+let basic_battery mk () =
+  let ops : Tutil.ops = mk ~universe:100 () in
+  Alcotest.(check bool) "empty member" false (ops.member 42);
+  Alcotest.(check bool) "empty delete" false (ops.delete 42);
+  Alcotest.(check int) "empty size" 0 (ops.size ());
+  Alcotest.(check bool) "insert" true (ops.insert 42);
+  Alcotest.(check bool) "insert dup" false (ops.insert 42);
+  Alcotest.(check bool) "member" true (ops.member 42);
+  Alcotest.(check bool) "neighbour absent" false (ops.member 41);
+  Alcotest.(check bool) "delete" true (ops.delete 42);
+  Alcotest.(check bool) "delete again" false (ops.delete 42);
+  Tutil.check_ok ops.label ops
+
+let edges_battery mk () =
+  let ops : Tutil.ops = mk ~universe:10 () in
+  Alcotest.(check bool) "key 0" true (ops.insert 0);
+  Alcotest.(check bool) "key 9" true (ops.insert 9);
+  Alcotest.(check (list int)) "contents" [ 0; 9 ] (ops.to_list ());
+  Alcotest.(check bool) "delete 0" true (ops.delete 0);
+  Alcotest.(check bool) "delete 9" true (ops.delete 9);
+  Alcotest.(check (list int)) "empty" [] (ops.to_list ())
+
+let fill_drain_battery mk () =
+  let n = 512 in
+  let ops : Tutil.ops = mk ~universe:n () in
+  for k = 0 to n - 1 do
+    if not (ops.insert k) then Alcotest.failf "insert %d" k
+  done;
+  Alcotest.(check int) "full" n (ops.size ());
+  Tutil.check_ok ops.label ops;
+  Alcotest.(check (list int)) "sorted" (List.init n Fun.id) (ops.to_list ());
+  for k = n - 1 downto 0 do
+    if not (ops.delete k) then Alcotest.failf "delete %d" k
+  done;
+  Alcotest.(check int) "drained" 0 (ops.size ());
+  Tutil.check_ok ops.label ops
+
+let ascending_battery mk () =
+  (* Monotone insertion order is the adversarial case for unbalanced
+     trees; everything must stay correct (and AVL reasonably shallow). *)
+  let n = 2048 in
+  let ops : Tutil.ops = mk ~universe:n () in
+  for k = 0 to n - 1 do
+    ignore (ops.insert k)
+  done;
+  Tutil.check_ok ops.label ops;
+  for k = 0 to n - 1 do
+    if not (ops.member k) then Alcotest.failf "member %d" k
+  done
+
+let model_battery mk () =
+  let ops : Tutil.ops = mk ~universe:512 () in
+  let model = Tutil.model_run ~universe:512 ~steps:60_000 ops in
+  Alcotest.(check (list int)) "final contents" (IS.elements model) (ops.to_list ());
+  Tutil.check_ok ops.label ops
+
+let sparse_battery mk () =
+  (* Large universe, few keys: exercises deep/skewed paths. *)
+  let ops : Tutil.ops = mk ~universe:1_000_000 () in
+  let keys = [ 0; 1; 999_999; 524_287; 524_288; 3; 77_777 ] in
+  List.iter (fun k -> Alcotest.(check bool) "insert" true (ops.insert k)) keys;
+  List.iter (fun k -> Alcotest.(check bool) "member" true (ops.member k)) keys;
+  Alcotest.(check bool) "absent" false (ops.member 500_000);
+  Alcotest.(check (list int)) "sorted" (List.sort Int.compare keys) (ops.to_list ());
+  List.iter (fun k -> Alcotest.(check bool) "delete" true (ops.delete k)) keys;
+  Alcotest.(check int) "empty" 0 (ops.size ());
+  Tutil.check_ok ops.label ops
+
+let prop_model mk =
+  Tutil.qtest ~count:40 "random programs match Set semantics"
+    QCheck2.Gen.(list_size (int_bound 300) (pair (int_bound 2) (int_bound 63)))
+    (fun program ->
+      let ops : Tutil.ops = mk ~universe:64 () in
+      let model = ref IS.empty in
+      List.for_all
+        (fun (op, k) ->
+          match op with
+          | 0 ->
+              let e = not (IS.mem k !model) in
+              model := IS.add k !model;
+              ops.insert k = e
+          | 1 ->
+              let e = IS.mem k !model in
+              model := IS.remove k !model;
+              ops.delete k = e
+          | _ -> ops.member k = IS.mem k !model)
+        program
+      && ops.to_list () = IS.elements !model
+      && ops.check () = Ok ())
+
+let suite_for name mk =
+  ( name,
+    [
+      Alcotest.test_case "basics" `Quick (basic_battery mk);
+      Alcotest.test_case "universe edges" `Quick (edges_battery mk);
+      Alcotest.test_case "fill then drain" `Quick (fill_drain_battery mk);
+      Alcotest.test_case "ascending keys" `Quick (ascending_battery mk);
+      Alcotest.test_case "model run" `Slow (model_battery mk);
+      Alcotest.test_case "sparse big universe" `Quick (sparse_battery mk);
+      prop_model mk;
+    ] )
+
+let () =
+  Alcotest.run "baselines"
+    [
+      suite_for "BST" Tutil.bst_ops;
+      suite_for "4-ST" Tutil.kary_ops;
+      suite_for "SL" Tutil.sl_ops;
+      suite_for "AVL" Tutil.avl_ops;
+      suite_for "Ctrie" Tutil.ctrie_ops;
+    ]

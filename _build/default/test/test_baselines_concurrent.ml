@@ -1,0 +1,112 @@
+(* Multi-domain tests for the five comparison structures: deterministic
+   disjoint workloads, counting audits, contended stress with invariant
+   checks, and linearizability of recorded histories. *)
+
+let n_domains = 4
+
+let disjoint_battery mk () =
+  let per = 1000 in
+  let ops : Tutil.ops = mk ~universe:(n_domains * per) () in
+  Tutil.join_all
+    (Tutil.spawn_n n_domains (fun d ->
+         for i = d * per to ((d + 1) * per) - 1 do
+           if not (ops.insert i) then Alcotest.failf "insert %d" i
+         done))
+  |> ignore;
+  Alcotest.(check int) "all in" (n_domains * per) (ops.size ());
+  Tutil.check_ok ops.label ops;
+  Tutil.join_all
+    (Tutil.spawn_n n_domains (fun d ->
+         for i = d * per to ((d + 1) * per) - 1 do
+           if not (ops.delete i) then Alcotest.failf "delete %d" i
+         done))
+  |> ignore;
+  Alcotest.(check int) "all out" 0 (ops.size ());
+  Tutil.check_ok ops.label ops
+
+let single_winner_battery mk () =
+  let universe = 64 in
+  let ops : Tutil.ops = mk ~universe () in
+  let wins = Array.init universe (fun _ -> Atomic.make 0) in
+  Tutil.join_all
+    (Tutil.spawn_n n_domains (fun _ ->
+         for k = 0 to universe - 1 do
+           if ops.insert k then Atomic.incr wins.(k)
+         done))
+  |> ignore;
+  Array.iteri
+    (fun k w ->
+      if Atomic.get w <> 1 then
+        Alcotest.failf "key %d won %d times" k (Atomic.get w))
+    wins
+
+let counting_battery mk () =
+  let universe = 128 in
+  let ops : Tutil.ops = mk ~universe () in
+  let balance = Atomic.make 0 in
+  Tutil.join_all
+    (Tutil.spawn_n n_domains (fun d ->
+         let rng = Rng.of_int_seed (3100 + d) in
+         for _ = 1 to 20_000 do
+           let k = Rng.int rng universe in
+           if Rng.bool rng then begin
+             if ops.insert k then Atomic.incr balance
+           end
+           else if ops.delete k then Atomic.decr balance
+         done))
+  |> ignore;
+  Alcotest.(check int) "balance equals size" (Atomic.get balance) (ops.size ());
+  Tutil.check_ok ops.label ops
+
+let stress_battery mk () =
+  let universe = 100 in
+  let ops : Tutil.ops = mk ~universe () in
+  Tutil.join_all
+    (Tutil.spawn_n n_domains (fun d ->
+         let rng = Rng.of_int_seed (3700 + d) in
+         for _ = 1 to 40_000 do
+           let k = Rng.int rng universe in
+           match Rng.int rng 3 with
+           | 0 -> ignore (ops.insert k)
+           | 1 -> ignore (ops.delete k)
+           | _ -> ignore (ops.member k)
+         done))
+  |> ignore;
+  Tutil.check_ok ops.label ops;
+  let l = ops.to_list () in
+  List.iter (fun k -> if not (ops.member k) then Alcotest.failf "listed %d absent" k) l
+
+let linearizability_battery mk () =
+  for round = 0 to 14 do
+    Tutil.linearizable_run ~threads:3 ~ops_per_thread:12 ~universe:8
+      ~seed:(round * 211) ~with_replace:false mk
+  done
+
+let high_contention_linearizability_battery mk () =
+  for round = 0 to 9 do
+    Tutil.linearizable_run ~threads:4 ~ops_per_thread:10 ~universe:2
+      ~seed:(round * 223) ~with_replace:false mk
+  done
+
+let suite_for name (mk : universe:int -> unit -> Tutil.ops) =
+  ( name,
+    [
+      Alcotest.test_case "disjoint determinism" `Quick (disjoint_battery mk);
+      Alcotest.test_case "single winner" `Quick (single_winner_battery mk);
+      Alcotest.test_case "counting audit" `Slow (counting_battery mk);
+      Alcotest.test_case "contended stress" `Slow (stress_battery mk);
+      Alcotest.test_case "linearizable histories" `Slow
+        (linearizability_battery mk);
+      Alcotest.test_case "high-contention histories" `Slow
+        (high_contention_linearizability_battery mk);
+    ] )
+
+let () =
+  Alcotest.run "baselines_concurrent"
+    [
+      suite_for "BST" Tutil.bst_ops;
+      suite_for "4-ST" Tutil.kary_ops;
+      suite_for "SL" Tutil.sl_ops;
+      suite_for "AVL" Tutil.avl_ops;
+      suite_for "Ctrie" Tutil.ctrie_ops;
+    ]

@@ -1,0 +1,154 @@
+(* Tests for variable-length bit strings (Section VI key substrate). *)
+
+module B = Bitkey.Bitstr
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let test_basics () =
+  check_int "empty length" 0 (B.length B.empty);
+  let b = B.of_string "10110" in
+  check_int "length" 5 (B.length b);
+  check_str "round-trip" "10110" (B.to_string b);
+  check_int "get 0" 1 (B.get b 0);
+  check_int "get 1" 0 (B.get b 1);
+  check_int "get 4" 0 (B.get b 4);
+  Alcotest.check_raises "get out of range"
+    (Invalid_argument "Bitstr.get: index out of range") (fun () ->
+      ignore (B.get b 5));
+  Alcotest.check_raises "bad char"
+    (Invalid_argument "Bitstr.of_string: not a binary string") (fun () ->
+      ignore (B.of_string "102"))
+
+let test_equal_structural () =
+  (* Equality must be by bit sequence, however the value was built. *)
+  let a = B.of_string "1011" in
+  let b = B.prefix (B.of_string "10110111") 4 in
+  check "built differently, equal" true (B.equal a b);
+  check "different lengths differ" false (B.equal a (B.of_string "10110"));
+  check "same length different bits" false (B.equal a (B.of_string "1010"))
+
+let test_long_strings () =
+  (* Multi-word labels: the whole point of Section VI. *)
+  let s = String.init 1000 (fun i -> if i mod 3 = 0 then '1' else '0') in
+  let b = B.of_string s in
+  check_int "length 1000" 1000 (B.length b);
+  check_str "round-trip" s (B.to_string b);
+  check "prefix of itself" true (B.is_prefix b b);
+  let p = B.prefix b 500 in
+  check "500-prefix" true (B.is_proper_prefix p b);
+  check_str "prefix bits" (String.sub s 0 500) (B.to_string p)
+
+let test_prefix_lcp () =
+  let a = B.of_string "110010" and b = B.of_string "110111" in
+  check_str "lcp" "110" (B.to_string (B.lcp a b));
+  check_int "next_bit a" 0 (B.next_bit (B.lcp a b) a);
+  check_int "next_bit b" 1 (B.next_bit (B.lcp a b) b);
+  check_str "lcp with empty" "" (B.to_string (B.lcp B.empty a));
+  check "empty prefixes all" true (B.is_prefix B.empty a);
+  Alcotest.check_raises "next_bit needs proper prefix"
+    (Invalid_argument "Bitstr.next_bit: not a proper prefix") (fun () ->
+      ignore (B.next_bit a a))
+
+let test_append_extend () =
+  let a = B.of_string "10" and b = B.of_string "01" in
+  check_str "append" "1001" (B.to_string (B.append a b));
+  check_str "extend 1" "101" (B.to_string (B.extend a 1));
+  check_str "extend empty" "0" (B.to_string (B.extend B.empty 0))
+
+let test_compare_total_order () =
+  let a = B.of_string "1" and b = B.of_string "01" and c = B.of_string "10" in
+  check "shorter first" true (B.compare a b < 0);
+  check "same length lexicographic" true (B.compare b c < 0);
+  check_int "reflexive" 0 (B.compare c c)
+
+let test_dollar_encoding () =
+  check_str "encode 01" "011011" (B.to_string (B.encode_binary "01"));
+  check_str "decode" "01" (B.decode_binary (B.encode_binary "01"));
+  check_str "encode 1" "1011" (B.to_string (B.encode_binary "1"));
+  Alcotest.check_raises "empty reserved"
+    (Invalid_argument "Bitstr.encode_binary: the empty string is reserved")
+    (fun () -> ignore (B.encode_binary ""))
+
+let test_sentinel_separation () =
+  (* Every encoded key must be prefix-independent of both sentinels. *)
+  List.iter
+    (fun s ->
+      let k = B.encode_binary s in
+      check (s ^ " vs lo") false
+        (B.is_prefix B.sentinel_lo k || B.is_prefix k B.sentinel_lo);
+      check (s ^ " vs hi") false
+        (B.is_prefix B.sentinel_hi k || B.is_prefix k B.sentinel_hi))
+    [ "0"; "1"; "00"; "11"; "0101"; "111111" ]
+
+let test_bytes_roundtrip () =
+  List.iter
+    (fun s -> check_str ("bytes " ^ s) s (B.decode_bytes (B.encode_bytes s)))
+    [ "a"; "hello"; "\x00\xff"; "unicode-ish \xc3\xa9"; String.make 100 'x' ]
+
+let gen_binary_string =
+  QCheck2.Gen.(
+    string_size ~gen:(map (fun b -> if b then '1' else '0') bool) (int_range 1 64))
+
+let prop_encode_prefix_free =
+  Tutil.qtest "encoded keys are mutually prefix-free"
+    QCheck2.Gen.(pair gen_binary_string gen_binary_string)
+    (fun (s1, s2) ->
+      s1 = s2
+      ||
+      let k1 = B.encode_binary s1 and k2 = B.encode_binary s2 in
+      (not (B.is_prefix k1 k2)) && not (B.is_prefix k2 k1))
+
+let prop_binary_roundtrip =
+  Tutil.qtest "encode_binary/decode_binary round-trip" gen_binary_string
+    (fun s -> B.decode_binary (B.encode_binary s) = s)
+
+let prop_lcp_symmetric =
+  Tutil.qtest "lcp symmetric and maximal"
+    QCheck2.Gen.(pair gen_binary_string gen_binary_string)
+    (fun (s1, s2) ->
+      let a = B.of_string s1 and b = B.of_string s2 in
+      let l = B.lcp a b in
+      B.equal l (B.lcp b a)
+      && B.is_prefix l a && B.is_prefix l b
+      && (B.equal a b
+         || B.length l = min (B.length a) (B.length b)
+         || B.next_bit l a <> B.next_bit l b))
+
+let prop_prefix_get_agreement =
+  Tutil.qtest "prefix preserves bits"
+    QCheck2.Gen.(pair gen_binary_string (int_bound 64))
+    (fun (s, n) ->
+      let b = B.of_string s in
+      let n = n mod (B.length b + 1) in
+      let p = B.prefix b n in
+      B.length p = n
+      && List.for_all (fun i -> B.get p i = B.get b i) (List.init n Fun.id))
+
+let () =
+  Alcotest.run "bitstr"
+    [
+      ( "operations",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "structural equality" `Quick test_equal_structural;
+          Alcotest.test_case "long strings" `Quick test_long_strings;
+          Alcotest.test_case "prefix/lcp" `Quick test_prefix_lcp;
+          Alcotest.test_case "append/extend" `Quick test_append_extend;
+          Alcotest.test_case "total order" `Quick test_compare_total_order;
+        ] );
+      ( "encoding",
+        [
+          Alcotest.test_case "dollar encoding" `Quick test_dollar_encoding;
+          Alcotest.test_case "sentinel separation" `Quick test_sentinel_separation;
+          Alcotest.test_case "byte strings" `Quick test_bytes_roundtrip;
+        ] );
+      ( "properties",
+        [
+          prop_encode_prefix_free;
+          prop_binary_roundtrip;
+          prop_lcp_symmetric;
+          prop_prefix_get_agreement;
+        ] );
+    ]

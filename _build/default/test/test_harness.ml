@@ -1,0 +1,167 @@
+(* Tests for the benchmark harness: mixes, key streams, statistics, and
+   a short end-to-end throughput run per structure. *)
+
+let test_mix_validation () =
+  Alcotest.check_raises "must sum to 100"
+    (Invalid_argument "Mix.v: percentages must sum to 100") (fun () ->
+      ignore (Harness.Mix.v ~insert:50 ~delete:49 ()));
+  let m = Harness.Mix.v ~insert:5 ~delete:5 ~find:90 () in
+  Alcotest.(check string) "label" "i5-d5-f90" (Harness.Mix.to_string m);
+  Alcotest.(check string) "replace label" "i10-d10-r80"
+    (Harness.Mix.to_string Harness.Mix.i10_d10_r80)
+
+let test_paper_mixes () =
+  let open Harness.Mix in
+  Alcotest.(check int) "i5-d5-f90 find" 90 i5_d5_f90.find;
+  Alcotest.(check int) "i50-d50-f0 insert" 50 i50_d50_f0.insert;
+  Alcotest.(check int) "i15-d15-f70 delete" 15 i15_d15_f70.delete;
+  Alcotest.(check int) "i10-d10-r80 replace" 80 i10_d10_r80.replace
+
+let test_uniform_stream_bounds () =
+  let rng = Rng.of_int_seed 5 in
+  let next = Harness.key_stream Harness.Uniform 1000 rng in
+  for _ = 1 to 10_000 do
+    let k = next () in
+    if k < 0 || k >= 1000 then Alcotest.failf "key %d out of range" k
+  done
+
+let test_clustered_stream_runs () =
+  (* The paper's non-uniform workload: runs of 50 consecutive keys. *)
+  let rng = Rng.of_int_seed 6 in
+  let next = Harness.key_stream (Harness.Clustered 50) 100_000 rng in
+  let k0 = next () in
+  for i = 1 to 49 do
+    let k = next () in
+    Alcotest.(check int) "consecutive" ((k0 + i) mod 100_000) k
+  done;
+  (* Next run starts somewhere fresh but stays in range. *)
+  let k' = next () in
+  if k' < 0 || k' >= 100_000 then Alcotest.failf "key %d out of range" k'
+
+let test_clustered_wraps () =
+  let rng = Rng.of_int_seed 7 in
+  let universe = 60 in
+  let next = Harness.key_stream (Harness.Clustered 50) universe rng in
+  for _ = 1 to 500 do
+    let k = next () in
+    if k < 0 || k >= universe then Alcotest.failf "key %d escaped [0,%d)" k universe
+  done
+
+let test_mean_stddev () =
+  let d = Harness.mean_stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 5.0 d.Harness.mean;
+  Alcotest.(check (float 1e-9)) "stddev" 2.0 d.Harness.stddev;
+  let single = Harness.mean_stddev [ 42.0 ] in
+  Alcotest.(check (float 1e-9)) "single mean" 42.0 single.Harness.mean;
+  Alcotest.(check (float 1e-9)) "single stddev" 0.0 single.Harness.stddev
+
+let test_prefill_half_full () =
+  let present = ref 0 in
+  let ops =
+    Harness.
+      {
+        insert =
+          (fun _ ->
+            incr present;
+            true);
+        delete = (fun _ -> true);
+        member = (fun _ -> true);
+        replace = None;
+      }
+  in
+  let rng = Rng.of_int_seed 11 in
+  Harness.prefill ops 10_000 rng;
+  Alcotest.(check bool) "about half"
+    true
+    (!present > 4_500 && !present < 5_500)
+
+let test_throughput_run_all_subjects () =
+  (* End to end: every structure completes a short trial and reports a
+     positive throughput. *)
+  let workload =
+    Harness.{ universe = 500; mix = Mix.i5_d5_f90; dist = Uniform }
+  in
+  let config =
+    Harness.
+      {
+        default_config with
+        threads = 2;
+        seconds = 0.05;
+        trials = 2;
+        warmup_seconds = 0.0;
+      }
+  in
+  List.iter
+    (fun s ->
+      let dp = Harness.run_subject s workload config in
+      if dp.Harness.mean <= 0.0 then
+        Alcotest.failf "%s reported non-positive throughput" s.Harness.label;
+      Alcotest.(check int) "two samples" 2 (List.length dp.Harness.samples))
+    Harness.all_subjects
+
+let test_replace_workload_runs () =
+  let workload =
+    Harness.{ universe = 500; mix = Mix.i10_d10_r80; dist = Uniform }
+  in
+  let config =
+    Harness.
+      {
+        default_config with
+        threads = 2;
+        seconds = 0.05;
+        trials = 1;
+        warmup_seconds = 0.0;
+      }
+  in
+  let dp = Harness.run_subject Harness.pat_subject workload config in
+  Alcotest.(check bool) "positive" true (dp.Harness.mean > 0.0)
+
+let test_clustered_workload_runs () =
+  let workload =
+    Harness.{ universe = 2000; mix = Mix.i15_d15_f70; dist = Clustered 50 }
+  in
+  let config =
+    Harness.
+      {
+        default_config with
+        threads = 2;
+        seconds = 0.05;
+        trials = 1;
+        warmup_seconds = 0.0;
+      }
+  in
+  List.iter
+    (fun s ->
+      let dp = Harness.run_subject s workload config in
+      if dp.Harness.mean <= 0.0 then
+        Alcotest.failf "%s clustered run failed" s.Harness.label)
+    Harness.all_subjects
+
+let test_subject_labels () =
+  Alcotest.(check (list string))
+    "paper legend order"
+    [ "PAT"; "4-ST"; "BST"; "AVL"; "SL"; "Ctrie" ]
+    (List.map (fun s -> s.Harness.label) Harness.all_subjects)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "workloads",
+        [
+          Alcotest.test_case "mix validation" `Quick test_mix_validation;
+          Alcotest.test_case "paper mixes" `Quick test_paper_mixes;
+          Alcotest.test_case "uniform stream" `Quick test_uniform_stream_bounds;
+          Alcotest.test_case "clustered runs of 50" `Quick test_clustered_stream_runs;
+          Alcotest.test_case "clustered wraps" `Quick test_clustered_wraps;
+          Alcotest.test_case "prefill half-full" `Quick test_prefill_half_full;
+        ] );
+      ( "statistics",
+        [ Alcotest.test_case "mean/stddev" `Quick test_mean_stddev ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "all subjects run" `Slow test_throughput_run_all_subjects;
+          Alcotest.test_case "replace workload" `Slow test_replace_workload_runs;
+          Alcotest.test_case "clustered workload" `Slow test_clustered_workload_runs;
+          Alcotest.test_case "subject labels" `Quick test_subject_labels;
+        ] );
+    ]

@@ -1,0 +1,201 @@
+(* Tests for the linearizability checker itself: it must accept exactly
+   the histories that have a valid sequential witness. *)
+
+open Linearize
+
+let ok name h = Alcotest.(check bool) name true (check h)
+let bad name h = Alcotest.(check bool) name false (check h)
+
+let test_empty () = ok "empty history" [||]
+
+let test_sequential_valid () =
+  ok "insert, member, delete"
+    [|
+      { kind = Insert 1; result = true; invoke = 0; return = 1 };
+      { kind = Member 1; result = true; invoke = 2; return = 3 };
+      { kind = Delete 1; result = true; invoke = 4; return = 5 };
+      { kind = Member 1; result = false; invoke = 6; return = 7 };
+    |]
+
+let test_sequential_invalid () =
+  bad "member false after insert"
+    [|
+      { kind = Insert 1; result = true; invoke = 0; return = 1 };
+      { kind = Member 1; result = false; invoke = 2; return = 3 };
+    |];
+  bad "double insert both true"
+    [|
+      { kind = Insert 1; result = true; invoke = 0; return = 1 };
+      { kind = Insert 1; result = true; invoke = 2; return = 3 };
+    |];
+  bad "delete absent returns true"
+    [| { kind = Delete 5; result = true; invoke = 0; return = 1 } |]
+
+let test_overlap_reorders () =
+  (* The member overlaps the insert, so it may linearize before it. *)
+  ok "overlapping member may miss insert"
+    [|
+      { kind = Insert 1; result = true; invoke = 0; return = 3 };
+      { kind = Member 1; result = false; invoke = 1; return = 2 };
+    |];
+  ok "overlapping member may see insert"
+    [|
+      { kind = Insert 1; result = true; invoke = 0; return = 3 };
+      { kind = Member 1; result = true; invoke = 1; return = 2 };
+    |];
+  (* But a member that starts after the insert returned must see it. *)
+  bad "real-time order enforced"
+    [|
+      { kind = Insert 1; result = true; invoke = 0; return = 1 };
+      { kind = Member 1; result = false; invoke = 2; return = 3 };
+    |]
+
+let test_concurrent_inserts () =
+  (* Two overlapping inserts of the same key: exactly one may win. *)
+  ok "one winner"
+    [|
+      { kind = Insert 1; result = true; invoke = 0; return = 3 };
+      { kind = Insert 1; result = false; invoke = 1; return = 2 };
+    |];
+  bad "two winners"
+    [|
+      { kind = Insert 1; result = true; invoke = 0; return = 3 };
+      { kind = Insert 1; result = true; invoke = 1; return = 2 };
+    |]
+
+let test_replace_semantics () =
+  ok "replace moves the key"
+    [|
+      { kind = Insert 1; result = true; invoke = 0; return = 1 };
+      { kind = Replace (1, 2); result = true; invoke = 2; return = 3 };
+      { kind = Member 1; result = false; invoke = 4; return = 5 };
+      { kind = Member 2; result = true; invoke = 6; return = 7 };
+    |];
+  bad "replace with absent source"
+    [| { kind = Replace (1, 2); result = true; invoke = 0; return = 1 } |];
+  bad "replace onto present target"
+    [|
+      { kind = Insert 1; result = true; invoke = 0; return = 1 };
+      { kind = Insert 2; result = true; invoke = 2; return = 3 };
+      { kind = Replace (1, 2); result = true; invoke = 4; return = 5 };
+    |];
+  bad "replace same key never succeeds"
+    [|
+      { kind = Insert 1; result = true; invoke = 0; return = 1 };
+      { kind = Replace (1, 1); result = true; invoke = 2; return = 3 };
+    |]
+
+let test_replace_atomicity () =
+  (* A read concurrent with a replace may see the old state or the new
+     state, but never "both keys" or "neither key": both members below
+     run strictly inside the replace window yet strictly after each
+     other cannot... they are sequential with each other, so seeing
+     (1 absent) then (2 absent) would require a moment with neither key. *)
+  bad "no intermediate state visible"
+    [|
+      { kind = Insert 1; result = true; invoke = 0; return = 1 };
+      { kind = Replace (1, 2); result = true; invoke = 2; return = 9 };
+      { kind = Member 1; result = false; invoke = 3; return = 4 };
+      { kind = Member 2; result = false; invoke = 5; return = 6 };
+    |];
+  bad "both keys never visible"
+    [|
+      { kind = Insert 1; result = true; invoke = 0; return = 1 };
+      { kind = Replace (1, 2); result = true; invoke = 2; return = 9 };
+      { kind = Member 2; result = true; invoke = 3; return = 4 };
+      { kind = Member 1; result = true; invoke = 5; return = 6 };
+    |]
+
+let test_initial_state () =
+  Alcotest.(check bool) "initial contents honoured" true
+    (check ~initial:0b10
+       [| { kind = Member 1; result = true; invoke = 0; return = 1 } |]);
+  Alcotest.(check bool) "initial contents honoured (negative)" false
+    (check ~initial:0
+       [| { kind = Member 1; result = true; invoke = 0; return = 1 } |])
+
+let test_limits () =
+  Alcotest.check_raises "too many keys"
+    (Invalid_argument "Linearize: key too large") (fun () ->
+      ignore (check [| { kind = Member 62; result = true; invoke = 0; return = 1 } |]))
+
+let test_interleaving_search () =
+  (* Pairwise-overlapping operations whose only witness interleaves them
+     in a non-obvious order: insert(1)=false must come while 1 is still
+     present, i.e. before the delete. *)
+  Alcotest.(check bool) "witness exists" true
+    (check ~initial:0b10
+       [|
+         { kind = Delete 1; result = true; invoke = 0; return = 10 };
+         { kind = Member 1; result = false; invoke = 1; return = 9 };
+         { kind = Insert 1; result = false; invoke = 2; return = 8 };
+       |]);
+  (* Without a delete, key 1 stays present and member(1)=false has no
+     witness even though insert(1)=false is individually consistent. *)
+  Alcotest.(check bool) "no witness" false
+    (check ~initial:0b10
+       [|
+         { kind = Member 1; result = false; invoke = 1; return = 9 };
+         { kind = Insert 1; result = false; invoke = 2; return = 8 };
+       |])
+
+let test_recorder () =
+  let r = Recorder.create ~threads:2 in
+  ignore (Recorder.record r ~thread:0 (Insert 3) (fun () -> true));
+  ignore (Recorder.record r ~thread:1 (Member 3) (fun () -> true));
+  let h = Recorder.history r in
+  Alcotest.(check int) "two ops" 2 (Array.length h);
+  Array.iter
+    (fun op ->
+      Alcotest.(check bool) "invoke before return" true (op.invoke < op.return))
+    h;
+  Alcotest.(check bool) "recorded history checks" true (check h)
+
+let prop_sequential_histories_always_ok =
+  (* Any history generated by running ops sequentially against the spec
+     itself must be accepted. *)
+  Tutil.qtest ~count:300 "sequential spec histories accepted"
+    QCheck2.Gen.(list_size (int_bound 20) (pair (int_bound 3) (int_bound 7)))
+    (fun ops ->
+      let state = ref 0 in
+      let clock = ref 0 in
+      let hist =
+        List.map
+          (fun (op, k) ->
+            let kind =
+              match op with
+              | 0 -> Insert k
+              | 1 -> Delete k
+              | 2 -> Member k
+              | _ -> Replace (k, (k + 3) mod 8)
+            in
+            let result, state' = Linearize.apply !state kind in
+            state := state';
+            let invoke = !clock in
+            incr clock;
+            let return = !clock in
+            incr clock;
+            { kind; result; invoke; return })
+          ops
+      in
+      check (Array.of_list hist))
+
+let () =
+  Alcotest.run "linearize"
+    [
+      ( "checker",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "sequential valid" `Quick test_sequential_valid;
+          Alcotest.test_case "sequential invalid" `Quick test_sequential_invalid;
+          Alcotest.test_case "overlap reorders" `Quick test_overlap_reorders;
+          Alcotest.test_case "concurrent inserts" `Quick test_concurrent_inserts;
+          Alcotest.test_case "replace semantics" `Quick test_replace_semantics;
+          Alcotest.test_case "replace atomicity" `Quick test_replace_atomicity;
+          Alcotest.test_case "initial state" `Quick test_initial_state;
+          Alcotest.test_case "limits" `Quick test_limits;
+          Alcotest.test_case "interleaving search" `Quick test_interleaving_search;
+          Alcotest.test_case "recorder" `Quick test_recorder;
+          prop_sequential_histories_always_ok;
+        ] );
+    ]

@@ -1,0 +1,361 @@
+(* Single-threaded tests for the concurrent Patricia trie: sequential
+   specification, structural invariants, edge cases, and deterministic
+   exercises of the helping machinery through the For_testing interface. *)
+
+module IS = Set.Make (Int)
+module P = Core.Patricia
+module PS = Core.Patricia_seq
+
+let test_empty () =
+  let t = P.create ~universe:100 () in
+  Alcotest.(check int) "size" 0 (P.size t);
+  Alcotest.(check (list int)) "to_list" [] (P.to_list t);
+  Alcotest.(check bool) "member" false (P.member t 42);
+  Alcotest.(check bool) "delete on empty" false (P.delete t 42);
+  Alcotest.(check bool) "replace on empty" false (P.replace t ~remove:1 ~add:2)
+
+let test_insert_delete_basic () =
+  let t = P.create ~universe:100 () in
+  Alcotest.(check bool) "insert new" true (P.insert t 5);
+  Alcotest.(check bool) "insert dup" false (P.insert t 5);
+  Alcotest.(check bool) "member" true (P.member t 5);
+  Alcotest.(check bool) "other absent" false (P.member t 4);
+  Alcotest.(check bool) "delete" true (P.delete t 5);
+  Alcotest.(check bool) "delete again" false (P.delete t 5)
+
+let test_universe_edges () =
+  let t = P.create ~universe:10 () in
+  Alcotest.(check bool) "key 0" true (P.insert t 0);
+  Alcotest.(check bool) "key 9" true (P.insert t 9);
+  Alcotest.check_raises "key -1" (Invalid_argument "Patricia: key out of the universe")
+    (fun () -> ignore (P.insert t (-1)));
+  Alcotest.check_raises "key 10" (Invalid_argument "Patricia: key out of the universe")
+    (fun () -> ignore (P.member t 10))
+
+let test_bad_universe () =
+  Alcotest.check_raises "universe 0"
+    (Invalid_argument "Patricia.create: universe must be >= 1") (fun () ->
+      ignore (P.create ~universe:0 ()));
+  Alcotest.check_raises "width 1"
+    (Invalid_argument "Patricia.create_width: width must be in [2, 62]")
+    (fun () -> ignore (P.create_width ~width:1 ()));
+  Alcotest.check_raises "width 63"
+    (Invalid_argument "Patricia.create_width: width must be in [2, 62]")
+    (fun () -> ignore (P.create_width ~width:63 ()))
+
+let test_create_width_raw_keys () =
+  let t = P.create_width ~width:10 () in
+  Alcotest.(check bool) "min raw key" true (P.insert t 1);
+  Alcotest.(check bool) "max raw key" true (P.insert t 1022);
+  Alcotest.check_raises "sentinel low" (Invalid_argument "Patricia: key out of the universe")
+    (fun () -> ignore (P.insert t 0));
+  Alcotest.check_raises "sentinel high" (Invalid_argument "Patricia: key out of the universe")
+    (fun () -> ignore (P.insert t 1023))
+
+let test_fill_drain () =
+  let t = P.create ~universe:1024 () in
+  for k = 0 to 1023 do
+    if not (P.insert t k) then Alcotest.failf "insert %d" k
+  done;
+  Alcotest.(check int) "full" 1024 (P.size t);
+  (match P.check_invariants t with Ok () -> () | Error e -> Alcotest.fail e);
+  for k = 0 to 1023 do
+    if not (P.member t k) then Alcotest.failf "member %d" k
+  done;
+  for k = 1023 downto 0 do
+    if not (P.delete t k) then Alcotest.failf "delete %d" k
+  done;
+  Alcotest.(check int) "drained" 0 (P.size t);
+  match P.check_invariants t with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_replace_cases () =
+  (* Drive replace through its general case and every special case of
+     Figure 6 by controlling the trie shape with known keys. *)
+  let t = P.create ~universe:256 () in
+  ignore (P.insert t 0b0000);
+  ignore (P.insert t 0b0001);
+  ignore (P.insert t 0b1000);
+  (* Case noded = nodei: replace a key by one landing on the same leaf
+     slot is impossible for distinct keys, but replacing a leaf whose
+     search for the new key ends at the same leaf exercises case 1:
+     remove 0b1000, add 0b1001 — search(0b1001) ends at leaf 0b1000. *)
+  Alcotest.(check bool) "special case 1" true
+    (P.replace t ~remove:0b1000 ~add:0b1001);
+  Alcotest.(check bool) "c1 source gone" false (P.member t 0b1000);
+  Alcotest.(check bool) "c1 target in" true (P.member t 0b1001);
+  (* General case: far-apart keys. *)
+  Alcotest.(check bool) "general case" true (P.replace t ~remove:0b0000 ~add:0b11110000);
+  Alcotest.(check bool) "gc source gone" false (P.member t 0b0000);
+  Alcotest.(check bool) "gc target in" true (P.member t 0b11110000);
+  (* Sibling-adjacent cases: remove a key and add one under its sibling
+     subtree (exercises the pd = pi / nodei = pd / nodei = gpd cases). *)
+  ignore (P.insert t 0b0100);
+  ignore (P.insert t 0b0101);
+  Alcotest.(check bool) "adjacent replace" true
+    (P.replace t ~remove:0b0101 ~add:0b0110);
+  Alcotest.(check bool) "adjacent replace 2" true
+    (P.replace t ~remove:0b0110 ~add:0b0111);
+  Alcotest.(check bool) "adjacent replace 3" true
+    (P.replace t ~remove:0b0100 ~add:0b0101);
+  (match P.check_invariants t with Ok () -> () | Error e -> Alcotest.fail e);
+  (* Failure cases. *)
+  Alcotest.(check bool) "absent source" false (P.replace t ~remove:0b0000 ~add:0b1111);
+  Alcotest.(check bool) "present target" false
+    (P.replace t ~remove:0b0101 ~add:0b0111);
+  Alcotest.(check bool) "same key" false (P.replace t ~remove:0b0101 ~add:0b0101)
+
+let test_replace_is_total_move () =
+  let t = P.create ~universe:4096 () in
+  let rng = Rng.of_int_seed 17 in
+  ignore (P.insert t 0);
+  let current = ref 0 in
+  for _ = 1 to 2000 do
+    let next = Rng.int rng 4096 in
+    if next <> !current then begin
+      Alcotest.(check bool) "move ok" true (P.replace t ~remove:!current ~add:next);
+      current := next
+    end
+  done;
+  Alcotest.(check int) "exactly one key" 1 (P.size t);
+  Alcotest.(check (list int)) "the right key" [ !current ] (P.to_list t)
+
+let prop_model_equivalence =
+  Tutil.qtest ~count:80 "matches the sequential trie on random programs"
+    QCheck2.Gen.(list_size (int_bound 400) (pair (int_bound 3) (int_bound 127)))
+    (fun ops ->
+      let t = P.create ~universe:128 () in
+      let m = PS.create ~universe:128 () in
+      List.for_all
+        (fun (op, k) ->
+          match op with
+          | 0 -> P.insert t k = PS.insert m k
+          | 1 -> P.delete t k = PS.delete m k
+          | 2 -> P.member t k = PS.member m k
+          | _ ->
+              let k2 = (k * 31) mod 128 in
+              P.replace t ~remove:k ~add:k2 = PS.replace m ~remove:k ~add:k2)
+        ops
+      && P.to_list t = PS.to_list m
+      && P.check_invariants t = Ok ())
+
+let prop_size_consistent =
+  Tutil.qtest ~count:60 "size equals successful inserts minus deletes"
+    QCheck2.Gen.(list_size (int_bound 300) (pair bool (int_bound 63)))
+    (fun ops ->
+      let t = P.create ~universe:64 () in
+      let balance = ref 0 in
+      List.iter
+        (fun (ins, k) ->
+          if ins then (if P.insert t k then incr balance)
+          else if P.delete t k then decr balance)
+        ops;
+      P.size t = !balance)
+
+let prop_no_flags_when_quiescent =
+  Tutil.qtest ~count:40 "no residual flags on search paths after ops"
+    QCheck2.Gen.(list_size (int_bound 200) (pair bool (int_bound 63)))
+    (fun ops ->
+      let t = P.create ~universe:64 () in
+      List.iter
+        (fun (ins, k) ->
+          if ins then ignore (P.insert t k) else ignore (P.delete t k))
+        ops;
+      (* Deletes permanently flag removed nodes, but nodes still *in* the
+         trie must be unflagged once operations complete.  Exception: the
+         leaf of a general-case replace stays flagged; none occur here. *)
+      List.for_all (fun k -> P.For_testing.flags_on_path t k = 0)
+        (List.init 64 Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Helping machinery (paper Section IV part 4): an update that stalls
+   after flagging must be completable by anyone. *)
+
+let test_help_completes_stalled_insert () =
+  let t = P.create ~universe:64 () in
+  ignore (P.insert t 10);
+  match P.For_testing.prepare_insert t 33 with
+  | None -> Alcotest.fail "prepare_insert unexpectedly failed"
+  | Some d ->
+      (* The preparing process flags and then "crashes". *)
+      Alcotest.(check bool) "flagging succeeded" true (P.For_testing.flag_only d);
+      Alcotest.(check bool) "33 not yet inserted" false (P.member t 33);
+      Alcotest.(check bool) "path is flagged" true
+        (P.For_testing.flags_on_path t 33 > 0);
+      (* Any helper can finish the stalled update. *)
+      Alcotest.(check bool) "help completes it" true (P.For_testing.help d);
+      Alcotest.(check bool) "33 now present" true (P.member t 33);
+      Alcotest.(check int) "flags cleaned" 0 (P.For_testing.flags_on_path t 33);
+      match P.check_invariants t with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_other_ops_help_stalled_insert () =
+  let t = P.create ~universe:64 () in
+  ignore (P.insert t 10);
+  match P.For_testing.prepare_insert t 11 with
+  | None -> Alcotest.fail "prepare_insert unexpectedly failed"
+  | Some d ->
+      ignore (P.For_testing.flag_only d);
+      (* An insert landing on the flagged node must help the stalled
+         update rather than block: afterwards *both* keys are present. *)
+      Alcotest.(check bool) "conflicting insert succeeds" true (P.insert t 12);
+      Alcotest.(check bool) "stalled insert completed by helper" true
+        (P.member t 11);
+      Alcotest.(check bool) "new insert applied" true (P.member t 12);
+      match P.check_invariants t with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_delete_helps_stalled_insert () =
+  let t = P.create ~universe:64 () in
+  ignore (P.insert t 10);
+  ignore (P.insert t 20);
+  match P.For_testing.prepare_insert t 21 with
+  | None -> Alcotest.fail "prepare_insert unexpectedly failed"
+  | Some d ->
+      ignore (P.For_testing.flag_only d);
+      Alcotest.(check bool) "delete through flagged region" true (P.delete t 20);
+      Alcotest.(check bool) "stalled insert completed" true (P.member t 21);
+      Alcotest.(check bool) "delete applied" false (P.member t 20);
+      match P.check_invariants t with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_double_help_is_idempotent () =
+  let t = P.create ~universe:64 () in
+  match P.For_testing.prepare_insert t 7 with
+  | None -> Alcotest.fail "prepare_insert unexpectedly failed"
+  | Some d ->
+      Alcotest.(check bool) "first help" true (P.For_testing.help d);
+      Alcotest.(check bool) "second help also true" true (P.For_testing.help d);
+      Alcotest.(check bool) "present once" true (P.member t 7);
+      Alcotest.(check int) "size 1" 1 (P.size t)
+
+let test_stale_descriptor_fails_cleanly () =
+  let t = P.create ~universe:64 () in
+  match P.For_testing.prepare_insert t 7 with
+  | None -> Alcotest.fail "prepare_insert unexpectedly failed"
+  | Some d ->
+      (* The world changes before the stalled update resumes: its flag
+         CAS expects an info value that is no longer there. *)
+      ignore (P.insert t 7);
+      Alcotest.(check bool) "stale descriptor returns false" false
+        (P.For_testing.help d);
+      Alcotest.(check bool) "7 present exactly once" true (P.member t 7);
+      Alcotest.(check int) "size" 1 (P.size t);
+      match P.check_invariants t with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_help_completes_stalled_delete () =
+  let t = P.create ~universe:64 () in
+  ignore (P.insert t 8);
+  ignore (P.insert t 9);
+  match P.For_testing.prepare_delete t 8 with
+  | None -> Alcotest.fail "prepare_delete unexpectedly failed"
+  | Some d ->
+      Alcotest.(check bool) "flagging succeeded" true (P.For_testing.flag_only d);
+      Alcotest.(check bool) "8 still present (logical view)" true (P.member t 8);
+      Alcotest.(check bool) "help completes it" true (P.For_testing.help d);
+      Alcotest.(check bool) "8 deleted" false (P.member t 8);
+      Alcotest.(check bool) "9 untouched" true (P.member t 9);
+      match P.check_invariants t with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_backtrack_on_flag_conflict () =
+  (* Two descriptors with overlapping footprints: 8 and 9 share a parent
+     P; the stalled insert of 10 flags exactly P, while the delete of 8
+     flags (gp, P) in label order.  Applying the delete must flag gp,
+     fail on P, and *backtrack* — unflagging gp and returning false with
+     the trie unchanged (paper lines 103-106). *)
+  let t = P.create ~universe:64 () in
+  ignore (P.insert t 8);
+  ignore (P.insert t 9);
+  let d_delete =
+    match P.For_testing.prepare_delete t 8 with
+    | Some d -> d
+    | None -> Alcotest.fail "prepare_delete failed"
+  in
+  let d_insert =
+    match P.For_testing.prepare_insert t 10 with
+    | Some d -> d
+    | None -> Alcotest.fail "prepare_insert failed"
+  in
+  (* The insert's flag goes in first and stalls. *)
+  Alcotest.(check bool) "insert flags P" true (P.For_testing.flag_only d_insert);
+  (* The delete now cannot complete: it must back its gp flag out. *)
+  Alcotest.(check bool) "delete backtracks" false (P.For_testing.help d_delete);
+  Alcotest.(check bool) "8 still present" true (P.member t 8);
+  Alcotest.(check bool) "9 still present" true (P.member t 9);
+  (* Only the stalled insert's flag remains on the path. *)
+  Alcotest.(check int) "one residual flag" 1 (P.For_testing.flags_on_path t 8);
+  (* Completing the stalled insert clears the last flag. *)
+  Alcotest.(check bool) "insert completes" true (P.For_testing.help d_insert);
+  Alcotest.(check bool) "10 present" true (P.member t 10);
+  Alcotest.(check int) "no flags left" 0 (P.For_testing.flags_on_path t 8);
+  (* And the aborted delete can be redone normally. *)
+  Alcotest.(check bool) "delete succeeds now" true (P.delete t 8);
+  match P.check_invariants t with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_stale_delete_descriptor () =
+  let t = P.create ~universe:64 () in
+  ignore (P.insert t 8);
+  ignore (P.insert t 9);
+  match P.For_testing.prepare_delete t 8 with
+  | None -> Alcotest.fail "prepare_delete failed"
+  | Some d ->
+      (* The world moves on before the stalled delete resumes. *)
+      ignore (P.insert t 10);
+      Alcotest.(check bool) "stale delete fails" false (P.For_testing.help d);
+      Alcotest.(check bool) "8 still present" true (P.member t 8);
+      Alcotest.(check int) "three keys" 3 (P.size t);
+      match P.check_invariants t with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_stats_recording () =
+  let t = P.create ~universe:64 ~record_stats:true () in
+  for k = 0 to 63 do
+    ignore (P.insert t k)
+  done;
+  match P.stats_snapshot t with
+  | None -> Alcotest.fail "stats expected"
+  | Some (attempts, _, _) ->
+      Alcotest.(check bool) "attempts counted" true (attempts >= 64)
+
+let test_no_stats_by_default () =
+  let t = P.create ~universe:64 () in
+  Alcotest.(check bool) "no stats" true (P.stats_snapshot t = None)
+
+let () =
+  Alcotest.run "patricia"
+    [
+      ( "sequential",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "insert/delete" `Quick test_insert_delete_basic;
+          Alcotest.test_case "universe edges" `Quick test_universe_edges;
+          Alcotest.test_case "bad parameters" `Quick test_bad_universe;
+          Alcotest.test_case "raw width keys" `Quick test_create_width_raw_keys;
+          Alcotest.test_case "fill then drain" `Quick test_fill_drain;
+          Alcotest.test_case "replace cases" `Quick test_replace_cases;
+          Alcotest.test_case "replace chain keeps one key" `Quick
+            test_replace_is_total_move;
+        ] );
+      ( "properties",
+        [ prop_model_equivalence; prop_size_consistent; prop_no_flags_when_quiescent ]
+      );
+      ( "helping",
+        [
+          Alcotest.test_case "help completes stalled insert" `Quick
+            test_help_completes_stalled_insert;
+          Alcotest.test_case "ops help stalled insert" `Quick
+            test_other_ops_help_stalled_insert;
+          Alcotest.test_case "delete helps stalled insert" `Quick
+            test_delete_helps_stalled_insert;
+          Alcotest.test_case "double help idempotent" `Quick
+            test_double_help_is_idempotent;
+          Alcotest.test_case "stale descriptor fails cleanly" `Quick
+            test_stale_descriptor_fails_cleanly;
+          Alcotest.test_case "help completes stalled delete" `Quick
+            test_help_completes_stalled_delete;
+          Alcotest.test_case "backtrack on flag conflict" `Quick
+            test_backtrack_on_flag_conflict;
+          Alcotest.test_case "stale delete fails cleanly" `Quick
+            test_stale_delete_descriptor;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "recording" `Quick test_stats_recording;
+          Alcotest.test_case "off by default" `Quick test_no_stats_by_default;
+        ] );
+    ]

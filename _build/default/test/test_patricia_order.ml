@@ -1,0 +1,151 @@
+(* Tests for the ordered-traversal API of the concurrent Patricia trie:
+   fold / iter / min_elt / max_elt / fold_range. *)
+
+module P = Core.Patricia
+module IS = Set.Make (Int)
+
+let filled universe keys =
+  let t = P.create ~universe () in
+  List.iter (fun k -> ignore (P.insert t k)) keys;
+  t
+
+let test_fold_order () =
+  let keys = [ 9; 1; 512; 77; 300; 0; 1023 ] in
+  let t = filled 1024 keys in
+  Alcotest.(check (list int))
+    "ascending" (List.sort Int.compare keys)
+    (List.rev (P.fold t ~init:[] ~f:(fun acc k -> k :: acc)))
+
+let test_iter_matches_fold () =
+  let t = filled 256 [ 3; 5; 250; 100 ] in
+  let seen = ref [] in
+  P.iter t ~f:(fun k -> seen := k :: !seen);
+  Alcotest.(check (list int)) "same elements" (P.to_list t) (List.rev !seen)
+
+let test_min_max () =
+  let t = P.create ~universe:1000 () in
+  Alcotest.(check (option int)) "empty min" None (P.min_elt t);
+  Alcotest.(check (option int)) "empty max" None (P.max_elt t);
+  ignore (P.insert t 500);
+  Alcotest.(check (option int)) "single min" (Some 500) (P.min_elt t);
+  Alcotest.(check (option int)) "single max" (Some 500) (P.max_elt t);
+  ignore (P.insert t 0);
+  ignore (P.insert t 999);
+  ignore (P.insert t 42);
+  Alcotest.(check (option int)) "min" (Some 0) (P.min_elt t);
+  Alcotest.(check (option int)) "max" (Some 999) (P.max_elt t);
+  ignore (P.delete t 0);
+  ignore (P.delete t 999);
+  Alcotest.(check (option int)) "min after deletes" (Some 42) (P.min_elt t);
+  Alcotest.(check (option int)) "max after deletes" (Some 500) (P.max_elt t)
+
+let test_range_basic () =
+  let t = filled 100 [ 5; 10; 15; 20; 25; 30 ] in
+  let range lo hi =
+    List.rev (P.fold_range t ~lo ~hi ~init:[] ~f:(fun acc k -> k :: acc))
+  in
+  Alcotest.(check (list int)) "inner" [ 10; 15; 20 ] (range 10 20);
+  Alcotest.(check (list int)) "exclusive bounds" [ 15 ] (range 11 19);
+  Alcotest.(check (list int)) "all" [ 5; 10; 15; 20; 25; 30 ] (range 0 99);
+  Alcotest.(check (list int)) "empty window" [] (range 16 19);
+  Alcotest.(check (list int)) "inverted" [] (range 20 10);
+  Alcotest.(check (list int)) "clamped" [ 5; 10; 15; 20; 25; 30 ] (range (-5) 5000);
+  Alcotest.(check (list int)) "point hit" [ 25 ] (range 25 25);
+  Alcotest.(check (list int)) "point miss" [] (range 26 26)
+
+let prop_range_matches_filter =
+  Tutil.qtest ~count:120 "fold_range agrees with filtering to_list"
+    QCheck2.Gen.(
+      triple
+        (list_size (int_bound 60) (int_bound 255))
+        (int_bound 255) (int_bound 255))
+    (fun (keys, a, b) ->
+      let lo = min a b and hi = max a b in
+      let t = filled 256 keys in
+      let expected = List.filter (fun k -> lo <= k && k <= hi) (P.to_list t) in
+      let got =
+        List.rev (P.fold_range t ~lo ~hi ~init:[] ~f:(fun acc k -> k :: acc))
+      in
+      got = expected)
+
+let prop_min_max_match_to_list =
+  Tutil.qtest ~count:120 "min_elt/max_elt agree with to_list"
+    QCheck2.Gen.(list_size (int_bound 40) (int_bound 511))
+    (fun keys ->
+      let t = filled 512 keys in
+      let l = P.to_list t in
+      let expect_min = match l with [] -> None | x :: _ -> Some x in
+      let expect_max =
+        match List.rev l with [] -> None | x :: _ -> Some x
+      in
+      P.min_elt t = expect_min && P.max_elt t = expect_max)
+
+let test_range_skips_logically_removed () =
+  (* Force a general-case replace and check the removed key never shows
+     in a range scan even while its leaf may still be physically
+     present. *)
+  let t = filled 1024 [ 1; 600; 1000 ] in
+  Alcotest.(check bool) "replace" true (P.replace t ~remove:1 ~add:900);
+  let got =
+    List.rev (P.fold_range t ~lo:0 ~hi:1023 ~init:[] ~f:(fun acc k -> k :: acc))
+  in
+  Alcotest.(check (list int)) "600 900 1000" [ 600; 900; 1000 ] got
+
+let test_traversal_during_updates () =
+  (* Weak consistency under churn: every fold result contains only keys
+     that were live at some point, and keys untouched by writers are
+     always reported. *)
+  let universe = 512 in
+  let t = P.create ~universe () in
+  (* Stable low half; writers churn the upper half. *)
+  for k = 0 to 255 do
+    ignore (P.insert t k)
+  done;
+  let stop = Atomic.make false in
+  let writers =
+    Tutil.spawn_n 2 (fun d ->
+        let rng = Rng.of_int_seed (6100 + d) in
+        while not (Atomic.get stop) do
+          let k = 256 + Rng.int rng 256 in
+          if Rng.bool rng then ignore (P.insert t k) else ignore (P.delete t k)
+        done)
+  in
+  for _ = 1 to 300 do
+    let stable =
+      P.fold_range t ~lo:0 ~hi:255 ~init:0 ~f:(fun acc _ -> acc + 1)
+    in
+    Alcotest.(check int) "stable half intact" 256 stable;
+    (match P.min_elt t with
+    | Some 0 -> ()
+    | other ->
+        Alcotest.failf "min_elt = %s"
+          (match other with None -> "None" | Some k -> string_of_int k));
+    List.iter
+      (fun k ->
+        if k >= universe then Alcotest.failf "fold produced out-of-range %d" k)
+      (P.fold t ~init:[] ~f:(fun acc k -> k :: acc))
+  done;
+  Atomic.set stop true;
+  Tutil.join_all writers |> ignore;
+  match P.check_invariants t with Ok () -> () | Error e -> Alcotest.fail e
+
+let () =
+  Alcotest.run "patricia_order"
+    [
+      ( "ordered traversal",
+        [
+          Alcotest.test_case "fold order" `Quick test_fold_order;
+          Alcotest.test_case "iter" `Quick test_iter_matches_fold;
+          Alcotest.test_case "min/max" `Quick test_min_max;
+          Alcotest.test_case "range basics" `Quick test_range_basic;
+          Alcotest.test_case "range skips removed" `Quick
+            test_range_skips_logically_removed;
+          prop_range_matches_filter;
+          prop_min_max_match_to_list;
+        ] );
+      ( "concurrent",
+        [
+          Alcotest.test_case "traversal during updates" `Slow
+            test_traversal_during_updates;
+        ] );
+    ]

@@ -1,0 +1,134 @@
+(* Tests for the sequential reference Patricia trie. *)
+
+module IS = Set.Make (Int)
+module P = Core.Patricia_seq
+
+let test_empty () =
+  let t = P.create ~universe:100 () in
+  Alcotest.(check int) "size" 0 (P.size t);
+  Alcotest.(check (list int)) "to_list" [] (P.to_list t);
+  Alcotest.(check bool) "member" false (P.member t 5)
+
+let test_insert_delete_basic () =
+  let t = P.create ~universe:100 () in
+  Alcotest.(check bool) "insert new" true (P.insert t 5);
+  Alcotest.(check bool) "insert dup" false (P.insert t 5);
+  Alcotest.(check bool) "member" true (P.member t 5);
+  Alcotest.(check bool) "delete" true (P.delete t 5);
+  Alcotest.(check bool) "delete absent" false (P.delete t 5);
+  Alcotest.(check bool) "member gone" false (P.member t 5)
+
+let test_universe_edges () =
+  let t = P.create ~universe:10 () in
+  Alcotest.(check bool) "key 0" true (P.insert t 0);
+  Alcotest.(check bool) "key 9" true (P.insert t 9);
+  Alcotest.(check bool) "member 0" true (P.member t 0);
+  Alcotest.(check bool) "member 9" true (P.member t 9);
+  Alcotest.check_raises "key -1" (Invalid_argument "Patricia_seq: key out of the universe")
+    (fun () -> ignore (P.insert t (-1)));
+  Alcotest.check_raises "key 10" (Invalid_argument "Patricia_seq: key out of the universe")
+    (fun () -> ignore (P.insert t 10))
+
+let test_universe_one () =
+  let t = P.create ~universe:1 () in
+  Alcotest.(check bool) "insert 0" true (P.insert t 0);
+  Alcotest.(check (list int)) "contents" [ 0 ] (P.to_list t);
+  Alcotest.(check bool) "delete 0" true (P.delete t 0);
+  Alcotest.(check (list int)) "empty" [] (P.to_list t)
+
+let test_replace () =
+  let t = P.create ~universe:100 () in
+  ignore (P.insert t 10);
+  Alcotest.(check bool) "replace present->absent" true (P.replace t ~remove:10 ~add:20);
+  Alcotest.(check bool) "source gone" false (P.member t 10);
+  Alcotest.(check bool) "target there" true (P.member t 20);
+  Alcotest.(check bool) "replace absent source" false (P.replace t ~remove:10 ~add:30);
+  ignore (P.insert t 10);
+  Alcotest.(check bool) "replace present target" false (P.replace t ~remove:10 ~add:20);
+  Alcotest.(check bool) "replace same key" false (P.replace t ~remove:10 ~add:10)
+
+let test_full_then_empty () =
+  let t = P.create ~universe:256 () in
+  for k = 0 to 255 do
+    Alcotest.(check bool) "fill" true (P.insert t k)
+  done;
+  Alcotest.(check int) "full size" 256 (P.size t);
+  (match P.check_invariants t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invariants: %s" e);
+  for k = 255 downto 0 do
+    Alcotest.(check bool) "drain" true (P.delete t k)
+  done;
+  Alcotest.(check int) "empty size" 0 (P.size t)
+
+let test_sorted_to_list () =
+  let t = P.create ~universe:1000 () in
+  let keys = [ 512; 3; 999; 0; 77; 400; 401 ] in
+  List.iter (fun k -> ignore (P.insert t k)) keys;
+  Alcotest.(check (list int)) "sorted" (List.sort Int.compare keys) (P.to_list t)
+
+let prop_model_equivalence =
+  Tutil.qtest ~count:100 "random op sequences match Set semantics"
+    QCheck2.Gen.(list_size (int_bound 300) (pair (int_bound 3) (int_bound 63)))
+    (fun ops ->
+      let t = P.create ~universe:64 () in
+      let model = ref IS.empty in
+      List.for_all
+        (fun (op, k) ->
+          match op with
+          | 0 ->
+              let r = P.insert t k and e = not (IS.mem k !model) in
+              model := IS.add k !model;
+              r = e
+          | 1 ->
+              let r = P.delete t k and e = IS.mem k !model in
+              model := IS.remove k !model;
+              r = e
+          | 2 -> P.member t k = IS.mem k !model
+          | _ ->
+              let k2 = (k * 7) mod 64 in
+              let e = k <> k2 && IS.mem k !model && not (IS.mem k2 !model) in
+              let r = P.replace t ~remove:k ~add:k2 in
+              if e then model := IS.add k2 (IS.remove k !model);
+              r = e)
+        ops
+      && P.to_list t = IS.elements !model
+      && P.check_invariants t = Ok ())
+
+let prop_invariants_after_ops =
+  Tutil.qtest ~count:60 "structural invariants hold after random ops"
+    QCheck2.Gen.(list_size (int_bound 500) (pair bool (int_bound 255)))
+    (fun ops ->
+      let t = P.create ~universe:256 () in
+      List.iter
+        (fun (ins, k) -> if ins then ignore (P.insert t k) else ignore (P.delete t k))
+        ops;
+      P.check_invariants t = Ok ())
+
+let test_create_width () =
+  let t = P.create_width ~width:8 () in
+  Alcotest.(check bool) "insert raw 1" true (P.insert t 1);
+  Alcotest.(check bool) "insert raw 254" true (P.insert t 254);
+  Alcotest.check_raises "sentinel 0 rejected"
+    (Invalid_argument "Patricia_seq: key out of the universe") (fun () ->
+      ignore (P.insert t 0));
+  Alcotest.check_raises "sentinel 255 rejected"
+    (Invalid_argument "Patricia_seq: key out of the universe") (fun () ->
+      ignore (P.insert t 255))
+
+let () =
+  Alcotest.run "patricia_seq"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "insert/delete" `Quick test_insert_delete_basic;
+          Alcotest.test_case "universe edges" `Quick test_universe_edges;
+          Alcotest.test_case "universe of one" `Quick test_universe_one;
+          Alcotest.test_case "replace" `Quick test_replace;
+          Alcotest.test_case "fill then drain" `Quick test_full_then_empty;
+          Alcotest.test_case "sorted to_list" `Quick test_sorted_to_list;
+          Alcotest.test_case "create_width" `Quick test_create_width;
+        ] );
+      ("properties", [ prop_model_equivalence; prop_invariants_after_ops ]);
+    ]

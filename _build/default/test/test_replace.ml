@@ -1,0 +1,213 @@
+(* Focused tests for the paper's headline contribution: the atomic
+   replace operation, under concurrency. *)
+
+module P = Core.Patricia
+
+let n_domains = 4
+
+let test_token_conservation () =
+  (* Each domain owns one "token" key and moves it around with replace.
+     Tokens can never be lost or duplicated: at the end there must be
+     exactly [n_domains] keys, one per domain's final position. *)
+  let universe = 1 lsl 14 in
+  let t = P.create ~universe () in
+  (* Domain d owns keys with k mod n_domains = d, so replacements never
+     collide across domains. *)
+  List.iteri (fun d _ -> ignore (P.insert t d)) (List.init n_domains Fun.id);
+  let finals =
+    Tutil.join_all
+      (Tutil.spawn_n n_domains (fun d ->
+           let rng = Rng.of_int_seed (2100 + d) in
+           let pos = ref d in
+           for _ = 1 to 20_000 do
+             let next = (Rng.int rng (universe / n_domains) * n_domains) + d in
+             if next <> !pos then begin
+               if not (P.replace t ~remove:!pos ~add:next) then
+                 Alcotest.failf "domain %d lost its token" d;
+               pos := next
+             end
+           done;
+           !pos))
+  in
+  Alcotest.(check int) "one key per domain" n_domains (P.size t);
+  List.iter
+    (fun pos ->
+      if not (P.member t pos) then Alcotest.failf "token at %d missing" pos)
+    finals;
+  match P.check_invariants t with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_contended_replace_single_winner () =
+  (* All domains try to replace the same source key: exactly one wins. *)
+  for round = 0 to 19 do
+    let t = P.create ~universe:64 () in
+    ignore (P.insert t 0);
+    let winners = Atomic.make 0 in
+    Tutil.join_all
+      (Tutil.spawn_n n_domains (fun d ->
+           if P.replace t ~remove:0 ~add:(d + 1) then Atomic.incr winners))
+    |> ignore;
+    Alcotest.(check int)
+      (Printf.sprintf "round %d single winner" round)
+      1 (Atomic.get winners);
+    Alcotest.(check int) "still one key" 1 (P.size t);
+    Alcotest.(check bool) "source gone" false (P.member t 0)
+  done
+
+let test_replace_chain_race () =
+  (* Domains chase each other down a chain: d tries to advance the shared
+     token from k to k+1.  Exactly universe-1 advances can succeed. *)
+  for _round = 0 to 4 do
+    let universe = 32 in
+    let t = P.create ~universe () in
+    ignore (P.insert t 0);
+    let advances = Atomic.make 0 in
+    Tutil.join_all
+      (Tutil.spawn_n n_domains (fun _ ->
+           for k = 0 to universe - 2 do
+             if P.replace t ~remove:k ~add:(k + 1) then Atomic.incr advances
+           done))
+    |> ignore;
+    Alcotest.(check int) "advances" (universe - 1) (Atomic.get advances);
+    Alcotest.(check (list int)) "token at the end" [ universe - 1 ] (P.to_list t)
+  done
+
+let test_replace_vs_delete_race () =
+  (* A replace and a delete compete for the same source key: exactly one
+     of them may succeed per round. *)
+  for round = 0 to 49 do
+    let t = P.create ~universe:16 () in
+    ignore (P.insert t 3);
+    let results =
+      Tutil.join_all
+        (Tutil.spawn_n 2 (fun d ->
+             if d = 0 then P.replace t ~remove:3 ~add:7 else P.delete t 3))
+    in
+    let successes = List.length (List.filter Fun.id results) in
+    Alcotest.(check int) (Printf.sprintf "round %d one winner" round) 1 successes;
+    (* If the replace won, 7 is present; if the delete won, nothing is. *)
+    let contents = P.to_list t in
+    (match results with
+    | [ true; false ] -> Alcotest.(check (list int)) "replace won" [ 7 ] contents
+    | [ false; true ] -> Alcotest.(check (list int)) "delete won" [] contents
+    | _ -> Alcotest.fail "impossible outcome");
+    match P.check_invariants t with Ok () -> () | Error e -> Alcotest.fail e
+  done
+
+let test_replace_vs_insert_target_race () =
+  (* A replace and an insert compete for the same target key. *)
+  for round = 0 to 49 do
+    let t = P.create ~universe:16 () in
+    ignore (P.insert t 3);
+    let results =
+      Tutil.join_all
+        (Tutil.spawn_n 2 (fun d ->
+             if d = 0 then P.replace t ~remove:3 ~add:7 else P.insert t 7))
+    in
+    (match results with
+    | [ true; true ] ->
+        (* Insert linearized first, then replace?  Then 7 was present and
+           the replace must have failed — contradiction.  So both
+           succeeding means replace first (3 -> 7), but then the insert
+           must have failed.  Both-true is impossible. *)
+        Alcotest.failf "round %d: both replace and insert succeeded" round
+    | [ true; false ] ->
+        Alcotest.(check (list int)) "replace won" [ 7 ] (P.to_list t)
+    | [ false; true ] ->
+        Alcotest.(check bool) "insert won; source stays" true (P.member t 3);
+        Alcotest.(check bool) "target present" true (P.member t 7)
+    | [ false; false ] -> Alcotest.failf "round %d: both failed" round
+    | _ -> assert false);
+    match P.check_invariants t with Ok () -> () | Error e -> Alcotest.fail e
+  done
+
+let test_no_intermediate_state_observed () =
+  (* While one domain bounces a token between two far-apart keys (forcing
+     the general two-child-CAS case of replace), readers record member
+     observations of both keys.  The combined history must linearize:
+     that is exactly the statement that the two structural changes of
+     each replace became visible atomically. *)
+  let a = 1 and b = 60 in
+  for round = 0 to 9 do
+    let t = P.create ~universe:62 () in
+    ignore (P.insert t a);
+    let recorder = Linearize.Recorder.create ~threads:3 in
+    let mover () =
+      let cur = ref a and other = ref b in
+      for _ = 1 to 12 do
+        let remove = !cur and add = !other in
+        if
+          Linearize.Recorder.record recorder ~thread:0
+            (Replace (remove, add))
+            (fun () -> P.replace t ~remove ~add)
+        then begin
+          cur := add;
+          other := remove
+        end
+      done
+    in
+    let reader d () =
+      let rng = Rng.of_int_seed ((round * 17) + d) in
+      for _ = 1 to 12 do
+        let k = if Rng.bool rng then a else b in
+        ignore
+          (Linearize.Recorder.record recorder ~thread:d (Member k) (fun () ->
+               P.member t k))
+      done
+    in
+    let doms =
+      Domain.spawn mover :: List.map (fun d -> Domain.spawn (reader d)) [ 1; 2 ]
+    in
+    List.iter Domain.join doms;
+    let history = Linearize.Recorder.history recorder in
+    if not (Linearize.check ~initial:(1 lsl a) history) then
+      Alcotest.failf "round %d: replace history not linearizable" round;
+    Alcotest.(check int) "one key at rest" 1 (P.size t)
+  done
+
+let test_replace_returns_false_consistently () =
+  (* Concurrent replaces with absent sources must all fail. *)
+  let t = P.create ~universe:64 () in
+  ignore (P.insert t 1);
+  let results =
+    Tutil.join_all
+      (Tutil.spawn_n n_domains (fun d ->
+           P.replace t ~remove:(40 + d) ~add:(50 + d)))
+  in
+  Alcotest.(check (list bool)) "all fail" [ false; false; false; false ] results;
+  Alcotest.(check (list int)) "unchanged" [ 1 ] (P.to_list t)
+
+let test_replace_general_case_leaves_no_flags () =
+  let t = P.create ~universe:1024 () in
+  ignore (P.insert t 1);
+  ignore (P.insert t 1000);
+  ignore (P.insert t 500);
+  Alcotest.(check bool) "replace" true (P.replace t ~remove:1 ~add:900);
+  (* Reachable nodes must be unflagged after completion (the removed
+     leaf stays flagged but is unreachable). *)
+  List.iter
+    (fun k ->
+      Alcotest.(check int)
+        (Printf.sprintf "no flags on path of %d" k)
+        0
+        (P.For_testing.flags_on_path t k))
+    [ 900; 500; 1000 ]
+
+let () =
+  Alcotest.run "replace"
+    [
+      ( "atomicity",
+        [
+          Alcotest.test_case "token conservation" `Slow test_token_conservation;
+          Alcotest.test_case "single winner" `Quick test_contended_replace_single_winner;
+          Alcotest.test_case "chain race" `Quick test_replace_chain_race;
+          Alcotest.test_case "replace vs delete" `Quick test_replace_vs_delete_race;
+          Alcotest.test_case "replace vs insert target" `Quick
+            test_replace_vs_insert_target_race;
+          Alcotest.test_case "no intermediate state" `Slow
+            test_no_intermediate_state_observed;
+          Alcotest.test_case "absent sources all fail" `Quick
+            test_replace_returns_false_consistently;
+          Alcotest.test_case "no residual flags" `Quick
+            test_replace_general_case_leaves_no_flags;
+        ] );
+    ]

@@ -1,0 +1,88 @@
+(* Tests for the SplitMix64 workload generator. *)
+
+let test_deterministic () =
+  let a = Rng.of_int_seed 123 and b = Rng.of_int_seed 123 in
+  for _ = 1 to 1000 do
+    Alcotest.(check int) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.of_int_seed 1 and b = Rng.of_int_seed 2 in
+  let same = ref 0 in
+  for _ = 1 to 1000 do
+    if Rng.next a = Rng.next b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 5)
+
+let test_int_bounds () =
+  let r = Rng.of_int_seed 7 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int r 37 in
+    if x < 0 || x >= 37 then Alcotest.failf "out of bounds: %d" x
+  done;
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Splitmix64.int: bound must be positive") (fun () ->
+      ignore (Rng.int r 0))
+
+let test_float_range () =
+  let r = Rng.of_int_seed 8 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float r in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "float out of [0,1): %f" x
+  done
+
+let test_uniformity_coarse () =
+  (* 10 buckets, 100k draws: each bucket within 20%% of the mean. *)
+  let r = Rng.of_int_seed 9 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let x = Rng.int r 10 in
+    buckets.(x) <- buckets.(x) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c < n / 10 * 8 / 10 || c > n / 10 * 12 / 10 then
+        Alcotest.failf "bucket %d has %d hits" i c)
+    buckets
+
+let test_bool_balance () =
+  let r = Rng.of_int_seed 10 in
+  let trues = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Rng.bool r then incr trues
+  done;
+  Alcotest.(check bool) "roughly balanced" true
+    (!trues > n * 45 / 100 && !trues < n * 55 / 100)
+
+let test_split_independent () =
+  let parent = Rng.of_int_seed 11 in
+  let c1 = Rng.split parent and c2 = Rng.split parent in
+  let same = ref 0 in
+  for _ = 1 to 1000 do
+    if Rng.next c1 = Rng.next c2 then incr same
+  done;
+  Alcotest.(check bool) "children differ" true (!same < 5)
+
+let test_non_negative () =
+  let r = Rng.of_int_seed 12 in
+  for _ = 1 to 10_000 do
+    if Rng.next r < 0 then Alcotest.fail "negative draw"
+  done
+
+let () =
+  Alcotest.run "rng"
+    [
+      ( "splitmix64",
+        [
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "coarse uniformity" `Quick test_uniformity_coarse;
+          Alcotest.test_case "bool balance" `Quick test_bool_balance;
+          Alcotest.test_case "split independence" `Quick test_split_independent;
+          Alcotest.test_case "non-negative" `Quick test_non_negative;
+        ] );
+    ]

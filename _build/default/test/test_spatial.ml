@@ -1,0 +1,138 @@
+(* Tests for the 2-D point set (GIS application of Section I). *)
+
+let test_basics () =
+  let g = Spatial.create ~coord_bits:8 () in
+  Alcotest.(check int) "side" 256 (Spatial.side g);
+  Alcotest.(check bool) "add" true (Spatial.add g ~x:10 ~y:20);
+  Alcotest.(check bool) "add dup" false (Spatial.add g ~x:10 ~y:20);
+  Alcotest.(check bool) "mem" true (Spatial.mem g ~x:10 ~y:20);
+  Alcotest.(check bool) "mem other" false (Spatial.mem g ~x:20 ~y:10);
+  Alcotest.(check bool) "remove" true (Spatial.remove g ~x:10 ~y:20);
+  Alcotest.(check int) "empty" 0 (Spatial.size g)
+
+let test_reserved_corners () =
+  let g = Spatial.create ~coord_bits:4 () in
+  Alcotest.check_raises "origin reserved"
+    (Invalid_argument "Spatial: the two extreme corners are reserved")
+    (fun () -> ignore (Spatial.add g ~x:0 ~y:0));
+  Alcotest.check_raises "far corner reserved"
+    (Invalid_argument "Spatial: the two extreme corners are reserved")
+    (fun () -> ignore (Spatial.add g ~x:15 ~y:15));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Spatial: coordinate out of range") (fun () ->
+      ignore (Spatial.add g ~x:16 ~y:0));
+  (* Neighbouring cells are fine. *)
+  Alcotest.(check bool) "near origin ok" true (Spatial.add g ~x:0 ~y:1);
+  Alcotest.(check bool) "near corner ok" true (Spatial.add g ~x:15 ~y:14)
+
+let test_move_atomic () =
+  let g = Spatial.create ~coord_bits:8 () in
+  ignore (Spatial.add g ~x:1 ~y:1);
+  Alcotest.(check bool) "move" true
+    (Spatial.move g ~from_x:1 ~from_y:1 ~to_x:200 ~to_y:3);
+  Alcotest.(check bool) "source free" false (Spatial.mem g ~x:1 ~y:1);
+  Alcotest.(check bool) "dest occupied" true (Spatial.mem g ~x:200 ~y:3);
+  Alcotest.(check bool) "move from empty" false
+    (Spatial.move g ~from_x:1 ~from_y:1 ~to_x:5 ~to_y:5);
+  ignore (Spatial.add g ~x:5 ~y:5);
+  Alcotest.(check bool) "move onto occupied" false
+    (Spatial.move g ~from_x:200 ~from_y:3 ~to_x:5 ~to_y:5);
+  Alcotest.(check bool) "move in place" false
+    (Spatial.move g ~from_x:5 ~from_y:5 ~to_x:5 ~to_y:5);
+  Alcotest.(check int) "two points" 2 (Spatial.size g)
+
+let test_rect_query_basic () =
+  let g = Spatial.create ~coord_bits:6 () in
+  let pts = [ (1, 1); (10, 10); (10, 11); (11, 10); (30, 5); (5, 30) ] in
+  List.iter (fun (x, y) -> ignore (Spatial.add g ~x ~y)) pts;
+  Alcotest.(check int) "tight box" 3
+    (Spatial.count_in_rect g ~x0:10 ~y0:10 ~x1:11 ~y1:11);
+  Alcotest.(check int) "all" 6 (Spatial.count_in_rect g ~x0:0 ~y0:0 ~x1:63 ~y1:63);
+  Alcotest.(check int) "empty box" 0
+    (Spatial.count_in_rect g ~x0:40 ~y0:40 ~x1:50 ~y1:50);
+  Alcotest.(check int) "column" 1 (Spatial.count_in_rect g ~x0:5 ~y0:0 ~x1:5 ~y1:63);
+  Alcotest.(check (list (pair int int)))
+    "points sorted by z-order" [ (10, 10); (10, 11); (11, 10) ]
+    (Spatial.points_in_rect g ~x0:10 ~y0:10 ~x1:11 ~y1:11)
+
+let prop_rect_matches_filter =
+  Tutil.qtest ~count:100 "rectangle query agrees with filtering all points"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_bound 50) (pair (int_range 0 31) (int_range 0 31)))
+        (quad (int_range 0 31) (int_range 0 31) (int_range 0 31) (int_range 0 31)))
+    (fun (pts, (a, b, c, d)) ->
+      let g = Spatial.create ~coord_bits:5 () in
+      List.iter
+        (fun (x, y) ->
+          if not ((x = 0 && y = 0) || (x = 31 && y = 31)) then
+            ignore (Spatial.add g ~x ~y))
+        pts;
+      let x0 = min a c and x1 = max a c and y0 = min b d and y1 = max b d in
+      let expected =
+        Spatial.to_points g
+        |> List.filter (fun (x, y) -> x0 <= x && x <= x1 && y0 <= y && y <= y1)
+        |> List.sort compare
+      in
+      let got =
+        Spatial.points_in_rect g ~x0 ~y0 ~x1 ~y1 |> List.sort compare
+      in
+      got = expected)
+
+let test_concurrent_movers_and_queries () =
+  let g = Spatial.create ~coord_bits:8 () in
+  let n = 32 in
+  (* Each domain owns a horizontal stripe; queries sweep concurrently. *)
+  for i = 1 to n do
+    ignore (Spatial.add g ~x:i ~y:(8 * (i mod 4)))
+  done;
+  let stop = Atomic.make false in
+  let query_dom =
+    Domain.spawn (fun () ->
+        let count = ref 0 in
+        while not (Atomic.get stop) do
+          ignore (Spatial.count_in_rect g ~x0:0 ~y0:0 ~x1:255 ~y1:255);
+          incr count
+        done;
+        !count)
+  in
+  Tutil.join_all
+    (Tutil.spawn_n 4 (fun d ->
+         let rng = Rng.of_int_seed (8800 + d) in
+         let owned = List.init 8 (fun i -> (d * 8) + i + 1) in
+         let pos = Array.of_list (List.map (fun x -> (x, 8 * (x mod 4))) owned) in
+         for _ = 1 to 3_000 do
+           let i = Rng.int rng 8 in
+           let x, y = pos.(i) in
+           (* Targets may collide across domains; a failed move simply
+              leaves the token where it was. *)
+           let y' = (8 * (x mod 4)) + Rng.int rng 8 in
+           let x' = 1 + Rng.int rng 254 in
+           if
+             (x', y') <> (x, y)
+             && Spatial.move g ~from_x:x ~from_y:y ~to_x:x' ~to_y:y'
+           then pos.(i) <- (x', y')
+         done))
+  |> ignore;
+  Atomic.set stop true;
+  let queries = Domain.join query_dom in
+  Alcotest.(check bool) "queries ran" true (queries > 0);
+  Alcotest.(check int) "no point lost or duplicated" n (Spatial.size g)
+
+let () =
+  Alcotest.run "spatial"
+    [
+      ( "point set",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "reserved corners" `Quick test_reserved_corners;
+          Alcotest.test_case "atomic move" `Quick test_move_atomic;
+          Alcotest.test_case "rectangle query" `Quick test_rect_query_basic;
+          prop_rect_matches_filter;
+        ] );
+      ( "concurrent",
+        [
+          Alcotest.test_case "movers and queries" `Slow
+            test_concurrent_movers_and_queries;
+        ] );
+    ]

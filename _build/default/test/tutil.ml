@@ -1,0 +1,174 @@
+(* Shared helpers for the test suites. *)
+
+module IS = Set.Make (Int)
+
+(* The operations of one concurrent-set implementation, as closures (same
+   shape as Harness.ops but without depending on the harness). *)
+type ops = {
+  label : string;
+  insert : int -> bool;
+  delete : int -> bool;
+  member : int -> bool;
+  to_list : unit -> int list;
+  size : unit -> int;
+  check : unit -> (unit, string) result;
+  replace : (remove:int -> add:int -> bool) option;
+}
+
+let pat_ops ~universe () =
+  let t = Core.Patricia.create ~universe () in
+  {
+    label = "PAT";
+    insert = Core.Patricia.insert t;
+    delete = Core.Patricia.delete t;
+    member = Core.Patricia.member t;
+    to_list = (fun () -> Core.Patricia.to_list t);
+    size = (fun () -> Core.Patricia.size t);
+    check = (fun () -> Core.Patricia.check_invariants t);
+    replace = Some (fun ~remove ~add -> Core.Patricia.replace t ~remove ~add);
+  }
+
+let bst_ops ~universe () =
+  let t = Nbbst.create ~universe () in
+  {
+    label = "BST";
+    insert = Nbbst.insert t;
+    delete = Nbbst.delete t;
+    member = Nbbst.member t;
+    to_list = (fun () -> Nbbst.to_list t);
+    size = (fun () -> Nbbst.size t);
+    check = (fun () -> Nbbst.check_invariants t);
+    replace = None;
+  }
+
+let kary_ops ~universe () =
+  let t = Kary.create ~universe () in
+  {
+    label = "4-ST";
+    insert = Kary.insert t;
+    delete = Kary.delete t;
+    member = Kary.member t;
+    to_list = (fun () -> Kary.to_list t);
+    size = (fun () -> Kary.size t);
+    check = (fun () -> Kary.check_invariants t);
+    replace = None;
+  }
+
+let sl_ops ~universe () =
+  let t = Skiplist.create ~universe () in
+  {
+    label = "SL";
+    insert = Skiplist.insert t;
+    delete = Skiplist.delete t;
+    member = Skiplist.member t;
+    to_list = (fun () -> Skiplist.to_list t);
+    size = (fun () -> Skiplist.size t);
+    check = (fun () -> Skiplist.check_invariants t);
+    replace = None;
+  }
+
+let avl_ops ~universe () =
+  let t = Avl.create ~universe () in
+  {
+    label = "AVL";
+    insert = Avl.insert t;
+    delete = Avl.delete t;
+    member = Avl.member t;
+    to_list = (fun () -> Avl.to_list t);
+    size = (fun () -> Avl.size t);
+    check = (fun () -> Avl.check_invariants t);
+    replace = None;
+  }
+
+let ctrie_ops ~universe () =
+  let t = Ctrie.create ~universe () in
+  {
+    label = "Ctrie";
+    insert = Ctrie.insert t;
+    delete = Ctrie.delete t;
+    member = Ctrie.member t;
+    to_list = (fun () -> Ctrie.to_list t);
+    size = (fun () -> Ctrie.size t);
+    check = (fun () -> Ctrie.check_invariants t);
+    replace = None;
+  }
+
+let all_makers =
+  [ pat_ops; bst_ops; kary_ops; sl_ops; avl_ops; ctrie_ops ]
+
+let baseline_makers = [ bst_ops; kary_ops; sl_ops; avl_ops; ctrie_ops ]
+
+(* ------------------------------------------------------------------ *)
+
+let check_ok label ops =
+  match ops.check () with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s invariants violated: %s" label e
+
+(* Drive [ops] and a reference IntSet through [steps] random operations,
+   failing on the first divergence; returns the final model. *)
+let model_run ?(seed = 42) ~universe ~steps ops =
+  let rng = Rng.of_int_seed seed in
+  let model = ref IS.empty in
+  for step = 1 to steps do
+    let k = Rng.int rng universe in
+    match Rng.int rng 3 with
+    | 0 ->
+        let expect = not (IS.mem k !model) in
+        if ops.insert k <> expect then
+          Alcotest.failf "%s: insert %d wrong at step %d" ops.label k step;
+        model := IS.add k !model
+    | 1 ->
+        let expect = IS.mem k !model in
+        if ops.delete k <> expect then
+          Alcotest.failf "%s: delete %d wrong at step %d" ops.label k step;
+        model := IS.remove k !model
+    | _ ->
+        if ops.member k <> IS.mem k !model then
+          Alcotest.failf "%s: member %d wrong at step %d" ops.label k step
+  done;
+  !model
+
+let spawn_n n f = List.init n (fun d -> Domain.spawn (fun () -> f d))
+let join_all ds = List.map Domain.join ds
+
+(* Record a small concurrent history against [ops] and check it with the
+   linearizability checker. *)
+let linearizable_run ?(threads = 3) ?(ops_per_thread = 12) ?(universe = 8)
+    ?(seed = 0) ~with_replace (mk : universe:int -> unit -> ops) =
+  let ops = mk ~universe () in
+  let recorder = Linearize.Recorder.create ~threads in
+  let worker d =
+    let rng = Rng.of_int_seed (seed + (d * 31)) in
+    for _ = 1 to ops_per_thread do
+      let k = Rng.int rng universe in
+      let choices = if with_replace then 4 else 3 in
+      match Rng.int rng choices with
+      | 0 ->
+          ignore
+            (Linearize.Recorder.record recorder ~thread:d (Insert k) (fun () ->
+                 ops.insert k))
+      | 1 ->
+          ignore
+            (Linearize.Recorder.record recorder ~thread:d (Delete k) (fun () ->
+                 ops.delete k))
+      | 2 ->
+          ignore
+            (Linearize.Recorder.record recorder ~thread:d (Member k) (fun () ->
+                 ops.member k))
+      | _ ->
+          let k2 = Rng.int rng universe in
+          let replace = Option.get ops.replace in
+          ignore
+            (Linearize.Recorder.record recorder ~thread:d (Replace (k, k2))
+               (fun () -> replace ~remove:k ~add:k2))
+    done
+  in
+  join_all (spawn_n threads worker) |> ignore;
+  let history = Linearize.Recorder.history recorder in
+  if not (Linearize.check history) then
+    Alcotest.failf "%s: history of %d ops is not linearizable" ops.label
+      (Array.length history)
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
