@@ -19,7 +19,15 @@
      REPRO_SMALL     small key range                (default 100)
      REPRO_ONLY      comma-separated sections to run
                      (fig8,fig9,fig10,fig11,micro; default all)
-     REPRO_SKIP_MICRO  set to skip the Bechamel suite *)
+     REPRO_SKIP_MICRO  set to skip the Bechamel suite
+     REPRO_METRICS_JSON  path of a machine-readable metrics file; also
+                     settable as `--metrics-json PATH`.  When set, every
+                     data point additionally records latency percentiles,
+                     PAT's contention counters and GC deltas, and the lot
+                     is written as JSON (schema in EXPERIMENTS.md)
+     REPRO_RECORD_STATS  enable PAT's sharded contention counters even
+                     without a metrics file (they are per-domain, so the
+                     perturbation is a branch + local fetch-and-add) *)
 
 let getenv_int name default =
   match Sys.getenv_opt name with Some s -> int_of_string s | None -> default
@@ -44,6 +52,31 @@ let sections =
 
 let enabled s = List.mem s sections
 
+(* --metrics-json PATH on the command line wins over the env knob. *)
+let metrics_path =
+  let rec scan = function
+    | "--metrics-json" :: path :: _ -> Some path
+    | _ :: tl -> scan tl
+    | [] -> None
+  in
+  match scan (Array.to_list Sys.argv) with
+  | Some _ as p -> p
+  | None -> Sys.getenv_opt "REPRO_METRICS_JSON"
+
+let metrics_on = metrics_path <> None
+let record_stats = metrics_on || Sys.getenv_opt "REPRO_RECORD_STATS" <> None
+
+(* Swap PAT for its counter-enabled twin when stats are wanted; the
+   other five structures have no internal counters to read. *)
+let with_stats subjects =
+  if record_stats then
+    List.map
+      (fun s ->
+        if s.Harness.label = Core.Patricia.name then Harness.pat_subject_stats
+        else s)
+      subjects
+  else subjects
+
 let config threads =
   Harness.
     {
@@ -54,18 +87,33 @@ let config threads =
       seed = 2013;
     }
 
-let sweep subjects workload =
+(* ------------------------------------------------------------------ *)
+(* Metrics-file assembly (see EXPERIMENTS.md, "Observability") *)
+
+let metrics_acc : Obs.Json.t list ref = ref []
+
+let sweep ~figure subjects workload =
   List.map
     (fun subject ->
       ( subject.Harness.label,
         List.map
-          (fun threads -> Harness.run_subject subject workload (config threads))
+          (fun threads ->
+            let full =
+              Harness.run_subject_full ~record_latency:metrics_on subject
+                workload (config threads)
+            in
+            if metrics_on then
+              metrics_acc :=
+                Harness.datapoint_full_to_json ~section:figure
+                  ~label:subject.Harness.label workload ~threads full
+                :: !metrics_acc;
+            full.Harness.dp)
           threads_list ))
-    subjects
+    (with_stats subjects)
 
 let figure ~id ~title subjects workload =
   Format.printf "@.=== %s: %s ===@." id title;
-  let rows = sweep subjects workload in
+  let rows = sweep ~figure:id subjects workload in
   Harness.pp_series Format.std_formatter
     ~title:
       (Printf.sprintf "%s, key range (0, %d), throughput in ops/s" title
@@ -160,3 +208,40 @@ let run_micro () =
 
 let () =
   if enabled "micro" && Sys.getenv_opt "REPRO_SKIP_MICRO" = None then run_micro ()
+
+(* ------------------------------------------------------------------ *)
+(* Metrics file (written last so it reflects every section that ran) *)
+
+let () =
+  match metrics_path with
+  | None -> ()
+  | Some path ->
+      let open Obs.Json in
+      let doc =
+        Obj
+          [
+            ("schema_version", Int 1);
+            ("benchmark", Str "bench/main.exe");
+            ( "config",
+              Obj
+                [
+                  ("seconds_per_trial", Float seconds);
+                  ("trials", Int trials);
+                  ("threads", Arr (List.map (fun t -> Int t) threads_list));
+                  ("large_range", Int large_range);
+                  ("small_range", Int small_range);
+                  ("sections", Arr (List.map (fun s -> Str s) sections));
+                  ("record_stats", Bool record_stats);
+                  ( "available_cores",
+                    Int (Domain.recommended_domain_count ()) );
+                ] );
+            ("datapoints", Arr (List.rev !metrics_acc));
+          ]
+      in
+      (match to_file path doc with
+      | () ->
+          Format.printf "@.metrics written to %s (%d datapoints)@." path
+            (List.length !metrics_acc)
+      | exception Sys_error m ->
+          Format.eprintf "@.cannot write metrics file: %s@." m;
+          exit 1)

@@ -37,20 +37,92 @@ let csv_arg =
   let doc = "Also print data points as CSV rows (structure,threads,mean,stddev)." in
   Arg.(value & flag & info [ "csv" ] ~doc)
 
+let metrics_arg =
+  let doc =
+    "Write a machine-readable metrics file (JSON): per data point latency \
+     percentiles, PAT's contention counters, GC deltas, and raw throughput \
+     samples.  Same schema as bench/main.exe (see EXPERIMENTS.md, \
+     \"Observability\")."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~doc ~docv:"PATH")
+
 let config ~seconds ~trials ~seed threads =
   Harness.
     { threads; seconds; trials; warmup_seconds = min 0.3 (seconds /. 2.0); seed }
 
+(* Metrics collection is per-invocation state: each subcommand's run
+   flips [collect_metrics] through [with_metrics], every [run_sweep]
+   appends its data points, and the file is written once at the end. *)
+let collect_metrics = ref false
+let metrics_acc : Obs.Json.t list ref = ref []
+
+let write_metrics ~threads_list ~seconds ~trials ~seed path =
+  let open Obs.Json in
+  let doc =
+    Obj
+      [
+        ("schema_version", Int 1);
+        ("benchmark", Str "bin/patbench.exe");
+        ( "config",
+          Obj
+            [
+              ("seconds_per_trial", Float seconds);
+              ("trials", Int trials);
+              ("threads", Arr (List.map (fun t -> Int t) threads_list));
+              ("seed", Int seed);
+              ("available_cores", Int (Domain.recommended_domain_count ()));
+            ] );
+        ("datapoints", Arr (List.rev !metrics_acc));
+      ]
+  in
+  match to_file path doc with
+  | () ->
+      Format.printf "@.metrics written to %s (%d datapoints)@." path
+        (List.length !metrics_acc)
+  | exception Sys_error m ->
+      Format.eprintf "@.cannot write metrics file: %s@." m;
+      exit 1
+
+let with_metrics ~threads_list ~seconds ~trials ~seed metrics f =
+  collect_metrics := metrics <> None;
+  metrics_acc := [];
+  let r = f () in
+  Option.iter (write_metrics ~threads_list ~seconds ~trials ~seed) metrics;
+  r
+
 let run_sweep ~threads_list ~seconds ~trials ~seed ~csv ~title subjects workload =
   Format.printf "@.=== %s ===@." title;
+  let subjects =
+    (* With metrics on, swap PAT for its counter-enabled twin so the
+       "counters" object is populated. *)
+    if !collect_metrics then
+      List.map
+        (fun s ->
+          if s.Harness.label = Core.Patricia.name then Harness.pat_subject_stats
+          else s)
+        subjects
+    else subjects
+  in
   let rows =
     List.map
       (fun subject ->
         ( subject.Harness.label,
           List.map
             (fun threads ->
-              Harness.run_subject subject workload
-                (config ~seconds ~trials ~seed threads))
+              let full =
+                Harness.run_subject_full ~record_latency:!collect_metrics
+                  subject workload
+                  (config ~seconds ~trials ~seed threads)
+              in
+              if !collect_metrics then
+                metrics_acc :=
+                  Harness.datapoint_full_to_json ~section:title
+                    ~label:subject.Harness.label workload ~threads full
+                  :: !metrics_acc;
+              full.Harness.dp)
             threads_list ))
       subjects
   in
@@ -78,8 +150,9 @@ let figure_cmd =
     let doc = "Override the key range (defaults to the paper's)." in
     Arg.(value & opt (some int) None & info [ "range" ] ~doc)
   in
-  let run id range threads_list seconds trials seed csv =
+  let run id range threads_list seconds trials seed csv metrics =
     let sweep = run_sweep ~threads_list ~seconds ~trials ~seed ~csv in
+    with_metrics ~threads_list ~seconds ~trials ~seed metrics @@ fun () ->
     match id with
     | 8 ->
         let universe = Option.value range ~default:1_000_000 in
@@ -116,7 +189,7 @@ let figure_cmd =
     Term.(
       ret
         (const run $ id_arg $ range_arg $ threads_arg $ seconds_arg $ trials_arg
-       $ seed_arg $ csv_arg))
+       $ seed_arg $ csv_arg $ metrics_arg))
 
 (* ------------------------------------------------------------------ *)
 (* extra subcommand: configurations the paper mentions without plotting *)
@@ -140,8 +213,9 @@ let extra_cmd =
           `Medium
       & info [ "which" ] ~doc)
   in
-  let run which threads_list seconds trials seed csv =
+  let run which threads_list seconds trials seed csv metrics =
     let sweep = run_sweep ~threads_list ~seconds ~trials ~seed ~csv in
+    with_metrics ~threads_list ~seconds ~trials ~seed metrics @@ fun () ->
     match which with
     | `Medium ->
         sweep ~title:"Extra: uniform i5-d5-f90, range 10^3 (medium contention)"
@@ -184,6 +258,7 @@ let extra_cmd =
                         delete = Kary.delete t;
                         member = Kary.member t;
                         replace = None;
+                        stats = None;
                       });
                 })
             [ 2; 4; 8; 16; 32 ]
@@ -196,7 +271,7 @@ let extra_cmd =
   Cmd.v (Cmd.info "extra" ~doc)
     Term.(
       const run $ which_arg $ threads_arg $ seconds_arg $ trials_arg $ seed_arg
-      $ csv_arg)
+      $ csv_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* custom subcommand *)
@@ -211,7 +286,7 @@ let custom_cmd =
     Arg.(value & opt (some int) None & info [ "clustered" ] ~doc)
   in
   let run insert delete find replace range clustered threads_list seconds trials
-      seed csv =
+      seed csv metrics =
     match Harness.Mix.v ~insert ~delete ~find ~replace () with
     | exception Invalid_argument m -> `Error (false, m)
     | mix ->
@@ -223,6 +298,7 @@ let custom_cmd =
         let subjects =
           if replace > 0 then [ Harness.pat_subject ] else Harness.all_subjects
         in
+        with_metrics ~threads_list ~seconds ~trials ~seed metrics @@ fun () ->
         run_sweep ~threads_list ~seconds ~trials ~seed ~csv
           ~title:
             (Printf.sprintf "Custom: %s, range (0, %d)%s" (Harness.Mix.to_string mix)
@@ -240,7 +316,7 @@ let custom_cmd =
       ret
         (const run $ pct "insert" $ pct "delete" $ pct "find" $ pct "replace"
        $ range_arg $ clustered_arg $ threads_arg $ seconds_arg $ trials_arg
-       $ seed_arg $ csv_arg))
+       $ seed_arg $ csv_arg $ metrics_arg))
 
 (* ------------------------------------------------------------------ *)
 (* ablation subcommand *)
@@ -269,6 +345,7 @@ let ablation_replace ~threads_list ~seconds ~trials ~seed ~csv =
                       true
                     end
                     else false);
+              stats = None;
             });
       }
   in
@@ -277,20 +354,30 @@ let ablation_replace ~threads_list ~seconds ~trials ~seed ~csv =
     [ Harness.pat_subject; composed_subject ]
     Harness.{ universe = 1_000_000; mix = Mix.i10_d10_r80; dist = Uniform }
 
-(* Help-rate: how often updates retry or abandon flagging as contention
-   rises; uses the trie's optional internal counters. *)
+(* Help-rate: how often updates retry, abandon flagging, help each other
+   or back out as contention rises; uses the trie's internal counters. *)
 let ablation_helping ~threads_list ~seconds ~trials ~seed ~csv =
   ignore csv;
+  let zero =
+    Core.Patricia.
+      {
+        attempts = 0;
+        helps_given = 0;
+        helps_received = 0;
+        flag_failures = 0;
+        backtracks = 0;
+      }
+  in
   Format.printf
     "@.=== Ablation: PAT coordination overhead vs contention (i50-d50-f0) ===@.";
-  Format.printf "%-10s %12s %14s %14s %16s@." "range" "threads" "ops/s"
-    "attempts/op" "flag-fail/op";
+  Format.printf "%-10s %8s %12s %12s %12s %12s %12s@." "range" "threads"
+    "ops/s" "attempts/op" "flagfail/op" "helps/op" "backtrk/op";
   List.iter
     (fun universe ->
       List.iter
         (fun threads ->
           let t = ref None in
-          let baseline = ref (0, 0, 0) in
+          let baseline = ref zero in
           let make_ops () =
             let trie = Core.Patricia.create ~universe ~record_stats:true () in
             t := Some trie;
@@ -300,6 +387,7 @@ let ablation_helping ~threads_list ~seconds ~trials ~seed ~csv =
                 delete = Core.Patricia.delete trie;
                 member = Core.Patricia.member trie;
                 replace = None;
+                stats = None;
               }
           in
           (* Snapshot the counters after prefill and warm-up so the ratios
@@ -308,25 +396,35 @@ let ablation_helping ~threads_list ~seconds ~trials ~seed ~csv =
             baseline :=
               Option.value
                 (Option.bind !t Core.Patricia.stats_snapshot)
-                ~default:(0, 0, 0)
+                ~default:zero
           in
           let workload =
             Harness.{ universe; mix = Mix.i50_d50_f0; dist = Uniform }
           in
           let cfg = config ~seconds ~trials:1 ~seed threads in
           let dp = Harness.run ~before_timed ~make_ops workload cfg in
-          let attempts, _, flag_failures =
+          let delta =
             match Option.bind !t Core.Patricia.stats_snapshot with
-            | Some (a, h, f) ->
-                let a0, h0, f0 = !baseline in
-                (a - a0, h - h0, f - f0)
-            | None -> (0, 0, 0)
+            | Some s ->
+                let b = !baseline in
+                Core.Patricia.
+                  {
+                    attempts = s.attempts - b.attempts;
+                    helps_given = s.helps_given - b.helps_given;
+                    helps_received = s.helps_received - b.helps_received;
+                    flag_failures = s.flag_failures - b.flag_failures;
+                    backtracks = s.backtracks - b.backtracks;
+                  }
+            | None -> zero
           in
           let ops_total = dp.Harness.mean *. seconds in
-          Format.printf "%-10d %12d %14.0f %14.3f %16.5f@." universe threads
-            dp.Harness.mean
-            (float_of_int attempts /. ops_total)
-            (float_of_int flag_failures /. ops_total))
+          let per c = float_of_int c /. ops_total in
+          Format.printf "%-10d %8d %12.0f %12.3f %12.5f %12.5f %12.5f@."
+            universe threads dp.Harness.mean
+            (per delta.Core.Patricia.attempts)
+            (per delta.Core.Patricia.flag_failures)
+            (per delta.Core.Patricia.helps_given)
+            (per delta.Core.Patricia.backtracks))
         threads_list)
     [ 100; 10_000; 1_000_000 ];
   ignore trials;
@@ -361,6 +459,7 @@ let ablation_seq ~threads_list ~seconds ~trials ~seed ~csv =
               delete = Core.Patricia_seq.delete t;
               member = Core.Patricia_seq.member t;
               replace = None;
+              stats = None;
             });
       }
   in
@@ -396,6 +495,7 @@ let ablation_vlk ~threads_list ~seconds ~trials ~seed ~csv =
                   (fun remove add ->
                     Core.Patricia_vlk.replace t ~remove:(key remove)
                       ~add:(key add));
+              stats = None;
             });
       }
   in
@@ -424,7 +524,8 @@ let ablation_cmd =
           `Replace
       & info [ "which" ] ~doc)
   in
-  let run which threads_list seconds trials seed csv =
+  let run which threads_list seconds trials seed csv metrics =
+    with_metrics ~threads_list ~seconds ~trials ~seed metrics @@ fun () ->
     match which with
     | `Replace -> ablation_replace ~threads_list ~seconds ~trials ~seed ~csv
     | `Helping -> ablation_helping ~threads_list ~seconds ~trials ~seed ~csv
@@ -436,7 +537,7 @@ let ablation_cmd =
   Cmd.v (Cmd.info "ablation" ~doc)
     Term.(
       const run $ which_arg $ threads_arg $ seconds_arg $ trials_arg $ seed_arg
-      $ csv_arg)
+      $ csv_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 

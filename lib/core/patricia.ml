@@ -52,14 +52,34 @@ and flag = {
   rmv_leaf : leaf option;
   flag_done : bool Atomic.t;
   fwidth : int; (* key width of the owning trie, for child-index computation *)
+  fstats : stats option;
+      (* The owning trie's counters, carried by the descriptor so that
+         helpers — which see only the descriptor — can attribute events
+         (helps received, backtracks) to the right trie. *)
 }
 
-(* Counters for the help-rate ablation; disabled (None) by default so the
-   hot path pays a single branch. *)
-type stats = {
-  attempts : int Atomic.t; (* retry-loop iterations across all updates *)
-  helps_given : int Atomic.t; (* calls to help on *another* op's descriptor *)
-  flag_failures : int Atomic.t; (* attempts abandoned in the flagging phase *)
+(* Counters for the help-rate ablation and the observability layer;
+   disabled (None) by default so the hot path pays a single branch.
+   Each counter is striped per domain ([Obs.Counter]): enabling stats no
+   longer shares one Atomic.t across domains, so the instrumentation
+   does not become the contention hotspot it is measuring. *)
+and stats = {
+  attempts : Obs.Counter.t; (* retry-loop iterations across all updates *)
+  helps_given : Obs.Counter.t; (* calls to help on *another* op's descriptor *)
+  helps_received : Obs.Counter.t;
+      (* flag CASes lost because another process had already installed
+         this very descriptor — i.e. our operation was helped along *)
+  flag_failures : Obs.Counter.t; (* attempts abandoned in the flagging phase *)
+  backtracks : Obs.Counter.t; (* failed flag phases backed out in help *)
+}
+
+(* Point-in-time merged view of the counters (see [stats_snapshot]). *)
+type snapshot = {
+  attempts : int;
+  helps_given : int;
+  helps_received : int;
+  flag_failures : int;
+  backtracks : int;
 }
 
 type t = {
@@ -82,13 +102,21 @@ let node_label ~width = function
   | Leaf l -> Label.of_key ~width l.key
   | Internal i -> i.label
 
-let make_stats () =
-  { attempts = Atomic.make 0; helps_given = Atomic.make 0; flag_failures = Atomic.make 0 }
+let make_stats () : stats =
+  {
+    attempts = Obs.Counter.create ();
+    helps_given = Obs.Counter.create ();
+    helps_received = Obs.Counter.create ();
+    flag_failures = Obs.Counter.create ();
+    backtracks = Obs.Counter.create ();
+  }
 
-let bump t field =
-  match t.stats with
-  | None -> ()
-  | Some s -> Atomic.incr (field s)
+(* The disabled-stats hot path must stay a single branch: [None -> ()]
+   and nothing else.  The closure arguments below are constant (capture
+   nothing), so the compiler lifts them to static data — no allocation
+   either way. *)
+let[@inline] bump (stats : stats option) (field : stats -> Obs.Counter.t) =
+  match stats with None -> () | Some s -> Obs.Counter.incr (field s)
 
 (* ------------------------------------------------------------------ *)
 (* Construction *)
@@ -189,15 +217,23 @@ let key_in_trie node v rmvd =
 
 (* [flag_phase fi f] performs the flag CASes in order (lines 87-92) and
    returns the paper's [doChildCAS]: whether every node in f.flag_nodes
-   was observed flagged with [fi] immediately after our CAS on it. *)
+   was observed flagged with [fi] immediately after our CAS on it.
+
+   A CAS that fails while the node nevertheless holds [fi] means some
+   other process installed this very descriptor before us — the
+   operation is being helped; count it on the owning trie. *)
 let flag_phase fi f =
   let n = Array.length f.flag_nodes in
   let rec loop i =
     if i >= n then true
     else begin
       let x = f.flag_nodes.(i) in
-      ignore (Atomic.compare_and_set x.iinfo f.old_infos.(i) fi);
-      if Atomic.get x.iinfo == fi then loop (i + 1) else false
+      let ours = Atomic.compare_and_set x.iinfo f.old_infos.(i) fi in
+      if Atomic.get x.iinfo == fi then begin
+        if not ours then bump f.fstats (fun s -> s.helps_received);
+        loop (i + 1)
+      end
+      else false
     end
   in
   loop 0
@@ -235,6 +271,7 @@ let rec help (fi : info) : bool =
   end
   else begin
     (* Lines 103-106: flagging failed — back the flags out. *)
+    bump f.fstats (fun s -> s.backtracks);
     for i = Array.length f.flag_nodes - 1 downto 0 do
       ignore
         (Atomic.compare_and_set f.flag_nodes.(i).iinfo fi (fresh_unflag ()))
@@ -245,9 +282,10 @@ let rec help (fi : info) : bool =
 (* Specialized newFlag for the one-flag shape (insert at a leaf, replace
    special case 1): allocation-lean version of the generic constructor
    below, to which it is behaviourally identical. *)
-and new_flag1 ~width ~node ~old ~old_child ~new_child =
+and new_flag1 ~width ~stats ~node ~old ~old_child ~new_child =
   match old with
   | Flag _ ->
+      bump stats (fun s -> s.helps_given);
       ignore (help old);
       None
   | Unflag _ ->
@@ -264,20 +302,23 @@ and new_flag1 ~width ~node ~old ~old_child ~new_child =
              rmv_leaf = None;
              flag_done = Atomic.make false;
              fwidth = width;
+             fstats = stats;
            })
 
 (* Specialized newFlag for the two-flag, one-child-CAS shape (delete;
    insert replacing an internal node; replace special cases 2/3).  The
    first node of the pair is the one to unflag and CAS; the other is
    removed from the trie and stays flagged. *)
-and new_flag2 ~width ~a ~a_old ~b ~b_old ~old_child ~new_child =
+and new_flag2 ~width ~stats ~a ~a_old ~b ~b_old ~old_child ~new_child =
   match a_old with
   | Flag _ ->
+      bump stats (fun s -> s.helps_given);
       ignore (help a_old);
       None
   | Unflag _ -> (
       match b_old with
       | Flag _ ->
+          bump stats (fun s -> s.helps_given);
           ignore (help b_old);
           None
       | Unflag _ ->
@@ -297,6 +338,7 @@ and new_flag2 ~width ~a ~a_old ~b ~b_old ~old_child ~new_child =
                      rmv_leaf = None;
                      flag_done = Atomic.make false;
                      fwidth = width;
+                     fstats = stats;
                    })
             else None
           else
@@ -317,19 +359,22 @@ and new_flag2 ~width ~a ~a_old ~b ~b_old ~old_child ~new_child =
                    rmv_leaf = None;
                    flag_done = Atomic.make false;
                    fwidth = width;
+                   fstats = stats;
                  }))
 
 (* newFlag (lines 107-116), generic form used by the replace cases that
    flag three or four nodes.  Takes the nodes to flag paired with the
    info values read from them; returns the shared [Flag] info value, or
    [None] after helping a conflicting update (the caller then retries). *)
-and new_flag ~width ~flags ~unflag ~pnodes ~old_children ~new_children ~rmv_leaf =
+and new_flag ~width ~stats ~flags ~unflag ~pnodes ~old_children ~new_children
+    ~rmv_leaf =
   match
     List.find_opt (fun (_, i) -> match i with Flag _ -> true | _ -> false) flags
   with
   | Some (_, old) ->
       (* Lines 109-111: someone else's update is pending on a node we
          need; help it, then fail so our caller restarts from scratch. *)
+      bump stats (fun s -> s.helps_given);
       ignore (help old);
       None
   | None -> (
@@ -371,16 +416,21 @@ and new_flag ~width ~flags ~unflag ~pnodes ~old_children ~new_children ~rmv_leaf
                  rmv_leaf;
                  flag_done = Atomic.make false;
                  fwidth = width;
+                 fstats = stats;
                }))
 
 (* createNode (lines 117-121): a new internal node whose children are
    [n1] and [n2], unless one label prefixes the other — in which case the
    trie already (logically) contains a conflicting key and the caller
    must retry, after helping the update recorded in [info] if any. *)
-and create_node ~width n1 n2 info =
+and create_node ~width ~stats n1 n2 info =
   let l1 = node_label ~width n1 and l2 = node_label ~width n2 in
   if Label.is_prefix l1 l2 || Label.is_prefix l2 l1 then begin
-    (match info with Some (Flag _ as fi) -> ignore (help fi) | _ -> ());
+    (match info with
+    | Some (Flag _ as fi) ->
+        bump stats (fun s -> s.helps_given);
+        ignore (help fi)
+    | _ -> ());
     None
   end
   else
@@ -430,34 +480,35 @@ let sibling_index ~width (p : internal) v =
   1 - Label.next_bit_of_key ~width p.label v
 
 let insert_internal t v =
-  let width = t.width in
+  let width = t.width and stats = t.stats in
   let rec attempt () =
-    bump t (fun s -> s.attempts);
+    bump stats (fun s -> s.attempts);
     let r = search t v in
     if key_in_trie r.node v r.rmvd then false
     else begin
       let node_info_v = Atomic.get (node_info r.node) in
       let node_copy = copy_node r.node in
-      match create_node ~width node_copy (Leaf (new_leaf v)) (Some node_info_v) with
-      | None ->
-          bump t (fun s -> s.helps_given);
-          attempt ()
+      match
+        create_node ~width ~stats node_copy (Leaf (new_leaf v)) (Some node_info_v)
+      with
+      | None -> attempt ()
       | Some new_node ->
           let fi =
             match r.node with
             | Internal i ->
                 (* Line 30: replacing an internal node permanently flags
                    it, since it leaves the trie. *)
-                new_flag2 ~width ~a:r.p ~a_old:r.p_info ~b:i ~b_old:node_info_v
-                  ~old_child:r.node ~new_child:(Internal new_node)
+                new_flag2 ~width ~stats ~a:r.p ~a_old:r.p_info ~b:i
+                  ~b_old:node_info_v ~old_child:r.node
+                  ~new_child:(Internal new_node)
             | Leaf _ ->
-                new_flag1 ~width ~node:r.p ~old:r.p_info ~old_child:r.node
+                new_flag1 ~width ~stats ~node:r.p ~old:r.p_info ~old_child:r.node
                   ~new_child:(Internal new_node)
           in
           (match fi with
           | Some fi when help fi -> true
           | Some _ ->
-              bump t (fun s -> s.flag_failures);
+              bump stats (fun s -> s.flag_failures);
               attempt ()
           | None -> attempt ())
     end
@@ -470,9 +521,9 @@ let insert t k = insert_internal t (internal_key t k)
 (* delete (lines 33-41) *)
 
 let delete_internal t v =
-  let width = t.width in
+  let width = t.width and stats = t.stats in
   let rec attempt () =
-    bump t (fun s -> s.attempts);
+    bump stats (fun s -> s.attempts);
     let r = search t v in
     if not (key_in_trie r.node v r.rmvd) then false
     else begin
@@ -482,12 +533,12 @@ let delete_internal t v =
           (* Line 40: flag gp, mark p (p leaves the trie), and swing
              gp's child from p to node's sibling. *)
           match
-            new_flag2 ~width ~a:gp ~a_old:gp_info ~b:r.p ~b_old:r.p_info
+            new_flag2 ~width ~stats ~a:gp ~a_old:gp_info ~b:r.p ~b_old:r.p_info
               ~old_child:r.p_node ~new_child:node_sibling
           with
           | Some fi when help fi -> true
           | Some _ ->
-              bump t (fun s -> s.flag_failures);
+              bump stats (fun s -> s.flag_failures);
               attempt ()
           | None -> attempt ())
       | _ ->
@@ -505,9 +556,9 @@ let delete t k = delete_internal t (internal_key t k)
 (* replace (lines 42-71) *)
 
 let replace_internal t vd vi =
-  let width = t.width in
+  let width = t.width and stats = t.stats in
   let rec attempt () =
-    bump t (fun s -> s.attempts);
+    bump stats (fun s -> s.attempts);
     let rd = search t vd in
     if not (key_in_trie rd.node vd rd.rmvd) then false
     else begin
@@ -545,13 +596,14 @@ let replace_internal t vd vi =
             let gpd = Option.get rd.gp and gpd_info = Option.get rd.gp_info in
             let copy_i = copy_node node_i in
             match
-              create_node ~width copy_i (Leaf (new_leaf vi)) (Some node_info_i)
+              create_node ~width ~stats copy_i (Leaf (new_leaf vi))
+                (Some node_info_i)
             with
             | None -> None
             | Some new_node_i -> (
                 match node_i with
                 | Internal i ->
-                    new_flag ~width
+                    new_flag ~width ~stats
                       ~flags:
                         [
                           (gpd, gpd_info);
@@ -565,7 +617,7 @@ let replace_internal t vd vi =
                       ~new_children:[ Internal new_node_i; node_sibling_d ]
                       ~rmv_leaf:(Some leaf_d)
                 | Leaf _ ->
-                    new_flag ~width
+                    new_flag ~width ~stats
                       ~flags:
                         [ (gpd, gpd_info); (pd, rd.p_info); (pi, ri.p_info) ]
                       ~unflag:[ gpd; pi ]
@@ -577,7 +629,7 @@ let replace_internal t vd vi =
           else if same_node node_i node_d then
             (* Special case 1 (lines 58-59): both searches ended at vd's
                leaf; replace it by a fresh leaf containing vi. *)
-            new_flag1 ~width ~node:pd ~old:rd.p_info ~old_child:node_i
+            new_flag1 ~width ~stats ~node:pd ~old:rd.p_info ~old_child:node_i
               ~new_child:(Leaf (new_leaf vi))
           else if
             (node_i_is node_i pd
@@ -591,13 +643,14 @@ let replace_internal t vd vi =
             let gpd = Option.get rd.gp and gpd_info = Option.get rd.gp_info in
             let sib_info = Atomic.get (node_info node_sibling_d) in
             match
-              create_node ~width node_sibling_d (Leaf (new_leaf vi))
+              create_node ~width ~stats node_sibling_d (Leaf (new_leaf vi))
                 (Some sib_info)
             with
             | None -> None
             | Some new_node_i ->
-                new_flag2 ~width ~a:gpd ~a_old:gpd_info ~b:pd ~b_old:rd.p_info
-                  ~old_child:rd.p_node ~new_child:(Internal new_node_i)
+                new_flag2 ~width ~stats ~a:gpd ~a_old:gpd_info ~b:pd
+                  ~b_old:rd.p_info ~old_child:rd.p_node
+                  ~new_child:(Internal new_node_i)
           end
           else if
             match rd.gp with Some gp -> node_i_is node_i gp | None -> false
@@ -610,16 +663,16 @@ let replace_internal t vd vi =
             let p_sibling_d =
               Atomic.get gpd.children.(sibling_index ~width gpd vd)
             in
-            match create_node ~width node_sibling_d p_sibling_d None with
+            match create_node ~width ~stats node_sibling_d p_sibling_d None with
             | None -> None
             | Some new_child_i -> (
                 match
-                  create_node ~width (Internal new_child_i)
+                  create_node ~width ~stats (Internal new_child_i)
                     (Leaf (new_leaf vi)) None
                 with
                 | None -> None
                 | Some new_node_i ->
-                    new_flag ~width
+                    new_flag ~width ~stats
                       ~flags:
                         [ (pi, ri.p_info); (gpd, Option.get rd.gp_info); (pd, rd.p_info) ]
                       ~unflag:[ pi ] ~pnodes:[ pi ] ~old_children:[ node_i ]
@@ -630,7 +683,7 @@ let replace_internal t vd vi =
         match fi with
         | Some fi when help fi -> true
         | Some _ ->
-            bump t (fun s -> s.flag_failures);
+            bump stats (fun s -> s.flag_failures);
             attempt ()
         | None -> attempt ()
       end
@@ -726,14 +779,27 @@ let fold_range t ~lo ~hi ~init ~f =
     go init (Internal t.root)
   end
 
-let stats_snapshot t =
+let stats_snapshot t : snapshot option =
   match t.stats with
   | None -> None
   | Some s ->
       Some
-        ( Atomic.get s.attempts,
-          Atomic.get s.helps_given,
-          Atomic.get s.flag_failures )
+        {
+          attempts = Obs.Counter.sum s.attempts;
+          helps_given = Obs.Counter.sum s.helps_given;
+          helps_received = Obs.Counter.sum s.helps_received;
+          flag_failures = Obs.Counter.sum s.flag_failures;
+          backtracks = Obs.Counter.sum s.backtracks;
+        }
+
+let stats_to_alist (s : snapshot) =
+  [
+    ("attempts", s.attempts);
+    ("helps_given", s.helps_given);
+    ("helps_received", s.helps_received);
+    ("flag_failures", s.flag_failures);
+    ("backtracks", s.backtracks);
+  ]
 
 (* Structural invariants of the Patricia trie (paper Invariant 7 and the
    sentinel properties).  Only meaningful in quiescent states. *)
@@ -793,25 +859,26 @@ module For_testing = struct
      do not apply it.  Returns None if the attempt would have restarted. *)
   let prepare_insert t k =
     let v = internal_key t k in
-    let width = t.width in
+    let width = t.width and stats = t.stats in
     let r = search t v in
     if key_in_trie r.node v r.rmvd then None
     else
       let node_info_v = Atomic.get (node_info r.node) in
       let node_copy = copy_node r.node in
       match
-        create_node ~width:t.width node_copy (Leaf (new_leaf v)) (Some node_info_v)
+        create_node ~width:t.width ~stats node_copy (Leaf (new_leaf v))
+          (Some node_info_v)
       with
       | None -> None
       | Some new_node -> (
           match r.node with
           | Internal i ->
-              new_flag ~width
+              new_flag ~width ~stats
                 ~flags:[ (r.p, r.p_info); (i, node_info_v) ]
                 ~unflag:[ r.p ] ~pnodes:[ r.p ] ~old_children:[ r.node ]
                 ~new_children:[ Internal new_node ] ~rmv_leaf:None
           | Leaf _ ->
-              new_flag ~width
+              new_flag ~width ~stats
                 ~flags:[ (r.p, r.p_info) ]
                 ~unflag:[ r.p ] ~pnodes:[ r.p ] ~old_children:[ r.node ]
                 ~new_children:[ Internal new_node ] ~rmv_leaf:None)
@@ -828,8 +895,8 @@ module For_testing = struct
       let node_sibling = Atomic.get r.p.children.(sibling_index ~width r.p v) in
       match (r.gp, r.gp_info) with
       | Some gp, Some gp_info ->
-          new_flag2 ~width ~a:gp ~a_old:gp_info ~b:r.p ~b_old:r.p_info
-            ~old_child:r.p_node ~new_child:node_sibling
+          new_flag2 ~width ~stats:t.stats ~a:gp ~a_old:gp_info ~b:r.p
+            ~b_old:r.p_info ~old_child:r.p_node ~new_child:node_sibling
       | _ -> None
 
   (* Perform only the flagging phase of a descriptor, simulating a

@@ -89,9 +89,32 @@ val check_invariants : t -> (unit, string) result
     extends the node's label plus the branch bit), every internal node
     has two children, and both sentinels are reachable.  Quiescent use. *)
 
-val stats_snapshot : t -> (int * int * int) option
-(** [(attempts, helps_given, flag_failures)] if the trie was created with
-    [~record_stats:true]. *)
+(** Merged view of the contention counters at one point in time.  The
+    live counters are striped per domain ([Obs.Counter]); a snapshot
+    sums the stripes, so it is exact in quiescent states and a
+    consistent-enough view during concurrent updates. *)
+type snapshot = {
+  attempts : int;  (** retry-loop iterations across all updates *)
+  helps_given : int;
+      (** times an update helped {e another} operation's pending
+          descriptor before retrying *)
+  helps_received : int;
+      (** flag CASes lost because a helper had already installed the
+          same descriptor — how often this trie's updates were helped *)
+  flag_failures : int;  (** attempts abandoned in the flagging phase *)
+  backtracks : int;
+      (** failed flag phases backed out inside [help] (paper lines
+          103-106) *)
+}
+
+val stats_snapshot : t -> snapshot option
+(** The counters if the trie was created with [~record_stats:true].
+    Recording is per-domain sharded: enabling stats does not introduce a
+    shared CAS on the update hot path. *)
+
+val stats_to_alist : snapshot -> (string * int) list
+(** Stable [(name, value)] view of a snapshot, in declaration order —
+    used by the metrics JSON emitters. *)
 
 (** Test-only access to the coordination machinery.  These entry points
     let the test-suite create an update descriptor, apply only its

@@ -56,18 +56,73 @@ let default_config =
   { threads = 4; seconds = 1.0; trials = 3; warmup_seconds = 0.3; seed = 2013 }
 
 (** The operations of one structure instance, as closures so the runner is
-    agnostic to the concrete module (and to whether replace exists). *)
+    agnostic to the concrete module (and to whether replace exists).
+    [stats], when present, snapshots the structure's internal contention
+    counters (cumulative since creation); the runner diffs snapshots
+    around the timed window. *)
 type ops = {
   insert : int -> bool;
   delete : int -> bool;
   member : int -> bool;
   replace : (int -> int -> bool) option; (* remove add *)
+  stats : (unit -> (string * int) list) option;
 }
 
 type datapoint = {
   mean : float; (* ops per second *)
   stddev : float;
   samples : float list;
+}
+
+(* Deltas of [Gc.quick_stat] around the timed window.  quick_stat is
+   cheap and never stops the world, at the price of per-domain fields
+   ([minor_words], [promoted_words]) reflecting mostly the coordinating
+   domain; the collection counts and major words are global.  Good
+   enough to spot an allocation regression between two runs of the same
+   benchmark, which is what the metrics files are for. *)
+type gc_delta = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+let gc_delta_between (a : Gc.stat) (b : Gc.stat) =
+  {
+    minor_words = b.Gc.minor_words -. a.Gc.minor_words;
+    promoted_words = b.Gc.promoted_words -. a.Gc.promoted_words;
+    major_words = b.Gc.major_words -. a.Gc.major_words;
+    minor_collections = b.Gc.minor_collections - a.Gc.minor_collections;
+    major_collections = b.Gc.major_collections - a.Gc.major_collections;
+  }
+
+let gc_delta_add x y =
+  {
+    minor_words = x.minor_words +. y.minor_words;
+    promoted_words = x.promoted_words +. y.promoted_words;
+    major_words = x.major_words +. y.major_words;
+    minor_collections = x.minor_collections + y.minor_collections;
+    major_collections = x.major_collections + y.major_collections;
+  }
+
+let gc_delta_zero =
+  {
+    minor_words = 0.0;
+    promoted_words = 0.0;
+    major_words = 0.0;
+    minor_collections = 0;
+    major_collections = 0;
+  }
+
+(** Everything one timed trial can report beyond raw throughput. *)
+type trial_metrics = {
+  ops_per_sec : float;
+  latency : Obs.Histogram.summary option;
+      (* per-operation latency over the timed window, all domains *)
+  counters : (string * int) list;
+      (* structure-internal counter deltas over the timed window *)
+  gc : gc_delta;
 }
 
 let mean_stddev samples =
@@ -99,16 +154,13 @@ let key_stream dist universe rng =
 (* ------------------------------------------------------------------ *)
 (* One timed trial *)
 
-let run_loop ops workload stop rng =
+let run_loop ?latency ops workload stop rng =
   let next_key = key_stream workload.dist workload.universe rng in
   let m = workload.mix in
   let t_ins = m.Mix.insert in
   let t_del = t_ins + m.Mix.delete in
   let t_find = t_del + m.Mix.find in
-  let count = ref 0 in
-  while not (Atomic.get stop) do
-    let r = Rng.int rng 100 in
-    let k = next_key () in
+  let do_op r k =
     if r < t_ins then ignore (ops.insert k)
     else if r < t_del then ignore (ops.delete k)
     else if r < t_find then ignore (ops.member k)
@@ -116,9 +168,28 @@ let run_loop ops workload stop rng =
       match ops.replace with
       | Some replace -> ignore (replace k (next_key ()))
       | None -> ignore (ops.member k)
-    end;
-    incr count
-  done;
+    end
+  in
+  let count = ref 0 in
+  (* Two loop bodies so the un-instrumented path pays no clock reads and
+     no option test per operation. *)
+  (match latency with
+  | None ->
+      while not (Atomic.get stop) do
+        let r = Rng.int rng 100 in
+        let k = next_key () in
+        do_op r k;
+        incr count
+      done
+  | Some hist ->
+      while not (Atomic.get stop) do
+        let r = Rng.int rng 100 in
+        let k = next_key () in
+        let t0 = Obs.Clock.now_ns () in
+        do_op r k;
+        Obs.Histogram.record hist (Obs.Clock.now_ns () - t0);
+        incr count
+      done);
   !count
 
 (* Prefill to half-full: insert a uniformly random half of the universe
@@ -138,12 +209,26 @@ let prefill ops universe rng =
     ignore (ops.insert perm.(i))
   done
 
-let run_trial ?(before_timed = fun () -> ()) ~make_ops workload config trial_idx
-    =
+let counters_of ops = match ops.stats with Some f -> f () | None -> []
+
+(* Delta of two cumulative counter snapshots, keyed by the first. *)
+let counter_deltas before after =
+  List.map
+    (fun (name, v0) ->
+      match List.assoc_opt name after with
+      | Some v1 -> (name, v1 - v0)
+      | None -> (name, 0))
+    before
+
+(* One prefill + warm-up + timed trial.  Returns the trial's metrics and
+   the latency histogram (when [record_latency]) so callers can merge
+   histograms across trials for whole-datapoint percentiles. *)
+let run_trial_full ?(before_timed = fun () -> ()) ?(record_latency = false)
+    ~make_ops workload config trial_idx =
   let ops = make_ops () in
   let rng = Rng.of_int_seed (config.seed + (trial_idx * 7919)) in
   prefill ops workload.universe rng;
-  let run_phase seconds =
+  let run_phase ?latency seconds =
     let stop = Atomic.make false in
     let ready = Atomic.make 0 in
     let go = Atomic.make false in
@@ -154,7 +239,7 @@ let run_trial ?(before_timed = fun () -> ()) ~make_ops workload config trial_idx
           while not (Atomic.get go) do
             Domain.cpu_relax ()
           done;
-          run_loop ops workload stop rng)
+          run_loop ?latency ops workload stop rng)
     in
     let domains = List.init config.threads worker in
     while Atomic.get ready < config.threads do
@@ -170,14 +255,81 @@ let run_trial ?(before_timed = fun () -> ()) ~make_ops workload config trial_idx
   in
   if config.warmup_seconds > 0.0 then ignore (run_phase config.warmup_seconds);
   before_timed ();
-  run_phase config.seconds
+  (* Latency, counters and GC are all measured over the timed window
+     only: the histogram is created after warm-up and the cumulative
+     counters are diffed around the phase. *)
+  let hist = if record_latency then Some (Obs.Histogram.create ()) else None in
+  let counters0 = counters_of ops in
+  let gc0 = Gc.quick_stat () in
+  let ops_per_sec = run_phase ?latency:hist config.seconds in
+  let gc1 = Gc.quick_stat () in
+  let counters1 = counters_of ops in
+  ( {
+      ops_per_sec;
+      latency = Option.map Obs.Histogram.snapshot hist;
+      counters = counter_deltas counters0 counters1;
+      gc = gc_delta_between gc0 gc1;
+    },
+    hist )
+
+let run_trial ?before_timed ~make_ops workload config trial_idx =
+  let m, _ = run_trial_full ?before_timed ~make_ops workload config trial_idx in
+  m.ops_per_sec
+
+(** A whole data point with observability: the throughput statistics of
+    [run] plus per-trial metrics, the latency summary of all trials'
+    samples merged, and counter/GC totals across trials. *)
+type datapoint_full = {
+  dp : datapoint;
+  trial_metrics : trial_metrics list;
+  latency : Obs.Histogram.summary option;
+  counters : (string * int) list;
+  gc : gc_delta;
+}
+
+let run_full ?before_timed ?(record_latency = false) ~make_ops workload config =
+  let combined =
+    if record_latency then Some (Obs.Histogram.create ()) else None
+  in
+  let trial_metrics =
+    List.init config.trials (fun i ->
+        let m, h =
+          run_trial_full ?before_timed ~record_latency ~make_ops workload config
+            i
+        in
+        (match (combined, h) with
+        | Some into, Some h -> Obs.Histogram.merge_into ~into h
+        | _ -> ());
+        m)
+  in
+  let dp = mean_stddev (List.map (fun m -> m.ops_per_sec) trial_metrics) in
+  let counters =
+    match trial_metrics with
+    | [] -> []
+    | (first : trial_metrics) :: rest ->
+        List.fold_left
+          (fun acc (m : trial_metrics) ->
+            List.map
+              (fun (name, v) ->
+                (name, v + Option.value ~default:0 (List.assoc_opt name m.counters)))
+              acc)
+          first.counters rest
+  in
+  let gc =
+    List.fold_left
+      (fun acc (m : trial_metrics) -> gc_delta_add acc m.gc)
+      gc_delta_zero trial_metrics
+  in
+  {
+    dp;
+    trial_metrics;
+    latency = Option.map Obs.Histogram.snapshot combined;
+    counters;
+    gc;
+  }
 
 let run ?before_timed ~make_ops workload config =
-  let samples =
-    List.init config.trials (fun i ->
-        run_trial ?before_timed ~make_ops workload config i)
-  in
-  mean_stddev samples
+  (run_full ?before_timed ~make_ops workload config).dp
 
 (* ------------------------------------------------------------------ *)
 (* The six structures of the paper's evaluation, packaged uniformly. *)
@@ -196,6 +348,7 @@ let pat_subject =
           member = Core.Patricia.member t;
           replace =
             Some (fun remove add -> Core.Patricia.replace t ~remove ~add);
+          stats = None;
         });
   }
 
@@ -210,6 +363,7 @@ let bst_subject =
           delete = Nbbst.delete t;
           member = Nbbst.member t;
           replace = None;
+          stats = None;
         });
   }
 
@@ -224,6 +378,7 @@ let kary_subject =
           delete = Kary.delete t;
           member = Kary.member t;
           replace = None;
+          stats = None;
         });
   }
 
@@ -238,6 +393,7 @@ let skiplist_subject =
           delete = Skiplist.delete t;
           member = Skiplist.member t;
           replace = None;
+          stats = None;
         });
   }
 
@@ -252,6 +408,7 @@ let avl_subject =
           delete = Avl.delete t;
           member = Avl.member t;
           replace = None;
+          stats = None;
         });
   }
 
@@ -266,6 +423,32 @@ let ctrie_subject =
           delete = Ctrie.delete t;
           member = Ctrie.member t;
           replace = None;
+          stats = None;
+        });
+  }
+
+(** PAT with its internal contention counters enabled (per-domain
+    sharded, so the counters do not serialize the hot path).  Used when
+    a metrics file is requested; the plain {!pat_subject} stays
+    completely uninstrumented for like-for-like figure reproduction. *)
+let pat_subject_stats =
+  {
+    label = Core.Patricia.name;
+    make =
+      (fun ~universe ->
+        let t = Core.Patricia.create ~universe ~record_stats:true () in
+        {
+          insert = Core.Patricia.insert t;
+          delete = Core.Patricia.delete t;
+          member = Core.Patricia.member t;
+          replace =
+            Some (fun remove add -> Core.Patricia.replace t ~remove ~add);
+          stats =
+            Some
+              (fun () ->
+                match Core.Patricia.stats_snapshot t with
+                | Some s -> Core.Patricia.stats_to_alist s
+                | None -> []);
         });
   }
 
@@ -282,6 +465,54 @@ let all_subjects =
 
 let run_subject subject workload config =
   run ~make_ops:(fun () -> subject.make ~universe:workload.universe) workload config
+
+let run_subject_full ?record_latency subject workload config =
+  run_full ?record_latency
+    ~make_ops:(fun () -> subject.make ~universe:workload.universe)
+    workload config
+
+(* ------------------------------------------------------------------ *)
+(* Metrics-file assembly: one JSON object per (structure, workload,
+   threads) data point — the schema documented in EXPERIMENTS.md under
+   "Observability" and validated by test/validate_metrics.ml. *)
+
+let dist_string = function
+  | Uniform -> "uniform"
+  | Clustered n -> Printf.sprintf "clustered-%d" n
+
+let gc_delta_to_json (g : gc_delta) =
+  Obs.Json.Obj
+    [
+      ("minor_words", Obs.Json.Float g.minor_words);
+      ("promoted_words", Obs.Json.Float g.promoted_words);
+      ("major_words", Obs.Json.Float g.major_words);
+      ("minor_collections", Obs.Json.Int g.minor_collections);
+      ("major_collections", Obs.Json.Int g.major_collections);
+    ]
+
+let datapoint_full_to_json ~section ~label workload ~threads
+    (full : datapoint_full) =
+  let open Obs.Json in
+  Obj
+    [
+      ("figure", Str section);
+      ("structure", Str label);
+      ("mix", Str (Mix.to_string workload.mix));
+      ("distribution", Str (dist_string workload.dist));
+      ("universe", Int workload.universe);
+      ("threads", Int threads);
+      ("trials", Int (List.length full.dp.samples));
+      ("throughput_mean_ops_s", Float full.dp.mean);
+      ("throughput_stddev_ops_s", Float full.dp.stddev);
+      ( "throughput_samples_ops_s",
+        Arr (List.map (fun s -> Float s) full.dp.samples) );
+      ( "latency",
+        match full.latency with
+        | Some s -> Obs.Histogram.summary_to_json s
+        | None -> Null );
+      ("counters", Obj (List.map (fun (n, v) -> (n, Int v)) full.counters));
+      ("gc", gc_delta_to_json full.gc);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Figure-style reporting *)

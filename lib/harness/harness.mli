@@ -43,15 +43,40 @@ val default_config : config
 
 (** Operations of one structure instance, as closures so the runner is
     agnostic to the module behind them ([replace] is [None] for the five
-    comparison structures, which is why Figure 10 is PAT-only). *)
+    comparison structures, which is why Figure 10 is PAT-only).
+    [stats], when present, returns a snapshot of the structure's internal
+    contention counters, cumulative since creation; the runner diffs two
+    snapshots around the timed window. *)
 type ops = {
   insert : int -> bool;
   delete : int -> bool;
   member : int -> bool;
   replace : (int -> int -> bool) option;  (** remove, add *)
+  stats : (unit -> (string * int) list) option;
 }
 
 type datapoint = { mean : float; stddev : float; samples : float list }
+
+(** Deltas of [Gc.quick_stat] taken around the timed window (cheap, no
+    stop-the-world; the per-domain fields reflect mostly the
+    coordinating domain, the collection counts are global). *)
+type gc_delta = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+(** What one timed trial reports beyond raw throughput: latency
+    percentiles over the timed window (when latency recording was on),
+    structure-internal counter deltas, and GC deltas. *)
+type trial_metrics = {
+  ops_per_sec : float;
+  latency : Obs.Histogram.summary option;
+  counters : (string * int) list;
+  gc : gc_delta;
+}
 
 val mean_stddev : float list -> datapoint
 
@@ -74,6 +99,19 @@ val run_trial :
     [before_timed] runs after warm-up (used to snapshot ablation
     counters). *)
 
+val run_trial_full :
+  ?before_timed:(unit -> unit) ->
+  ?record_latency:bool ->
+  make_ops:(unit -> ops) ->
+  workload ->
+  config ->
+  int ->
+  trial_metrics * Obs.Histogram.t option
+(** Like {!run_trial} but also measuring the timed window: per-operation
+    latency (when [record_latency], default [false]), counter deltas via
+    [ops.stats], and [Gc.quick_stat] deltas.  The returned histogram is
+    the trial's raw latency data, for merging across trials. *)
+
 val run :
   ?before_timed:(unit -> unit) ->
   make_ops:(unit -> ops) ->
@@ -82,10 +120,36 @@ val run :
   datapoint
 (** [config.trials] independent trials on fresh structures. *)
 
+(** A data point plus observability: per-trial metrics, latency summary
+    over all trials' samples, counter and GC totals across trials. *)
+type datapoint_full = {
+  dp : datapoint;
+  trial_metrics : trial_metrics list;
+  latency : Obs.Histogram.summary option;
+  counters : (string * int) list;
+  gc : gc_delta;
+}
+
+val run_full :
+  ?before_timed:(unit -> unit) ->
+  ?record_latency:bool ->
+  make_ops:(unit -> ops) ->
+  workload ->
+  config ->
+  datapoint_full
+(** [config.trials] independent trials with full metrics collection. *)
+
 (** One of the six structures of the paper's evaluation. *)
 type subject = { label : string; make : universe:int -> ops }
 
 val pat_subject : subject
+
+val pat_subject_stats : subject
+(** PAT with [record_stats:true] and an [ops.stats] snapshot closure —
+    the subject used when a metrics file is requested.  The counters are
+    per-domain sharded, so enabling them does not add a shared CAS to
+    the update path. *)
+
 val bst_subject : subject
 val kary_subject : subject
 val skiplist_subject : subject
@@ -97,6 +161,23 @@ val all_subjects : subject list
     PAT, 4-ST, BST, AVL, SL, Ctrie. *)
 
 val run_subject : subject -> workload -> config -> datapoint
+
+val run_subject_full :
+  ?record_latency:bool -> subject -> workload -> config -> datapoint_full
+
+val gc_delta_to_json : gc_delta -> Obs.Json.t
+
+val datapoint_full_to_json :
+  section:string ->
+  label:string ->
+  workload ->
+  threads:int ->
+  datapoint_full ->
+  Obs.Json.t
+(** One metrics-file data point: identification (section/figure,
+    structure label, workload, thread count), throughput mean/stddev and
+    raw samples, the latency percentile summary, the structure's counter
+    deltas, and the GC deltas.  Schema documented in EXPERIMENTS.md. *)
 
 val pp_series :
   Format.formatter ->

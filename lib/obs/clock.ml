@@ -1,0 +1,15 @@
+(** Monotonic nanosecond clock.
+
+    [Unix.gettimeofday] has microsecond resolution and can move backwards
+    under NTP adjustment, so every latency measurement in the repository
+    goes through this shim instead.  It reads CLOCK_MONOTONIC via the
+    noalloc C stub shipped with Bechamel (the same clock its
+    micro-benchmarks use), which costs ~25 ns per call and never
+    allocates — cheap enough to wrap individual set operations. *)
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+(** Elapsed nanoseconds since [start_ns], clamped to be non-negative. *)
+let elapsed_ns start_ns =
+  let d = now_ns () - start_ns in
+  if d < 0 then 0 else d

@@ -1,0 +1,192 @@
+(** HDR-style log-bucketed histogram with per-domain shards.
+
+    Values (latencies in nanoseconds, retry counts, ...) are
+    non-negative ints.  Buckets are exact below 32 and afterwards split
+    each power-of-two range into 32 sub-buckets, bounding the relative
+    quantization error at ~3% — the scheme of HdrHistogram with
+    [significant_figures ≈ 1.5].  Recording into a shard is two plain
+    array/int writes on the calling domain's own stripe: no CAS, no
+    allocation, so instrumenting an operation does not perturb the
+    contention behaviour being measured.  Shards are merged on
+    snapshot.
+
+    Single-writer discipline: a shard is only written by domains mapping
+    to its stripe (see {!Stripe}).  If domain ids ever wrap past the
+    stripe count, two domains may share a stripe and racy increments can
+    drop a sample — an accepted, documented inaccuracy for a statistics
+    container (reads never crash, totals only undercount). *)
+
+let sub_bits = 5
+let sub = 1 lsl sub_bits (* 32 sub-buckets per power of two *)
+
+(* Highest shift is 62 - sub_bits = 57 for values up to [max_int]
+   (2^62 - 1); index = shift * 32 + (v lsr shift) < 59 * 32. *)
+let num_buckets = 59 * sub
+
+let msb v =
+  (* Position of the most significant set bit; v >= 1. *)
+  let v, n = if v lsr 32 <> 0 then (v lsr 32, 32) else (v, 0) in
+  let v, n = if v lsr 16 <> 0 then (v lsr 16, n + 16) else (v, n) in
+  let v, n = if v lsr 8 <> 0 then (v lsr 8, n + 8) else (v, n) in
+  let v, n = if v lsr 4 <> 0 then (v lsr 4, n + 4) else (v, n) in
+  let v, n = if v lsr 2 <> 0 then (v lsr 2, n + 2) else (v, n) in
+  if v lsr 1 <> 0 then n + 1 else n
+
+let bucket_of_value v =
+  let v = if v < 0 then 0 else v in
+  if v < sub then v
+  else
+    let shift = msb v - sub_bits in
+    (shift lsl sub_bits) + (v lsr shift)
+
+(** Inclusive value range [(lo, hi)] covered by bucket [idx]. *)
+let bucket_bounds idx =
+  if idx < sub then (idx, idx)
+  else
+    let shift = (idx lsr sub_bits) - 1 in
+    let lo = (idx - (shift lsl sub_bits)) lsl shift in
+    (lo, lo + (1 lsl shift) - 1)
+
+type shard = {
+  mutable count : int;
+  mutable sum : int;
+  mutable vmin : int;
+  mutable vmax : int;
+  buckets : int array;
+}
+
+type t = shard array
+
+let make_shard () =
+  { count = 0; sum = 0; vmin = max_int; vmax = 0; buckets = Array.make num_buckets 0 }
+
+let create () : t = Array.init Stripe.count (fun _ -> make_shard ())
+
+let[@inline] record (t : t) v =
+  let v = if v < 0 then 0 else v in
+  let s = Array.unsafe_get t (Stripe.index ()) in
+  let idx = bucket_of_value v in
+  Array.unsafe_set s.buckets idx (Array.unsafe_get s.buckets idx + 1);
+  s.count <- s.count + 1;
+  s.sum <- s.sum + v;
+  if v < s.vmin then s.vmin <- v;
+  if v > s.vmax then s.vmax <- v
+
+let reset (t : t) =
+  Array.iter
+    (fun s ->
+      s.count <- 0;
+      s.sum <- 0;
+      s.vmin <- max_int;
+      s.vmax <- 0;
+      Array.fill s.buckets 0 num_buckets 0)
+    t
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot *)
+
+type summary = {
+  count : int;
+  sum : int;
+  min : int; (* 0 when count = 0 *)
+  max : int;
+  mean : float;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+  p999 : int;
+}
+
+let empty_summary =
+  { count = 0; sum = 0; min = 0; max = 0; mean = 0.0; p50 = 0; p90 = 0; p99 = 0; p999 = 0 }
+
+(* Merge all shards into one bucket array (allocates; snapshot path only). *)
+let merged (t : t) =
+  let b = Array.make num_buckets 0 in
+  let count = ref 0 and sum = ref 0 and vmin = ref max_int and vmax = ref 0 in
+  Array.iter
+    (fun (s : shard) ->
+      if s.count > 0 then begin
+        count := !count + s.count;
+        sum := !sum + s.sum;
+        if s.vmin < !vmin then vmin := s.vmin;
+        if s.vmax > !vmax then vmax := s.vmax;
+        Array.iteri (fun i c -> b.(i) <- b.(i) + c) s.buckets
+      end)
+    t;
+  (b, !count, !sum, (if !count = 0 then 0 else !vmin), !vmax)
+
+let percentile_of_merged b total vmax p =
+  if total = 0 then 0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (p /. 100.0 *. float_of_int total)) in
+      if r < 1 then 1 else if r > total then total else r
+    in
+    let idx = ref 0 and cum = ref 0 in
+    (try
+       for i = 0 to num_buckets - 1 do
+         cum := !cum + b.(i);
+         if !cum >= rank then begin
+           idx := i;
+           raise_notrace Exit
+         end
+       done
+     with Exit -> ());
+    (* Report the bucket's upper bound (conservative for latency),
+       clamped by the exact maximum seen. *)
+    let _, hi = bucket_bounds !idx in
+    if hi > vmax then vmax else hi
+  end
+
+let percentile (t : t) p =
+  let b, total, _, _, vmax = merged t in
+  percentile_of_merged b total vmax p
+
+let snapshot (t : t) : summary =
+  let b, count, sum, vmin, vmax = merged t in
+  if count = 0 then empty_summary
+  else
+    let pct = percentile_of_merged b count vmax in
+    {
+      count;
+      sum;
+      min = vmin;
+      max = vmax;
+      mean = float_of_int sum /. float_of_int count;
+      p50 = pct 50.0;
+      p90 = pct 90.0;
+      p99 = pct 99.0;
+      p999 = pct 99.9;
+    }
+
+(** [merge_into ~into src] adds every sample of [src] to [into]'s shard
+    for the calling domain.  Quiescent use only (aggregation across
+    trials); not safe against concurrent recording into [src]. *)
+let merge_into ~(into : t) (src : t) =
+  let dst = into.(Stripe.index ()) in
+  Array.iter
+    (fun (s : shard) ->
+      if s.count > 0 then begin
+        dst.count <- dst.count + s.count;
+        dst.sum <- dst.sum + s.sum;
+        if s.vmin < dst.vmin then dst.vmin <- s.vmin;
+        if s.vmax > dst.vmax then dst.vmax <- s.vmax;
+        Array.iteri
+          (fun i c -> if c <> 0 then dst.buckets.(i) <- dst.buckets.(i) + c)
+          s.buckets
+      end)
+    src
+
+let summary_to_json (s : summary) : Json.t =
+  Json.Obj
+    [
+      ("count", Json.Int s.count);
+      ("min_ns", Json.Int s.min);
+      ("max_ns", Json.Int s.max);
+      ("mean_ns", Json.Float s.mean);
+      ("p50_ns", Json.Int s.p50);
+      ("p90_ns", Json.Int s.p90);
+      ("p99_ns", Json.Int s.p99);
+      ("p999_ns", Json.Int s.p999);
+    ]

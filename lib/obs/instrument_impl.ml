@@ -1,0 +1,89 @@
+(** Latency instrumentation for any [Dset_intf.CONCURRENT_SET].
+
+    [Make (S)] is a drop-in concurrent set that times every [insert],
+    [delete] and [member] with the monotonic clock and records the
+    nanosecond latency into a per-operation sharded {!Histogram} — the
+    structure's internals are untouched, so all six structures of the
+    paper's evaluation (PAT, BST, 4-ST, SL, AVL, Ctrie) gain latency
+    percentiles through the one signature they already share. *)
+
+type op = [ `Insert | `Delete | `Member ]
+
+let op_to_string = function
+  | `Insert -> "insert"
+  | `Delete -> "delete"
+  | `Member -> "member"
+
+module type INSTRUMENTED = sig
+  include Dset_intf.CONCURRENT_SET
+
+  type underlying
+
+  val inner : t -> underlying
+  (** The wrapped structure, for operations outside the common signature. *)
+
+  val latency : t -> op -> Histogram.t
+  (** The live histogram of one operation's latencies, in nanoseconds. *)
+
+  val latency_summary : t -> op -> Histogram.summary
+
+  val latency_summaries : t -> (string * Histogram.summary) list
+  (** [("insert", s); ("delete", s); ("member", s)] — snapshot of all
+      three operation histograms. *)
+
+  val reset_latencies : t -> unit
+  (** Zero all histograms, e.g. after prefill/warm-up so percentiles
+      reflect only the timed window. *)
+end
+
+module Make (S : Dset_intf.CONCURRENT_SET) :
+  INSTRUMENTED with type underlying = S.t = struct
+  type underlying = S.t
+
+  type t = {
+    inner : S.t;
+    ins : Histogram.t;
+    del : Histogram.t;
+    mem : Histogram.t;
+  }
+
+  let name = S.name
+
+  let create ~universe () =
+    {
+      inner = S.create ~universe ();
+      ins = Histogram.create ();
+      del = Histogram.create ();
+      mem = Histogram.create ();
+    }
+
+  let[@inline] timed h f x k =
+    let t0 = Clock.now_ns () in
+    let r = f x k in
+    Histogram.record h (Clock.now_ns () - t0);
+    r
+
+  let insert t k = timed t.ins S.insert t.inner k
+  let delete t k = timed t.del S.delete t.inner k
+  let member t k = timed t.mem S.member t.inner k
+  let to_list t = S.to_list t.inner
+  let size t = S.size t.inner
+  let inner t = t.inner
+
+  let latency t = function
+    | `Insert -> t.ins
+    | `Delete -> t.del
+    | `Member -> t.mem
+
+  let latency_summary t op = Histogram.snapshot (latency t op)
+
+  let latency_summaries t =
+    List.map
+      (fun op -> (op_to_string op, latency_summary t op))
+      [ `Insert; `Delete; `Member ]
+
+  let reset_latencies t =
+    Histogram.reset t.ins;
+    Histogram.reset t.del;
+    Histogram.reset t.mem
+end

@@ -1,0 +1,32 @@
+(** Observability toolkit for the Patricia-trie reproduction.
+
+    The paper's whole story is contention behaviour — help rates, CAS
+    retries, tail latencies under flag conflicts — yet naive
+    instrumentation (shared atomic counters, timestamped logs behind a
+    lock) becomes the hotspot it is supposed to measure.  Everything in
+    this library is therefore sharded per domain on the write path and
+    merged only on snapshot:
+
+    - {!Counter}: cache-line-padded striped counters;
+    - {!Histogram}: log-bucketed latency/retry histograms with
+      p50/p90/p99/p99.9 extraction;
+    - {!Trace}: fixed-capacity per-domain ring buffers of operation
+      events for post-mortem debugging;
+    - {!Instrument}: a functor adding latency histograms to any
+      [Dset_intf.CONCURRENT_SET] without touching its internals;
+    - {!Json}: a dependency-free JSON emitter/parser for the
+      machine-readable metrics files written by the benchmark drivers;
+    - {!Clock}: the monotonic nanosecond clock behind all timestamps. *)
+
+module Clock = Clock
+module Json = Json
+module Stripe = Stripe
+module Counter = Counter
+module Histogram = Histogram
+module Trace = Trace
+
+module type INSTRUMENTED = Instrument_impl.INSTRUMENTED
+
+module Instrument (S : Dset_intf.CONCURRENT_SET) :
+  INSTRUMENTED with type underlying = S.t =
+  Instrument_impl.Make (S)

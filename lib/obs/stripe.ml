@@ -1,0 +1,20 @@
+(** Domain-id striping shared by the sharded metric containers.
+
+    Every container in this library keeps one shard per stripe and maps
+    the calling domain to a stripe with [index ()].  The stripe count is
+    a power of two at least [Domain.recommended_domain_count], fixed at
+    program start: domains alive at the same time then get distinct
+    stripes in the common case (OCaml domain ids grow monotonically, so
+    two concurrently live domains only collide once more than [count]
+    domains have been spawned in total — harness trials spawn fresh
+    domains, so long benchmark runs can wrap; the containers are written
+    to stay safe, merely approximate, under such collisions unless they
+    use atomics). *)
+
+let count =
+  let want = max 8 (Domain.recommended_domain_count ()) in
+  let rec pow2 n = if n >= want then n else pow2 (n * 2) in
+  pow2 8
+
+let mask = count - 1
+let index () = (Domain.self () :> int) land mask

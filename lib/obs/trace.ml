@@ -1,0 +1,108 @@
+(** Fixed-capacity per-domain ring buffer of operation events.
+
+    Post-mortem debugging aid for linearizability-test failures: each
+    domain appends events (operation kind, key, outcome, retry count,
+    monotonic timestamp) to its own ring with plain writes — no
+    synchronization on the hot path — and [dump] stitches the rings back
+    together in timestamp order once the run is quiescent.  With the
+    default capacity of 1024 events per stripe a failing schedule's last
+    few thousand operations are always available without the tracing
+    itself changing the schedule much. *)
+
+type kind = Insert | Delete | Member | Replace | Custom of string
+
+let kind_to_string = function
+  | Insert -> "insert"
+  | Delete -> "delete"
+  | Member -> "member"
+  | Replace -> "replace"
+  | Custom s -> s
+
+type event = {
+  kind : kind;
+  key : int;
+  ok : bool;
+  retries : int;
+  t_ns : int; (* Clock.now_ns at emission *)
+  domain : int; (* raw domain id of the emitter *)
+}
+
+type ring = {
+  mutable next : int; (* slot for the next write *)
+  mutable filled : int; (* number of valid slots, <= capacity *)
+  buf : event array;
+}
+
+type t = { rings : ring array; capacity : int }
+
+let default_capacity = 1024
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
+  (* Round up to a power of two so the wrap is a mask. *)
+  let rec pow2 n = if n >= capacity then n else pow2 (n * 2) in
+  let capacity = pow2 1 in
+  let dummy =
+    { kind = Custom "none"; key = 0; ok = false; retries = 0; t_ns = 0; domain = 0 }
+  in
+  {
+    rings =
+      Array.init Stripe.count (fun _ ->
+          { next = 0; filled = 0; buf = Array.make capacity dummy });
+    capacity;
+  }
+
+let capacity t = t.capacity
+
+let emit t kind ~key ~ok ~retries =
+  let d = (Domain.self () :> int) in
+  let r = Array.unsafe_get t.rings (d land Stripe.mask) in
+  Array.unsafe_set r.buf r.next
+    { kind; key; ok; retries; t_ns = Clock.now_ns (); domain = d };
+  r.next <- (r.next + 1) land (t.capacity - 1);
+  if r.filled < t.capacity then r.filled <- r.filled + 1
+
+(** All retained events, oldest first (merged across domains by
+    timestamp).  Quiescent use: concurrent emitters may tear the very
+    newest slots of their own ring, never older ones. *)
+let dump t =
+  let per_ring r =
+    if r.filled = 0 then []
+    else
+      let start =
+        if r.filled < t.capacity then 0
+        else r.next (* full ring: oldest slot is the next overwrite target *)
+      in
+      List.init r.filled (fun i ->
+          r.buf.((start + i) land (t.capacity - 1)))
+  in
+  Array.to_list t.rings
+  |> List.concat_map per_ring
+  |> List.stable_sort (fun a b -> compare a.t_ns b.t_ns)
+
+let clear t =
+  Array.iter
+    (fun r ->
+      r.next <- 0;
+      r.filled <- 0)
+    t.rings
+
+let event_to_json e =
+  Json.Obj
+    [
+      ("t_ns", Json.Int e.t_ns);
+      ("domain", Json.Int e.domain);
+      ("op", Json.Str (kind_to_string e.kind));
+      ("key", Json.Int e.key);
+      ("ok", Json.Bool e.ok);
+      ("retries", Json.Int e.retries);
+    ]
+
+let to_json t = Json.Arr (List.map event_to_json (dump t))
+
+let pp_event fmt e =
+  Format.fprintf fmt "[%d] d%d %s(%d) -> %b retries=%d" e.t_ns e.domain
+    (kind_to_string e.kind) e.key e.ok e.retries
+
+let pp fmt t =
+  List.iter (fun e -> Format.fprintf fmt "%a@." pp_event e) (dump t)

@@ -67,6 +67,7 @@ let test_prefill_half_full () =
         delete = (fun _ -> true);
         member = (fun _ -> true);
         replace = None;
+        stats = None;
       }
   in
   let rng = Rng.of_int_seed 11 in

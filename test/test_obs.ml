@@ -1,0 +1,304 @@
+(* Tests for the Obs observability library: bucket math and percentile
+   bracketing properties for the histogram, cross-domain correctness of
+   the striped counters, ring semantics of the tracer, JSON round-trips,
+   and the Instrument functor over a real structure. *)
+
+module H = Obs.Histogram
+module C = Obs.Counter
+module T = Obs.Trace
+module J = Obs.Json
+
+(* ------------------------------------------------------------------ *)
+(* Histogram bucket math *)
+
+(* Every value lands in a bucket that brackets it, and the bucket is
+   narrow: 32 sub-buckets per power of two bound the width at v/32. *)
+let prop_bucket_brackets =
+  QCheck.Test.make ~count:2000 ~name:"bucket brackets value, width <= v/32"
+    QCheck.(int_range 0 (1 lsl 50))
+    (fun v ->
+      let lo, hi = H.bucket_bounds (H.bucket_of_value v) in
+      lo <= v && v <= hi && (hi - lo + 1) * 32 <= max 32 v)
+
+(* Distinct buckets cover disjoint ranges in order, up to the last
+   index any representable value can map to (higher indices exist only
+   as slack in the array and would overflow bucket_bounds). *)
+let test_bucket_bounds_contiguous () =
+  for idx = 0 to H.bucket_of_value max_int do
+    let lo, hi = H.bucket_bounds idx in
+    Alcotest.(check bool) "lo <= hi" true (lo <= hi);
+    if idx > 0 then begin
+      let _, prev_hi = H.bucket_bounds (idx - 1) in
+      Alcotest.(check int) "contiguous" (prev_hi + 1) lo
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Histogram percentiles bracket the recorded samples *)
+
+let exact_percentile sorted n p =
+  let rank =
+    let r = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    if r < 1 then 1 else if r > n then n else r
+  in
+  List.nth sorted (rank - 1)
+
+let prop_percentiles_bracket =
+  QCheck.Test.make ~count:300
+    ~name:"percentiles within one bucket of the exact order statistic"
+    QCheck.(list_of_size Gen.(1 -- 200) (int_range 0 (1 lsl 40)))
+    (fun samples ->
+      QCheck.assume (samples <> []);
+      let h = H.create () in
+      List.iter (H.record h) samples;
+      let s = H.snapshot h in
+      let sorted = List.sort compare samples in
+      let n = List.length samples in
+      let ok p reported =
+        let exact = exact_percentile sorted n p in
+        (* The reported value is the bucket's upper bound clamped by the
+           exact max, so it is >= the true order statistic and at most
+           one bucket width (~v/32) above it. *)
+        reported >= exact && reported <= exact + (exact / 32) + 1
+      in
+      s.H.count = n
+      && s.H.min = List.hd sorted
+      && s.H.max = List.nth sorted (n - 1)
+      && s.H.sum = List.fold_left ( + ) 0 samples
+      && ok 50.0 s.H.p50 && ok 90.0 s.H.p90 && ok 99.0 s.H.p99
+      && ok 99.9 s.H.p999)
+
+let test_empty_histogram () =
+  let s = H.snapshot (H.create ()) in
+  Alcotest.(check int) "count" 0 s.H.count;
+  Alcotest.(check int) "p99" 0 s.H.p99;
+  Alcotest.(check int) "min" 0 s.H.min
+
+(* ------------------------------------------------------------------ *)
+(* Sharding: recording split across domains equals single-domain
+   recording, and merge_into concatenates histograms. *)
+
+let chunks k xs =
+  let n = List.length xs in
+  let size = max 1 ((n + k - 1) / k) in
+  let rec go acc cur count = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: tl ->
+        if count = size then go (List.rev cur :: acc) [ x ] 1 tl
+        else go acc (x :: cur) (count + 1) tl
+  in
+  go [] [] 0 xs
+
+let test_shard_merge_equals_single () =
+  let rng = Rng.of_int_seed 7 in
+  let samples = List.init 5_000 (fun _ -> Rng.int rng 1_000_000) in
+  let single = H.create () in
+  List.iter (H.record single) samples;
+  let sharded = H.create () in
+  (* Each chunk is recorded by a different domain, hence (modulo domain-id
+     wrap) a different stripe; domains run one at a time so even a wrap
+     collision stays single-writer. *)
+  List.iter
+    (fun chunk ->
+      Domain.join
+        (Domain.spawn (fun () -> List.iter (H.record sharded) chunk)))
+    (chunks 4 samples);
+  Alcotest.(check bool)
+    "snapshots equal" true
+    (H.snapshot single = H.snapshot sharded);
+  (* merge_into: pouring the sharded histogram into a third one changes
+     nothing about the summary. *)
+  let merged = H.create () in
+  H.merge_into ~into:merged sharded;
+  Alcotest.(check bool)
+    "merge_into preserves summary" true
+    (H.snapshot merged = H.snapshot single);
+  (* Merging a second copy doubles the counts. *)
+  H.merge_into ~into:merged single;
+  let s = H.snapshot merged in
+  Alcotest.(check int) "doubled count" (2 * List.length samples) s.H.count
+
+(* ------------------------------------------------------------------ *)
+(* Counter: exact under true parallelism *)
+
+let test_counter_concurrent_sum () =
+  let domains = max 2 (Domain.recommended_domain_count ()) in
+  let per_domain = 50_000 in
+  let c = C.create () in
+  let workers =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              C.incr c
+            done))
+  in
+  List.iter Domain.join workers;
+  (* Stripes use fetch-and-add, so the total is exact even if domain ids
+     collide on a stripe. *)
+  Alcotest.(check int) "exact total" (domains * per_domain) (C.sum c)
+
+let test_counter_add_reset () =
+  let c = C.create () in
+  C.add c 41;
+  C.incr c;
+  Alcotest.(check int) "sum" 42 (C.sum c);
+  C.reset c;
+  Alcotest.(check int) "reset" 0 (C.sum c)
+
+(* ------------------------------------------------------------------ *)
+(* Trace ring *)
+
+let test_trace_ring_wraps () =
+  let t = T.create ~capacity:1000 () in
+  Alcotest.(check int) "capacity rounded to pow2" 1024 (T.capacity t);
+  let total = 1024 + 200 in
+  for i = 0 to total - 1 do
+    T.emit t T.Insert ~key:i ~ok:true ~retries:0
+  done;
+  let events = T.dump t in
+  Alcotest.(check int) "retains capacity events" 1024 (List.length events);
+  (* Oldest retained event is the one the 200 overflow writes stopped
+     short of; order is oldest-first. *)
+  Alcotest.(check int) "oldest key" 200 (List.hd events).T.key;
+  Alcotest.(check int) "newest key" (total - 1)
+    (List.nth events 1023).T.key;
+  let rec nondecreasing = function
+    | a :: (b :: _ as tl) -> a.T.t_ns <= b.T.t_ns && nondecreasing tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "timestamps sorted" true (nondecreasing events);
+  T.clear t;
+  Alcotest.(check int) "clear empties" 0 (List.length (T.dump t))
+
+let test_trace_json () =
+  let t = T.create ~capacity:8 () in
+  T.emit t T.Delete ~key:5 ~ok:false ~retries:3;
+  match T.to_json t with
+  | J.Arr [ e ] ->
+      Alcotest.(check bool) "op" true (J.member e "op" = Some (J.Str "delete"));
+      Alcotest.(check bool) "key" true (J.member e "key" = Some (J.Int 5));
+      Alcotest.(check bool)
+        "retries" true
+        (J.member e "retries" = Some (J.Int 3))
+  | _ -> Alcotest.fail "expected one-event array"
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trip *)
+
+let test_json_roundtrip () =
+  let doc =
+    J.Obj
+      [
+        ("schema_version", J.Int 1);
+        ("name", J.Str "quote\" back\\slash\nnewline\ttab");
+        ("pi", J.Float 3.25);
+        ("neg", J.Int (-42));
+        ("flags", J.Arr [ J.Bool true; J.Bool false; J.Null ]);
+        ("empty_arr", J.Arr []);
+        ("empty_obj", J.Obj []);
+        ("nested", J.Obj [ ("xs", J.Arr [ J.Int 1; J.Int 2; J.Int 3 ]) ]);
+      ]
+  in
+  Alcotest.(check bool)
+    "round-trips" true
+    (J.of_string (J.to_string doc) = doc)
+
+let test_json_specials () =
+  Alcotest.(check string) "nan is null" "null" (J.to_string (J.Float nan));
+  Alcotest.(check string)
+    "inf is null" "null"
+    (J.to_string (J.Float infinity));
+  (* Floats keep a decimal point so they read back as floats. *)
+  Alcotest.(check bool)
+    "float stays float" true
+    (J.of_string (J.to_string (J.Float 2.0)) = J.Float 2.0)
+
+let test_json_parse_errors () =
+  let fails s =
+    match J.of_string s with
+    | exception J.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "unterminated obj" true (fails "{");
+  Alcotest.(check bool) "trailing garbage" true (fails "1 2");
+  Alcotest.(check bool) "bad literal" true (fails "trve");
+  Alcotest.(check bool) "unterminated string" true (fails "\"abc")
+
+(* ------------------------------------------------------------------ *)
+(* Instrument functor over a real structure *)
+
+module IPat = Obs.Instrument (Registry.Pat)
+
+let test_instrument_counts () =
+  let t = IPat.create ~universe:1024 () in
+  Alcotest.(check string) "keeps the name" "PAT" IPat.name;
+  for k = 0 to 99 do
+    ignore (IPat.insert t k)
+  done;
+  for k = 0 to 49 do
+    ignore (IPat.member t k)
+  done;
+  ignore (IPat.delete t 0);
+  Alcotest.(check int) "behaves as a set" 99 (IPat.size t);
+  let summaries = IPat.latency_summaries t in
+  Alcotest.(check int)
+    "insert samples" 100
+    (List.assoc "insert" summaries).H.count;
+  Alcotest.(check int)
+    "member samples" 50
+    (List.assoc "member" summaries).H.count;
+  Alcotest.(check int)
+    "delete samples" 1
+    (List.assoc "delete" summaries).H.count;
+  let ins = List.assoc "insert" summaries in
+  Alcotest.(check bool) "percentiles ordered" true
+    (ins.H.min <= ins.H.p50 && ins.H.p50 <= ins.H.p99
+   && ins.H.p99 <= ins.H.max);
+  (* Direct timings through the underlying structure still work. *)
+  Alcotest.(check bool)
+    "inner reachable" true
+    (Core.Patricia.member (IPat.inner t) 1);
+  IPat.reset_latencies t;
+  Alcotest.(check int)
+    "reset zeroes" 0
+    (IPat.latency_summary t `Insert).H.count
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "obs"
+    [
+      ( "histogram",
+        [
+          qt prop_bucket_brackets;
+          Alcotest.test_case "bucket bounds contiguous" `Quick
+            test_bucket_bounds_contiguous;
+          qt prop_percentiles_bracket;
+          Alcotest.test_case "empty histogram" `Quick test_empty_histogram;
+          Alcotest.test_case "shard merge equals single-domain" `Quick
+            test_shard_merge_equals_single;
+        ] );
+      ( "counter",
+        [
+          Alcotest.test_case "concurrent sum exact" `Quick
+            test_counter_concurrent_sum;
+          Alcotest.test_case "add and reset" `Quick test_counter_add_reset;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring wraps, dump ordered" `Quick
+            test_trace_ring_wraps;
+          Alcotest.test_case "event json" `Quick test_trace_json;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "specials" `Quick test_json_specials;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+        ] );
+      ( "instrument",
+        [
+          Alcotest.test_case "functor over PAT" `Quick test_instrument_counts;
+        ] );
+    ]

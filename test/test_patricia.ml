@@ -309,8 +309,28 @@ let test_stats_recording () =
   done;
   match P.stats_snapshot t with
   | None -> Alcotest.fail "stats expected"
-  | Some (attempts, _, _) ->
-      Alcotest.(check bool) "attempts counted" true (attempts >= 64)
+  | Some snap ->
+      Alcotest.(check bool)
+        "attempts counted" true
+        (snap.P.attempts >= 64);
+      (* Single-threaded: nobody to help or be helped by. *)
+      Alcotest.(check int) "no helps given" 0 snap.P.helps_given;
+      Alcotest.(check int) "no helps received" 0 snap.P.helps_received;
+      Alcotest.(check int) "no backtracks" 0 snap.P.backtracks;
+      let alist = P.stats_to_alist snap in
+      Alcotest.(check (list string))
+        "alist field order"
+        [
+          "attempts";
+          "helps_given";
+          "helps_received";
+          "flag_failures";
+          "backtracks";
+        ]
+        (List.map fst alist);
+      Alcotest.(check int)
+        "alist attempts matches" snap.P.attempts
+        (List.assoc "attempts" alist)
 
 let test_no_stats_by_default () =
   let t = P.create ~universe:64 () in
