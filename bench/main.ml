@@ -27,7 +27,11 @@
                      is written as JSON (schema in EXPERIMENTS.md)
      REPRO_RECORD_STATS  enable PAT's sharded contention counters even
                      without a metrics file (they are per-domain, so the
-                     perturbation is a branch + local fetch-and-add) *)
+                     perturbation is a branch + local fetch-and-add)
+     REPRO_BACKOFF   set to 1 to enable bounded exponential backoff in
+                     PAT's retry loops (default off: the paper's
+                     algorithm has none; see EXPERIMENTS.md, "Fault
+                     injection & progress") *)
 
 let getenv_int name default =
   match Sys.getenv_opt name with Some s -> int_of_string s | None -> default
@@ -65,6 +69,14 @@ let metrics_path =
 
 let metrics_on = metrics_path <> None
 let record_stats = metrics_on || Sys.getenv_opt "REPRO_RECORD_STATS" <> None
+
+(* REPRO_BACKOFF=1 turns on bounded exponential backoff in PAT's retry
+   loops (Chaos.Backoff).  Off by default: the paper's algorithm has no
+   backoff, and the default figures must keep reproducing it as-is. *)
+let () =
+  match Sys.getenv_opt "REPRO_BACKOFF" with
+  | Some ("" | "0") | None -> ()
+  | Some _ -> Chaos.Backoff.set_enabled true
 
 (* Swap PAT for its counter-enabled twin when stats are wanted; the
    other five structures have no internal counters to read. *)
@@ -232,6 +244,8 @@ let () =
                   ("small_range", Int small_range);
                   ("sections", Arr (List.map (fun s -> Str s) sections));
                   ("record_stats", Bool record_stats);
+                  ("backoff", Bool (Chaos.Backoff.enabled ()));
+                  ("chaos_injection", Bool (Chaos.enabled ()));
                   ( "available_cores",
                     Int (Domain.recommended_domain_count ()) );
                 ] );

@@ -49,6 +49,17 @@ let metrics_arg =
     & opt (some string) None
     & info [ "metrics-json" ] ~doc ~docv:"PATH")
 
+let backoff_arg =
+  let doc =
+    "Enable bounded exponential backoff with jitter in the retry loops of \
+     the structures under test (PAT and PAT-VLK).  Off by default so the \
+     paper's figures are reproduced with the unmodified algorithm; see \
+     EXPERIMENTS.md, \"Fault injection & progress\"."
+  in
+  Arg.(value & flag & info [ "backoff" ] ~doc)
+
+let set_backoff b = Chaos.Backoff.set_enabled b
+
 let config ~seconds ~trials ~seed threads =
   Harness.
     { threads; seconds; trials; warmup_seconds = min 0.3 (seconds /. 2.0); seed }
@@ -74,6 +85,8 @@ let write_metrics ~threads_list ~seconds ~trials ~seed path =
               ("threads", Arr (List.map (fun t -> Int t) threads_list));
               ("seed", Int seed);
               ("available_cores", Int (Domain.recommended_domain_count ()));
+              ("backoff", Bool (Chaos.Backoff.enabled ()));
+              ("chaos_injection", Bool (Chaos.enabled ()));
             ] );
         ("datapoints", Arr (List.rev !metrics_acc));
       ]
@@ -150,7 +163,8 @@ let figure_cmd =
     let doc = "Override the key range (defaults to the paper's)." in
     Arg.(value & opt (some int) None & info [ "range" ] ~doc)
   in
-  let run id range threads_list seconds trials seed csv metrics =
+  let run id range threads_list seconds trials seed csv metrics backoff =
+    set_backoff backoff;
     let sweep = run_sweep ~threads_list ~seconds ~trials ~seed ~csv in
     with_metrics ~threads_list ~seconds ~trials ~seed metrics @@ fun () ->
     match id with
@@ -189,7 +203,7 @@ let figure_cmd =
     Term.(
       ret
         (const run $ id_arg $ range_arg $ threads_arg $ seconds_arg $ trials_arg
-       $ seed_arg $ csv_arg $ metrics_arg))
+       $ seed_arg $ csv_arg $ metrics_arg $ backoff_arg))
 
 (* ------------------------------------------------------------------ *)
 (* extra subcommand: configurations the paper mentions without plotting *)
@@ -213,7 +227,8 @@ let extra_cmd =
           `Medium
       & info [ "which" ] ~doc)
   in
-  let run which threads_list seconds trials seed csv metrics =
+  let run which threads_list seconds trials seed csv metrics backoff =
+    set_backoff backoff;
     let sweep = run_sweep ~threads_list ~seconds ~trials ~seed ~csv in
     with_metrics ~threads_list ~seconds ~trials ~seed metrics @@ fun () ->
     match which with
@@ -271,7 +286,7 @@ let extra_cmd =
   Cmd.v (Cmd.info "extra" ~doc)
     Term.(
       const run $ which_arg $ threads_arg $ seconds_arg $ trials_arg $ seed_arg
-      $ csv_arg $ metrics_arg)
+      $ csv_arg $ metrics_arg $ backoff_arg)
 
 (* ------------------------------------------------------------------ *)
 (* custom subcommand *)
@@ -286,7 +301,8 @@ let custom_cmd =
     Arg.(value & opt (some int) None & info [ "clustered" ] ~doc)
   in
   let run insert delete find replace range clustered threads_list seconds trials
-      seed csv metrics =
+      seed csv metrics backoff =
+    set_backoff backoff;
     match Harness.Mix.v ~insert ~delete ~find ~replace () with
     | exception Invalid_argument m -> `Error (false, m)
     | mix ->
@@ -316,7 +332,7 @@ let custom_cmd =
       ret
         (const run $ pct "insert" $ pct "delete" $ pct "find" $ pct "replace"
        $ range_arg $ clustered_arg $ threads_arg $ seconds_arg $ trials_arg
-       $ seed_arg $ csv_arg $ metrics_arg))
+       $ seed_arg $ csv_arg $ metrics_arg $ backoff_arg))
 
 (* ------------------------------------------------------------------ *)
 (* ablation subcommand *)
@@ -366,6 +382,7 @@ let ablation_helping ~threads_list ~seconds ~trials ~seed ~csv =
         helps_received = 0;
         flag_failures = 0;
         backtracks = 0;
+        backoff_waits = 0;
       }
   in
   Format.printf
@@ -414,6 +431,7 @@ let ablation_helping ~threads_list ~seconds ~trials ~seed ~csv =
                     helps_received = s.helps_received - b.helps_received;
                     flag_failures = s.flag_failures - b.flag_failures;
                     backtracks = s.backtracks - b.backtracks;
+                    backoff_waits = s.backoff_waits - b.backoff_waits;
                   }
             | None -> zero
           in
@@ -507,9 +525,31 @@ let ablation_vlk ~threads_list ~seconds ~trials ~seed ~csv =
     [ Harness.pat_subject; vlk_subject ]
     Harness.{ universe; mix = Mix.i50_d50_f0; dist = Uniform }
 
+(* Contention cliff: PAT with and without bounded exponential backoff on
+   small universes, where retry storms are the dominant cost.  The same
+   binary runs both arms so the comparison shares code and seeds. *)
+let ablation_backoff ~threads_list ~seconds ~trials ~seed ~csv =
+  let was = Chaos.Backoff.enabled () in
+  Fun.protect ~finally:(fun () -> Chaos.Backoff.set_enabled was) @@ fun () ->
+  List.iter
+    (fun universe ->
+      List.iter
+        (fun backoff ->
+          Chaos.Backoff.set_enabled backoff;
+          run_sweep ~threads_list ~seconds ~trials ~seed ~csv
+            ~title:
+              (Printf.sprintf
+                 "Ablation: backoff %s, range (0, %d), i50-d50-f0"
+                 (if backoff then "on" else "off")
+                 universe)
+            [ Harness.pat_subject ]
+            Harness.{ universe; mix = Mix.i50_d50_f0; dist = Uniform })
+        [ false; true ])
+    [ 100; 1_000 ]
+
 let ablation_cmd =
   let which_arg =
-    let doc = "Which ablation: replace, helping, width, seq, or vlk." in
+    let doc = "Which ablation: replace, helping, width, seq, vlk, or backoff." in
     Arg.(
       value
       & opt
@@ -520,11 +560,13 @@ let ablation_cmd =
                ("width", `Width);
                ("seq", `Seq);
                ("vlk", `Vlk);
+               ("backoff", `Backoff);
              ])
           `Replace
       & info [ "which" ] ~doc)
   in
-  let run which threads_list seconds trials seed csv metrics =
+  let run which threads_list seconds trials seed csv metrics backoff =
+    set_backoff backoff;
     with_metrics ~threads_list ~seconds ~trials ~seed metrics @@ fun () ->
     match which with
     | `Replace -> ablation_replace ~threads_list ~seconds ~trials ~seed ~csv
@@ -532,12 +574,13 @@ let ablation_cmd =
     | `Width -> ablation_width ~threads_list ~seconds ~trials ~seed ~csv
     | `Seq -> ablation_seq ~threads_list ~seconds ~trials ~seed ~csv
     | `Vlk -> ablation_vlk ~threads_list ~seconds ~trials ~seed ~csv
+    | `Backoff -> ablation_backoff ~threads_list ~seconds ~trials ~seed ~csv
   in
   let doc = "Run an ablation study on the Patricia trie's design choices." in
   Cmd.v (Cmd.info "ablation" ~doc)
     Term.(
       const run $ which_arg $ threads_arg $ seconds_arg $ trials_arg $ seed_arg
-      $ csv_arg $ metrics_arg)
+      $ csv_arg $ metrics_arg $ backoff_arg)
 
 (* ------------------------------------------------------------------ *)
 

@@ -71,6 +71,8 @@ and stats = {
          this very descriptor — i.e. our operation was helped along *)
   flag_failures : Obs.Counter.t; (* attempts abandoned in the flagging phase *)
   backtracks : Obs.Counter.t; (* failed flag phases backed out in help *)
+  backoff_waits : Obs.Counter.t;
+      (* retries that paused in the contention backoff (Chaos.Backoff) *)
 }
 
 (* Point-in-time merged view of the counters (see [stats_snapshot]). *)
@@ -80,6 +82,7 @@ type snapshot = {
   helps_received : int;
   flag_failures : int;
   backtracks : int;
+  backoff_waits : int;
 }
 
 type t = {
@@ -109,6 +112,7 @@ let make_stats () : stats =
     helps_received = Obs.Counter.create ();
     flag_failures = Obs.Counter.create ();
     backtracks = Obs.Counter.create ();
+    backoff_waits = Obs.Counter.create ();
   }
 
 (* The disabled-stats hot path must stay a single branch: [None -> ()]
@@ -117,6 +121,23 @@ let make_stats () : stats =
    either way. *)
 let[@inline] bump (stats : stats option) (field : stats -> Obs.Counter.t) =
   match stats with None -> () | Some s -> Obs.Counter.incr (field s)
+
+(* Fault-injection site (lib/chaos).  Same hot-path discipline as
+   [bump]: with no chaos policy installed this is one atomic load and an
+   untaken branch, inlined at every labelled synchronization point. *)
+let[@inline] chaos_point (s : Chaos.site) =
+  if Atomic.get Chaos.active then Chaos.hit s
+
+(* Pause before retrying a failed update attempt.  [bo] is the backoff
+   state (a plain int) threaded through the attempt loop; with backoff
+   disabled (the default) this retries immediately, as in the paper. *)
+let[@inline] retry_pause (stats : stats option) bo =
+  chaos_point Chaos.Retry;
+  if Chaos.Backoff.enabled () then begin
+    bump stats (fun s -> s.backoff_waits);
+    Chaos.Backoff.wait bo
+  end
+  else bo
 
 (* ------------------------------------------------------------------ *)
 (* Construction *)
@@ -228,6 +249,7 @@ let flag_phase fi f =
     if i >= n then true
     else begin
       let x = f.flag_nodes.(i) in
+      chaos_point Chaos.Flag_cas;
       let ours = Atomic.compare_and_set x.iinfo f.old_infos.(i) fi in
       if Atomic.get x.iinfo == fi then begin
         if not ours then bump f.fstats (fun s -> s.helps_received);
@@ -245,7 +267,9 @@ let child_cas_phase f =
       (* Line 97: the child index is the (|p.label|+1)-th bit of the new
          child's label, which p.label properly prefixes by Invariant 7. *)
       let k = Label.next_bit p.label (node_label ~width:f.fwidth nc) in
-      ignore (Atomic.compare_and_set p.children.(k) f.old_children.(i) nc))
+      chaos_point Chaos.Child_cas;
+      ignore (Atomic.compare_and_set p.children.(k) f.old_children.(i) nc);
+      chaos_point Chaos.After_child_cas)
     f.pnodes
 
 let help_counter_hook : (unit -> unit) option ref = ref None
@@ -263,6 +287,7 @@ let rec help (fi : info) : bool =
   end;
   if Atomic.get f.flag_done then begin
     (* Lines 99-102: unflag, in reverse order, the nodes still in the trie. *)
+    chaos_point Chaos.Unflag;
     for i = Array.length f.unflag_nodes - 1 downto 0 do
       ignore
         (Atomic.compare_and_set f.unflag_nodes.(i).iinfo fi (fresh_unflag ()))
@@ -271,6 +296,7 @@ let rec help (fi : info) : bool =
   end
   else begin
     (* Lines 103-106: flagging failed — back the flags out. *)
+    chaos_point Chaos.Backtrack;
     bump f.fstats (fun s -> s.backtracks);
     for i = Array.length f.flag_nodes - 1 downto 0 do
       ignore
@@ -481,7 +507,7 @@ let sibling_index ~width (p : internal) v =
 
 let insert_internal t v =
   let width = t.width and stats = t.stats in
-  let rec attempt () =
+  let rec attempt bo =
     bump stats (fun s -> s.attempts);
     let r = search t v in
     if key_in_trie r.node v r.rmvd then false
@@ -491,7 +517,7 @@ let insert_internal t v =
       match
         create_node ~width ~stats node_copy (Leaf (new_leaf v)) (Some node_info_v)
       with
-      | None -> attempt ()
+      | None -> attempt (retry_pause stats bo)
       | Some new_node ->
           let fi =
             match r.node with
@@ -509,11 +535,11 @@ let insert_internal t v =
           | Some fi when help fi -> true
           | Some _ ->
               bump stats (fun s -> s.flag_failures);
-              attempt ()
-          | None -> attempt ())
+              attempt (retry_pause stats bo)
+          | None -> attempt (retry_pause stats bo))
     end
   in
-  attempt ()
+  attempt Chaos.Backoff.init
 
 let insert t k = insert_internal t (internal_key t k)
 
@@ -522,7 +548,7 @@ let insert t k = insert_internal t (internal_key t k)
 
 let delete_internal t v =
   let width = t.width and stats = t.stats in
-  let rec attempt () =
+  let rec attempt bo =
     bump stats (fun s -> s.attempts);
     let r = search t v in
     if not (key_in_trie r.node v r.rmvd) then false
@@ -539,16 +565,16 @@ let delete_internal t v =
           | Some fi when help fi -> true
           | Some _ ->
               bump stats (fun s -> s.flag_failures);
-              attempt ()
-          | None -> attempt ())
+              attempt (retry_pause stats bo)
+          | None -> attempt (retry_pause stats bo))
       | _ ->
           (* gp = null can only be observed transiently: a real key's leaf
              always has an internal proper ancestor besides the root
              (the sentinel on its side shares that subtree).  Retry. *)
-          attempt ()
+          attempt (retry_pause stats bo)
     end
   in
-  attempt ()
+  attempt Chaos.Backoff.init
 
 let delete t k = delete_internal t (internal_key t k)
 
@@ -557,7 +583,7 @@ let delete t k = delete_internal t (internal_key t k)
 
 let replace_internal t vd vi =
   let width = t.width and stats = t.stats in
-  let rec attempt () =
+  let rec attempt bo =
     bump stats (fun s -> s.attempts);
     let rd = search t vd in
     if not (key_in_trie rd.node vd rd.rmvd) then false
@@ -684,12 +710,12 @@ let replace_internal t vd vi =
         | Some fi when help fi -> true
         | Some _ ->
             bump stats (fun s -> s.flag_failures);
-            attempt ()
-        | None -> attempt ()
+            attempt (retry_pause stats bo)
+        | None -> attempt (retry_pause stats bo)
       end
     end
   in
-  attempt ()
+  attempt Chaos.Backoff.init
 
 (* replace(v, v) is always false: the sequential specification requires
    [remove] present *and* [add] absent, which a single key cannot satisfy. *)
@@ -790,6 +816,7 @@ let stats_snapshot t : snapshot option =
           helps_received = Obs.Counter.sum s.helps_received;
           flag_failures = Obs.Counter.sum s.flag_failures;
           backtracks = Obs.Counter.sum s.backtracks;
+          backoff_waits = Obs.Counter.sum s.backoff_waits;
         }
 
 let stats_to_alist (s : snapshot) =
@@ -799,20 +826,36 @@ let stats_to_alist (s : snapshot) =
     ("helps_received", s.helps_received);
     ("flag_failures", s.flag_failures);
     ("backtracks", s.backtracks);
+    ("backoff_waits", s.backoff_waits);
   ]
 
 (* Structural invariants of the Patricia trie (paper Invariant 7 and the
-   sentinel properties).  Only meaningful in quiescent states. *)
+   sentinel properties), plus the quiescence conditions the chaos suite
+   audits after every fault-injection scenario: no residual flags on any
+   reachable node (every descriptor must have been completed or backed
+   out, including on behalf of stalled processes) and strictly ascending
+   leaf keys (no duplicated or misplaced element).  Only meaningful in
+   quiescent states. *)
 let check_invariants t =
   let width = t.width in
   let errors = ref [] in
   let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let last_key = ref (-1) in
   let rec go (lab : Label.t) node =
+    (match Atomic.get (node_info node) with
+    | Unflag _ -> ()
+    | Flag _ -> (
+        match node with
+        | Leaf l -> err "residual flag on reachable leaf %d" l.key
+        | Internal i -> err "residual flag on internal %a" Label.pp i.label));
     match node with
     | Leaf l ->
         let kl = Label.of_key ~width l.key in
         if not (Label.is_prefix lab kl) then
-          err "leaf %d not under its path label %a" l.key Label.pp lab
+          err "leaf %d not under its path label %a" l.key Label.pp lab;
+        if l.key <= !last_key then
+          err "leaf %d out of order (previous leaf %d)" l.key !last_key;
+        last_key := l.key
     | Internal i ->
         if not (Label.equal i.label lab) && not (Label.is_proper_prefix lab i.label)
         then err "internal label %a does not extend path %a" Label.pp i.label Label.pp lab;

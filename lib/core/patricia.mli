@@ -87,7 +87,12 @@ val fold_range : t -> lo:int -> hi:int -> init:'a -> f:('a -> int -> 'a) -> 'a
 val check_invariants : t -> (unit, string) result
 (** Validate the structural invariants: Invariant 7 (a node's child label
     extends the node's label plus the branch bit), every internal node
-    has two children, and both sentinels are reachable.  Quiescent use. *)
+    has two children, both sentinels are reachable, leaf keys are
+    strictly ascending in traversal order, and — the quiescence audit
+    the fault-injection suite relies on — no reachable node carries a
+    residual flag (every update descriptor, including those of stalled
+    processes, must have been run to completion or backed out by
+    helpers).  Quiescent use. *)
 
 (** Merged view of the contention counters at one point in time.  The
     live counters are striped per domain ([Obs.Counter]); a snapshot
@@ -105,6 +110,10 @@ type snapshot = {
   backtracks : int;
       (** failed flag phases backed out inside [help] (paper lines
           103-106) *)
+  backoff_waits : int;
+      (** retries that paused in the contention backoff — always [0]
+          unless [Chaos.Backoff.set_enabled true]
+          ([patbench --backoff] / [REPRO_BACKOFF=1]) *)
 }
 
 val stats_snapshot : t -> snapshot option

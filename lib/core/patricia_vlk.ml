@@ -43,6 +43,16 @@ type t = { root : internal }
 let fresh_unflag () = Unflag (ref ())
 let new_leaf key = { key; linfo = Atomic.make (fresh_unflag ()) }
 
+(* Fault-injection sites and retry backoff, as in {!Patricia}: one
+   atomic load and an untaken branch per site unless a chaos policy or
+   the contention backoff is enabled. *)
+let[@inline] chaos_point (s : Chaos.site) =
+  if Atomic.get Chaos.active then Chaos.hit s
+
+let[@inline] retry_pause bo =
+  chaos_point Chaos.Retry;
+  if Chaos.Backoff.enabled () then Chaos.Backoff.wait bo else bo
+
 let node_info = function Leaf l -> l.linfo | Internal i -> i.iinfo
 let node_label = function Leaf l -> l.key | Internal i -> i.label
 
@@ -110,6 +120,7 @@ let flag_phase fi f =
     if i >= n then true
     else begin
       let x = f.flag_nodes.(i) in
+      chaos_point Chaos.Flag_cas;
       ignore (Atomic.compare_and_set x.iinfo f.old_infos.(i) fi);
       if Atomic.get x.iinfo == fi then loop (i + 1) else false
     end
@@ -121,7 +132,9 @@ let child_cas_phase f =
     (fun i p ->
       let nc = f.new_children.(i) in
       let k = B.next_bit p.label (node_label nc) in
-      ignore (Atomic.compare_and_set p.children.(k) f.old_children.(i) nc))
+      chaos_point Chaos.Child_cas;
+      ignore (Atomic.compare_and_set p.children.(k) f.old_children.(i) nc);
+      chaos_point Chaos.After_child_cas)
     f.pnodes
 
 let rec help (fi : info) : bool =
@@ -133,6 +146,7 @@ let rec help (fi : info) : bool =
     child_cas_phase f
   end;
   if Atomic.get f.flag_done then begin
+    chaos_point Chaos.Unflag;
     for i = Array.length f.unflag_nodes - 1 downto 0 do
       ignore
         (Atomic.compare_and_set f.unflag_nodes.(i).iinfo fi (fresh_unflag ()))
@@ -140,6 +154,7 @@ let rec help (fi : info) : bool =
     true
   end
   else begin
+    chaos_point Chaos.Backtrack;
     for i = Array.length f.flag_nodes - 1 downto 0 do
       ignore
         (Atomic.compare_and_set f.flag_nodes.(i).iinfo fi (fresh_unflag ()))
@@ -241,14 +256,14 @@ let sibling_index (p : internal) v = 1 - B.next_bit p.label v
 
 let insert_key t v =
   check_key v;
-  let rec attempt () =
+  let rec attempt bo =
     let r = search t v in
     if key_in_trie r.node v r.rmvd then false
     else begin
       let node_info_v = Atomic.get (node_info r.node) in
       let node_copy = copy_node r.node in
       match create_node node_copy (Leaf (new_leaf v)) (Some node_info_v) with
-      | None -> attempt ()
+      | None -> attempt (retry_pause bo)
       | Some new_node ->
           let fi =
             match r.node with
@@ -265,14 +280,14 @@ let insert_key t v =
           in
           (match fi with
           | Some fi when help fi -> true
-          | Some _ | None -> attempt ())
+          | Some _ | None -> attempt (retry_pause bo))
     end
   in
-  attempt ()
+  attempt Chaos.Backoff.init
 
 let delete_key t v =
   check_key v;
-  let rec attempt () =
+  let rec attempt bo =
     let r = search t v in
     if not (key_in_trie r.node v r.rmvd) then false
     else begin
@@ -286,18 +301,18 @@ let delete_key t v =
               ~new_children:[ node_sibling ] ~rmv_leaf:None
           with
           | Some fi when help fi -> true
-          | Some _ | None -> attempt ())
-      | _ -> attempt ()
+          | Some _ | None -> attempt (retry_pause bo))
+      | _ -> attempt (retry_pause bo)
     end
   in
-  attempt ()
+  attempt Chaos.Backoff.init
 
 let replace_key t vd vi =
   check_key vd;
   check_key vi;
   if B.equal vd vi then false
   else
-    let rec attempt () =
+    let rec attempt bo =
       let rd = search t vd in
       if not (key_in_trie rd.node vd rd.rmvd) then false
       else begin
@@ -412,11 +427,11 @@ let replace_key t vd vi =
           in
           match fi with
           | Some fi when help fi -> true
-          | Some _ | None -> attempt ()
+          | Some _ | None -> attempt (retry_pause bo)
         end
       end
     in
-    attempt ()
+    attempt Chaos.Backoff.init
 
 (* ------------------------------------------------------------------ *)
 (* Byte-string front end (one byte = 8 binary digits) *)
@@ -449,6 +464,12 @@ let check_invariants t =
   let errors = ref [] in
   let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
   let rec go (path : B.t) node =
+    (match Atomic.get (node_info node) with
+    | Unflag _ -> ()
+    | Flag _ -> (
+        match node with
+        | Leaf l -> err "residual flag on reachable leaf %a" B.pp l.key
+        | Internal i -> err "residual flag on internal %a" B.pp i.label));
     match node with
     | Leaf l ->
         if not (B.is_prefix path l.key) then

@@ -37,7 +37,13 @@ val to_list : t -> string list
     decode raise. *)
 
 val size : t -> int
+
 val check_invariants : t -> (unit, string) result
+(** Structural audit for quiescent states: label-prefix ordering
+    (Invariant 7) and — like {!Patricia.check_invariants} — no residual
+    flag on any reachable node, so a stalled update must have been
+    completed or backed out by helpers.  Used by the fault-injection
+    suite after every chaos scenario. *)
 
 (** {1 Raw encoded-key API} *)
 

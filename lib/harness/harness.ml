@@ -242,9 +242,25 @@ let run_trial_full ?(before_timed = fun () -> ()) ?(record_latency = false)
           run_loop ?latency ops workload stop rng)
     in
     let domains = List.init config.threads worker in
-    while Atomic.get ready < config.threads do
-      Domain.cpu_relax ()
-    done;
+    (* Start barrier with a deadline: a worker that dies before checking
+       in (OOM, uncaught exception in spawn) must fail the trial with a
+       diagnostic, not wedge the whole benchmark in a silent spin. *)
+    if
+      not
+        (Chaos.Backoff.wait_until ~timeout_s:30.0 (fun () ->
+             Atomic.get ready >= config.threads))
+    then begin
+      (* Unblock any workers that did park on the barrier so they exit,
+         then fail loudly.  Domains that never reached the barrier cannot
+         be joined safely, so we don't try. *)
+      Atomic.set go true;
+      Atomic.set stop true;
+      failwith
+        (Printf.sprintf
+           "harness: start barrier timed out after 30s: %d of %d workers \
+            checked in"
+           (Atomic.get ready) config.threads)
+    end;
     let t0 = Unix.gettimeofday () in
     Atomic.set go true;
     Unix.sleepf seconds;

@@ -1,0 +1,352 @@
+(* Fault-injection suite: stalled-domain scenarios, chaos schedules and
+   the contention-backoff counter (lib/chaos).
+
+   The stall tests freeze one domain ("the victim") at a labeled point
+   inside an update — after flagging but before the child CAS, between
+   the two child CASes of a replace, or after the child CAS but before
+   unflagging — and then let other domains run.  Lock-freedom (paper
+   Section IV, part 4) demands that the other domains finish the frozen
+   update themselves; we assert that they did *before* the victim is
+   released, so the victim cannot have contributed.
+
+   CHAOS_SEED seeds every randomized schedule in this file; the CI chaos
+   job runs once with the default and once with a random seed, printing
+   it for reproduction. *)
+
+module P = Core.Patricia
+module V = Core.Patricia_vlk
+
+let chaos_seed =
+  match Sys.getenv_opt "CHAOS_SEED" with
+  | Some s -> int_of_string s
+  | None -> 2013
+
+let () = Printf.printf "test_chaos: CHAOS_SEED=%d\n%!" chaos_seed
+
+let check_ok ?(ctx = "") t =
+  match P.check_invariants t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invariants violated%s: %s" ctx e
+
+(* ------------------------------------------------------------------ *)
+(* Stalled-domain scenarios *)
+
+(* Keys are chosen by their internal representation (external key + 1,
+   width 5 for universe 16): 11 and 12 map to the sibling bit-strings
+   01100/01101, 9 maps to 01010 (same top subtree, so updates on 9 flag
+   an ancestor of 11/12's leaves), and 15 maps to 10000 (the opposite
+   top subtree, making replace 9 -> 15 take the general two-child-CAS
+   path).  Workers hammer 11 and 12: their deletes must flag the very
+   nodes the victim left flagged, which forces them to help. *)
+let scenario ~name ~prefill ~op ~site ~after ~watch ~expect () =
+  let t = P.create ~universe:16 ~record_stats:true () in
+  List.iter (fun k -> ignore (P.insert t k)) prefill;
+  let st = Chaos.Stall.install ~after site in
+  Chaos.set_policy ~name (Some (Chaos.Stall.hook st));
+  let stop = Atomic.make false in
+  let result = Atomic.make false in
+  Fun.protect
+    ~finally:(fun () ->
+      (* On any failure path: unpark everyone so no domain spins forever,
+         then uninstall the policy for the next test. *)
+      Atomic.set stop true;
+      Chaos.Stall.release st;
+      Chaos.set_policy None)
+  @@ fun () ->
+  let victim = Domain.spawn (fun () -> Atomic.set result (op t)) in
+  if not (Chaos.Stall.wait_stalled ~timeout_s:60.0 st) then begin
+    ignore (Domain.join victim);
+    Alcotest.failf "%s: victim never reached the stall point" name
+  end;
+  let workers =
+    Tutil.spawn_n 3 (fun d ->
+        let keys = [| 11; 12 |] in
+        let i = ref d in
+        while not (Atomic.get stop) do
+          let k = keys.(!i mod 2) in
+          incr i;
+          ignore (P.delete t k);
+          ignore (P.insert t k)
+        done)
+  in
+  let helped () =
+    match P.stats_snapshot t with
+    | Some s -> s.helps_received > 0
+    | None -> false
+  in
+  let completed =
+    Chaos.Backoff.wait_until ~timeout_s:60.0 (fun () -> expect t && helped ())
+  in
+  Atomic.set stop true;
+  Tutil.join_all workers |> ignore;
+  if not completed then
+    Alcotest.failf "%s: helpers did not complete the frozen update (helped=%b)"
+      name (helped ());
+  (* The victim is still frozen at this point and the workers have
+     drained, so the trie is quiescent except for the spinning victim:
+     only helpers can have run the frozen descriptor to completion. *)
+  List.iter
+    (fun k ->
+      let f = P.For_testing.flags_on_path t k in
+      if f <> 0 then
+        Alcotest.failf "%s: %d residual flag(s) on the path of %d" name f k)
+    watch;
+  if not (expect t) then
+    Alcotest.failf "%s: update effect lost after workers drained" name;
+  (match P.stats_snapshot t with
+  | Some s ->
+      if s.helps_received = 0 then
+        Alcotest.failf "%s: no helping recorded for the frozen update" name
+  | None -> Alcotest.fail "stats not recorded");
+  check_ok ~ctx:(" in " ^ name ^ " with the victim frozen") t;
+  Chaos.Stall.release st;
+  ignore (Domain.join victim);
+  if not (Atomic.get result) then
+    Alcotest.failf "%s: released victim did not report success" name;
+  check_ok ~ctx:(" in " ^ name ^ " after release") t
+
+let test_stall_insert_before_child_cas () =
+  scenario ~name:"insert stalled before child CAS" ~prefill:[ 11; 12 ]
+    ~op:(fun t -> P.insert t 9)
+    ~site:Chaos.Child_cas ~after:0 ~watch:[ 9 ]
+    ~expect:(fun t -> P.member t 9)
+    ()
+
+let test_stall_delete_before_child_cas () =
+  scenario ~name:"delete stalled before child CAS" ~prefill:[ 9; 11; 12 ]
+    ~op:(fun t -> P.delete t 9)
+    ~site:Chaos.Child_cas ~after:0 ~watch:[ 9 ]
+    ~expect:(fun t -> not (P.member t 9))
+    ()
+
+let test_stall_replace_before_first_cas () =
+  scenario ~name:"replace stalled before first child CAS"
+    ~prefill:[ 9; 11; 12 ]
+    ~op:(fun t -> P.replace t ~remove:9 ~add:15)
+    ~site:Chaos.Child_cas ~after:0 ~watch:[ 9; 15 ]
+    ~expect:(fun t -> (not (P.member t 9)) && P.member t 15)
+    ()
+
+let test_stall_replace_between_cases () =
+  (* after:1 lets the first child CAS (the linearization point) through
+     and freezes the victim on its way to the second one. *)
+  scenario ~name:"replace stalled between its two child CASes"
+    ~prefill:[ 9; 11; 12 ]
+    ~op:(fun t -> P.replace t ~remove:9 ~add:15)
+    ~site:Chaos.Child_cas ~after:1 ~watch:[ 9; 15 ]
+    ~expect:(fun t -> (not (P.member t 9)) && P.member t 15)
+    ()
+
+let test_stall_insert_before_unflag () =
+  scenario ~name:"insert stalled before unflag" ~prefill:[ 11; 12 ]
+    ~op:(fun t -> P.insert t 9)
+    ~site:Chaos.Unflag ~after:0 ~watch:[ 9 ]
+    ~expect:(fun t -> P.member t 9)
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6 special cases of replace *)
+
+(* Exhaustive sequential sweep over a tiny universe: every (remove, add)
+   pair against several trie shapes hits each of the paper's Figure 6
+   configurations — remove-parent = add-parent, remove adjacent to the
+   add position, and the general case — plus the trivial failures. *)
+let replace_pairs_sweep () =
+  let universe = 8 in
+  let shapes a b =
+    [
+      [ a ];
+      [ b; a ];
+      [ a; a lxor 1 ];
+      List.filter (fun k -> k <> b) (List.init universe Fun.id);
+    ]
+  in
+  for a = 0 to universe - 1 do
+    for b = 0 to universe - 1 do
+      if a <> b then
+        List.iter
+          (fun prefill ->
+            let t = P.create ~universe () in
+            List.iter (fun k -> ignore (P.insert t k)) prefill;
+            let had_a = P.member t a and had_b = P.member t b in
+            let before = P.to_list t in
+            let ok = P.replace t ~remove:a ~add:b in
+            if ok <> (had_a && not had_b) then
+              Alcotest.failf "replace %d->%d: returned %b (a:%b b:%b)" a b ok
+                had_a had_b;
+            if ok then begin
+              if P.member t a then
+                Alcotest.failf "replace %d->%d: %d still present" a b a;
+              if not (P.member t b) then
+                Alcotest.failf "replace %d->%d: %d absent" a b b
+            end
+            else if P.to_list t <> before then
+              Alcotest.failf "failed replace %d->%d changed the set" a b;
+            check_ok ~ctx:(Printf.sprintf " after replace %d->%d" a b) t)
+          (shapes a b)
+    done
+  done
+
+let test_replace_special_cases_seq () = replace_pairs_sweep ()
+
+let test_replace_special_cases_delayed () =
+  (* Same sweep under a delay schedule: every labeled site may burst-spin,
+     perturbing nothing semantically (single domain) but proving the
+     instrumented paths tolerate arbitrary pauses at every site. *)
+  Chaos.with_policy ~name:"delays"
+    (Chaos.Policy.delays ~prob_per_mille:400 ~max_spins:50 ~seed:chaos_seed ())
+    replace_pairs_sweep
+
+let test_replace_linearizable_chaos () =
+  (* Concurrent replaces on tiny universes are dominated by the Figure 6
+     special cases (remove and add share a parent or are adjacent); the
+     recorded histories must stay linearizable under chaos schedules and
+     the teardown audit inside linearizable_run must pass. *)
+  List.iter
+    (fun universe ->
+      for i = 0 to 2 do
+        let seed = chaos_seed + (universe * 100) + i in
+        Chaos.with_policy ~name:"delays"
+          (Chaos.Policy.delays ~prob_per_mille:400 ~max_spins:200 ~seed ())
+          (fun () ->
+            Tutil.linearizable_run ~threads:3 ~ops_per_thread:10 ~universe
+              ~seed ~with_replace:true Tutil.pat_ops)
+      done)
+    [ 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Contention backoff *)
+
+(* Deterministic retry: leave a flag behind with the For_testing hooks
+   (a "crashed" delete), then insert a key whose flag target is the
+   flagged node.  The insert must help, retry, and — with backoff on —
+   pause in Chaos.Backoff, bumping the backoff_waits counter. *)
+let forced_retry ~backoff =
+  let t = P.create ~universe:16 ~record_stats:true () in
+  ignore (P.insert t 11);
+  ignore (P.insert t 12);
+  (match P.For_testing.prepare_delete t 11 with
+  | None -> Alcotest.fail "prepare_delete unexpectedly conflicted"
+  | Some d -> ignore (P.For_testing.flag_only d : bool));
+  let was = Chaos.Backoff.enabled () in
+  Chaos.Backoff.set_enabled backoff;
+  Fun.protect ~finally:(fun () -> Chaos.Backoff.set_enabled was) (fun () ->
+      if not (P.insert t 9) then Alcotest.fail "insert 9 failed");
+  (* Helping completed the crashed delete before the insert retried. *)
+  Alcotest.(check bool) "crashed delete completed" false (P.member t 11);
+  Alcotest.(check bool) "insert landed" true (P.member t 9);
+  check_ok t;
+  match P.stats_snapshot t with
+  | None -> Alcotest.fail "stats not recorded"
+  | Some s ->
+      Alcotest.(check bool) "helped" true (s.helps_given > 0);
+      Alcotest.(check bool) "retried" true (s.attempts > 1);
+      s
+
+let test_backoff_counter () =
+  let off = forced_retry ~backoff:false in
+  Alcotest.(check int) "no backoff waits when disabled" 0 off.P.backoff_waits;
+  let on = forced_retry ~backoff:true in
+  Alcotest.(check bool) "backoff waits recorded" true (on.P.backoff_waits > 0)
+
+let test_backoff_primitive () =
+  (* wait's cap doubles up to the bound; wait_until honours deadlines. *)
+  let cap = ref Chaos.Backoff.init in
+  for _ = 1 to 20 do
+    let next = Chaos.Backoff.wait !cap in
+    if next < !cap then Alcotest.fail "backoff cap shrank";
+    cap := next
+  done;
+  Alcotest.(check bool) "cap bounded" true (!cap <= 4096);
+  Alcotest.(check bool) "immediate predicate" true
+    (Chaos.Backoff.wait_until (fun () -> true));
+  Alcotest.(check bool) "deadline expires" false
+    (Chaos.Backoff.wait_until ~timeout_s:0.05 (fun () -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Crossing counters and the PAT-VLK instrumentation *)
+
+let test_crossing_counters () =
+  Chaos.with_policy ~name:"delays"
+    (Chaos.Policy.delays ~prob_per_mille:1000 ~max_spins:5 ~seed:chaos_seed ())
+    (fun () ->
+      let t = P.create ~universe:8 () in
+      for k = 0 to 7 do
+        ignore (P.insert t k)
+      done;
+      for k = 0 to 7 do
+        ignore (P.delete t k)
+      done);
+  Alcotest.(check string) "policy uninstalled" "none" (Chaos.policy_name ());
+  Alcotest.(check bool) "points crossed" true (Chaos.points_crossed () > 0);
+  let xs = Chaos.site_crossings () in
+  List.iter
+    (fun site ->
+      match List.assoc_opt site xs with
+      | Some n when n > 0 -> ()
+      | Some _ -> Alcotest.failf "site %s never crossed" site
+      | None -> Alcotest.failf "site %s missing from crossings" site)
+    [ "flag_cas"; "child_cas"; "after_child_cas"; "unflag" ]
+
+let test_vlk_under_delays () =
+  Chaos.with_policy ~name:"delays"
+    (Chaos.Policy.delays ~prob_per_mille:300 ~max_spins:100 ~seed:chaos_seed ())
+  @@ fun () ->
+  let t = V.create () in
+  let key d i = Printf.sprintf "k%d-%02d" d i in
+  Tutil.join_all
+    (Tutil.spawn_n 3 (fun d ->
+         for i = 0 to 15 do
+           ignore (V.insert t (key d i))
+         done;
+         for i = 0 to 15 do
+           if i mod 2 = 0 then ignore (V.delete t (key d i))
+         done))
+  |> ignore;
+  for d = 0 to 2 do
+    for i = 0 to 15 do
+      Alcotest.(check bool) (key d i) (i mod 2 = 1) (V.member t (key d i))
+    done
+  done;
+  match V.check_invariants t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "vlk invariants violated: %s" e
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "stalled domain",
+        [
+          Alcotest.test_case "insert: before child CAS" `Quick
+            test_stall_insert_before_child_cas;
+          Alcotest.test_case "delete: before child CAS" `Quick
+            test_stall_delete_before_child_cas;
+          Alcotest.test_case "replace: before first child CAS" `Quick
+            test_stall_replace_before_first_cas;
+          Alcotest.test_case "replace: between child CASes" `Quick
+            test_stall_replace_between_cases;
+          Alcotest.test_case "insert: before unflag" `Quick
+            test_stall_insert_before_unflag;
+        ] );
+      ( "figure 6 replace",
+        [
+          Alcotest.test_case "exhaustive pairs, sequential" `Quick
+            test_replace_special_cases_seq;
+          Alcotest.test_case "exhaustive pairs, delay schedule" `Quick
+            test_replace_special_cases_delayed;
+          Alcotest.test_case "linearizable under chaos" `Quick
+            test_replace_linearizable_chaos;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "counter" `Quick test_backoff_counter;
+          Alcotest.test_case "primitive" `Quick test_backoff_primitive;
+        ] );
+      ( "instrumentation",
+        [
+          Alcotest.test_case "crossing counters" `Quick test_crossing_counters;
+          Alcotest.test_case "vlk under delays" `Quick test_vlk_under_delays;
+        ] );
+    ]

@@ -326,6 +326,7 @@ let test_stats_recording () =
           "helps_received";
           "flag_failures";
           "backtracks";
+          "backoff_waits";
         ]
         (List.map fst alist);
       Alcotest.(check int)

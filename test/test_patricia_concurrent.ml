@@ -52,7 +52,8 @@ let test_same_key_insert_once () =
     (fun k w ->
       if Atomic.get w <> 1 then
         Alcotest.failf "key %d inserted successfully %d times" k (Atomic.get w))
-    wins
+    wins;
+  match P.check_invariants t with Ok () -> () | Error e -> Alcotest.fail e
 
 let test_insert_delete_counting () =
   (* Successful inserts minus successful deletes must equal the final

@@ -168,7 +168,10 @@ let linearizable_run ?(threads = 3) ?(ops_per_thread = 12) ?(universe = 8)
   let history = Linearize.Recorder.history recorder in
   if not (Linearize.check history) then
     Alcotest.failf "%s: history of %d ops is not linearizable" ops.label
-      (Array.length history)
+      (Array.length history);
+  (* Teardown audit: the structure must also be internally consistent
+     once the recorded run is over (no residual flags, ordered leaves). *)
+  check_ok ops.label ops
 
 let qtest ?(count = 200) name gen prop =
   QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)

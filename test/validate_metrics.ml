@@ -56,7 +56,12 @@ let check_counters ctx = function
   | Obs.Json.Obj kvs ->
       List.iter
         (fun (k, v) -> nonneg_num ctx ("counters." ^ k) (Some v))
-        kvs
+        kvs;
+      (* PAT's counter set is emitted whole: a snapshot that has
+         "attempts" must also carry the backoff counter added with the
+         fault-injection layer. *)
+      if List.mem_assoc "attempts" kvs && not (List.mem_assoc "backoff_waits" kvs)
+      then err "%s: counters with \"attempts\" lack \"backoff_waits\"" ctx
   | _ -> err "%s: \"counters\" is not an object" ctx
 
 let check_gc ctx = function
@@ -125,7 +130,17 @@ let () =
   | Some (Obs.Json.Str _) -> ()
   | _ -> err "missing or non-string \"benchmark\"");
   (match Obs.Json.member doc "config" with
-  | Some (Obs.Json.Obj _) -> ()
+  | Some (Obs.Json.Obj _ as cfg) ->
+      (* Chaos-mode metadata: a metrics file must say whether retry
+         backoff or fault injection was live, so runs with and without
+         are never compared by accident. *)
+      List.iter
+        (fun k ->
+          match Obs.Json.member cfg k with
+          | Some (Obs.Json.Bool _) -> ()
+          | Some _ -> err "config: %S is not a boolean" k
+          | None -> err "config: missing key %S" k)
+        [ "backoff"; "chaos_injection" ]
   | _ -> err "missing or non-object \"config\"");
   let n =
     match Option.bind (Obs.Json.member doc "datapoints") Obs.Json.to_list_opt
