@@ -56,18 +56,33 @@ let sections =
 
 let enabled s = List.mem s sections
 
-(* --metrics-json PATH on the command line wins over the env knob. *)
-let metrics_path =
+(* --metrics-json / --baseline-json on the command line win over the
+   corresponding env knobs. *)
+let argv_opt flag =
   let rec scan = function
-    | "--metrics-json" :: path :: _ -> Some path
+    | f :: path :: _ when f = flag -> Some path
     | _ :: tl -> scan tl
     | [] -> None
   in
-  match scan (Array.to_list Sys.argv) with
+  scan (Array.to_list Sys.argv)
+
+let metrics_path =
+  match argv_opt "--metrics-json" with
   | Some _ as p -> p
   | None -> Sys.getenv_opt "REPRO_METRICS_JSON"
 
 let metrics_on = metrics_path <> None
+
+(* REPRO_BASELINE_JSON / --baseline-json: a compact machine-readable
+   throughput baseline — one {figure, structure, threads, mean, stddev}
+   record per data point, no latency/counters/GC — for the CI bench
+   regression gate (test/compare_bench.ml against BENCH_1.json). *)
+let baseline_path =
+  match argv_opt "--baseline-json" with
+  | Some _ as p -> p
+  | None -> Sys.getenv_opt "REPRO_BASELINE_JSON"
+
+let baseline_on = baseline_path <> None
 let record_stats = metrics_on || Sys.getenv_opt "REPRO_RECORD_STATS" <> None
 
 (* REPRO_BACKOFF=1 turns on bounded exponential backoff in PAT's retry
@@ -103,6 +118,7 @@ let config threads =
 (* Metrics-file assembly (see EXPERIMENTS.md, "Observability") *)
 
 let metrics_acc : Obs.Json.t list ref = ref []
+let baseline_acc : Obs.Json.t list ref = ref []
 
 let sweep ~figure subjects workload =
   List.map
@@ -119,6 +135,18 @@ let sweep ~figure subjects workload =
                 Harness.datapoint_full_to_json ~section:figure
                   ~label:subject.Harness.label workload ~threads full
                 :: !metrics_acc;
+            if baseline_on then
+              baseline_acc :=
+                Obs.Json.Obj
+                  [
+                    ("figure", Obs.Json.Str figure);
+                    ("structure", Obs.Json.Str subject.Harness.label);
+                    ("threads", Obs.Json.Int threads);
+                    ("mean_ops_s", Obs.Json.Float full.Harness.dp.Harness.mean);
+                    ( "stddev_ops_s",
+                      Obs.Json.Float full.Harness.dp.Harness.stddev );
+                  ]
+                :: !baseline_acc;
             full.Harness.dp)
           threads_list ))
     (with_stats subjects)
@@ -258,4 +286,36 @@ let () =
             (List.length !metrics_acc)
       | exception Sys_error m ->
           Format.eprintf "@.cannot write metrics file: %s@." m;
+          exit 1)
+
+let () =
+  match baseline_path with
+  | None -> ()
+  | Some path ->
+      let open Obs.Json in
+      let doc =
+        Obj
+          [
+            ("schema_version", Int 1);
+            ("benchmark", Str "bench/main.exe");
+            ( "config",
+              Obj
+                [
+                  ("seconds_per_trial", Float seconds);
+                  ("trials", Int trials);
+                  ("threads", Arr (List.map (fun t -> Int t) threads_list));
+                  ("large_range", Int large_range);
+                  ("small_range", Int small_range);
+                  ("seed", Int 2013);
+                  ("available_cores", Int (Domain.recommended_domain_count ()));
+                ] );
+            ("datapoints", Arr (List.rev !baseline_acc));
+          ]
+      in
+      (match to_file path doc with
+      | () ->
+          Format.printf "@.baseline written to %s (%d datapoints)@." path
+            (List.length !baseline_acc)
+      | exception Sys_error m ->
+          Format.eprintf "@.cannot write baseline file: %s@." m;
           exit 1)

@@ -58,7 +58,81 @@ let backoff_arg =
   in
   Arg.(value & flag & info [ "backoff" ] ~doc)
 
+let trace_out_arg =
+  let doc =
+    "Record every trie update attempt as a span in per-domain ring buffers \
+     and write the merged timeline as Chrome trace-event JSON to $(docv) at \
+     exit — open it in Perfetto (ui.perfetto.dev) or chrome://tracing, one \
+     track per domain.  Ring overflow keeps the most recent attempts and is \
+     reported, never silent."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~doc ~docv:"PATH")
+
+let serve_arg =
+  let doc =
+    "Serve live metrics over HTTP on 127.0.0.1:$(docv) for the whole run: \
+     GET /metrics returns Prometheus text (throughput counter, latency \
+     quantiles, retry attribution, GC state), GET /healthz returns ok.  \
+     Port 0 binds an ephemeral port (printed at startup).  Implies \
+     latency recording and retry attribution."
+  in
+  Arg.(value & opt (some int) None & info [ "serve" ] ~doc ~docv:"PORT")
+
+let attribution_arg =
+  let doc =
+    "Profile CAS-retry attribution: histogram every update retry by cause \
+     (flag CAS lost, child CAS lost, flagged-ancestor help, backtrack, \
+     structural conflict) and by the attempt depth at which it struck; \
+     print the decomposition table at exit."
+  in
+  Arg.(value & flag & info [ "attribution" ] ~doc)
+
 let set_backoff b = Chaos.Backoff.set_enabled b
+
+(* Install the flight recorder around one subcommand invocation: the
+   attempt-span trace ring (--trace-out), the retry-attribution profiler
+   (--attribution, implied by --serve) and the live scrape endpoint
+   (--serve).  Teardown always runs — the trace file and attribution
+   table survive a failing sweep. *)
+let with_flight_recorder ~trace_out ~serve ~attribution f =
+  let tr =
+    Option.map (fun _ -> Obs.Trace.create ~capacity:16384 ()) trace_out
+  in
+  Option.iter (fun t -> Obs.Trace.set_recorder (Some t)) tr;
+  let profile = attribution || serve <> None in
+  if profile then Obs.Attribution.set_enabled true;
+  let server =
+    Option.map
+      (fun port ->
+        Harness.Live.set_enabled true;
+        let s = Obs.Serve.start ~port Harness.Live.prometheus in
+        Format.printf "serving metrics on http://127.0.0.1:%d/metrics@."
+          (Obs.Serve.port s);
+        Format.print_flush ();
+        s)
+      serve
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter Obs.Serve.stop server;
+      Harness.Live.set_enabled false;
+      Obs.Trace.set_recorder None;
+      (match (tr, trace_out) with
+      | Some t, Some path ->
+          Obs.Perfetto.write ~path t;
+          Format.printf
+            "@.perfetto trace written to %s (%d events retained, %d dropped)@."
+            path
+            (List.length (Obs.Trace.dump t))
+            (Obs.Trace.dropped t)
+      | _ -> ());
+      if profile then begin
+        Format.printf "@.=== Retry attribution ===@.";
+        Obs.Attribution.pp Format.std_formatter ();
+        Obs.Attribution.set_enabled false
+      end;
+      Format.print_flush ())
+    f
 
 let config ~seconds ~trials ~seed threads =
   Harness.
@@ -108,10 +182,13 @@ let with_metrics ~threads_list ~seconds ~trials ~seed metrics f =
 
 let run_sweep ~threads_list ~seconds ~trials ~seed ~csv ~title subjects workload =
   Format.printf "@.=== %s ===@." title;
+  (* Metrics files and the live endpoint both want latency recording and
+     PAT's internal counters; the bare sweep stays uninstrumented. *)
+  let instrumented = !collect_metrics || Harness.Live.enabled () in
   let subjects =
     (* With metrics on, swap PAT for its counter-enabled twin so the
        "counters" object is populated. *)
-    if !collect_metrics then
+    if instrumented then
       List.map
         (fun s ->
           if s.Harness.label = Core.Patricia.name then Harness.pat_subject_stats
@@ -126,7 +203,7 @@ let run_sweep ~threads_list ~seconds ~trials ~seed ~csv ~title subjects workload
           List.map
             (fun threads ->
               let full =
-                Harness.run_subject_full ~record_latency:!collect_metrics
+                Harness.run_subject_full ~record_latency:instrumented
                   subject workload
                   (config ~seconds ~trials ~seed threads)
               in
@@ -163,9 +240,11 @@ let figure_cmd =
     let doc = "Override the key range (defaults to the paper's)." in
     Arg.(value & opt (some int) None & info [ "range" ] ~doc)
   in
-  let run id range threads_list seconds trials seed csv metrics backoff =
+  let run id range threads_list seconds trials seed csv metrics backoff
+      trace_out serve attribution =
     set_backoff backoff;
     let sweep = run_sweep ~threads_list ~seconds ~trials ~seed ~csv in
+    with_flight_recorder ~trace_out ~serve ~attribution @@ fun () ->
     with_metrics ~threads_list ~seconds ~trials ~seed metrics @@ fun () ->
     match id with
     | 8 ->
@@ -203,7 +282,8 @@ let figure_cmd =
     Term.(
       ret
         (const run $ id_arg $ range_arg $ threads_arg $ seconds_arg $ trials_arg
-       $ seed_arg $ csv_arg $ metrics_arg $ backoff_arg))
+       $ seed_arg $ csv_arg $ metrics_arg $ backoff_arg $ trace_out_arg
+       $ serve_arg $ attribution_arg))
 
 (* ------------------------------------------------------------------ *)
 (* extra subcommand: configurations the paper mentions without plotting *)
@@ -227,9 +307,11 @@ let extra_cmd =
           `Medium
       & info [ "which" ] ~doc)
   in
-  let run which threads_list seconds trials seed csv metrics backoff =
+  let run which threads_list seconds trials seed csv metrics backoff trace_out
+      serve attribution =
     set_backoff backoff;
     let sweep = run_sweep ~threads_list ~seconds ~trials ~seed ~csv in
+    with_flight_recorder ~trace_out ~serve ~attribution @@ fun () ->
     with_metrics ~threads_list ~seconds ~trials ~seed metrics @@ fun () ->
     match which with
     | `Medium ->
@@ -286,7 +368,8 @@ let extra_cmd =
   Cmd.v (Cmd.info "extra" ~doc)
     Term.(
       const run $ which_arg $ threads_arg $ seconds_arg $ trials_arg $ seed_arg
-      $ csv_arg $ metrics_arg $ backoff_arg)
+      $ csv_arg $ metrics_arg $ backoff_arg $ trace_out_arg $ serve_arg
+      $ attribution_arg)
 
 (* ------------------------------------------------------------------ *)
 (* custom subcommand *)
@@ -301,7 +384,7 @@ let custom_cmd =
     Arg.(value & opt (some int) None & info [ "clustered" ] ~doc)
   in
   let run insert delete find replace range clustered threads_list seconds trials
-      seed csv metrics backoff =
+      seed csv metrics backoff trace_out serve attribution =
     set_backoff backoff;
     match Harness.Mix.v ~insert ~delete ~find ~replace () with
     | exception Invalid_argument m -> `Error (false, m)
@@ -314,6 +397,7 @@ let custom_cmd =
         let subjects =
           if replace > 0 then [ Harness.pat_subject ] else Harness.all_subjects
         in
+        with_flight_recorder ~trace_out ~serve ~attribution @@ fun () ->
         with_metrics ~threads_list ~seconds ~trials ~seed metrics @@ fun () ->
         run_sweep ~threads_list ~seconds ~trials ~seed ~csv
           ~title:
@@ -332,7 +416,8 @@ let custom_cmd =
       ret
         (const run $ pct "insert" $ pct "delete" $ pct "find" $ pct "replace"
        $ range_arg $ clustered_arg $ threads_arg $ seconds_arg $ trials_arg
-       $ seed_arg $ csv_arg $ metrics_arg $ backoff_arg))
+       $ seed_arg $ csv_arg $ metrics_arg $ backoff_arg $ trace_out_arg
+       $ serve_arg $ attribution_arg))
 
 (* ------------------------------------------------------------------ *)
 (* ablation subcommand *)
@@ -565,8 +650,10 @@ let ablation_cmd =
           `Replace
       & info [ "which" ] ~doc)
   in
-  let run which threads_list seconds trials seed csv metrics backoff =
+  let run which threads_list seconds trials seed csv metrics backoff trace_out
+      serve attribution =
     set_backoff backoff;
+    with_flight_recorder ~trace_out ~serve ~attribution @@ fun () ->
     with_metrics ~threads_list ~seconds ~trials ~seed metrics @@ fun () ->
     match which with
     | `Replace -> ablation_replace ~threads_list ~seconds ~trials ~seed ~csv
@@ -580,7 +667,8 @@ let ablation_cmd =
   Cmd.v (Cmd.info "ablation" ~doc)
     Term.(
       const run $ which_arg $ threads_arg $ seconds_arg $ trials_arg $ seed_arg
-      $ csv_arg $ metrics_arg $ backoff_arg)
+      $ csv_arg $ metrics_arg $ backoff_arg $ trace_out_arg $ serve_arg
+      $ attribution_arg)
 
 (* ------------------------------------------------------------------ *)
 

@@ -140,6 +140,57 @@ let[@inline] retry_pause (stats : stats option) bo =
   else bo
 
 (* ------------------------------------------------------------------ *)
+(* Flight recorder (lib/obs).  Two further gated instrumentation
+   families alongside [bump] and [chaos_point], with the same disabled
+   cost — one atomic load and an untaken branch per site:
+
+   - one closed span per update attempt into the global trace recorder
+     ([Obs.Trace.set_recorder]), labelled with the attempt number and
+     the retry cause / CAS site it ended at;
+   - per-cause retry attribution ([Obs.Attribution.mark] and
+     [op_complete], both gated internally on their own flag).
+
+   [span_start] reads the clock only when tracing is live; a zero start
+   marks the attempt as untraced, so the completion helpers need no
+   second atomic load. *)
+
+let[@inline] span_start () =
+  if Atomic.get Obs.Trace.active then Obs.Clock.now_ns () else 0
+
+let span_emit kind ~key ~ok ~attempt ~site ~t0 =
+  match Obs.Trace.recorder () with
+  | Some tr ->
+      Obs.Trace.emit_span tr kind ~key ~ok ~retries:(attempt - 1) ~attempt
+        ~site ~t0_ns:t0
+  | None -> ()
+
+(* Attempt finished with outcome [ok]; [site] says how ("applied", or
+   why the operation was a no-op). *)
+let[@inline] attempt_done kind ~key ~attempt ~t0 ~site ok =
+  if t0 <> 0 then span_emit kind ~key ~ok ~attempt ~site ~t0;
+  Obs.Attribution.op_complete ();
+  ok
+
+(* Attempt failed and the loop will go around; [cause] names the CAS it
+   lost or the conflict it hit. *)
+let[@inline] attempt_retry kind ~key ~attempt ~t0 cause =
+  Obs.Attribution.mark cause ~attempt;
+  if t0 <> 0 then
+    span_emit kind ~key ~ok:false ~attempt
+      ~site:(Obs.Attribution.cause_name cause)
+      ~t0
+
+let[@inline] flagged = function Flag _ -> true | Unflag _ -> false
+
+(* Cause of a [None] return from the newFlag family, recovered from the
+   info values the attempt read: if any was a Flag we restarted after
+   helping a pending descriptor; otherwise a node changed between two
+   reads of the same attempt. *)
+let[@inline] retry_cause2 a b =
+  if flagged a || flagged b then Obs.Attribution.Flagged_ancestor
+  else Obs.Attribution.Conflict
+
+(* ------------------------------------------------------------------ *)
 (* Construction *)
 
 let create_width ~width ?(record_stats = false) () =
@@ -268,7 +319,11 @@ let child_cas_phase f =
          child's label, which p.label properly prefixes by Invariant 7. *)
       let k = Label.next_bit p.label (node_label ~width:f.fwidth nc) in
       chaos_point Chaos.Child_cas;
-      ignore (Atomic.compare_and_set p.children.(k) f.old_children.(i) nc);
+      if not (Atomic.compare_and_set p.children.(k) f.old_children.(i) nc) then
+        (* Expected old child already gone: a helper or a conflicting
+           update got there first.  Attempt number unknown on the
+           helper side, recorded as 0. *)
+        Obs.Attribution.mark Obs.Attribution.Child_cas_lost ~attempt:0;
       chaos_point Chaos.After_child_cas)
     f.pnodes
 
@@ -298,6 +353,7 @@ let rec help (fi : info) : bool =
     (* Lines 103-106: flagging failed — back the flags out. *)
     chaos_point Chaos.Backtrack;
     bump f.fstats (fun s -> s.backtracks);
+    Obs.Attribution.mark Obs.Attribution.Backtrack ~attempt:0;
     for i = Array.length f.flag_nodes - 1 downto 0 do
       ignore
         (Atomic.compare_and_set f.flag_nodes.(i).iinfo fi (fresh_unflag ()))
@@ -507,17 +563,23 @@ let sibling_index ~width (p : internal) v =
 
 let insert_internal t v =
   let width = t.width and stats = t.stats in
-  let rec attempt bo =
+  let rec attempt bo n =
     bump stats (fun s -> s.attempts);
+    let t0 = span_start () in
     let r = search t v in
-    if key_in_trie r.node v r.rmvd then false
+    if key_in_trie r.node v r.rmvd then
+      attempt_done Obs.Trace.Insert ~key:v ~attempt:n ~t0 ~site:"present" false
     else begin
       let node_info_v = Atomic.get (node_info r.node) in
       let node_copy = copy_node r.node in
       match
         create_node ~width ~stats node_copy (Leaf (new_leaf v)) (Some node_info_v)
       with
-      | None -> attempt (retry_pause stats bo)
+      | None ->
+          attempt_retry Obs.Trace.Insert ~key:v ~attempt:n ~t0
+            (if flagged node_info_v then Obs.Attribution.Flagged_ancestor
+             else Obs.Attribution.Conflict);
+          attempt (retry_pause stats bo) (n + 1)
       | Some new_node ->
           let fi =
             match r.node with
@@ -532,14 +594,21 @@ let insert_internal t v =
                   ~new_child:(Internal new_node)
           in
           (match fi with
-          | Some fi when help fi -> true
+          | Some fi when help fi ->
+              attempt_done Obs.Trace.Insert ~key:v ~attempt:n ~t0
+                ~site:"applied" true
           | Some _ ->
               bump stats (fun s -> s.flag_failures);
-              attempt (retry_pause stats bo)
-          | None -> attempt (retry_pause stats bo))
+              attempt_retry Obs.Trace.Insert ~key:v ~attempt:n ~t0
+                Obs.Attribution.Flag_cas_lost;
+              attempt (retry_pause stats bo) (n + 1)
+          | None ->
+              attempt_retry Obs.Trace.Insert ~key:v ~attempt:n ~t0
+                (retry_cause2 r.p_info node_info_v);
+              attempt (retry_pause stats bo) (n + 1))
     end
   in
-  attempt Chaos.Backoff.init
+  attempt Chaos.Backoff.init 1
 
 let insert t k = insert_internal t (internal_key t k)
 
@@ -548,10 +617,12 @@ let insert t k = insert_internal t (internal_key t k)
 
 let delete_internal t v =
   let width = t.width and stats = t.stats in
-  let rec attempt bo =
+  let rec attempt bo n =
     bump stats (fun s -> s.attempts);
+    let t0 = span_start () in
     let r = search t v in
-    if not (key_in_trie r.node v r.rmvd) then false
+    if not (key_in_trie r.node v r.rmvd) then
+      attempt_done Obs.Trace.Delete ~key:v ~attempt:n ~t0 ~site:"absent" false
     else begin
       let node_sibling = Atomic.get r.p.children.(sibling_index ~width r.p v) in
       match (r.gp, r.gp_info) with
@@ -562,19 +633,28 @@ let delete_internal t v =
             new_flag2 ~width ~stats ~a:gp ~a_old:gp_info ~b:r.p ~b_old:r.p_info
               ~old_child:r.p_node ~new_child:node_sibling
           with
-          | Some fi when help fi -> true
+          | Some fi when help fi ->
+              attempt_done Obs.Trace.Delete ~key:v ~attempt:n ~t0
+                ~site:"applied" true
           | Some _ ->
               bump stats (fun s -> s.flag_failures);
-              attempt (retry_pause stats bo)
-          | None -> attempt (retry_pause stats bo))
+              attempt_retry Obs.Trace.Delete ~key:v ~attempt:n ~t0
+                Obs.Attribution.Flag_cas_lost;
+              attempt (retry_pause stats bo) (n + 1)
+          | None ->
+              attempt_retry Obs.Trace.Delete ~key:v ~attempt:n ~t0
+                (retry_cause2 gp_info r.p_info);
+              attempt (retry_pause stats bo) (n + 1))
       | _ ->
           (* gp = null can only be observed transiently: a real key's leaf
              always has an internal proper ancestor besides the root
              (the sentinel on its side shares that subtree).  Retry. *)
-          attempt (retry_pause stats bo)
+          attempt_retry Obs.Trace.Delete ~key:v ~attempt:n ~t0
+            Obs.Attribution.Conflict;
+          attempt (retry_pause stats bo) (n + 1)
     end
   in
-  attempt Chaos.Backoff.init
+  attempt Chaos.Backoff.init 1
 
 let delete t k = delete_internal t (internal_key t k)
 
@@ -583,13 +663,17 @@ let delete t k = delete_internal t (internal_key t k)
 
 let replace_internal t vd vi =
   let width = t.width and stats = t.stats in
-  let rec attempt bo =
+  let rec attempt bo n =
     bump stats (fun s -> s.attempts);
+    let t0 = span_start () in
     let rd = search t vd in
-    if not (key_in_trie rd.node vd rd.rmvd) then false
+    if not (key_in_trie rd.node vd rd.rmvd) then
+      attempt_done Obs.Trace.Replace ~key:vd ~attempt:n ~t0 ~site:"absent" false
     else begin
       let ri = search t vi in
-      if key_in_trie ri.node vi ri.rmvd then false
+      if key_in_trie ri.node vi ri.rmvd then
+        attempt_done Obs.Trace.Replace ~key:vd ~attempt:n ~t0 ~site:"present"
+          false
       else begin
         let node_info_i = Atomic.get (node_info ri.node) in
         let node_sibling_d =
@@ -707,15 +791,31 @@ let replace_internal t vd vi =
           else None
         in
         match fi with
-        | Some fi when help fi -> true
+        | Some fi when help fi ->
+            attempt_done Obs.Trace.Replace ~key:vd ~attempt:n ~t0
+              ~site:"applied" true
         | Some _ ->
             bump stats (fun s -> s.flag_failures);
-            attempt (retry_pause stats bo)
-        | None -> attempt (retry_pause stats bo)
+            attempt_retry Obs.Trace.Replace ~key:vd ~attempt:n ~t0
+              Obs.Attribution.Flag_cas_lost;
+            attempt (retry_pause stats bo) (n + 1)
+        | None ->
+            (* Recover the cause from every info value this attempt
+               read; [new_flag]'s [None] collapses help-and-restart and
+               read-read conflicts into one constructor. *)
+            let cause =
+              if
+                flagged node_info_i || flagged rd.p_info || flagged ri.p_info
+                || (match rd.gp_info with Some i -> flagged i | None -> false)
+              then Obs.Attribution.Flagged_ancestor
+              else Obs.Attribution.Conflict
+            in
+            attempt_retry Obs.Trace.Replace ~key:vd ~attempt:n ~t0 cause;
+            attempt (retry_pause stats bo) (n + 1)
       end
     end
   in
-  attempt Chaos.Backoff.init
+  attempt Chaos.Backoff.init 1
 
 (* replace(v, v) is always false: the sequential specification requires
    [remove] present *and* [add] absent, which a single key cannot satisfy. *)

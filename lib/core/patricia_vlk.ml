@@ -53,6 +53,40 @@ let[@inline] retry_pause bo =
   chaos_point Chaos.Retry;
   if Chaos.Backoff.enabled () then Chaos.Backoff.wait bo else bo
 
+(* Flight recorder (lib/obs), as in {!Patricia}: one closed span per
+   update attempt into the global trace recorder plus per-cause retry
+   attribution, each site costing one atomic load and an untaken branch
+   while disabled.  Bit-string keys are folded to an int with
+   [Hashtbl.hash] for the trace's [key] field — a stable per-key tag,
+   not a reversible encoding. *)
+let[@inline] span_start () =
+  if Atomic.get Obs.Trace.active then Obs.Clock.now_ns () else 0
+
+let span_emit kind ~key ~ok ~attempt ~site ~t0 =
+  match Obs.Trace.recorder () with
+  | Some tr ->
+      Obs.Trace.emit_span tr kind ~key:(Hashtbl.hash key) ~ok
+        ~retries:(attempt - 1) ~attempt ~site ~t0_ns:t0
+  | None -> ()
+
+let[@inline] attempt_done kind ~key ~attempt ~t0 ~site ok =
+  if t0 <> 0 then span_emit kind ~key ~ok ~attempt ~site ~t0;
+  Obs.Attribution.op_complete ();
+  ok
+
+let[@inline] attempt_retry kind ~key ~attempt ~t0 cause =
+  Obs.Attribution.mark cause ~attempt;
+  if t0 <> 0 then
+    span_emit kind ~key ~ok:false ~attempt
+      ~site:(Obs.Attribution.cause_name cause)
+      ~t0
+
+let[@inline] flagged = function Flag _ -> true | Unflag _ -> false
+
+let[@inline] retry_cause2 a b =
+  if flagged a || flagged b then Obs.Attribution.Flagged_ancestor
+  else Obs.Attribution.Conflict
+
 let node_info = function Leaf l -> l.linfo | Internal i -> i.iinfo
 let node_label = function Leaf l -> l.key | Internal i -> i.label
 
@@ -133,7 +167,8 @@ let child_cas_phase f =
       let nc = f.new_children.(i) in
       let k = B.next_bit p.label (node_label nc) in
       chaos_point Chaos.Child_cas;
-      ignore (Atomic.compare_and_set p.children.(k) f.old_children.(i) nc);
+      if not (Atomic.compare_and_set p.children.(k) f.old_children.(i) nc) then
+        Obs.Attribution.mark Obs.Attribution.Child_cas_lost ~attempt:0;
       chaos_point Chaos.After_child_cas)
     f.pnodes
 
@@ -155,6 +190,7 @@ let rec help (fi : info) : bool =
   end
   else begin
     chaos_point Chaos.Backtrack;
+    Obs.Attribution.mark Obs.Attribution.Backtrack ~attempt:0;
     for i = Array.length f.flag_nodes - 1 downto 0 do
       ignore
         (Atomic.compare_and_set f.flag_nodes.(i).iinfo fi (fresh_unflag ()))
@@ -256,14 +292,20 @@ let sibling_index (p : internal) v = 1 - B.next_bit p.label v
 
 let insert_key t v =
   check_key v;
-  let rec attempt bo =
+  let rec attempt bo n =
+    let t0 = span_start () in
     let r = search t v in
-    if key_in_trie r.node v r.rmvd then false
+    if key_in_trie r.node v r.rmvd then
+      attempt_done Obs.Trace.Insert ~key:v ~attempt:n ~t0 ~site:"present" false
     else begin
       let node_info_v = Atomic.get (node_info r.node) in
       let node_copy = copy_node r.node in
       match create_node node_copy (Leaf (new_leaf v)) (Some node_info_v) with
-      | None -> attempt (retry_pause bo)
+      | None ->
+          attempt_retry Obs.Trace.Insert ~key:v ~attempt:n ~t0
+            (if flagged node_info_v then Obs.Attribution.Flagged_ancestor
+             else Obs.Attribution.Conflict);
+          attempt (retry_pause bo) (n + 1)
       | Some new_node ->
           let fi =
             match r.node with
@@ -279,17 +321,28 @@ let insert_key t v =
                   ~new_children:[ Internal new_node ] ~rmv_leaf:None
           in
           (match fi with
-          | Some fi when help fi -> true
-          | Some _ | None -> attempt (retry_pause bo))
+          | Some fi when help fi ->
+              attempt_done Obs.Trace.Insert ~key:v ~attempt:n ~t0
+                ~site:"applied" true
+          | Some _ ->
+              attempt_retry Obs.Trace.Insert ~key:v ~attempt:n ~t0
+                Obs.Attribution.Flag_cas_lost;
+              attempt (retry_pause bo) (n + 1)
+          | None ->
+              attempt_retry Obs.Trace.Insert ~key:v ~attempt:n ~t0
+                (retry_cause2 r.p_info node_info_v);
+              attempt (retry_pause bo) (n + 1))
     end
   in
-  attempt Chaos.Backoff.init
+  attempt Chaos.Backoff.init 1
 
 let delete_key t v =
   check_key v;
-  let rec attempt bo =
+  let rec attempt bo n =
+    let t0 = span_start () in
     let r = search t v in
-    if not (key_in_trie r.node v r.rmvd) then false
+    if not (key_in_trie r.node v r.rmvd) then
+      attempt_done Obs.Trace.Delete ~key:v ~attempt:n ~t0 ~site:"absent" false
     else begin
       let node_sibling = Atomic.get r.p.children.(sibling_index r.p v) in
       match (r.gp, r.gp_info) with
@@ -300,24 +353,41 @@ let delete_key t v =
               ~unflag:[ gp ] ~pnodes:[ gp ] ~old_children:[ r.p_node ]
               ~new_children:[ node_sibling ] ~rmv_leaf:None
           with
-          | Some fi when help fi -> true
-          | Some _ | None -> attempt (retry_pause bo))
-      | _ -> attempt (retry_pause bo)
+          | Some fi when help fi ->
+              attempt_done Obs.Trace.Delete ~key:v ~attempt:n ~t0
+                ~site:"applied" true
+          | Some _ ->
+              attempt_retry Obs.Trace.Delete ~key:v ~attempt:n ~t0
+                Obs.Attribution.Flag_cas_lost;
+              attempt (retry_pause bo) (n + 1)
+          | None ->
+              attempt_retry Obs.Trace.Delete ~key:v ~attempt:n ~t0
+                (retry_cause2 gp_info r.p_info);
+              attempt (retry_pause bo) (n + 1))
+      | _ ->
+          attempt_retry Obs.Trace.Delete ~key:v ~attempt:n ~t0
+            Obs.Attribution.Conflict;
+          attempt (retry_pause bo) (n + 1)
     end
   in
-  attempt Chaos.Backoff.init
+  attempt Chaos.Backoff.init 1
 
 let replace_key t vd vi =
   check_key vd;
   check_key vi;
   if B.equal vd vi then false
   else
-    let rec attempt bo =
+    let rec attempt bo n =
+      let t0 = span_start () in
       let rd = search t vd in
-      if not (key_in_trie rd.node vd rd.rmvd) then false
+      if not (key_in_trie rd.node vd rd.rmvd) then
+        attempt_done Obs.Trace.Replace ~key:vd ~attempt:n ~t0 ~site:"absent"
+          false
       else begin
         let ri = search t vi in
-        if key_in_trie ri.node vi ri.rmvd then false
+        if key_in_trie ri.node vi ri.rmvd then
+          attempt_done Obs.Trace.Replace ~key:vd ~attempt:n ~t0 ~site:"present"
+            false
         else begin
           let node_info_i = Atomic.get (node_info ri.node) in
           let node_sibling_d = Atomic.get rd.p.children.(sibling_index rd.p vd) in
@@ -426,12 +496,27 @@ let replace_key t vd vi =
             else None
           in
           match fi with
-          | Some fi when help fi -> true
-          | Some _ | None -> attempt (retry_pause bo)
+          | Some fi when help fi ->
+              attempt_done Obs.Trace.Replace ~key:vd ~attempt:n ~t0
+                ~site:"applied" true
+          | Some _ ->
+              attempt_retry Obs.Trace.Replace ~key:vd ~attempt:n ~t0
+                Obs.Attribution.Flag_cas_lost;
+              attempt (retry_pause bo) (n + 1)
+          | None ->
+              let cause =
+                if
+                  flagged node_info_i || flagged rd.p_info || flagged ri.p_info
+                  || (match rd.gp_info with Some i -> flagged i | None -> false)
+                then Obs.Attribution.Flagged_ancestor
+                else Obs.Attribution.Conflict
+              in
+              attempt_retry Obs.Trace.Replace ~key:vd ~attempt:n ~t0 cause;
+              attempt (retry_pause bo) (n + 1)
         end
       end
     in
-    attempt Chaos.Backoff.init
+    attempt Chaos.Backoff.init 1
 
 (* ------------------------------------------------------------------ *)
 (* Byte-string front end (one byte = 8 binary digits) *)

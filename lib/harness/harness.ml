@@ -125,6 +125,124 @@ type trial_metrics = {
   gc : gc_delta;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Live telemetry: the state behind the scrape endpoint (Obs.Serve).
+
+   The run loops below bump a striped ops counter and (on the latency
+   path) a sharded histogram whenever live mode is on; the [prometheus]
+   producer renders those together with the retry attribution, chaos
+   crossings, trace-ring drops, trie-internal counters and GC state into
+   one text exposition.  Same hot-path discipline as everything else in
+   this file: live mode off costs one atomic load and an untaken branch
+   per operation. *)
+
+module Live = struct
+  let active = Atomic.make false
+  let ops_done = Obs.Counter.create ()
+  let latency = Obs.Histogram.create ()
+  let started_ns = ref 0
+
+  (* The current structure's cumulative counter snapshot function
+     ([ops.stats] of the instance under test), registered by the trial
+     runner so a scrape can expose trie-internal counters.  Read only on
+     scrape. *)
+  let stats_source : (unit -> (string * int) list) option Atomic.t =
+    Atomic.make None
+
+  let set_stats_source f = Atomic.set stats_source f
+
+  let set_enabled b =
+    if b && not (Atomic.get active) then begin
+      Obs.Counter.reset ops_done;
+      Obs.Histogram.reset latency;
+      started_ns := Obs.Clock.now_ns ()
+    end;
+    Atomic.set active b
+
+  let enabled () = Atomic.get active
+
+  (* Count one completed operation; [op] also records its latency. *)
+  let[@inline] tick () = if Atomic.get active then Obs.Counter.incr ops_done
+
+  let[@inline] op ns =
+    if Atomic.get active then begin
+      Obs.Counter.incr ops_done;
+      Obs.Histogram.record latency ns
+    end
+
+  let prometheus () =
+    let b = Obs.Prometheus.create () in
+    let open Obs.Prometheus in
+    gauge b ~name:"repro_up" ~help:"Benchmark process is serving metrics" 1.0;
+    gauge b ~name:"repro_uptime_seconds"
+      ~help:"Seconds since live telemetry was enabled"
+      (float_of_int (Obs.Clock.now_ns () - !started_ns) /. 1e9);
+    counter b ~name:"repro_ops_total"
+      ~help:"Operations completed by benchmark workers since live start"
+      (float_of_int (Obs.Counter.sum ops_done));
+    histogram_summary b ~name:"repro_op_latency_ns"
+      ~help:"Per-operation latency over the live window, nanoseconds"
+      (Obs.Histogram.snapshot latency);
+    (* Two passes: the exposition format wants each metric family's
+       samples contiguous, so all cause counters come before all
+       attempt-depth summaries. *)
+    let attribution = Obs.Attribution.snapshot () in
+    List.iter
+      (fun (s : Obs.Attribution.summary) ->
+        counter b ~name:"repro_retry_cause_total"
+          ~help:"Update-attempt retries by cause"
+          ~labels:[ ("cause", s.Obs.Attribution.name) ]
+          (float_of_int s.Obs.Attribution.count))
+      attribution;
+    List.iter
+      (fun (s : Obs.Attribution.summary) ->
+        histogram_summary b ~name:"repro_retry_attempt_depth"
+          ~help:"Attempt number at which each retry cause struck"
+          ~labels:[ ("cause", s.Obs.Attribution.name) ]
+          s.Obs.Attribution.attempts)
+      attribution;
+    histogram_summary b ~name:"repro_help_chain_depth"
+      ~help:"Foreign descriptors helped per completed operation"
+      (Obs.Attribution.help_depth_summary ());
+    (match Obs.Trace.recorder () with
+    | Some tr ->
+        counter b ~name:"repro_trace_dropped_events_total"
+          ~help:"Flight-recorder events lost to ring overwrites"
+          (float_of_int (Obs.Trace.dropped tr))
+    | None -> ());
+    List.iter
+      (fun (site, n) ->
+        counter b ~name:"repro_chaos_crossings_total"
+          ~help:"Chaos injection-site crossings"
+          ~labels:[ ("site", site) ]
+          (float_of_int n))
+      (Chaos.site_crossings ());
+    (match Atomic.get stats_source with
+    | Some f ->
+        List.iter
+          (fun (n, v) ->
+            counter b
+              ~name:("repro_trie_" ^ n ^ "_total")
+              ~help:"Trie-internal contention counter (cumulative)"
+              (float_of_int v))
+          (f ())
+    | None -> ());
+    let g = Gc.quick_stat () in
+    gauge b ~name:"repro_gc_minor_collections"
+      ~help:"Cumulative minor collections"
+      (float_of_int g.Gc.minor_collections);
+    gauge b ~name:"repro_gc_major_collections"
+      ~help:"Cumulative major collections"
+      (float_of_int g.Gc.major_collections);
+    gauge b ~name:"repro_gc_minor_words" ~help:"Cumulative minor words"
+      g.Gc.minor_words;
+    gauge b ~name:"repro_gc_major_words" ~help:"Cumulative major words"
+      g.Gc.major_words;
+    gauge b ~name:"repro_gc_heap_words" ~help:"Major heap size in words"
+      (float_of_int g.Gc.heap_words);
+    to_string b
+end
+
 let mean_stddev samples =
   let n = float_of_int (List.length samples) in
   let mean = List.fold_left ( +. ) 0.0 samples /. n in
@@ -179,6 +297,7 @@ let run_loop ?latency ops workload stop rng =
         let r = Rng.int rng 100 in
         let k = next_key () in
         do_op r k;
+        Live.tick ();
         incr count
       done
   | Some hist ->
@@ -187,7 +306,9 @@ let run_loop ?latency ops workload stop rng =
         let k = next_key () in
         let t0 = Obs.Clock.now_ns () in
         do_op r k;
-        Obs.Histogram.record hist (Obs.Clock.now_ns () - t0);
+        let dt = Obs.Clock.now_ns () - t0 in
+        Obs.Histogram.record hist dt;
+        Live.op dt;
         incr count
       done);
   !count
@@ -226,6 +347,9 @@ let counter_deltas before after =
 let run_trial_full ?(before_timed = fun () -> ()) ?(record_latency = false)
     ~make_ops workload config trial_idx =
   let ops = make_ops () in
+  (* Let a live scrape see this instance's internal counters.  Once per
+     trial, not per operation, so no gating needed. *)
+  (match ops.stats with Some _ -> Live.set_stats_source ops.stats | None -> ());
   let rng = Rng.of_int_seed (config.seed + (trial_idx * 7919)) in
   prefill ops workload.universe rng;
   let run_phase ?latency seconds =

@@ -80,6 +80,35 @@ type trial_metrics = {
 
 val mean_stddev : float list -> datapoint
 
+(** Live telemetry behind the scrape endpoint ([Obs.Serve]): a striped
+    counter of completed operations and a sharded latency histogram the
+    run loops bump while enabled, plus a [prometheus] producer rendering
+    them together with the retry attribution, chaos crossings,
+    trace-ring drops, trie-internal counters and GC state.  Disabled
+    (the default), each operation pays one atomic load and an untaken
+    branch. *)
+module Live : sig
+  val set_enabled : bool -> unit
+  (** Enabling from the disabled state resets the live counter,
+      histogram and start time. *)
+
+  val enabled : unit -> bool
+
+  val tick : unit -> unit
+  (** Count one completed operation (no latency sample). *)
+
+  val op : int -> unit
+  (** Count one completed operation with its latency in nanoseconds. *)
+
+  val set_stats_source : (unit -> (string * int) list) option -> unit
+  (** Register the structure-internal cumulative counter snapshot a
+      scrape should expose; the trial runner does this automatically for
+      subjects with [ops.stats]. *)
+
+  val prometheus : unit -> string
+  (** Render the full exposition (Prometheus text format 0.0.4). *)
+end
+
 val key_stream : distribution -> int -> Rng.t -> unit -> int
 (** A generator of keys in [\[0, universe)] under the distribution. *)
 

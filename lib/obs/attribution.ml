@@ -1,0 +1,188 @@
+(** CAS-retry attribution profiler.
+
+    The paper explains PAT's contention cliff (Section V, Figure 10) by
+    {e where} updates lose time — failed flag CASes, helping flagged
+    ancestors, backtracking — but aggregate counters cannot say which
+    cause dominates at which attempt depth.  This module histograms
+    every retry {e per cause}, using the same code points as the chaos
+    injection sites compiled into the tries:
+
+    - {!Flag_cas_lost}: an attempt abandoned because one of its flag
+      CASes lost the race (paper lines 87-92 failing);
+    - {!Child_cas_lost}: a child CAS whose expected old child was
+      already gone (a helper or a conflicting update got there first);
+    - {!Flagged_ancestor}: an attempt restarted after helping someone
+      else's pending descriptor (lines 109-111);
+    - {!Backtrack}: a failed flag phase backed out inside [help]
+      (lines 103-106);
+    - {!Conflict}: a structural conflict with no descriptor to help
+      ([createNode] prefix clash, or a node's info changed between two
+      reads of the same attempt).
+
+    For each cause a striped counter totals occurrences and a sharded
+    histogram records the attempt number at which the cause struck —
+    the "how deep do retry chains go, and why" decomposition quoted in
+    EXPERIMENTS.md.  A separate histogram tracks help-chain depth: how
+    many consecutive foreign descriptors one operation helped before it
+    finally applied (recorded at operation completion, per domain).
+
+    Hot-path discipline (same as [Chaos.point]): with attribution
+    disabled, an instrumented site costs one [Atomic.get active] plus an
+    untaken branch; all recording state is striped per domain, so
+    enabling it adds no shared-memory contention either. *)
+
+type cause =
+  | Flag_cas_lost
+  | Child_cas_lost
+  | Flagged_ancestor
+  | Backtrack
+  | Conflict
+
+let all_causes =
+  [ Flag_cas_lost; Child_cas_lost; Flagged_ancestor; Backtrack; Conflict ]
+
+let cause_name = function
+  | Flag_cas_lost -> "flag_cas_lost"
+  | Child_cas_lost -> "child_cas_lost"
+  | Flagged_ancestor -> "flagged_ancestor"
+  | Backtrack -> "backtrack"
+  | Conflict -> "conflict"
+
+let cause_index = function
+  | Flag_cas_lost -> 0
+  | Child_cas_lost -> 1
+  | Flagged_ancestor -> 2
+  | Backtrack -> 3
+  | Conflict -> 4
+
+let n_causes = List.length all_causes
+
+(* ------------------------------------------------------------------ *)
+(* Global recording state *)
+
+let active = Atomic.make false
+let counts = Array.init n_causes (fun _ -> Counter.create ())
+let attempt_hists = Array.init n_causes (fun _ -> Histogram.create ())
+let help_depth_hist = Histogram.create ()
+
+(* Per-stripe help-chain depth scratch: helps performed by the current
+   operation on this domain.  One padded slot per stripe, single-writer
+   like the histogram shards (a domain-id wrap can at worst misattribute
+   a depth sample, never crash). *)
+let pad = 16
+let chain_depth = Array.make (Stripe.count * pad) 0
+
+let reset () =
+  Array.iter Counter.reset counts;
+  Array.iter Histogram.reset attempt_hists;
+  Histogram.reset help_depth_hist;
+  Array.fill chain_depth 0 (Array.length chain_depth) 0
+
+let set_enabled b =
+  if b && not (Atomic.get active) then reset ();
+  Atomic.set active b
+
+let enabled () = Atomic.get active
+
+(* Count the cause and record the attempt number it struck at.  Call
+   only when {!active} was observed true; {!mark} is the safe wrapper. *)
+let hit c ~attempt =
+  let i = cause_index c in
+  Counter.incr counts.(i);
+  Histogram.record attempt_hists.(i) attempt;
+  if c = Flagged_ancestor then begin
+    let s = Stripe.index () * pad in
+    Array.unsafe_set chain_depth s (Array.unsafe_get chain_depth s + 1)
+  end
+
+let[@inline] mark c ~attempt = if Atomic.get active then hit c ~attempt
+
+(* Operation completed (successfully or not): close out this domain's
+   help chain.  Depth 0 chains are not recorded — the histogram answers
+   "when an operation did help, how long did the chain get". *)
+let op_hit () =
+  let s = Stripe.index () * pad in
+  let d = Array.unsafe_get chain_depth s in
+  if d > 0 then begin
+    Histogram.record help_depth_hist d;
+    Array.unsafe_set chain_depth s 0
+  end
+
+let[@inline] op_complete () = if Atomic.get active then op_hit ()
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots *)
+
+type summary = {
+  cause : cause;
+  name : string;
+  count : int;
+  attempts : Histogram.summary;
+      (* distribution of the attempt number at which the cause struck *)
+}
+
+let snapshot () =
+  List.map
+    (fun c ->
+      let i = cause_index c in
+      {
+        cause = c;
+        name = cause_name c;
+        count = Counter.sum counts.(i);
+        attempts = Histogram.snapshot attempt_hists.(i);
+      })
+    all_causes
+
+let help_depth_summary () = Histogram.snapshot help_depth_hist
+
+let total () =
+  List.fold_left (fun acc c -> acc + Counter.sum counts.(cause_index c)) 0
+    all_causes
+
+let summary_to_json (s : summary) =
+  Json.Obj
+    [
+      ("cause", Json.Str s.name);
+      ("count", Json.Int s.count);
+      ( "attempt_depth",
+        Json.Obj
+          [
+            ("count", Json.Int s.attempts.Histogram.count);
+            ("max", Json.Int s.attempts.Histogram.max);
+            ("mean", Json.Float s.attempts.Histogram.mean);
+            ("p50", Json.Int s.attempts.Histogram.p50);
+            ("p90", Json.Int s.attempts.Histogram.p90);
+            ("p99", Json.Int s.attempts.Histogram.p99);
+          ] );
+    ]
+
+let to_json () =
+  let hd = help_depth_summary () in
+  Json.Obj
+    [
+      ("enabled", Json.Bool (enabled ()));
+      ("total_retry_causes", Json.Int (total ()));
+      ("by_cause", Json.Arr (List.map summary_to_json (snapshot ())));
+      ( "help_chain_depth",
+        Json.Obj
+          [
+            ("count", Json.Int hd.Histogram.count);
+            ("max", Json.Int hd.Histogram.max);
+            ("mean", Json.Float hd.Histogram.mean);
+            ("p50", Json.Int hd.Histogram.p50);
+            ("p99", Json.Int hd.Histogram.p99);
+          ] );
+    ]
+
+let pp fmt () =
+  Format.fprintf fmt "%-18s %10s %8s %8s %8s@." "cause" "count" "p50" "p90"
+    "max";
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "%-18s %10d %8d %8d %8d@." s.name s.count
+        s.attempts.Histogram.p50 s.attempts.Histogram.p90
+        s.attempts.Histogram.max)
+    (snapshot ());
+  let hd = help_depth_summary () in
+  Format.fprintf fmt "%-18s %10d %8d %8d %8d@." "help_chain_depth"
+    hd.Histogram.count hd.Histogram.p50 hd.Histogram.p90 hd.Histogram.max

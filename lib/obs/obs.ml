@@ -11,7 +11,16 @@
     - {!Histogram}: log-bucketed latency/retry histograms with
       p50/p90/p99/p99.9 extraction;
     - {!Trace}: fixed-capacity per-domain ring buffers of operation
-      events for post-mortem debugging;
+      events and attempt spans for post-mortem debugging and the flight
+      recorder (overflow is counted, never silent);
+    - {!Perfetto}: Chrome trace-event JSON export of the trace rings,
+      viewable in Perfetto / [chrome://tracing], one track per domain;
+    - {!Attribution}: CAS-retry attribution — per-cause retry counters
+      and attempt-depth histograms plus help-chain depth;
+    - {!Prometheus}: text exposition (0.0.4) renderer for counters,
+      gauges and histogram quantiles;
+    - {!Serve}: dependency-free HTTP listener on a background domain
+      serving [/metrics] and [/healthz] from a snapshot;
     - {!Instrument}: a functor adding latency histograms to any
       [Dset_intf.CONCURRENT_SET] without touching its internals;
     - {!Json}: a dependency-free JSON emitter/parser for the
@@ -24,6 +33,10 @@ module Stripe = Stripe
 module Counter = Counter
 module Histogram = Histogram
 module Trace = Trace
+module Perfetto = Perfetto
+module Attribution = Attribution
+module Prometheus = Prometheus
+module Serve = Serve
 
 module type INSTRUMENTED = Instrument_impl.INSTRUMENTED
 

@@ -1,0 +1,124 @@
+(** Chrome trace-event serialization of {!Trace} rings.
+
+    Converts the flight recorder's merged per-domain rings into the
+    Trace Event Format JSON that Perfetto and [chrome://tracing] load
+    directly: one track (tid) per OCaml domain, one complete ("X") event
+    per recorded operation-attempt span, and instant ("i") events for
+    the point records.  Timestamps in the format are {e microseconds};
+    we emit fractional microseconds to keep the nanosecond resolution of
+    {!Clock}.
+
+    The emitted document is an object (not the bare array variant of the
+    format) so it can also carry [displayTimeUnit] and the ring-overflow
+    drop count as top-level metadata. *)
+
+let us_of_ns ns = float_of_int ns /. 1000.0
+
+let span_name (e : Trace.event) =
+  Printf.sprintf "%s#%d" (Trace.kind_to_string e.Trace.kind) e.Trace.attempt
+
+let event_to_json (e : Trace.event) =
+  let common =
+    [
+      ("cat", Json.Str (if Trace.is_span e then "attempt" else "event"));
+      ("ts", Json.Float (us_of_ns e.Trace.t_ns));
+      ("pid", Json.Int 0);
+      ("tid", Json.Int e.Trace.domain);
+      ( "args",
+        Json.Obj
+          [
+            ("key", Json.Int e.Trace.key);
+            ("ok", Json.Bool e.Trace.ok);
+            ("retries", Json.Int e.Trace.retries);
+            ("site", Json.Str e.Trace.site);
+          ] );
+    ]
+  in
+  if Trace.is_span e then
+    Json.Obj
+      (("name", Json.Str (span_name e))
+      :: ("ph", Json.Str "X")
+      :: ("dur", Json.Float (us_of_ns e.Trace.dur_ns))
+      :: common)
+  else
+    Json.Obj
+      (("name", Json.Str (Trace.kind_to_string e.Trace.kind))
+      :: ("ph", Json.Str "i")
+      :: ("s", Json.Str "t")
+      :: common)
+
+(* One metadata event per distinct domain names its track, which is what
+   makes Perfetto render "one track per domain" instead of bare tids. *)
+let thread_name_event domain =
+  Json.Obj
+    [
+      ("name", Json.Str "thread_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Int 0);
+      ("tid", Json.Int domain);
+      ("args", Json.Obj [ ("name", Json.Str (Printf.sprintf "domain-%d" domain)) ]);
+    ]
+
+let to_json t =
+  let events = Trace.dump t in
+  let domains =
+    List.sort_uniq compare (List.map (fun e -> e.Trace.domain) events)
+  in
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.Arr
+          (List.map thread_name_event domains @ List.map event_to_json events)
+      );
+      ("displayTimeUnit", Json.Str "ns");
+      ("otherData", Json.Obj [ ("dropped_events", Json.Int (Trace.dropped t)) ]);
+    ]
+
+let write ~path t = Json.to_file path (to_json t)
+
+(* ------------------------------------------------------------------ *)
+(* Schema validation, shared by the test-suite and the CI trace step:
+   checks the structural subset of the Trace Event Format we rely on
+   Perfetto accepting. *)
+
+let validate (doc : Json.t) : (unit, string) result =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let num = function Json.Int _ | Json.Float _ -> true | _ -> false in
+  let check_event i e =
+    let ctx = Printf.sprintf "traceEvents[%d]" i in
+    match e with
+    | Json.Obj _ -> (
+        (match Json.member e "name" with
+        | Some (Json.Str _) -> ()
+        | _ -> err "%s: missing string \"name\"" ctx);
+        (match Json.member e "pid" with
+        | Some (Json.Int _) -> ()
+        | _ -> err "%s: missing int \"pid\"" ctx);
+        (match Json.member e "tid" with
+        | Some (Json.Int _) -> ()
+        | _ -> err "%s: missing int \"tid\"" ctx);
+        match Json.member e "ph" with
+        | Some (Json.Str "M") -> () (* metadata events carry no ts *)
+        | Some (Json.Str ph) -> (
+            (match Json.member e "ts" with
+            | Some ts when num ts -> ()
+            | _ -> err "%s: missing numeric \"ts\"" ctx);
+            match ph with
+            | "X" -> (
+                match Json.member e "dur" with
+                | Some (Json.Int d) when d >= 0 -> ()
+                | Some (Json.Float d) when d >= 0.0 -> ()
+                | _ -> err "%s: \"X\" event lacks non-negative \"dur\"" ctx)
+            | "i" | "B" | "E" | "C" -> ()
+            | ph -> err "%s: unknown phase %S" ctx ph)
+        | _ -> err "%s: missing string \"ph\"" ctx)
+    | _ -> err "%s: not an object" ctx
+  in
+  (match Json.member doc "traceEvents" with
+  | Some (Json.Arr events) -> List.iteri check_event events
+  | Some _ -> err "\"traceEvents\" is not an array"
+  | None -> err "missing \"traceEvents\"");
+  match !errors with
+  | [] -> Ok ()
+  | es -> Error (String.concat "; " (List.rev es))

@@ -1,0 +1,100 @@
+(** Prometheus text exposition format (version 0.0.4) renderer.
+
+    The live scrape endpoint ({!Serve}) returns this format from
+    [/metrics] so a running benchmark can be watched by anything that
+    speaks Prometheus — or just [curl].  Only the emitting half of the
+    format is implemented (counters, gauges, and quantile-labelled gauge
+    families for histogram summaries); nothing here is on a measured
+    path, so it is plain Buffer code. *)
+
+type t = { buf : Buffer.t; mutable typed : string list }
+
+let create () = { buf = Buffer.create 1024; typed = [] }
+
+let content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+(* Metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.  We sanitize rather than
+   reject so callers can pass counter names straight through. *)
+let sanitize_name name =
+  String.mapi
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> c
+      | '0' .. '9' when i > 0 -> c
+      | _ -> '_')
+    name
+
+let escape_label_value v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let number v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+(* TYPE/HELP headers are emitted once per metric family, on its first
+   sample — Prometheus rejects duplicated headers within an exposition. *)
+let header t ~name ~typ ~help =
+  if not (List.mem name t.typed) then begin
+    t.typed <- name :: t.typed;
+    (match help with
+    | Some h -> Buffer.add_string t.buf (Printf.sprintf "# HELP %s %s\n" name h)
+    | None -> ());
+    Buffer.add_string t.buf (Printf.sprintf "# TYPE %s %s\n" name typ)
+  end
+
+let sample t ~name ~labels v =
+  Buffer.add_string t.buf name;
+  (match labels with
+  | [] -> ()
+  | labels ->
+      Buffer.add_char t.buf '{';
+      List.iteri
+        (fun i (k, lv) ->
+          if i > 0 then Buffer.add_char t.buf ',';
+          Buffer.add_string t.buf
+            (Printf.sprintf "%s=\"%s\"" (sanitize_name k) (escape_label_value lv)))
+        labels;
+      Buffer.add_char t.buf '}');
+  Buffer.add_char t.buf ' ';
+  Buffer.add_string t.buf (number v);
+  Buffer.add_char t.buf '\n'
+
+let counter t ~name ?help ?(labels = []) v =
+  let name = sanitize_name name in
+  header t ~name ~typ:"counter" ~help;
+  sample t ~name ~labels v
+
+let gauge t ~name ?help ?(labels = []) v =
+  let name = sanitize_name name in
+  header t ~name ~typ:"gauge" ~help;
+  sample t ~name ~labels v
+
+(** Render a {!Histogram.summary} as a quantile-labelled gauge family
+    plus [_count]/[_sum] counters — the shape of a Prometheus summary
+    metric.  Quantiles are in nanosecond units as recorded. *)
+let histogram_summary t ~name ?help ?(labels = []) (s : Histogram.summary) =
+  let name = sanitize_name name in
+  header t ~name ~typ:"summary" ~help;
+  List.iter
+    (fun (q, v) ->
+      sample t ~name ~labels:(labels @ [ ("quantile", q) ]) (float_of_int v))
+    [
+      ("0.5", s.Histogram.p50);
+      ("0.9", s.Histogram.p90);
+      ("0.99", s.Histogram.p99);
+      ("0.999", s.Histogram.p999);
+    ];
+  sample t ~name:(name ^ "_count") ~labels (float_of_int s.Histogram.count);
+  sample t ~name:(name ^ "_sum") ~labels (float_of_int s.Histogram.sum)
+
+let to_string t = Buffer.contents t.buf

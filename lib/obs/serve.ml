@@ -1,0 +1,154 @@
+(** Live metrics scrape endpoint: a dependency-free HTTP/1.1 listener
+    on a background domain.
+
+    Serves [GET /metrics] (Prometheus text exposition produced by a
+    caller-supplied snapshot closure) and [GET /healthz]; everything
+    else is 404.  The producer runs on the listener's own domain and
+    reads only merge-on-snapshot state ({!Counter.sum},
+    {!Histogram.snapshot}, ...), so scraping a running benchmark
+    perturbs the measured domains no more than their existing striped
+    writes.
+
+    Built on stdlib [Unix] only: one accept loop, one request per
+    connection (Connection: close), no keep-alive, no TLS — the target
+    is [curl] and a Prometheus scraper on localhost, not the open
+    internet.  [start ~port:0] binds an ephemeral port; {!port} reports
+    the bound one (the test-suite relies on this). *)
+
+type t = {
+  sock : Unix.file_descr;
+  bound_port : int;
+  stopping : bool Atomic.t;
+  listener : unit Domain.t;
+}
+
+let http_response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\n\
+     Content-Type: %s\r\n\
+     Content-Length: %d\r\n\
+     Connection: close\r\n\
+     \r\n\
+     %s"
+    status content_type (String.length body) body
+
+(* Read at most one request's worth of bytes; we only need the request
+   line.  A torn read that misses the line yields a 400, never a hang:
+   the socket has a receive timeout. *)
+let read_request_line fd =
+  let buf = Bytes.create 4096 in
+  match Unix.read fd buf 0 (Bytes.length buf) with
+  | 0 -> None
+  | n -> (
+      let s = Bytes.sub_string buf 0 n in
+      match String.index_opt s '\r' with
+      | Some i -> Some (String.sub s 0 i)
+      | None -> (
+          match String.index_opt s '\n' with
+          | Some i -> Some (String.sub s 0 i)
+          | None -> Some s))
+  | exception Unix.Unix_error (_, _, _) -> None
+
+let route produce line =
+  match String.split_on_char ' ' line with
+  | meth :: path :: _ ->
+      if meth <> "GET" then
+        http_response ~status:"405 Method Not Allowed" ~content_type:"text/plain"
+          "method not allowed\n"
+      else begin
+        (* Strip any query string; scrapers add none but curl users may. *)
+        let path =
+          match String.index_opt path '?' with
+          | Some i -> String.sub path 0 i
+          | None -> path
+        in
+        match path with
+        | "/metrics" -> (
+            match produce () with
+            | body ->
+                http_response ~status:"200 OK"
+                  ~content_type:Prometheus.content_type body
+            | exception e ->
+                http_response ~status:"500 Internal Server Error"
+                  ~content_type:"text/plain"
+                  (Printf.sprintf "snapshot failed: %s\n" (Printexc.to_string e)))
+        | "/healthz" ->
+            http_response ~status:"200 OK" ~content_type:"text/plain" "ok\n"
+        | _ ->
+            http_response ~status:"404 Not Found" ~content_type:"text/plain"
+              "not found\n"
+      end
+  | _ -> http_response ~status:"400 Bad Request" ~content_type:"text/plain" "bad request\n"
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (_, _, _) -> ()
+  in
+  go 0
+
+let serve_client produce fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    (fun () ->
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+      Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0;
+      match read_request_line fd with
+      | None -> ()
+      | Some line -> write_all fd (route produce line))
+
+(* Poll with [select] instead of blocking in [accept]: a domain parked
+   inside accept is not reliably woken by another domain closing the
+   socket, whereas this loop re-checks [stopping] at least every 250ms
+   and is the only reader of the socket until then. *)
+let accept_loop sock stopping produce =
+  let rec go () =
+    if not (Atomic.get stopping) then begin
+      (match Unix.select [ sock ] [] [] 0.25 with
+      | [ _ ], _, _ -> (
+          match Unix.accept sock with
+          | fd, _ ->
+              (* Serve inline: scrapes are rare (seconds apart) and
+                 short, so a per-connection domain would only add noise
+                 to the very runs the endpoint exists to observe. *)
+              (try serve_client produce fd with _ -> ())
+          | exception Unix.Unix_error (_, _, _) -> ())
+      | _ -> ()
+      | exception Unix.Unix_error (_, _, _) -> ());
+      go ()
+    end
+  in
+  go ()
+
+let start ?(addr = "127.0.0.1") ~port produce =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
+     Unix.listen sock 16
+   with e ->
+     (try Unix.close sock with Unix.Unix_error (_, _, _) -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let stopping = Atomic.make false in
+  let listener = Domain.spawn (fun () -> accept_loop sock stopping produce) in
+  { sock; bound_port; stopping; listener }
+
+let port t = t.bound_port
+
+(* Stop accepting and join the listener.  The loop notices [stopping]
+   within one select timeout; the socket is closed only after the join
+   so the listener never selects on a dead fd. *)
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    Domain.join t.listener;
+    try Unix.close t.sock with Unix.Unix_error (_, _, _) -> ()
+  end

@@ -1,13 +1,20 @@
 (** Fixed-capacity per-domain ring buffer of operation events.
 
-    Post-mortem debugging aid for linearizability-test failures: each
-    domain appends events (operation kind, key, outcome, retry count,
-    monotonic timestamp) to its own ring with plain writes — no
-    synchronization on the hot path — and [dump] stitches the rings back
-    together in timestamp order once the run is quiescent.  With the
-    default capacity of 1024 events per stripe a failing schedule's last
-    few thousand operations are always available without the tracing
-    itself changing the schedule much. *)
+    Post-mortem debugging aid for linearizability-test failures and the
+    raw storage of the flight recorder ({!Perfetto}): each domain
+    appends events (operation kind, key, outcome, retry count, monotonic
+    timestamp — and, for attempt {e spans}, the attempt number, the
+    retry cause / CAS site label and a duration) to its own ring with
+    plain writes — no synchronization on the hot path — and [dump]
+    stitches the rings back together in timestamp order once the run is
+    quiescent.  With the default capacity of 1024 events per stripe a
+    failing schedule's last few thousand operations are always available
+    without the tracing itself changing the schedule much.
+
+    A full ring overwrites its oldest slot; each overwrite is counted in
+    a per-ring [dropped] counter (plain single-writer int, like the ring
+    itself) so loss is never silent: {!dropped} totals the overwrites
+    and both {!to_json} and the benchmark drivers surface it. *)
 
 type kind = Insert | Delete | Member | Replace | Custom of string
 
@@ -23,13 +30,19 @@ type event = {
   key : int;
   ok : bool;
   retries : int;
-  t_ns : int; (* Clock.now_ns at emission *)
+  t_ns : int; (* Clock.now_ns at emission (span start for spans) *)
   domain : int; (* raw domain id of the emitter *)
+  attempt : int; (* attempt number within the operation; 0 for instants *)
+  site : string; (* retry cause / CAS site label; "" for instants *)
+  dur_ns : int; (* span duration; 0 marks an instant event *)
 }
+
+let is_span e = e.dur_ns > 0
 
 type ring = {
   mutable next : int; (* slot for the next write *)
   mutable filled : int; (* number of valid slots, <= capacity *)
+  mutable dropped : int; (* events overwritten after the ring filled *)
   buf : event array;
 }
 
@@ -43,24 +56,72 @@ let create ?(capacity = default_capacity) () =
   let rec pow2 n = if n >= capacity then n else pow2 (n * 2) in
   let capacity = pow2 1 in
   let dummy =
-    { kind = Custom "none"; key = 0; ok = false; retries = 0; t_ns = 0; domain = 0 }
+    {
+      kind = Custom "none";
+      key = 0;
+      ok = false;
+      retries = 0;
+      t_ns = 0;
+      domain = 0;
+      attempt = 0;
+      site = "";
+      dur_ns = 0;
+    }
   in
   {
     rings =
       Array.init Stripe.count (fun _ ->
-          { next = 0; filled = 0; buf = Array.make capacity dummy });
+          { next = 0; filled = 0; dropped = 0; buf = Array.make capacity dummy });
     capacity;
   }
 
 let capacity t = t.capacity
 
-let emit t kind ~key ~ok ~retries =
-  let d = (Domain.self () :> int) in
-  let r = Array.unsafe_get t.rings (d land Stripe.mask) in
-  Array.unsafe_set r.buf r.next
-    { kind; key; ok; retries; t_ns = Clock.now_ns (); domain = d };
+let[@inline] push t (e : event) =
+  let r = Array.unsafe_get t.rings (e.domain land Stripe.mask) in
+  Array.unsafe_set r.buf r.next e;
   r.next <- (r.next + 1) land (t.capacity - 1);
   if r.filled < t.capacity then r.filled <- r.filled + 1
+  else r.dropped <- r.dropped + 1
+
+let emit t kind ~key ~ok ~retries =
+  push t
+    {
+      kind;
+      key;
+      ok;
+      retries;
+      t_ns = Clock.now_ns ();
+      domain = (Domain.self () :> int);
+      attempt = 0;
+      site = "";
+      dur_ns = 0;
+    }
+
+(** [emit_span t kind ~key ~ok ~retries ~attempt ~site ~t0_ns] records
+    one completed operation attempt as a closed span: the span starts at
+    [t0_ns] (read by the caller when the attempt began) and ends now.
+    Recording closed spans instead of separate begin/end events keeps
+    the ring overwrite-safe: a span can be dropped whole but never end
+    up half-matched. *)
+let emit_span t kind ~key ~ok ~retries ~attempt ~site ~t0_ns =
+  let dur = Clock.now_ns () - t0_ns in
+  push t
+    {
+      kind;
+      key;
+      ok;
+      retries;
+      t_ns = t0_ns;
+      domain = (Domain.self () :> int);
+      attempt;
+      site;
+      dur_ns = (if dur < 1 then 1 else dur);
+    }
+
+(** Total events lost to ring overwrites since creation (or {!clear}). *)
+let dropped t =
+  Array.fold_left (fun acc r -> acc + r.dropped) 0 t.rings
 
 (** All retained events, oldest first (merged across domains by
     timestamp).  Quiescent use: concurrent emitters may tear the very
@@ -84,11 +145,12 @@ let clear t =
   Array.iter
     (fun r ->
       r.next <- 0;
-      r.filled <- 0)
+      r.filled <- 0;
+      r.dropped <- 0)
     t.rings
 
 let event_to_json e =
-  Json.Obj
+  let base =
     [
       ("t_ns", Json.Int e.t_ns);
       ("domain", Json.Int e.domain);
@@ -97,12 +159,51 @@ let event_to_json e =
       ("ok", Json.Bool e.ok);
       ("retries", Json.Int e.retries);
     ]
+  in
+  Json.Obj
+    (if is_span e then
+       base
+       @ [
+           ("attempt", Json.Int e.attempt);
+           ("site", Json.Str e.site);
+           ("dur_ns", Json.Int e.dur_ns);
+         ]
+     else base)
 
-let to_json t = Json.Arr (List.map event_to_json (dump t))
+let to_json t =
+  Json.Obj
+    [
+      ("dropped", Json.Int (dropped t));
+      ("events", Json.Arr (List.map event_to_json (dump t)));
+    ]
 
 let pp_event fmt e =
-  Format.fprintf fmt "[%d] d%d %s(%d) -> %b retries=%d" e.t_ns e.domain
-    (kind_to_string e.kind) e.key e.ok e.retries
+  if is_span e then
+    Format.fprintf fmt "[%d] d%d %s(%d) attempt %d %s -> %b dur=%dns" e.t_ns
+      e.domain (kind_to_string e.kind) e.key e.attempt e.site e.ok e.dur_ns
+  else
+    Format.fprintf fmt "[%d] d%d %s(%d) -> %b retries=%d" e.t_ns e.domain
+      (kind_to_string e.kind) e.key e.ok e.retries
 
 let pp fmt t =
   List.iter (fun e -> Format.fprintf fmt "%a@." pp_event e) (dump t)
+
+(* ------------------------------------------------------------------ *)
+(* Global recorder: the flight-recorder sink the instrumented tries
+   write attempt spans into.  Same hot-path discipline as the chaos
+   sites: with no recorder installed an instrumented code path pays one
+   [Atomic.get active] and an untaken branch; [recorder ()] is only
+   consulted behind that gate. *)
+
+let active = Atomic.make false
+let current : t option Atomic.t = Atomic.make None
+
+let set_recorder = function
+  | None ->
+      Atomic.set active false;
+      Atomic.set current None
+  | Some t ->
+      Atomic.set current (Some t);
+      Atomic.set active true
+
+let recorder () = Atomic.get current

@@ -74,8 +74,20 @@ let scenario ~name ~prefill ~op ~site ~after ~watch ~expect () =
     | Some s -> s.helps_received > 0
     | None -> false
   in
+  (* [helps_received] can also be bumped by the workers helping *each
+     other*, so on its own it does not prove the victim's descriptor was
+     completed.  Additionally require the watched paths to be flag-free:
+     the frozen victim cannot clear its own flag, so observing zero
+     flags there means a helper ran the frozen update to completion
+     (worker flags on the same path are transient and drain; the
+     victim's is permanent until helped, so polling eventually sees a
+     clean moment iff the help happened). *)
+  let flags_drained () =
+    List.for_all (fun k -> P.For_testing.flags_on_path t k = 0) watch
+  in
   let completed =
-    Chaos.Backoff.wait_until ~timeout_s:60.0 (fun () -> expect t && helped ())
+    Chaos.Backoff.wait_until ~timeout_s:60.0 (fun () ->
+        expect t && helped () && flags_drained ())
   in
   Atomic.set stop true;
   Tutil.join_all workers |> ignore;
