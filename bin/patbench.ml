@@ -671,10 +671,212 @@ let ablation_cmd =
       $ attribution_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve subcommand: the trie behind the patserve binary protocol *)
+
+let serve_cmd =
+  let port_arg =
+    let doc = "TCP port to serve the set protocol on (0 = ephemeral)." in
+    Arg.(value & opt int 7113 & info [ "port" ] ~doc)
+  in
+  let range_arg =
+    Arg.(
+      value & opt int 65_536
+      & info [ "range" ] ~doc:"Key range (universe) of the served trie.")
+  in
+  let domains_arg =
+    let doc = "Worker domains sharing the listening socket." in
+    Arg.(value & opt int 4 & info [ "domains" ] ~doc)
+  in
+  let metrics_port_arg =
+    let doc =
+      "Also serve Prometheus metrics over HTTP on 127.0.0.1:$(docv): the \
+       harness live families plus per-opcode patserve request counters and \
+       latency histograms.  Port 0 binds an ephemeral port."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~doc ~docv:"PORT")
+  in
+  let seconds_opt_arg =
+    let doc = "Stop (with a graceful drain) after this many seconds; \
+               without it, serve until SIGINT/SIGTERM." in
+    Arg.(value & opt (some float) None & info [ "seconds" ] ~doc)
+  in
+  let run port range domains metrics_port seconds =
+    let trie = Core.Patricia.create ~universe:range () in
+    let ops =
+      Server.
+        {
+          insert = Core.Patricia.insert trie;
+          delete = Core.Patricia.delete trie;
+          member = Core.Patricia.member trie;
+          replace = (fun ~remove ~add -> Core.Patricia.replace trie ~remove ~add);
+          size = (fun () -> Core.Patricia.size trie);
+        }
+    in
+    let srv = Server.start ~port ~domains ops in
+    Format.printf "patserve: %d domains on 127.0.0.1:%d, range (0, %d)@."
+      domains (Server.port srv) range;
+    let metrics =
+      Option.map
+        (fun p ->
+          Harness.Live.set_enabled true;
+          Harness.Live.set_extra_producer (Some Server.Metrics.emit);
+          let s = Obs.Serve.start ~port:p Harness.Live.prometheus in
+          Format.printf "serving metrics on http://127.0.0.1:%d/metrics@."
+            (Obs.Serve.port s);
+          s)
+        metrics_port
+    in
+    Format.print_flush ();
+    let stopping = Atomic.make false in
+    let request_stop _ = Atomic.set stopping true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+    let deadline =
+      Option.map (fun s -> Unix.gettimeofday () +. s) seconds
+    in
+    let expired () =
+      match deadline with
+      | Some d -> Unix.gettimeofday () >= d
+      | None -> false
+    in
+    while not (Atomic.get stopping || expired ()) do
+      (try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    done;
+    Format.printf "patserve: draining and stopping@.";
+    Format.print_flush ();
+    Server.stop ~drain_s:1.0 srv;
+    Option.iter Obs.Serve.stop metrics;
+    Harness.Live.set_extra_producer None;
+    Harness.Live.set_enabled false
+  in
+  let doc = "Serve the Patricia trie over the patserve binary protocol." in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ port_arg $ range_arg $ domains_arg $ metrics_port_arg
+      $ seconds_opt_arg)
+
+(* ------------------------------------------------------------------ *)
+(* load subcommand: closed-loop load generator against a running server *)
+
+let load_cmd =
+  let addr_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "addr" ] ~doc:"Server address.")
+  in
+  let port_arg =
+    Arg.(value & opt int 7113 & info [ "port" ] ~doc:"Server port.")
+  in
+  let domains_arg =
+    let doc = "Generator domains (one connection each)." in
+    Arg.(value & opt int 4 & info [ "domains" ] ~doc)
+  in
+  let depth_arg =
+    let doc = "Pipeline window: requests kept in flight per connection." in
+    Arg.(value & opt int 16 & info [ "depth" ] ~doc)
+  in
+  let seconds_arg' =
+    Arg.(value & opt float 5.0 & info [ "seconds" ] ~doc:"Load duration.")
+  in
+  let pct name dflt =
+    Arg.(value & opt int dflt & info [ name ] ~doc:(name ^ " percentage"))
+  in
+  let range_arg =
+    Arg.(
+      value & opt int 65_536
+      & info [ "range" ] ~doc:"Key range (must match the server's).")
+  in
+  let run addr port domains depth seconds insert delete find replace range seed
+      metrics =
+    match Harness.Mix.v ~insert ~delete ~find ~replace () with
+    | exception Invalid_argument m -> `Error (false, m)
+    | mix -> (
+        let cfg =
+          Server.Loadgen.
+            {
+              addr;
+              port;
+              domains;
+              depth;
+              seconds;
+              mix;
+              universe = range;
+              dist = Harness.Uniform;
+              seed;
+            }
+        in
+        try
+          (* Size accounting baseline: works against a non-empty server
+             too, the expectation is relative to what we found. *)
+          let c0 = Server.Client.connect ~addr ~port () in
+          let size_before = Server.Client.size c0 in
+          Server.Client.close c0;
+          let prefilled =
+            Server.Loadgen.prefill ~addr ~port ~universe:range ~seed ()
+          in
+          Format.printf
+            "load: prefilled %d keys (server had %d), running %s for %.1fs on \
+             %d domains, depth %d@."
+            prefilled size_before (Harness.Mix.to_string mix) seconds domains
+            depth;
+          Format.print_flush ();
+          let r = Server.Loadgen.run cfg in
+          let c1 = Server.Client.connect ~addr ~port () in
+          let final = Server.Client.size c1 in
+          Server.Client.close c1;
+          let expected = size_before + prefilled + r.Server.Loadgen.size_delta in
+          let l = r.Server.Loadgen.latency in
+          Format.printf
+            "load: %d ops in %.2fs = %.0f ops/s, %d errors@.\
+             load: latency ns p50=%d p90=%d p99=%d p99.9=%d max=%d@.\
+             load: final size %d, expected %d (replay of acknowledged ops)@."
+            r.Server.Loadgen.ops r.Server.Loadgen.elapsed_s
+            r.Server.Loadgen.throughput r.Server.Loadgen.errors
+            l.Obs.Histogram.p50 l.Obs.Histogram.p90 l.Obs.Histogram.p99
+            l.Obs.Histogram.p999 l.Obs.Histogram.max final expected;
+          Option.iter
+            (fun path ->
+              Obs.Json.to_file path (Server.Loadgen.report_to_json cfg r);
+              Format.printf "load: report written to %s@." path)
+            metrics;
+          Format.print_flush ();
+          if r.Server.Loadgen.errors > 0 then
+            `Error (false, "load completed with application-level errors")
+          else if final <> expected then
+            `Error
+              ( false,
+                Printf.sprintf
+                  "SIZE mismatch: server says %d, replay of acknowledged \
+                   operations says %d — an acknowledged update was lost"
+                  final expected )
+          else `Ok ()
+        with
+        | Server.Client.Protocol_error m -> `Error (false, "protocol error: " ^ m)
+        | Unix.Unix_error (e, fn, _) ->
+            `Error
+              (false, Printf.sprintf "%s failed: %s" fn (Unix.error_message e)))
+  in
+  let doc =
+    "Drive a running patserve server with a multi-domain closed-loop \
+     pipelined workload and verify the final SIZE against a replay of the \
+     acknowledged operations."
+  in
+  Cmd.v (Cmd.info "load" ~doc)
+    Term.(
+      ret
+        (const run $ addr_arg $ port_arg $ domains_arg $ depth_arg
+       $ seconds_arg' $ pct "insert" 10 $ pct "delete" 10 $ pct "find" 0
+       $ pct "replace" 80 $ range_arg $ seed_arg $ metrics_arg))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc =
     "Benchmarks for the non-blocking Patricia trie reproduction (ICDCS 2013)."
   in
   let info = Cmd.info "patbench" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ figure_cmd; extra_cmd; custom_cmd; ablation_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ figure_cmd; extra_cmd; custom_cmd; ablation_cmd; serve_cmd; load_cmd ]))

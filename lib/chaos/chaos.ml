@@ -7,9 +7,31 @@
    state, stall bookkeeping — is touched only while a policy is
    active, so it is allowed to be striped-but-ordinary code. *)
 
-type site = Flag_cas | Child_cas | After_child_cas | Unflag | Backtrack | Retry
+type site =
+  | Flag_cas
+  | Child_cas
+  | After_child_cas
+  | Unflag
+  | Backtrack
+  | Retry
+  | Net_accept
+  | Net_read
+  | Net_write
+  | Net_decode
 
-let all_sites = [ Flag_cas; Child_cas; After_child_cas; Unflag; Backtrack; Retry ]
+let all_sites =
+  [
+    Flag_cas;
+    Child_cas;
+    After_child_cas;
+    Unflag;
+    Backtrack;
+    Retry;
+    Net_accept;
+    Net_read;
+    Net_write;
+    Net_decode;
+  ]
 
 let site_name = function
   | Flag_cas -> "flag_cas"
@@ -18,6 +40,10 @@ let site_name = function
   | Unflag -> "unflag"
   | Backtrack -> "backtrack"
   | Retry -> "retry"
+  | Net_accept -> "net_accept"
+  | Net_read -> "net_read"
+  | Net_write -> "net_write"
+  | Net_decode -> "net_decode"
 
 let site_index = function
   | Flag_cas -> 0
@@ -26,6 +52,10 @@ let site_index = function
   | Unflag -> 3
   | Backtrack -> 4
   | Retry -> 5
+  | Net_accept -> 6
+  | Net_read -> 7
+  | Net_write -> 8
+  | Net_decode -> 9
 
 let n_sites = List.length all_sites
 

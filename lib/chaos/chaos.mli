@@ -22,8 +22,9 @@
     graceful behaviour under contention instead of bare spinning. *)
 
 (** Labels for the synchronization points of the trie's update protocol,
-    in the order an update crosses them.  (Figure/line references are to
-    Shafiei's pseudocode.) *)
+    in the order an update crosses them (figure/line references are to
+    Shafiei's pseudocode), followed by the network-path sites of the
+    patserve set server ([lib/server]). *)
 type site =
   | Flag_cas  (** about to attempt a flag CAS on an internal node's
                   [info] field (help, lines 87-92) *)
@@ -39,6 +40,10 @@ type site =
                    (lines 103-106) *)
   | Retry  (** an update attempt failed and is about to restart from a
                fresh search — the site where contention backoff waits *)
+  | Net_accept  (** patserve: a connection was just accepted *)
+  | Net_read  (** patserve: about to read from a connection socket *)
+  | Net_write  (** patserve: about to write buffered responses *)
+  | Net_decode  (** patserve: about to decode a complete request frame *)
 
 val all_sites : site list
 val site_name : site -> string

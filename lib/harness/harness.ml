@@ -151,6 +151,14 @@ module Live = struct
 
   let set_stats_source f = Atomic.set stats_source f
 
+  (* An extra metric producer appended to the exposition — how the
+     patserve server (which this library must not depend on) gets its
+     per-opcode counters and latency histograms into the same scrape. *)
+  let extra_producer : (Obs.Prometheus.t -> unit) option Atomic.t =
+    Atomic.make None
+
+  let set_extra_producer f = Atomic.set extra_producer f
+
   let set_enabled b =
     if b && not (Atomic.get active) then begin
       Obs.Counter.reset ops_done;
@@ -227,6 +235,7 @@ module Live = struct
               (float_of_int v))
           (f ())
     | None -> ());
+    (match Atomic.get extra_producer with Some f -> f b | None -> ());
     let g = Gc.quick_stat () in
     gauge b ~name:"repro_gc_minor_collections"
       ~help:"Cumulative minor collections"

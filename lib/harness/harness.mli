@@ -105,6 +105,14 @@ module Live : sig
       scrape should expose; the trial runner does this automatically for
       subjects with [ops.stats]. *)
 
+  val set_extra_producer : (Obs.Prometheus.t -> unit) option -> unit
+  (** Register an extra producer appended to the exposition (between
+      the harness families and the GC gauges).  Used by [patbench
+      serve] to export the patserve server's per-opcode counters and
+      latency histograms through the same endpoint; the producer must
+      emit complete metric families of its own (the exposition format
+      wants each family's samples contiguous). *)
+
   val prometheus : unit -> string
   (** Render the full exposition (Prometheus text format 0.0.4). *)
 end

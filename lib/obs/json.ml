@@ -3,9 +3,11 @@
     The benchmark drivers emit machine-readable metrics files and the CI
     smoke test parses them back; depending on yojson for that would drag
     a parsing stack into every executable, so this ~150-line module does
-    both directions for the small subset of JSON we produce: no unicode
-    escapes beyond \uXXXX pass-through, numbers are OCaml [int] when they
-    round-trip exactly and [float] otherwise. *)
+    both directions for the small subset of JSON we produce: [\uXXXX]
+    escapes are decoded to UTF-8 (surrogate pairs combined, lone
+    surrogates and malformed hex rejected with {!Parse_error}), numbers
+    are OCaml [int] when they round-trip exactly and [float]
+    otherwise. *)
 
 type t =
   | Null
@@ -132,6 +134,45 @@ let of_string s =
     end
     else fail ("expected " ^ word)
   in
+  (* Four hex digits after a "\u"; [int_of_string "0x..."] is not usable
+     here because it accepts signs and underscores ("\u12_3") and raises
+     [Failure] instead of [Parse_error] on garbage. *)
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let digit c =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> fail "bad hex digit in \\u escape"
+    in
+    let v =
+      (digit s.[!pos] lsl 12)
+      lor (digit s.[!pos + 1] lsl 8)
+      lor (digit s.[!pos + 2] lsl 4)
+      lor digit s.[!pos + 3]
+    in
+    pos := !pos + 4;
+    v
+  in
+  let add_utf8 buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
   let parse_string () =
     expect '"';
     let buf = Buffer.create 16 in
@@ -153,12 +194,25 @@ let of_string s =
               go ()
           | Some 'u' ->
               advance ();
-              if !pos + 4 > n then fail "truncated \\u escape";
-              let code = int_of_string ("0x" ^ String.sub s !pos 4) in
-              pos := !pos + 4;
-              (* Only BMP code points below 0x80 are emitted by us; keep
-                 others as '?' rather than implementing UTF-8 encoding. *)
-              Buffer.add_char buf (if code < 0x80 then Char.chr code else '?');
+              let code = hex4 () in
+              if code >= 0xD800 && code <= 0xDBFF then begin
+                (* High surrogate: must be followed by a \uDC00-\uDFFF
+                   low surrogate, the pair encoding one astral code
+                   point. *)
+                if
+                  not
+                    (!pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u')
+                then fail "high surrogate not followed by \\u escape";
+                pos := !pos + 2;
+                let low = hex4 () in
+                if not (low >= 0xDC00 && low <= 0xDFFF) then
+                  fail "high surrogate not followed by low surrogate";
+                add_utf8 buf
+                  (0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00))
+              end
+              else if code >= 0xDC00 && code <= 0xDFFF then
+                fail "lone low surrogate"
+              else add_utf8 buf code;
               go ()
           | _ -> fail "bad escape")
       | Some c ->

@@ -19,6 +19,9 @@
       and attempt-depth histograms plus help-chain depth;
     - {!Prometheus}: text exposition (0.0.4) renderer for counters,
       gauges and histogram quantiles;
+    - {!Net}: shared loopback TCP listener plumbing (ephemeral-port
+      bind, select-polled accept, idempotent stop) used by {!Serve} and
+      the patserve set server;
     - {!Serve}: dependency-free HTTP listener on a background domain
       serving [/metrics] and [/healthz] from a snapshot;
     - {!Instrument}: a functor adding latency histograms to any
@@ -36,6 +39,7 @@ module Trace = Trace
 module Perfetto = Perfetto
 module Attribution = Attribution
 module Prometheus = Prometheus
+module Net = Net
 module Serve = Serve
 
 module type INSTRUMENTED = Instrument_impl.INSTRUMENTED

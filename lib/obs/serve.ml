@@ -9,18 +9,14 @@
     perturbs the measured domains no more than their existing striped
     writes.
 
-    Built on stdlib [Unix] only: one accept loop, one request per
-    connection (Connection: close), no keep-alive, no TLS — the target
-    is [curl] and a Prometheus scraper on localhost, not the open
-    internet.  [start ~port:0] binds an ephemeral port; {!port} reports
-    the bound one (the test-suite relies on this). *)
+    Built on the shared {!Net} listener plumbing (stdlib [Unix] only):
+    one accept loop, one request per connection (Connection: close), no
+    keep-alive, no TLS — the target is [curl] and a Prometheus scraper
+    on localhost, not the open internet.  [start ~port:0] binds an
+    ephemeral port; {!port} reports the bound one (the test-suite
+    relies on this). *)
 
-type t = {
-  sock : Unix.file_descr;
-  bound_port : int;
-  stopping : bool Atomic.t;
-  listener : unit Domain.t;
-}
+type t = Net.t
 
 let http_response ~status ~content_type body =
   Printf.sprintf
@@ -80,75 +76,33 @@ let route produce line =
       end
   | _ -> http_response ~status:"400 Bad Request" ~content_type:"text/plain" "bad request\n"
 
-let write_all fd s =
-  let b = Bytes.of_string s in
-  let n = Bytes.length b in
-  let rec go off =
-    if off < n then
-      match Unix.write fd b off (n - off) with
-      | written -> go (off + written)
-      | exception Unix.Unix_error (_, _, _) -> ()
-  in
-  go 0
-
 let serve_client produce fd =
   Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    ~finally:(fun () -> Net.close_noerr fd)
     (fun () ->
       Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
       Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0;
       match read_request_line fd with
       | None -> ()
-      | Some line -> write_all fd (route produce line))
+      | Some line -> Net.write_all fd (route produce line))
 
-(* Poll with [select] instead of blocking in [accept]: a domain parked
-   inside accept is not reliably woken by another domain closing the
-   socket, whereas this loop re-checks [stopping] at least every 250ms
-   and is the only reader of the socket until then. *)
-let accept_loop sock stopping produce =
+(* One accepted connection at a time, served inline: scrapes are rare
+   (seconds apart) and short, so a per-connection domain would only add
+   noise to the very runs the endpoint exists to observe.  The
+   select-poll/stop/join skeleton lives in {!Net}. *)
+let accept_loop produce ~stopping sock =
   let rec go () =
-    if not (Atomic.get stopping) then begin
-      (match Unix.select [ sock ] [] [] 0.25 with
-      | [ _ ], _, _ -> (
-          match Unix.accept sock with
-          | fd, _ ->
-              (* Serve inline: scrapes are rare (seconds apart) and
-                 short, so a per-connection domain would only add noise
-                 to the very runs the endpoint exists to observe. *)
-              (try serve_client produce fd with _ -> ())
-          | exception Unix.Unix_error (_, _, _) -> ())
-      | _ -> ()
-      | exception Unix.Unix_error (_, _, _) -> ());
+    if not (stopping ()) then begin
+      (match Net.accept_poll ~stopping sock with
+      | Some fd -> ( try serve_client produce fd with _ -> ())
+      | None -> ());
       go ()
     end
   in
   go ()
 
 let start ?(addr = "127.0.0.1") ~port produce =
-  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try
-     Unix.setsockopt sock Unix.SO_REUSEADDR true;
-     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
-     Unix.listen sock 16
-   with e ->
-     (try Unix.close sock with Unix.Unix_error (_, _, _) -> ());
-     raise e);
-  let bound_port =
-    match Unix.getsockname sock with
-    | Unix.ADDR_INET (_, p) -> p
-    | _ -> port
-  in
-  let stopping = Atomic.make false in
-  let listener = Domain.spawn (fun () -> accept_loop sock stopping produce) in
-  { sock; bound_port; stopping; listener }
+  Net.start ~addr ~backlog:16 ~port (accept_loop produce)
 
-let port t = t.bound_port
-
-(* Stop accepting and join the listener.  The loop notices [stopping]
-   within one select timeout; the socket is closed only after the join
-   so the listener never selects on a dead fd. *)
-let stop t =
-  if not (Atomic.exchange t.stopping true) then begin
-    Domain.join t.listener;
-    try Unix.close t.sock with Unix.Unix_error (_, _, _) -> ()
-  end
+let port = Net.port
+let stop = Net.stop

@@ -38,8 +38,19 @@ let all : Dset_intf.packed list =
     Dset_intf.Packed (module Hash_trie);
   ]
 
+(** PAT behind the patserve network protocol: every operation is a
+    round trip to an in-process loopback server, so the generic test
+    batteries (including the linearizability checker) exercise the
+    whole serving path — framing, pipelining, worker domains — with no
+    test written specifically for it. *)
+module Served_pat = Server.Loopback (Pat)
+
 (** The structures supporting the paper's atomic replace — only PAT, as
     the evaluation notes ("we could not compare these results with other
-    data structures since none provide atomic replace operations"). *)
+    data structures since none provide atomic replace operations") —
+    plus PAT served over the loopback network path. *)
 let with_replace : Dset_intf.packed_replace list =
-  [ Dset_intf.Packed_replace (module Pat) ]
+  [
+    Dset_intf.Packed_replace (module Pat);
+    Dset_intf.Packed_replace (module Served_pat);
+  ]

@@ -1,0 +1,142 @@
+(** Blocking client for the patserve protocol, with explicit pipelining.
+
+    One connection, not domain-safe: create one client per domain (the
+    loopback adapter and the load generator both do).  The two-level
+    API mirrors the protocol: {!request} is one synchronous round trip;
+    {!send}/{!recv} split the two halves so a caller can keep many
+    requests in flight and match the (in-order) responses by tag, which
+    is what the closed-loop load generator builds its window on. *)
+
+exception Protocol_error of string
+
+type t = {
+  fd : Unix.file_descr;
+  reader : Protocol.Reader.t;
+  scratch : Bytes.t;
+  sendbuf : Buffer.t;
+  mutable next_seq : int;
+}
+
+let connect ?(addr = "127.0.0.1") ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
+     (* The protocol is request/response over small frames; Nagle would
+        serialize the pipeline into 40ms lockstep. *)
+     Unix.setsockopt fd Unix.TCP_NODELAY true
+   with e ->
+     Obs.Net.close_noerr fd;
+     raise e);
+  {
+    fd;
+    reader = Protocol.Reader.create ();
+    scratch = Bytes.create 65536;
+    sendbuf = Buffer.create 256;
+    next_seq = 1;
+  }
+
+let close t = Obs.Net.close_noerr t.fd
+
+let write_all t buf =
+  let b = Buffer.to_bytes buf in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write t.fd b off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (e, _, _) ->
+          raise (Protocol_error ("write: " ^ Unix.error_message e))
+  in
+  go 0
+
+let fresh_seq t =
+  let s = t.next_seq in
+  t.next_seq <- (if s >= 0xFFFFFFFF then 1 else s + 1);
+  s
+
+(** [send t op] transmits one request and returns its tag. *)
+let send t op =
+  let seq = fresh_seq t in
+  Buffer.clear t.sendbuf;
+  Protocol.encode_request t.sendbuf { seq; op };
+  write_all t t.sendbuf;
+  seq
+
+(** [send_many t ops] transmits a whole pipeline window in one write;
+    returns the tags in order. *)
+let send_many t ops =
+  Buffer.clear t.sendbuf;
+  let seqs =
+    List.map
+      (fun op ->
+        let seq = fresh_seq t in
+        Protocol.encode_request t.sendbuf { seq; op };
+        seq)
+      ops
+  in
+  write_all t t.sendbuf;
+  seqs
+
+(** Next response off the wire (responses arrive in request order). *)
+let rec recv t =
+  match Protocol.Reader.next_payload t.reader with
+  | `Bad msg -> raise (Protocol_error msg)
+  | `Payload (buf, off, len) -> (
+      match Protocol.decode_response buf ~off ~len with
+      | Result.Ok r -> r
+      | Result.Error msg -> raise (Protocol_error msg))
+  | `None -> (
+      match Unix.read t.fd t.scratch 0 (Bytes.length t.scratch) with
+      | 0 -> raise (Protocol_error "connection closed by server")
+      | n ->
+          Protocol.Reader.feed t.reader t.scratch n;
+          recv t
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv t
+      | exception Unix.Unix_error (e, _, _) ->
+          raise (Protocol_error ("read: " ^ Unix.error_message e)))
+
+let expect_seq seq (r : Protocol.response) =
+  if r.Protocol.seq <> seq then
+    raise
+      (Protocol_error
+         (Printf.sprintf "response out of order: expected seq %d, got %d" seq
+            r.Protocol.seq));
+  r.Protocol.result
+
+(** One synchronous round trip; application-level [Error] raises. *)
+let request t op =
+  let seq = send t op in
+  match expect_seq seq (recv t) with
+  | Protocol.Error msg -> raise (Protocol_error ("server error: " ^ msg))
+  | r -> r
+
+(** [pipeline t ops] sends every request before reading any response:
+    the whole window shares one round trip.  Results come back in
+    order; [Error] results are returned, not raised, so one bad
+    operation does not lose its siblings. *)
+let pipeline t ops =
+  let seqs = send_many t ops in
+  List.map (fun seq -> expect_seq seq (recv t)) seqs
+
+let bool_result = function
+  | Protocol.Bool b -> b
+  | Protocol.Error msg -> raise (Protocol_error ("server error: " ^ msg))
+  | _ -> raise (Protocol_error "expected boolean result")
+
+let insert t k = bool_result (request t (Protocol.Insert k))
+let delete t k = bool_result (request t (Protocol.Delete k))
+let member t k = bool_result (request t (Protocol.Member k))
+
+let replace t ~remove ~add =
+  bool_result (request t (Protocol.Replace { remove; add }))
+
+let size t =
+  match request t Protocol.Size with
+  | Protocol.Count n -> n
+  | _ -> raise (Protocol_error "expected count result")
+
+let batch t ops =
+  match request t (Protocol.Batch ops) with
+  | Protocol.Many bs -> bs
+  | _ -> raise (Protocol_error "expected vector result")

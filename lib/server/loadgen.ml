@@ -1,0 +1,205 @@
+(** Closed-loop, multi-domain load generator for a patserve server.
+
+    Each generator domain owns one connection and keeps a fixed number
+    of requests in flight ([depth]): it tops the pipeline window up,
+    then blocks on the next in-order response — the classic closed loop,
+    so offered load self-regulates to what the server sustains and
+    latency is measured per request (send-to-ack) rather than inferred.
+
+    Correctness riding along with the benchmark: every acknowledged
+    [true] to INSERT is +1 to the eventual set size and every
+    acknowledged [true] to DELETE is -1 (REPLACE is size-neutral, and a
+    [false] never changed anything), so after draining, the expected
+    final SIZE is prefill + Σ delta regardless of interleaving.  The
+    [size_delta] in the report is that sum; the caller checks it
+    against a SIZE request.  A mismatch means an acknowledged operation
+    did not happen — exactly the kind of lost-update a broken
+    linearization point would produce. *)
+
+type config = {
+  addr : string;
+  port : int;
+  domains : int;
+  depth : int;  (** pipeline window per connection *)
+  seconds : float;
+  mix : Harness.Mix.t;
+  universe : int;
+  dist : Harness.distribution;
+  seed : int;
+}
+
+let default_config =
+  {
+    addr = "127.0.0.1";
+    port = 7113;
+    domains = 4;
+    depth = 16;
+    seconds = 5.0;
+    mix = Harness.Mix.i10_d10_r80;
+    universe = 1 lsl 16;
+    dist = Harness.Uniform;
+    seed = 42;
+  }
+
+type report = {
+  ops : int;  (** acknowledged requests *)
+  errors : int;  (** [Error] results (app-level; framing errors raise) *)
+  elapsed_s : float;
+  throughput : float;  (** acknowledged requests per second *)
+  latency : Obs.Histogram.summary;  (** send-to-ack, nanoseconds *)
+  per_op : (string * int) list;
+  size_delta : int;
+}
+
+(* One generator domain's tally. *)
+type tally = {
+  mutable acked : int;
+  mutable errs : int;
+  mutable delta : int;
+  counts : int array;
+}
+
+let in_flight_op (t : tally) hist q (resp : Protocol.response) =
+  let seq, op, t0 = Queue.pop q in
+  if resp.Protocol.seq <> seq then
+    raise
+      (Client.Protocol_error
+         (Printf.sprintf "pipelined response out of order: expected %d, got %d"
+            seq resp.Protocol.seq));
+  let dt = Obs.Clock.now_ns () - t0 in
+  Obs.Histogram.record hist dt;
+  Harness.Live.op dt;
+  t.acked <- t.acked + 1;
+  let i = Protocol.op_index op in
+  t.counts.(i) <- t.counts.(i) + 1;
+  match (resp.Protocol.result, op) with
+  | Protocol.Bool true, Protocol.Insert _ -> t.delta <- t.delta + 1
+  | Protocol.Bool true, Protocol.Delete _ -> t.delta <- t.delta - 1
+  | Protocol.Bool _, _ -> ()
+  | Protocol.Error _, _ -> t.errs <- t.errs + 1
+  | (Protocol.Count _ | Protocol.Many _), _ -> t.errs <- t.errs + 1
+
+let worker cfg hist go d =
+  let c = Client.connect ~addr:cfg.addr ~port:cfg.port () in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let rng = Rng.of_int_seed (cfg.seed + (d * 104729) + 1) in
+  let next_key = Harness.key_stream cfg.dist cfg.universe rng in
+  let m = cfg.mix in
+  let t_ins = m.Harness.Mix.insert in
+  let t_del = t_ins + m.Harness.Mix.delete in
+  let t_find = t_del + m.Harness.Mix.find in
+  let q = Queue.create () in
+  let t = { acked = 0; errs = 0; delta = 0; counts = Array.make Protocol.op_count 0 } in
+  let send_one () =
+    let r = Rng.int rng 100 in
+    let k = next_key () in
+    let op =
+      if r < t_ins then Protocol.Insert k
+      else if r < t_del then Protocol.Delete k
+      else if r < t_find then Protocol.Member k
+      else Protocol.Replace { remove = k; add = next_key () }
+    in
+    let seq = Client.send c op in
+    Queue.add (seq, op, Obs.Clock.now_ns ()) q
+  in
+  while not (Atomic.get go) do Domain.cpu_relax () done;
+  let deadline = Unix.gettimeofday () +. cfg.seconds in
+  while Unix.gettimeofday () < deadline do
+    while Queue.length q < cfg.depth do send_one () done;
+    in_flight_op t hist q (Client.recv c)
+  done;
+  (* Drain: every request sent must be acknowledged, or the size
+     accounting would be meaningless. *)
+  while not (Queue.is_empty q) do in_flight_op t hist q (Client.recv c) done;
+  t
+
+(** Run the configured load.  Raises [Client.Protocol_error] (or a
+    connect failure) if any generator domain hits a framing-level
+    problem; application-level [Error] results are only counted. *)
+let run cfg =
+  if cfg.domains < 1 then invalid_arg "Loadgen: domains must be >= 1";
+  if cfg.depth < 1 then invalid_arg "Loadgen: depth must be >= 1";
+  let hist = Obs.Histogram.create () in
+  let go = Atomic.make false in
+  let doms =
+    List.init cfg.domains (fun d ->
+        Domain.spawn (fun () -> worker cfg hist go d))
+  in
+  let t0 = Unix.gettimeofday () in
+  Atomic.set go true;
+  let tallies = List.map Domain.join doms in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let ops = List.fold_left (fun a t -> a + t.acked) 0 tallies in
+  let errors = List.fold_left (fun a t -> a + t.errs) 0 tallies in
+  let size_delta = List.fold_left (fun a t -> a + t.delta) 0 tallies in
+  let per_op =
+    List.init Protocol.op_count (fun i ->
+        ( [| "insert"; "delete"; "member"; "replace"; "size"; "batch" |].(i),
+          List.fold_left (fun a t -> a + t.counts.(i)) 0 tallies ))
+  in
+  {
+    ops;
+    errors;
+    elapsed_s;
+    throughput = (if elapsed_s > 0. then float_of_int ops /. elapsed_s else 0.);
+    latency = Obs.Histogram.snapshot hist;
+    per_op;
+    size_delta;
+  }
+
+(** Insert a random half of the universe through BATCH frames; returns
+    how many inserts were acknowledged [true] (= the set's size if it
+    started empty).  Deterministic in [seed]. *)
+let prefill ?(addr = "127.0.0.1") ~port ~universe ~seed () =
+  let c = Client.connect ~addr ~port () in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let rng = Rng.of_int_seed seed in
+  let keys = Array.init universe Fun.id in
+  for i = universe - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let tmp = keys.(i) in
+    keys.(i) <- keys.(j);
+    keys.(j) <- tmp
+  done;
+  let target = universe / 2 in
+  let inserted = ref 0 in
+  let k = ref 0 in
+  while !k < target do
+    let hi = min target (!k + 512) in
+    let ops = List.init (hi - !k) (fun i -> Protocol.Insert keys.(!k + i)) in
+    List.iter (fun b -> if b then incr inserted) (Client.batch c ops);
+    k := hi
+  done;
+  !inserted
+
+let report_to_json cfg (r : report) : Obs.Json.t =
+  Obs.Json.Obj
+    [
+      ("schema_version", Obs.Json.Int 1);
+      ("benchmark", Obs.Json.Str "patbench load");
+      ( "config",
+        Obs.Json.Obj
+          [
+            ("addr", Obs.Json.Str cfg.addr);
+            ("port", Obs.Json.Int cfg.port);
+            ("domains", Obs.Json.Int cfg.domains);
+            ("depth", Obs.Json.Int cfg.depth);
+            ("seconds", Obs.Json.Float cfg.seconds);
+            ("mix", Obs.Json.Str (Harness.Mix.to_string cfg.mix));
+            ("universe", Obs.Json.Int cfg.universe);
+            ("seed", Obs.Json.Int cfg.seed);
+          ] );
+      ( "results",
+        Obs.Json.Obj
+          [
+            ("ops", Obs.Json.Int r.ops);
+            ("errors", Obs.Json.Int r.errors);
+            ("elapsed_s", Obs.Json.Float r.elapsed_s);
+            ("throughput_ops_per_sec", Obs.Json.Float r.throughput);
+            ("latency_ns", Obs.Histogram.summary_to_json r.latency);
+            ( "per_op",
+              Obs.Json.Obj
+                (List.map (fun (k, v) -> (k, Obs.Json.Int v)) r.per_op) );
+            ("size_delta", Obs.Json.Int r.size_delta);
+          ] );
+    ]

@@ -1,0 +1,310 @@
+(* Wire protocol of the patserve set server; see protocol.mli for the
+   frame grammar.  Decoders are written against hostile input: every
+   read is bounds-checked and every malformed shape returns [Error],
+   because a decode exception escaping a worker domain would kill the
+   very thread of control the non-blocking structure keeps alive. *)
+
+let max_frame_payload = 1 lsl 20
+let max_batch = 0xFFFF
+
+type op =
+  | Insert of int
+  | Delete of int
+  | Member of int
+  | Replace of { remove : int; add : int }
+  | Size
+  | Batch of op list
+
+type request = { seq : int; op : op }
+
+type result_ =
+  | Bool of bool
+  | Count of int
+  | Many of bool list
+  | Error of string
+
+type response = { seq : int; result : result_ }
+
+let op_name = function
+  | Insert _ -> "insert"
+  | Delete _ -> "delete"
+  | Member _ -> "member"
+  | Replace _ -> "replace"
+  | Size -> "size"
+  | Batch _ -> "batch"
+
+let op_index = function
+  | Insert _ -> 0
+  | Delete _ -> 1
+  | Member _ -> 2
+  | Replace _ -> 3
+  | Size -> 4
+  | Batch _ -> 5
+
+let op_count = 6
+
+(* Opcode and status bytes. *)
+let opc_insert = 1
+and opc_delete = 2
+and opc_member = 3
+and opc_replace = 4
+and opc_size = 5
+and opc_batch = 6
+
+let st_false = 0
+and st_true = 1
+and st_count = 2
+and st_many = 3
+and st_error = 255
+
+(* ------------------------------------------------------------------ *)
+(* Encoding.  Frames are assembled payload-first into the caller's
+   buffer: reserve 4 bytes, write the payload, patch the length in.
+   Buffer has no random access, so instead encode into a scratch and
+   blit — payloads are small (<= a batch), this stays cheap. *)
+
+let add_u16 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let add_u32 buf v = Buffer.add_int32_be buf (Int32.of_int v)
+let add_i64 buf v = Buffer.add_int64_be buf (Int64.of_int v)
+
+let check_seq seq =
+  if seq < 0 || seq > 0xFFFFFFFF then
+    invalid_arg "Protocol: seq out of u32 range"
+
+let encode_simple_op buf op =
+  match op with
+  | Insert k ->
+      Buffer.add_char buf (Char.chr opc_insert);
+      add_i64 buf k
+  | Delete k ->
+      Buffer.add_char buf (Char.chr opc_delete);
+      add_i64 buf k
+  | Member k ->
+      Buffer.add_char buf (Char.chr opc_member);
+      add_i64 buf k
+  | Replace { remove; add } ->
+      Buffer.add_char buf (Char.chr opc_replace);
+      add_i64 buf remove;
+      add_i64 buf add
+  | Size -> Buffer.add_char buf (Char.chr opc_size)
+  | Batch _ -> invalid_arg "Protocol: nested BATCH"
+
+let encode_op buf op =
+  match op with
+  | Batch ops ->
+      let n = List.length ops in
+      if n > max_batch then invalid_arg "Protocol: BATCH too large";
+      Buffer.add_char buf (Char.chr opc_batch);
+      add_u16 buf n;
+      List.iter
+        (fun o ->
+          match o with
+          | Size -> invalid_arg "Protocol: SIZE inside BATCH"
+          | o -> encode_simple_op buf o)
+        ops
+  | op -> encode_simple_op buf op
+
+let frame buf payload =
+  let len = Buffer.length payload in
+  if len > max_frame_payload then invalid_arg "Protocol: frame too large";
+  add_u32 buf len;
+  Buffer.add_buffer buf payload
+
+let encode_request buf { seq; op } =
+  check_seq seq;
+  let p = Buffer.create 32 in
+  add_u32 p seq;
+  encode_op p op;
+  frame buf p
+
+let encode_response buf { seq; result } =
+  check_seq seq;
+  let p = Buffer.create 32 in
+  add_u32 p seq;
+  (match result with
+  | Bool false -> Buffer.add_char p (Char.chr st_false)
+  | Bool true -> Buffer.add_char p (Char.chr st_true)
+  | Count v ->
+      Buffer.add_char p (Char.chr st_count);
+      add_i64 p v
+  | Many bs ->
+      let n = List.length bs in
+      if n > max_batch then invalid_arg "Protocol: MANY too large";
+      Buffer.add_char p (Char.chr st_many);
+      add_u16 p n;
+      List.iter (fun b -> Buffer.add_char p (if b then '\001' else '\000')) bs
+  | Error msg ->
+      Buffer.add_char p (Char.chr st_error);
+      let room = max_frame_payload - Buffer.length p in
+      Buffer.add_string p
+        (if String.length msg <= room then msg else String.sub msg 0 room));
+  frame buf p
+
+(* ------------------------------------------------------------------ *)
+(* Decoding: a bounds-checked cursor over one payload. *)
+
+type cursor = { buf : Bytes.t; limit : int; mutable pos : int }
+
+exception Bad of string
+
+let need c n = if c.pos + n > c.limit then raise (Bad "truncated frame body")
+
+let u8 c =
+  need c 1;
+  let v = Char.code (Bytes.get c.buf c.pos) in
+  c.pos <- c.pos + 1;
+  v
+
+let u16 c =
+  need c 2;
+  let v =
+    (Char.code (Bytes.get c.buf c.pos) lsl 8)
+    lor Char.code (Bytes.get c.buf (c.pos + 1))
+  in
+  c.pos <- c.pos + 2;
+  v
+
+let u32 c =
+  need c 4;
+  let v = Int32.to_int (Bytes.get_int32_be c.buf c.pos) land 0xFFFFFFFF in
+  c.pos <- c.pos + 4;
+  v
+
+let i64 c =
+  need c 8;
+  let v64 = Bytes.get_int64_be c.buf c.pos in
+  c.pos <- c.pos + 8;
+  let v = Int64.to_int v64 in
+  (* OCaml ints are 63-bit; a wire value that does not round-trip was
+     never produced by a well-behaved peer. *)
+  if Int64.of_int v <> v64 then raise (Bad "integer out of range");
+  v
+
+let decode_simple_op c opc =
+  if opc = opc_insert then Insert (i64 c)
+  else if opc = opc_delete then Delete (i64 c)
+  else if opc = opc_member then Member (i64 c)
+  else if opc = opc_replace then
+    let remove = i64 c in
+    let add = i64 c in
+    Replace { remove; add }
+  else if opc = opc_size then Size
+  else raise (Bad (Printf.sprintf "unknown opcode %d" opc))
+
+let decode_op c =
+  match u8 c with
+  | opc when opc = opc_batch ->
+      let n = u16 c in
+      let rec go i acc =
+        if i = n then List.rev acc
+        else
+          match u8 c with
+          | opc when opc = opc_batch -> raise (Bad "nested BATCH")
+          | opc when opc = opc_size -> raise (Bad "SIZE inside BATCH")
+          | opc -> go (i + 1) (decode_simple_op c opc :: acc)
+      in
+      Batch (go 0 [])
+  | opc -> decode_simple_op c opc
+
+let finish c v =
+  if c.pos <> c.limit then Result.Error "trailing bytes in frame"
+  else Result.Ok v
+
+let decode_request buf ~off ~len =
+  if len < 5 then Result.Error "request payload shorter than seq+opcode"
+  else
+    let c = { buf; limit = off + len; pos = off } in
+    match
+      let seq = u32 c in
+      let op = decode_op c in
+      { seq; op }
+    with
+    | req -> finish c req
+    | exception Bad msg -> Result.Error msg
+
+let decode_response buf ~off ~len =
+  if len < 5 then Result.Error "response payload shorter than seq+status"
+  else
+    let c = { buf; limit = off + len; pos = off } in
+    match
+      let seq = u32 c in
+      let result =
+        match u8 c with
+        | st when st = st_false -> Bool false
+        | st when st = st_true -> Bool true
+        | st when st = st_count -> Count (i64 c)
+        | st when st = st_many ->
+            let n = u16 c in
+            let rec go i acc =
+              if i = n then List.rev acc
+              else
+                match u8 c with
+                | 0 -> go (i + 1) (false :: acc)
+                | 1 -> go (i + 1) (true :: acc)
+                | _ -> raise (Bad "MANY element not a boolean")
+            in
+            Many (go 0 [])
+        | st when st = st_error ->
+            let msg = Bytes.sub_string c.buf c.pos (c.limit - c.pos) in
+            c.pos <- c.limit;
+            Error msg
+        | st -> raise (Bad (Printf.sprintf "unknown status %d" st))
+      in
+      { seq; result }
+    with
+    | resp -> finish c resp
+    | exception Bad msg -> Result.Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Incremental frame reader. *)
+
+module Reader = struct
+  type t = { mutable buf : Bytes.t; mutable start : int; mutable len : int }
+
+  let create () = { buf = Bytes.create 4096; start = 0; len = 0 }
+
+  let buffered t = t.len
+
+  (* Make room for [n] more bytes: compact in place when the dead
+     prefix suffices, grow (doubling) otherwise. *)
+  let reserve t n =
+    let cap = Bytes.length t.buf in
+    if t.start + t.len + n > cap then
+      if t.len + n <= cap then begin
+        Bytes.blit t.buf t.start t.buf 0 t.len;
+        t.start <- 0
+      end
+      else begin
+        let cap' = max (t.len + n) (cap * 2) in
+        let buf' = Bytes.create cap' in
+        Bytes.blit t.buf t.start buf' 0 t.len;
+        t.buf <- buf';
+        t.start <- 0
+      end
+
+  let feed t src n =
+    reserve t n;
+    Bytes.blit src 0 t.buf (t.start + t.len) n;
+    t.len <- t.len + n
+
+  let next_payload t =
+    if t.len < 4 then `None
+    else
+      let plen =
+        Int32.to_int (Bytes.get_int32_be t.buf t.start) land 0xFFFFFFFF
+      in
+      if plen < 5 then `Bad (Printf.sprintf "frame payload too short (%d)" plen)
+      else if plen > max_frame_payload then
+        `Bad (Printf.sprintf "frame payload too large (%d)" plen)
+      else if t.len < 4 + plen then `None
+      else begin
+        let off = t.start + 4 in
+        t.start <- t.start + 4 + plen;
+        t.len <- t.len - 4 - plen;
+        if t.len = 0 then t.start <- 0;
+        `Payload (t.buf, off, plen)
+      end
+end

@@ -1,0 +1,128 @@
+(** Wire protocol of the patserve set server: length-prefixed binary
+    frames carrying sequence-tagged requests and responses.
+
+    {2 Framing}
+
+    Every message — both directions — is one frame:
+
+    {v
+    u32be payload_length | payload
+    v}
+
+    [payload_length] must be in [[5, max_frame_payload]]; anything else
+    is a protocol error and the connection is no longer synchronized
+    (the server answers with an [Error] response tagged seq 0 and
+    closes).
+
+    {2 Requests}
+
+    {v
+    payload := seq:u32be  opcode:u8  body
+    opcode  := 1 INSERT   body = key:i64be
+             | 2 DELETE   body = key:i64be
+             | 3 MEMBER   body = key:i64be
+             | 4 REPLACE  body = remove:i64be add:i64be
+             | 5 SIZE     body = (empty)
+             | 6 BATCH    body = count:u16be (opcode:u8 body)^count
+    v}
+
+    BATCH sub-operations are restricted to the four boolean-result
+    opcodes (INSERT/DELETE/MEMBER/REPLACE) so the reply is a uniform
+    vector of booleans; nesting is a protocol error.
+
+    {2 Responses}
+
+    {v
+    payload := seq:u32be  status:u8  body
+    status  := 0 FALSE    body = (empty)
+             | 1 TRUE     body = (empty)
+             | 2 COUNT    body = value:i64be          (SIZE)
+             | 3 MANY     body = count:u16be bool:u8^count  (BATCH)
+             | 255 ERROR  body = utf-8 message
+    v}
+
+    [seq] echoes the request's tag, which is what makes pipelining
+    work: a client may have any number of requests in flight and
+    matches responses (delivered in request order per connection) by
+    tag.  An [ERROR] tagged with the request's seq is an
+    application-level failure (e.g. a key outside the server's
+    universe) and leaves the stream usable; an [ERROR] tagged seq 0 is
+    a framing-level failure after which the server closes.
+
+    Decoders never raise on untrusted input — truncated bodies,
+    unknown opcodes, oversized or undersized length prefixes and
+    trailing garbage all come back as [Result.Error]. *)
+
+val max_frame_payload : int
+(** Upper bound on a frame's payload length (1 MiB).  A length prefix
+    beyond it is rejected before any allocation, so a hostile 4 GiB
+    prefix cannot balloon the connection buffer. *)
+
+val max_batch : int
+(** Upper bound on BATCH sub-operations (fits the u16 count). *)
+
+type op =
+  | Insert of int
+  | Delete of int
+  | Member of int
+  | Replace of { remove : int; add : int }
+  | Size
+  | Batch of op list
+
+type request = { seq : int; op : op }
+
+type result_ =
+  | Bool of bool
+  | Count of int
+  | Many of bool list
+  | Error of string
+
+type response = { seq : int; result : result_ }
+
+val op_name : op -> string
+(** ["insert"], ["delete"], ... — metrics labels. *)
+
+val op_index : op -> int
+(** Dense index in declaration order (0..5), for counter arrays. *)
+
+val op_count : int
+
+val encode_request : Buffer.t -> request -> unit
+(** Append the full frame (length prefix included).
+    @raise Invalid_argument on a [seq] outside u32, a nested or
+    oversized [Batch], or a [Size] inside a [Batch] — caller bugs, not
+    wire conditions. *)
+
+val encode_response : Buffer.t -> response -> unit
+(** Append the full frame.  Error messages are truncated to fit
+    {!max_frame_payload}; [Many] beyond {!max_batch} raises
+    [Invalid_argument]. *)
+
+val decode_request : Bytes.t -> off:int -> len:int -> (request, string) result
+(** Decode one request payload (the [len] bytes at [off], length prefix
+    already stripped).  Never raises on wire data. *)
+
+val decode_response : Bytes.t -> off:int -> len:int -> (response, string) result
+(** Decode one response payload.  Never raises on wire data. *)
+
+(** Incremental defragmenting frame reader: feed raw socket bytes in,
+    take complete frame payloads out.  One per connection, both ends. *)
+module Reader : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> Bytes.t -> int -> unit
+  (** [feed r buf n] appends the first [n] bytes of [buf]. *)
+
+  val next_payload : t -> [ `None | `Payload of Bytes.t * int * int | `Bad of string ]
+  (** The next complete frame's payload as a [(buffer, offset, length)]
+      view into the reader's internal storage, consumed from the
+      stream.  The view is only valid until the next {!feed} (feeding
+      may compact the buffer) — decode before reading more.  [`None]
+      means more bytes are needed; [`Bad] means the stream carries an
+      unframeable length prefix and must be torn down. *)
+
+  val buffered : t -> int
+  (** Bytes currently buffered (diagnostics). *)
+end

@@ -1,0 +1,478 @@
+(** patserve: a pipelined binary-protocol set server over any
+    {!Dset_intf.CONCURRENT_SET_WITH_REPLACE}.
+
+    The ROADMAP's north star is a system that serves heavy traffic, and
+    a non-blocking trie earns its keep precisely when many clients hit
+    it at once: this module puts the paper's structure behind a socket.
+    [start] runs N worker domains sharing one listening socket; each
+    worker drives its accepted connections with a select-based event
+    loop — per-connection read buffering (the {!Protocol.Reader}
+    defragmenter), opportunistic batched writes, and as many pipelined
+    requests per read as the client managed to put on the wire.  All
+    workers call straight into the same structure instance; the trie's
+    lock-freedom is what makes that safe without a lock around the
+    store.
+
+    Observability and fault injection ride along: per-opcode striped
+    counters and latency histograms ({!Metrics}, exported through
+    [Harness.Live.set_extra_producer]), a flight-recorder span per
+    request, and [Chaos] crossings at the four network-path sites
+    (accept, read, write, decode) so the chaos policies can perturb the
+    serving path exactly like they perturb the trie's CAS sites.
+
+    Submodules: {!Protocol} (the wire format), {!Client} (a blocking
+    pipelined client), {!Loadgen} (a multi-domain closed-loop load
+    generator), {!Loopback} (an adapter that makes a served set look
+    like an ordinary [CONCURRENT_SET_WITH_REPLACE] again, for running
+    generic tests over the network path). *)
+
+module Protocol = Protocol
+module Client = Client
+module Loadgen = Loadgen
+
+(* ------------------------------------------------------------------ *)
+(* Per-opcode serving metrics.  Global rather than per-server — a
+   process hosts one logical server; tests reset between runs.  Striped
+   on the write path like every other hot-path counter in the repo. *)
+
+module Metrics = struct
+  let op_names = [| "insert"; "delete"; "member"; "replace"; "size"; "batch" |]
+  let requests = Array.init Protocol.op_count (fun _ -> Obs.Counter.create ())
+  let latency = Array.init Protocol.op_count (fun _ -> Obs.Histogram.create ())
+  let accepted = Obs.Counter.create ()
+  let op_errors = Obs.Counter.create ()
+  let protocol_errors = Obs.Counter.create ()
+
+  let record idx dt =
+    Obs.Counter.incr requests.(idx);
+    Obs.Histogram.record latency.(idx) dt
+
+  let reset () =
+    Array.iter Obs.Counter.reset requests;
+    Array.iter Obs.Histogram.reset latency;
+    Obs.Counter.reset accepted;
+    Obs.Counter.reset op_errors;
+    Obs.Counter.reset protocol_errors
+
+  (** Cumulative counters as an alist (tests, JSON reports). *)
+  let snapshot () =
+    let per_op =
+      Array.to_list
+        (Array.mapi
+           (fun i name -> (name, Obs.Counter.sum requests.(i)))
+           op_names)
+    in
+    per_op
+    @ [
+        ("accepted", Obs.Counter.sum accepted);
+        ("op_errors", Obs.Counter.sum op_errors);
+        ("protocol_errors", Obs.Counter.sum protocol_errors);
+      ]
+
+  (** Append the patserve metric families to an exposition; the shape
+      [Harness.Live.set_extra_producer] expects. *)
+  let emit b =
+    let open Obs.Prometheus in
+    Array.iteri
+      (fun i name ->
+        counter b ~name:"patserve_requests_total"
+          ~help:"Requests served, by opcode" ~labels:[ ("op", name) ]
+          (float_of_int (Obs.Counter.sum requests.(i))))
+      op_names;
+    Array.iteri
+      (fun i name ->
+        histogram_summary b ~name:"patserve_request_latency_ns"
+          ~help:"Server-side request handling latency, by opcode"
+          ~labels:[ ("op", name) ]
+          (Obs.Histogram.snapshot latency.(i)))
+      op_names;
+    counter b ~name:"patserve_connections_accepted_total"
+      ~help:"Connections accepted"
+      (float_of_int (Obs.Counter.sum accepted));
+    counter b ~name:"patserve_op_errors_total"
+      ~help:"Requests that failed at the application level"
+      (float_of_int (Obs.Counter.sum op_errors));
+    counter b ~name:"patserve_protocol_errors_total"
+      ~help:"Connections torn down for protocol violations"
+      (float_of_int (Obs.Counter.sum protocol_errors))
+end
+
+(* ------------------------------------------------------------------ *)
+(* The served operations, as closures (same pattern as Harness.ops) so
+   the server is agnostic to the module behind them. *)
+
+type ops = {
+  insert : int -> bool;
+  delete : int -> bool;
+  member : int -> bool;
+  replace : remove:int -> add:int -> bool;
+  size : unit -> int;
+}
+
+let ops_of_set (type a)
+    (module S : Dset_intf.CONCURRENT_SET_WITH_REPLACE with type t = a)
+    (t : a) =
+  {
+    insert = S.insert t;
+    delete = S.delete t;
+    member = S.member t;
+    replace = (fun ~remove ~add -> S.replace t ~remove ~add);
+    size = (fun () -> S.size t);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Request execution *)
+
+let rec exec ops op =
+  match op with
+  | Protocol.Insert k -> Protocol.Bool (ops.insert k)
+  | Protocol.Delete k -> Protocol.Bool (ops.delete k)
+  | Protocol.Member k -> Protocol.Bool (ops.member k)
+  | Protocol.Replace { remove; add } -> Protocol.Bool (ops.replace ~remove ~add)
+  | Protocol.Size -> Protocol.Count (ops.size ())
+  | Protocol.Batch l ->
+      Protocol.Many
+        (List.map
+           (fun o ->
+             match exec ops o with
+             | Protocol.Bool b -> b
+             | _ ->
+                 (* The decoder rejects SIZE/BATCH inside BATCH. *)
+                 assert false)
+           l)
+
+let trace_kind = function
+  | Protocol.Insert _ -> Obs.Trace.Insert
+  | Protocol.Delete _ -> Obs.Trace.Delete
+  | Protocol.Member _ -> Obs.Trace.Member
+  | Protocol.Replace _ -> Obs.Trace.Replace
+  | Protocol.Size -> Obs.Trace.Custom "size"
+  | Protocol.Batch _ -> Obs.Trace.Custom "batch"
+
+let trace_key = function
+  | Protocol.Insert k | Protocol.Delete k | Protocol.Member k -> k
+  | Protocol.Replace { remove; _ } -> remove
+  | Protocol.Size | Protocol.Batch _ -> 0
+
+let handle_request ops out { Protocol.seq; op } =
+  let t0 = Obs.Clock.now_ns () in
+  let result =
+    (* An operation raising (key outside the structure's universe, a
+       buggy served module) must answer this request, not kill the
+       worker domain serving every other connection. *)
+    match exec ops op with
+    | r -> r
+    | exception e ->
+        Obs.Counter.incr Metrics.op_errors;
+        Protocol.Error (Printexc.to_string e)
+  in
+  let dt = Obs.Clock.now_ns () - t0 in
+  Metrics.record (Protocol.op_index op) dt;
+  Harness.Live.op dt;
+  (match Obs.Trace.recorder () with
+  | Some tr ->
+      let ok = match result with Protocol.Error _ -> false | _ -> true in
+      Obs.Trace.emit_span tr (trace_kind op) ~key:(trace_key op) ~ok ~retries:0
+        ~attempt:1 ~site:"serve" ~t0_ns:t0
+  | None -> ());
+  Protocol.encode_response out { Protocol.seq; result }
+
+(* ------------------------------------------------------------------ *)
+(* Connection state and the per-worker event loop *)
+
+type conn = {
+  fd : Unix.file_descr;
+  reader : Protocol.Reader.t;
+  out : Buffer.t;
+  mutable out_off : int; (* bytes of [out] already on the wire *)
+  mutable closing : bool; (* EOF seen or protocol error sent *)
+}
+
+let pending c = Buffer.length c.out - c.out_off
+
+let force_close conns c =
+  (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error (_, _, _) -> ());
+  Obs.Net.close_noerr c.fd;
+  Hashtbl.remove conns c.fd
+
+(* Flush as much buffered output as the socket accepts; true while the
+   connection is still usable. *)
+let flush_out conns c =
+  let n = pending c in
+  if n = 0 then true
+  else begin
+    Chaos.point Chaos.Net_write;
+    let b = Buffer.to_bytes c.out in
+    match Unix.write c.fd b c.out_off n with
+    | written ->
+        c.out_off <- c.out_off + written;
+        if pending c = 0 then begin
+          Buffer.clear c.out;
+          c.out_off <- 0
+        end;
+        true
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        true
+    | exception Unix.Unix_error (_, _, _) ->
+        force_close conns c;
+        false
+  end
+
+let protocol_failure c msg =
+  Obs.Counter.incr Metrics.protocol_errors;
+  Protocol.encode_response c.out { Protocol.seq = 0; result = Protocol.Error msg };
+  c.closing <- true
+
+(* Decode and execute every complete frame buffered on [c] — this inner
+   loop is where pipelining pays: one read syscall can carry a whole
+   window of requests, answered with one write. *)
+let process_frames ops c =
+  let rec go () =
+    if not c.closing then
+      match Protocol.Reader.next_payload c.reader with
+      | `None -> ()
+      | `Bad msg -> protocol_failure c msg
+      | `Payload (buf, off, len) -> (
+          Chaos.point Chaos.Net_decode;
+          match Protocol.decode_request buf ~off ~len with
+          | Result.Error msg -> protocol_failure c msg
+          | Result.Ok req ->
+              handle_request ops c.out req;
+              go ())
+  in
+  go ()
+
+let handle_read ops conns scratch c =
+  Chaos.point Chaos.Net_read;
+  match Unix.read c.fd scratch 0 (Bytes.length scratch) with
+  | 0 ->
+      (* Orderly EOF: answer whatever complete frames are already
+         buffered, flush, then close. *)
+      process_frames ops c;
+      c.closing <- true;
+      ignore (flush_out conns c)
+  | n ->
+      Protocol.Reader.feed c.reader scratch n;
+      process_frames ops c;
+      ignore (flush_out conns c)
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      ()
+  | exception Unix.Unix_error (_, _, _) -> force_close conns c
+
+let accept_new conns lsock =
+  match Unix.accept lsock with
+  | fd, _ ->
+      Chaos.point Chaos.Net_accept;
+      Obs.Counter.incr Metrics.accepted;
+      Unix.set_nonblock fd;
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true
+       with Unix.Unix_error (_, _, _) -> ());
+      Hashtbl.replace conns fd
+        {
+          fd;
+          reader = Protocol.Reader.create ();
+          out = Buffer.create 4096;
+          out_off = 0;
+          closing = false;
+        }
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      ()
+  | exception Unix.Unix_error (_, _, _) -> ()
+
+let worker_loop ops drain_s ~stopping lsock =
+  (* Idempotent across workers; guarantees accept never blocks the
+     event loop even in a single-worker configuration. *)
+  Unix.set_nonblock lsock;
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  let scratch = Bytes.create 65536 in
+  let drain_deadline = ref None in
+  let all_conns () = Hashtbl.fold (fun _ c acc -> c :: acc) conns [] in
+  let rec loop () =
+    let stop = stopping () in
+    (match (!drain_deadline, stop) with
+    | None, true ->
+        (* Graceful drain: stop accepting, keep serving live
+           connections for up to [drain_s], then cut them off. *)
+        drain_deadline :=
+          Some (Unix.gettimeofday () +. Atomic.get drain_s)
+    | _ -> ());
+    let expired =
+      match !drain_deadline with
+      | Some d -> Hashtbl.length conns = 0 || Unix.gettimeofday () > d
+      | None -> false
+    in
+    if expired then List.iter (force_close conns) (all_conns ())
+    else begin
+      let cs = all_conns () in
+      let rds =
+        (if stop then [] else [ lsock ])
+        @ List.filter_map
+            (fun c -> if c.closing then None else Some c.fd)
+            cs
+      in
+      let wrs = List.filter_map (fun c -> if pending c > 0 then Some c.fd else None) cs in
+      (match Unix.select rds wrs [] 0.1 with
+      | rd, wr, _ ->
+          if (not stop) && List.memq lsock rd then accept_new conns lsock;
+          List.iter
+            (fun fd ->
+              if fd != lsock then
+                match Hashtbl.find_opt conns fd with
+                | Some c -> handle_read ops conns scratch c
+                | None -> ())
+            rd;
+          List.iter
+            (fun fd ->
+              match Hashtbl.find_opt conns fd with
+              | Some c -> ignore (flush_out conns c)
+              | None -> ())
+            wr;
+          (* Reap connections that have said goodbye and been fully
+             answered. *)
+          List.iter
+            (fun c ->
+              if c.closing && pending c = 0 && Hashtbl.mem conns c.fd then
+                force_close conns c)
+            (all_conns ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle *)
+
+type t = { net : Obs.Net.t; drain_s : float Atomic.t }
+
+(** [start ops] binds [addr:port] ([port = 0] for ephemeral; see
+    {!port}) and serves on [domains] worker domains.  All workers share
+    the listening socket (non-blocking, so racing accepts are benign)
+    and the same [ops] — the served structure must tolerate concurrent
+    calls, which is the entire point of serving a non-blocking trie. *)
+let start ?(addr = "127.0.0.1") ?(port = 0) ?(domains = 2) ?(backlog = 64) ops =
+  let drain_s = Atomic.make 1.0 in
+  let net =
+    Obs.Net.start ~addr ~backlog ~domains ~port (worker_loop ops drain_s)
+  in
+  { net; drain_s }
+
+let port t = Obs.Net.port t.net
+
+(** Graceful-drain stop, idempotent: stop accepting, give in-flight
+    connections up to [drain_s] (default 1s) to be answered and closed,
+    then join the workers and close the listening socket. *)
+let stop ?(drain_s = 1.0) t =
+  Atomic.set t.drain_s drain_s;
+  Obs.Net.stop t.net
+
+(* ------------------------------------------------------------------ *)
+(* Loopback adapter: a served set re-packaged as an ordinary
+   CONCURRENT_SET_WITH_REPLACE, so generic tests (the registry
+   batteries, the linearizability checker) run unmodified with every
+   operation making a real protocol round trip over localhost. *)
+
+module Loopback (S : Dset_intf.CONCURRENT_SET_WITH_REPLACE) : sig
+  include Dset_intf.CONCURRENT_SET_WITH_REPLACE
+
+  val shutdown : t -> unit
+  (** Stop the instance's server (also registered via [at_exit]). *)
+end = struct
+  type server = t (* the enclosing module's server handle *)
+
+  type t = {
+    id : int;
+    universe : int;
+    server : server;
+    port : int;
+    inner : S.t; (* keeps the served structure alive *)
+  }
+
+  let name = S.name ^ "/net"
+
+  let next_id = Atomic.make 0
+
+  (* Every domain talks to a given instance over its own connection
+     (the client is not domain-safe); lazily established, keyed by
+     instance id.  Connections are reclaimed with the domain. *)
+  let clients_key : (int, Client.t) Hashtbl.t Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+  let client inst =
+    let tbl = Domain.DLS.get clients_key in
+    match Hashtbl.find_opt tbl inst.id with
+    | Some c -> c
+    | None ->
+        let c = Client.connect ~port:inst.port () in
+        Hashtbl.add tbl inst.id c;
+        c
+
+  (* Stop the leaked servers of instances nobody shut down explicitly —
+     generic test code has no close hook in the signature. *)
+  let live : (int, t) Hashtbl.t = Hashtbl.create 8
+  let live_mu = Mutex.create ()
+  let at_exit_registered = ref false
+  let stop_instance inst = stop ~drain_s:0.2 inst.server
+
+  let shutdown inst =
+    Mutex.lock live_mu;
+    Hashtbl.remove live inst.id;
+    Mutex.unlock live_mu;
+    stop_instance inst
+
+  let register inst =
+    Mutex.lock live_mu;
+    if not !at_exit_registered then begin
+      at_exit_registered := true;
+      at_exit (fun () ->
+          Mutex.lock live_mu;
+          let all = Hashtbl.fold (fun _ i acc -> i :: acc) live [] in
+          Hashtbl.reset live;
+          Mutex.unlock live_mu;
+          List.iter stop_instance all)
+    end;
+    Hashtbl.replace live inst.id inst;
+    Mutex.unlock live_mu
+
+  let create ~universe () =
+    let inner = S.create ~universe () in
+    let server = start ~port:0 ~domains:2 (ops_of_set (module S) inner) in
+    let inst =
+      {
+        id = Atomic.fetch_and_add next_id 1;
+        universe;
+        server;
+        port = port server;
+        inner;
+      }
+    in
+    register inst;
+    inst
+
+  let insert t k = Client.insert (client t) k
+  let delete t k = Client.delete (client t) k
+  let member t k = Client.member (client t) k
+  let replace t ~remove ~add = Client.replace (client t) ~remove ~add
+  let size t = Client.size (client t)
+
+  (* The protocol deliberately has no LIST bulk dump; enumerate the
+     bounded universe with pipelined MEMBER batches instead (quiescent
+     accuracy, which is all the signature promises). *)
+  let to_list t =
+    let c = client t in
+    let acc = ref [] in
+    let k = ref 0 in
+    while !k < t.universe do
+      let hi = min t.universe (!k + 512) in
+      let ops = List.init (hi - !k) (fun i -> Protocol.Member (!k + i)) in
+      let base = !k in
+      List.iteri
+        (fun i b -> if b then acc := (base + i) :: !acc)
+        (Client.batch c ops);
+      k := hi
+    done;
+    List.rev !acc
+end

@@ -313,11 +313,29 @@ let test_json_escapes () =
     "unicode escape below 0x80" true
     (J.of_string "\"\\u0041\\u005a\"" = J.Str "AZ");
   Alcotest.(check bool)
-    "unicode escape above 0x7f degrades, no crash" true
-    (match J.of_string "\"\\u00e9\"" with J.Str _ -> true | _ -> false);
-  (match J.of_string "\"\\u00" with
-  | exception J.Parse_error _ -> ()
-  | _ -> Alcotest.fail "truncated \\u escape must fail");
+    "two-byte UTF-8 from \\u escape" true
+    (J.of_string "\"\\u00e9\"" = J.Str "\xc3\xa9");
+  Alcotest.(check bool)
+    "three-byte UTF-8 from \\u escape" true
+    (J.of_string "\"\\u20ac\"" = J.Str "\xe2\x82\xac");
+  Alcotest.(check bool)
+    "surrogate pair combines to four-byte UTF-8" true
+    (J.of_string "\"\\ud83d\\ude00\"" = J.Str "\xf0\x9f\x98\x80");
+  let fails label input =
+    match J.of_string input with
+    | exception J.Parse_error _ -> ()
+    | _ -> Alcotest.fail (label ^ " must fail")
+  in
+  fails "truncated \\u escape" "\"\\u00";
+  fails "truncated \\u escape before quote" "\"\\u00e\"";
+  fails "non-hex in \\u escape" "\"\\uzzzz\"";
+  fails "sign accepted by int_of_string" "\"\\u-123\"";
+  fails "underscore accepted by int_of_string" "\"\\u12_3\"";
+  fails "lone high surrogate" "\"\\ud83d\"";
+  fails "high surrogate + non-escape" "\"\\ud83dxx\"";
+  fails "high surrogate + non-surrogate escape" "\"\\ud83d\\u0041\"";
+  fails "lone low surrogate" "\"\\ude00\"";
+  fails "unknown escape" "\"\\x41\"";
   (* Our emitter escapes control characters so they round-trip. *)
   let s = "line1\nline2\ttab \"quoted\" back\\slash" in
   Alcotest.(check bool)

@@ -1,0 +1,258 @@
+(* Wire-codec tests for the patserve protocol: every opcode round-trips
+   through the framing layer, and hostile bytes — truncations, oversized
+   length prefixes, garbage — come back as clean protocol errors, never
+   as an exception (a decode exception would escape into a server worker
+   domain and take every connection it serves down with it). *)
+
+module P = Server.Protocol
+
+let encode_frame encode v =
+  let b = Buffer.create 64 in
+  encode b v;
+  Buffer.to_bytes b
+
+(* Feed [bytes] to a fresh reader in [chunk]-sized pieces and collect
+   every decoded payload via [decode]. *)
+let decode_stream ?(chunk = max_int) decode bytes =
+  let r = P.Reader.create () in
+  let n = Bytes.length bytes in
+  let out = ref [] in
+  let bad = ref None in
+  let rec drain () =
+    match P.Reader.next_payload r with
+    | `None -> ()
+    | `Bad msg -> bad := Some msg
+    | `Payload (buf, off, len) ->
+        out := decode buf ~off ~len :: !out;
+        drain ()
+  in
+  let pos = ref 0 in
+  while !pos < n && !bad = None do
+    let len = min chunk (n - !pos) in
+    P.Reader.feed r (Bytes.sub bytes !pos len) len;
+    pos := !pos + len;
+    drain ()
+  done;
+  (List.rev !out, !bad)
+
+let roundtrip_request req =
+  match decode_stream P.decode_request (encode_frame P.encode_request req) with
+  | [ Ok got ], None -> got
+  | [ Error m ], None -> Alcotest.failf "decode error: %s" m
+  | _, Some m -> Alcotest.failf "framing error: %s" m
+  | l, None -> Alcotest.failf "expected 1 frame, got %d" (List.length l)
+
+let roundtrip_response resp =
+  match decode_stream P.decode_response (encode_frame P.encode_response resp) with
+  | [ Ok got ], None -> got
+  | [ Error m ], None -> Alcotest.failf "decode error: %s" m
+  | _, Some m -> Alcotest.failf "framing error: %s" m
+  | l, None -> Alcotest.failf "expected 1 frame, got %d" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* Round trips *)
+
+let test_request_roundtrips () =
+  List.iter
+    (fun op ->
+      let req = { P.seq = 7; op } in
+      if roundtrip_request req <> req then
+        Alcotest.failf "%s did not round-trip" (P.op_name op))
+    [
+      P.Insert 0;
+      P.Insert max_int;
+      P.Delete 42;
+      P.Member 123456789;
+      P.Replace { remove = 1; add = 2 };
+      P.Size;
+      P.Batch [ P.Insert 1; P.Delete 2; P.Member 3; P.Replace { remove = 4; add = 5 } ];
+      P.Batch [];
+    ]
+
+let test_response_roundtrips () =
+  List.iter
+    (fun result ->
+      let resp = { P.seq = 99; result } in
+      if roundtrip_response resp <> resp then Alcotest.fail "response round-trip")
+    [
+      P.Bool true;
+      P.Bool false;
+      P.Count 0;
+      P.Count max_int;
+      P.Many [];
+      P.Many [ true; false; true ];
+      P.Error "no such thing";
+      P.Error "";
+    ]
+
+let test_seq_bounds () =
+  List.iter
+    (fun seq ->
+      let req = { P.seq; op = P.Size } in
+      Alcotest.(check int) "seq" seq (roundtrip_request req).P.seq)
+    [ 0; 1; 0xFFFFFFFF ];
+  List.iter
+    (fun seq ->
+      match encode_frame P.encode_request { P.seq; op = P.Size } with
+      | _ -> Alcotest.failf "seq %d accepted" seq
+      | exception Invalid_argument _ -> ())
+    [ -1; 0x100000000 ]
+
+let test_encode_rejects_bad_batches () =
+  List.iter
+    (fun op ->
+      match encode_frame P.encode_request { P.seq = 1; op } with
+      | _ -> Alcotest.fail "bad batch accepted"
+      | exception Invalid_argument _ -> ())
+    [ P.Batch [ P.Size ]; P.Batch [ P.Batch [] ] ]
+
+(* qcheck: arbitrary op trees (bounded) survive the full stack, even
+   when the stream arrives one byte at a time. *)
+let gen_simple_op =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun k -> P.Insert k) (int_bound 1_000_000);
+        map (fun k -> P.Delete k) (int_bound 1_000_000);
+        map (fun k -> P.Member k) (int_bound 1_000_000);
+        map2
+          (fun remove add -> P.Replace { remove; add })
+          (int_bound 1_000_000) (int_bound 1_000_000);
+      ])
+
+let gen_op =
+  QCheck2.Gen.(
+    oneof
+      [
+        gen_simple_op;
+        return P.Size;
+        map (fun l -> P.Batch l) (list_size (int_bound 20) gen_simple_op);
+      ])
+
+let prop_pipeline_roundtrip =
+  Tutil.qtest ~count:100 "pipelined frames round-trip bytewise"
+    QCheck2.Gen.(list_size (int_bound 10) gen_op)
+    (fun ops ->
+      let reqs = List.mapi (fun i op -> { P.seq = i + 1; op }) ops in
+      let b = Buffer.create 256 in
+      List.iter (P.encode_request b) reqs;
+      let got, bad = decode_stream ~chunk:1 P.decode_request (Buffer.to_bytes b) in
+      bad = None && got = List.map (fun r -> Ok r) reqs)
+
+(* ------------------------------------------------------------------ *)
+(* Hostile input *)
+
+let test_truncation_never_decodes () =
+  (* Every strict prefix of a valid frame must yield nothing (waiting
+     for more bytes), not a bogus decode and not an exception. *)
+  let frame =
+    encode_frame P.encode_request
+      { P.seq = 5; op = P.Replace { remove = 9; add = 10 } }
+  in
+  for cut = 0 to Bytes.length frame - 1 do
+    match decode_stream P.decode_request (Bytes.sub frame 0 cut) with
+    | [], None -> ()
+    | _, Some m -> Alcotest.failf "prefix of %d bytes: framing error %s" cut m
+    | l, None -> Alcotest.failf "prefix of %d bytes decoded %d frames" cut (List.length l)
+  done
+
+let bad_frame bytes =
+  match decode_stream P.decode_request bytes with
+  | _, Some _ -> ()
+  | l, None ->
+      Alcotest.failf "hostile frame accepted (%d payloads, %d buffered)"
+        (List.length l) (Bytes.length bytes)
+
+let u32_frame_header n rest =
+  let b = Buffer.create 16 in
+  Buffer.add_int32_be b (Int32.of_int n);
+  Buffer.add_string b rest;
+  Buffer.to_bytes b
+
+let test_hostile_prefixes () =
+  (* Oversized length prefix: rejected before any allocation. *)
+  bad_frame (u32_frame_header (P.max_frame_payload + 1) "");
+  bad_frame (u32_frame_header 0xFFFFFFFF "");
+  (* Undersized: a payload cannot even hold seq + opcode. *)
+  bad_frame (u32_frame_header 0 "");
+  bad_frame (u32_frame_header 4 "xxxx")
+
+let decode_err payload =
+  let bytes = u32_frame_header (String.length payload) payload in
+  match decode_stream P.decode_request bytes with
+  | [ Error _ ], None -> ()
+  | [ Ok _ ], None -> Alcotest.fail "garbage payload decoded"
+  | _, Some m -> Alcotest.failf "framing (not decode) error: %s" m
+  | _ -> Alcotest.fail "unexpected decode outcome"
+
+let test_garbage_payloads () =
+  decode_err "\x00\x00\x00\x01\xC8";           (* unknown opcode 200 *)
+  decode_err "\x00\x00\x00\x01\x01\x00\x00";   (* INSERT with truncated key *)
+  decode_err "\x00\x00\x00\x01\x04\x00\x00\x00\x00\x00\x00\x00\x01"; (* REPLACE missing add *)
+  decode_err "\x00\x00\x00\x01\x05\xFF";       (* SIZE with trailing bytes *)
+  decode_err "\x00\x00\x00\x01\x06\x00\x01\x06\x00\x00"; (* nested BATCH *)
+  decode_err "\x00\x00\x00\x01\x06\x00\x01\x05";         (* SIZE inside BATCH *)
+  decode_err "\x00\x00\x00\x01\x06\x00\x02\x03\x00\x00\x00\x00\x00\x00\x00\x01"; (* BATCH count beyond body *)
+  (* i64 that does not fit a 63-bit OCaml int *)
+  decode_err "\x00\x00\x00\x01\x01\x80\x00\x00\x00\x00\x00\x00\x00"
+
+let test_garbage_response_payloads () =
+  let err payload =
+    let bytes = u32_frame_header (String.length payload) payload in
+    match decode_stream P.decode_response bytes with
+    | [ Error _ ], None -> ()
+    | _ -> Alcotest.fail "garbage response accepted"
+  in
+  err "\x00\x00\x00\x01\x07";                  (* unknown status 7 *)
+  err "\x00\x00\x00\x01\x02\x00";              (* COUNT with truncated value *)
+  err "\x00\x00\x00\x01\x03\x00\x02\x01";      (* MANY count beyond body *)
+  err "\x00\x00\x00\x01\x03\x00\x01\x02";      (* MANY element not a boolean *)
+  err "\x00\x00\x00\x01\x00\xFF"               (* FALSE with trailing bytes *)
+
+(* The stream stays synchronized across an app-level error: a valid
+   frame after a garbage-payload frame still decodes. *)
+let test_resync_after_decode_error () =
+  let b = Buffer.create 64 in
+  Buffer.add_bytes b (u32_frame_header 5 "\x00\x00\x00\x01\xC8");
+  P.encode_request b { P.seq = 2; op = P.Size };
+  match decode_stream P.decode_request (Buffer.to_bytes b) with
+  | [ Error _; Ok { P.seq = 2; op = P.Size } ], None -> ()
+  | _ -> Alcotest.fail "stream did not resynchronize after a bad payload"
+
+let test_reader_compaction () =
+  (* Many frames through a reader fed in odd-sized chunks: exercises
+     compaction and growth of the internal buffer. *)
+  let b = Buffer.create 4096 in
+  let reqs =
+    List.init 200 (fun i ->
+        { P.seq = i + 1; op = P.Batch (List.init 30 (fun j -> P.Insert (i + j))) })
+  in
+  List.iter (P.encode_request b) reqs;
+  let got, bad = decode_stream ~chunk:7 P.decode_request (Buffer.to_bytes b) in
+  Alcotest.(check bool) "no framing error" true (bad = None);
+  Alcotest.(check bool) "all frames" true (got = List.map (fun r -> Ok r) reqs)
+
+let () =
+  Alcotest.run "protocol"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "requests" `Quick test_request_roundtrips;
+          Alcotest.test_case "responses" `Quick test_response_roundtrips;
+          Alcotest.test_case "seq bounds" `Quick test_seq_bounds;
+          Alcotest.test_case "encode rejects bad batches" `Quick
+            test_encode_rejects_bad_batches;
+          prop_pipeline_roundtrip;
+        ] );
+      ( "hostile",
+        [
+          Alcotest.test_case "truncation" `Quick test_truncation_never_decodes;
+          Alcotest.test_case "length prefixes" `Quick test_hostile_prefixes;
+          Alcotest.test_case "garbage requests" `Quick test_garbage_payloads;
+          Alcotest.test_case "garbage responses" `Quick
+            test_garbage_response_payloads;
+          Alcotest.test_case "resync after bad payload" `Quick
+            test_resync_after_decode_error;
+          Alcotest.test_case "reader compaction" `Quick test_reader_compaction;
+        ] );
+    ]

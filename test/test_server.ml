@@ -1,0 +1,297 @@
+(* End-to-end tests of the patserve server: semantics against a model
+   over a real loopback connection, pipelining, batch, error handling
+   (application-level errors leave the stream usable, framing-level
+   errors close it without hurting other connections), graceful stop,
+   the closed-loop load generator's size accounting, and a
+   linearizability check where every operation is a network round
+   trip. *)
+
+module IS = Set.Make (Int)
+module P = Server.Protocol
+
+let pat_server ?(domains = 2) ~universe () =
+  let trie = Core.Patricia.create ~universe () in
+  let ops =
+    Server.
+      {
+        insert = Core.Patricia.insert trie;
+        delete = Core.Patricia.delete trie;
+        member = Core.Patricia.member trie;
+        replace = (fun ~remove ~add -> Core.Patricia.replace trie ~remove ~add);
+        size = (fun () -> Core.Patricia.size trie);
+      }
+  in
+  (trie, Server.start ~port:0 ~domains ops)
+
+let with_server ?domains ~universe f =
+  let trie, srv = pat_server ?domains ~universe () in
+  Fun.protect ~finally:(fun () -> Server.stop ~drain_s:0.5 srv) @@ fun () ->
+  f trie (Server.port srv)
+
+let with_client port f =
+  let c = Server.Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Server.Client.close c) @@ fun () -> f c
+
+(* ------------------------------------------------------------------ *)
+
+let test_model_over_network () =
+  with_server ~universe:256 @@ fun _ port ->
+  with_client port @@ fun c ->
+  let rng = Rng.of_int_seed 7 in
+  let model = ref IS.empty in
+  for step = 1 to 5_000 do
+    let k = Rng.int rng 256 in
+    match Rng.int rng 4 with
+    | 0 ->
+        let e = not (IS.mem k !model) in
+        if Server.Client.insert c k <> e then
+          Alcotest.failf "insert %d wrong at step %d" k step;
+        model := IS.add k !model
+    | 1 ->
+        let e = IS.mem k !model in
+        if Server.Client.delete c k <> e then
+          Alcotest.failf "delete %d wrong at step %d" k step;
+        model := IS.remove k !model
+    | 2 ->
+        if Server.Client.member c k <> IS.mem k !model then
+          Alcotest.failf "member %d wrong at step %d" k step
+    | _ ->
+        let add = Rng.int rng 256 in
+        let e = IS.mem k !model && not (IS.mem add !model) in
+        if Server.Client.replace c ~remove:k ~add <> e then
+          Alcotest.failf "replace %d->%d wrong at step %d" k add step;
+        if e then model := IS.add add (IS.remove k !model)
+  done;
+  Alcotest.(check int) "final size" (IS.cardinal !model) (Server.Client.size c)
+
+let test_pipelining_order () =
+  with_server ~universe:1_024 @@ fun _ port ->
+  with_client port @@ fun c ->
+  (* A full window sent before any response is read; responses must
+     come back in request order with matching tags, and the effects
+     must chain (insert k answered before member k). *)
+  let ops =
+    List.concat_map (fun k -> [ P.Insert k; P.Member k; P.Delete k ])
+      (List.init 100 Fun.id)
+  in
+  let results = Server.Client.pipeline c ops in
+  Alcotest.(check int) "response count" (List.length ops) (List.length results);
+  List.iteri
+    (fun i r ->
+      match r with
+      | P.Bool b ->
+          if not b then Alcotest.failf "pipelined op %d answered false" i
+      | _ -> Alcotest.failf "pipelined op %d: unexpected result" i)
+    results
+
+let test_batch () =
+  with_server ~universe:512 @@ fun _ port ->
+  with_client port @@ fun c ->
+  let keys = List.init 300 (fun i -> i) in
+  let r1 = Server.Client.batch c (List.map (fun k -> P.Insert k) keys) in
+  Alcotest.(check bool) "all inserted" true (List.for_all Fun.id r1);
+  let r2 = Server.Client.batch c (List.map (fun k -> P.Member k) keys) in
+  Alcotest.(check bool) "all present" true (List.for_all Fun.id r2);
+  Alcotest.(check int) "size" 300 (Server.Client.size c)
+
+let test_app_error_keeps_stream () =
+  with_server ~universe:16 @@ fun _ port ->
+  with_client port @@ fun c ->
+  (* Key 1000 is outside the trie's universe: the operation raises on
+     the server, which must answer this request with ERROR and keep
+     serving the connection. *)
+  let results =
+    Server.Client.pipeline c [ P.Insert 3; P.Insert 1000; P.Insert 5 ]
+  in
+  (match results with
+  | [ P.Bool true; P.Error _; P.Bool true ] -> ()
+  | _ -> Alcotest.fail "expected Bool/Error/Bool");
+  Alcotest.(check int) "stream still usable" 2 (Server.Client.size c)
+
+let read_until_eof fd =
+  let buf = Bytes.create 4096 in
+  let out = Buffer.create 64 in
+  let rec go () =
+    match Unix.read fd buf 0 4096 with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes out buf 0 n;
+        go ()
+  in
+  (try go () with Unix.Unix_error (_, _, _) -> ());
+  Buffer.to_bytes out
+
+let test_framing_error_closes_connection () =
+  with_server ~universe:16 @@ fun _ port ->
+  (* Raw socket with a hostile 4 GiB length prefix: the server must
+     answer with an ERROR frame tagged seq 0 and close — and other
+     connections must be unaffected. *)
+  with_client port @@ fun healthy ->
+  ignore (Server.Client.insert healthy 1);
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let garbage = Bytes.of_string "\xFF\xFF\xFF\xFF\x00\x00\x00\x00" in
+  ignore (Unix.write fd garbage 0 (Bytes.length garbage));
+  let answer = read_until_eof fd in
+  Unix.close fd;
+  (* One well-formed ERROR response frame, tagged seq 0. *)
+  let r = P.Reader.create () in
+  P.Reader.feed r answer (Bytes.length answer);
+  (match P.Reader.next_payload r with
+  | `Payload (buf, off, len) -> (
+      match P.decode_response buf ~off ~len with
+      | Ok { P.seq = 0; result = P.Error _ } -> ()
+      | Ok _ -> Alcotest.fail "expected an ERROR response tagged seq 0"
+      | Error m -> Alcotest.failf "undecodable error frame: %s" m)
+  | `None -> Alcotest.fail "connection closed without an error frame"
+  | `Bad m -> Alcotest.failf "server sent an unframeable answer: %s" m);
+  (* The healthy connection never noticed. *)
+  Alcotest.(check bool) "other connection fine" true
+    (Server.Client.member healthy 1)
+
+let test_garbage_bytes_never_kill_workers () =
+  with_server ~universe:16 @@ fun _ port ->
+  (* A volley of differently-garbled connections, then a real one: if
+     any worker domain had died on an exception, the final client
+     would hang or fail. *)
+  let volleys =
+    [
+      "\x00\x00\x00\x01\xC8";                         (* short frame, bad opcode *)
+      "\x00\x00\x00\x05\x00\x00\x00\x01\xC8";         (* framed, unknown opcode *)
+      "\x00\x00\x00\x05\x00\x00\x00\x01\x01";         (* framed, truncated body *)
+      "\xFF\xFF\xFF\xFF";                             (* absurd length prefix *)
+      "\x00\x00\x00\x00";                             (* zero length prefix *)
+      "\x00";                                         (* sub-prefix dribble *)
+    ]
+  in
+  List.iter
+    (fun s ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      ignore (Unix.write fd (Bytes.of_string s) 0 (String.length s));
+      (* Half-close, so the dribble cases (no complete frame, hence no
+         error answer) still reach EOF instead of deadlocking. *)
+      (try Unix.shutdown fd Unix.SHUTDOWN_SEND
+       with Unix.Unix_error (_, _, _) -> ());
+      ignore (read_until_eof fd);
+      Unix.close fd)
+    volleys;
+  with_client port @@ fun c ->
+  Alcotest.(check bool) "workers alive" true (Server.Client.insert c 3)
+
+let test_stop_is_graceful_and_idempotent () =
+  let _trie, srv = pat_server ~universe:64 () in
+  let port = Server.port srv in
+  let c = Server.Client.connect ~port () in
+  ignore (Server.Client.insert c 1);
+  (* In-flight pipelined requests are answered during the drain. *)
+  let seqs = Server.Client.send_many c [ P.Member 1; P.Size ] in
+  Server.stop ~drain_s:0.5 srv;
+  (match List.map (fun s -> Server.Client.expect_seq s (Server.Client.recv c)) seqs with
+  | [ P.Bool true; P.Count 1 ] -> ()
+  | _ -> Alcotest.fail "drain did not answer in-flight requests");
+  Server.Client.close c;
+  (* Idempotent. *)
+  Server.stop srv;
+  (* The port is released: binding it again succeeds. *)
+  let sock, port' = Obs.Net.listen_tcp ~addr:"127.0.0.1" ~port ~backlog:1 () in
+  Obs.Net.close_noerr sock;
+  Alcotest.(check int) "port released" port port'
+
+let test_loadgen_size_accounting () =
+  with_server ~domains:3 ~universe:2_048 @@ fun trie port ->
+  let prefilled =
+    Server.Loadgen.prefill ~port ~universe:2_048 ~seed:11 ()
+  in
+  Alcotest.(check int) "prefill half" 1_024 prefilled;
+  let cfg =
+    Server.Loadgen.
+      {
+        default_config with
+        port;
+        domains = 3;
+        depth = 8;
+        seconds = 0.4;
+        universe = 2_048;
+        mix = Harness.Mix.v ~insert:25 ~delete:25 ~find:25 ~replace:25 ();
+        seed = 13;
+      }
+  in
+  let r = Server.Loadgen.run cfg in
+  Alcotest.(check int) "no errors" 0 r.Server.Loadgen.errors;
+  Alcotest.(check bool) "made progress" true (r.Server.Loadgen.ops > 0);
+  (* The whole point of the delta accounting: acknowledged effects add
+     up to the observable size, and the server's size agrees with the
+     structure underneath it. *)
+  with_client port @@ fun c ->
+  let final = Server.Client.size c in
+  Alcotest.(check int) "size = prefill + delta"
+    (prefilled + r.Server.Loadgen.size_delta)
+    final;
+  Alcotest.(check int) "served size = trie size" (Core.Patricia.size trie) final
+
+(* Linearizability with every operation a network round trip.  The ops
+   record hands each recording domain its own connection (the client is
+   not domain-safe); [check] audits the trie behind the server. *)
+let leaked_servers : Server.t list ref = ref []
+
+let served_pat_ops ~universe () =
+  let trie, srv = pat_server ~universe () in
+  leaked_servers := srv :: !leaked_servers;
+  let port = Server.port srv in
+  let key = Domain.DLS.new_key (fun () -> Server.Client.connect ~port ()) in
+  let c () = Domain.DLS.get key in
+  Tutil.
+    {
+      label = "PAT/net";
+      insert = (fun k -> Server.Client.insert (c ()) k);
+      delete = (fun k -> Server.Client.delete (c ()) k);
+      member = (fun k -> Server.Client.member (c ()) k);
+      to_list = (fun () -> Core.Patricia.to_list trie);
+      size = (fun () -> Server.Client.size (c ()));
+      check = (fun () -> Core.Patricia.check_invariants trie);
+      replace =
+        Some (fun ~remove ~add -> Server.Client.replace (c ()) ~remove ~add);
+    }
+
+let test_linearizable_over_network () =
+  Fun.protect ~finally:(fun () ->
+      List.iter (Server.stop ~drain_s:0.1) !leaked_servers;
+      leaked_servers := [])
+  @@ fun () ->
+  for round = 1 to 5 do
+    Tutil.linearizable_run ~threads:3 ~ops_per_thread:10 ~universe:8
+      ~seed:(round * 37) ~with_replace:true served_pat_ops
+  done
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "model over network" `Quick test_model_over_network;
+          Alcotest.test_case "pipelining order" `Quick test_pipelining_order;
+          Alcotest.test_case "batch" `Quick test_batch;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "app error keeps stream" `Quick
+            test_app_error_keeps_stream;
+          Alcotest.test_case "framing error closes connection" `Quick
+            test_framing_error_closes_connection;
+          Alcotest.test_case "garbage never kills workers" `Quick
+            test_garbage_bytes_never_kill_workers;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "graceful idempotent stop" `Quick
+            test_stop_is_graceful_and_idempotent;
+        ] );
+      ( "load",
+        [
+          Alcotest.test_case "loadgen size accounting" `Quick
+            test_loadgen_size_accounting;
+          Alcotest.test_case "linearizable over network" `Quick
+            test_linearizable_over_network;
+        ] );
+    ]
