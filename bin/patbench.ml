@@ -673,6 +673,29 @@ let ablation_cmd =
 (* ------------------------------------------------------------------ *)
 (* serve subcommand: the trie behind the patserve binary protocol *)
 
+module Pstore = Persist.Store.Make (struct
+  include Core.Patricia
+
+  (* [Patricia.create]'s optional [?record_stats] keeps it out of
+     [CONCURRENT_SET_WITH_REPLACE] verbatim. *)
+  let create ~universe () = Core.Patricia.create ~universe ()
+end)
+
+let pp_recovery ppf (ri : Pstore.recovery_info) =
+  Format.fprintf ppf
+    "recovered: checkpoint %s (%d keys%s), wal %d segments / %d records / %d \
+     replayed%s, last seq %d"
+    (match ri.Pstore.checkpoint_seq with
+    | Some s -> Printf.sprintf "@%d" s
+    | None -> "none")
+    ri.Pstore.checkpoint_keys
+    (if ri.Pstore.checkpoints_skipped > 0 then
+       Printf.sprintf ", %d corrupt skipped" ri.Pstore.checkpoints_skipped
+     else "")
+    ri.Pstore.wal_segments ri.Pstore.wal_records ri.Pstore.wal_replayed
+    (if ri.Pstore.torn_tail then ", torn tail truncated" else "")
+    ri.Pstore.last_seq
+
 let serve_cmd =
   let port_arg =
     let doc = "TCP port to serve the set protocol on (0 = ephemeral)." in
@@ -703,26 +726,116 @@ let serve_cmd =
                without it, serve until SIGINT/SIGTERM." in
     Arg.(value & opt (some float) None & info [ "seconds" ] ~doc)
   in
-  let run port range domains metrics_port seconds =
-    let trie = Core.Patricia.create ~universe:range () in
-    let ops =
-      Server.
-        {
-          insert = Core.Patricia.insert trie;
-          delete = Core.Patricia.delete trie;
-          member = Core.Patricia.member trie;
-          replace = (fun ~remove ~add -> Core.Patricia.replace trie ~remove ~add);
-          size = (fun () -> Core.Patricia.size trie);
-        }
+  let data_dir_arg =
+    let doc =
+      "Durable state directory (WAL segments + checkpoints).  On startup the \
+       newest valid checkpoint is loaded and the log tail replayed; without \
+       this flag the served set is purely in-memory."
     in
-    let srv = Server.start ~port ~domains ops in
-    Format.printf "patserve: %d domains on 127.0.0.1:%d, range (0, %d)@."
-      domains (Server.port srv) range;
+    Arg.(value & opt (some string) None & info [ "data-dir" ] ~doc ~docv:"DIR")
+  in
+  let durability_arg =
+    let doc =
+      "With --data-dir: $(b,none) recovers but logs nothing, $(b,async) logs \
+       every mutation without fsync (crash loses the unwritten tail), \
+       $(b,sync) group-commits — acknowledgements wait for the batch fsync, \
+       so every acked mutation survives kill -9 and power loss."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("none", `None); ("async", `Async); ("sync", `Sync) ]) `Sync
+      & info [ "durability" ] ~doc)
+  in
+  let checkpoint_s_arg =
+    let doc =
+      "Write a checkpoint of the live trie every $(docv) seconds (beside \
+       traffic, no pause) and delete WAL segments it supersedes."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "checkpoint-s" ] ~doc ~docv:"SECS")
+  in
+  let run port range domains metrics_port seconds data_dir durability
+      checkpoint_s =
+    (* Assemble the served operations, the ack barrier, the periodic-tick
+       work and the teardown from the durability configuration. *)
+    let ops, barrier, tick, teardown, durability_banner =
+      match data_dir with
+      | None ->
+          let trie = Core.Patricia.create ~universe:range () in
+          ( Server.
+              {
+                insert = Core.Patricia.insert trie;
+                delete = Core.Patricia.delete trie;
+                member = Core.Patricia.member trie;
+                replace =
+                  (fun ~remove ~add -> Core.Patricia.replace trie ~remove ~add);
+                size = (fun () -> Core.Patricia.size trie);
+              },
+            (fun () -> ()),
+            (fun () -> ()),
+            (fun () -> ()),
+            "in-memory" )
+      | Some dir ->
+          let mode =
+            match durability with
+            | `None -> Pstore.Ephemeral
+            | `Async -> Pstore.Async
+            | `Sync -> Pstore.Sync
+          in
+          let store = Pstore.open_ ~dir ~universe:range ~mode () in
+          Format.printf "patserve: %a@." pp_recovery
+            (Pstore.recovery_info store);
+          let ops =
+            Server.
+              {
+                insert = Pstore.insert store;
+                delete = Pstore.delete store;
+                member = Pstore.member store;
+                replace =
+                  (fun ~remove ~add -> Pstore.replace store ~remove ~add);
+                size = (fun () -> Pstore.size store);
+              }
+          in
+          let run_checkpoint () =
+            let keys, deleted = Pstore.checkpoint store in
+            Format.printf "patserve: checkpoint (%d keys, %d segments freed)@."
+              keys deleted;
+            Format.print_flush ()
+          in
+          let last_ckpt = ref (Unix.gettimeofday ()) in
+          let tick () =
+            match checkpoint_s with
+            | Some every
+              when mode <> Pstore.Ephemeral
+                   && Unix.gettimeofday () -. !last_ckpt >= every ->
+                run_checkpoint ();
+                last_ckpt := Unix.gettimeofday ()
+            | _ -> ()
+          in
+          let teardown () =
+            (* Final image makes the next open cheap; the writer must
+               still be running (checkpoint awaits durability). *)
+            if mode <> Pstore.Ephemeral then run_checkpoint ();
+            Pstore.close store
+          in
+          ( ops,
+            (fun () -> Pstore.barrier store),
+            tick,
+            teardown,
+            Printf.sprintf "durability=%s dir=%s" (Pstore.mode_name mode) dir )
+    in
+    let srv = Server.start ~port ~domains ~barrier ops in
+    Format.printf "patserve: %d domains on 127.0.0.1:%d, range (0, %d), %s@."
+      domains (Server.port srv) range durability_banner;
     let metrics =
       Option.map
         (fun p ->
           Harness.Live.set_enabled true;
-          Harness.Live.set_extra_producer (Some Server.Metrics.emit);
+          Harness.Live.set_extra_producer
+            (Some
+               (fun b ->
+                 Server.Metrics.emit b;
+                 Persist.Metrics.emit b));
           let s = Obs.Serve.start ~port:p Harness.Live.prometheus in
           Format.printf "serving metrics on http://127.0.0.1:%d/metrics@."
             (Obs.Serve.port s);
@@ -743,11 +856,13 @@ let serve_cmd =
       | None -> false
     in
     while not (Atomic.get stopping || expired ()) do
-      (try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      (try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      tick ()
     done;
     Format.printf "patserve: draining and stopping@.";
     Format.print_flush ();
     Server.stop ~drain_s:1.0 srv;
+    teardown ();
     Option.iter Obs.Serve.stop metrics;
     Harness.Live.set_extra_producer None;
     Harness.Live.set_enabled false
@@ -756,7 +871,58 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ port_arg $ range_arg $ domains_arg $ metrics_port_arg
-      $ seconds_opt_arg)
+      $ seconds_opt_arg $ data_dir_arg $ durability_arg $ checkpoint_s_arg)
+
+(* ------------------------------------------------------------------ *)
+(* recover subcommand: offline recovery / inspection of a data dir *)
+
+let recover_cmd =
+  let data_dir_arg =
+    let doc = "Durable state directory to recover." in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "data-dir" ] ~doc ~docv:"DIR")
+  in
+  let range_arg =
+    Arg.(
+      value & opt int 65_536
+      & info [ "range" ]
+          ~doc:"Key range (universe) the directory was served with.")
+  in
+  let compact_arg =
+    let doc =
+      "After recovering, write a fresh checkpoint of the recovered state and \
+       delete the WAL segments it supersedes."
+    in
+    Arg.(value & flag & info [ "compact" ] ~doc)
+  in
+  let run dir range compact =
+    match Pstore.open_ ~dir ~universe:range ~mode:Pstore.Ephemeral () with
+    | exception Failure m -> `Error (false, m)
+    | store -> (
+        Format.printf "%a@." pp_recovery (Pstore.recovery_info store);
+        Format.printf "recovered set: %d keys@." (Pstore.size store);
+        match Core.Patricia.check_invariants (Pstore.underlying store) with
+        | Result.Error m ->
+            `Error (false, "recovered trie violates invariants: " ^ m)
+        | Result.Ok () ->
+            if compact then begin
+              let keys, deleted = Pstore.checkpoint store in
+              Format.printf "compacted: checkpoint with %d keys, %d segments \
+                             deleted@."
+                keys deleted
+            end;
+            Format.print_flush ();
+            `Ok ())
+  in
+  let doc =
+    "Recover a --data-dir offline: load the newest valid checkpoint, replay \
+     the WAL tail (truncating a torn tail), verify the trie's structural \
+     invariants and report what was recovered."
+  in
+  Cmd.v (Cmd.info "recover" ~doc)
+    Term.(ret (const run $ data_dir_arg $ range_arg $ compact_arg))
 
 (* ------------------------------------------------------------------ *)
 (* load subcommand: closed-loop load generator against a running server *)
@@ -804,6 +970,9 @@ let load_cmd =
               universe = range;
               dist = Harness.Uniform;
               seed;
+              journal = false;
+              tolerate_disconnect = false;
+              partition = false;
             }
         in
         try
@@ -879,4 +1048,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ figure_cmd; extra_cmd; custom_cmd; ablation_cmd; serve_cmd; load_cmd ]))
+          [
+            figure_cmd;
+            extra_cmd;
+            custom_cmd;
+            ablation_cmd;
+            serve_cmd;
+            load_cmd;
+            recover_cmd;
+          ]))

@@ -18,6 +18,9 @@ type site =
   | Net_read
   | Net_write
   | Net_decode
+  | Wal_append
+  | Wal_fsync
+  | Wal_rotate
 
 let all_sites =
   [
@@ -31,6 +34,9 @@ let all_sites =
     Net_read;
     Net_write;
     Net_decode;
+    Wal_append;
+    Wal_fsync;
+    Wal_rotate;
   ]
 
 let site_name = function
@@ -44,6 +50,9 @@ let site_name = function
   | Net_read -> "net_read"
   | Net_write -> "net_write"
   | Net_decode -> "net_decode"
+  | Wal_append -> "wal_append"
+  | Wal_fsync -> "wal_fsync"
+  | Wal_rotate -> "wal_rotate"
 
 let site_index = function
   | Flag_cas -> 0
@@ -56,6 +65,9 @@ let site_index = function
   | Net_read -> 7
   | Net_write -> 8
   | Net_decode -> 9
+  | Wal_append -> 10
+  | Wal_fsync -> 11
+  | Wal_rotate -> 12
 
 let n_sites = List.length all_sites
 

@@ -44,6 +44,14 @@ type site =
   | Net_read  (** patserve: about to read from a connection socket *)
   | Net_write  (** patserve: about to write buffered responses *)
   | Net_decode  (** patserve: about to decode a complete request frame *)
+  | Wal_append
+      (** persist: the log domain is about to write a group-commit batch
+          to the active WAL segment.  A policy stalling here widens the
+          window in which a crash leaves a torn or missing tail. *)
+  | Wal_fsync  (** persist: about to fsync the active WAL segment *)
+  | Wal_rotate
+      (** persist: about to rotate to a fresh WAL segment (close + fsync
+          the old one, create and header-stamp the new one) *)
 
 val all_sites : site list
 val site_name : site -> string

@@ -1,0 +1,41 @@
+(* Table-driven reflected CRC-32, one 256-entry table per polynomial;
+   see crc.mli.  Tables are built once at module init — 2 KiB each,
+   negligible against the I/O this library fronts. *)
+
+let make_table poly =
+  Array.init 256 (fun n ->
+      let c = ref n in
+      for _ = 0 to 7 do
+        if !c land 1 = 1 then c := poly lxor (!c lsr 1) else c := !c lsr 1
+      done;
+      !c)
+
+(* Reflected forms of the generator polynomials. *)
+let table_ieee = make_table 0xEDB88320
+let table_castagnoli = make_table 0x82F63B78
+
+let mask32 = 0xFFFFFFFF
+
+let run table init b ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Crc: offset/length outside buffer";
+  (* Standard reflected update: init and final state are the checksum's
+     one's complement, so incremental calls compose. *)
+  let c = ref (init lxor mask32) in
+  for i = off to off + len - 1 do
+    c :=
+      Array.unsafe_get table ((!c lxor Char.code (Bytes.unsafe_get b i)) land 0xFF)
+      lxor (!c lsr 8)
+  done;
+  !c lxor mask32
+
+let crc32 ?(crc = 0) b ~off ~len = run table_ieee crc b ~off ~len
+let crc32c ?(crc = 0) b ~off ~len = run table_castagnoli crc b ~off ~len
+
+let crc32_string s =
+  let b = Bytes.unsafe_of_string s in
+  crc32 b ~off:0 ~len:(Bytes.length b)
+
+let crc32c_string s =
+  let b = Bytes.unsafe_of_string s in
+  crc32c b ~off:0 ~len:(Bytes.length b)

@@ -1,0 +1,39 @@
+(** Durability layer for the Patricia-trie set server: write-ahead
+    logging, checkpoints, and crash recovery.
+
+    PR 4 put the paper's non-blocking trie behind a socket; this library
+    makes that server's state survive the process.  The design is the
+    classic log-structured pair, adapted to a {e lock-free} structure
+    serving live traffic:
+
+    - {!Wal}: a segmented append-only log with CRC32C-framed records and
+      {e group commit} — worker domains publish acknowledged mutations
+      to a shared queue and a dedicated log domain batches them per
+      fsync, so synchronous durability costs one fsync per batch of
+      concurrent operations rather than one per operation;
+    - {!Checkpoint}: consistent images of a live trie, written
+      side-by-side with concurrent inserts/deletes/replaces using a
+      WAL-cut stamp plus forced tail replay (the snapshot problem
+      Prokopec et al. solve for Ctries, solved here against the log);
+    - {!Store}: a functor packaging any [CONCURRENT_SET_WITH_REPLACE]
+      with open-time recovery (newest valid checkpoint + WAL tail
+      replay, torn tails truncated at the first bad CRC, idempotent
+      under double replay), the sync-ack {!Store.Make.barrier}, and
+      live checkpointing with segment truncation;
+    - {!Crc}: the shared, check-vector-tested CRC-32/CRC-32C
+      implementation both file formats validate with;
+    - {!Metrics}: fsync-latency and batch-size histograms plus
+      byte/record/segment counters, exported through the same live
+      scrape endpoint as everything else.
+
+    Fault injection rides along: the log domain crosses
+    [Chaos.Wal_append], [Chaos.Wal_fsync] and [Chaos.Wal_rotate], so
+    chaos policies can widen crash windows exactly like they perturb
+    the trie's CAS sites — the crash-recovery fuzzer
+    ([test/crash_fuzzer.exe]) drives kills through those windows. *)
+
+module Crc = Crc
+module Wal = Wal
+module Checkpoint = Checkpoint
+module Store = Store
+module Metrics = Metrics

@@ -1,0 +1,209 @@
+(** A durable concurrent set: any [CONCURRENT_SET_WITH_REPLACE] fronted
+    by the segmented WAL ({!Wal}) and checkpoint images
+    ({!Checkpoint}).
+
+    Opening a store recovers: load the newest valid checkpoint, replay
+    the WAL tail ([seq > replay_from]) with {e forced} semantics —
+    insert means present, delete means absent — truncating a torn tail
+    at the first bad CRC, then start a fresh segment for new appends.
+    Forced replay makes recovery idempotent: replaying the same log
+    twice (or over a state that already contains its effects) converges
+    to the same set.
+
+    {2 Durability contract}
+
+    Mutations are applied to the in-memory structure first and published
+    to the log after; acknowledgements gated on {!barrier} (mode
+    {!Sync}) are only released once the group commit holding the
+    operation is on disk.  Recovery therefore restores {e every
+    synchronously-acknowledged operation}, and restores operations in
+    their per-session (per-connection) order — an acknowledged operation
+    also orders before anything issued after its ack was observed,
+    because the ack itself waited for the fsync.  Two {e concurrent,
+    unacknowledged} mutations of the same key from different sessions
+    may be recovered in either order (the WAL records them in publish
+    order, which can differ from the structure's internal linearization
+    of that race); sessions that need cross-session ordering must wait
+    for acks, which is the usual contract of a replicated log.  Under
+    process crash ([kill -9]) every completed [write] survives; under
+    power loss the guarantee covers operations up to the last completed
+    fsync. *)
+
+module Make (S : Dset_intf.CONCURRENT_SET_WITH_REPLACE) = struct
+  type mode =
+    | Ephemeral  (** recover at open, log nothing (read-only durability) *)
+    | Async  (** log every mutation, never fsync, never wait *)
+    | Sync  (** log + group-commit fsync; {!barrier} gates acks *)
+
+  let mode_name = function
+    | Ephemeral -> "none"
+    | Async -> "async"
+    | Sync -> "sync"
+
+  type recovery_info = {
+    checkpoint_seq : int option;  (** [replay_from] of the loaded image *)
+    checkpoint_keys : int;
+    checkpoints_skipped : int;  (** newer-but-corrupt images passed over *)
+    wal_records : int;  (** valid records found in the log *)
+    wal_replayed : int;  (** records actually applied (past the cut) *)
+    wal_segments : int;
+    torn_tail : bool;  (** a torn tail was truncated at a bad CRC *)
+    last_seq : int;  (** highest durable sequence number recovered *)
+  }
+
+  type t = {
+    dir : string;
+    universe : int;
+    mode : mode;
+    set : S.t;
+    writer : Wal.Writer.t option;
+    info : recovery_info;
+    last_logged : int ref Domain.DLS.key;
+    ckpt_mu : Mutex.t;
+  }
+
+  let rec mkdirs dir =
+    if dir <> "" && not (Sys.file_exists dir) then begin
+      mkdirs (Filename.dirname dir);
+      try Unix.mkdir dir 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+
+  let apply_forced set = function
+    | Wal.Insert k -> ignore (S.insert set k : bool)
+    | Wal.Delete k -> ignore (S.delete set k : bool)
+    | Wal.Replace { remove; add } ->
+        ignore (S.delete set remove : bool);
+        ignore (S.insert set add : bool)
+
+  (** [open_ ~dir ~universe ~mode ()] recovers the state persisted in
+      [dir] (creating it if absent) into a fresh [S.t] and, in the
+      logging modes, starts the group-commit writer on a new segment.
+      @raise Failure on corruption that is not a recoverable torn tail
+      (a bad record with more log after it, or a checkpoint for a
+      different universe). *)
+  let open_ ~dir ~universe ~mode ?segment_bytes () =
+    mkdirs dir;
+    let set = S.create ~universe () in
+    let ckpt =
+      match Checkpoint.load_newest ~dir ~universe with
+      | Result.Ok c -> c
+      | Result.Error msg -> failwith ("Persist.Store: " ^ msg)
+    in
+    let replay_from =
+      match ckpt with
+      | Some c ->
+          List.iter (fun k -> ignore (S.insert set k : bool)) c.Checkpoint.keys;
+          c.Checkpoint.replay_from
+      | None -> -1
+    in
+    let scan =
+      match Wal.scan ~dir ~replay_from ~f:(fun ~seq:_ r -> apply_forced set r) with
+      | Result.Ok s -> s
+      | Result.Error msg -> failwith ("Persist.Store: " ^ msg)
+    in
+    let last_seq = max scan.Wal.last_seq replay_from in
+    let info =
+      {
+        checkpoint_seq = Option.map (fun c -> c.Checkpoint.replay_from) ckpt;
+        checkpoint_keys =
+          (match ckpt with Some c -> List.length c.Checkpoint.keys | None -> 0);
+        checkpoints_skipped =
+          (match ckpt with Some c -> c.Checkpoint.skipped | None -> 0);
+        wal_records = scan.Wal.records;
+        wal_replayed = scan.Wal.replayed;
+        wal_segments = scan.Wal.segments;
+        torn_tail = scan.Wal.torn;
+        last_seq;
+      }
+    in
+    let writer =
+      match mode with
+      | Ephemeral -> None
+      | Async | Sync ->
+          Some
+            (Wal.Writer.create ~dir ~start_seq:(last_seq + 1) ?segment_bytes
+               ~fsync:(mode = Sync) ())
+    in
+    {
+      dir;
+      universe;
+      mode;
+      set;
+      writer;
+      info;
+      last_logged = Domain.DLS.new_key (fun () -> ref (-1));
+      ckpt_mu = Mutex.create ();
+    }
+
+  let recovery_info t = t.info
+  let mode t = t.mode
+  let underlying t = t.set
+
+  let log t r =
+    match t.writer with
+    | None -> ()
+    | Some w -> (Domain.DLS.get t.last_logged) := Wal.Writer.append w r
+
+  (* Mutations: apply to the structure, then publish the acknowledged
+     effect.  A [false] result changed nothing and is not logged. *)
+
+  let insert t k =
+    let ok = S.insert t.set k in
+    if ok then log t (Wal.Insert k);
+    ok
+
+  let delete t k =
+    let ok = S.delete t.set k in
+    if ok then log t (Wal.Delete k);
+    ok
+
+  let replace t ~remove ~add =
+    let ok = S.replace t.set ~remove ~add in
+    if ok then log t (Wal.Replace { remove; add });
+    ok
+
+  let member t k = S.member t.set k
+  let size t = S.size t.set
+  let to_list t = S.to_list t.set
+
+  (** Block until this domain's most recent logged mutation is durable.
+      In {!Sync} mode an acknowledgement must not be released before
+      this returns; the patserve server calls it once per processed
+      frame window, which is what makes group commit pay (one fsync per
+      window of pipelined requests, not per request).  No-op in the
+      other modes. *)
+  let barrier t =
+    match t.writer with
+    | Some w when t.mode = Sync ->
+        let last = !(Domain.DLS.get t.last_logged) in
+        if last >= 0 then Wal.Writer.wait_durable w last
+    | _ -> ()
+
+  (** Write a checkpoint of the current contents beside live traffic and
+      delete WAL segments it makes obsolete.  Returns
+      [(keys_serialized, segments_deleted)].  Serialized against itself
+      with a mutex; safe against concurrent mutations (see
+      {!Checkpoint} on why the image + tail replay is consistent). *)
+  let checkpoint t =
+    Mutex.lock t.ckpt_mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.ckpt_mu) @@ fun () ->
+    let s0 =
+      match t.writer with
+      | Some w -> Wal.Writer.last_assigned w
+      | None -> t.info.last_seq
+    in
+    (* The image supersedes everything <= s0; make sure that prefix is
+       on disk before segments carrying it can be deleted. *)
+    (match t.writer with Some w -> Wal.Writer.wait_durable w s0 | None -> ());
+    let keys = S.to_list t.set in
+    ignore
+      (Checkpoint.write ~dir:t.dir ~universe:t.universe ~replay_from:s0 ~keys
+        : string);
+    let deleted = Wal.delete_obsolete_segments ~dir:t.dir ~upto:s0 in
+    (List.length keys, deleted)
+
+  (** Stop the log domain after draining every accepted record (final
+      fsync included).  The store must not be mutated afterwards. *)
+  let close t = Option.iter Wal.Writer.stop t.writer
+end

@@ -1,0 +1,501 @@
+(** Segmented append-only write-ahead log with group commit.
+
+    {2 On-disk format}
+
+    A data directory holds numbered segment files [wal-<base>.seg]
+    ([<base>] = 16 hex digits of the first sequence number the segment
+    may contain).  Each segment is:
+
+    {v
+    header : magic "PATWALS1" | base_seq:u64be | crc32c:u32be (of the 16 bytes before it)
+    record*: len:u32be | crc32c:u32be (of payload) | payload
+    payload: seq:u64be | tag:u8 | key:i64be [ key2:i64be ]
+    tag    : 1 INSERT | 2 DELETE | 3 REPLACE (remove, add)
+    v}
+
+    Sequence numbers are global, dense and strictly increasing across
+    segments; they are what checkpoints cut against ({!Checkpoint}) and
+    what recovery replays from.  A crash can leave the final segment
+    with a torn tail — a record whose bytes are short or whose CRC does
+    not match; {!scan} truncates the file at the first such record and
+    reports it, so a recovered log is always well-formed for the next
+    appender.  Torn bytes can only exist at the tail of the {e last}
+    segment; a bad record in an earlier segment means real corruption
+    and is reported as an error rather than silently dropped.
+
+    {2 Group commit}
+
+    {!Writer.append} may be called from any domain: it assigns the next
+    sequence number, enqueues the record, and returns without touching
+    the file.  A dedicated log domain drains the queue, writes the whole
+    batch with one [write], and (in [~fsync:true] mode) issues one
+    [fsync] for the batch — so synchronous durability costs one fsync
+    per {e batch} of concurrent mutations, not one per operation.
+    Callers needing sync semantics then block in {!Writer.wait_durable}
+    until the batch containing their record is on disk.
+
+    [Chaos] crossings: {!Chaos.Wal_append} before each batch write,
+    {!Chaos.Wal_fsync} before each fsync, {!Chaos.Wal_rotate} before a
+    segment rotation — stalling policies widen the windows in which a
+    kill leaves torn or missing tails, which is exactly what the crash
+    fuzzer drives. *)
+
+type record =
+  | Insert of int
+  | Delete of int
+  | Replace of { remove : int; add : int }
+
+let magic = "PATWALS1"
+let header_len = 8 + 8 + 4
+let frame_overhead = 4 + 4 (* len + crc *)
+let max_record_payload = 4096 (* sanity bound for the scanner *)
+let default_segment_bytes = 8 * 1024 * 1024
+
+let segment_name base = Printf.sprintf "wal-%016x.seg" base
+
+let segment_base_of_name name =
+  if
+    String.length name = 4 + 16 + 4
+    && String.sub name 0 4 = "wal-"
+    && Filename.check_suffix name ".seg"
+  then int_of_string_opt ("0x" ^ String.sub name 4 16)
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Byte plumbing *)
+
+let put_u32 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let put_u64 buf v =
+  put_u32 buf ((v lsr 32) land 0xFFFFFFFF);
+  put_u32 buf (v land 0xFFFFFFFF)
+
+let get_u32 b off =
+  (Char.code (Bytes.get b off) lsl 24)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.get b (off + 3))
+
+let get_u64 b off = (get_u32 b off lsl 32) lor get_u32 b (off + 4)
+
+let write_all fd b off len =
+  let rec go off remaining =
+    if remaining > 0 then
+      match Unix.write fd b off remaining with
+      | n -> go (off + n) (remaining - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off remaining
+  in
+  go off len
+
+let fsync_dir dir =
+  (* Directory fsync pins renames/creates/unlinks for power-loss
+     semantics; best effort — some filesystems reject it. *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error (_, _, _) -> ());
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+  | exception Unix.Unix_error (_, _, _) -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Record framing *)
+
+let payload_len = function
+  | Insert _ | Delete _ -> 8 + 1 + 8
+  | Replace _ -> 8 + 1 + 16
+
+(** Append the full frame (length, CRC, payload) for [record] to [buf]. *)
+let encode_record buf ~seq record =
+  let plen = payload_len record in
+  put_u32 buf plen;
+  let payload = Buffer.create plen in
+  put_u64 payload seq;
+  (match record with
+  | Insert k ->
+      Buffer.add_char payload '\001';
+      put_u64 payload k
+  | Delete k ->
+      Buffer.add_char payload '\002';
+      put_u64 payload k
+  | Replace { remove; add } ->
+      Buffer.add_char payload '\003';
+      put_u64 payload remove;
+      put_u64 payload add);
+  let pb = Buffer.to_bytes payload in
+  put_u32 buf (Crc.crc32c pb ~off:0 ~len:plen);
+  Buffer.add_bytes buf pb
+
+(** Decode the payload at [b.(off), b.(off+len)); CRC already checked. *)
+let decode_payload b ~off ~len =
+  if len < 8 + 1 + 8 then Result.Error "record payload too short"
+  else
+    let seq = get_u64 b off in
+    let key = get_u64 b (off + 9) in
+    match Bytes.get b (off + 8) with
+    | '\001' when len = 17 -> Result.Ok (seq, Insert key)
+    | '\002' when len = 17 -> Result.Ok (seq, Delete key)
+    | '\003' when len = 25 ->
+        Result.Ok (seq, Replace { remove = key; add = get_u64 b (off + 17) })
+    | _ -> Result.Error "unknown record tag or inconsistent length"
+
+let encode_header buf ~base =
+  Buffer.add_string buf magic;
+  put_u64 buf base;
+  let hb = Buffer.to_bytes buf in
+  put_u32 buf (Crc.crc32c hb ~off:0 ~len:16)
+
+(* ------------------------------------------------------------------ *)
+(* Scanning (recovery read path) *)
+
+type scan = {
+  last_seq : int;  (** highest valid sequence number seen; -1 if none *)
+  records : int;  (** valid records seen (before any [replay_from] filter) *)
+  replayed : int;  (** records passed to [f] *)
+  segments : int;
+  torn : bool;  (** a torn tail was truncated *)
+}
+
+let list_segments dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter_map (fun name ->
+         Option.map (fun base -> (base, Filename.concat dir name))
+           (segment_base_of_name name))
+  |> List.sort compare
+
+let read_file path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ()) @@ fun () ->
+  let size = (Unix.fstat fd).Unix.st_size in
+  let b = Bytes.create size in
+  let rec go off =
+    if off >= size then off
+    else
+      match Unix.read fd b off (size - off) with
+      | 0 -> off (* shrank under us; treat the rest as absent *)
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  let got = go 0 in
+  if got = size then b else Bytes.sub b 0 got
+
+let truncate_file path len =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ()) @@ fun () ->
+  Unix.ftruncate fd len;
+  Unix.fsync fd
+
+(** [scan ~dir ~replay_from ~f] walks every segment in sequence order,
+    validates headers and record CRCs, calls [f ~seq record] for every
+    valid record with [seq > replay_from], and truncates a torn tail of
+    the last segment in place (a header too damaged to read in the last
+    segment deletes the file).  Returns [Error] on corruption that is
+    not a tail — a bad record followed by more segments means lost
+    acknowledged data, which must not be silently skipped. *)
+let scan ~dir ~replay_from ~f =
+  let segs = list_segments dir in
+  let n_segs = List.length segs in
+  let torn = ref false in
+  let last_seq = ref (-1) in
+  let records = ref 0 in
+  let replayed = ref 0 in
+  let exception Corrupt of string in
+  try
+    List.iteri
+      (fun i (base, path) ->
+        let is_last = i = n_segs - 1 in
+        let b = read_file path in
+        let size = Bytes.length b in
+        let header_ok =
+          size >= header_len
+          && Bytes.sub_string b 0 8 = magic
+          && get_u64 b 8 = base
+          && get_u32 b 16 = Crc.crc32c b ~off:0 ~len:16
+        in
+        if not header_ok then
+          if is_last then begin
+            (* A segment created during rotation but killed before its
+               header hit the disk whole: nothing in it can be valid. *)
+            torn := true;
+            Sys.remove path;
+            fsync_dir dir
+          end
+          else raise (Corrupt (Printf.sprintf "%s: bad segment header" path))
+        else begin
+          let off = ref header_len in
+          let stop = ref false in
+          while not !stop do
+            if !off = size then stop := true
+            else if size - !off < frame_overhead then begin
+              (* short frame prefix: torn tail *)
+              if not is_last then
+                raise (Corrupt (Printf.sprintf "%s: short record frame" path));
+              torn := true;
+              truncate_file path !off;
+              stop := true
+            end
+            else
+              let plen = get_u32 b !off in
+              let crc = get_u32 b (!off + 4) in
+              if
+                plen > max_record_payload
+                || plen < 17
+                || size - !off - frame_overhead < plen
+                || Crc.crc32c b ~off:(!off + frame_overhead) ~len:plen <> crc
+              then begin
+                if not is_last then
+                  raise
+                    (Corrupt (Printf.sprintf "%s: bad record CRC or length" path));
+                torn := true;
+                truncate_file path !off;
+                stop := true
+              end
+              else
+                match decode_payload b ~off:(!off + frame_overhead) ~len:plen with
+                | Result.Error _ when is_last ->
+                    torn := true;
+                    truncate_file path !off;
+                    stop := true
+                | Result.Error msg ->
+                    raise (Corrupt (Printf.sprintf "%s: %s" path msg))
+                | Result.Ok (seq, record) ->
+                    if seq <= !last_seq then
+                      raise
+                        (Corrupt
+                           (Printf.sprintf
+                              "%s: sequence numbers not increasing (%d after %d)"
+                              path seq !last_seq));
+                    last_seq := seq;
+                    incr records;
+                    if seq > replay_from then begin
+                      incr replayed;
+                      f ~seq record
+                    end;
+                    off := !off + frame_overhead + plen
+          done
+        end)
+      segs;
+    if !torn then Obs.Counter.incr Metrics.torn_tails;
+    Obs.Counter.add Metrics.records_replayed !replayed;
+    Result.Ok
+      {
+        last_seq = !last_seq;
+        records = !records;
+        replayed = !replayed;
+        segments = n_segs;
+        torn = !torn;
+      }
+  with Corrupt msg -> Result.Error msg
+
+(** Delete segments made obsolete by a checkpoint that replays from
+    [upto]: a segment may go iff {e every} record it can contain is
+    [<= upto], i.e. the next segment's base is [<= upto + 1].  The last
+    (active) segment never goes.  Returns how many files were deleted. *)
+let delete_obsolete_segments ~dir ~upto =
+  let segs = list_segments dir in
+  let rec go deleted = function
+    | (_, path) :: ((next_base, _) :: _ as rest) when next_base <= upto + 1 ->
+        Sys.remove path;
+        go (deleted + 1) rest
+    | _ -> deleted
+  in
+  let deleted = go 0 segs in
+  if deleted > 0 then begin
+    Obs.Counter.add Metrics.segments_truncated deleted;
+    fsync_dir dir
+  end;
+  deleted
+
+(* ------------------------------------------------------------------ *)
+(* Writer *)
+
+module Writer = struct
+  type t = {
+    dir : string;
+    segment_bytes : int;
+    fsync : bool;
+    mu : Mutex.t;
+    nonempty : Condition.t;
+    durable : Condition.t;
+    q : (int * record) Queue.t;
+    mutable next_seq : int;
+    mutable durable_upto : int;
+    mutable stopping : bool;
+    mutable cur_fd : Unix.file_descr;
+    mutable cur_bytes : int;
+    mutable dom : unit Domain.t option;
+  }
+
+  let open_segment dir base =
+    let path = Filename.concat dir (segment_name base) in
+    (* A pre-existing file with this base can only be a segment that
+       holds no valid records (recovery computed [base] as last valid
+       seq + 1), e.g. one created just before a crash; replace it. *)
+    if Sys.file_exists path then Sys.remove path;
+    let fd =
+      Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644
+    in
+    let buf = Buffer.create header_len in
+    encode_header buf ~base;
+    let hb = Buffer.to_bytes buf in
+    write_all fd hb 0 (Bytes.length hb);
+    Unix.fsync fd;
+    fsync_dir dir;
+    fd
+
+  let rotate w ~first_seq =
+    Chaos.point Chaos.Wal_rotate;
+    Unix.fsync w.cur_fd;
+    Unix.close w.cur_fd;
+    w.cur_fd <- open_segment w.dir first_seq;
+    w.cur_bytes <- header_len;
+    Obs.Counter.incr Metrics.rotations
+
+  (* One group commit: encode the whole batch, rotate if it would
+     overflow the segment, single write, optional single fsync. *)
+  let write_batch w batch =
+    let t0 = Obs.Clock.now_ns () in
+    let buf = Buffer.create 4096 in
+    let n = ref 0 in
+    let first = ref (-1) in
+    List.iter
+      (fun (seq, r) ->
+        if !first < 0 then first := seq;
+        encode_record buf ~seq r;
+        incr n)
+      batch;
+    let bb = Buffer.to_bytes buf in
+    let len = Bytes.length bb in
+    if w.cur_bytes > header_len && w.cur_bytes + len > w.segment_bytes then
+      rotate w ~first_seq:!first;
+    Chaos.point Chaos.Wal_append;
+    write_all w.cur_fd bb 0 len;
+    w.cur_bytes <- w.cur_bytes + len;
+    Obs.Counter.add Metrics.records !n;
+    Obs.Counter.add Metrics.bytes len;
+    Obs.Histogram.record Metrics.batch_size !n;
+    if w.fsync then begin
+      Chaos.point Chaos.Wal_fsync;
+      let f0 = Obs.Clock.now_ns () in
+      Unix.fsync w.cur_fd;
+      Obs.Histogram.record Metrics.fsync_ns (Obs.Clock.now_ns () - f0);
+      Obs.Counter.incr Metrics.fsyncs
+    end;
+    (match Obs.Trace.recorder () with
+    | Some tr ->
+        Obs.Trace.emit_span tr (Obs.Trace.Custom "group_commit") ~key:!n
+          ~ok:true ~retries:0 ~attempt:1 ~site:"wal" ~t0_ns:t0
+    | None -> ())
+
+  (* The dedicated log domain: drain everything queued, commit it as one
+     batch, publish durability, repeat.  Exits only on [stop] with an
+     empty queue, so no accepted record is ever dropped by a clean
+     shutdown. *)
+  let log_loop w =
+    let rec loop () =
+      Mutex.lock w.mu;
+      while Queue.is_empty w.q && not w.stopping do
+        Condition.wait w.nonempty w.mu
+      done;
+      if Queue.is_empty w.q then begin
+        Mutex.unlock w.mu;
+        Unix.fsync w.cur_fd;
+        Unix.close w.cur_fd
+      end
+      else begin
+        let batch = List.of_seq (Queue.to_seq w.q) in
+        Queue.clear w.q;
+        Mutex.unlock w.mu;
+        write_batch w batch;
+        let last = fst (List.nth batch (List.length batch - 1)) in
+        Mutex.lock w.mu;
+        w.durable_upto <- last;
+        Condition.broadcast w.durable;
+        Mutex.unlock w.mu;
+        loop ()
+      end
+    in
+    loop ()
+
+  (** [create ~dir ~start_seq ~fsync ()] opens a fresh segment with base
+      [start_seq] and spawns the log domain.  [fsync] selects whether
+      each group commit is fsynced (sync/async durability); rotation
+      always seals the outgoing segment with an fsync. *)
+  let create ~dir ~start_seq ?(segment_bytes = default_segment_bytes) ~fsync ()
+      =
+    if segment_bytes < header_len + frame_overhead + max_record_payload then
+      invalid_arg "Wal.Writer.create: segment_bytes too small";
+    let fd = open_segment dir start_seq in
+    let w =
+      {
+        dir;
+        segment_bytes;
+        fsync;
+        mu = Mutex.create ();
+        nonempty = Condition.create ();
+        durable = Condition.create ();
+        q = Queue.create ();
+        next_seq = start_seq;
+        durable_upto = start_seq - 1;
+        stopping = false;
+        cur_fd = fd;
+        cur_bytes = header_len;
+        dom = None;
+      }
+    in
+    w.dom <- Some (Domain.spawn (fun () -> log_loop w));
+    w
+
+  (** Publish one mutation; returns its sequence number.  Never blocks
+      on I/O — the log domain does the writing. *)
+  let append w r =
+    Mutex.lock w.mu;
+    if w.stopping then begin
+      Mutex.unlock w.mu;
+      invalid_arg "Wal.Writer.append: writer is stopped"
+    end;
+    let seq = w.next_seq in
+    w.next_seq <- seq + 1;
+    Queue.add (seq, r) w.q;
+    Condition.signal w.nonempty;
+    Mutex.unlock w.mu;
+    seq
+
+  (** Block until the batch containing [seq] has committed (written, and
+      fsynced when the writer is in fsync mode). *)
+  let wait_durable w seq =
+    Mutex.lock w.mu;
+    if w.durable_upto < seq then begin
+      Obs.Counter.incr Metrics.sync_waits;
+      while w.durable_upto < seq && not w.stopping do
+        Condition.wait w.durable w.mu
+      done
+    end;
+    Mutex.unlock w.mu
+
+  let last_assigned w =
+    Mutex.lock w.mu;
+    let s = w.next_seq - 1 in
+    Mutex.unlock w.mu;
+    s
+
+  let durable_upto w =
+    Mutex.lock w.mu;
+    let s = w.durable_upto in
+    Mutex.unlock w.mu;
+    s
+
+  (** Drain the queue, seal the segment with a final fsync, join the log
+      domain.  Idempotent. *)
+  let stop w =
+    Mutex.lock w.mu;
+    let d = w.dom in
+    w.dom <- None;
+    w.stopping <- true;
+    Condition.broadcast w.nonempty;
+    Condition.broadcast w.durable;
+    Mutex.unlock w.mu;
+    Option.iter Domain.join d
+end

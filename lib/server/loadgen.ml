@@ -26,6 +26,17 @@ type config = {
   universe : int;
   dist : Harness.distribution;
   seed : int;
+  journal : bool;
+      (** record every acknowledged operation (and its result) per
+          connection — the durability model the crash fuzzer replays *)
+  tolerate_disconnect : bool;
+      (** a dropped connection ends that generator's run (returning its
+          journal so far) instead of failing the whole load — what a
+          crash test killing the server mid-run needs *)
+  partition : bool;
+      (** give each generator domain a disjoint slice of the universe,
+          so per-key operation order is total (one connection's order)
+          and the journal is an unambiguous durability model *)
 }
 
 let default_config =
@@ -39,7 +50,19 @@ let default_config =
     universe = 1 lsl 16;
     dist = Harness.Uniform;
     seed = 42;
+    journal = false;
+    tolerate_disconnect = false;
+    partition = false;
   }
+
+(** One connection's acknowledged-operation journal: [acked] in ack
+    order with each operation's boolean result, then the operations
+    still in flight (sent, unacknowledged — each {e may} have executed)
+    when the run ended, in send order.  Empty unless [config.journal]. *)
+type journal = {
+  acked : (Protocol.op * bool) list;
+  in_flight : Protocol.op list;
+}
 
 type report = {
   ops : int;  (** acknowledged requests *)
@@ -49,6 +72,8 @@ type report = {
   latency : Obs.Histogram.summary;  (** send-to-ack, nanoseconds *)
   per_op : (string * int) list;
   size_delta : int;
+  disconnects : int;  (** generators that lost their connection *)
+  journals : journal list;  (** one per generator domain, in order *)
 }
 
 (* One generator domain's tally. *)
@@ -57,9 +82,12 @@ type tally = {
   mutable errs : int;
   mutable delta : int;
   counts : int array;
+  mutable journal : (Protocol.op * bool) list; (* newest first *)
+  mutable in_flight : Protocol.op list; (* oldest first *)
+  mutable disconnected : bool;
 }
 
-let in_flight_op (t : tally) hist q (resp : Protocol.response) =
+let in_flight_op (cfg : config) (t : tally) hist q (resp : Protocol.response) =
   let seq, op, t0 = Queue.pop q in
   if resp.Protocol.seq <> seq then
     raise
@@ -72,6 +100,10 @@ let in_flight_op (t : tally) hist q (resp : Protocol.response) =
   t.acked <- t.acked + 1;
   let i = Protocol.op_index op in
   t.counts.(i) <- t.counts.(i) + 1;
+  (if cfg.journal then
+     match resp.Protocol.result with
+     | Protocol.Bool b -> t.journal <- (op, b) :: t.journal
+     | _ -> ());
   match (resp.Protocol.result, op) with
   | Protocol.Bool true, Protocol.Insert _ -> t.delta <- t.delta + 1
   | Protocol.Bool true, Protocol.Delete _ -> t.delta <- t.delta - 1
@@ -79,17 +111,40 @@ let in_flight_op (t : tally) hist q (resp : Protocol.response) =
   | Protocol.Error _, _ -> t.errs <- t.errs + 1
   | (Protocol.Count _ | Protocol.Many _), _ -> t.errs <- t.errs + 1
 
-let worker cfg hist go d =
+let worker (cfg : config) hist go d =
   let c = Client.connect ~addr:cfg.addr ~port:cfg.port () in
   Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
   let rng = Rng.of_int_seed (cfg.seed + (d * 104729) + 1) in
-  let next_key = Harness.key_stream cfg.dist cfg.universe rng in
+  let raw_key = Harness.key_stream cfg.dist cfg.universe rng in
+  let next_key =
+    if not cfg.partition then raw_key
+    else begin
+      (* Slice d of the universe; the remainder keys go unused so every
+         slice is the same size and slices never overlap. *)
+      let span = max 1 (cfg.universe / cfg.domains) in
+      let base = d * span in
+      fun () -> base + (raw_key () mod span)
+    end
+  in
   let m = cfg.mix in
   let t_ins = m.Harness.Mix.insert in
   let t_del = t_ins + m.Harness.Mix.delete in
   let t_find = t_del + m.Harness.Mix.find in
   let q = Queue.create () in
-  let t = { acked = 0; errs = 0; delta = 0; counts = Array.make Protocol.op_count 0 } in
+  let t =
+    {
+      acked = 0;
+      errs = 0;
+      delta = 0;
+      counts = Array.make Protocol.op_count 0;
+      journal = [];
+      in_flight = [];
+      disconnected = false;
+    }
+  in
+  (* The operation being transmitted when a send fails never reached the
+     queue but may have reached the server — it belongs in [in_flight]. *)
+  let sending = ref None in
   let send_one () =
     let r = Rng.int rng 100 in
     let k = next_key () in
@@ -99,19 +154,36 @@ let worker cfg hist go d =
       else if r < t_find then Protocol.Member k
       else Protocol.Replace { remove = k; add = next_key () }
     in
+    sending := Some op;
     let seq = Client.send c op in
+    sending := None;
     Queue.add (seq, op, Obs.Clock.now_ns ()) q
   in
-  while not (Atomic.get go) do Domain.cpu_relax () done;
-  let deadline = Unix.gettimeofday () +. cfg.seconds in
-  while Unix.gettimeofday () < deadline do
-    while Queue.length q < cfg.depth do send_one () done;
-    in_flight_op t hist q (Client.recv c)
-  done;
-  (* Drain: every request sent must be acknowledged, or the size
-     accounting would be meaningless. *)
-  while not (Queue.is_empty q) do in_flight_op t hist q (Client.recv c) done;
-  t
+  try
+    while not (Atomic.get go) do Domain.cpu_relax () done;
+    let deadline = Unix.gettimeofday () +. cfg.seconds in
+    while Unix.gettimeofday () < deadline do
+      while Queue.length q < cfg.depth do send_one () done;
+      in_flight_op cfg t hist q (Client.recv c)
+    done;
+    (* Drain: every request sent must be acknowledged, or the size
+       accounting would be meaningless. *)
+    while not (Queue.is_empty q) do in_flight_op cfg t hist q (Client.recv c) done;
+    t.journal <- List.rev t.journal;
+    t
+  with
+  | (Client.Protocol_error _ | Unix.Unix_error (_, _, _)) as e
+    when cfg.tolerate_disconnect ->
+      (* The server went away mid-run (e.g. a crash test killed it).
+         Everything still queued was sent but never acknowledged. *)
+      ignore e;
+      t.disconnected <- true;
+      t.journal <- List.rev t.journal;
+      t.in_flight <-
+        List.rev
+          (Queue.fold (fun acc (_, op, _) -> op :: acc) [] q)
+        @ (match !sending with Some op -> [ op ] | None -> []);
+      t
 
 (** Run the configured load.  Raises [Client.Protocol_error] (or a
     connect failure) if any generator domain hits a framing-level
@@ -137,6 +209,12 @@ let run cfg =
         ( [| "insert"; "delete"; "member"; "replace"; "size"; "batch" |].(i),
           List.fold_left (fun a t -> a + t.counts.(i)) 0 tallies ))
   in
+  let disconnects =
+    List.fold_left (fun a t -> a + if t.disconnected then 1 else 0) 0 tallies
+  in
+  let journals =
+    List.map (fun t -> { acked = t.journal; in_flight = t.in_flight }) tallies
+  in
   {
     ops;
     errors;
@@ -145,6 +223,8 @@ let run cfg =
     latency = Obs.Histogram.snapshot hist;
     per_op;
     size_delta;
+    disconnects;
+    journals;
   }
 
 (** Insert a random half of the universe through BATCH frames; returns
@@ -201,5 +281,6 @@ let report_to_json cfg (r : report) : Obs.Json.t =
               Obs.Json.Obj
                 (List.map (fun (k, v) -> (k, Obs.Json.Int v)) r.per_op) );
             ("size_delta", Obs.Json.Int r.size_delta);
+            ("disconnects", Obs.Json.Int r.disconnects);
           ] );
     ]

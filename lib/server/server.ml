@@ -243,18 +243,26 @@ let process_frames ops c =
   in
   go ()
 
-let handle_read ops conns scratch c =
+(* [barrier] runs between executing a window of pipelined requests and
+   flushing their responses: the durability layer uses it to hold acks
+   until the group commit covering the window is on disk, so one fsync
+   covers the whole window rather than each request.  Responses already
+   buffered from earlier windows re-flushed by the select loop passed
+   their barrier when they were produced. *)
+let handle_read ops barrier conns scratch c =
   Chaos.point Chaos.Net_read;
   match Unix.read c.fd scratch 0 (Bytes.length scratch) with
   | 0 ->
       (* Orderly EOF: answer whatever complete frames are already
          buffered, flush, then close. *)
       process_frames ops c;
+      barrier ();
       c.closing <- true;
       ignore (flush_out conns c)
   | n ->
       Protocol.Reader.feed c.reader scratch n;
       process_frames ops c;
+      barrier ();
       ignore (flush_out conns c)
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
     ->
@@ -282,7 +290,7 @@ let accept_new conns lsock =
       ()
   | exception Unix.Unix_error (_, _, _) -> ()
 
-let worker_loop ops drain_s ~stopping lsock =
+let worker_loop ops barrier drain_s ~stopping lsock =
   (* Idempotent across workers; guarantees accept never blocks the
      event loop even in a single-worker configuration. *)
   Unix.set_nonblock lsock;
@@ -321,7 +329,7 @@ let worker_loop ops drain_s ~stopping lsock =
             (fun fd ->
               if fd != lsock then
                 match Hashtbl.find_opt conns fd with
-                | Some c -> handle_read ops conns scratch c
+                | Some c -> handle_read ops barrier conns scratch c
                 | None -> ())
             rd;
           List.iter
@@ -352,11 +360,17 @@ type t = { net : Obs.Net.t; drain_s : float Atomic.t }
     {!port}) and serves on [domains] worker domains.  All workers share
     the listening socket (non-blocking, so racing accepts are benign)
     and the same [ops] — the served structure must tolerate concurrent
-    calls, which is the entire point of serving a non-blocking trie. *)
-let start ?(addr = "127.0.0.1") ?(port = 0) ?(domains = 2) ?(backlog = 64) ops =
+    calls, which is the entire point of serving a non-blocking trie.
+
+    [barrier], if given, runs on the worker after executing each window
+    of pipelined requests and before their responses are flushed; a
+    durability layer passes [Persist.Store.barrier] here so
+    acknowledgements wait for the group commit that covers them. *)
+let start ?(addr = "127.0.0.1") ?(port = 0) ?(domains = 2) ?(backlog = 64)
+    ?(barrier = fun () -> ()) ops =
   let drain_s = Atomic.make 1.0 in
   let net =
-    Obs.Net.start ~addr ~backlog ~domains ~port (worker_loop ops drain_s)
+    Obs.Net.start ~addr ~backlog ~domains ~port (worker_loop ops barrier drain_s)
   in
   { net; drain_s }
 

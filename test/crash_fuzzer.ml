@@ -1,0 +1,334 @@
+(* Crash-recovery fuzzer for the durable patserve server.
+
+   Each trial forks this binary as a patserve child (--server mode)
+   with sync durability on a fresh data directory, drives it with the
+   journaled closed-loop load generator, kills it with SIGKILL at a
+   random moment (optionally with chaos delays at the WAL's
+   append/fsync/rotate sites to widen the crash windows, and optionally
+   with concurrent checkpoints), then recovers the directory and checks
+   the central durability promise:
+
+     every synchronously-acknowledged operation is in the recovered
+     set, and the recovered state is exactly the acknowledged history
+     plus some prefix of each connection's in-flight (sent but
+     unacknowledged) operations.
+
+   The load generator partitions the key universe per connection, so
+   each connection's journal totally orders the operations on its keys
+   and the check is exact, not heuristic.  Recovery is also performed
+   twice to confirm replay is deterministic and idempotent.
+
+   Usage: crash_fuzzer.exe [--trials 50] [--seed 2013] [--universe 4096]
+                           [--keep]   (keep data dirs of passing trials)
+
+   Exits non-zero on the first violated trial, keeping its data
+   directory for post-mortem. *)
+
+module IS = Set.Make (Int)
+module P = Server.Protocol
+
+module Pstore = Persist.Store.Make (struct
+  include Core.Patricia
+
+  let create ~universe () = Core.Patricia.create ~universe ()
+end)
+
+(* ------------------------------------------------------------------ *)
+(* Minimal argv plumbing (shared by parent and --server child). *)
+
+let arg_value name =
+  let n = Array.length Sys.argv in
+  let rec go i =
+    if i + 1 >= n then None
+    else if Sys.argv.(i) = "--" ^ name then Some Sys.argv.(i + 1)
+    else go (i + 1)
+  in
+  go 1
+
+let arg_int name default =
+  match arg_value name with Some v -> int_of_string v | None -> default
+
+let arg_float name default =
+  match arg_value name with Some v -> float_of_string v | None -> default
+
+let arg_string name default =
+  match arg_value name with Some v -> v | None -> default
+
+let has_flag name = Array.exists (( = ) ("--" ^ name)) Sys.argv
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Child: a durable patserve that runs until killed. *)
+
+let server_mode () =
+  let dir = arg_string "dir" "" in
+  let universe = arg_int "universe" 4096 in
+  let domains = arg_int "server-domains" 2 in
+  let chaos_us = arg_int "chaos-us" 0 in
+  let checkpoint_s = arg_float "checkpoint-s" 0. in
+  let segment_bytes =
+    match arg_int "segment-bytes" 0 with 0 -> None | n -> Some n
+  in
+  if dir = "" then failwith "--server requires --dir";
+  if chaos_us > 0 then
+    Chaos.set_policy ~name:"wal-delay"
+      (Some
+         (function
+         | Chaos.Wal_append | Chaos.Wal_fsync | Chaos.Wal_rotate ->
+             Unix.sleepf (float_of_int chaos_us *. 1e-6)
+         | _ -> ()));
+  let store = Pstore.open_ ~dir ~universe ~mode:Pstore.Sync ?segment_bytes () in
+  let ops =
+    Server.
+      {
+        insert = Pstore.insert store;
+        delete = Pstore.delete store;
+        member = Pstore.member store;
+        replace = (fun ~remove ~add -> Pstore.replace store ~remove ~add);
+        size = (fun () -> Pstore.size store);
+      }
+  in
+  let srv =
+    Server.start ~port:0 ~domains ~barrier:(fun () -> Pstore.barrier store) ops
+  in
+  (* The parent parses this line; everything else goes to stderr. *)
+  Printf.printf "PORT=%d\n%!" (Server.port srv);
+  let last = ref (Unix.gettimeofday ()) in
+  while true do
+    Unix.sleepf 0.005;
+    if checkpoint_s > 0. && Unix.gettimeofday () -. !last >= checkpoint_s then begin
+      ignore (Pstore.checkpoint store : int * int);
+      last := Unix.gettimeofday ()
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Model: replay a connection's journal over its slice of the keyspace. *)
+
+exception Violation of string
+
+let violate fmt = Printf.ksprintf (fun m -> raise (Violation m)) fmt
+
+(* Blind application: what the server does to the set if it executes
+   [op], independent of what was acknowledged. *)
+let apply_blind set op =
+  match op with
+  | P.Insert k -> IS.add k set
+  | P.Delete k -> IS.remove k set
+  | P.Member _ -> set
+  | P.Replace { remove; add } ->
+      if IS.mem remove set && (not (IS.mem add set)) && remove <> add then
+        IS.add add (IS.remove remove set)
+      else set
+  | _ -> set
+
+(* Acknowledged application: additionally check the acked result against
+   the model — per-connection pipelining means every earlier operation
+   of this connection was acknowledged first, and the keyspace is
+   partitioned, so the expected result is exact. *)
+let apply_acked conn set ((op, r) : P.op * bool) =
+  let expect_bool what expected =
+    if r <> expected then
+      violate "conn %d: %s acked %b, model says %b" conn what r expected
+  in
+  (match op with
+  | P.Insert k -> expect_bool (Printf.sprintf "INSERT %d" k) (not (IS.mem k set))
+  | P.Delete k -> expect_bool (Printf.sprintf "DELETE %d" k) (IS.mem k set)
+  | P.Member k -> expect_bool (Printf.sprintf "MEMBER %d" k) (IS.mem k set)
+  | P.Replace { remove; add } ->
+      expect_bool
+        (Printf.sprintf "REPLACE %d->%d" remove add)
+        (IS.mem remove set && (not (IS.mem add set)) && remove <> add)
+  | _ -> ());
+  if r then apply_blind set op else set
+
+(* The recovered slice must equal the acked state extended by some
+   prefix of the in-flight operations: SIGKILL preserves completed
+   writes, so the durable suffix cuts the per-connection order at an
+   arbitrary — but prefix-closed — point. *)
+let check_connection ~conn ~recovered ~lo ~hi (j : Server.Loadgen.journal) =
+  let slice = IS.filter (fun k -> k >= lo && k < hi) recovered in
+  let acked_state = List.fold_left (apply_acked conn) IS.empty j.Server.Loadgen.acked in
+  let ok = ref (IS.equal slice acked_state) in
+  let s = ref acked_state in
+  List.iter
+    (fun op ->
+      s := apply_blind !s op;
+      if IS.equal slice !s then ok := true)
+    j.Server.Loadgen.in_flight;
+  if not !ok then begin
+    let show set =
+      String.concat "," (List.map string_of_int (IS.elements set))
+    in
+    violate
+      "conn %d (keys [%d,%d)): recovered slice {%s} matches no prefix state; \
+       acked state {%s} (+%d in-flight), lost {%s}, extra {%s}"
+      conn lo hi (show slice) (show acked_state)
+      (List.length j.Server.Loadgen.in_flight)
+      (show (IS.diff acked_state slice))
+      (show (IS.diff slice acked_state))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Parent: one trial. *)
+
+let read_port ic =
+  match input_line ic with
+  | line -> (
+      match String.index_opt line '=' with
+      | Some i when String.sub line 0 i = "PORT" ->
+          int_of_string (String.sub line (i + 1) (String.length line - i - 1))
+      | _ -> failwith ("unexpected server output: " ^ line))
+  | exception End_of_file -> failwith "server child died before printing PORT"
+
+let run_trial ~seed ~trial ~universe ~keep =
+  let rng = Rng.of_int_seed (seed + (trial * 7919)) in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "crashfuzz_%d_%d" (Unix.getpid ()) trial)
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  (* Randomized trial shape: when the kill lands, whether the WAL sites
+     are artificially widened, whether checkpoints race the crash. *)
+  let kill_delay = 0.08 +. (float_of_int (Rng.int rng 400) /. 1000.) in
+  let chaos_us = [| 0; 0; 200; 1500 |].(Rng.int rng 4) in
+  let checkpoint_s = [| 0.; 0.; 0.07; 0.2 |].(Rng.int rng 4) in
+  (* Tiny segments in some trials put rotations (and, with checkpoints,
+     segment deletion) inside the crash window. *)
+  let segment_bytes = [| 0; 0; 16384; 65536 |].(Rng.int rng 4) in
+  let out_r, out_w = Unix.pipe () in
+  let pid =
+    Unix.create_process Sys.executable_name
+      [|
+        Sys.executable_name;
+        "--server";
+        "--dir";
+        dir;
+        "--universe";
+        string_of_int universe;
+        "--chaos-us";
+        string_of_int chaos_us;
+        "--checkpoint-s";
+        string_of_float checkpoint_s;
+        "--segment-bytes";
+        string_of_int segment_bytes;
+      |]
+      Unix.stdin out_w Unix.stderr
+  in
+  Unix.close out_w;
+  let ic = Unix.in_channel_of_descr out_r in
+  Fun.protect ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error (_, _, _) -> ());
+      (try ignore (Unix.waitpid [] pid : int * Unix.process_status)
+       with Unix.Unix_error (_, _, _) -> ());
+      close_in_noerr ic)
+  @@ fun () ->
+  let port = read_port ic in
+  let load_domains = 3 in
+  let cfg =
+    {
+      Server.Loadgen.default_config with
+      port;
+      domains = load_domains;
+      depth = 8;
+      seconds = 60.0 (* the kill, not the clock, ends the run *);
+      universe;
+      seed = seed + trial;
+      mix = Harness.Mix.v ~insert:40 ~delete:20 ~find:10 ~replace:30 ();
+      journal = true;
+      tolerate_disconnect = true;
+      partition = true;
+    }
+  in
+  let killer =
+    Domain.spawn (fun () ->
+        Unix.sleepf kill_delay;
+        try Unix.kill pid Sys.sigkill with Unix.Unix_error (_, _, _) -> ())
+  in
+  let r = Server.Loadgen.run cfg in
+  Domain.join killer;
+  ignore (Unix.waitpid [] pid : int * Unix.process_status);
+  (* Recover twice: once to verify against the journals, once to verify
+     determinism/idempotence of replay. *)
+  let s1 = Pstore.open_ ~dir ~universe ~mode:Pstore.Ephemeral () in
+  let s2 = Pstore.open_ ~dir ~universe ~mode:Pstore.Ephemeral () in
+  let ri = Pstore.recovery_info s1 in
+  let recovered = IS.of_list (Pstore.to_list s1) in
+  let recovered2 = IS.of_list (Pstore.to_list s2) in
+  if not (IS.equal recovered recovered2) then
+    violate "second replay diverged: %d keys vs %d keys" (IS.cardinal recovered)
+      (IS.cardinal recovered2);
+  (match Core.Patricia.check_invariants (Pstore.underlying s1) with
+  | Result.Ok () -> ()
+  | Result.Error m -> violate "recovered trie violates invariants: %s" m);
+  let span = max 1 (universe / load_domains) in
+  (* Keys no connection could have written must not appear. *)
+  let ghost = IS.filter (fun k -> k >= load_domains * span) recovered in
+  if not (IS.is_empty ghost) then
+    violate "recovered keys outside every partition: %d of them"
+      (IS.cardinal ghost);
+  List.iteri
+    (fun conn (j : Server.Loadgen.journal) ->
+      check_connection ~conn ~recovered ~lo:(conn * span)
+        ~hi:((conn + 1) * span) j)
+    r.Server.Loadgen.journals;
+  let acked = r.Server.Loadgen.ops in
+  let in_flight =
+    List.fold_left
+      (fun a (j : Server.Loadgen.journal) ->
+        a + List.length j.Server.Loadgen.in_flight)
+      0 r.Server.Loadgen.journals
+  in
+  Printf.eprintf
+    "trial %3d: kill@%.3fs chaos=%dus ckpt=%.2fs | acked=%d in-flight=%d \
+     recovered=%d segs=%d%s%s\n%!"
+    trial kill_delay chaos_us checkpoint_s acked in_flight
+    (IS.cardinal recovered) ri.Pstore.wal_segments
+    (if ri.Pstore.torn_tail then " torn-tail" else "")
+    (match ri.Pstore.checkpoint_seq with
+    | Some s -> Printf.sprintf " ckpt@%d" s
+    | None -> "");
+  if not keep then rm_rf dir
+
+let () =
+  if has_flag "server" then server_mode ()
+  else begin
+    let trials = arg_int "trials" 50 in
+    let seed = arg_int "seed" 2013 in
+    let universe = arg_int "universe" 4096 in
+    let keep = has_flag "keep" in
+    (* A worker blocked on a vanished peer can get SIGPIPE on write. *)
+    ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore : Sys.signal_behavior);
+    let failures = ref 0 in
+    (try
+       for trial = 1 to trials do
+         try run_trial ~seed ~trial ~universe ~keep
+         with Violation m ->
+           incr failures;
+           Printf.eprintf
+             "trial %3d: DURABILITY VIOLATION: %s\n\
+              data dir kept: %s\n%!"
+             trial m
+             (Filename.concat
+                (Filename.get_temp_dir_name ())
+                (Printf.sprintf "crashfuzz_%d_%d" (Unix.getpid ()) trial));
+           raise Exit
+       done
+     with Exit -> ());
+    if !failures = 0 then
+      Printf.printf
+        "crash_fuzzer: %d trials, zero synchronously-acknowledged operations \
+         lost\n%!"
+        trials
+    else begin
+      Printf.printf "crash_fuzzer: FAILED\n%!";
+      exit 1
+    end
+  end

@@ -1,0 +1,493 @@
+(* The durability layer: WAL framing and group commit, checkpoint
+   images, and the recovery edge cases — empty directory, checkpoint
+   with no log tail, torn final record, double-replay idempotence,
+   valid-header/truncated-body segments, and checkpointing beside live
+   concurrent traffic. *)
+
+module Wal = Persist.Wal
+module Checkpoint = Persist.Checkpoint
+
+module Pstore = Persist.Store.Make (struct
+  include Core.Patricia
+
+  let create ~universe () = Core.Patricia.create ~universe ()
+end)
+
+let tmpdir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "persist_test_%d_%d" (Unix.getpid ()) !n)
+    in
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    dir
+
+let scan_all ~dir =
+  let acc = ref [] in
+  match Wal.scan ~dir ~replay_from:(-1) ~f:(fun ~seq r -> acc := (seq, r) :: !acc) with
+  | Result.Ok s -> (s, List.rev !acc)
+  | Result.Error m -> Alcotest.fail ("scan: " ^ m)
+
+let sorted_keys store = List.sort compare (Pstore.to_list store)
+
+let append_file path s =
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc s;
+  close_out oc
+
+let last_segment dir =
+  match List.rev (Sys.readdir dir |> Array.to_list |> List.sort compare
+                  |> List.filter (fun n -> Filename.check_suffix n ".seg"))
+  with
+  | seg :: _ -> Filename.concat dir seg
+  | [] -> Alcotest.fail "no wal segment found"
+
+(* ------------------------------------------------------------------ *)
+(* WAL *)
+
+let test_wal_roundtrip () =
+  let dir = tmpdir () in
+  let w = Wal.Writer.create ~dir ~start_seq:1 ~fsync:false () in
+  let recs =
+    [ Wal.Insert 42; Wal.Delete 42; Wal.Replace { remove = 7; add = 9 };
+      Wal.Insert 0; Wal.Insert max_int ]
+  in
+  let seqs = List.map (Wal.Writer.append w) recs in
+  Wal.Writer.wait_durable w (List.nth seqs 4);
+  Wal.Writer.stop w;
+  let s, got = scan_all ~dir in
+  Alcotest.(check (list int)) "dense seqs" [ 1; 2; 3; 4; 5 ] seqs;
+  Alcotest.(check int) "last_seq" 5 s.Wal.last_seq;
+  Alcotest.(check bool) "not torn" false s.Wal.torn;
+  Alcotest.(check int) "records" 5 s.Wal.records;
+  List.iter2
+    (fun (seq, r) (seq', r') ->
+      Alcotest.(check int) "seq" seq' seq;
+      if r <> r' then Alcotest.fail "record mismatch")
+    got
+    (List.combine seqs recs)
+
+let test_wal_replay_from () =
+  let dir = tmpdir () in
+  let w = Wal.Writer.create ~dir ~start_seq:1 ~fsync:false () in
+  for k = 1 to 10 do ignore (Wal.Writer.append w (Wal.Insert k) : int) done;
+  Wal.Writer.wait_durable w 10;
+  Wal.Writer.stop w;
+  let n = ref 0 in
+  (match Wal.scan ~dir ~replay_from:7 ~f:(fun ~seq:_ _ -> incr n) with
+  | Result.Ok s ->
+      Alcotest.(check int) "replayed" 3 s.Wal.replayed;
+      Alcotest.(check int) "records" 10 s.Wal.records
+  | Result.Error m -> Alcotest.fail m);
+  Alcotest.(check int) "f called for tail only" 3 !n
+
+let test_group_commit_multidomain () =
+  let dir = tmpdir () in
+  let w = Wal.Writer.create ~dir ~start_seq:100 ~fsync:false () in
+  let per = 500 and doms = 4 in
+  let workers =
+    List.init doms (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              let seq = Wal.Writer.append w (Wal.Insert ((d * per) + i)) in
+              if i mod 50 = 0 then Wal.Writer.wait_durable w seq
+            done))
+  in
+  List.iter Domain.join workers;
+  Wal.Writer.wait_durable w (Wal.Writer.last_assigned w);
+  Alcotest.(check int) "durable = assigned"
+    (Wal.Writer.last_assigned w)
+    (Wal.Writer.durable_upto w);
+  Wal.Writer.stop w;
+  let s, got = scan_all ~dir in
+  Alcotest.(check int) "all records" (per * doms) s.Wal.records;
+  Alcotest.(check int) "last_seq" (100 + (per * doms) - 1) s.Wal.last_seq;
+  (* Every published record is in the log exactly once. *)
+  let keys = List.map (function _, Wal.Insert k -> k | _ -> -1) got in
+  Alcotest.(check (list int)) "every mutation logged once"
+    (List.init (per * doms) Fun.id)
+    (List.sort compare keys)
+
+let test_wal_rotation () =
+  let dir = tmpdir () in
+  (* Tiny segments force many rotations. *)
+  let w =
+    Wal.Writer.create ~dir ~start_seq:1 ~segment_bytes:8192 ~fsync:false ()
+  in
+  (* Waiting per append keeps batches small — a batch is never split
+     across segments, so rotation only happens between batches. *)
+  for k = 1 to 2000 do
+    Wal.Writer.wait_durable w (Wal.Writer.append w (Wal.Insert k))
+  done;
+  Wal.Writer.stop w;
+  let s, _ = scan_all ~dir in
+  Alcotest.(check int) "records survive rotation" 2000 s.Wal.records;
+  if s.Wal.segments < 2 then Alcotest.fail "expected multiple segments";
+  (* A checkpoint cut at the end releases all but the active segment. *)
+  let deleted = Wal.delete_obsolete_segments ~dir ~upto:2000 in
+  Alcotest.(check int) "all but last deleted" (s.Wal.segments - 1) deleted;
+  let s', _ = scan_all ~dir in
+  Alcotest.(check int) "survivor still scans" 1 s'.Wal.segments
+
+let test_torn_tail_truncated () =
+  let dir = tmpdir () in
+  let w = Wal.Writer.create ~dir ~start_seq:1 ~fsync:false () in
+  for k = 1 to 20 do ignore (Wal.Writer.append w (Wal.Insert k) : int) done;
+  Wal.Writer.wait_durable w 20;
+  Wal.Writer.stop w;
+  (* A crash mid-write leaves a prefix of a frame at the tail. *)
+  append_file (last_segment dir) "\000\000\000\017\222\173\190\239partial";
+  let s, _ = scan_all ~dir in
+  Alcotest.(check bool) "torn detected" true s.Wal.torn;
+  Alcotest.(check int) "intact prefix kept" 20 s.Wal.records;
+  (* The scan physically truncated the tail: a second scan is clean. *)
+  let s', _ = scan_all ~dir in
+  Alcotest.(check bool) "tail gone after truncation" false s'.Wal.torn;
+  Alcotest.(check int) "same records" 20 s'.Wal.records
+
+let test_short_frame_tail () =
+  let dir = tmpdir () in
+  let w = Wal.Writer.create ~dir ~start_seq:1 ~fsync:false () in
+  for k = 1 to 5 do ignore (Wal.Writer.append w (Wal.Insert k) : int) done;
+  Wal.Writer.wait_durable w 5;
+  Wal.Writer.stop w;
+  (* Fewer bytes than even a frame header. *)
+  append_file (last_segment dir) "\000\000\000";
+  let s, _ = scan_all ~dir in
+  Alcotest.(check bool) "torn" true s.Wal.torn;
+  Alcotest.(check int) "records" 5 s.Wal.records
+
+let test_header_only_segment () =
+  let dir = tmpdir () in
+  let w = Wal.Writer.create ~dir ~start_seq:1 ~fsync:false () in
+  for k = 1 to 5 do ignore (Wal.Writer.append w (Wal.Insert k) : int) done;
+  Wal.Writer.wait_durable w 5;
+  Wal.Writer.stop w;
+  (* A rotation that died right after writing the new segment's header:
+     valid header, truncated (empty) body. *)
+  let seg1 = Filename.concat dir (Wal.segment_name 6) in
+  let w2 = Wal.Writer.create ~dir ~start_seq:6 ~fsync:false () in
+  Wal.Writer.stop w2;
+  Alcotest.(check bool) "second segment exists" true (Sys.file_exists seg1);
+  let s, _ = scan_all ~dir in
+  Alcotest.(check bool) "not torn" false s.Wal.torn;
+  Alcotest.(check int) "records" 5 s.Wal.records;
+  Alcotest.(check int) "segments" 2 s.Wal.segments;
+  (* Same, but the header itself is cut short: the last segment is
+     unreadable garbage and is deleted outright. *)
+  Unix.truncate seg1 10;
+  let s', _ = scan_all ~dir in
+  Alcotest.(check bool) "torn (header)" true s'.Wal.torn;
+  Alcotest.(check bool) "deleted" false (Sys.file_exists seg1);
+  let s'', _ = scan_all ~dir in
+  Alcotest.(check bool) "clean after delete" false s''.Wal.torn;
+  Alcotest.(check int) "records intact" 5 s''.Wal.records
+
+let test_mid_log_corruption_is_error () =
+  let dir = tmpdir () in
+  let w =
+    Wal.Writer.create ~dir ~start_seq:1 ~segment_bytes:8192 ~fsync:false ()
+  in
+  for k = 1 to 2000 do
+    Wal.Writer.wait_durable w (Wal.Writer.append w (Wal.Insert k))
+  done;
+  Wal.Writer.stop w;
+  (* Flip a byte in the FIRST segment — not a tail, so this is data
+     loss and must be a loud error, never a silent truncation. *)
+  let first =
+    match Sys.readdir dir |> Array.to_list |> List.sort compare
+          |> List.filter (fun n -> Filename.check_suffix n ".seg")
+    with
+    | seg :: _ -> Filename.concat dir seg
+    | [] -> Alcotest.fail "no segment"
+  in
+  let fd = Unix.openfile first [ Unix.O_WRONLY ] 0 in
+  ignore (Unix.lseek fd 100 Unix.SEEK_SET : int);
+  ignore (Unix.write_substring fd "\255" 0 1 : int);
+  Unix.close fd;
+  match Wal.scan ~dir ~replay_from:(-1) ~f:(fun ~seq:_ _ -> ()) with
+  | Result.Ok _ -> Alcotest.fail "mid-log corruption not reported"
+  | Result.Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Store recovery *)
+
+let mk_store ?(mode = Pstore.Sync) ?(universe = 1 lsl 12) dir =
+  Pstore.open_ ~dir ~universe ~mode ()
+
+let test_empty_dir () =
+  let dir = tmpdir () in
+  let s = mk_store ~mode:Pstore.Ephemeral dir in
+  let ri = Pstore.recovery_info s in
+  Alcotest.(check int) "size" 0 (Pstore.size s);
+  Alcotest.(check int) "segments" 0 ri.Pstore.wal_segments;
+  Alcotest.(check bool) "no checkpoint" true (ri.Pstore.checkpoint_seq = None);
+  Pstore.close s;
+  (* Even a directory that does not exist yet. *)
+  let s2 = mk_store (Filename.concat dir "a/b/c") in
+  Alcotest.(check int) "fresh nested dir" 0 (Pstore.size s2);
+  ignore (Pstore.insert s2 1 : bool);
+  Pstore.barrier s2;
+  Pstore.close s2
+
+let test_wal_only_recovery () =
+  let dir = tmpdir () in
+  let s = mk_store dir in
+  ignore (Pstore.insert s 1 : bool);
+  ignore (Pstore.insert s 2 : bool);
+  ignore (Pstore.delete s 1 : bool);
+  ignore (Pstore.replace s ~remove:2 ~add:3 : bool);
+  ignore (Pstore.insert s 2 : bool);
+  (* A no-op mutation must not be logged. *)
+  Alcotest.(check bool) "dup insert refused" false (Pstore.insert s 2);
+  Pstore.barrier s;
+  Pstore.close s;
+  let s2 = mk_store ~mode:Pstore.Ephemeral dir in
+  let ri = Pstore.recovery_info s2 in
+  Alcotest.(check (list int)) "state" [ 2; 3 ] (sorted_keys s2);
+  Alcotest.(check int) "five acked mutations logged" 5 ri.Pstore.wal_records;
+  Pstore.close s2
+
+let test_checkpoint_no_tail () =
+  let dir = tmpdir () in
+  let s = mk_store dir in
+  for k = 1 to 100 do ignore (Pstore.insert s k : bool) done;
+  let keys0 = sorted_keys s in
+  let _keys, _deleted = Pstore.checkpoint s in
+  Pstore.close s;
+  (* Remove every WAL segment: the checkpoint alone must carry the
+     state (the "no tail" case). *)
+  Array.iter
+    (fun n ->
+      if Filename.check_suffix n ".seg" then Sys.remove (Filename.concat dir n))
+    (Sys.readdir dir);
+  let s2 = mk_store ~mode:Pstore.Ephemeral dir in
+  let ri = Pstore.recovery_info s2 in
+  Alcotest.(check (list int)) "checkpoint alone restores" keys0 (sorted_keys s2);
+  Alcotest.(check int) "nothing replayed" 0 ri.Pstore.wal_replayed;
+  Alcotest.(check bool) "checkpoint loaded" true (ri.Pstore.checkpoint_seq <> None);
+  Pstore.close s2
+
+let test_double_replay_idempotent () =
+  let dir = tmpdir () in
+  let s = mk_store dir in
+  let rng = Rng.of_int_seed 99 in
+  for _ = 1 to 2000 do
+    let k = Rng.int rng 512 in
+    match Rng.int rng 3 with
+    | 0 -> ignore (Pstore.insert s k : bool)
+    | 1 -> ignore (Pstore.delete s k : bool)
+    | _ -> ignore (Pstore.replace s ~remove:k ~add:(Rng.int rng 512) : bool)
+  done;
+  (* Checkpoint mid-history so recovery is image + tail. *)
+  let _ = Pstore.checkpoint s in
+  for _ = 1 to 500 do ignore (Pstore.insert s (Rng.int rng 512) : bool) done;
+  let final = sorted_keys s in
+  Pstore.barrier s;
+  Pstore.close s;
+  let r1 = mk_store ~mode:Pstore.Ephemeral dir in
+  let r2 = mk_store ~mode:Pstore.Ephemeral dir in
+  Alcotest.(check (list int)) "replay = live state" final (sorted_keys r1);
+  Alcotest.(check (list int)) "second replay identical" (sorted_keys r1)
+    (sorted_keys r2);
+  (match Core.Patricia.check_invariants (Pstore.underlying r1) with
+  | Result.Ok () -> ()
+  | Result.Error m -> Alcotest.fail ("invariants after recovery: " ^ m));
+  Pstore.close r1;
+  Pstore.close r2
+
+let test_torn_tail_store_recovery () =
+  let dir = tmpdir () in
+  let s = mk_store dir in
+  for k = 1 to 50 do ignore (Pstore.insert s k : bool) done;
+  Pstore.barrier s;
+  Pstore.close s;
+  append_file (last_segment dir) "\000\000\000\017torn-bytes-here!!";
+  let r = mk_store ~mode:Pstore.Ephemeral dir in
+  let ri = Pstore.recovery_info r in
+  Alcotest.(check bool) "torn reported" true ri.Pstore.torn_tail;
+  Alcotest.(check (list int)) "acked prefix intact"
+    (List.init 50 (fun i -> i + 1))
+    (sorted_keys r);
+  Pstore.close r;
+  (* Recovery truncated the tail; a durable reopen appends after it. *)
+  let s2 = mk_store dir in
+  ignore (Pstore.insert s2 1000 : bool);
+  Pstore.barrier s2;
+  Pstore.close s2;
+  let r2 = mk_store ~mode:Pstore.Ephemeral dir in
+  Alcotest.(check bool) "clean after truncation"
+    false (Pstore.recovery_info r2).Pstore.torn_tail;
+  Alcotest.(check (list int)) "old + new state"
+    (List.init 50 (fun i -> i + 1) @ [ 1000 ])
+    (sorted_keys r2);
+  Pstore.close r2
+
+let test_universe_mismatch () =
+  let dir = tmpdir () in
+  let s = mk_store ~universe:1024 dir in
+  ignore (Pstore.insert s 1 : bool);
+  let _ = Pstore.checkpoint s in
+  Pstore.close s;
+  match Pstore.open_ ~dir ~universe:2048 ~mode:Pstore.Ephemeral () with
+  | exception Failure _ -> ()
+  | s' ->
+      Pstore.close s';
+      Alcotest.fail "checkpoint for another universe accepted"
+
+let test_checkpoint_under_traffic () =
+  let dir = tmpdir () in
+  let universe = 1 lsl 10 in
+  let s = mk_store ~universe dir in
+  let stop = Atomic.make false in
+  let workers =
+    List.init 3 (fun d ->
+        Domain.spawn (fun () ->
+            let rng = Rng.of_int_seed (700 + d) in
+            while not (Atomic.get stop) do
+              let k = Rng.int rng universe in
+              (match Rng.int rng 3 with
+              | 0 -> ignore (Pstore.insert s k : bool)
+              | 1 -> ignore (Pstore.delete s k : bool)
+              | _ ->
+                  ignore (Pstore.replace s ~remove:k ~add:(Rng.int rng universe)
+                          : bool));
+              Pstore.barrier s
+            done))
+  in
+  (* Checkpoints race the mutators: each image must still recover to a
+     state consistent with the log. *)
+  for _ = 1 to 5 do
+    ignore (Pstore.checkpoint s : int * int);
+    Unix.sleepf 0.02
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join workers;
+  let final = sorted_keys s in
+  Pstore.close s;
+  let r1 = mk_store ~mode:Pstore.Ephemeral ~universe dir in
+  let r2 = mk_store ~mode:Pstore.Ephemeral ~universe dir in
+  Alcotest.(check (list int)) "checkpoint+tail = final state" final
+    (sorted_keys r1);
+  Alcotest.(check (list int)) "idempotent" final (sorted_keys r2);
+  (match Core.Patricia.check_invariants (Pstore.underlying r1) with
+  | Result.Ok () -> ()
+  | Result.Error m -> Alcotest.fail ("invariants: " ^ m));
+  Pstore.close r1;
+  Pstore.close r2
+
+let test_chaos_sites_crossed () =
+  let dir = tmpdir () in
+  Chaos.with_policy ~name:"count" (fun _ -> ()) @@ fun () ->
+  let s = mk_store dir in
+  for k = 1 to 100 do
+    ignore (Pstore.insert s k : bool);
+    Pstore.barrier s
+  done;
+  let _ = Pstore.checkpoint s in
+  Pstore.close s;
+  let crossings = Chaos.site_crossings () in
+  let count name = try List.assoc name crossings with Not_found -> 0 in
+  if count "wal_append" = 0 then Alcotest.fail "wal_append never crossed";
+  if count "wal_fsync" = 0 then Alcotest.fail "wal_fsync never crossed"
+
+let test_async_mode_drains_on_close () =
+  let dir = tmpdir () in
+  let s = mk_store ~mode:Pstore.Async dir in
+  for k = 1 to 500 do ignore (Pstore.insert s k : bool) done;
+  (* No barrier: async acks never wait.  Close must still drain. *)
+  Pstore.close s;
+  let r = mk_store ~mode:Pstore.Ephemeral dir in
+  Alcotest.(check int) "all mutations on disk" 500 (Pstore.size r);
+  Pstore.close r
+
+(* A crash-consistency smoke that needs no processes: copy the data
+   directory while the store is being mutated (what a kill would leave),
+   then recover the copy.  The copy is taken file-at-a-time like a
+   crash leaves it — tail possibly torn mid-frame. *)
+let test_dirty_copy_recovers () =
+  let src = tmpdir () in
+  let dst = tmpdir () in
+  let s = mk_store ~mode:Pstore.Async src in
+  let stop = Atomic.make false in
+  let mutator =
+    Domain.spawn (fun () ->
+        let rng = Rng.of_int_seed 31 in
+        while not (Atomic.get stop) do
+          ignore (Pstore.insert s (Rng.int rng 4096) : bool)
+        done)
+  in
+  Unix.sleepf 0.05;
+  (* Racy copy of every file, byte-ranged like a crash image. *)
+  Array.iter
+    (fun n ->
+      let b =
+        let ic = open_in_bin (Filename.concat src n) in
+        let len = in_channel_length ic in
+        let b = really_input_string ic len in
+        close_in ic; b
+      in
+      let oc = open_out_bin (Filename.concat dst n) in
+      output_string oc b;
+      close_out oc)
+    (Sys.readdir src);
+  Atomic.set stop true;
+  Domain.join mutator;
+  Pstore.close s;
+  let r = mk_store ~mode:Pstore.Ephemeral dst in
+  (* Whatever was captured must recover without error and double-replay
+     to the same state. *)
+  let r2 = mk_store ~mode:Pstore.Ephemeral dst in
+  Alcotest.(check (list int)) "dirty image replays deterministically"
+    (sorted_keys r) (sorted_keys r2);
+  (match Core.Patricia.check_invariants (Pstore.underlying r) with
+  | Result.Ok () -> ()
+  | Result.Error m -> Alcotest.fail ("invariants: " ^ m));
+  Pstore.close r;
+  Pstore.close r2
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "persist"
+    [
+      ( "wal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "replay_from filter" `Quick test_wal_replay_from;
+          Alcotest.test_case "group commit, 4 domains" `Quick
+            test_group_commit_multidomain;
+          Alcotest.test_case "rotation + obsolete segments" `Quick
+            test_wal_rotation;
+          Alcotest.test_case "torn tail truncated" `Quick
+            test_torn_tail_truncated;
+          Alcotest.test_case "short frame tail" `Quick test_short_frame_tail;
+          Alcotest.test_case "header-only / truncated segment" `Quick
+            test_header_only_segment;
+          Alcotest.test_case "mid-log corruption is an error" `Quick
+            test_mid_log_corruption_is_error;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "empty dir" `Quick test_empty_dir;
+          Alcotest.test_case "wal only" `Quick test_wal_only_recovery;
+          Alcotest.test_case "checkpoint, no tail" `Quick
+            test_checkpoint_no_tail;
+          Alcotest.test_case "double replay idempotent" `Quick
+            test_double_replay_idempotent;
+          Alcotest.test_case "torn tail" `Quick test_torn_tail_store_recovery;
+          Alcotest.test_case "universe mismatch rejected" `Quick
+            test_universe_mismatch;
+          Alcotest.test_case "checkpoint under live traffic" `Quick
+            test_checkpoint_under_traffic;
+          Alcotest.test_case "chaos sites crossed" `Quick
+            test_chaos_sites_crossed;
+          Alcotest.test_case "async close drains" `Quick
+            test_async_mode_drains_on_close;
+          Alcotest.test_case "dirty copy recovers" `Quick
+            test_dirty_copy_recovers;
+        ] );
+    ]
