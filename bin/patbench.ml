@@ -754,8 +754,26 @@ let serve_cmd =
     Arg.(
       value & opt (some float) None & info [ "checkpoint-s" ] ~doc ~docv:"SECS")
   in
+  let serve_trace_arg =
+    let doc =
+      "Record the fused server timeline — trie update attempts, per-request \
+       stage spans on one Perfetto track per connection, and (with \
+       --runtime-events) GC/STW spans on runtime tracks — and write it as \
+       Chrome trace-event JSON to $(docv) at shutdown."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~doc ~docv:"PATH")
+  in
+  let runtime_events_arg =
+    let doc =
+      "Subscribe a collector domain to OCaml runtime events: GC pause and \
+       STW spans are fused into the --trace-out timeline and exported as \
+       patserve_gc_* metric families.  If the runtime-events subsystem \
+       cannot start, the server logs a warning and keeps serving."
+    in
+    Arg.(value & flag & info [ "runtime-events" ] ~doc)
+  in
   let run port range domains metrics_port seconds data_dir durability
-      checkpoint_s =
+      checkpoint_s trace_out runtime_events =
     (* Assemble the served operations, the ack barrier, the periodic-tick
        work and the teardown from the durability configuration. *)
     let ops, barrier, tick, teardown, durability_banner =
@@ -783,6 +801,8 @@ let serve_cmd =
             | `Sync -> Pstore.Sync
           in
           let store = Pstore.open_ ~dir ~universe:range ~mode () in
+          Persist.Metrics.set_queue_depth_source
+            (Some (fun () -> Pstore.queue_depth store));
           Format.printf "patserve: %a@." pp_recovery
             (Pstore.recovery_info store);
           let ops =
@@ -824,19 +844,59 @@ let serve_cmd =
             teardown,
             Printf.sprintf "durability=%s dir=%s" (Pstore.mode_name mode) dir )
     in
-    let srv = Server.start ~port ~domains ~barrier ops in
+    (* Flight recorder: the same trace ring collects trie attempt spans,
+       per-connection request/stage spans and (below) runtime-events
+       GC spans, so one Perfetto file shows all three layers aligned. *)
+    let recorder =
+      Option.map (fun _ -> Obs.Trace.create ~capacity:65536 ()) trace_out
+    in
+    Option.iter (fun t -> Obs.Trace.set_recorder (Some t)) recorder;
+    let runtime =
+      if not runtime_events then None
+      else
+        match Obs.Runtime.start () with
+        | Ok rt ->
+            Format.printf "patserve: runtime-events collector attached@.";
+            Some rt
+        | Error m ->
+            (* Never fatal: degraded observability beats a dead server. *)
+            Format.printf
+              "patserve: warning: runtime-events unavailable (%s), \
+               continuing without GC telemetry@."
+              m;
+            None
+    in
+    let wd = Obs.Watchdog.create () in
+    Obs.Watchdog.gauge wd ~name:"wal-queue" ~degraded_above:10_000
+      ~stalled_above:100_000 Persist.Metrics.queue_depth;
+    Obs.Watchdog.start_monitor wd;
+    let srv = Server.start ~port ~domains ~barrier ~watchdog:wd ops in
     Format.printf "patserve: %d domains on 127.0.0.1:%d, range (0, %d), %s@."
       domains (Server.port srv) range durability_banner;
     let metrics =
       Option.map
         (fun p ->
           Harness.Live.set_enabled true;
-          Harness.Live.set_extra_producer
-            (Some
-               (fun b ->
-                 Server.Metrics.emit b;
-                 Persist.Metrics.emit b));
-          let s = Obs.Serve.start ~port:p Harness.Live.prometheus in
+          Harness.Live.clear_extra_producers ();
+          Harness.Live.add_extra_producer Server.Metrics.emit;
+          Harness.Live.add_extra_producer Persist.Metrics.emit;
+          Harness.Live.add_extra_producer (Obs.Watchdog.emit wd);
+          if runtime <> None then
+            Harness.Live.add_extra_producer Obs.Runtime.emit;
+          let routes =
+            [
+              ( "/debug/slowlog",
+                fun () ->
+                  ( "application/json",
+                    Obs.Json.to_string (Obs.Slowlog.to_json Server.slowlog)
+                    ^ "\n" ) );
+            ]
+          in
+          let s =
+            Obs.Serve.start ~port:p ~routes
+              ~health:(Obs.Watchdog.healthz wd)
+              Harness.Live.prometheus
+          in
           Format.printf "serving metrics on http://127.0.0.1:%d/metrics@."
             (Obs.Serve.port s);
           s)
@@ -863,15 +923,45 @@ let serve_cmd =
     Format.print_flush ();
     Server.stop ~drain_s:1.0 srv;
     teardown ();
+    Obs.Watchdog.stop_monitor wd;
+    Option.iter Obs.Runtime.stop runtime;
+    (* Write the trace only after the runtime collector's final drain so
+       the last GC spans make it into the file. *)
+    Obs.Trace.set_recorder None;
+    (match (recorder, trace_out) with
+    | Some t, Some path ->
+        Obs.Perfetto.write ~path t;
+        Format.printf
+          "patserve: fused trace written to %s (%d events retained, %d \
+           dropped)@."
+          path
+          (List.length (Obs.Trace.dump t))
+          (Obs.Trace.dropped t)
+    | _ -> ());
+    (match Obs.Slowlog.dump Server.slowlog with
+    | [] -> ()
+    | entries ->
+        let shown = List.filteri (fun i _ -> i < 10) entries in
+        Format.printf
+          "patserve: slowest requests (top %d of %d admitted, %d slots)@."
+          (List.length shown)
+          (Obs.Slowlog.inserted Server.slowlog)
+          (Obs.Slowlog.capacity Server.slowlog);
+        List.iter
+          (fun e -> Format.printf "  %a@." Obs.Slowlog.pp_entry e)
+          shown);
     Option.iter Obs.Serve.stop metrics;
-    Harness.Live.set_extra_producer None;
-    Harness.Live.set_enabled false
+    Harness.Live.clear_extra_producers ();
+    Harness.Live.set_enabled false;
+    Persist.Metrics.set_queue_depth_source None;
+    Format.print_flush ()
   in
   let doc = "Serve the Patricia trie over the patserve binary protocol." in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ port_arg $ range_arg $ domains_arg $ metrics_port_arg
-      $ seconds_opt_arg $ data_dir_arg $ durability_arg $ checkpoint_s_arg)
+      $ seconds_opt_arg $ data_dir_arg $ durability_arg $ checkpoint_s_arg
+      $ serve_trace_arg $ runtime_events_arg)
 
 (* ------------------------------------------------------------------ *)
 (* recover subcommand: offline recovery / inspection of a data dir *)
@@ -953,8 +1043,18 @@ let load_cmd =
       value & opt int 65_536
       & info [ "range" ] ~doc:"Key range (must match the server's).")
   in
+  let scrape_port_arg =
+    let doc =
+      "Scrape the server's Prometheus endpoint on 127.0.0.1:$(docv) at the \
+       end of the run and embed the server-side per-opcode stage p50/p99 and \
+       WAL fsync p99 in the report — the cross-check that client-observed \
+       tail latency matches what the server accounted for."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "scrape-port" ] ~doc ~docv:"PORT")
+  in
   let run addr port domains depth seconds insert delete find replace range seed
-      metrics =
+      metrics scrape =
     match Harness.Mix.v ~insert ~delete ~find ~replace () with
     | exception Invalid_argument m -> `Error (false, m)
     | mix -> (
@@ -973,6 +1073,7 @@ let load_cmd =
               journal = false;
               tolerate_disconnect = false;
               partition = false;
+              scrape_port = scrape;
             }
         in
         try
@@ -1004,6 +1105,14 @@ let load_cmd =
             r.Server.Loadgen.throughput r.Server.Loadgen.errors
             l.Obs.Histogram.p50 l.Obs.Histogram.p90 l.Obs.Histogram.p99
             l.Obs.Histogram.p999 l.Obs.Histogram.max final expected;
+          (match r.Server.Loadgen.server_metrics with
+          | [] -> ()
+          | kv ->
+              Format.printf "load: server-side (scraped):";
+              List.iter
+                (fun (k, v) -> Format.printf " %s=%.0f" k v)
+                kv;
+              Format.printf "@.");
           Option.iter
             (fun path ->
               Obs.Json.to_file path (Server.Loadgen.report_to_json cfg r);
@@ -1036,7 +1145,8 @@ let load_cmd =
       ret
         (const run $ addr_arg $ port_arg $ domains_arg $ depth_arg
        $ seconds_arg' $ pct "insert" 10 $ pct "delete" 10 $ pct "find" 0
-       $ pct "replace" 80 $ range_arg $ seed_arg $ metrics_arg))
+       $ pct "replace" 80 $ range_arg $ seed_arg $ metrics_arg
+       $ scrape_port_arg))
 
 (* ------------------------------------------------------------------ *)
 

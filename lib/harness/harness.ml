@@ -151,13 +151,29 @@ module Live = struct
 
   let set_stats_source f = Atomic.set stats_source f
 
-  (* An extra metric producer appended to the exposition — how the
-     patserve server (which this library must not depend on) gets its
-     per-opcode counters and latency histograms into the same scrape. *)
-  let extra_producer : (Obs.Prometheus.t -> unit) option Atomic.t =
-    Atomic.make None
+  (* Extra metric producers appended to the exposition — how the
+     patserve server, the durability layer, the runtime-events
+     collector and the watchdog (none of which this library may depend
+     on) get their families into the same scrape.  [set_extra_producer]
+     replaces the whole list (the pre-existing single-producer API);
+     [add_extra_producer] appends, so independent subsystems can
+     register without knowing about each other. *)
+  let extra_producers : (Obs.Prometheus.t -> unit) list Atomic.t =
+    Atomic.make []
 
-  let set_extra_producer f = Atomic.set extra_producer f
+  let set_extra_producer = function
+    | Some f -> Atomic.set extra_producers [ f ]
+    | None -> Atomic.set extra_producers []
+
+  let add_extra_producer f =
+    let rec go () =
+      let cur = Atomic.get extra_producers in
+      if not (Atomic.compare_and_set extra_producers cur (cur @ [ f ])) then
+        go ()
+    in
+    go ()
+
+  let clear_extra_producers () = Atomic.set extra_producers []
 
   let set_enabled b =
     if b && not (Atomic.get active) then begin
@@ -235,7 +251,7 @@ module Live = struct
               (float_of_int v))
           (f ())
     | None -> ());
-    (match Atomic.get extra_producer with Some f -> f b | None -> ());
+    List.iter (fun f -> f b) (Atomic.get extra_producers);
     let g = Gc.quick_stat () in
     gauge b ~name:"repro_gc_minor_collections"
       ~help:"Cumulative minor collections"

@@ -106,12 +106,20 @@ module Live : sig
       subjects with [ops.stats]. *)
 
   val set_extra_producer : (Obs.Prometheus.t -> unit) option -> unit
-  (** Register an extra producer appended to the exposition (between
-      the harness families and the GC gauges).  Used by [patbench
-      serve] to export the patserve server's per-opcode counters and
-      latency histograms through the same endpoint; the producer must
-      emit complete metric families of its own (the exposition format
-      wants each family's samples contiguous). *)
+  (** Replace the extra-producer list with exactly this producer (or
+      none).  Producers are appended to the exposition between the
+      harness families and the GC gauges; each must emit complete
+      metric families of its own (the exposition format wants each
+      family's samples contiguous). *)
+
+  val add_extra_producer : (Obs.Prometheus.t -> unit) -> unit
+  (** Append one producer without disturbing the others — how the
+      patserve server, the WAL metrics, the runtime-events collector
+      and the watchdog each register independently for [patbench
+      serve]'s single scrape endpoint. *)
+
+  val clear_extra_producers : unit -> unit
+  (** Remove every registered extra producer. *)
 
   val prometheus : unit -> string
   (** Render the full exposition (Prometheus text format 0.0.4). *)

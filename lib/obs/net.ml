@@ -90,6 +90,60 @@ let stop t =
     close_noerr t.sock
   end
 
+(** [http_get ~addr ~port ~path] performs one blocking HTTP/1.1 GET
+    against a loopback endpoint ({!Serve}, or anything speaking
+    Connection: close) and returns [(status, body)].  Minimal by
+    design — the loadgen's end-of-run metrics scrape and the tests need
+    exactly this, not an HTTP client library. *)
+let http_get ?(timeout_s = 5.0) ~addr ~port ~path () =
+  match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | fd -> (
+      Fun.protect ~finally:(fun () -> close_noerr fd) @@ fun () ->
+      match
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s;
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
+        write_all fd
+          (Printf.sprintf
+             "GET %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+             path);
+        let buf = Bytes.create 65536 in
+        let out = Buffer.create 65536 in
+        let rec recv () =
+          match Unix.read fd buf 0 (Bytes.length buf) with
+          | 0 -> ()
+          | n ->
+              Buffer.add_subbytes out buf 0 n;
+              recv ()
+        in
+        recv ();
+        Buffer.contents out
+      with
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+      | raw -> (
+          let split =
+            let rec find i =
+              if i + 3 >= String.length raw then None
+              else if String.sub raw i 4 = "\r\n\r\n" then Some i
+              else find (i + 1)
+            in
+            find 0
+          in
+          match split with
+          | None -> Error "malformed HTTP response"
+          | Some i -> (
+              let headers = String.sub raw 0 i in
+              let body =
+                String.sub raw (i + 4) (String.length raw - i - 4)
+              in
+              match String.split_on_char ' ' headers with
+              | _ :: code :: _ -> (
+                  match int_of_string_opt code with
+                  | Some status -> Ok (status, body)
+                  | None -> Error "malformed HTTP status line")
+              | _ -> Error "malformed HTTP status line")))
+
 (** [accept_poll ~stopping ?timeout_s sock] selects on [sock] for up to
     [timeout_s] and accepts one pending connection.  Returns [None] when
     the stop flag is up, nothing arrived within the timeout, or the

@@ -23,7 +23,16 @@
       bind, select-polled accept, idempotent stop) used by {!Serve} and
       the patserve set server;
     - {!Serve}: dependency-free HTTP listener on a background domain
-      serving [/metrics] and [/healthz] from a snapshot;
+      serving [/metrics], [/healthz] (optionally wired to a
+      {!Watchdog} verdict) and caller-supplied debug routes from a
+      snapshot;
+    - {!Slowlog}: lock-free slowest-K request table with per-stage
+      latency breakdowns;
+    - {!Watchdog}: heartbeat/gauge progress watchdog producing the
+      structured ok/degraded/stalled health verdict;
+    - {!Runtime}: OCaml 5 runtime-events collector fusing GC/STW
+      pauses into the flight-recorder trace and [patserve_gc_*]
+      metric families;
     - {!Instrument}: a functor adding latency histograms to any
       [Dset_intf.CONCURRENT_SET] without touching its internals;
     - {!Json}: a dependency-free JSON emitter/parser for the
@@ -41,6 +50,9 @@ module Attribution = Attribution
 module Prometheus = Prometheus
 module Net = Net
 module Serve = Serve
+module Slowlog = Slowlog
+module Watchdog = Watchdog
+module Runtime = Runtime
 
 module type INSTRUMENTED = Instrument_impl.INSTRUMENTED
 

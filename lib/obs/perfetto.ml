@@ -15,12 +15,33 @@
 let us_of_ns ns = float_of_int ns /. 1000.0
 
 let span_name (e : Trace.event) =
-  Printf.sprintf "%s#%d" (Trace.kind_to_string e.Trace.kind) e.Trace.attempt
+  (* Trie attempt spans carry attempt >= 1; stage / runtime spans use
+     attempt 0 and read better without the "#0" suffix. *)
+  if e.Trace.attempt = 0 then Trace.kind_to_string e.Trace.kind
+  else Printf.sprintf "%s#%d" (Trace.kind_to_string e.Trace.kind) e.Trace.attempt
+
+(* The category groups the three span layers so Perfetto can filter
+   them independently: trie [attempt] spans, per-request [stage] spans
+   on connection tracks, [runtime] GC/STW spans, and [wal] group-commit
+   spans.  Derived from the site label the emitters already set. *)
+let category (e : Trace.event) =
+  if not (Trace.is_span e) then "event"
+  else
+    let site = e.Trace.site in
+    let prefixed p =
+      String.length site >= String.length p
+      && String.sub site 0 (String.length p) = p
+    in
+    if prefixed "rt:" then "runtime"
+    else if prefixed "stage:" then "stage"
+    else if site = "request" then "request"
+    else if site = "wal" then "wal"
+    else "attempt"
 
 let event_to_json (e : Trace.event) =
   let common =
     [
-      ("cat", Json.Str (if Trace.is_span e then "attempt" else "event"));
+      ("cat", Json.Str (category e));
       ("ts", Json.Float (us_of_ns e.Trace.t_ns));
       ("pid", Json.Int 0);
       ("tid", Json.Int e.Trace.domain);
@@ -47,16 +68,26 @@ let event_to_json (e : Trace.event) =
       :: ("s", Json.Str "t")
       :: common)
 
-(* One metadata event per distinct domain names its track, which is what
-   makes Perfetto render "one track per domain" instead of bare tids. *)
-let thread_name_event domain =
+(* One metadata event per distinct track names it, which is what makes
+   Perfetto render named tracks instead of bare tids.  Low tids are
+   OCaml domains; the offset namespaces ({!Trace.conn_track_base},
+   {!Trace.runtime_track_base}) hold per-connection request-stage
+   tracks and per-ring runtime-events (GC) tracks. *)
+let track_name tid =
+  if tid >= Trace.runtime_track_base then
+    Printf.sprintf "runtime-%d" (tid - Trace.runtime_track_base)
+  else if tid >= Trace.conn_track_base then
+    Printf.sprintf "conn-%d" (tid - Trace.conn_track_base)
+  else Printf.sprintf "domain-%d" tid
+
+let thread_name_event tid =
   Json.Obj
     [
       ("name", Json.Str "thread_name");
       ("ph", Json.Str "M");
       ("pid", Json.Int 0);
-      ("tid", Json.Int domain);
-      ("args", Json.Obj [ ("name", Json.Str (Printf.sprintf "domain-%d" domain)) ]);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.Str (track_name tid)) ]);
     ]
 
 let to_json t =

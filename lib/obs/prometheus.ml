@@ -98,3 +98,120 @@ let histogram_summary t ~name ?help ?(labels = []) (s : Histogram.summary) =
   sample t ~name:(name ^ "_sum") ~labels (float_of_int s.Histogram.sum)
 
 let to_string t = Buffer.contents t.buf
+
+(* ------------------------------------------------------------------ *)
+(* Exposition parsing — the reading half, used by the loadgen's
+   end-of-run server-side cross-check and by validate_metrics'
+   [--prometheus] mode.  Parses the subset this module emits (names,
+   label sets with escapes, float values, optional trailing timestamp);
+   comment lines are skipped. *)
+
+type parsed_sample = {
+  s_name : string;
+  s_labels : (string * string) list;
+  s_value : float;
+}
+
+let parse_label_set s i0 =
+  (* [s.[i0]] is the char after '{'.  Returns (labels, index after '}'). *)
+  let labels = ref [] in
+  let n = String.length s in
+  let rec skip_ws i = if i < n && s.[i] = ' ' then skip_ws (i + 1) else i in
+  let rec pairs i =
+    let i = skip_ws i in
+    if i >= n then failwith "unterminated label set"
+    else if s.[i] = '}' then i + 1
+    else begin
+      let eq =
+        match String.index_from_opt s i '=' with
+        | Some e -> e
+        | None -> failwith "label without '='"
+      in
+      let key = String.trim (String.sub s i (eq - i)) in
+      if eq + 1 >= n || s.[eq + 1] <> '"' then failwith "unquoted label value";
+      let buf = Buffer.create 16 in
+      let rec value j =
+        if j >= n then failwith "unterminated label value"
+        else
+          match s.[j] with
+          | '"' -> j + 1
+          | '\\' when j + 1 < n ->
+              (match s.[j + 1] with
+              | 'n' -> Buffer.add_char buf '\n'
+              | c -> Buffer.add_char buf c);
+              value (j + 2)
+          | c ->
+              Buffer.add_char buf c;
+              value (j + 1)
+      in
+      let after = value (eq + 2) in
+      labels := (key, Buffer.contents buf) :: !labels;
+      let after = skip_ws after in
+      if after < n && s.[after] = ',' then pairs (after + 1)
+      else if after < n && s.[after] = '}' then after + 1
+      else failwith "malformed label set"
+    end
+  in
+  let after = pairs i0 in
+  (List.rev !labels, after)
+
+let parse_sample_line line =
+  let line =
+    if line <> "" && line.[String.length line - 1] = '\r' then
+      String.sub line 0 (String.length line - 1)
+    else line
+  in
+  if line = "" || line.[0] = '#' then None
+  else
+    let brace = String.index_opt line '{' in
+    let space = String.index_opt line ' ' in
+    let name_end, labels, rest_at =
+      match (brace, space) with
+      | Some b, Some sp when b < sp ->
+          let labels, after = parse_label_set line (b + 1) in
+          (b, labels, after)
+      | _, Some sp -> (sp, [], sp)
+      | _, None -> failwith "sample without value"
+    in
+    let name = String.sub line 0 name_end in
+    if name = "" then failwith "empty metric name";
+    let rest =
+      String.trim
+        (String.sub line rest_at (String.length line - rest_at))
+    in
+    let value_str =
+      match String.index_opt rest ' ' with
+      | Some i -> String.sub rest 0 i (* trailing timestamp ignored *)
+      | None -> rest
+    in
+    match float_of_string_opt value_str with
+    | Some v -> Some { s_name = name; s_labels = labels; s_value = v }
+    | None -> failwith (Printf.sprintf "unparseable value %S" value_str)
+
+(** Parse a full text exposition: returns the samples plus one error
+    message per malformed line (malformed lines are skipped, so a
+    partially readable scrape still yields its good samples). *)
+let parse_samples text =
+  let samples = ref [] and errs = ref [] in
+  List.iteri
+    (fun i line ->
+      match parse_sample_line line with
+      | Some s -> samples := s :: !samples
+      | None -> ()
+      | exception Failure m ->
+          errs := Printf.sprintf "line %d: %s" (i + 1) m :: !errs)
+    (String.split_on_char '\n' text);
+  (List.rev !samples, List.rev !errs)
+
+(** First sample matching [name] whose label set includes all of
+    [labels]. *)
+let find_sample samples ~name ~labels =
+  List.find_opt
+    (fun s ->
+      s.s_name = name
+      && List.for_all
+           (fun (k, v) -> List.assoc_opt k s.s_labels = Some v)
+           labels)
+    samples
+  |> Option.map (fun s -> s.s_value)
+

@@ -1,0 +1,211 @@
+(** OCaml 5 runtime-events fusion: GC and stop-the-world pauses as
+    Perfetto spans and Prometheus families.
+
+    A latency spike in a non-blocking structure has three candidate
+    culprits — contention (visible as trie attempt spans), durability
+    (WAL group-commit spans) and the runtime itself (GC pauses, which
+    until now were invisible).  This collector closes the gap: a
+    dedicated domain subscribes to the process's own [Runtime_events]
+    ring buffers and converts minor collections, major slices and STW
+    barriers into
+
+    - closed spans pushed into the global {!Trace} recorder on
+      per-ring-domain tracks ([runtime-N], see
+      {!Trace.runtime_track_base}), so they land in the {e same}
+      Perfetto file as trie attempts and request stages — one
+      timeline, three layers;
+    - {!Histogram}/counter families exported as [patserve_gc_*].
+
+    [Runtime_events] timestamps are monotonic-clock nanoseconds, the
+    same timebase as {!Clock.now_ns}, so no re-anchoring is needed.
+
+    Start is fallible by design ([start : unit -> (t, string) result]):
+    a runtime built without events support, a full tmpdir, or a second
+    consumer must degrade to a logged warning, never crash the server.
+    Ring-buffer overruns surface through the [lost_events] callback and
+    are exported as [patserve_gc_events_lost_total] — loss is counted,
+    never silent. *)
+
+module RE = Runtime_events
+
+(* ------------------------------------------------------------------ *)
+(* Global metrics, [Server.Metrics]-style: one collector per process,
+   tests reset between runs.  Histograms are only written by the
+   collector domain; the striped type is reused for uniformity. *)
+
+let minor_pause_ns = Histogram.create ()
+let major_slice_ns = Histogram.create ()
+let stw_pause_ns = Histogram.create ()
+let minor_collections = Atomic.make 0
+let major_slices = Atomic.make 0
+let stw_pauses = Atomic.make 0
+let minor_allocated_words = Atomic.make 0
+let minor_promoted_words = Atomic.make 0
+let events_lost = Atomic.make 0
+
+let reset () =
+  Histogram.reset minor_pause_ns;
+  Histogram.reset major_slice_ns;
+  Histogram.reset stw_pause_ns;
+  List.iter
+    (fun a -> Atomic.set a 0)
+    [
+      minor_collections; major_slices; stw_pauses; minor_allocated_words;
+      minor_promoted_words; events_lost;
+    ]
+
+let snapshot () =
+  [
+    ("minor_collections", Atomic.get minor_collections);
+    ("major_slices", Atomic.get major_slices);
+    ("stw_pauses", Atomic.get stw_pauses);
+    ("minor_allocated_words", Atomic.get minor_allocated_words);
+    ("minor_promoted_words", Atomic.get minor_promoted_words);
+    ("events_lost", Atomic.get events_lost);
+  ]
+
+(** [patserve_gc_*] families; shaped for
+    [Harness.Live.add_extra_producer]. *)
+let emit b =
+  let open Prometheus in
+  histogram_summary b ~name:"patserve_gc_minor_pause_ns"
+    ~help:"Minor collection pause, nanoseconds (runtime events)"
+    (Histogram.snapshot minor_pause_ns);
+  histogram_summary b ~name:"patserve_gc_major_slice_ns"
+    ~help:"Major GC slice duration, nanoseconds (runtime events)"
+    (Histogram.snapshot major_slice_ns);
+  histogram_summary b ~name:"patserve_gc_stw_pause_ns"
+    ~help:"Stop-the-world phase duration, nanoseconds (runtime events)"
+    (Histogram.snapshot stw_pause_ns);
+  counter b ~name:"patserve_gc_minor_collections_total"
+    ~help:"Minor collections observed via runtime events"
+    (float_of_int (Atomic.get minor_collections));
+  counter b ~name:"patserve_gc_major_slices_total"
+    ~help:"Major GC slices observed via runtime events"
+    (float_of_int (Atomic.get major_slices));
+  counter b ~name:"patserve_gc_stw_pauses_total"
+    ~help:"Stop-the-world phases observed via runtime events"
+    (float_of_int (Atomic.get stw_pauses));
+  counter b ~name:"patserve_gc_minor_allocated_words_total"
+    ~help:"Words allocated in minor heaps (runtime events counter)"
+    (float_of_int (Atomic.get minor_allocated_words));
+  counter b ~name:"patserve_gc_minor_promoted_words_total"
+    ~help:"Words promoted out of minor heaps (runtime events counter)"
+    (float_of_int (Atomic.get minor_promoted_words));
+  counter b ~name:"patserve_gc_events_lost_total"
+    ~help:"Runtime events dropped to ring-buffer overrun (never silent)"
+    (float_of_int (Atomic.get events_lost))
+
+(* ------------------------------------------------------------------ *)
+(* Phase classification by name, so the interesting set is explicit and
+   additions to the runtime's phase enum are ignored rather than
+   mis-binned. *)
+
+type cls = Minor | Major_slice | Stw
+
+let classify phase =
+  match RE.runtime_phase_name phase with
+  | "minor" -> Some Minor
+  | "major_slice" -> Some Major_slice
+  | name
+    when String.length name >= 4
+         && (String.sub name 0 4 = "stw_" || name = "stw") ->
+      Some Stw
+  | "major_gc_stw" | "minor_gc_stw" -> Some Stw
+  | _ -> None
+
+let record_span cls ~ring ~name ~t0_ns ~dur_ns =
+  (match cls with
+  | Minor ->
+      Histogram.record minor_pause_ns dur_ns;
+      Atomic.incr minor_collections
+  | Major_slice ->
+      Histogram.record major_slice_ns dur_ns;
+      Atomic.incr major_slices
+  | Stw ->
+      Histogram.record stw_pause_ns dur_ns;
+      Atomic.incr stw_pauses);
+  match Trace.recorder () with
+  | Some rec_ ->
+      Trace.add_span rec_ (Trace.Custom name)
+        ~track:(Trace.runtime_track_base + ring)
+        ~key:0 ~ok:true ~retries:0 ~attempt:0 ~site:("rt:" ^ name) ~t0_ns
+        ~dur_ns
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Collector *)
+
+type t = {
+  cursor : RE.cursor;
+  stopping : bool Atomic.t;
+  dom : unit Domain.t;
+}
+
+let ns_of_ts ts = Int64.to_int (RE.Timestamp.to_int64 ts)
+
+let make_callbacks () =
+  (* Open-phase begin timestamps, keyed by (ring domain, phase name).
+     Only the collector domain touches this table. *)
+  let open_phases : (int * string, int) Hashtbl.t = Hashtbl.create 64 in
+  let runtime_begin ring ts phase =
+    match classify phase with
+    | Some _ ->
+        Hashtbl.replace open_phases (ring, RE.runtime_phase_name phase)
+          (ns_of_ts ts)
+    | None -> ()
+  in
+  let runtime_end ring ts phase =
+    match classify phase with
+    | Some cls -> (
+        let name = RE.runtime_phase_name phase in
+        match Hashtbl.find_opt open_phases (ring, name) with
+        | Some t0_ns ->
+            Hashtbl.remove open_phases (ring, name);
+            let dur_ns = ns_of_ts ts - t0_ns in
+            record_span cls ~ring ~name ~t0_ns ~dur_ns
+        | None -> () (* begin predates the cursor; drop the half-span *))
+    | None -> ()
+  in
+  let runtime_counter _ring _ts counter v =
+    match RE.runtime_counter_name counter with
+    | "minor_allocated" ->
+        ignore (Atomic.fetch_and_add minor_allocated_words v)
+    | "minor_promoted" -> ignore (Atomic.fetch_and_add minor_promoted_words v)
+    | _ -> ()
+  in
+  let lost_events _ring n = ignore (Atomic.fetch_and_add events_lost n) in
+  RE.Callbacks.create ~runtime_begin ~runtime_end ~runtime_counter
+    ~lost_events ()
+
+let default_poll_interval_s = 0.005
+
+(** Start the runtime-events subscription and the collector domain.
+    [Error msg] when the runtime refuses ([start] or cursor creation
+    raised); the caller is expected to log and carry on. *)
+let start ?(poll_interval_s = default_poll_interval_s) () =
+  match
+    RE.start ();
+    RE.create_cursor None
+  with
+  | cursor ->
+      let stopping = Atomic.make false in
+      let dom =
+        Domain.spawn (fun () ->
+            let callbacks = make_callbacks () in
+            while not (Atomic.get stopping) do
+              (try ignore (RE.read_poll cursor callbacks None)
+               with _ -> ());
+              Unix.sleepf poll_interval_s
+            done;
+            (* Final drain so spans emitted while stopping are kept. *)
+            try ignore (RE.read_poll cursor callbacks None) with _ -> ())
+      in
+      Ok { cursor; stopping; dom }
+  | exception e -> Error (Printexc.to_string e)
+
+let stop t =
+  Atomic.set t.stopping true;
+  Domain.join t.dom;
+  (try RE.free_cursor t.cursor with _ -> ());
+  try RE.pause () with _ -> ()

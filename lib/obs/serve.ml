@@ -45,7 +45,14 @@ let read_request_line fd =
           | None -> Some s))
   | exception Unix.Unix_error (_, _, _) -> None
 
-let route produce line =
+let status_line = function
+  | 200 -> "200 OK"
+  | 404 -> "404 Not Found"
+  | 500 -> "500 Internal Server Error"
+  | 503 -> "503 Service Unavailable"
+  | c -> Printf.sprintf "%d Status" c
+
+let route ?(routes = []) ?health produce line =
   match String.split_on_char ' ' line with
   | meth :: path :: _ ->
       if meth <> "GET" then
@@ -68,15 +75,40 @@ let route produce line =
                 http_response ~status:"500 Internal Server Error"
                   ~content_type:"text/plain"
                   (Printf.sprintf "snapshot failed: %s\n" (Printexc.to_string e)))
-        | "/healthz" ->
-            http_response ~status:"200 OK" ~content_type:"text/plain" "ok\n"
-        | _ ->
-            http_response ~status:"404 Not Found" ~content_type:"text/plain"
-              "not found\n"
+        | "/healthz" -> (
+            (* Without a health hook the endpoint is a liveness probe of
+               the listener itself; with one it reports the watchdog
+               verdict (200 ok / 200 degraded / 503 stalled). *)
+            match health with
+            | None ->
+                http_response ~status:"200 OK" ~content_type:"text/plain" "ok\n"
+            | Some h -> (
+                match h () with
+                | code, body ->
+                    http_response ~status:(status_line code)
+                      ~content_type:"text/plain" body
+                | exception e ->
+                    http_response ~status:"500 Internal Server Error"
+                      ~content_type:"text/plain"
+                      (Printf.sprintf "health check failed: %s\n"
+                         (Printexc.to_string e))))
+        | p -> (
+            match List.assoc_opt p routes with
+            | Some f -> (
+                match f () with
+                | content_type, body ->
+                    http_response ~status:"200 OK" ~content_type body
+                | exception e ->
+                    http_response ~status:"500 Internal Server Error"
+                      ~content_type:"text/plain"
+                      (Printf.sprintf "route failed: %s\n" (Printexc.to_string e)))
+            | None ->
+                http_response ~status:"404 Not Found" ~content_type:"text/plain"
+                  "not found\n")
       end
   | _ -> http_response ~status:"400 Bad Request" ~content_type:"text/plain" "bad request\n"
 
-let serve_client produce fd =
+let serve_client ?routes ?health produce fd =
   Fun.protect
     ~finally:(fun () -> Net.close_noerr fd)
     (fun () ->
@@ -84,25 +116,25 @@ let serve_client produce fd =
       Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0;
       match read_request_line fd with
       | None -> ()
-      | Some line -> Net.write_all fd (route produce line))
+      | Some line -> Net.write_all fd (route ?routes ?health produce line))
 
 (* One accepted connection at a time, served inline: scrapes are rare
    (seconds apart) and short, so a per-connection domain would only add
    noise to the very runs the endpoint exists to observe.  The
    select-poll/stop/join skeleton lives in {!Net}. *)
-let accept_loop produce ~stopping sock =
+let accept_loop ?routes ?health produce ~stopping sock =
   let rec go () =
     if not (stopping ()) then begin
       (match Net.accept_poll ~stopping sock with
-      | Some fd -> ( try serve_client produce fd with _ -> ())
+      | Some fd -> ( try serve_client ?routes ?health produce fd with _ -> ())
       | None -> ());
       go ()
     end
   in
   go ()
 
-let start ?(addr = "127.0.0.1") ~port produce =
-  Net.start ~addr ~backlog:16 ~port (accept_loop produce)
+let start ?(addr = "127.0.0.1") ?routes ?health ~port produce =
+  Net.start ~addr ~backlog:16 ~port (accept_loop ?routes ?health produce)
 
 let port = Net.port
 let stop = Net.stop

@@ -1,0 +1,149 @@
+(** Lock-free "slowest K requests" table with full stage breakdowns.
+
+    The stage histograms say {e how much} tail there is; this table
+    keeps the K worst offenders with their complete per-stage
+    decomposition (queue wait, decode, trie op, durability barrier,
+    reply write) so a p99 spike can be read request-by-request — which
+    stage ate the time, on which connection, for which key.
+
+    The table is a fixed array of [entry option Atomic.t] slots plus a
+    cached admission floor.  The hot path for a fast request is a
+    single [Atomic.get] and compare: only requests slower than the
+    current minimum of a full table scan for a victim slot.  Insertion
+    replaces the minimum entry via compare-and-set; a failed CAS means
+    a concurrent insert succeeded, so retrying is lock-free (some
+    insert always makes progress).  A slot's resident total only ever
+    grows until {!clear}, so once K entries at least as slow as [x]
+    exist, an [x]-or-faster request can never displace them — the
+    quiescent table is the exact top-K by total latency. *)
+
+type entry = {
+  op : string;  (** opcode name *)
+  key : int;
+  conn : int;  (** server-side connection id *)
+  seq : int;  (** client sequence number *)
+  start_ns : int;  (** arrival timestamp, monotonic *)
+  total_ns : int;  (** arrival -> reply flushed *)
+  stages : (string * int) list;  (** stage name -> duration ns *)
+}
+
+type t = {
+  slots : entry option Atomic.t array;
+  (* Cached minimum total of a full table; -1 while any slot is empty.
+     May lag below the true minimum (harmless: one wasted scan) but
+     never exceeds it, because resident totals only grow. *)
+  floor : int Atomic.t;
+  inserted : int Atomic.t;  (** admissions, including replacements *)
+}
+
+let create ?(k = 32) () =
+  if k < 1 then invalid_arg "Slowlog.create: k must be >= 1";
+  {
+    slots = Array.init k (fun _ -> Atomic.make None);
+    floor = Atomic.make (-1);
+    inserted = Atomic.make 0;
+  }
+
+let capacity t = Array.length t.slots
+let inserted t = Atomic.get t.inserted
+
+(** Current admission floor: a request whose total is [<=] this cannot
+    enter the table (-1 while any slot is empty).  Callers on a hot
+    path may consult it to skip building an [entry] at all. *)
+let admission_floor t = Atomic.get t.floor
+
+(* Scan for the emptiest/minimum slot.  Returns (empty_idx, min_idx,
+   min_total); empty_idx = -1 when the table is full. *)
+let scan t =
+  let empty = ref (-1) and min_idx = ref 0 and min_total = ref max_int in
+  Array.iteri
+    (fun i slot ->
+      match Atomic.get slot with
+      | None -> if !empty < 0 then empty := i
+      | Some e ->
+          if e.total_ns < !min_total then begin
+            min_total := e.total_ns;
+            min_idx := i
+          end)
+    t.slots;
+  (!empty, !min_idx, !min_total)
+
+let refresh_floor t =
+  let empty, _, min_total = scan t in
+  if empty < 0 then Atomic.set t.floor min_total
+
+let note t (e : entry) =
+  if e.total_ns > Atomic.get t.floor then begin
+    let rec attempt () =
+      let empty, min_idx, min_total = scan t in
+      if empty >= 0 then begin
+        let slot = t.slots.(empty) in
+        if Atomic.compare_and_set slot None (Some e) then
+          Atomic.incr t.inserted
+        else attempt ()
+      end
+      else if e.total_ns > min_total then begin
+        let slot = t.slots.(min_idx) in
+        match Atomic.get slot with
+        (* Only displace the slot if it still holds the scanned minimum:
+           since slot values never shrink, that value is still a global
+           minimum at CAS time, so the eviction preserves top-K
+           exactness.  Replacing any value merely <= e could evict an
+           entry that another insert had just promoted into the top-K. *)
+        | Some cur as observed when cur.total_ns = min_total ->
+            if Atomic.compare_and_set slot observed (Some e) then begin
+              Atomic.incr t.inserted;
+              refresh_floor t
+            end
+            else attempt ()
+        | _ -> attempt ()
+      end
+      else
+        (* Not slow enough after all; cache the now-known floor so the
+           next fast request takes the one-load exit. *)
+        Atomic.set t.floor min_total
+    in
+    attempt ()
+  end
+
+(** Resident entries, slowest first.  Quiescent-exact: concurrent
+    [note] calls may race the reads but each slot read is atomic. *)
+let dump t =
+  Array.to_list t.slots
+  |> List.filter_map Atomic.get
+  |> List.sort (fun a b -> compare b.total_ns a.total_ns)
+
+let clear t =
+  Array.iter (fun slot -> Atomic.set slot None) t.slots;
+  Atomic.set t.floor (-1);
+  Atomic.set t.inserted 0
+
+let entry_to_json (e : entry) =
+  Json.Obj
+    [
+      ("op", Json.Str e.op);
+      ("key", Json.Int e.key);
+      ("conn", Json.Int e.conn);
+      ("seq", Json.Int e.seq);
+      ("start_ns", Json.Int e.start_ns);
+      ("total_ns", Json.Int e.total_ns);
+      ( "stages",
+        Json.Obj (List.map (fun (n, d) -> (n, Json.Int d)) e.stages) );
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("capacity", Json.Int (capacity t));
+      ("inserted", Json.Int (inserted t));
+      ("entries", Json.Arr (List.map entry_to_json (dump t)));
+    ]
+
+let pp_entry fmt (e : entry) =
+  Format.fprintf fmt "%-8s key=%-8d conn=%-4d seq=%-6d total=%9dns  %s" e.op
+    e.key e.conn e.seq e.total_ns
+    (String.concat " "
+       (List.map (fun (n, d) -> Printf.sprintf "%s=%dns" n d) e.stages))
+
+let pp fmt t =
+  List.iter (fun e -> Format.fprintf fmt "%a@." pp_entry e) (dump t)

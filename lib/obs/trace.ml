@@ -31,11 +31,19 @@ type event = {
   ok : bool;
   retries : int;
   t_ns : int; (* Clock.now_ns at emission (span start for spans) *)
-  domain : int; (* raw domain id of the emitter *)
+  domain : int; (* display track id: raw domain id, or a base-offset
+                   track for connections / runtime-events rings *)
   attempt : int; (* attempt number within the operation; 0 for instants *)
   site : string; (* retry cause / CAS site label; "" for instants *)
   dur_ns : int; (* span duration; 0 marks an instant event *)
 }
+
+(* Track-id namespaces for the Perfetto export.  Plain domain tracks
+   use the raw domain id; per-connection request-stage tracks and
+   runtime-events (GC) tracks live at high offsets so they can never
+   collide with a domain id. *)
+let conn_track_base = 10_000
+let runtime_track_base = 20_000
 
 let is_span e = e.dur_ns > 0
 
@@ -77,8 +85,12 @@ let create ?(capacity = default_capacity) () =
 
 let capacity t = t.capacity
 
+(* The ring is selected by the *writing* domain, not by [e.domain]:
+   the event's [domain] field is a display track id that collectors
+   (e.g. the runtime-events domain) may set to another domain's track
+   while still being the sole writer of their own ring. *)
 let[@inline] push t (e : event) =
-  let r = Array.unsafe_get t.rings (e.domain land Stripe.mask) in
+  let r = Array.unsafe_get t.rings (Stripe.index ()) in
   Array.unsafe_set r.buf r.next e;
   r.next <- (r.next + 1) land (t.capacity - 1);
   if r.filled < t.capacity then r.filled <- r.filled + 1
@@ -117,6 +129,27 @@ let emit_span t kind ~key ~ok ~retries ~attempt ~site ~t0_ns =
       attempt;
       site;
       dur_ns = (if dur < 1 then 1 else dur);
+    }
+
+(** [add_span t kind ~track ~key ~ok ~retries ~attempt ~site ~t0_ns
+    ~dur_ns] records a closed span with an explicit display track and an
+    explicit duration.  Used by collectors that learn both endpoints
+    from elsewhere (runtime-events timestamps, request stage stamps)
+    and by emitters whose display track is not their own domain id
+    (per-connection tracks, GC tracks).  The event still lands in the
+    {e writer's} ring, preserving the single-writer discipline. *)
+let add_span t kind ~track ~key ~ok ~retries ~attempt ~site ~t0_ns ~dur_ns =
+  push t
+    {
+      kind;
+      key;
+      ok;
+      retries;
+      t_ns = t0_ns;
+      domain = track;
+      attempt;
+      site;
+      dur_ns = (if dur_ns < 1 then 1 else dur_ns);
     }
 
 (** Total events lost to ring overwrites since creation (or {!clear}). *)

@@ -1,0 +1,205 @@
+(** Progress watchdog: heartbeats, gauge thresholds, and a structured
+    health verdict.
+
+    The paper's structures are non-blocking — some domain always makes
+    progress — but the {e server} around them can still stall: a worker
+    wedged in a syscall, a WAL group-commit queue backing up behind a
+    sick disk, an event loop that stopped iterating.  The watchdog
+    turns "is it making progress?" into a machine-readable verdict:
+
+    - {e heartbeats}: each monitored loop registers once and calls the
+      returned closure every iteration (one [Atomic.set] — cheap enough
+      for a hot event loop).  A heartbeat older than the degraded /
+      stalled threshold contributes a reason naming the source.
+    - {e gauges}: sampled on evaluation (e.g. WAL queue depth) and
+      compared against per-source thresholds.
+
+    [verdict] folds all sources into [Ok], [Degraded reasons] or
+    [Stalled reasons]; {!healthz} shapes that for {!Serve}'s [/healthz]
+    hook (200 [ok] / 200 [degraded: ...] / 503 [stalled: ...]) with no
+    allocation beyond the reason strings on the unhealthy paths.  The
+    never-silent {!warnings} counter increments on every transition
+    into (or between) unhealthy states, so a stall that recovered
+    before anyone scraped still leaves a trace.
+
+    The clock is injectable ([?now]) so the state machine is testable
+    with a fake clock; production uses {!Clock.now_ns}. *)
+
+type verdict = Ok | Degraded of string list | Stalled of string list
+
+type source =
+  | Heartbeat of { name : string; last_ns : int Atomic.t }
+  | Gauge of {
+      name : string;
+      read : unit -> int;
+      degraded_above : int option;
+      stalled_above : int option;
+    }
+
+type t = {
+  now : unit -> int;
+  degraded_after_ns : int;
+  stalled_after_ns : int;
+  sources : source list Atomic.t;
+  state : int Atomic.t; (* 0 = ok, 1 = degraded, 2 = stalled *)
+  warnings : int Atomic.t;
+  monitor_stop : bool Atomic.t;
+  mutable monitor : unit Domain.t option;
+}
+
+let create ?(degraded_after_s = 1.0) ?(stalled_after_s = 5.0)
+    ?(now = Clock.now_ns) () =
+  if stalled_after_s < degraded_after_s then
+    invalid_arg "Watchdog.create: stalled threshold below degraded";
+  {
+    now;
+    degraded_after_ns = int_of_float (degraded_after_s *. 1e9);
+    stalled_after_ns = int_of_float (stalled_after_s *. 1e9);
+    sources = Atomic.make [];
+    state = Atomic.make 0;
+    warnings = Atomic.make 0;
+    monitor_stop = Atomic.make false;
+    monitor = None;
+  }
+
+let add_source t s =
+  let rec go () =
+    let cur = Atomic.get t.sources in
+    if not (Atomic.compare_and_set t.sources cur (s :: cur)) then go ()
+  in
+  go ()
+
+(** Register a heartbeat source; the returned closure is the beat.
+    Registration may happen from any domain (e.g. a worker registering
+    itself on its first loop iteration). *)
+let heartbeat t ~name =
+  let last_ns = Atomic.make (t.now ()) in
+  add_source t (Heartbeat { name; last_ns });
+  fun () -> Atomic.set last_ns (t.now ())
+
+(** Register a sampled gauge with optional degraded/stalled thresholds
+    (strictly-above semantics).  [read] runs on the evaluating domain;
+    exceptions count as a stalled reason rather than propagating. *)
+let gauge t ~name ?degraded_above ?stalled_above read =
+  add_source t (Gauge { name; read; degraded_above; stalled_above })
+
+let verdict t =
+  let now = t.now () in
+  let degraded = ref [] and stalled = ref [] in
+  List.iter
+    (fun s ->
+      match s with
+      | Heartbeat { name; last_ns } ->
+          let age = now - Atomic.get last_ns in
+          if age > t.stalled_after_ns then
+            stalled :=
+              Printf.sprintf "%s stalled for %.1fs" name
+                (float_of_int age /. 1e9)
+              :: !stalled
+          else if age > t.degraded_after_ns then
+            degraded :=
+              Printf.sprintf "%s slow for %.1fs" name
+                (float_of_int age /. 1e9)
+              :: !degraded
+      | Gauge { name; read; degraded_above; stalled_above } -> (
+          match read () with
+          | v -> (
+              match stalled_above with
+              | Some s when v > s ->
+                  stalled :=
+                    Printf.sprintf "%s=%d above stalled threshold %d" name v s
+                    :: !stalled
+              | _ -> (
+                  match degraded_above with
+                  | Some d when v > d ->
+                      degraded :=
+                        Printf.sprintf "%s=%d above degraded threshold %d"
+                          name v d
+                        :: !degraded
+                  | _ -> ()))
+          | exception e ->
+              stalled :=
+                Printf.sprintf "%s probe failed: %s" name (Printexc.to_string e)
+                :: !stalled))
+    (Atomic.get t.sources);
+  let v =
+    match (!stalled, !degraded) with
+    | [], [] -> Ok
+    | [], d -> Degraded (List.rev d)
+    | s, _ -> Stalled (List.rev s)
+  in
+  let level = match v with Ok -> 0 | Degraded _ -> 1 | Stalled _ -> 2 in
+  let prev = Atomic.exchange t.state level in
+  (* Never-silent: every transition into or between unhealthy states
+     bumps the warning counter, even if nobody was scraping. *)
+  if level > 0 && level <> prev then Atomic.incr t.warnings;
+  v
+
+let state t = Atomic.get t.state
+let warnings t = Atomic.get t.warnings
+
+(** [/healthz] hook for {!Serve.start}: status code plus a one-line
+    structured body.  The healthy path allocates only the verdict
+    evaluation; reason strings are built on unhealthy paths alone. *)
+let healthz t () =
+  match verdict t with
+  | Ok -> (200, "ok\n")
+  | Degraded reasons -> (200, "degraded: " ^ String.concat "; " reasons ^ "\n")
+  | Stalled reasons -> (503, "stalled: " ^ String.concat "; " reasons ^ "\n")
+
+(* ------------------------------------------------------------------ *)
+(* Background monitor: keeps the verdict (and the warnings counter)
+   advancing even when no scraper is attached. *)
+
+let start_monitor ?(period_s = 0.25) t =
+  if t.monitor = None then begin
+    Atomic.set t.monitor_stop false;
+    t.monitor <-
+      Some
+        (Domain.spawn (fun () ->
+             while not (Atomic.get t.monitor_stop) do
+               (try ignore (verdict t) with _ -> ());
+               Unix.sleepf period_s
+             done))
+  end
+
+let stop_monitor t =
+  match t.monitor with
+  | None -> ()
+  | Some d ->
+      Atomic.set t.monitor_stop true;
+      Domain.join d;
+      t.monitor <- None
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus families *)
+
+let emit t b =
+  (* Refresh before exporting so a scrape never reports a stale state. *)
+  ignore (verdict t);
+  Prometheus.gauge b ~name:"patserve_watchdog_state"
+    ~help:"Current watchdog verdict (0 = ok, 1 = degraded, 2 = stalled)"
+    (float_of_int (state t));
+  Prometheus.counter b ~name:"patserve_watchdog_warnings_total"
+    ~help:"Transitions into degraded or stalled states since start"
+    (float_of_int (warnings t));
+  let now = t.now () in
+  List.iter
+    (fun s ->
+      match s with
+      | Heartbeat { name; last_ns } ->
+          Prometheus.gauge b ~name:"patserve_watchdog_heartbeat_age_ns"
+            ~labels:[ ("source", name) ]
+            (float_of_int (now - Atomic.get last_ns))
+      | Gauge _ -> ())
+    (Atomic.get t.sources);
+  List.iter
+    (fun s ->
+      match s with
+      | Gauge { name; read; _ } ->
+          let v = try float_of_int (read ()) with _ -> Float.nan in
+          Prometheus.gauge b ~name:"patserve_watchdog_gauge"
+            ~labels:[ ("source", name) ]
+            v
+      | Heartbeat _ -> ())
+    (Atomic.get t.sources)

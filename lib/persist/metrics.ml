@@ -20,6 +20,17 @@ let sync_waits = Obs.Counter.create ()
 let fsync_ns = Obs.Histogram.create ()
 let batch_size = Obs.Histogram.create ()
 
+(* The group-commit queue depth is instantaneous state of the live
+   writer, not a cumulative counter; the store (or patbench) registers
+   a sampling closure so the global exposition can include it. *)
+let queue_depth_source : (unit -> int) option Atomic.t = Atomic.make None
+let set_queue_depth_source f = Atomic.set queue_depth_source f
+
+let queue_depth () =
+  match Atomic.get queue_depth_source with
+  | Some f -> ( try f () with _ -> 0)
+  | None -> 0
+
 let reset () =
   List.iter Obs.Counter.reset
     [
@@ -79,4 +90,7 @@ let emit b =
     (Obs.Histogram.snapshot fsync_ns);
   histogram_summary b ~name:"patserve_wal_batch_size"
     ~help:"Mutation records per group-commit batch"
-    (Obs.Histogram.snapshot batch_size)
+    (Obs.Histogram.snapshot batch_size);
+  gauge b ~name:"patserve_wal_queue_depth"
+    ~help:"Records enqueued for group commit but not yet durable"
+    (float_of_int (queue_depth ()))

@@ -180,6 +180,12 @@ module Make (S : Dset_intf.CONCURRENT_SET_WITH_REPLACE) = struct
         if last >= 0 then Wal.Writer.wait_durable w last
     | _ -> ()
 
+  (** Group-commit backlog: records enqueued for the log domain but not
+      yet durable.  0 when the store does not log.  Cheap enough to be
+      sampled by the progress watchdog on every health evaluation. *)
+  let queue_depth t =
+    match t.writer with Some w -> Wal.Writer.queue_depth w | None -> 0
+
   (** Write a checkpoint of the current contents beside live traffic and
       delete WAL segments it makes obsolete.  Returns
       [(keys_serialized, segments_deleted)].  Serialized against itself

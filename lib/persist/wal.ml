@@ -487,6 +487,15 @@ module Writer = struct
     Mutex.unlock w.mu;
     s
 
+  (** Records enqueued but not yet on disk — the group-commit backlog.
+      A depth that keeps growing means the log domain is not keeping up
+      (sick disk, fsync storms); the progress watchdog alarms on it. *)
+  let queue_depth w =
+    Mutex.lock w.mu;
+    let n = Queue.length w.q in
+    Mutex.unlock w.mu;
+    n
+
   (** Drain the queue, seal the segment with a final fsync, join the log
       domain.  Idempotent. *)
   let stop w =

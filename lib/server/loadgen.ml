@@ -37,6 +37,11 @@ type config = {
       (** give each generator domain a disjoint slice of the universe,
           so per-key operation order is total (one connection's order)
           and the journal is an unambiguous durability model *)
+  scrape_port : int option;
+      (** scrape [http://addr:port/metrics] at end of run and embed the
+          server-side latency view (per-opcode p50/p99 and the WAL
+          fsync p99) next to the client-side numbers — the cross-check
+          that a client-observed tail is (or is not) server time *)
 }
 
 let default_config =
@@ -53,6 +58,7 @@ let default_config =
     journal = false;
     tolerate_disconnect = false;
     partition = false;
+    scrape_port = None;
   }
 
 (** One connection's acknowledged-operation journal: [acked] in ack
@@ -74,6 +80,10 @@ type report = {
   size_delta : int;
   disconnects : int;  (** generators that lost their connection *)
   journals : journal list;  (** one per generator domain, in order *)
+  server_metrics : (string * float) list;
+      (** server-side cross-check scraped from the metrics endpoint at
+          end of run ([config.scrape_port]); empty when not scraped or
+          the scrape failed *)
 }
 
 (* One generator domain's tally. *)
@@ -185,6 +195,44 @@ let worker (cfg : config) hist go d =
         @ (match !sending with Some op -> [ op ] | None -> []);
       t
 
+(* End-of-run server-side cross-check: one GET /metrics, then pull the
+   per-opcode end-to-end server latency (stage="total" of the request
+   stage decomposition) and the WAL fsync tail out of the exposition.
+   Any failure yields an empty list — the load numbers stand on their
+   own; the cross-check is advisory. *)
+let scrape_server_metrics ~addr ~port =
+  match Obs.Net.http_get ~addr ~port ~path:"/metrics" () with
+  | Error _ | Ok (0, _) -> []
+  | Ok (status, _) when status <> 200 -> []
+  | Ok (_, body) ->
+      let samples, _errs = Obs.Prometheus.parse_samples body in
+      let take acc key name labels =
+        match Obs.Prometheus.find_sample samples ~name ~labels with
+        | Some v -> (key, v) :: acc
+        | None -> acc
+      in
+      let acc =
+        List.fold_left
+          (fun acc op ->
+            let acc =
+              take acc
+                (Printf.sprintf "server_%s_p50_ns" op)
+                "patserve_request_stage_ns"
+                [ ("op", op); ("stage", "total"); ("quantile", "0.5") ]
+            in
+            take acc
+              (Printf.sprintf "server_%s_p99_ns" op)
+              "patserve_request_stage_ns"
+              [ ("op", op); ("stage", "total"); ("quantile", "0.99") ])
+          []
+          [ "insert"; "delete"; "member"; "replace" ]
+      in
+      let acc =
+        take acc "server_wal_fsync_p99_ns" "patserve_wal_fsync_ns"
+          [ ("quantile", "0.99") ]
+      in
+      List.rev acc
+
 (** Run the configured load.  Raises [Client.Protocol_error] (or a
     connect failure) if any generator domain hits a framing-level
     problem; application-level [Error] results are only counted. *)
@@ -215,6 +263,11 @@ let run cfg =
   let journals =
     List.map (fun t -> { acked = t.journal; in_flight = t.in_flight }) tallies
   in
+  let server_metrics =
+    match cfg.scrape_port with
+    | None -> []
+    | Some p -> scrape_server_metrics ~addr:cfg.addr ~port:p
+  in
   {
     ops;
     errors;
@@ -225,6 +278,7 @@ let run cfg =
     size_delta;
     disconnects;
     journals;
+    server_metrics;
   }
 
 (** Insert a random half of the universe through BATCH frames; returns
@@ -282,5 +336,11 @@ let report_to_json cfg (r : report) : Obs.Json.t =
                 (List.map (fun (k, v) -> (k, Obs.Json.Int v)) r.per_op) );
             ("size_delta", Obs.Json.Int r.size_delta);
             ("disconnects", Obs.Json.Int r.disconnects);
+            ( "server",
+              match r.server_metrics with
+              | [] -> Obs.Json.Null
+              | kvs ->
+                  Obs.Json.Obj
+                    (List.map (fun (k, v) -> (k, Obs.Json.Float v)) kvs) );
           ] );
     ]

@@ -43,6 +43,29 @@ module Metrics = struct
   let op_errors = Obs.Counter.create ()
   let protocol_errors = Obs.Counter.create ()
 
+  (* Per-request latency decomposition (the "latency forensics" layer):
+     queue wait (arrival -> decode start, which for pipelined frames
+     includes time spent behind earlier frames of the same window),
+     frame decode, trie op (incl. reply encode), durability barrier,
+     reply write, and end-to-end total (arrival -> reply flushed).  The
+     five stages telescope: their sum equals the total exactly, so
+     per-request stage sums are <= any client-observed round trip. *)
+  let stage_names = [| "queue"; "decode"; "trie"; "barrier"; "write"; "total" |]
+  let stage_count = Array.length stage_names
+
+  let stages =
+    Array.init Protocol.op_count (fun _ ->
+        Array.init stage_count (fun _ -> Obs.Histogram.create ()))
+
+  let record_stages idx ~queue ~decode ~trie ~barrier ~write ~total =
+    let h = stages.(idx) in
+    Obs.Histogram.record h.(0) queue;
+    Obs.Histogram.record h.(1) decode;
+    Obs.Histogram.record h.(2) trie;
+    Obs.Histogram.record h.(3) barrier;
+    Obs.Histogram.record h.(4) write;
+    Obs.Histogram.record h.(5) total
+
   let record idx dt =
     Obs.Counter.incr requests.(idx);
     Obs.Histogram.record latency.(idx) dt
@@ -50,6 +73,7 @@ module Metrics = struct
   let reset () =
     Array.iter Obs.Counter.reset requests;
     Array.iter Obs.Histogram.reset latency;
+    Array.iter (Array.iter Obs.Histogram.reset) stages;
     Obs.Counter.reset accepted;
     Obs.Counter.reset op_errors;
     Obs.Counter.reset protocol_errors
@@ -94,8 +118,24 @@ module Metrics = struct
       (float_of_int (Obs.Counter.sum op_errors));
     counter b ~name:"patserve_protocol_errors_total"
       ~help:"Connections torn down for protocol violations"
-      (float_of_int (Obs.Counter.sum protocol_errors))
+      (float_of_int (Obs.Counter.sum protocol_errors));
+    Array.iteri
+      (fun i op ->
+        Array.iteri
+          (fun s stage ->
+            histogram_summary b ~name:"patserve_request_stage_ns"
+              ~help:
+                "Per-request latency decomposition, nanoseconds, by opcode \
+                 and stage"
+              ~labels:[ ("op", op); ("stage", stage) ]
+              (Obs.Histogram.snapshot stages.(i).(s)))
+          stage_names)
+      op_names
 end
+
+(* The process-global slowest-K request table, fed by every worker and
+   dumped by `patbench serve` and the /debug/slowlog endpoint. *)
+let slowlog = Obs.Slowlog.create ~k:64 ()
 
 (* ------------------------------------------------------------------ *)
 (* The served operations, as closures (same pattern as Harness.ops) so
@@ -154,8 +194,36 @@ let trace_key = function
   | Protocol.Replace { remove; _ } -> remove
   | Protocol.Size | Protocol.Batch _ -> 0
 
-let handle_request ops out { Protocol.seq; op } =
-  let t0 = Obs.Clock.now_ns () in
+(* ------------------------------------------------------------------ *)
+(* Connection state and the per-worker event loop *)
+
+(* One executed-but-unflushed request: the stage stamps collected while
+   processing its window, finalized (histograms, slowlog, trace) once
+   the window's barrier and flush have run. *)
+type pending = {
+  p_op : int; (* opcode index *)
+  p_kind : Obs.Trace.kind;
+  p_key : int;
+  p_seq : int;
+  p_arrival : int; (* read-batch arrival stamp *)
+  p_d0 : int; (* decode start *)
+  p_d1 : int; (* decode done / trie op start *)
+  p_d2 : int; (* reply encoded *)
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  id : int; (* process-unique, names the Perfetto conn track *)
+  reader : Protocol.Reader.t;
+  out : Buffer.t;
+  mutable out_off : int; (* bytes of [out] already on the wire *)
+  mutable closing : bool; (* EOF seen or protocol error sent *)
+  mutable window : pending list; (* newest first; emptied on finalize *)
+}
+
+let next_conn_id = Atomic.make 0
+
+let handle_request ops c ~arrival ~d0 ~d1 { Protocol.seq; op } =
   let result =
     (* An operation raising (key outside the structure's universe, a
        buggy served module) must answer this request, not kill the
@@ -166,27 +234,29 @@ let handle_request ops out { Protocol.seq; op } =
         Obs.Counter.incr Metrics.op_errors;
         Protocol.Error (Printexc.to_string e)
   in
-  let dt = Obs.Clock.now_ns () - t0 in
-  Metrics.record (Protocol.op_index op) dt;
+  let dt = Obs.Clock.now_ns () - d1 in
+  let idx = Protocol.op_index op in
+  Metrics.record idx dt;
   Harness.Live.op dt;
   (match Obs.Trace.recorder () with
   | Some tr ->
       let ok = match result with Protocol.Error _ -> false | _ -> true in
       Obs.Trace.emit_span tr (trace_kind op) ~key:(trace_key op) ~ok ~retries:0
-        ~attempt:1 ~site:"serve" ~t0_ns:t0
+        ~attempt:1 ~site:"serve" ~t0_ns:d1
   | None -> ());
-  Protocol.encode_response out { Protocol.seq; result }
-
-(* ------------------------------------------------------------------ *)
-(* Connection state and the per-worker event loop *)
-
-type conn = {
-  fd : Unix.file_descr;
-  reader : Protocol.Reader.t;
-  out : Buffer.t;
-  mutable out_off : int; (* bytes of [out] already on the wire *)
-  mutable closing : bool; (* EOF seen or protocol error sent *)
-}
+  Protocol.encode_response c.out { Protocol.seq; result };
+  c.window <-
+    {
+      p_op = idx;
+      p_kind = trace_kind op;
+      p_key = trace_key op;
+      p_seq = seq;
+      p_arrival = arrival;
+      p_d0 = d0;
+      p_d1 = d1;
+      p_d2 = Obs.Clock.now_ns ();
+    }
+    :: c.window
 
 let pending c = Buffer.length c.out - c.out_off
 
@@ -226,10 +296,13 @@ let protocol_failure c msg =
 
 (* Decode and execute every complete frame buffered on [c] — this inner
    loop is where pipelining pays: one read syscall can carry a whole
-   window of requests, answered with one write. *)
-let process_frames ops c =
+   window of requests, answered with one write.  [arrival] is the read
+   stamp shared by the window; the per-frame decode stamps bracket
+   [next_payload] + [decode_request]. *)
+let process_frames ops c ~arrival =
   let rec go () =
-    if not c.closing then
+    if not c.closing then begin
+      let d0 = Obs.Clock.now_ns () in
       match Protocol.Reader.next_payload c.reader with
       | `None -> ()
       | `Bad msg -> protocol_failure c msg
@@ -238,10 +311,77 @@ let process_frames ops c =
           match Protocol.decode_request buf ~off ~len with
           | Result.Error msg -> protocol_failure c msg
           | Result.Ok req ->
-              handle_request ops c.out req;
+              let d1 = Obs.Clock.now_ns () in
+              handle_request ops c ~arrival ~d0 ~d1 req;
               go ())
+    end
   in
   go ()
+
+(* Close out a window's stage accounting once its barrier and flush
+   stamps are known: per-opcode stage histograms, slowlog admission,
+   and — when the flight recorder is live — stage spans on the
+   connection's own Perfetto track.  The barrier and write stages are
+   per-window (one group commit, one flush cover all its requests) and
+   are attributed to every request they gated. *)
+let finalize_window c ~b0 ~b1 ~w1 =
+  match c.window with
+  | [] -> ()
+  | entries ->
+      c.window <- [];
+      let barrier_ns = b1 - b0 and write_ns = w1 - b1 in
+      let tr = Obs.Trace.recorder () in
+      let track = Obs.Trace.conn_track_base + (c.id mod 10_000) in
+      (match tr with
+      | Some tr ->
+          let span kind ~t0 ~dur ~site =
+            Obs.Trace.add_span tr kind ~track ~key:0 ~ok:true ~retries:0
+              ~attempt:0 ~site ~t0_ns:t0 ~dur_ns:dur
+          in
+          span (Obs.Trace.Custom "barrier") ~t0:b0 ~dur:barrier_ns
+            ~site:"stage:barrier";
+          span (Obs.Trace.Custom "write") ~t0:b1 ~dur:write_ns
+            ~site:"stage:write"
+      | None -> ());
+      List.iter
+        (fun p ->
+          let queue = p.p_d0 - p.p_arrival in
+          let decode = p.p_d1 - p.p_d0 in
+          let trie = p.p_d2 - p.p_d1 in
+          let total = w1 - p.p_arrival in
+          Metrics.record_stages p.p_op ~queue ~decode ~trie ~barrier:barrier_ns
+            ~write:write_ns ~total;
+          if total > Obs.Slowlog.admission_floor slowlog then
+            Obs.Slowlog.note slowlog
+              {
+                Obs.Slowlog.op = Metrics.op_names.(p.p_op);
+                key = p.p_key;
+                conn = c.id;
+                seq = p.p_seq;
+                start_ns = p.p_arrival;
+                total_ns = total;
+                stages =
+                  [
+                    ("queue", queue); ("decode", decode); ("trie", trie);
+                    ("barrier", barrier_ns); ("write", write_ns);
+                  ];
+              };
+          match tr with
+          | Some tr ->
+              let span kind ~key ~t0 ~dur ~site =
+                Obs.Trace.add_span tr kind ~track ~key ~ok:true ~retries:0
+                  ~attempt:0 ~site ~t0_ns:t0 ~dur_ns:dur
+              in
+              span p.p_kind ~key:p.p_key ~t0:p.p_arrival ~dur:total
+                ~site:"request";
+              span (Obs.Trace.Custom "queue") ~key:0 ~t0:p.p_arrival ~dur:queue
+                ~site:"stage:queue";
+              span (Obs.Trace.Custom "decode") ~key:0 ~t0:p.p_d0 ~dur:decode
+                ~site:"stage:decode";
+              span (Obs.Trace.Custom "trie") ~key:p.p_key ~t0:p.p_d1 ~dur:trie
+                ~site:"stage:trie"
+          | None -> ())
+        (List.rev entries)
 
 (* [barrier] runs between executing a window of pipelined requests and
    flushing their responses: the durability layer uses it to hold acks
@@ -249,21 +389,28 @@ let process_frames ops c =
    covers the whole window rather than each request.  Responses already
    buffered from earlier windows re-flushed by the select loop passed
    their barrier when they were produced. *)
+let finish_window barrier conns c =
+  let b0 = Obs.Clock.now_ns () in
+  barrier ();
+  let b1 = Obs.Clock.now_ns () in
+  ignore (flush_out conns c);
+  let w1 = Obs.Clock.now_ns () in
+  finalize_window c ~b0 ~b1 ~w1
+
 let handle_read ops barrier conns scratch c =
   Chaos.point Chaos.Net_read;
   match Unix.read c.fd scratch 0 (Bytes.length scratch) with
   | 0 ->
       (* Orderly EOF: answer whatever complete frames are already
          buffered, flush, then close. *)
-      process_frames ops c;
-      barrier ();
+      process_frames ops c ~arrival:(Obs.Clock.now_ns ());
       c.closing <- true;
-      ignore (flush_out conns c)
+      finish_window barrier conns c
   | n ->
+      let arrival = Obs.Clock.now_ns () in
       Protocol.Reader.feed c.reader scratch n;
-      process_frames ops c;
-      barrier ();
-      ignore (flush_out conns c)
+      process_frames ops c ~arrival;
+      finish_window barrier conns c
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
     ->
       ()
@@ -280,25 +427,38 @@ let accept_new conns lsock =
       Hashtbl.replace conns fd
         {
           fd;
+          id = Atomic.fetch_and_add next_conn_id 1;
           reader = Protocol.Reader.create ();
           out = Buffer.create 4096;
           out_off = 0;
           closing = false;
+          window = [];
         }
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
     ->
       ()
   | exception Unix.Unix_error (_, _, _) -> ()
 
-let worker_loop ops barrier drain_s ~stopping lsock =
+let worker_loop ops barrier drain_s watchdog ~stopping lsock =
   (* Idempotent across workers; guarantees accept never blocks the
      event loop even in a single-worker configuration. *)
   Unix.set_nonblock lsock;
+  (* The watchdog heartbeat is the event-loop iteration age: beaten
+     once per select iteration, so a worker wedged in a syscall (or a
+     chaos stall) stops beating and the verdict names it. *)
+  let beat =
+    match watchdog with
+    | Some wd ->
+        Obs.Watchdog.heartbeat wd
+          ~name:(Printf.sprintf "worker-%d" (Domain.self () :> int))
+    | None -> fun () -> ()
+  in
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
   let scratch = Bytes.create 65536 in
   let drain_deadline = ref None in
   let all_conns () = Hashtbl.fold (fun _ c acc -> c :: acc) conns [] in
   let rec loop () =
+    beat ();
     let stop = stopping () in
     (match (!drain_deadline, stop) with
     | None, true ->
@@ -365,12 +525,17 @@ type t = { net : Obs.Net.t; drain_s : float Atomic.t }
     [barrier], if given, runs on the worker after executing each window
     of pipelined requests and before their responses are flushed; a
     durability layer passes [Persist.Store.barrier] here so
-    acknowledgements wait for the group commit that covers them. *)
+    acknowledgements wait for the group commit that covers them.
+
+    [watchdog], if given, receives one heartbeat source per worker
+    domain (named [worker-<domain id>]), beaten every event-loop
+    iteration — the progress signal behind the /healthz verdict. *)
 let start ?(addr = "127.0.0.1") ?(port = 0) ?(domains = 2) ?(backlog = 64)
-    ?(barrier = fun () -> ()) ops =
+    ?(barrier = fun () -> ()) ?watchdog ops =
   let drain_s = Atomic.make 1.0 in
   let net =
-    Obs.Net.start ~addr ~backlog ~domains ~port (worker_loop ops barrier drain_s)
+    Obs.Net.start ~addr ~backlog ~domains ~port
+      (worker_loop ops barrier drain_s watchdog)
   in
   { net; drain_s }
 

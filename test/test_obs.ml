@@ -627,6 +627,262 @@ let test_instrument_counts () =
     (IPat.latency_summary t `Insert).H.count
 
 (* ------------------------------------------------------------------ *)
+(* Slowlog: lock-free exact top-K of slowest requests *)
+
+let slow_entry total =
+  Obs.Slowlog.
+    {
+      op = "insert";
+      key = total;
+      conn = 0;
+      seq = total;
+      start_ns = 0;
+      total_ns = total;
+      stages = [ ("queue", 1); ("trie", total - 1) ];
+    }
+
+let test_slowlog_topk_sequential () =
+  let sl = Obs.Slowlog.create ~k:4 () in
+  Alcotest.(check int) "capacity" 4 (Obs.Slowlog.capacity sl);
+  Alcotest.(check int) "floor starts open" (-1) (Obs.Slowlog.admission_floor sl);
+  for total = 1 to 10 do
+    Obs.Slowlog.note sl (slow_entry total)
+  done;
+  let totals =
+    List.map (fun e -> e.Obs.Slowlog.total_ns) (Obs.Slowlog.dump sl)
+  in
+  Alcotest.(check (list int)) "exact top-4, slowest first" [ 10; 9; 8; 7 ]
+    totals;
+  Alcotest.(check bool) "floor reached the min retained" true
+    (Obs.Slowlog.admission_floor sl >= 6);
+  (* Below-floor entries are rejected without touching the table. *)
+  let before = Obs.Slowlog.inserted sl in
+  Obs.Slowlog.note sl (slow_entry 2);
+  Alcotest.(check int) "below floor not admitted" before
+    (Obs.Slowlog.inserted sl);
+  Obs.Slowlog.clear sl;
+  Alcotest.(check (list int)) "clear empties" []
+    (List.map (fun e -> e.Obs.Slowlog.total_ns) (Obs.Slowlog.dump sl))
+
+let test_slowlog_concurrent_exact () =
+  (* 4 domains insert disjoint totals; at quiescence the table must hold
+     exactly the K globally largest — the replacement CAS only ever
+     evicts a current global minimum, so no admitted larger entry can be
+     lost to a race. *)
+  let k = 8 and domains = 4 and per = 2_000 in
+  let sl = Obs.Slowlog.create ~k () in
+  let worker d () =
+    let rng = Rng.of_int_seed (0xD00D + d) in
+    let order = Array.init per (fun i -> (d * per) + i + 1) in
+    (* Shuffle so admissions are not monotone per domain. *)
+    for i = per - 1 downto 1 do
+      let j = Rng.int rng (i + 1) in
+      let t = order.(i) in
+      order.(i) <- order.(j);
+      order.(j) <- t
+    done;
+    Array.iter (fun total -> Obs.Slowlog.note sl (slow_entry total)) order
+  in
+  let ds = List.init domains (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join ds;
+  let expected = List.init k (fun i -> (domains * per) - i) in
+  let got =
+    List.map (fun e -> e.Obs.Slowlog.total_ns) (Obs.Slowlog.dump sl)
+  in
+  Alcotest.(check (list int)) "concurrent top-K exact" expected got
+
+let test_slowlog_json () =
+  let sl = Obs.Slowlog.create ~k:2 () in
+  Obs.Slowlog.note sl (slow_entry 5);
+  let j = Obs.Slowlog.to_json sl in
+  (* Round-trips through the parser and carries the stage breakdown. *)
+  match Obs.Json.of_string (Obs.Json.to_string j) with
+  | exception Obs.Json.Parse_error m ->
+      Alcotest.failf "slowlog json unparseable: %s" m
+  | Obs.Json.Obj fields ->
+      Alcotest.(check bool) "has entries" true (List.mem_assoc "entries" fields);
+      Alcotest.(check bool) "has capacity" true
+        (List.mem_assoc "capacity" fields)
+  | _ -> Alcotest.fail "slowlog json not an object"
+
+(* ------------------------------------------------------------------ *)
+(* Watchdog: fake-clock state machine *)
+
+let wd_status wd =
+  let code, body = Obs.Watchdog.healthz wd () in
+  (code, body)
+
+let test_watchdog_state_machine () =
+  let now = ref 0 in
+  let wd =
+    Obs.Watchdog.create ~degraded_after_s:1.0 ~stalled_after_s:5.0
+      ~now:(fun () -> !now)
+      ()
+  in
+  let beat = Obs.Watchdog.heartbeat wd ~name:"loop" in
+  Alcotest.(check (pair int string)) "fresh heartbeat ok" (200, "ok\n")
+    (wd_status wd);
+  Alcotest.(check int) "no warnings yet" 0 (Obs.Watchdog.warnings wd);
+  now := 2_000_000_000;
+  let code, body = wd_status wd in
+  Alcotest.(check int) "degraded stays 200" 200 code;
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "degraded names the source" true
+    (String.length body >= 9
+    && String.sub body 0 9 = "degraded:"
+    && contains body "loop");
+  Alcotest.(check int) "transition warned" 1 (Obs.Watchdog.warnings wd);
+  now := 6_000_000_000;
+  let code, body = wd_status wd in
+  Alcotest.(check int) "stalled is 503" 503 code;
+  Alcotest.(check bool) "stalled names the source" true
+    (String.sub body 0 8 = "stalled:");
+  Alcotest.(check int) "second transition warned" 2 (Obs.Watchdog.warnings wd);
+  (* Re-evaluating in the same state does not re-warn. *)
+  ignore (wd_status wd);
+  Alcotest.(check int) "steady state silent" 2 (Obs.Watchdog.warnings wd);
+  beat ();
+  Alcotest.(check (pair int string)) "recovery flips back" (200, "ok\n")
+    (wd_status wd);
+  Alcotest.(check int) "recovery does not warn" 2 (Obs.Watchdog.warnings wd)
+
+let test_watchdog_gauge_thresholds () =
+  let now = ref 0 in
+  let depth = ref 0 in
+  let wd = Obs.Watchdog.create ~now:(fun () -> !now) () in
+  Obs.Watchdog.gauge wd ~name:"wal-queue" ~degraded_above:10 ~stalled_above:100
+    (fun () -> !depth);
+  Alcotest.(check int) "below thresholds ok" 200 (fst (wd_status wd));
+  depth := 50;
+  let code, body = wd_status wd in
+  Alcotest.(check int) "above degraded" 200 code;
+  Alcotest.(check bool) "reason carries value" true
+    (String.sub body 0 9 = "degraded:");
+  depth := 500;
+  Alcotest.(check int) "above stalled is 503" 503 (fst (wd_status wd));
+  depth := 0;
+  Alcotest.(check int) "gauge recovery" 200 (fst (wd_status wd));
+  (* A probe that throws is a stall, not a crash. *)
+  let wd2 = Obs.Watchdog.create ~now:(fun () -> !now) () in
+  Obs.Watchdog.gauge wd2 ~name:"sick" ~stalled_above:1 (fun () ->
+      failwith "probe boom");
+  Alcotest.(check int) "throwing probe stalls" 503 (fst (wd_status wd2))
+
+(* ------------------------------------------------------------------ *)
+(* Perfetto fusion: request/stage/runtime spans share one document *)
+
+let test_perfetto_track_names () =
+  Alcotest.(check string) "domain track" "domain-3" (Obs.Perfetto.track_name 3);
+  Alcotest.(check string) "conn track" "conn-7"
+    (Obs.Perfetto.track_name (Obs.Trace.conn_track_base + 7));
+  Alcotest.(check string) "runtime track" "runtime-2"
+    (Obs.Perfetto.track_name (Obs.Trace.runtime_track_base + 2))
+
+let test_perfetto_fused_layers_validate () =
+  let t = Obs.Trace.create ~capacity:64 () in
+  (* Layer 1: a trie attempt span on the writer's domain track. *)
+  Obs.Trace.emit_span t Obs.Trace.Insert ~key:1 ~ok:true ~retries:0 ~attempt:1
+    ~site:"flag_cas" ~t0_ns:1_000;
+  (* Layer 2: a request plus stage spans on a connection track. *)
+  let conn = Obs.Trace.conn_track_base + 1 in
+  Obs.Trace.add_span t Obs.Trace.Insert ~track:conn ~key:1 ~ok:true ~retries:0
+    ~attempt:0 ~site:"request" ~t0_ns:1_000 ~dur_ns:5_000;
+  Obs.Trace.add_span t (Obs.Trace.Custom "queue") ~track:conn ~key:1 ~ok:true
+    ~retries:0 ~attempt:0 ~site:"stage:queue" ~t0_ns:1_000 ~dur_ns:500;
+  (* Layer 3: a GC span on a runtime track. *)
+  Obs.Trace.add_span t (Obs.Trace.Custom "minor")
+    ~track:(Obs.Trace.runtime_track_base + 1)
+    ~key:0 ~ok:true ~retries:0 ~attempt:0 ~site:"rt:minor" ~t0_ns:2_000
+    ~dur_ns:300;
+  let doc = Obs.Perfetto.to_json t in
+  (match Obs.Perfetto.validate doc with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "fused doc rejected: %s" m);
+  (* The three layers land in their own categories. *)
+  let cats = ref [] in
+  (match doc with
+  | Obs.Json.Obj fields -> (
+      match List.assoc "traceEvents" fields with
+      | Obs.Json.Arr evs ->
+          List.iter
+            (function
+              | Obs.Json.Obj e -> (
+                  match List.assoc_opt "cat" e with
+                  | Some (Obs.Json.Str c) ->
+                      if not (List.mem c !cats) then cats := c :: !cats
+                  | _ -> ())
+              | _ -> ())
+            evs
+      | _ -> Alcotest.fail "traceEvents not an array")
+  | _ -> Alcotest.fail "doc not an object");
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (c ^ " category present") true (List.mem c !cats))
+    [ "attempt"; "request"; "stage"; "runtime" ]
+
+(* ------------------------------------------------------------------ *)
+(* Runtime-events collector: live smoke (skipped if unavailable) *)
+
+let test_runtime_collector_smoke () =
+  match Obs.Runtime.start ~poll_interval_s:0.001 () with
+  | Error m ->
+      (* Environment without runtime-events support: degrading, never
+         failing, is exactly the contract. *)
+      Printf.printf "runtime-events unavailable (%s), skipping\n%!" m
+  | Ok rt ->
+      Obs.Runtime.reset ();
+      for _ = 1 to 5 do
+        ignore (Sys.opaque_identity (Array.init 200_000 string_of_int));
+        Gc.full_major ()
+      done;
+      Unix.sleepf 0.05;
+      Obs.Runtime.stop rt;
+      let snap = Obs.Runtime.snapshot () in
+      let activity =
+        List.assoc "minor_collections" snap
+        + List.assoc "major_slices" snap
+        + List.assoc "stw_pauses" snap
+      in
+      Alcotest.(check bool) "collector observed GC activity" true (activity > 0);
+      (* The exposition renders without violating family contiguity. *)
+      let b = Obs.Prometheus.create () in
+      Obs.Runtime.emit b;
+      let text = Obs.Prometheus.to_string b in
+      let _, errors = Obs.Prometheus.parse_samples text in
+      Alcotest.(check (list string)) "gc families parse clean" [] errors
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition parser *)
+
+let test_prometheus_parser () =
+  let text =
+    "# HELP x_total help text\n# TYPE x_total counter\nx_total 41\n\
+     lat{op=\"insert\",quantile=\"0.99\"} 1.5e3\n\
+     esc{msg=\"a\\\"b\\\\c\"} 2 1712345678\n"
+  in
+  let samples, errors = Obs.Prometheus.parse_samples text in
+  Alcotest.(check (list string)) "no parse errors" [] errors;
+  Alcotest.(check (option (float 0.001))) "bare sample" (Some 41.0)
+    (Obs.Prometheus.find_sample samples ~name:"x_total" ~labels:[]);
+  Alcotest.(check (option (float 0.001))) "labelled sample" (Some 1500.0)
+    (Obs.Prometheus.find_sample samples ~name:"lat"
+       ~labels:[ ("op", "insert"); ("quantile", "0.99") ]);
+  Alcotest.(check (option (float 0.001))) "escapes and timestamp" (Some 2.0)
+    (Obs.Prometheus.find_sample samples ~name:"esc"
+       ~labels:[ ("msg", "a\"b\\c") ]);
+  Alcotest.(check (option (float 0.001))) "label subset match" (Some 1500.0)
+    (Obs.Prometheus.find_sample samples ~name:"lat" ~labels:[ ("op", "insert") ]);
+  Alcotest.(check (option (float 0.001))) "missing is None" None
+    (Obs.Prometheus.find_sample samples ~name:"lat"
+       ~labels:[ ("op", "delete") ]);
+  let _, errs = Obs.Prometheus.parse_samples "broken{ 12\n" in
+  Alcotest.(check bool) "malformed line reported" true (errs <> [])
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let qt = QCheck_alcotest.to_alcotest in
@@ -689,5 +945,30 @@ let () =
       ( "instrument",
         [
           Alcotest.test_case "functor over PAT" `Quick test_instrument_counts;
+        ] );
+      ( "slowlog",
+        [
+          Alcotest.test_case "sequential top-K and floor" `Quick
+            test_slowlog_topk_sequential;
+          Alcotest.test_case "concurrent top-K exact" `Quick
+            test_slowlog_concurrent_exact;
+          Alcotest.test_case "json dump" `Quick test_slowlog_json;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "heartbeat state machine" `Quick
+            test_watchdog_state_machine;
+          Alcotest.test_case "gauge thresholds and sick probes" `Quick
+            test_watchdog_gauge_thresholds;
+        ] );
+      ( "forensics",
+        [
+          Alcotest.test_case "track namespaces" `Quick
+            test_perfetto_track_names;
+          Alcotest.test_case "fused layers validate" `Quick
+            test_perfetto_fused_layers_validate;
+          Alcotest.test_case "runtime collector smoke" `Quick
+            test_runtime_collector_smoke;
+          Alcotest.test_case "prometheus parser" `Quick test_prometheus_parser;
         ] );
     ]

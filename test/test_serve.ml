@@ -239,6 +239,67 @@ let test_serve_live_scrape () =
       A.Conflict ]
 
 (* ------------------------------------------------------------------ *)
+(* Health hook and custom routes (the watchdog/slowlog wiring) *)
+
+let test_serve_health_hook () =
+  (* The /healthz body is whatever the hook says, with its status code:
+     degraded stays 200 (scrape keeps working), stalled is 503 (load
+     balancers drain), a throwing hook is a 500, and the default
+     hook-less endpoint still answers ok. *)
+  let verdict = ref (200, "ok\n") in
+  let s =
+    S.start ~port:0 ~health:(fun () -> !verdict) (fun () -> "x 1\n")
+  in
+  Fun.protect ~finally:(fun () -> S.stop s) @@ fun () ->
+  let port = S.port s in
+  let code, _, body = http_request ~port "/healthz" in
+  Alcotest.(check (pair int string)) "ok" (200, "ok\n") (code, body);
+  verdict := (200, "degraded: wal-queue=12 above degraded threshold 10\n");
+  let code, _, body = http_request ~port "/healthz" in
+  Alcotest.(check int) "degraded stays 200" 200 code;
+  Alcotest.(check string) "degraded body" (snd !verdict) body;
+  verdict := (503, "stalled: worker-1 stalled for 6.0s\n");
+  let code, _, body = http_request ~port "/healthz" in
+  Alcotest.(check int) "stalled is 503" 503 code;
+  Alcotest.(check string) "stalled body" (snd !verdict) body
+
+let test_serve_health_hook_exception () =
+  let s =
+    S.start ~port:0 ~health:(fun () -> failwith "probe boom") (fun () -> "x 1\n")
+  in
+  Fun.protect ~finally:(fun () -> S.stop s) @@ fun () ->
+  let code, _, _ = http_request ~port:(S.port s) "/healthz" in
+  Alcotest.(check int) "throwing hook is 500" 500 code
+
+let test_serve_custom_routes () =
+  let hits = Atomic.make 0 in
+  let routes =
+    [
+      ( "/debug/slowlog",
+        fun () ->
+          Atomic.incr hits;
+          ("application/json", "{\"entries\": []}\n") );
+    ]
+  in
+  let s = S.start ~port:0 ~routes (fun () -> "x 1\n") in
+  Fun.protect ~finally:(fun () -> S.stop s) @@ fun () ->
+  let port = S.port s in
+  let code, headers, body = http_request ~port "/debug/slowlog" in
+  Alcotest.(check int) "route answers 200" 200 code;
+  Alcotest.(check string) "route body" "{\"entries\": []}\n" body;
+  let rec contains hay i =
+    i + 16 <= String.length hay
+    && (String.sub hay i 16 = "application/json" || contains hay (i + 1))
+  in
+  Alcotest.(check bool) "content type honoured" true (contains headers 0);
+  Alcotest.(check int) "handler ran once" 1 (Atomic.get hits);
+  (* Routes do not shadow the built-ins, and misses still 404. *)
+  let code, _, _ = http_request ~port "/metrics" in
+  Alcotest.(check int) "metrics still served" 200 code;
+  let code, _, _ = http_request ~port "/debug/other" in
+  Alcotest.(check int) "unknown path 404s" 404 code
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "serve"
@@ -253,5 +314,10 @@ let () =
             test_serve_stop;
           Alcotest.test_case "live scrape under concurrent workload" `Quick
             test_serve_live_scrape;
+          Alcotest.test_case "health hook verdicts" `Quick
+            test_serve_health_hook;
+          Alcotest.test_case "health hook exception is 500" `Quick
+            test_serve_health_hook_exception;
+          Alcotest.test_case "custom routes" `Quick test_serve_custom_routes;
         ] );
     ]

@@ -264,6 +264,180 @@ let test_linearizable_over_network () =
       ~seed:(round * 37) ~with_replace:true served_pat_ops
   done
 
+(* ------------------------------------------------------------------ *)
+(* Latency forensics: stage decomposition and the progress watchdog *)
+
+let scrape_server_stages () =
+  let b = Obs.Prometheus.create () in
+  Server.Metrics.emit b;
+  let samples, errors = Obs.Prometheus.parse_samples (Obs.Prometheus.to_string b) in
+  Alcotest.(check (list string)) "exposition parses clean" [] errors;
+  samples
+
+let stage_sample samples ~op ~stage suffix =
+  match
+    Obs.Prometheus.find_sample samples
+      ~name:("patserve_request_stage_ns" ^ suffix)
+      ~labels:[ ("op", op); ("stage", stage) ]
+  with
+  | Some v -> v
+  | None -> Alcotest.failf "missing stage sample %s/%s%s" op stage suffix
+
+let test_stage_decomposition_bounds () =
+  Server.Metrics.reset ();
+  with_server ~domains:1 ~universe:1_024 @@ fun _ port ->
+  with_client port @@ fun c ->
+  let n = 200 in
+  let t0 = Obs.Clock.now_ns () in
+  for k = 0 to n - 1 do
+    ignore (Server.Client.insert c k)
+  done;
+  (* Stages are finalized just after the reply is flushed, so the last
+     request can land in the histograms a beat after the client reads
+     its response — scrape until it does.  The wall-clock endpoint is
+     taken after that settle: the worker's final [w1] stamp races the
+     client's last read by a scheduling quantum, so closing the
+     interval only once the sample is visible keeps the bound exact
+     rather than true-up-to-preemption. *)
+  let rec settle tries =
+    let samples = scrape_server_stages () in
+    if
+      stage_sample samples ~op:"insert" ~stage:"total" "_count"
+      >= float_of_int n
+      || tries = 0
+    then samples
+    else begin
+      Unix.sleepf 0.02;
+      settle (tries - 1)
+    end
+  in
+  let samples = settle 100 in
+  let wall = Obs.Clock.now_ns () - t0 in
+  let count stage = stage_sample samples ~op:"insert" ~stage "_count" in
+  let sum stage = stage_sample samples ~op:"insert" ~stage "_sum" in
+  Alcotest.(check (float 0.5)) "every request decomposed" (float_of_int n)
+    (count "total");
+  (* Each stage is recorded exactly once per request. *)
+  List.iter
+    (fun s ->
+      Alcotest.(check (float 0.5)) (s ^ " count matches") (count "total")
+        (count s))
+    [ "queue"; "decode"; "trie"; "barrier"; "write" ];
+  (* The decomposition never accounts for more than the request spent
+     in the server, and the server never accounts for more than the
+     client measured around the whole run. *)
+  let stage_total =
+    sum "queue" +. sum "decode" +. sum "trie" +. sum "barrier" +. sum "write"
+  in
+  if stage_total > sum "total" +. 1.0 then
+    Alcotest.failf "stages sum %.0f exceeds total %.0f" stage_total
+      (sum "total");
+  if sum "total" > float_of_int wall then
+    Alcotest.failf
+      "server total %.0f exceeds client wall clock %d (stages sum %.0f)"
+      (sum "total") wall stage_total
+
+let test_stage_counters_monotone_pipelined () =
+  Server.Metrics.reset ();
+  with_server ~domains:2 ~universe:4_096 @@ fun _ port ->
+  with_client port @@ fun c ->
+  let window ks = List.concat_map (fun k -> [ P.Insert k; P.Member k ]) ks in
+  ignore (Server.Client.pipeline c (window (List.init 64 Fun.id)));
+  let s1 = scrape_server_stages () in
+  ignore (Server.Client.pipeline c (window (List.init 64 (fun i -> 64 + i))));
+  let rec settle tries =
+    let samples = scrape_server_stages () in
+    if
+      stage_sample samples ~op:"insert" ~stage:"total" "_count" >= 128.0
+      || tries = 0
+    then samples
+    else begin
+      Unix.sleepf 0.02;
+      settle (tries - 1)
+    end
+  in
+  let s2 = settle 100 in
+  List.iter
+    (fun op ->
+      List.iter
+        (fun stage ->
+          let c1 = stage_sample s1 ~op ~stage "_count" in
+          let c2 = stage_sample s2 ~op ~stage "_count" in
+          if c2 < c1 then
+            Alcotest.failf "stage counter %s/%s went backwards: %f -> %f" op
+              stage c1 c2)
+        [ "queue"; "decode"; "trie"; "barrier"; "write"; "total" ])
+    [ "insert"; "member" ];
+  Alcotest.(check (float 0.5)) "pipelined requests all decomposed" 128.0
+    (stage_sample s2 ~op:"insert" ~stage:"total" "_count")
+
+let test_watchdog_stall_and_recovery () =
+  (* One worker domain, aggressive thresholds: wedge the worker inside
+     the read path with a chaos stall, watch /healthz flip to stalled
+     naming the worker, release, watch it recover. *)
+  let wd =
+    Obs.Watchdog.create ~degraded_after_s:0.1 ~stalled_after_s:0.3 ()
+  in
+  let trie = Core.Patricia.create ~universe:64 () in
+  let ops =
+    Server.
+      {
+        insert = Core.Patricia.insert trie;
+        delete = Core.Patricia.delete trie;
+        member = Core.Patricia.member trie;
+        replace = (fun ~remove ~add -> Core.Patricia.replace trie ~remove ~add);
+        size = (fun () -> Core.Patricia.size trie);
+      }
+  in
+  let srv = Server.start ~port:0 ~domains:1 ~watchdog:wd ops in
+  let st = Chaos.Stall.install Chaos.Net_read in
+  Chaos.set_policy ~name:"stall-worker" (Some (Chaos.Stall.hook st));
+  Fun.protect
+    ~finally:(fun () ->
+      Chaos.Stall.release st;
+      Chaos.set_policy None;
+      Server.stop ~drain_s:0.2 srv)
+  @@ fun () ->
+  (* Trigger the read path so the stall captures the worker; the
+     connect alone is not enough (the stall sits on Net_read). *)
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ()) @@ fun () ->
+  Unix.connect fd
+    (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", Server.port srv));
+  ignore (Unix.write fd (Bytes.make 1 'x') 0 1);
+  if not (Chaos.Stall.wait_stalled ~timeout_s:30.0 st) then
+    Alcotest.fail "worker never reached the stall point";
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let rec await what pred deadline =
+    let code, body = Obs.Watchdog.healthz wd () in
+    if pred code body then (code, body)
+    else if Obs.Clock.now_ns () > deadline then
+      Alcotest.failf "timed out waiting for %s (last: %d %s)" what code body
+    else begin
+      Unix.sleepf 0.02;
+      await what pred deadline
+    end
+  in
+  let deadline () = Obs.Clock.now_ns () + 10_000_000_000 in
+  let code, body =
+    await "stalled verdict"
+      (fun code body -> code = 503 && contains body "worker-")
+      (deadline ())
+  in
+  Alcotest.(check int) "stalled is 503" 503 code;
+  Alcotest.(check bool) "verdict names the wedged worker" true
+    (contains body "stalled:" && contains body "worker-");
+  Alcotest.(check bool) "transition counted" true (Obs.Watchdog.warnings wd > 0);
+  Chaos.Stall.release st;
+  let code, body =
+    await "recovery" (fun code body -> code = 200 && body = "ok\n") (deadline ())
+  in
+  Alcotest.(check (pair int string)) "recovered" (200, "ok\n") (code, body)
+
 let () =
   Alcotest.run "server"
     [
@@ -289,6 +463,12 @@ let () =
         ] );
       ( "load",
         [
+          Alcotest.test_case "stage decomposition bounds" `Quick
+            test_stage_decomposition_bounds;
+          Alcotest.test_case "stage counters monotone pipelined" `Quick
+            test_stage_counters_monotone_pipelined;
+          Alcotest.test_case "watchdog stall and recovery" `Quick
+            test_watchdog_stall_and_recovery;
           Alcotest.test_case "loadgen size accounting" `Quick
             test_loadgen_size_accounting;
           Alcotest.test_case "linearizable over network" `Quick

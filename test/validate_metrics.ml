@@ -1,9 +1,22 @@
-(* Schema validator for the metrics JSON files written by bench/main.exe
-   and bin/patbench.exe (--metrics-json / REPRO_METRICS_JSON).  Used by
-   the CI smoke step: exits 0 iff the file parses and every data point
-   carries the documented fields with sane values.
+(* Schema validator for the observability artifacts the CI smoke steps
+   produce:
 
-   Usage: validate_metrics.exe FILE *)
+     validate_metrics FILE
+       metrics JSON written by bench/main.exe and bin/patbench.exe
+       (--metrics-json / REPRO_METRICS_JSON): exits 0 iff the file
+       parses and every data point carries the documented fields with
+       sane values.
+
+     validate_metrics --prometheus FILE [--require FAMILY]...
+       a scraped Prometheus exposition: every sample line must parse,
+       and each --require'd family must have at least one sample.
+
+     validate_metrics --trace FILE
+       a Perfetto/Chrome trace-event file: must parse as JSON and pass
+       Obs.Perfetto.validate (schema, clock monotonicity, track
+       metadata).
+
+   Exit codes: 0 ok, 1 validation failure, 2 usage/IO error. *)
 
 let errors = ref 0
 
@@ -97,24 +110,91 @@ let check_datapoint i dp =
       Option.iter (check_gc ctx) (Obs.Json.member dp "gc")
   | _ -> err "%s: not an object" ctx
 
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error m ->
+      Printf.eprintf "validate_metrics: %s\n" m;
+      exit 2
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+
+(* --prometheus FILE [--require FAMILY]... *)
+let validate_prometheus path required =
+  let text = read_file path in
+  let samples, parse_errors = Obs.Prometheus.parse_samples text in
+  List.iter (fun m -> err "%s: %s" path m) parse_errors;
+  if samples = [] then err "%s: exposition has no samples" path;
+  List.iter
+    (fun family ->
+      let present =
+        List.exists
+          (fun s ->
+            let n = s.Obs.Prometheus.s_name in
+            n = family
+            || n = family ^ "_count"
+            || n = family ^ "_sum"
+            || n = family ^ "_total")
+          samples
+      in
+      if not present then err "%s: required family %S has no samples" path family)
+    required;
+  if !errors > 0 then begin
+    Printf.eprintf "validate_metrics: %s: %d error(s)\n" path !errors;
+    exit 1
+  end;
+  Printf.printf "validate_metrics: %s ok (%d samples, %d families required)\n"
+    path (List.length samples) (List.length required)
+
+(* --trace FILE *)
+let validate_trace path =
+  let doc =
+    match Obs.Json.of_string (read_file path) with
+    | doc -> doc
+    | exception Obs.Json.Parse_error m ->
+        Printf.eprintf "validate_metrics: %s does not parse: %s\n" path m;
+        exit 1
+  in
+  match Obs.Perfetto.validate doc with
+  | Error m ->
+      Printf.eprintf "validate_metrics: %s: invalid trace: %s\n" path m;
+      exit 1
+  | Ok () ->
+      let events =
+        match Obs.Json.member doc "traceEvents" with
+        | Some (Obs.Json.Arr evs) -> List.length evs
+        | _ -> 0
+      in
+      Printf.printf "validate_metrics: %s ok (%d trace events)\n" path events
+
 let () =
   let path =
-    match Sys.argv with
-    | [| _; p |] -> p
+    match Array.to_list Sys.argv with
+    | [ _; "--trace"; p ] ->
+        validate_trace p;
+        exit 0
+    | _ :: "--prometheus" :: p :: rest ->
+        let rec requires = function
+          | [] -> []
+          | "--require" :: f :: tl -> f :: requires tl
+          | _ ->
+              prerr_endline
+                "usage: validate_metrics --prometheus FILE [--require \
+                 FAMILY]...";
+              exit 2
+        in
+        validate_prometheus p (requires rest);
+        exit 0
+    | [ _; p ] -> p
     | _ ->
-        prerr_endline "usage: validate_metrics FILE";
+        prerr_endline
+          "usage: validate_metrics FILE\n\
+          \       validate_metrics --prometheus FILE [--require FAMILY]...\n\
+          \       validate_metrics --trace FILE";
         exit 2
   in
-  let contents =
-    match open_in_bin path with
-    | exception Sys_error m ->
-        Printf.eprintf "validate_metrics: %s\n" m;
-        exit 2
-    | ic ->
-        Fun.protect
-          ~finally:(fun () -> close_in ic)
-          (fun () -> really_input_string ic (in_channel_length ic))
-  in
+  let contents = read_file path in
   let doc =
     match Obs.Json.of_string contents with
     | doc -> doc
