@@ -772,8 +772,53 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "runtime-events" ] ~doc)
   in
+  let max_conns_arg =
+    let doc =
+      "Admission control: accept at most $(docv) simultaneous connections \
+       across all workers; beyond it a new connection gets one BUSY frame \
+       (with a retry-after hint) and is closed.  Without it, no limit."
+    in
+    Arg.(value & opt (some int) None & info [ "max-conns" ] ~doc ~docv:"N")
+  in
+  let idle_timeout_arg =
+    let doc =
+      "Reap connections with no traffic and no pending output for $(docv) \
+       seconds.  Without it, idle connections are kept forever."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "idle-timeout-s" ] ~doc ~docv:"SECS")
+  in
+  let queue_deadline_arg =
+    let doc =
+      "Per-request queue deadline: a request that waited more than $(docv) \
+       milliseconds behind earlier frames of its pipeline window is answered \
+       BUSY instead of executed.  Without it, no deadline."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "queue-deadline-ms" ] ~doc ~docv:"MS")
+  in
+  let soft_buffer_arg =
+    let doc =
+      "Per-connection output-buffer soft cap in KiB: above it the \
+       connection is no longer read from, so the client's pipelining stalls \
+       instead of growing the buffer (backpressure)."
+    in
+    Arg.(value & opt int 256 & info [ "soft-buffer-kb" ] ~doc ~docv:"KIB")
+  in
+  let hard_buffer_arg =
+    let doc =
+      "Per-connection output-buffer hard cap in KiB: a connection still \
+       above it after a flush attempt is evicted (counted and logged)."
+    in
+    Arg.(value & opt int 4096 & info [ "hard-buffer-kb" ] ~doc ~docv:"KIB")
+  in
   let run port range domains metrics_port seconds data_dir durability
-      checkpoint_s trace_out runtime_events =
+      checkpoint_s trace_out runtime_events max_conns idle_timeout_s
+      queue_deadline_ms soft_buffer_kb hard_buffer_kb =
     (* Assemble the served operations, the ack barrier, the periodic-tick
        work and the teardown from the durability configuration. *)
     let ops, barrier, tick, teardown, durability_banner =
@@ -870,9 +915,23 @@ let serve_cmd =
     Obs.Watchdog.gauge wd ~name:"wal-queue" ~degraded_above:10_000
       ~stalled_above:100_000 Persist.Metrics.queue_depth;
     Obs.Watchdog.start_monitor wd;
-    let srv = Server.start ~port ~domains ~barrier ~watchdog:wd ops in
+    let limits =
+      {
+        Server.default_limits with
+        Server.max_conns;
+        idle_timeout_s = idle_timeout_s;
+        queue_deadline_ns =
+          Option.map (fun ms -> int_of_float (ms *. 1e6)) queue_deadline_ms;
+        soft_buffer_bytes = soft_buffer_kb * 1024;
+        hard_buffer_bytes = hard_buffer_kb * 1024;
+      }
+    in
+    let srv = Server.start ~port ~domains ~barrier ~watchdog:wd ~limits ops in
     Format.printf "patserve: %d domains on 127.0.0.1:%d, range (0, %d), %s@."
       domains (Server.port srv) range durability_banner;
+    (match max_conns with
+    | Some m -> Format.printf "patserve: admission limit %d connections@." m
+    | None -> ());
     let metrics =
       Option.map
         (fun p ->
@@ -961,7 +1020,9 @@ let serve_cmd =
     Term.(
       const run $ port_arg $ range_arg $ domains_arg $ metrics_port_arg
       $ seconds_opt_arg $ data_dir_arg $ durability_arg $ checkpoint_s_arg
-      $ serve_trace_arg $ runtime_events_arg)
+      $ serve_trace_arg $ runtime_events_arg $ max_conns_arg
+      $ idle_timeout_arg $ queue_deadline_arg $ soft_buffer_arg
+      $ hard_buffer_arg)
 
 (* ------------------------------------------------------------------ *)
 (* recover subcommand: offline recovery / inspection of a data dir *)
@@ -1053,10 +1114,71 @@ let load_cmd =
     Arg.(
       value & opt (some int) None & info [ "scrape-port" ] ~doc ~docv:"PORT")
   in
+  let open_loop_arg =
+    let doc =
+      "Open-loop mode: offer $(docv) requests per second (total across \
+       domains) on a fixed schedule instead of the closed loop — the \
+       instrument for measuring overload.  Reports offered vs acked \
+       (goodput), BUSY sheds/declines, lost requests and disconnects; \
+       never fails on server overload, that is what it measures."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "open-loop" ] ~doc ~docv:"RATE")
+  in
+  let run_open_loop ~addr ~port ~domains ~seconds ~mix ~range ~seed ~metrics
+      rate =
+    let cfg =
+      Server.Loadgen.
+        {
+          addr;
+          port;
+          domains;
+          rate;
+          seconds;
+          mix;
+          universe = range;
+          dist = Harness.Uniform;
+          seed;
+          reconnect_s = 0.05;
+        }
+    in
+    Format.printf
+      "load: open loop, offering %.0f req/s (%s) for %.1fs on %d domains@."
+      rate (Harness.Mix.to_string mix) seconds domains;
+    Format.print_flush ();
+    let r = Server.Loadgen.run_open cfg in
+    let l = r.Server.Loadgen.latency in
+    Format.printf
+      "load: offered %d, sent %d, acked %d in %.2fs = %.0f ops/s goodput@.\
+       load: busy %d (shed rate %.3f), errors %d, lost %d, disconnects %d@.\
+       load: ack latency ns p50=%d p90=%d p99=%d p99.9=%d max=%d@."
+      r.Server.Loadgen.offered r.Server.Loadgen.sent r.Server.Loadgen.acked
+      r.Server.Loadgen.elapsed_s r.Server.Loadgen.goodput
+      r.Server.Loadgen.busy r.Server.Loadgen.shed_rate
+      r.Server.Loadgen.errors r.Server.Loadgen.lost
+      r.Server.Loadgen.disconnects l.Obs.Histogram.p50 l.Obs.Histogram.p90
+      l.Obs.Histogram.p99 l.Obs.Histogram.p999 l.Obs.Histogram.max;
+    Option.iter
+      (fun path ->
+        Obs.Json.to_file path (Server.Loadgen.open_report_to_json cfg r);
+        Format.printf "load: report written to %s@." path)
+      metrics;
+    Format.print_flush ();
+    `Ok ()
+  in
   let run addr port domains depth seconds insert delete find replace range seed
-      metrics scrape =
+      metrics scrape open_loop =
     match Harness.Mix.v ~insert ~delete ~find ~replace () with
     | exception Invalid_argument m -> `Error (false, m)
+    | mix when open_loop <> None -> (
+        match
+          run_open_loop ~addr ~port ~domains ~seconds ~mix ~range ~seed
+            ~metrics (Option.get open_loop)
+        with
+        | r -> r
+        | exception Unix.Unix_error (e, fn, _) ->
+            `Error
+              (false, Printf.sprintf "%s failed: %s" fn (Unix.error_message e)))
     | mix -> (
         let cfg =
           Server.Loadgen.
@@ -1146,7 +1268,7 @@ let load_cmd =
         (const run $ addr_arg $ port_arg $ domains_arg $ depth_arg
        $ seconds_arg' $ pct "insert" 10 $ pct "delete" 10 $ pct "find" 0
        $ pct "replace" 80 $ range_arg $ seed_arg $ metrics_arg
-       $ scrape_port_arg))
+       $ scrape_port_arg $ open_loop_arg))
 
 (* ------------------------------------------------------------------ *)
 

@@ -226,4 +226,20 @@ module Backoff = struct
       else go (wait cap)
     in
     go init
+
+  (* Sleeping twin of [wait] for waits measured in milliseconds rather
+     than cache misses: a network client backing off from an overloaded
+     server must release the CPU, not spin on it.  The state is the same
+     doubling [int] cap, reinterpreted as a duration scale, so the jitter
+     and bounded-doubling behaviour match the spinning variant. *)
+  let sleep ?(base_s = 0.001) ?(cap_s = 0.5) ?(floor_s = 0.0) cap =
+    let r = stripe_rng rngs in
+    let scale = float_of_int cap /. float_of_int min_spins in
+    let full = Float.min cap_s (base_s *. scale) in
+    (* Jitter in [full/2, full], never below the caller's floor (a
+       server-provided retry-after hint). *)
+    let jittered = (full /. 2.) +. (Rng.float r *. (full /. 2.)) in
+    let d = Float.max floor_s jittered in
+    if d > 0. then Unix.sleepf d;
+    if cap >= max_spins then max_spins else cap * 2
 end

@@ -172,4 +172,15 @@ module Backoff : sig
       holds or [timeout_s] (default 10s) elapses; returns the final
       value of [pred ()].  Independent of {!enabled} — this is the
       deadline-guarded barrier wait used by the harness. *)
+
+  val sleep : ?base_s:float -> ?cap_s:float -> ?floor_s:float -> t -> t
+  (** [sleep cap] is {!wait}'s sleeping twin for waits measured in
+      milliseconds: sleep a jittered duration in [[d/2, d]] where [d]
+      grows from [base_s] (default 1ms) with the same doubling cap,
+      bounded by [cap_s] (default 0.5s) and never below [floor_s]
+      (default 0 — pass a server-provided retry-after hint here).
+      Returns the doubled (bounded) state.  Used by the patserve
+      client's BUSY/reconnect retry loop, where spinning would burn the
+      very CPU the overloaded server needs.  Independent of
+      {!enabled}. *)
 end

@@ -1,41 +1,100 @@
-(** Blocking client for the patserve protocol, with explicit pipelining.
+(** Blocking client for the patserve protocol, with explicit pipelining
+    and an optional resilience layer.
 
     One connection, not domain-safe: create one client per domain (the
     loopback adapter and the load generator both do).  The two-level
     API mirrors the protocol: {!request} is one synchronous round trip;
     {!send}/{!recv} split the two halves so a caller can keep many
     requests in flight and match the (in-order) responses by tag, which
-    is what the closed-loop load generator builds its window on. *)
+    is what the closed-loop load generator builds its window on.
+
+    The resilience layer wraps only the synchronous helpers
+    ({!insert} .. {!batch}).  With [retries > 0] they transparently
+    survive the server's overload replies: a BUSY decline backs off
+    (bounded exponential with jitter, floored at the server's
+    retry-after hint — {!Chaos.Backoff.sleep}) and resends; an
+    accept-time shed or dropped connection reconnects first.  BUSY
+    always means the operation did {e not} execute, so those retries
+    are exactly-once; a reconnect retry after a mid-flight disconnect
+    is at-least-once (the lost reply may have been a completed
+    operation) — same contract as any TCP client.  [op_timeout_s]
+    bounds each socket operation; a deadline overrun raises {!Timeout}
+    after resynchronizing the connection (the late reply must not be
+    read as the answer to the next request). *)
 
 exception Protocol_error of string
 
+exception Busy of { retry_after_ms : int }
+(** The server declined (or shed) the operation; it did not execute.
+    Raised by the synchronous helpers once the retry budget (if any) is
+    exhausted. *)
+
+exception Timeout
+(** A socket operation overran [op_timeout_s]. *)
+
+(* Internal: a seq-0 BUSY frame — the server shed this connection at
+   accept time and closed it.  Distinguished from a per-request BUSY
+   because recovery differs: a shed needs a reconnect, a decline just a
+   resend.  Converted to {!Busy} before escaping. *)
+exception Shed of int
+
 type t = {
-  fd : Unix.file_descr;
-  reader : Protocol.Reader.t;
+  mutable fd : Unix.file_descr;
+  mutable reader : Protocol.Reader.t;
   scratch : Bytes.t;
   sendbuf : Buffer.t;
   mutable next_seq : int;
+  addr : string;
+  port : int;
+  retries : int;
+  op_timeout_s : float option;
 }
 
-let connect ?(addr = "127.0.0.1") ~port () =
+let open_conn ~addr ~port ~op_timeout_s =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
      (* The protocol is request/response over small frames; Nagle would
         serialize the pipeline into 40ms lockstep. *)
-     Unix.setsockopt fd Unix.TCP_NODELAY true
+     Unix.setsockopt fd Unix.TCP_NODELAY true;
+     match op_timeout_s with
+     | Some s ->
+         Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
+         Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+     | None -> ()
    with e ->
      Obs.Net.close_noerr fd;
      raise e);
+  fd
+
+let connect ?(addr = "127.0.0.1") ~port ?(retries = 0) ?op_timeout_s () =
+  if retries < 0 then invalid_arg "Client.connect: retries must be >= 0";
+  (* A server that evicts or sheds us closes mid-write; that must be an
+     EPIPE on this connection, not a fatal signal. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   {
-    fd;
+    fd = open_conn ~addr ~port ~op_timeout_s;
     reader = Protocol.Reader.create ();
     scratch = Bytes.create 65536;
     sendbuf = Buffer.create 256;
     next_seq = 1;
+    addr;
+    port;
+    retries;
+    op_timeout_s;
   }
 
 let close t = Obs.Net.close_noerr t.fd
+
+(* Drop the (possibly desynchronized) connection and establish a fresh
+   one.  Any in-flight requests are forgotten — the retry layer only
+   reconnects between synchronous operations, where the window is
+   empty. *)
+let reconnect t =
+  Obs.Net.close_noerr t.fd;
+  t.reader <- Protocol.Reader.create ();
+  t.fd <- open_conn ~addr:t.addr ~port:t.port ~op_timeout_s:t.op_timeout_s
 
 let write_all t buf =
   let b = Buffer.to_bytes buf in
@@ -45,6 +104,9 @@ let write_all t buf =
       match Unix.write t.fd b off (n - off) with
       | written -> go (off + written)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+        when t.op_timeout_s <> None ->
+          raise Timeout
       | exception Unix.Unix_error (e, _, _) ->
           raise (Protocol_error ("write: " ^ Unix.error_message e))
   in
@@ -93,18 +155,28 @@ let rec recv t =
           Protocol.Reader.feed t.reader t.scratch n;
           recv t
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv t
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+        when t.op_timeout_s <> None ->
+          raise Timeout
       | exception Unix.Unix_error (e, _, _) ->
           raise (Protocol_error ("read: " ^ Unix.error_message e)))
 
 let expect_seq seq (r : Protocol.response) =
-  if r.Protocol.seq <> seq then
+  if r.Protocol.seq = 0 then
+    match r.Protocol.result with
+    | Protocol.Busy { retry_after_ms } -> raise (Shed retry_after_ms)
+    | Protocol.Error msg ->
+        raise (Protocol_error ("connection-level error: " ^ msg))
+    | _ -> raise (Protocol_error "unexpected seq-0 response")
+  else if r.Protocol.seq <> seq then
     raise
       (Protocol_error
          (Printf.sprintf "response out of order: expected seq %d, got %d" seq
             r.Protocol.seq));
   r.Protocol.result
 
-(** One synchronous round trip; application-level [Error] raises. *)
+(** One synchronous round trip; application-level [Error] raises.  No
+    retries at this level — see the synchronous helpers. *)
 let request t op =
   let seq = send t op in
   match expect_seq seq (recv t) with
@@ -113,30 +185,71 @@ let request t op =
 
 (** [pipeline t ops] sends every request before reading any response:
     the whole window shares one round trip.  Results come back in
-    order; [Error] results are returned, not raised, so one bad
-    operation does not lose its siblings. *)
+    order; [Error] (and [Busy]) results are returned, not raised, so
+    one bad operation does not lose its siblings. *)
 let pipeline t ops =
   let seqs = send_many t ops in
   List.map (fun seq -> expect_seq seq (recv t)) seqs
 
+(* The retry loop behind the synchronous helpers.  Timeouts are never
+   retried — the caller asked for a deadline, not persistence — but the
+   connection is resynchronized first so the late reply cannot be
+   matched to a later request. *)
+let with_retry t f =
+  let ms_floor hint = float_of_int hint /. 1000. in
+  let rec go attempt cap =
+    match f () with
+    | r -> r
+    | exception Busy { retry_after_ms } when attempt < t.retries ->
+        let cap = Chaos.Backoff.sleep ~floor_s:(ms_floor retry_after_ms) cap in
+        go (attempt + 1) cap
+    | exception Shed hint ->
+        if attempt < t.retries then begin
+          let cap = Chaos.Backoff.sleep ~floor_s:(ms_floor hint) cap in
+          (match reconnect t with
+          | () -> ()
+          | exception Unix.Unix_error (_, _, _) -> ());
+          go (attempt + 1) cap
+        end
+        else raise (Busy { retry_after_ms = hint })
+    | exception Protocol_error _ when attempt < t.retries ->
+        let cap = Chaos.Backoff.sleep cap in
+        (match reconnect t with
+        | () -> ()
+        | exception Unix.Unix_error (_, _, _) -> ());
+        go (attempt + 1) cap
+    | exception Timeout ->
+        (match reconnect t with
+        | () -> ()
+        | exception Unix.Unix_error (_, _, _) -> ());
+        raise Timeout
+  in
+  go 0 Chaos.Backoff.init
+
 let bool_result = function
   | Protocol.Bool b -> b
+  | Protocol.Busy { retry_after_ms } -> raise (Busy { retry_after_ms })
   | Protocol.Error msg -> raise (Protocol_error ("server error: " ^ msg))
   | _ -> raise (Protocol_error "expected boolean result")
 
-let insert t k = bool_result (request t (Protocol.Insert k))
-let delete t k = bool_result (request t (Protocol.Delete k))
-let member t k = bool_result (request t (Protocol.Member k))
+let insert t k = with_retry t (fun () -> bool_result (request t (Protocol.Insert k)))
+let delete t k = with_retry t (fun () -> bool_result (request t (Protocol.Delete k)))
+let member t k = with_retry t (fun () -> bool_result (request t (Protocol.Member k)))
 
 let replace t ~remove ~add =
-  bool_result (request t (Protocol.Replace { remove; add }))
+  with_retry t (fun () ->
+      bool_result (request t (Protocol.Replace { remove; add })))
 
 let size t =
-  match request t Protocol.Size with
-  | Protocol.Count n -> n
-  | _ -> raise (Protocol_error "expected count result")
+  with_retry t (fun () ->
+      match request t Protocol.Size with
+      | Protocol.Count n -> n
+      | Protocol.Busy { retry_after_ms } -> raise (Busy { retry_after_ms })
+      | _ -> raise (Protocol_error "expected count result"))
 
 let batch t ops =
-  match request t (Protocol.Batch ops) with
-  | Protocol.Many bs -> bs
-  | _ -> raise (Protocol_error "expected vector result")
+  with_retry t (fun () ->
+      match request t (Protocol.Batch ops) with
+      | Protocol.Many bs -> bs
+      | Protocol.Busy { retry_after_ms } -> raise (Busy { retry_after_ms })
+      | _ -> raise (Protocol_error "expected vector result"))

@@ -73,6 +73,7 @@ type journal = {
 type report = {
   ops : int;  (** acknowledged requests *)
   errors : int;  (** [Error] results (app-level; framing errors raise) *)
+  busy : int;  (** [Busy] declines (queue deadline) — not executed *)
   elapsed_s : float;
   throughput : float;  (** acknowledged requests per second *)
   latency : Obs.Histogram.summary;  (** send-to-ack, nanoseconds *)
@@ -90,6 +91,7 @@ type report = {
 type tally = {
   mutable acked : int;
   mutable errs : int;
+  mutable busy : int;
   mutable delta : int;
   counts : int array;
   mutable journal : (Protocol.op * bool) list; (* newest first *)
@@ -118,6 +120,10 @@ let in_flight_op (cfg : config) (t : tally) hist q (resp : Protocol.response) =
   | Protocol.Bool true, Protocol.Insert _ -> t.delta <- t.delta + 1
   | Protocol.Bool true, Protocol.Delete _ -> t.delta <- t.delta - 1
   | Protocol.Bool _, _ -> ()
+  | Protocol.Busy _, _ ->
+      (* Declined under the server's queue deadline: not executed, so
+         size-neutral by definition. *)
+      t.busy <- t.busy + 1
   | Protocol.Error _, _ -> t.errs <- t.errs + 1
   | (Protocol.Count _ | Protocol.Many _), _ -> t.errs <- t.errs + 1
 
@@ -145,6 +151,7 @@ let worker (cfg : config) hist go d =
     {
       acked = 0;
       errs = 0;
+      busy = 0;
       delta = 0;
       counts = Array.make Protocol.op_count 0;
       journal = [];
@@ -251,6 +258,7 @@ let run cfg =
   let elapsed_s = Unix.gettimeofday () -. t0 in
   let ops = List.fold_left (fun a t -> a + t.acked) 0 tallies in
   let errors = List.fold_left (fun a t -> a + t.errs) 0 tallies in
+  let busy = List.fold_left (fun a t -> a + t.busy) 0 tallies in
   let size_delta = List.fold_left (fun a t -> a + t.delta) 0 tallies in
   let per_op =
     List.init Protocol.op_count (fun i ->
@@ -271,6 +279,7 @@ let run cfg =
   {
     ops;
     errors;
+    busy;
     elapsed_s;
     throughput = (if elapsed_s > 0. then float_of_int ops /. elapsed_s else 0.);
     latency = Obs.Histogram.snapshot hist;
@@ -306,7 +315,328 @@ let prefill ?(addr = "127.0.0.1") ~port ~universe ~seed () =
   done;
   !inserted
 
-let report_to_json cfg (r : report) : Obs.Json.t =
+(* ------------------------------------------------------------------ *)
+(* Open-loop mode.
+
+   The closed loop above can never overload a server: its offered load
+   self-regulates to whatever the server sustains, which is exactly the
+   wrong instrument for measuring overload behaviour.  The open loop
+   offers arrivals on a fixed schedule regardless of how the server is
+   doing — what real traffic does — so when capacity is exceeded, the
+   difference between [offered] and [acked] is visible instead of
+   silently absorbed by the generator slowing down.
+
+   Each generator domain owns one (non-blocking) connection and a
+   deterministic arrival schedule at [rate / domains] per second.  An
+   arrival encodes a request into the connection's outbox; select
+   drives outbox writes and response reads between arrivals.  The
+   generator never blocks on the server: if the server sheds the
+   connection (seq-0 BUSY + close), is evicted from, or drops it, the
+   generator counts the in-flight requests as [lost], backs off
+   [reconnect_s], and keeps offering — arrivals with no connection are
+   [lost] at the client, exactly like a user getting connection
+   refused. *)
+
+type open_config = {
+  addr : string;
+  port : int;
+  domains : int;
+  rate : float;  (** offered arrivals per second, across all domains *)
+  seconds : float;
+  mix : Harness.Mix.t;
+  universe : int;
+  dist : Harness.distribution;
+  seed : int;
+  reconnect_s : float;
+      (** pause after losing the connection before dialing again *)
+}
+
+let default_open_config =
+  {
+    addr = "127.0.0.1";
+    port = 7113;
+    domains = 4;
+    rate = 50_000.0;
+    seconds = 5.0;
+    mix = Harness.Mix.i10_d10_r80;
+    universe = 1 lsl 16;
+    dist = Harness.Uniform;
+    seed = 42;
+    reconnect_s = 0.05;
+  }
+
+type open_report = {
+  offered : int;  (** arrivals the schedule produced *)
+  sent : int;  (** requests that made it onto a connection *)
+  acked : int;  (** requests answered with a real result — the goodput *)
+  busy : int;  (** BUSY replies: accept-time sheds + queue-deadline declines *)
+  errors : int;  (** [Error] results *)
+  lost : int;
+      (** arrivals dropped at the client (no connection) plus requests
+          in flight when a connection died — each may or may not have
+          executed *)
+  disconnects : int;  (** connections lost (shed, evicted, or errored) *)
+  elapsed_s : float;
+  goodput : float;  (** acked per second *)
+  shed_rate : float;  (** busy / offered *)
+  latency : Obs.Histogram.summary;  (** send-to-ack of acked requests *)
+}
+
+type open_tally = {
+  mutable o_offered : int;
+  mutable o_sent : int;
+  mutable o_acked : int;
+  mutable o_busy : int;
+  mutable o_errs : int;
+  mutable o_lost : int;
+  mutable o_disc : int;
+}
+
+let open_worker (cfg : open_config) hist go d =
+  let rng = Rng.of_int_seed (cfg.seed + (d * 104729) + 7) in
+  let next_key = Harness.key_stream cfg.dist cfg.universe rng in
+  let m = cfg.mix in
+  let t_ins = m.Harness.Mix.insert in
+  let t_del = t_ins + m.Harness.Mix.delete in
+  let t_find = t_del + m.Harness.Mix.find in
+  let gen_op () =
+    let r = Rng.int rng 100 in
+    let k = next_key () in
+    if r < t_ins then Protocol.Insert k
+    else if r < t_del then Protocol.Delete k
+    else if r < t_find then Protocol.Member k
+    else Protocol.Replace { remove = k; add = next_key () }
+  in
+  let t =
+    { o_offered = 0; o_sent = 0; o_acked = 0; o_busy = 0; o_errs = 0;
+      o_lost = 0; o_disc = 0 }
+  in
+  let fd = ref None in
+  let reader = ref (Protocol.Reader.create ()) in
+  let outbox = Buffer.create 4096 in
+  let out_off = ref 0 in
+  let q : (int * int) Queue.t = Queue.create () in
+  let next_seq = ref 1 in
+  let scratch = Bytes.create 65536 in
+  let reconnect_at = ref 0.0 in
+  let drop_conn now =
+    (match !fd with
+    | Some f ->
+        Obs.Net.close_noerr f;
+        t.o_disc <- t.o_disc + 1
+    | None -> ());
+    fd := None;
+    t.o_lost <- t.o_lost + Queue.length q;
+    Queue.clear q;
+    Buffer.clear outbox;
+    out_off := 0;
+    reader := Protocol.Reader.create ();
+    reconnect_at := now +. cfg.reconnect_s
+  in
+  let try_connect now =
+    if !fd = None && now >= !reconnect_at then begin
+      let f = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      match
+        Unix.connect f
+          (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.addr, cfg.port));
+        Unix.setsockopt f Unix.TCP_NODELAY true;
+        Unix.set_nonblock f
+      with
+      | () -> fd := Some f
+      | exception Unix.Unix_error (_, _, _) ->
+          Obs.Net.close_noerr f;
+          reconnect_at := now +. cfg.reconnect_s
+    end
+  in
+  let flush_outbox now =
+    match !fd with
+    | None -> ()
+    | Some f ->
+        let n = Buffer.length outbox - !out_off in
+        if n > 0 then (
+          let b = Buffer.to_bytes outbox in
+          match Unix.write f b !out_off n with
+          | w ->
+              out_off := !out_off + w;
+              if Buffer.length outbox - !out_off = 0 then begin
+                Buffer.clear outbox;
+                out_off := 0
+              end
+          | exception
+              Unix.Unix_error
+                ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+              ()
+          | exception Unix.Unix_error (_, _, _) -> drop_conn now)
+  in
+  let rec drain_responses now =
+    match Protocol.Reader.next_payload !reader with
+    | `None -> ()
+    | `Bad _ -> drop_conn now
+    | `Payload (buf, off, len) -> (
+        match Protocol.decode_response buf ~off ~len with
+        | Result.Error _ -> drop_conn now
+        | Result.Ok resp ->
+            (if resp.Protocol.seq = 0 then begin
+               (* Accept-time shed (BUSY) or framing-level error: the
+                  server is closing this connection either way. *)
+               (match resp.Protocol.result with
+               | Protocol.Busy _ -> t.o_busy <- t.o_busy + 1
+               | _ -> t.o_errs <- t.o_errs + 1);
+               drop_conn now
+             end
+             else
+               match Queue.take_opt q with
+               | None -> drop_conn now (* response with nothing in flight *)
+               | Some (seq, t0) ->
+                   if seq <> resp.Protocol.seq then drop_conn now
+                   else (
+                     match resp.Protocol.result with
+                     | Protocol.Busy _ -> t.o_busy <- t.o_busy + 1
+                     | Protocol.Error _ -> t.o_errs <- t.o_errs + 1
+                     | _ ->
+                         let dt = Obs.Clock.now_ns () - t0 in
+                         Obs.Histogram.record hist dt;
+                         Harness.Live.op dt;
+                         t.o_acked <- t.o_acked + 1));
+            if !fd <> None then drain_responses now)
+  in
+  let read_ready now =
+    match !fd with
+    | None -> ()
+    | Some f -> (
+        match Unix.read f scratch 0 (Bytes.length scratch) with
+        | 0 -> drop_conn now
+        | n ->
+            Protocol.Reader.feed !reader scratch n;
+            drain_responses now
+        | exception
+            Unix.Unix_error
+              ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+            ()
+        | exception Unix.Unix_error (_, _, _) -> drop_conn now)
+  in
+  while not (Atomic.get go) do Domain.cpu_relax () done;
+  let start = Unix.gettimeofday () in
+  let deadline = start +. cfg.seconds in
+  let dt = float_of_int cfg.domains /. cfg.rate in
+  (* Random phase so the domains' schedules interleave instead of
+     thundering in lockstep. *)
+  let next_arrival = ref (start +. (Rng.float rng *. dt)) in
+  let finished = ref false in
+  while not !finished do
+    let now = Unix.gettimeofday () in
+    while !next_arrival <= now && !next_arrival < deadline do
+      t.o_offered <- t.o_offered + 1;
+      try_connect now;
+      (match !fd with
+      | None -> t.o_lost <- t.o_lost + 1
+      | Some _ ->
+          let seq = !next_seq in
+          next_seq := (if seq >= 0xFFFFFFFF then 1 else seq + 1);
+          Protocol.encode_request outbox { Protocol.seq; op = gen_op () };
+          Queue.add (seq, Obs.Clock.now_ns ()) q;
+          t.o_sent <- t.o_sent + 1);
+      next_arrival := !next_arrival +. dt
+    done;
+    let now = Unix.gettimeofday () in
+    if now >= deadline && (Queue.is_empty q || now > deadline +. 1.0) then
+      finished := true
+    else begin
+      let timeout =
+        if now >= deadline then 0.01
+        else Float.max 0.0 (Float.min 0.01 (!next_arrival -. now))
+      in
+      match !fd with
+      | None -> if timeout > 0. then Unix.sleepf timeout
+      | Some f -> (
+          let wrs = if Buffer.length outbox - !out_off > 0 then [ f ] else [] in
+          match Unix.select [ f ] wrs [] timeout with
+          | rd, wr, _ ->
+              let now = Unix.gettimeofday () in
+              if wr <> [] then flush_outbox now;
+              if rd <> [] then read_ready now
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    end
+  done;
+  (match !fd with Some f -> Obs.Net.close_noerr f | None -> ());
+  t.o_lost <- t.o_lost + Queue.length q;
+  t
+
+(** Offer load on a fixed schedule (see the module comment above) and
+    report what came back.  Never raises on server overload — sheds,
+    evictions and disconnects are what it is built to measure. *)
+let run_open (cfg : open_config) =
+  if cfg.domains < 1 then invalid_arg "Loadgen: domains must be >= 1";
+  if cfg.rate <= 0.0 then invalid_arg "Loadgen: rate must be > 0";
+  (* Writing into a connection the server just shed or evicted must be
+     an EPIPE (-> reconnect), not a fatal signal. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let hist = Obs.Histogram.create () in
+  let go = Atomic.make false in
+  let doms =
+    List.init cfg.domains (fun d ->
+        Domain.spawn (fun () -> open_worker cfg hist go d))
+  in
+  let t0 = Unix.gettimeofday () in
+  Atomic.set go true;
+  let tallies = List.map Domain.join doms in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let sum f = List.fold_left (fun a t -> a + f t) 0 tallies in
+  let offered = sum (fun t -> t.o_offered) in
+  let acked = sum (fun t -> t.o_acked) in
+  let busy = sum (fun t -> t.o_busy) in
+  {
+    offered;
+    sent = sum (fun t -> t.o_sent);
+    acked;
+    busy;
+    errors = sum (fun t -> t.o_errs);
+    lost = sum (fun t -> t.o_lost);
+    disconnects = sum (fun t -> t.o_disc);
+    elapsed_s;
+    goodput =
+      (if elapsed_s > 0. then float_of_int acked /. elapsed_s else 0.);
+    shed_rate =
+      (if offered > 0 then float_of_int busy /. float_of_int offered else 0.);
+    latency = Obs.Histogram.snapshot hist;
+  }
+
+let open_report_to_json (cfg : open_config) (r : open_report) : Obs.Json.t =
+  Obs.Json.Obj
+    [
+      ("schema_version", Obs.Json.Int 1);
+      ("benchmark", Obs.Json.Str "patbench load --open-loop");
+      ( "config",
+        Obs.Json.Obj
+          [
+            ("addr", Obs.Json.Str cfg.addr);
+            ("port", Obs.Json.Int cfg.port);
+            ("domains", Obs.Json.Int cfg.domains);
+            ("rate", Obs.Json.Float cfg.rate);
+            ("seconds", Obs.Json.Float cfg.seconds);
+            ("mix", Obs.Json.Str (Harness.Mix.to_string cfg.mix));
+            ("universe", Obs.Json.Int cfg.universe);
+            ("seed", Obs.Json.Int cfg.seed);
+          ] );
+      ( "results",
+        Obs.Json.Obj
+          [
+            ("offered", Obs.Json.Int r.offered);
+            ("sent", Obs.Json.Int r.sent);
+            ("acked", Obs.Json.Int r.acked);
+            ("busy", Obs.Json.Int r.busy);
+            ("errors", Obs.Json.Int r.errors);
+            ("lost", Obs.Json.Int r.lost);
+            ("disconnects", Obs.Json.Int r.disconnects);
+            ("elapsed_s", Obs.Json.Float r.elapsed_s);
+            ("goodput_ops_per_sec", Obs.Json.Float r.goodput);
+            ("shed_rate", Obs.Json.Float r.shed_rate);
+            ("latency_ns", Obs.Histogram.summary_to_json r.latency);
+          ] );
+    ]
+
+let report_to_json (cfg : config) (r : report) : Obs.Json.t =
   Obs.Json.Obj
     [
       ("schema_version", Obs.Json.Int 1);
@@ -328,6 +658,7 @@ let report_to_json cfg (r : report) : Obs.Json.t =
           [
             ("ops", Obs.Json.Int r.ops);
             ("errors", Obs.Json.Int r.errors);
+            ("busy", Obs.Json.Int r.busy);
             ("elapsed_s", Obs.Json.Float r.elapsed_s);
             ("throughput_ops_per_sec", Obs.Json.Float r.throughput);
             ("latency_ns", Obs.Histogram.summary_to_json r.latency);

@@ -21,6 +21,7 @@ type result_ =
   | Bool of bool
   | Count of int
   | Many of bool list
+  | Busy of { retry_after_ms : int }
   | Error of string
 
 type response = { seq : int; result : result_ }
@@ -55,6 +56,7 @@ let st_false = 0
 and st_true = 1
 and st_count = 2
 and st_many = 3
+and st_busy = 254
 and st_error = 255
 
 (* ------------------------------------------------------------------ *)
@@ -136,6 +138,11 @@ let encode_response buf { seq; result } =
       Buffer.add_char p (Char.chr st_many);
       add_u16 p n;
       List.iter (fun b -> Buffer.add_char p (if b then '\001' else '\000')) bs
+  | Busy { retry_after_ms } ->
+      if retry_after_ms < 0 || retry_after_ms > 0xFFFFFFFF then
+        invalid_arg "Protocol: retry_after_ms out of u32 range";
+      Buffer.add_char p (Char.chr st_busy);
+      add_u32 p retry_after_ms
   | Error msg ->
       Buffer.add_char p (Char.chr st_error);
       let room = max_frame_payload - Buffer.length p in
@@ -247,6 +254,7 @@ let decode_response buf ~off ~len =
                 | _ -> raise (Bad "MANY element not a boolean")
             in
             Many (go 0 [])
+        | st when st = st_busy -> Busy { retry_after_ms = u32 c }
         | st when st = st_error ->
             let msg = Bytes.sub_string c.buf c.pos (c.limit - c.pos) in
             c.pos <- c.limit;

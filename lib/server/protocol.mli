@@ -38,6 +38,7 @@
              | 1 TRUE     body = (empty)
              | 2 COUNT    body = value:i64be          (SIZE)
              | 3 MANY     body = count:u16be bool:u8^count  (BATCH)
+             | 254 BUSY   body = retry_after_ms:u32be
              | 255 ERROR  body = utf-8 message
     v}
 
@@ -48,6 +49,32 @@
     application-level failure (e.g. a key outside the server's
     universe) and leaves the stream usable; an [ERROR] tagged seq 0 is
     a framing-level failure after which the server closes.
+
+    {2 Overload (BUSY, status 254)}
+
+    [BUSY] is the server's admission-control reply: "not an error, not
+    now".  The body carries a retry-after hint in milliseconds — a
+    floor for the client's backoff, not a promise of capacity.  It is
+    sent in two situations, distinguished by the tag:
+
+    - tagged {e seq 0}, at accept time: the server is at its
+      [--max-conns] connection limit and sheds the new connection —
+      one BUSY frame, then close.  The request stream never started.
+    - tagged with the {e request's seq}, per request: the request
+      spent longer than the server's queue deadline
+      ([--queue-deadline-ms]) waiting behind earlier frames of its
+      pipeline window, so the server declines to execute it rather
+      than add load it can no longer serve in time.  The stream stays
+      usable and later requests are served normally.
+
+    In both cases the operation was {e not} executed, so retrying is
+    always safe.  {!Client}'s retry layer backs off (bounded
+    exponential with jitter, floored at the hint) and retries
+    transparently when enabled.  The server-side limits behind these
+    replies — [--max-conns], [--queue-deadline-ms], and the
+    per-connection output-buffer caps [--soft-buffer-kb] /
+    [--hard-buffer-kb] that stall and then evict slow readers — are
+    documented in README.md, "Overload protection".
 
     Decoders never raise on untrusted input — truncated bodies,
     unknown opcodes, oversized or undersized length prefixes and
@@ -75,6 +102,7 @@ type result_ =
   | Bool of bool
   | Count of int
   | Many of bool list
+  | Busy of { retry_after_ms : int }
   | Error of string
 
 type response = { seq : int; result : result_ }

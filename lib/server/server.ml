@@ -43,6 +43,39 @@ module Metrics = struct
   let op_errors = Obs.Counter.create ()
   let protocol_errors = Obs.Counter.create ()
 
+  (* Overload-protection counters: connections shed at accept
+     (BUSY-and-close at --max-conns), slow readers evicted at the hard
+     buffer cap, BUSY replies of either kind, idle connections reaped,
+     and connections closed on a write error (EPIPE/ECONNRESET from a
+     peer that went away mid-reply). *)
+  let shed = Obs.Counter.create ()
+  let evicted_slow = Obs.Counter.create ()
+  let busy_replies = Obs.Counter.create ()
+  let idle_reaped = Obs.Counter.create ()
+  let conn_errors = Obs.Counter.create ()
+
+  (* Buffered-output gauge: each worker publishes the total unflushed
+     response bytes across its connections once per event-loop
+     iteration; the exposition reports the sum.  Slots are registered
+     once per worker (mutex) and written with one atomic store. *)
+  let buffer_slots : int Atomic.t list ref = ref []
+  let buffer_slots_mu = Mutex.create ()
+
+  let register_buffer_slot () =
+    let slot = Atomic.make 0 in
+    Mutex.lock buffer_slots_mu;
+    buffer_slots := slot :: !buffer_slots;
+    Mutex.unlock buffer_slots_mu;
+    slot
+
+  let conn_buffer_bytes () =
+    Mutex.lock buffer_slots_mu;
+    let total =
+      List.fold_left (fun acc a -> acc + Atomic.get a) 0 !buffer_slots
+    in
+    Mutex.unlock buffer_slots_mu;
+    total
+
   (* Per-request latency decomposition (the "latency forensics" layer):
      queue wait (arrival -> decode start, which for pipelined frames
      includes time spent behind earlier frames of the same window),
@@ -76,7 +109,15 @@ module Metrics = struct
     Array.iter (Array.iter Obs.Histogram.reset) stages;
     Obs.Counter.reset accepted;
     Obs.Counter.reset op_errors;
-    Obs.Counter.reset protocol_errors
+    Obs.Counter.reset protocol_errors;
+    Obs.Counter.reset shed;
+    Obs.Counter.reset evicted_slow;
+    Obs.Counter.reset busy_replies;
+    Obs.Counter.reset idle_reaped;
+    Obs.Counter.reset conn_errors;
+    Mutex.lock buffer_slots_mu;
+    buffer_slots := [];
+    Mutex.unlock buffer_slots_mu
 
   (** Cumulative counters as an alist (tests, JSON reports). *)
   let snapshot () =
@@ -91,6 +132,12 @@ module Metrics = struct
         ("accepted", Obs.Counter.sum accepted);
         ("op_errors", Obs.Counter.sum op_errors);
         ("protocol_errors", Obs.Counter.sum protocol_errors);
+        ("shed", Obs.Counter.sum shed);
+        ("evicted_slow", Obs.Counter.sum evicted_slow);
+        ("busy_replies", Obs.Counter.sum busy_replies);
+        ("idle_reaped", Obs.Counter.sum idle_reaped);
+        ("conn_errors", Obs.Counter.sum conn_errors);
+        ("conn_buffer_bytes", conn_buffer_bytes ());
       ]
 
   (** Append the patserve metric families to an exposition; the shape
@@ -119,6 +166,25 @@ module Metrics = struct
     counter b ~name:"patserve_protocol_errors_total"
       ~help:"Connections torn down for protocol violations"
       (float_of_int (Obs.Counter.sum protocol_errors));
+    counter b ~name:"patserve_shed_total"
+      ~help:"Connections shed at accept time (BUSY reply at --max-conns)"
+      (float_of_int (Obs.Counter.sum shed));
+    counter b ~name:"patserve_evicted_slow_total"
+      ~help:"Slow-reading connections evicted at the hard output-buffer cap"
+      (float_of_int (Obs.Counter.sum evicted_slow));
+    counter b ~name:"patserve_busy_replies_total"
+      ~help:"BUSY replies sent (accept-time shed + queue-deadline declines)"
+      (float_of_int (Obs.Counter.sum busy_replies));
+    counter b ~name:"patserve_idle_reaped_total"
+      ~help:"Idle connections closed by the reaper"
+      (float_of_int (Obs.Counter.sum idle_reaped));
+    counter b ~name:"patserve_conn_errors_total"
+      ~help:
+        "Connections closed on a read/write error (EPIPE, ECONNRESET, ...)"
+      (float_of_int (Obs.Counter.sum conn_errors));
+    gauge b ~name:"patserve_conn_buffer_bytes"
+      ~help:"Buffered (unflushed) response bytes across all connections"
+      (float_of_int (conn_buffer_bytes ()));
     Array.iteri
       (fun i op ->
         Array.iteri
@@ -195,6 +261,72 @@ let trace_key = function
   | Protocol.Size | Protocol.Batch _ -> 0
 
 (* ------------------------------------------------------------------ *)
+(* Overload-protection limits.
+
+   The trie under the server is non-blocking — no slow domain can wedge
+   another — but the socket layer can lose that property on its own: a
+   client that stops reading grows an unbounded output buffer, and an
+   unbounded accept queue lets offered load overwhelm every connection
+   at once.  These limits make degradation deliberate: stall slow
+   readers (soft cap), evict them (hard cap), shed connections beyond
+   [max_conns] with a BUSY reply, reap idle connections, and decline
+   requests whose queue wait already blew the deadline. *)
+
+type limits = {
+  max_conns : int option;
+      (** accept-time admission limit across all workers; beyond it new
+          connections get one BUSY frame (retry-after hint) and are
+          closed.  [None] = unlimited. *)
+  soft_buffer_bytes : int;
+      (** per-connection output-buffer soft cap: above it the fd is no
+          longer selected for read, so the client's pipelining stalls
+          instead of growing the buffer. *)
+  hard_buffer_bytes : int;
+      (** per-connection output-buffer hard cap: above it the
+          connection is evicted (counted, logged close).  Must be
+          [>= soft_buffer_bytes]. *)
+  idle_timeout_s : float option;
+      (** reap connections with no traffic and no pending output for
+          this long.  [None] = never. *)
+  queue_deadline_ns : int option;
+      (** per-request queue-stage budget: a request that waited longer
+          than this behind earlier frames of its pipeline window is
+          answered BUSY instead of executed.  [None] = no deadline. *)
+  retry_after_ms : int;  (** hint carried in BUSY replies *)
+  overload_hold_s : float;
+      (** how long after the last shed/eviction/BUSY the server keeps
+          reporting overload to the watchdog — the hysteresis that
+          makes /healthz's [degraded:overload] readable by a poller *)
+}
+
+let default_limits =
+  {
+    max_conns = None;
+    soft_buffer_bytes = 256 * 1024;
+    hard_buffer_bytes = 4 * 1024 * 1024;
+    idle_timeout_s = None;
+    queue_deadline_ns = None;
+    retry_after_ms = 50;
+    overload_hold_s = 2.0;
+  }
+
+(* State shared by all workers of one server: the admission counter,
+   the limits, and the overload stamp behind the watchdog gauge. *)
+type shared = {
+  limits : limits;
+  live : int Atomic.t; (* connections currently registered *)
+  overload_ns : int Atomic.t; (* last shed/eviction/BUSY stamp *)
+}
+
+let note_overload sh = Atomic.set sh.overload_ns (Obs.Clock.now_ns ())
+
+let overloaded sh =
+  let last = Atomic.get sh.overload_ns in
+  last > 0
+  && Obs.Clock.now_ns () - last
+     < int_of_float (sh.limits.overload_hold_s *. 1e9)
+
+(* ------------------------------------------------------------------ *)
 (* Connection state and the per-worker event loop *)
 
 (* One executed-but-unflushed request: the stage stamps collected while
@@ -219,6 +351,7 @@ type conn = {
   mutable out_off : int; (* bytes of [out] already on the wire *)
   mutable closing : bool; (* EOF seen or protocol error sent *)
   mutable window : pending list; (* newest first; emptied on finalize *)
+  mutable last_ns : int; (* last inbound traffic, for the idle reaper *)
 }
 
 let next_conn_id = Atomic.make 0
@@ -260,14 +393,20 @@ let handle_request ops c ~arrival ~d0 ~d1 { Protocol.seq; op } =
 
 let pending c = Buffer.length c.out - c.out_off
 
-let force_close conns c =
+let force_close sh conns c =
+  if Hashtbl.mem conns c.fd then begin
+    Hashtbl.remove conns c.fd;
+    Atomic.decr sh.live
+  end;
   (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error (_, _, _) -> ());
-  Obs.Net.close_noerr c.fd;
-  Hashtbl.remove conns c.fd
+  Obs.Net.close_noerr c.fd
 
 (* Flush as much buffered output as the socket accepts; true while the
-   connection is still usable. *)
-let flush_out conns c =
+   connection is still usable.  A write error (EPIPE from a peer that
+   closed mid-reply, ECONNRESET, ...) closes only this connection —
+   with SIGPIPE ignored at [start], a vanished client can never take
+   down the worker serving everyone else. *)
+let flush_out sh conns c =
   let n = pending c in
   if n = 0 then true
   else begin
@@ -285,8 +424,26 @@ let flush_out conns c =
       ->
         true
     | exception Unix.Unix_error (_, _, _) ->
-        force_close conns c;
+        Obs.Counter.incr Metrics.conn_errors;
+        force_close sh conns c;
         false
+  end
+
+(* Hard-cap eviction: a connection whose unflushed output is still
+   above the hard cap after a flush attempt belongs to a reader too
+   slow to keep (or one that stopped reading entirely).  Counted and
+   logged — a silent eviction would look like a server bug from the
+   client side. *)
+let check_evict sh conns c =
+  if Hashtbl.mem conns c.fd && pending c > sh.limits.hard_buffer_bytes then begin
+    Obs.Counter.incr Metrics.evicted_slow;
+    note_overload sh;
+    Printf.eprintf
+      "patserve: evicting slow reader conn-%d (%d bytes buffered > hard cap \
+       %d)\n\
+       %!"
+      c.id (pending c) sh.limits.hard_buffer_bytes;
+    force_close sh conns c
   end
 
 let protocol_failure c msg =
@@ -298,10 +455,18 @@ let protocol_failure c msg =
    loop is where pipelining pays: one read syscall can carry a whole
    window of requests, answered with one write.  [arrival] is the read
    stamp shared by the window; the per-frame decode stamps bracket
-   [next_payload] + [decode_request]. *)
-let process_frames ops c ~arrival =
+   [next_payload] + [decode_request].
+
+   Two overload gates ride on the loop: decoding pauses once the
+   connection's unflushed output crosses the hard buffer cap (leftover
+   frames stay in the reader and are resumed by the event loop once the
+   client drains — or the connection is evicted), and a request whose
+   queue wait already exceeded the deadline is answered BUSY instead of
+   executed: the stage stamps the forensics layer collects anyway make
+   the admission decision a single subtraction. *)
+let process_frames sh ops c ~arrival =
   let rec go () =
-    if not c.closing then begin
+    if (not c.closing) && pending c <= sh.limits.hard_buffer_bytes then begin
       let d0 = Obs.Clock.now_ns () in
       match Protocol.Reader.next_payload c.reader with
       | `None -> ()
@@ -311,8 +476,20 @@ let process_frames ops c ~arrival =
           match Protocol.decode_request buf ~off ~len with
           | Result.Error msg -> protocol_failure c msg
           | Result.Ok req ->
-              let d1 = Obs.Clock.now_ns () in
-              handle_request ops c ~arrival ~d0 ~d1 req;
+              (match sh.limits.queue_deadline_ns with
+              | Some budget when d0 - arrival > budget ->
+                  Obs.Counter.incr Metrics.busy_replies;
+                  note_overload sh;
+                  Protocol.encode_response c.out
+                    {
+                      Protocol.seq = req.Protocol.seq;
+                      result =
+                        Protocol.Busy
+                          { retry_after_ms = sh.limits.retry_after_ms };
+                    }
+              | _ ->
+                  let d1 = Obs.Clock.now_ns () in
+                  handle_request ops c ~arrival ~d0 ~d1 req);
               go ())
     end
   in
@@ -389,57 +566,112 @@ let finalize_window c ~b0 ~b1 ~w1 =
    covers the whole window rather than each request.  Responses already
    buffered from earlier windows re-flushed by the select loop passed
    their barrier when they were produced. *)
-let finish_window barrier conns c =
+let finish_window sh barrier conns c =
   let b0 = Obs.Clock.now_ns () in
   barrier ();
   let b1 = Obs.Clock.now_ns () in
-  ignore (flush_out conns c);
+  ignore (flush_out sh conns c);
   let w1 = Obs.Clock.now_ns () in
-  finalize_window c ~b0 ~b1 ~w1
+  finalize_window c ~b0 ~b1 ~w1;
+  check_evict sh conns c
 
-let handle_read ops barrier conns scratch c =
+let handle_read sh ops barrier conns scratch c =
   Chaos.point Chaos.Net_read;
   match Unix.read c.fd scratch 0 (Bytes.length scratch) with
   | 0 ->
       (* Orderly EOF: answer whatever complete frames are already
          buffered, flush, then close. *)
-      process_frames ops c ~arrival:(Obs.Clock.now_ns ());
+      process_frames sh ops c ~arrival:(Obs.Clock.now_ns ());
       c.closing <- true;
-      finish_window barrier conns c
+      finish_window sh barrier conns c
   | n ->
       let arrival = Obs.Clock.now_ns () in
+      c.last_ns <- arrival;
       Protocol.Reader.feed c.reader scratch n;
-      process_frames ops c ~arrival;
-      finish_window barrier conns c
+      process_frames sh ops c ~arrival;
+      finish_window sh barrier conns c
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
     ->
       ()
-  | exception Unix.Unix_error (_, _, _) -> force_close conns c
+  | exception Unix.Unix_error (_, _, _) ->
+      Obs.Counter.incr Metrics.conn_errors;
+      force_close sh conns c
 
-let accept_new conns lsock =
+(* Frames left in the reader by the hard-cap decode gate: once the
+   client has drained enough output, pick the window back up without
+   waiting for new bytes on the wire. *)
+let resume_buffered sh ops barrier conns c =
+  if
+    (not c.closing)
+    && pending c <= sh.limits.soft_buffer_bytes
+    && Protocol.Reader.buffered c.reader > 4
+  then begin
+    let arrival = Obs.Clock.now_ns () in
+    process_frames sh ops c ~arrival;
+    if c.window <> [] then finish_window sh barrier conns c
+  end
+
+(* One BUSY frame (retry-after hint), then close: the admission-control
+   shed path for a connection beyond --max-conns.  Best-effort — if
+   even the 13-byte write can't be afforded the close alone must do. *)
+let shed_connection sh fd =
+  Obs.Counter.incr Metrics.shed;
+  Obs.Counter.incr Metrics.busy_replies;
+  note_overload sh;
+  let b = Buffer.create 16 in
+  Protocol.encode_response b
+    {
+      Protocol.seq = 0;
+      result = Protocol.Busy { retry_after_ms = sh.limits.retry_after_ms };
+    };
+  let bytes = Buffer.to_bytes b in
+  (try ignore (Unix.write fd bytes 0 (Bytes.length bytes))
+   with Unix.Unix_error (_, _, _) -> ());
+  Obs.Net.close_noerr fd
+
+let accept_new sh conns lsock =
   match Unix.accept lsock with
   | fd, _ ->
       Chaos.point Chaos.Net_accept;
-      Obs.Counter.incr Metrics.accepted;
       Unix.set_nonblock fd;
       (try Unix.setsockopt fd Unix.TCP_NODELAY true
        with Unix.Unix_error (_, _, _) -> ());
-      Hashtbl.replace conns fd
-        {
-          fd;
-          id = Atomic.fetch_and_add next_conn_id 1;
-          reader = Protocol.Reader.create ();
-          out = Buffer.create 4096;
-          out_off = 0;
-          closing = false;
-          window = [];
-        }
+      let admitted =
+        match sh.limits.max_conns with
+        | None ->
+            Atomic.incr sh.live;
+            true
+        | Some m ->
+            (* fetch_and_add makes the check exact across workers racing
+               on the shared listening socket: the loser decrements and
+               sheds instead of sneaking past the limit. *)
+            if Atomic.fetch_and_add sh.live 1 >= m then begin
+              Atomic.decr sh.live;
+              false
+            end
+            else true
+      in
+      if not admitted then shed_connection sh fd
+      else begin
+        Obs.Counter.incr Metrics.accepted;
+        Hashtbl.replace conns fd
+          {
+            fd;
+            id = Atomic.fetch_and_add next_conn_id 1;
+            reader = Protocol.Reader.create ();
+            out = Buffer.create 4096;
+            out_off = 0;
+            closing = false;
+            window = [];
+            last_ns = Obs.Clock.now_ns ();
+          }
+      end
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
     ->
       ()
   | exception Unix.Unix_error (_, _, _) -> ()
 
-let worker_loop ops barrier drain_s watchdog ~stopping lsock =
+let worker_loop sh ops barrier drain_s watchdog ~stopping lsock =
   (* Idempotent across workers; guarantees accept never blocks the
      event loop even in a single-worker configuration. *)
   Unix.set_nonblock lsock;
@@ -455,7 +687,13 @@ let worker_loop ops barrier drain_s watchdog ~stopping lsock =
   in
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
   let scratch = Bytes.create 65536 in
+  let buffer_slot = Metrics.register_buffer_slot () in
   let drain_deadline = ref None in
+  (* Completed select passes since the drain began; idle connections
+     are only cut from the second pass on, so bytes a client managed to
+     send just before [stop] still get one full select round to show up
+     readable and be answered. *)
+  let drain_iters = ref 0 in
   let all_conns () = Hashtbl.fold (fun _ c acc -> c :: acc) conns [] in
   let rec loop () =
     beat ();
@@ -472,39 +710,94 @@ let worker_loop ops barrier drain_s watchdog ~stopping lsock =
       | Some d -> Hashtbl.length conns = 0 || Unix.gettimeofday () > d
       | None -> false
     in
-    if expired then List.iter (force_close conns) (all_conns ())
+    if expired then begin
+      List.iter (force_close sh conns) (all_conns ());
+      Atomic.set buffer_slot 0
+    end
     else begin
+      (* Idle reaper: no inbound traffic, nothing owed, nothing half
+         read — a connection costing a select slot for free. *)
+      (match sh.limits.idle_timeout_s with
+      | Some t when not stop ->
+          let cutoff = Obs.Clock.now_ns () - int_of_float (t *. 1e9) in
+          List.iter
+            (fun c ->
+              if
+                (not c.closing)
+                && pending c = 0
+                && Protocol.Reader.buffered c.reader = 0
+                && c.last_ns < cutoff
+              then begin
+                Obs.Counter.incr Metrics.idle_reaped;
+                force_close sh conns c
+              end)
+            (all_conns ())
+      | _ -> ());
       let cs = all_conns () in
+      Atomic.set buffer_slot (List.fold_left (fun a c -> a + pending c) 0 cs);
       let rds =
         (if stop then [] else [ lsock ])
         @ List.filter_map
-            (fun c -> if c.closing then None else Some c.fd)
+            (fun c ->
+              (* Soft-cap backpressure: a connection owing more output
+                 than the soft cap is not selected for read, so its
+                 pipelining stalls at the TCP window instead of growing
+                 the buffer toward the hard cap. *)
+              if c.closing || pending c > sh.limits.soft_buffer_bytes then None
+              else Some c.fd)
             cs
       in
       let wrs = List.filter_map (fun c -> if pending c > 0 then Some c.fd else None) cs in
       (match Unix.select rds wrs [] 0.1 with
       | rd, wr, _ ->
-          if (not stop) && List.memq lsock rd then accept_new conns lsock;
+          if (not stop) && List.memq lsock rd then accept_new sh conns lsock;
           List.iter
             (fun fd ->
               if fd != lsock then
                 match Hashtbl.find_opt conns fd with
-                | Some c -> handle_read ops barrier conns scratch c
+                | Some c -> handle_read sh ops barrier conns scratch c
                 | None -> ())
             rd;
           List.iter
             (fun fd ->
               match Hashtbl.find_opt conns fd with
-              | Some c -> ignore (flush_out conns c)
+              | Some c ->
+                  ignore (flush_out sh conns c);
+                  check_evict sh conns c
               | None -> ())
             wr;
+          (* Frames parked behind the hard-cap decode gate resume once
+             the flushes above drained the buffer back under the soft
+             cap. *)
+          List.iter
+            (fun c ->
+              if Hashtbl.mem conns c.fd then
+                resume_buffered sh ops barrier conns c)
+            cs;
           (* Reap connections that have said goodbye and been fully
              answered. *)
           List.iter
             (fun c ->
               if c.closing && pending c = 0 && Hashtbl.mem conns c.fd then
-                force_close conns c)
-            (all_conns ())
+                force_close sh conns c)
+            (all_conns ());
+          (* Drain shortcut: once every connection with buffered input
+             has had a select round, anything owing nothing and saying
+             nothing is idle — close it now rather than sitting out the
+             rest of [drain_s]. *)
+          if stop then begin
+            if !drain_iters >= 1 then
+              List.iter
+                (fun c ->
+                  if
+                    Hashtbl.mem conns c.fd
+                    && pending c = 0
+                    && Protocol.Reader.buffered c.reader = 0
+                    && not (List.memq c.fd rd)
+                  then force_close sh conns c)
+                (all_conns ());
+            incr drain_iters
+          end
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
       loop ()
     end
@@ -514,7 +807,7 @@ let worker_loop ops barrier drain_s watchdog ~stopping lsock =
 (* ------------------------------------------------------------------ *)
 (* Lifecycle *)
 
-type t = { net : Obs.Net.t; drain_s : float Atomic.t }
+type t = { net : Obs.Net.t; drain_s : float Atomic.t; shared : shared }
 
 (** [start ops] binds [addr:port] ([port = 0] for ephemeral; see
     {!port}) and serves on [domains] worker domains.  All workers share
@@ -529,17 +822,49 @@ type t = { net : Obs.Net.t; drain_s : float Atomic.t }
 
     [watchdog], if given, receives one heartbeat source per worker
     domain (named [worker-<domain id>]), beaten every event-loop
-    iteration — the progress signal behind the /healthz verdict. *)
+    iteration — the progress signal behind the /healthz verdict — plus
+    an [overload] gauge that reports degraded while the server is
+    shedding/evicting/declining (with [limits.overload_hold_s] of
+    hysteresis), so /healthz says [degraded: overload=...] during a
+    flood and recovers to [ok] after it.
+
+    [limits] installs the overload-protection envelope
+    ({!default_limits}: no admission limit, no idle reaper, no queue
+    deadline — only the buffer caps).
+
+    SIGPIPE is ignored process-wide on the first call: a peer that
+    vanishes mid-write must surface as [EPIPE] on that connection, not
+    kill the process. *)
 let start ?(addr = "127.0.0.1") ?(port = 0) ?(domains = 2) ?(backlog = 64)
-    ?(barrier = fun () -> ()) ?watchdog ops =
+    ?(barrier = fun () -> ()) ?watchdog ?(limits = default_limits) ops =
+  if limits.hard_buffer_bytes < limits.soft_buffer_bytes then
+    invalid_arg "Server.start: hard buffer cap below soft cap";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let sh =
+    { limits; live = Atomic.make 0; overload_ns = Atomic.make 0 }
+  in
+  (match watchdog with
+  | Some wd ->
+      Obs.Watchdog.gauge wd ~name:"overload" ~degraded_above:0 (fun () ->
+          if overloaded sh then 1 else 0)
+  | None -> ());
   let drain_s = Atomic.make 1.0 in
   let net =
     Obs.Net.start ~addr ~backlog ~domains ~port
-      (worker_loop ops barrier drain_s watchdog)
+      (worker_loop sh ops barrier drain_s watchdog)
   in
-  { net; drain_s }
+  { net; drain_s; shared = sh }
 
 let port t = Obs.Net.port t.net
+
+(** Connections currently registered across all workers (diagnostics,
+    tests). *)
+let live_conns t = Atomic.get t.shared.live
+
+(** Whether the server is inside the overload-hysteresis window — the
+    same signal the watchdog gauge reports. *)
+let overloaded t = overloaded t.shared
 
 (** Graceful-drain stop, idempotent: stop accepting, give in-flight
     connections up to [drain_s] (default 1s) to be answered and closed,

@@ -81,6 +81,9 @@ let test_response_roundtrips () =
       P.Count max_int;
       P.Many [];
       P.Many [ true; false; true ];
+      P.Busy { retry_after_ms = 0 };
+      P.Busy { retry_after_ms = 50 };
+      P.Busy { retry_after_ms = 0xFFFFFFFF };
       P.Error "no such thing";
       P.Error "";
     ]
