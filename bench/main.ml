@@ -147,7 +147,7 @@ let sweep ~figure subjects workload =
                       Obs.Json.Float full.Harness.dp.Harness.stddev );
                   ]
                 :: !baseline_acc;
-            full.Harness.dp)
+            (full.Harness.dp, Harness.descent_mean full.Harness.counters))
           threads_list ))
     (with_stats subjects)
 
@@ -158,7 +158,24 @@ let figure ~id ~title subjects workload =
     ~title:
       (Printf.sprintf "%s, key range (0, %d), throughput in ops/s" title
          workload.Harness.universe)
-    ~threads_list rows;
+    ~threads_list
+    (List.map (fun (label, points) -> (label, List.map fst points)) rows);
+  (* Descent-cost row (structures recording it, i.e. PAT under
+     REPRO_RECORD_STATS / --metrics-json): mean nodes visited per
+     search next to the throughput it explains. *)
+  List.iter
+    (fun (label, points) ->
+      if List.exists (fun (_, d) -> d <> None) points then begin
+        Format.printf "%-8s" label;
+        List.iter
+          (fun (_, d) ->
+            match d with
+            | Some m -> Format.printf "%14.2f" m
+            | None -> Format.printf "%14s" "-")
+          points;
+        Format.printf "  (mean descent, nodes/search)@."
+      end)
+    rows;
   Format.print_flush ()
 
 let () =

@@ -468,6 +468,11 @@ let ablation_helping ~threads_list ~seconds ~trials ~seed ~csv =
         flag_failures = 0;
         backtracks = 0;
         backoff_waits = 0;
+        descent_nodes_find = 0;
+        descent_nodes_insert = 0;
+        descent_nodes_delete = 0;
+        descent_nodes_replace = 0;
+        descent_searches = 0;
       }
   in
   Format.printf
@@ -517,6 +522,15 @@ let ablation_helping ~threads_list ~seconds ~trials ~seed ~csv =
                     flag_failures = s.flag_failures - b.flag_failures;
                     backtracks = s.backtracks - b.backtracks;
                     backoff_waits = s.backoff_waits - b.backoff_waits;
+                    descent_nodes_find =
+                      s.descent_nodes_find - b.descent_nodes_find;
+                    descent_nodes_insert =
+                      s.descent_nodes_insert - b.descent_nodes_insert;
+                    descent_nodes_delete =
+                      s.descent_nodes_delete - b.descent_nodes_delete;
+                    descent_nodes_replace =
+                      s.descent_nodes_replace - b.descent_nodes_replace;
+                    descent_searches = s.descent_searches - b.descent_searches;
                   }
             | None -> zero
           in
@@ -673,12 +687,17 @@ let ablation_cmd =
 (* ------------------------------------------------------------------ *)
 (* serve subcommand: the trie behind the patserve binary protocol *)
 
+(* [Patricia.create]'s optional [?record_stats] keeps it out of
+   [CONCURRENT_SET_WITH_REPLACE] verbatim; the ref lets the serve
+   path switch descent accounting on for the recovered trie too
+   (set before [Pstore.open_], read once at create). *)
+let pstore_record_stats = ref false
+
 module Pstore = Persist.Store.Make (struct
   include Core.Patricia
 
-  (* [Patricia.create]'s optional [?record_stats] keeps it out of
-     [CONCURRENT_SET_WITH_REPLACE] verbatim. *)
-  let create ~universe () = Core.Patricia.create ~universe ()
+  let create ~universe () =
+    Core.Patricia.create ~universe ~record_stats:!pstore_record_stats ()
 end)
 
 let pp_recovery ppf (ri : Pstore.recovery_info) =
@@ -772,6 +791,17 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "runtime-events" ] ~doc)
   in
+  let memprof_arg =
+    let doc =
+      "Start the Gc.Memprof sampling allocation profiler: sampled \
+       allocations are attributed to the operation/stage region being \
+       executed and exported as patserve_alloc_* metric families plus the \
+       /debug/allocs top-sites dump.  If the runtime does not support \
+       memprof (OCaml 5.0-5.2 multicore), the server logs a warning, \
+       exports patserve_alloc_up 0 and keeps serving."
+    in
+    Arg.(value & flag & info [ "memprof" ] ~doc)
+  in
   let max_conns_arg =
     let doc =
       "Admission control: accept at most $(docv) simultaneous connections \
@@ -817,14 +847,20 @@ let serve_cmd =
     Arg.(value & opt int 4096 & info [ "hard-buffer-kb" ] ~doc ~docv:"KIB")
   in
   let run port range domains metrics_port seconds data_dir durability
-      checkpoint_s trace_out runtime_events max_conns idle_timeout_s
+      checkpoint_s trace_out runtime_events memprof max_conns idle_timeout_s
       queue_deadline_ms soft_buffer_kb hard_buffer_kb =
     (* Assemble the served operations, the ack barrier, the periodic-tick
-       work and the teardown from the durability configuration. *)
-    let ops, barrier, tick, teardown, durability_banner =
+       work, the teardown and the live trie handle (for the shape census
+       and descent histogram) from the durability configuration. *)
+    let ops, trie, barrier, tick, teardown, durability_banner =
       match data_dir with
       | None ->
-          let trie = Core.Patricia.create ~universe:range () in
+          (* Descent accounting rides on the metrics endpoint: striped
+             per domain, so it does not serialize the served trie. *)
+          let trie =
+            Core.Patricia.create ~universe:range
+              ~record_stats:(metrics_port <> None) ()
+          in
           ( Server.
               {
                 insert = Core.Patricia.insert trie;
@@ -834,6 +870,7 @@ let serve_cmd =
                   (fun ~remove ~add -> Core.Patricia.replace trie ~remove ~add);
                 size = (fun () -> Core.Patricia.size trie);
               },
+            trie,
             (fun () -> ()),
             (fun () -> ()),
             (fun () -> ()),
@@ -845,6 +882,7 @@ let serve_cmd =
             | `Async -> Pstore.Async
             | `Sync -> Pstore.Sync
           in
+          pstore_record_stats := metrics_port <> None;
           let store = Pstore.open_ ~dir ~universe:range ~mode () in
           Persist.Metrics.set_queue_depth_source
             (Some (fun () -> Pstore.queue_depth store));
@@ -884,6 +922,7 @@ let serve_cmd =
             Pstore.close store
           in
           ( ops,
+            Pstore.underlying store,
             (fun () -> Pstore.barrier store),
             tick,
             teardown,
@@ -908,6 +947,22 @@ let serve_cmd =
             Format.printf
               "patserve: warning: runtime-events unavailable (%s), \
                continuing without GC telemetry@."
+              m;
+            None
+    in
+    let memprof_t =
+      if not memprof then None
+      else
+        match Obs.Memprof.start () with
+        | Ok mp ->
+            Format.printf "patserve: memprof allocation profiler attached@.";
+            Some mp
+        | Error m ->
+            (* Same contract as runtime-events: degraded observability
+               beats a dead server; patserve_alloc_up stays 0. *)
+            Format.printf
+              "patserve: warning: memprof unavailable (%s), continuing \
+               without allocation profiling@."
               m;
             None
     in
@@ -942,6 +997,22 @@ let serve_cmd =
           Harness.Live.add_extra_producer (Obs.Watchdog.emit wd);
           if runtime <> None then
             Harness.Live.add_extra_producer Obs.Runtime.emit;
+          (* Structure forensics: the shape census (pat_shape_*; an O(n)
+             read-only walk per scrape), the descent-depth histogram
+             when the trie records stats, and the allocation-profiler
+             families (patserve_alloc_up 0 when memprof is off or
+             unsupported). *)
+          Harness.Live.add_extra_producer (fun b ->
+              match Core.Patricia.census trie with
+              | Some c -> Obs.Shape.emit b c
+              | None -> ());
+          Harness.Live.add_extra_producer (fun b ->
+              match Core.Patricia.descent_summary trie with
+              | Some s ->
+                  Obs.Prometheus.histogram_summary b ~name:"pat_descent_depth"
+                    ~help:"Nodes visited per search (descent depth)" s
+              | None -> ());
+          Harness.Live.add_extra_producer Obs.Memprof.emit;
           let routes =
             [
               ( "/debug/slowlog",
@@ -949,6 +1020,17 @@ let serve_cmd =
                   ( "application/json",
                     Obs.Json.to_string (Obs.Slowlog.to_json Server.slowlog)
                     ^ "\n" ) );
+              ( "/debug/shape",
+                fun () ->
+                  ( "application/json",
+                    (match Core.Patricia.census trie with
+                    | Some c -> Obs.Json.to_string (Obs.Shape.to_json c)
+                    | None -> "null")
+                    ^ "\n" ) );
+              ( "/debug/allocs",
+                fun () ->
+                  ( "application/json",
+                    Obs.Json.to_string (Obs.Memprof.sites_json ()) ^ "\n" ) );
             ]
           in
           let s =
@@ -984,6 +1066,7 @@ let serve_cmd =
     teardown ();
     Obs.Watchdog.stop_monitor wd;
     Option.iter Obs.Runtime.stop runtime;
+    Option.iter Obs.Memprof.stop memprof_t;
     (* Write the trace only after the runtime collector's final drain so
        the last GC spans make it into the file. *)
     Obs.Trace.set_recorder None;
@@ -1020,7 +1103,7 @@ let serve_cmd =
     Term.(
       const run $ port_arg $ range_arg $ domains_arg $ metrics_port_arg
       $ seconds_opt_arg $ data_dir_arg $ durability_arg $ checkpoint_s_arg
-      $ serve_trace_arg $ runtime_events_arg $ max_conns_arg
+      $ serve_trace_arg $ runtime_events_arg $ memprof_arg $ max_conns_arg
       $ idle_timeout_arg $ queue_deadline_arg $ soft_buffer_arg
       $ hard_buffer_arg)
 
@@ -1271,6 +1354,220 @@ let load_cmd =
        $ scrape_port_arg $ open_loop_arg))
 
 (* ------------------------------------------------------------------ *)
+(* analyze subcommand: structure forensics — shape census, bytes/key
+   and descent-cost accounting for PAT vs PAT-VLK vs 4-ST on the same
+   seeded half-full key set, or the census of a recovered --data-dir.
+   This is the instrument behind EXPERIMENTS.md's "Anatomy of the
+   raw-speed gap": it turns the PAT-vs-4-ST throughput difference into
+   measured pointer dereferences per operation. *)
+
+let analyze_cmd =
+  let range_arg =
+    Arg.(
+      value & opt int 65_536
+      & info [ "range" ] ~doc:"Key range (universe) of the analyzed stores.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 2013
+      & info [ "seed" ] ~doc:"Seed of the half-fill permutation and probes.")
+  in
+  let probes_arg =
+    Arg.(
+      value & opt int 100_000
+      & info [ "probes" ]
+          ~doc:
+            "Single-thread member probes per structure for the descent/time \
+             micro-measure.")
+  in
+  let data_dir_arg =
+    let doc =
+      "Census a recovered durable store instead of fresh synthetic \
+       structures: load the newest checkpoint + WAL tail (read-only, \
+       durability none) and report the live trie's census."
+    in
+    Arg.(value & opt (some string) None & info [ "data-dir" ] ~doc ~docv:"DIR")
+  in
+  let json_arg =
+    let doc = "Write the full census/descent document as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"PATH")
+  in
+  let pp_census (c : Dset_intf.census) =
+    Format.printf
+      "%-8s %8d keys  %8d internal  %8d leaf  %d sentinel  depth \
+       mean %.2f p99 %d max %d@."
+      c.Dset_intf.structure c.Dset_intf.keys c.Dset_intf.internals
+      c.Dset_intf.leaves c.Dset_intf.sentinels c.Dset_intf.leaf_depth.d_mean
+      c.Dset_intf.leaf_depth.d_p99 c.Dset_intf.max_depth;
+    Format.printf
+      "%-8s %8.1f bytes/key measured  (%d words measured, %d words \
+       estimated)@."
+      "" c.Dset_intf.bytes_per_key c.Dset_intf.measured_words
+      c.Dset_intf.est_words
+  in
+  let census_json label census descent =
+    Obs.Json.Obj
+      (("structure", Obs.Json.Str label)
+       ::
+       (match census with
+       | Some c -> [ ("census", Obs.Shape.to_json c) ]
+       | None -> [ ("census", Obs.Json.Null) ])
+      @ descent)
+  in
+  let run range seed probes data_dir json_path =
+    let write_json doc =
+      match json_path with
+      | None -> ()
+      | Some path ->
+          Obs.Json.to_file path doc;
+          Format.printf "analysis written to %s@." path
+    in
+    match data_dir with
+    | Some dir -> (
+        match Pstore.open_ ~dir ~universe:range ~mode:Pstore.Ephemeral () with
+        | exception Failure m -> `Error (false, m)
+        | store ->
+            Format.printf "%a@." pp_recovery (Pstore.recovery_info store);
+            let trie = Pstore.underlying store in
+            (match Core.Patricia.census trie with
+            | Some c ->
+                pp_census c;
+                write_json
+                  (Obs.Json.Obj
+                     [
+                       ("schema", Obs.Json.Str "analyze/1");
+                       ("range", Obs.Json.Int range);
+                       ("data_dir", Obs.Json.Str dir);
+                       ( "structures",
+                         Obs.Json.Arr
+                           [ census_json Core.Patricia.name (Some c) [] ] );
+                     ])
+            | None -> ());
+            Format.print_flush ();
+            `Ok ())
+    | None ->
+        (* The three structures the raw-speed question is about, all
+           holding the same random half of the key range. *)
+        let pat = Core.Patricia.create ~universe:range ~record_stats:true () in
+        let vlk = Core.Patricia_vlk.create ~record_stats:true () in
+        let kary = Kary.create ~universe:range ~record_stats:true () in
+        let hex k = Printf.sprintf "%08x" k in
+        let subjects =
+          [
+            ( Core.Patricia.name,
+              Core.Patricia.insert pat,
+              Core.Patricia.member pat,
+              (fun () -> Core.Patricia.census pat),
+              (fun () -> Core.Patricia.descent_stats pat),
+              fun () -> Core.Patricia.descent_summary pat );
+            ( Core.Patricia_vlk.name,
+              (fun k -> Core.Patricia_vlk.insert vlk (hex k)),
+              (fun k -> Core.Patricia_vlk.member vlk (hex k)),
+              (fun () -> Core.Patricia_vlk.census vlk),
+              (fun () -> Core.Patricia_vlk.descent_stats vlk),
+              fun () -> Core.Patricia_vlk.descent_summary vlk );
+            ( Kary.name,
+              Kary.insert kary,
+              Kary.member kary,
+              (fun () -> Kary.census kary),
+              (fun () -> Kary.descent_stats kary),
+              fun () -> Kary.descent_summary kary );
+          ]
+        in
+        (* Same half-full steady state as the harness prefill: a random
+           half of the universe, in random order. *)
+        let perm = Array.init range Fun.id in
+        let rng = Rng.of_int_seed seed in
+        for i = range - 1 downto 1 do
+          let j = Rng.int rng (i + 1) in
+          let tmp = perm.(i) in
+          perm.(i) <- perm.(j);
+          perm.(j) <- tmp
+        done;
+        Format.printf
+          "structure forensics: range (0, %d), %d keys (half-full), seed %d, \
+           %d member probes@."
+          range (range / 2) seed probes;
+        let results =
+          List.map
+            (fun (label, insert, member, census, dstats, dsummary) ->
+              for i = 0 to (range / 2) - 1 do
+                ignore (insert perm.(i))
+              done;
+              let delta before after key =
+                match
+                  (List.assoc_opt key before, List.assoc_opt key after)
+                with
+                | Some b, Some a -> a - b
+                | _ -> 0
+              in
+              let d0 = Option.value ~default:[] (dstats ()) in
+              let rng = Rng.of_int_seed (seed + 1) in
+              let t0 = Obs.Clock.now_ns () in
+              for _ = 1 to probes do
+                ignore (member (Rng.int rng range))
+              done;
+              let elapsed = Obs.Clock.now_ns () - t0 in
+              let d1 = Option.value ~default:[] (dstats ()) in
+              let nodes = delta d0 d1 "descent_nodes_find" in
+              let searches = delta d0 d1 "descent_searches" in
+              let probe_mean =
+                if searches > 0 then
+                  float_of_int nodes /. float_of_int searches
+                else 0.0
+              in
+              let ns_per_probe = float_of_int elapsed /. float_of_int probes in
+              let c = census () in
+              (match c with Some c -> pp_census c | None -> ());
+              Format.printf
+                "%-8s %8.1f ns/probe  %.2f nodes/search (probe window)@.@."
+                label ns_per_probe probe_mean;
+              ( label,
+                c,
+                [
+                  ( "descent",
+                    Obs.Json.Obj
+                      [
+                        ("probes", Obs.Json.Int probes);
+                        ("ns_per_probe", Obs.Json.Float ns_per_probe);
+                        ("probe_mean_nodes", Obs.Json.Float probe_mean);
+                        ( "depth",
+                          match dsummary () with
+                          | Some s -> Obs.Histogram.summary_to_json s
+                          | None -> Obs.Json.Null );
+                      ] );
+                ] ))
+            subjects
+        in
+        write_json
+          (Obs.Json.Obj
+             [
+               ("schema", Obs.Json.Str "analyze/1");
+               ("range", Obs.Json.Int range);
+               ("seed", Obs.Json.Int seed);
+               ("keys", Obs.Json.Int (range / 2));
+               ( "structures",
+                 Obs.Json.Arr
+                   (List.map
+                      (fun (label, c, descent) -> census_json label c descent)
+                      results) );
+             ]);
+        Format.print_flush ();
+        `Ok ()
+  in
+  let doc =
+    "Structure forensics: shape census (node counts, depth and label \
+     distributions, bytes per key) and single-thread descent cost for PAT, \
+     PAT-VLK and 4-ST over the same seeded half-full key set — or the \
+     census of a recovered --data-dir."
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(
+      ret
+        (const run $ range_arg $ seed_arg $ probes_arg $ data_dir_arg
+       $ json_arg))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc =
@@ -1288,4 +1585,5 @@ let () =
             serve_cmd;
             load_cmd;
             recover_cmd;
+            analyze_cmd;
           ]))

@@ -496,3 +496,9 @@ let check_invariants t =
   in
   if h > bound then err "height %d exceeds bound %d for %d nodes" h bound n;
   match !errors with [] -> Ok () | es -> Error (String.concat "; " es)
+
+(* Structure forensics: this baseline is not instrumented; [None] is
+   the registry's explicit "unsupported" marker for the census and
+   descent-cost capabilities. *)
+let census _ = None
+let descent_stats _ = None

@@ -73,6 +73,16 @@ and stats = {
   backtracks : Obs.Counter.t; (* failed flag phases backed out in help *)
   backoff_waits : Obs.Counter.t;
       (* retries that paused in the contention backoff (Chaos.Backoff) *)
+  (* Descent-cost accounting: nodes visited per search (root included),
+     split by the opcode that ran the search, plus a depth histogram
+     for the tail.  One search = one histogram record + one counter
+     add, on the recording domain's own stripe. *)
+  descent_find : Obs.Counter.t;
+  descent_insert : Obs.Counter.t;
+  descent_delete : Obs.Counter.t;
+  descent_replace : Obs.Counter.t;
+  descent_searches : Obs.Counter.t;
+  descent_depth : Obs.Histogram.t;
 }
 
 (* Point-in-time merged view of the counters (see [stats_snapshot]). *)
@@ -83,6 +93,11 @@ type snapshot = {
   flag_failures : int;
   backtracks : int;
   backoff_waits : int;
+  descent_nodes_find : int;
+  descent_nodes_insert : int;
+  descent_nodes_delete : int;
+  descent_nodes_replace : int;
+  descent_searches : int;
 }
 
 type t = {
@@ -113,6 +128,12 @@ let make_stats () : stats =
     flag_failures = Obs.Counter.create ();
     backtracks = Obs.Counter.create ();
     backoff_waits = Obs.Counter.create ();
+    descent_find = Obs.Counter.create ();
+    descent_insert = Obs.Counter.create ();
+    descent_delete = Obs.Counter.create ();
+    descent_replace = Obs.Counter.create ();
+    descent_searches = Obs.Counter.create ();
+    descent_depth = Obs.Histogram.create ();
   }
 
 (* The disabled-stats hot path must stay a single branch: [None -> ()]
@@ -121,6 +142,16 @@ let make_stats () : stats =
    either way. *)
 let[@inline] bump (stats : stats option) (field : stats -> Obs.Counter.t) =
   match stats with None -> () | Some s -> Obs.Counter.incr (field s)
+
+(* One completed search: [d] nodes visited, attributed to the opcode's
+   counter.  Same disabled contract as [bump] — [None] is one branch. *)
+let[@inline] descent (stats : stats option) (field : stats -> Obs.Counter.t) d =
+  match stats with
+  | None -> ()
+  | Some s ->
+      Obs.Counter.add (field s) d;
+      Obs.Counter.incr s.descent_searches;
+      Obs.Histogram.record s.descent_depth d
 
 (* Fault-injection site (lib/chaos).  Same hot-path discipline as
    [bump]: with no chaos policy installed this is one atomic load and an
@@ -256,6 +287,11 @@ type search_result = {
   gp_info : info option;
   p_info : info;
   rmvd : bool;
+  depth : int;
+      (* Child pointers followed to reach [node] — the pointer-chase
+         cost of this search, counting the terminal node but not the
+         root (root's child = 1).  Computed from values the loop already
+         holds, so uninstrumented searches pay one add per level. *)
 }
 
 let search t v =
@@ -263,22 +299,22 @@ let search t v =
   (* The root's label ε is a prefix of every key, so the loop body runs at
      least once and [p] is always an internal node on return.  The root is
      never an old child of any CAS, so its boxed stand-in is harmless. *)
-  let rec go gp gp_info (p : internal) p_boxed p_info =
+  let rec go gp gp_info (p : internal) p_boxed p_info d =
     let node =
       Atomic.get p.children.(Label.next_bit_of_key ~width p.label v)
     in
     match node with
     | Internal i when Label.is_prefix_of_key ~width i.label v ->
-        go (Some p) (Some p_info) i node (Atomic.get i.iinfo)
+        go (Some p) (Some p_info) i node (Atomic.get i.iinfo) (d + 1)
     | _ ->
         let rmvd =
           match node with
           | Leaf l -> logically_removed (Atomic.get l.linfo)
           | Internal _ -> false
         in
-        { gp; p; p_node = p_boxed; node; gp_info; p_info; rmvd }
+        { gp; p; p_node = p_boxed; node; gp_info; p_info; rmvd; depth = d + 1 }
   in
-  go None None t.root (Internal t.root) (Atomic.get t.root.iinfo)
+  go None None t.root (Internal t.root) (Atomic.get t.root.iinfo) 0
 
 (* keyInTrie (lines 125-126) *)
 let key_in_trie node v rmvd =
@@ -551,6 +587,7 @@ let copy_node = function
 
 let member_internal t v =
   let r = search t v in
+  descent t.stats (fun s -> s.descent_find) r.depth;
   key_in_trie r.node v r.rmvd
 
 let member t k = member_internal t (internal_key t k)
@@ -567,6 +604,7 @@ let insert_internal t v =
     bump stats (fun s -> s.attempts);
     let t0 = span_start () in
     let r = search t v in
+    descent stats (fun s -> s.descent_insert) r.depth;
     if key_in_trie r.node v r.rmvd then
       attempt_done Obs.Trace.Insert ~key:v ~attempt:n ~t0 ~site:"present" false
     else begin
@@ -621,6 +659,7 @@ let delete_internal t v =
     bump stats (fun s -> s.attempts);
     let t0 = span_start () in
     let r = search t v in
+    descent stats (fun s -> s.descent_delete) r.depth;
     if not (key_in_trie r.node v r.rmvd) then
       attempt_done Obs.Trace.Delete ~key:v ~attempt:n ~t0 ~site:"absent" false
     else begin
@@ -667,10 +706,12 @@ let replace_internal t vd vi =
     bump stats (fun s -> s.attempts);
     let t0 = span_start () in
     let rd = search t vd in
+    descent stats (fun s -> s.descent_replace) rd.depth;
     if not (key_in_trie rd.node vd rd.rmvd) then
       attempt_done Obs.Trace.Replace ~key:vd ~attempt:n ~t0 ~site:"absent" false
     else begin
       let ri = search t vi in
+      descent stats (fun s -> s.descent_replace) ri.depth;
       if key_in_trie ri.node vi ri.rmvd then
         attempt_done Obs.Trace.Replace ~key:vd ~attempt:n ~t0 ~site:"present"
           false
@@ -917,8 +958,17 @@ let stats_snapshot t : snapshot option =
           flag_failures = Obs.Counter.sum s.flag_failures;
           backtracks = Obs.Counter.sum s.backtracks;
           backoff_waits = Obs.Counter.sum s.backoff_waits;
+          descent_nodes_find = Obs.Counter.sum s.descent_find;
+          descent_nodes_insert = Obs.Counter.sum s.descent_insert;
+          descent_nodes_delete = Obs.Counter.sum s.descent_delete;
+          descent_nodes_replace = Obs.Counter.sum s.descent_replace;
+          descent_searches = Obs.Counter.sum s.descent_searches;
         }
 
+(* Monotone cumulative counters only: the harness differences two of
+   these alists around a timed window, so a percentile or a mean here
+   would produce garbage.  Mean descent depth is derived downstream as
+   descent_nodes_* / descent_searches over the deltas. *)
 let stats_to_alist (s : snapshot) =
   [
     ("attempts", s.attempts);
@@ -927,7 +977,30 @@ let stats_to_alist (s : snapshot) =
     ("flag_failures", s.flag_failures);
     ("backtracks", s.backtracks);
     ("backoff_waits", s.backoff_waits);
+    ("descent_nodes_find", s.descent_nodes_find);
+    ("descent_nodes_insert", s.descent_nodes_insert);
+    ("descent_nodes_delete", s.descent_nodes_delete);
+    ("descent_nodes_replace", s.descent_nodes_replace);
+    ("descent_searches", s.descent_searches);
   ]
+
+let descent_stats t =
+  match stats_snapshot t with
+  | None -> None
+  | Some s ->
+      Some
+        [
+          ("descent_nodes_find", s.descent_nodes_find);
+          ("descent_nodes_insert", s.descent_nodes_insert);
+          ("descent_nodes_delete", s.descent_nodes_delete);
+          ("descent_nodes_replace", s.descent_nodes_replace);
+          ("descent_searches", s.descent_searches);
+        ]
+
+let descent_summary t =
+  match t.stats with
+  | None -> None
+  | Some s -> Some (Obs.Histogram.snapshot s.descent_depth)
 
 (* Structural invariants of the Patricia trie (paper Invariant 7 and the
    sentinel properties), plus the quiescence conditions the chaos suite
@@ -987,6 +1060,43 @@ let check_invariants t =
   if not (find_leaf (max_sentinel t) (Internal t.root)) then
     err "missing sentinel 11...1";
   match !errors with [] -> Ok () | es -> Error (String.concat "; " es)
+
+(* ------------------------------------------------------------------ *)
+(* Shape census (Obs.Shape): weakly-consistent walk like [fold_leaves],
+   exact in quiescence.  Per-node word estimates, 64-bit layout:
+
+     internal:  Internal wrapper 2 + record 4 + Label.t 3
+                + children array 3 + 2 child Atomics 4
+                + iinfo Atomic 2 + Unflag wrapper/ref 4     = 22
+     leaf:      Leaf wrapper 2 + record 3 + linfo Atomic 2
+                + Unflag wrapper/ref 4                      = 11
+
+   (an Atomic.t is a one-field record; Unflag carries a fresh ref).
+   [measured_words] cross-checks the estimate with
+   [Obj.reachable_words] from the root, which also charges shared or
+   flag-retained blocks the estimate ignores. *)
+let internal_words = 22
+let leaf_words = 11
+
+let census t =
+  let a = Obs.Shape.acc ~structure:"PAT" in
+  let rec go depth node =
+    match node with
+    | Leaf l ->
+        let sentinel = l.key = 0 || l.key = max_sentinel t in
+        let keys =
+          if sentinel || logically_removed (Atomic.get l.linfo) then 0 else 1
+        in
+        Obs.Shape.leaf a ~depth ~keys ~sentinel ~words:leaf_words
+    | Internal i ->
+        Obs.Shape.internal a ~depth ~prefix_len:(Label.length i.label)
+          ~children:2 ~words:internal_words;
+        go (depth + 1) (Atomic.get i.children.(0));
+        go (depth + 1) (Atomic.get i.children.(1))
+  in
+  go 0 (Internal t.root);
+  let measured_words = Obj.reachable_words (Obj.repr t.root) in
+  Some (Obs.Shape.finish ~measured_words a)
 
 (* ------------------------------------------------------------------ *)
 (* Test-only access to the coordination machinery, used to exercise the

@@ -114,6 +114,15 @@ type snapshot = {
       (** retries that paused in the contention backoff — always [0]
           unless [Chaos.Backoff.set_enabled true]
           ([patbench --backoff] / [REPRO_BACKOFF=1]) *)
+  descent_nodes_find : int;
+      (** nodes visited by [member] searches (root's child = 1 each) *)
+  descent_nodes_insert : int;  (** nodes visited by insert-attempt searches *)
+  descent_nodes_delete : int;  (** nodes visited by delete-attempt searches *)
+  descent_nodes_replace : int;
+      (** nodes visited by replace-attempt searches (two per attempt) *)
+  descent_searches : int;
+      (** completed searches — divide [descent_nodes_*] sums by this for
+          the mean descent depth *)
 }
 
 val stats_snapshot : t -> snapshot option
@@ -123,7 +132,24 @@ val stats_snapshot : t -> snapshot option
 
 val stats_to_alist : snapshot -> (string * int) list
 (** Stable [(name, value)] view of a snapshot, in declaration order —
-    used by the metrics JSON emitters. *)
+    monotone cumulative counters only, so callers may difference two
+    alists around a timed window; used by the metrics JSON emitters. *)
+
+val descent_stats : t -> (string * int) list option
+(** The descent-cost slice of {!stats_to_alist} (nodes visited per
+    opcode plus the search count) — the uniform capability every
+    registry structure answers; [None] when the trie records no stats. *)
+
+val descent_summary : t -> Obs.Histogram.summary option
+(** Depth histogram of all recorded searches (count/mean/p50/p90/p99 of
+    nodes visited).  [None] without [~record_stats:true]. *)
+
+val census : t -> Dset_intf.census option
+(** Shape census of the current trie: node counts by kind, exact
+    leaf-depth / label-length / branching distributions, and footprint
+    (layout estimate cross-checked by [Obj.reachable_words]).  Always
+    [Some] for PAT.  Weakly consistent like {!fold}; exact in
+    quiescence. *)
 
 (** Test-only access to the coordination machinery.  These entry points
     let the test-suite create an update descriptor, apply only its

@@ -38,7 +38,38 @@ and flag = {
   flag_done : bool Atomic.t;
 }
 
-type t = { root : internal }
+(* Descent-cost accounting, the [Patricia.stats] subset that makes
+   sense here (the contention counters stay PAT-only; the descriptor
+   carries no stats field).  Striped like every hot-path counter. *)
+type stats = {
+  descent_find : Obs.Counter.t;
+  descent_insert : Obs.Counter.t;
+  descent_delete : Obs.Counter.t;
+  descent_replace : Obs.Counter.t;
+  descent_searches : Obs.Counter.t;
+  descent_depth : Obs.Histogram.t;
+}
+
+type t = { root : internal; stats : stats option }
+
+let make_stats () =
+  {
+    descent_find = Obs.Counter.create ();
+    descent_insert = Obs.Counter.create ();
+    descent_delete = Obs.Counter.create ();
+    descent_replace = Obs.Counter.create ();
+    descent_searches = Obs.Counter.create ();
+    descent_depth = Obs.Histogram.create ();
+  }
+
+(* Disabled cost: one branch, as for [Patricia.bump]. *)
+let[@inline] descent (stats : stats option) (field : stats -> Obs.Counter.t) d =
+  match stats with
+  | None -> ()
+  | Some s ->
+      Obs.Counter.add (field s) d;
+      Obs.Counter.incr s.descent_searches;
+      Obs.Histogram.record s.descent_depth d
 
 let fresh_unflag () = Unflag (ref ())
 let new_leaf key = { key; linfo = Atomic.make (fresh_unflag ()) }
@@ -92,7 +123,7 @@ let node_label = function Leaf l -> l.key | Internal i -> i.label
 
 let name = "PAT-VLK"
 
-let create () =
+let create ?(record_stats = false) () =
   {
     root =
       {
@@ -104,6 +135,7 @@ let create () =
           |];
         iinfo = Atomic.make (fresh_unflag ());
       };
+    stats = (if record_stats then Some (make_stats ()) else None);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -124,23 +156,26 @@ type search_result = {
   gp_info : info option;
   p_info : info;
   rmvd : bool;
+  depth : int;
+      (** child pointers followed from the root to reach [node]
+          (the root's direct child is depth 1) *)
 }
 
 let search t v =
-  let rec go gp gp_info (p : internal) p_boxed p_info =
+  let rec go gp gp_info (p : internal) p_boxed p_info d =
     let node = Atomic.get p.children.(B.next_bit p.label v) in
     match node with
     | Internal i when B.is_proper_prefix i.label v ->
-        go (Some p) (Some p_info) i node (Atomic.get i.iinfo)
+        go (Some p) (Some p_info) i node (Atomic.get i.iinfo) (d + 1)
     | _ ->
         let rmvd =
           match node with
           | Leaf l -> logically_removed (Atomic.get l.linfo)
           | Internal _ -> false
         in
-        { gp; p; p_node = p_boxed; node; gp_info; p_info; rmvd }
+        { gp; p; p_node = p_boxed; node; gp_info; p_info; rmvd; depth = d + 1 }
   in
-  go None None t.root (Internal t.root) (Atomic.get t.root.iinfo)
+  go None None t.root (Internal t.root) (Atomic.get t.root.iinfo) 0
 
 let key_in_trie node v rmvd =
   match node with Leaf l -> B.equal l.key v && not rmvd | Internal _ -> false
@@ -286,6 +321,7 @@ let check_key v =
 let member_key t v =
   check_key v;
   let r = search t v in
+  descent t.stats (fun s -> s.descent_find) r.depth;
   key_in_trie r.node v r.rmvd
 
 let sibling_index (p : internal) v = 1 - B.next_bit p.label v
@@ -295,6 +331,7 @@ let insert_key t v =
   let rec attempt bo n =
     let t0 = span_start () in
     let r = search t v in
+    descent t.stats (fun s -> s.descent_insert) r.depth;
     if key_in_trie r.node v r.rmvd then
       attempt_done Obs.Trace.Insert ~key:v ~attempt:n ~t0 ~site:"present" false
     else begin
@@ -341,6 +378,7 @@ let delete_key t v =
   let rec attempt bo n =
     let t0 = span_start () in
     let r = search t v in
+    descent t.stats (fun s -> s.descent_delete) r.depth;
     if not (key_in_trie r.node v r.rmvd) then
       attempt_done Obs.Trace.Delete ~key:v ~attempt:n ~t0 ~site:"absent" false
     else begin
@@ -380,11 +418,13 @@ let replace_key t vd vi =
     let rec attempt bo n =
       let t0 = span_start () in
       let rd = search t vd in
+      descent t.stats (fun s -> s.descent_replace) rd.depth;
       if not (key_in_trie rd.node vd rd.rmvd) then
         attempt_done Obs.Trace.Replace ~key:vd ~attempt:n ~t0 ~site:"absent"
           false
       else begin
         let ri = search t vi in
+        descent t.stats (fun s -> s.descent_replace) ri.depth;
         if key_in_trie ri.node vi ri.rmvd then
           attempt_done Obs.Trace.Replace ~key:vd ~attempt:n ~t0 ~site:"present"
             false
@@ -575,3 +615,61 @@ let check_invariants t =
   in
   go B.empty (Internal t.root);
   match !errors with [] -> Ok () | es -> Error (String.concat "; " es)
+
+(* ------------------------------------------------------------------ *)
+(* Structure forensics: shape census and descent-cost exports *)
+
+(* Per-node footprint on 64-bit, in words.  Fixed parts match
+   {!Patricia} (variant wrapper 2, record fields + header, one Atomic
+   box of 2 per mutable slot, [Unflag (ref ())] info 4); labels and
+   keys add a {!Bitkey.Bitstr.t} record (3 words) plus its backing
+   string block (header + padded data words).  Shared strings (the
+   sentinels, [B.empty]) are counted once per node by the estimate;
+   [Obj.reachable_words] in [census] reports the deduplicated truth. *)
+let bitstr_words b =
+  let bytes = (B.length b + 7) / 8 in
+  3 + 1 + ((bytes + 8) / 8)
+
+let internal_base_words = 19
+let leaf_base_words = 11
+
+let census t =
+  let a = Obs.Shape.acc ~structure:name in
+  let rec go depth node =
+    match node with
+    | Leaf l ->
+        let sentinel =
+          B.equal l.key B.sentinel_lo || B.equal l.key B.sentinel_hi
+        in
+        let keys =
+          if sentinel || logically_removed (Atomic.get l.linfo) then 0 else 1
+        in
+        Obs.Shape.leaf a ~depth ~keys ~sentinel
+          ~words:(leaf_base_words + bitstr_words l.key)
+    | Internal i ->
+        Obs.Shape.internal a ~depth ~prefix_len:(B.length i.label) ~children:2
+          ~words:(internal_base_words + bitstr_words i.label);
+        go (depth + 1) (Atomic.get i.children.(0));
+        go (depth + 1) (Atomic.get i.children.(1))
+  in
+  go 0 (Internal t.root);
+  let measured_words = Obj.reachable_words (Obj.repr t.root) in
+  Some (Obs.Shape.finish ~measured_words a)
+
+let descent_stats t =
+  match t.stats with
+  | None -> None
+  | Some s ->
+      Some
+        [
+          ("descent_nodes_find", Obs.Counter.sum s.descent_find);
+          ("descent_nodes_insert", Obs.Counter.sum s.descent_insert);
+          ("descent_nodes_delete", Obs.Counter.sum s.descent_delete);
+          ("descent_nodes_replace", Obs.Counter.sum s.descent_replace);
+          ("descent_searches", Obs.Counter.sum s.descent_searches);
+        ]
+
+let descent_summary t =
+  match t.stats with
+  | None -> None
+  | Some s -> Some (Obs.Histogram.snapshot s.descent_depth)

@@ -19,7 +19,11 @@ type t
 val name : string
 (** ["PAT-VLK"]. *)
 
-val create : unit -> t
+val create : ?record_stats:bool -> unit -> t
+(** [create ()] is an empty trie.  [record_stats] enables the
+    descent-cost counters behind {!descent_stats} and
+    {!descent_summary} (striped per domain; small constant overhead,
+    one untaken branch when disabled). *)
 
 (** {1 Byte-string API} (keys are arbitrary {e non-empty} strings) *)
 
@@ -51,3 +55,21 @@ val insert_key : t -> Bitkey.Bitstr.t -> bool
 val delete_key : t -> Bitkey.Bitstr.t -> bool
 val member_key : t -> Bitkey.Bitstr.t -> bool
 val replace_key : t -> Bitkey.Bitstr.t -> Bitkey.Bitstr.t -> bool
+
+(** {1 Structure forensics} *)
+
+val census : t -> Dset_intf.census option
+(** Shape census of the current trie: node counts by kind, exact
+    leaf-depth / label-length (in bits) / branching distributions, and
+    footprint — per-node layout estimate from the variable
+    {!Bitkey.Bitstr} label lengths, cross-checked by
+    [Obj.reachable_words].  Always [Some] for PAT-VLK.  Weakly
+    consistent under concurrency; exact in quiescence. *)
+
+val descent_stats : t -> (string * int) list option
+(** Cumulative nodes visited per opcode plus the search count, exactly
+    as {!Patricia.descent_stats}; [None] without [~record_stats:true]. *)
+
+val descent_summary : t -> Obs.Histogram.summary option
+(** Depth histogram of all recorded searches; [None] without
+    [~record_stats:true]. *)

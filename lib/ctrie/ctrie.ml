@@ -259,3 +259,9 @@ let check_invariants t =
   in
   go (Atomic.get t.root.main) 0 0;
   match !errors with [] -> Ok () | es -> Error (String.concat "; " es)
+
+(* Structure forensics: this baseline is not instrumented; [None] is
+   the registry's explicit "unsupported" marker for the census and
+   descent-cost capabilities. *)
+let census _ = None
+let descent_stats _ = None

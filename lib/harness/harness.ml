@@ -655,6 +655,25 @@ let gc_delta_to_json (g : gc_delta) =
       ("major_collections", Obs.Json.Int g.major_collections);
     ]
 
+(* Mean descent depth over a timed window, derived from the cumulative
+   descent counters when the subject records them: nodes visited across
+   all opcodes divided by completed searches. *)
+let descent_mean counters =
+  match List.assoc_opt "descent_searches" counters with
+  | Some searches when searches > 0 ->
+      let prefix = "descent_nodes_" in
+      let plen = String.length prefix in
+      let nodes =
+        List.fold_left
+          (fun acc (n, v) ->
+            if String.length n >= plen && String.sub n 0 plen = prefix then
+              acc + v
+            else acc)
+          0 counters
+      in
+      Some (float_of_int nodes /. float_of_int searches)
+  | _ -> None
+
 let datapoint_full_to_json ~section ~label workload ~threads
     (full : datapoint_full) =
   let open Obs.Json in
@@ -676,6 +695,9 @@ let datapoint_full_to_json ~section ~label workload ~threads
         | Some s -> Obs.Histogram.summary_to_json s
         | None -> Null );
       ("counters", Obj (List.map (fun (n, v) -> (n, Int v)) full.counters));
+      ( "descent_mean_nodes",
+        match descent_mean full.counters with Some m -> Float m | None -> Null
+      );
       ("gc", gc_delta_to_json full.gc);
     ]
 

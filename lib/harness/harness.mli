@@ -212,6 +212,12 @@ val run_subject_full :
 
 val gc_delta_to_json : gc_delta -> Obs.Json.t
 
+val descent_mean : (string * int) list -> float option
+(** Mean descent depth (nodes visited per search) derived from a
+    counter alist containing the [descent_nodes_*]/[descent_searches]
+    deltas of a timed window; [None] when the subject records no
+    descent counters. *)
+
 val datapoint_full_to_json :
   section:string ->
   label:string ->

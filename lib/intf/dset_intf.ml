@@ -5,6 +5,48 @@
     [0, universe).  The harness and the benchmarks are written against this
     signature so the same workload code drives every structure. *)
 
+(** Summary statistics of one structural quantity (leaf depths, label
+    lengths, ...) collected by a census walk.  Percentiles are exact:
+    the census accumulates full count arrays, not samples. *)
+type dist = {
+  d_count : int;
+  d_min : int;
+  d_max : int;
+  d_mean : float;
+  d_p50 : int;
+  d_p90 : int;
+  d_p99 : int;
+}
+
+(** A read-only census of a structure's current shape — the raw
+    material for explaining throughput differences in terms of pointer
+    dereferences and footprint (see [Obs.Shape]).  Quiescent accuracy:
+    the walk is weakly consistent, like [to_list].
+
+    Depth counts child-pointer dereferences from the root ([max_depth]
+    is the deepest leaf).  [est_words] is a per-node size estimate from
+    documented layout accounting; [measured_words] is
+    [Obj.reachable_words] from the root node (0 when not measured).
+    [bytes_per_key] derives from the measured figure when available,
+    the estimate otherwise. *)
+type census = {
+  structure : string;
+  internals : int;
+  leaves : int;  (** leaf nodes, including sentinels *)
+  sentinels : int;
+  keys : int;  (** user keys stored *)
+  max_depth : int;
+  leaf_depth : dist;  (** depth of each user-key leaf *)
+  leaf_depth_hist : (int * int) list;  (** (depth, leaves-at-depth) *)
+  prefix_len : dist;  (** label / prefix length of internal nodes *)
+  prefix_len_hist : (int * int) list;
+  branching : dist;  (** non-empty children per internal node *)
+  keys_per_leaf : dist;  (** user keys packed per non-sentinel leaf *)
+  est_words : int;
+  measured_words : int;
+  bytes_per_key : float;
+}
+
 module type CONCURRENT_SET = sig
   type t
 
@@ -30,6 +72,24 @@ module type CONCURRENT_SET = sig
 
   (** Number of keys currently stored (quiescent accuracy suffices). *)
   val size : t -> int
+
+  (** {2 Structure-forensics capabilities}
+
+      Optional on purpose: every registry entry answers, and [None] is
+      the explicit "unsupported" marker that keeps all six structures
+      comparable (a structure that cannot be audited says so, rather
+      than silently vanishing from shape reports). *)
+
+  (** Shape census of the current contents (quiescent accuracy).
+      [None] when the structure has no census walker. *)
+  val census : t -> census option
+
+  (** Cumulative descent-cost counters as an alist — monotone counts
+      only (nodes visited per opcode, searches performed), so callers
+      may difference two snapshots across a timed window.  [None] when
+      the instance records no descent stats (not created with
+      [~record_stats:true], or the structure has no accounting). *)
+  val descent_stats : t -> (string * int) list option
 end
 
 (** Structures that additionally support the paper's atomic replace. *)

@@ -56,25 +56,59 @@ and dinfo = {
   pupdate : update;
 }
 
-type t = { root : internal; universe : int; arity : int }
+(* Descent-cost accounting, comparable across the registry: one count
+   per child pointer followed (the root's child is depth 1).  Striped
+   per domain like every hot-path counter; disabled cost is one
+   branch. *)
+type stats = {
+  descent_find : Obs.Counter.t;
+  descent_insert : Obs.Counter.t;
+  descent_delete : Obs.Counter.t;
+  descent_searches : Obs.Counter.t;
+  descent_depth : Obs.Histogram.t;
+}
+
+type t = { root : internal; universe : int; arity : int; stats : stats option }
 
 let name = "4-ST"
+
+let make_stats () =
+  {
+    descent_find = Obs.Counter.create ();
+    descent_insert = Obs.Counter.create ();
+    descent_delete = Obs.Counter.create ();
+    descent_searches = Obs.Counter.create ();
+    descent_depth = Obs.Histogram.create ();
+  }
+
+let[@inline] descent (stats : stats option) (field : stats -> Obs.Counter.t) d =
+  match stats with
+  | None -> ()
+  | Some s ->
+      Obs.Counter.add (field s) d;
+      Obs.Counter.incr s.descent_searches;
+      Obs.Histogram.record s.descent_depth d
 
 let clean () = { state = Clean; info = No_info }
 
 let new_internal keys children =
   { keys; children = Array.map Atomic.make children; update = Atomic.make (clean ()) }
 
-let create_k ~k:arity ~universe () =
+let create_k ~k:arity ?(record_stats = false) ~universe () =
   if universe < 1 then invalid_arg "Kary.create: universe must be >= 1";
   if arity < 2 then invalid_arg "Kary.create_k: arity must be >= 2";
   (* Sentinel routing keys >= universe push every real key into child 0;
      the root is never replaced. *)
   let keys = Array.init (arity - 1) (fun i -> universe + i) in
   let children = Array.init arity (fun _ -> Leaf [||]) in
-  { root = new_internal keys children; universe; arity }
+  {
+    root = new_internal keys children;
+    universe;
+    arity;
+    stats = (if record_stats then Some (make_stats ()) else None);
+  }
 
-let create ~universe () = create_k ~k ~universe ()
+let create ~universe ?record_stats () = create_k ~k ?record_stats ~universe ()
 
 (* Child slot a key routes to: the number of routing keys <= key. *)
 let child_slot (keys : int array) key =
@@ -131,14 +165,16 @@ type search_result = {
   l_node : node;
   pupdate : update;
   gpupdate : update option;
+  depth : int; (* child pointers followed to reach [l_node]; root's child = 1 *)
 }
 
 let search t key =
-  let rec go gp gpslot gpupdate (p : internal) p_node pupdate =
+  let rec go gp gpslot gpupdate (p : internal) p_node pupdate d =
     let slot = child_slot p.keys key in
     let child = Atomic.get p.children.(slot) in
     match child with
-    | Node i -> go (Some p) slot (Some pupdate) i child (Atomic.get i.update)
+    | Node i ->
+        go (Some p) slot (Some pupdate) i child (Atomic.get i.update) (d + 1)
     | Leaf a ->
         {
           gp;
@@ -150,12 +186,14 @@ let search t key =
           l_node = child;
           pupdate;
           gpupdate;
+          depth = d + 1;
         }
   in
-  go None 0 None t.root (Node t.root) (Atomic.get t.root.update)
+  go None 0 None t.root (Node t.root) (Atomic.get t.root.update) 0
 
 let member t key =
   let r = search t key in
+  descent t.stats (fun s -> s.descent_find) r.depth;
   leaf_mem r.l key
 
 let help_insert_u (u : update) =
@@ -207,6 +245,7 @@ let insert t key =
   if key < 0 || key >= t.universe then invalid_arg "Kary.insert: key out of universe";
   let rec attempt () =
     let r = search t key in
+    descent t.stats (fun s -> s.descent_insert) r.depth;
     if leaf_mem r.l key then false
     else if r.pupdate.state <> Clean then begin
       help r.pupdate;
@@ -263,6 +302,7 @@ let delete t key =
   if key < 0 || key >= t.universe then invalid_arg "Kary.delete: key out of universe";
   let rec attempt () =
     let r = search t key in
+    descent t.stats (fun s -> s.descent_delete) r.depth;
     if not (leaf_mem r.l key) then false
     else if r.pupdate.state <> Clean then begin
       help r.pupdate;
@@ -358,3 +398,50 @@ let check_invariants t =
   in
   go min_int max_int (Node t.root);
   match !errors with [] -> Ok () | es -> Error (String.concat "; " es)
+
+(* ------------------------------------------------------------------ *)
+(* Structure forensics *)
+
+(* 64-bit layout, in words.  Internal: [Node] wrapper 2, record header +
+   3 fields, routing-key array [arity] (k-1 elems + header), children
+   array [arity + 1], one 2-word Atomic box per child, update Atomic 2,
+   Clean update record 3 — [12 + 4*arity] total.  A leaf of [n] keys:
+   [Leaf] wrapper 2 + int array [n + 1]. *)
+let internal_words arity = 12 + (4 * arity)
+let leaf_words n = n + 3
+
+let census t =
+  let a = Obs.Shape.acc ~structure:name in
+  (* Routing keys carry no key-prefix; internals enter the prefix-length
+     distribution as 0-bit labels. *)
+  let rec go depth node =
+    match node with
+    | Leaf keys ->
+        Obs.Shape.leaf a ~depth ~keys:(Array.length keys) ~sentinel:false
+          ~words:(leaf_words (Array.length keys))
+    | Node i ->
+        let arity = Array.length i.children in
+        Obs.Shape.internal a ~depth ~prefix_len:0 ~children:arity
+          ~words:(internal_words arity);
+        Array.iter (fun c -> go (depth + 1) (Atomic.get c)) i.children
+  in
+  go 0 (Node t.root);
+  let measured_words = Obj.reachable_words (Obj.repr t.root) in
+  Some (Obs.Shape.finish ~measured_words a)
+
+let descent_stats t =
+  match t.stats with
+  | None -> None
+  | Some s ->
+      Some
+        [
+          ("descent_nodes_find", Obs.Counter.sum s.descent_find);
+          ("descent_nodes_insert", Obs.Counter.sum s.descent_insert);
+          ("descent_nodes_delete", Obs.Counter.sum s.descent_delete);
+          ("descent_searches", Obs.Counter.sum s.descent_searches);
+        ]
+
+let descent_summary t =
+  match t.stats with
+  | None -> None
+  | Some s -> Some (Obs.Histogram.snapshot s.descent_depth)

@@ -17,10 +17,13 @@ val k : int
 val name : string
 (** ["4-ST"]. *)
 
-val create : universe:int -> unit -> t
-(** A tree of the default arity {!k}. *)
+val create : universe:int -> ?record_stats:bool -> unit -> t
+(** A tree of the default arity {!k}.  [record_stats] enables the
+    descent-cost counters behind {!descent_stats} and
+    {!descent_summary} (striped per domain, one untaken branch when
+    disabled). *)
 
-val create_k : k:int -> universe:int -> unit -> t
+val create_k : k:int -> ?record_stats:bool -> universe:int -> unit -> t
 (** A tree of arbitrary arity [k >= 2], used by the arity-sweep
     experiment; [k = 2] degenerates to a leaf-oriented binary tree with
     one key per leaf. *)
@@ -34,3 +37,23 @@ val size : t -> int
 val check_invariants : t -> (unit, string) result
 (** Routing keys sorted; every internal node has exactly k children and
     k-1 keys; every key within its inherited interval. *)
+
+(** {1 Structure forensics} *)
+
+val census : t -> Dset_intf.census option
+(** Shape census: node counts, exact leaf-depth / branching /
+    keys-per-leaf distributions (a leaf holds up to k-1 keys), and
+    footprint from per-node layout accounting cross-checked by
+    [Obj.reachable_words].  Internal nodes carry no label, so they
+    enter the prefix-length distribution as 0.  Always [Some] for
+    4-ST; weakly consistent under concurrency, exact in quiescence. *)
+
+val descent_stats : t -> (string * int) list option
+(** Cumulative nodes visited per opcode (one count per child pointer
+    followed; the root's child is depth 1) plus the completed-search
+    count; [None] without [~record_stats:true].  No [replace] entry —
+    the structure does not offer one. *)
+
+val descent_summary : t -> Obs.Histogram.summary option
+(** Depth histogram of all recorded searches; [None] without
+    [~record_stats:true]. *)

@@ -246,3 +246,9 @@ let check_invariants t =
   in
   go min_int (t.inf2 + 1) (Node t.root);
   match !errors with [] -> Ok () | es -> Error (String.concat "; " es)
+
+(* Structure forensics: this baseline is not instrumented; [None] is
+   the registry's explicit "unsupported" marker for the census and
+   descent-cost capabilities. *)
+let census _ = None
+let descent_stats _ = None

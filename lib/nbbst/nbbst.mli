@@ -35,3 +35,11 @@ val size : t -> int
 val check_invariants : t -> (unit, string) result
 (** Leaf-oriented BST order: every leaf and routing key within the key
     interval induced by its ancestors. *)
+
+val census : t -> Dset_intf.census option
+(** Always [None] — the explicit "unsupported" marker of the registry's
+    shape-census capability; this baseline has no census walker. *)
+
+val descent_stats : t -> (string * int) list option
+(** Always [None] — descent-cost accounting is not wired into this
+    baseline's search loop. *)

@@ -68,6 +68,8 @@ module Make (S : Dset_intf.CONCURRENT_SET) :
   let member t k = timed t.mem S.member t.inner k
   let to_list t = S.to_list t.inner
   let size t = S.size t.inner
+  let census t = S.census t.inner
+  let descent_stats t = S.descent_stats t.inner
   let inner t = t.inner
 
   let latency t = function

@@ -1,0 +1,269 @@
+(** Sampling allocation profiler: [Gc.Memprof] statistics attributed to
+    DLS-labeled regions.
+
+    Throughput differences between the tries are part pointer-chasing
+    (measured by the descent accounting) and part allocation pressure —
+    every CAS-published node is a fresh block, and the GC bill lands on
+    whichever opcode allocated it.  This profiler samples allocations at
+    a configurable per-word rate and attributes each sample to the
+    {e region} the allocating domain had declared via {!set_region}
+    (opcode regions in the trie server, stage regions on the event
+    loop), plus a lock-free top-sites table keyed by callstack.
+
+    Exported as [patserve_alloc_*] families ({!emit}) and a top-sites
+    JSON dump ({!sites_json}, served at [/debug/allocs]).
+
+    Start is fallible by the same contract as {!Runtime}: on a runtime
+    without memprof support (OCaml 5.1's multicore runtime ships the
+    API but [Gc.Memprof.start] raises) {!start} returns [Error] and the
+    caller logs a warning and carries on — {!emit} still renders every
+    family, with [patserve_alloc_up 0] saying why they stay flat.
+
+    The allocation callbacks are lock-free and allocation-light: striped
+    counter bumps, one DLS read, and a CAS-claimed slot in a fixed
+    open-addressing table.  Sampling is disabled during a callback for
+    the running thread, so the table update cannot re-enter. *)
+
+(* ------------------------------------------------------------------ *)
+(* Regions: small interned table of labels.  Registration ([region]) is
+   rare and CAS-retries; [set_region] is the hot call — one atomic load
+   when profiling is off, plus a DLS store when on. *)
+
+let max_regions = 32
+let region_names = Array.make max_regions "other"
+let region_count = Atomic.make 1 (* slot 0 = "other", the default *)
+let active = Atomic.make false
+
+(** Intern [name] and return its region id (stable for the process).
+    Falls back to region 0 ("other") if the table is full. *)
+let rec region name =
+  let n = Atomic.get region_count in
+  let rec find i = if i >= n then None else if region_names.(i) = name then Some i else find (i + 1) in
+  match find 0 with
+  | Some i -> i
+  | None ->
+      if n >= max_regions then 0
+      else if Atomic.compare_and_set region_count n (n + 1) then begin
+        region_names.(n) <- name;
+        n
+      end
+      else region name
+
+let current_region : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 0)
+
+(** Declare that subsequent allocations on this domain belong to region
+    [id] (from {!region}).  No-op while the profiler is down. *)
+let[@inline] set_region id =
+  if Atomic.get active then Domain.DLS.get current_region := id
+
+(* ------------------------------------------------------------------ *)
+(* Metrics.  Striped per-region counters for the write path; [up] says
+   whether samples can arrive at all. *)
+
+let up = Atomic.make 0
+let samples_by_region = Array.init max_regions (fun _ -> Counter.create ())
+let words_by_region = Array.init max_regions (fun _ -> Counter.create ())
+let major_samples = Counter.create ()
+let sites_dropped = Counter.create ()
+
+(* Top allocation sites: fixed-size open-addressing table keyed by a
+   hash of (region, callstack).  A slot is claimed with one CAS on
+   [skey]; losers probe on.  The claimed backtrace is stored for the
+   dump — the hash only buckets.  Full table = counted drops. *)
+type site = {
+  skey : int Atomic.t; (* 0 = free; else the packed nonzero hash key *)
+  sregion : int Atomic.t;
+  ssamples : int Atomic.t;
+  swords : int Atomic.t;
+  sstack : Printexc.raw_backtrace Atomic.t;
+}
+
+let site_slots = 512 (* power of two *)
+
+let sites =
+  Array.init site_slots (fun _ ->
+      {
+        skey = Atomic.make 0;
+        sregion = Atomic.make 0;
+        ssamples = Atomic.make 0;
+        swords = Atomic.make 0;
+        sstack = Atomic.make (Printexc.get_callstack 0);
+      })
+
+let note_site ~region_id ~samples ~words stack =
+  let h = Hashtbl.hash (region_id, Printexc.raw_backtrace_to_string stack) in
+  let key = (h lor 1) land max_int in
+  (* nonzero *)
+  let rec probe i tries =
+    if tries >= 8 then Counter.incr sites_dropped
+    else
+      let s = sites.(i land (site_slots - 1)) in
+      let k = Atomic.get s.skey in
+      if k = key then begin
+        ignore (Atomic.fetch_and_add s.ssamples samples);
+        ignore (Atomic.fetch_and_add s.swords words)
+      end
+      else if k = 0 && Atomic.compare_and_set s.skey 0 key then begin
+        Atomic.set s.sregion region_id;
+        Atomic.set s.sstack stack;
+        ignore (Atomic.fetch_and_add s.ssamples samples);
+        ignore (Atomic.fetch_and_add s.swords words)
+      end
+      else probe (i + 1) (tries + 1)
+  in
+  probe key 0
+
+let note ~major (a : Gc.Memprof.allocation) =
+  let region_id = !(Domain.DLS.get current_region) in
+  let samples = a.Gc.Memprof.n_samples in
+  (* Each sample stands for ~1/rate allocated words; weighting the
+     block size by its sample count keeps the estimator unbiased. *)
+  let words = a.Gc.Memprof.size * samples in
+  Counter.add samples_by_region.(region_id) samples;
+  Counter.add words_by_region.(region_id) words;
+  if major then Counter.add major_samples samples;
+  note_site ~region_id ~samples ~words a.Gc.Memprof.callstack
+
+let reset () =
+  Atomic.set up 0;
+  Array.iter Counter.reset samples_by_region;
+  Array.iter Counter.reset words_by_region;
+  Counter.reset major_samples;
+  Counter.reset sites_dropped;
+  Array.iter
+    (fun s ->
+      Atomic.set s.skey 0;
+      Atomic.set s.sregion 0;
+      Atomic.set s.ssamples 0;
+      Atomic.set s.swords 0)
+    sites
+
+let total c_arr = Array.fold_left (fun acc c -> acc + Counter.sum c) 0 c_arr
+
+(** Cumulative totals as an alist (tests, JSON reports). *)
+let snapshot () =
+  let live_sites =
+    Array.fold_left
+      (fun acc s -> if Atomic.get s.skey <> 0 then acc + 1 else acc)
+      0 sites
+  in
+  [
+    ("up", Atomic.get up);
+    ("samples", total samples_by_region);
+    ("words", total words_by_region);
+    ("major_samples", Counter.sum major_samples);
+    ("sites", live_sites);
+    ("sites_dropped", Counter.sum sites_dropped);
+  ]
+
+(** [patserve_alloc_*] families; shaped for
+    [Harness.Live.add_extra_producer].  Every family renders even when
+    the profiler never started — [patserve_alloc_up 0] marks the flat
+    counters as "unsupported runtime", not "no allocations". *)
+let emit b =
+  let open Prometheus in
+  gauge b ~name:"patserve_alloc_up"
+    ~help:"1 while the Gc.Memprof sampler is running, 0 otherwise"
+    (float_of_int (Atomic.get up));
+  counter b ~name:"patserve_alloc_samples_total"
+    ~help:"Sampled allocations (all regions)"
+    (float_of_int (total samples_by_region));
+  counter b ~name:"patserve_alloc_words_total"
+    ~help:"Sample-weighted allocated words (all regions)"
+    (float_of_int (total words_by_region));
+  counter b ~name:"patserve_alloc_major_samples_total"
+    ~help:"Sampled allocations landing directly in the major heap"
+    (float_of_int (Counter.sum major_samples));
+  counter b ~name:"patserve_alloc_sites_dropped_total"
+    ~help:"Samples whose callsite missed the fixed-size top-sites table"
+    (float_of_int (Counter.sum sites_dropped));
+  let n = Atomic.get region_count in
+  for i = 0 to n - 1 do
+    let labels = [ ("region", region_names.(i)) ] in
+    counter b ~name:"patserve_alloc_samples_total"
+      ~help:"Sampled allocations (all regions)" ~labels
+      (float_of_int (Counter.sum samples_by_region.(i)));
+    counter b ~name:"patserve_alloc_words_total"
+      ~help:"Sample-weighted allocated words (all regions)" ~labels
+      (float_of_int (Counter.sum words_by_region.(i)))
+  done
+
+(* One line per frame keeps the dump greppable. *)
+let stack_lines stack =
+  String.split_on_char '\n' (Printexc.raw_backtrace_to_string stack)
+  |> List.filter (fun l -> String.trim l <> "")
+
+(** Top allocation sites by sample-weighted words, as the JSON document
+    served at [/debug/allocs]. *)
+let sites_json ?(top = 20) () =
+  let live =
+    Array.to_list sites
+    |> List.filter (fun s -> Atomic.get s.skey <> 0)
+    |> List.map (fun s ->
+           ( Atomic.get s.swords,
+             Atomic.get s.ssamples,
+             Atomic.get s.sregion,
+             Atomic.get s.sstack ))
+    |> List.sort (fun (w1, _, _, _) (w2, _, _, _) -> compare w2 w1)
+  in
+  let take =
+    List.filteri (fun i _ -> i < top) live
+    |> List.map (fun (words, samples, region_id, stack) ->
+           Json.Obj
+             [
+               ("region", Json.Str region_names.(region_id));
+               ("samples", Json.Int samples);
+               ("words", Json.Int words);
+               ( "stack",
+                 Json.Arr (List.map (fun l -> Json.Str l) (stack_lines stack))
+               );
+             ])
+  in
+  Json.Obj
+    [
+      ("up", Json.Int (Atomic.get up));
+      ("samples", Json.Int (total samples_by_region));
+      ("words", Json.Int (total words_by_region));
+      ("sites_dropped", Json.Int (Counter.sum sites_dropped));
+      ("sites", Json.Arr take);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle *)
+
+type t = { mutable running : bool }
+
+let default_sampling_rate = 1e-4
+
+(** Start sampling.  [Error msg] when the runtime refuses (no memprof
+    in this runtime, or a sampler already active); the caller is
+    expected to log the message and carry on without. *)
+let start ?(sampling_rate = default_sampling_rate) () =
+  match
+    Gc.Memprof.start ~sampling_rate ~callstack_size:16
+      {
+        Gc.Memprof.null_tracker with
+        alloc_minor =
+          (fun a ->
+            note ~major:false a;
+            None);
+        alloc_major =
+          (fun a ->
+            note ~major:true a;
+            None);
+      }
+  with
+  | () ->
+      Atomic.set active true;
+      Atomic.set up 1;
+      Ok { running = true }
+  | exception e -> Error (Printexc.to_string e)
+
+let stop t =
+  if t.running then begin
+    t.running <- false;
+    Atomic.set up 0;
+    Atomic.set active false;
+    try Gc.Memprof.stop () with _ -> ()
+  end

@@ -33,6 +33,13 @@
     - {!Runtime}: OCaml 5 runtime-events collector fusing GC/STW
       pauses into the flight-recorder trace and [patserve_gc_*]
       metric families;
+    - {!Shape}: trie shape census — exact depth/branching/footprint
+      distributions accumulated by per-structure walkers, rendered as
+      [pat_shape_*] families and the [/debug/shape] JSON document;
+    - {!Memprof}: [Gc.Memprof] sampling allocation profiler attributing
+      samples to DLS-labeled regions, rendered as [patserve_alloc_*]
+      families and the [/debug/allocs] top-sites dump (start degrades
+      to a warning on runtimes without memprof support);
     - {!Instrument}: a functor adding latency histograms to any
       [Dset_intf.CONCURRENT_SET] without touching its internals;
     - {!Json}: a dependency-free JSON emitter/parser for the
@@ -53,6 +60,8 @@ module Serve = Serve
 module Slowlog = Slowlog
 module Watchdog = Watchdog
 module Runtime = Runtime
+module Shape = Shape
+module Memprof = Memprof
 
 module type INSTRUMENTED = Instrument_impl.INSTRUMENTED
 

@@ -19,10 +19,19 @@ struct
   let to_list = Core.Patricia.to_list
   let size = Core.Patricia.size
   let replace = Core.Patricia.replace
+  let census = Core.Patricia.census
+  let descent_stats = Core.Patricia.descent_stats
 end
 
 module Bst : Dset_intf.CONCURRENT_SET with type t = Nbbst.t = Nbbst
-module Kary_st : Dset_intf.CONCURRENT_SET with type t = Kary.t = Kary
+
+(** 4-ST behind the plain signature (the stats switch of [Kary.create]
+    is dropped, as for {!Pat}). *)
+module Kary_st : Dset_intf.CONCURRENT_SET with type t = Kary.t = struct
+  include Kary
+
+  let create ~universe () = Kary.create ~universe ()
+end
 module Sl : Dset_intf.CONCURRENT_SET with type t = Skiplist.t = Skiplist
 module Avl_tree : Dset_intf.CONCURRENT_SET with type t = Avl.t = Avl
 module Hash_trie : Dset_intf.CONCURRENT_SET with type t = Ctrie.t = Ctrie

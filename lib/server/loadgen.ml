@@ -238,6 +238,17 @@ let scrape_server_metrics ~addr ~port =
         take acc "server_wal_fsync_p99_ns" "patserve_wal_fsync_ns"
           [ ("quantile", "0.99") ]
       in
+      (* Descent-cost cross-check: the served trie's depth histogram
+         (nodes visited per search), present when the server records
+         stats — throughput next to the pointer chases explaining it. *)
+      let acc =
+        take acc "server_descent_depth_p50" "pat_descent_depth"
+          [ ("quantile", "0.5") ]
+      in
+      let acc =
+        take acc "server_descent_depth_p99" "pat_descent_depth"
+          [ ("quantile", "0.99") ]
+      in
       List.rev acc
 
 (** Run the configured load.  Raises [Client.Protocol_error] (or a

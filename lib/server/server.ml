@@ -356,7 +356,20 @@ type conn = {
 
 let next_conn_id = Atomic.make 0
 
+(* Allocation-profiler regions ({!Obs.Memprof}): sampled allocations
+   are attributed to the operation being executed or to the serving
+   stage around it.  [set_region] costs one atomic load while the
+   profiler is off. *)
+let alloc_op_regions =
+  Array.map (fun n -> Obs.Memprof.region ("op:" ^ n)) Metrics.op_names
+
+let alloc_decode = Obs.Memprof.region "stage:decode"
+let alloc_write = Obs.Memprof.region "stage:write"
+let alloc_barrier = Obs.Memprof.region "stage:barrier"
+
 let handle_request ops c ~arrival ~d0 ~d1 { Protocol.seq; op } =
+  let idx = Protocol.op_index op in
+  Obs.Memprof.set_region alloc_op_regions.(idx);
   let result =
     (* An operation raising (key outside the structure's universe, a
        buggy served module) must answer this request, not kill the
@@ -368,7 +381,7 @@ let handle_request ops c ~arrival ~d0 ~d1 { Protocol.seq; op } =
         Protocol.Error (Printexc.to_string e)
   in
   let dt = Obs.Clock.now_ns () - d1 in
-  let idx = Protocol.op_index op in
+  Obs.Memprof.set_region alloc_decode;
   Metrics.record idx dt;
   Harness.Live.op dt;
   (match Obs.Trace.recorder () with
@@ -410,6 +423,7 @@ let flush_out sh conns c =
   let n = pending c in
   if n = 0 then true
   else begin
+    Obs.Memprof.set_region alloc_write;
     Chaos.point Chaos.Net_write;
     let b = Buffer.to_bytes c.out in
     match Unix.write c.fd b c.out_off n with
@@ -465,6 +479,7 @@ let protocol_failure c msg =
    executed: the stage stamps the forensics layer collects anyway make
    the admission decision a single subtraction. *)
 let process_frames sh ops c ~arrival =
+  Obs.Memprof.set_region alloc_decode;
   let rec go () =
     if (not c.closing) && pending c <= sh.limits.hard_buffer_bytes then begin
       let d0 = Obs.Clock.now_ns () in
@@ -567,6 +582,7 @@ let finalize_window c ~b0 ~b1 ~w1 =
    buffered from earlier windows re-flushed by the select loop passed
    their barrier when they were produced. *)
 let finish_window sh barrier conns c =
+  Obs.Memprof.set_region alloc_barrier;
   let b0 = Obs.Clock.now_ns () in
   barrier ();
   let b1 = Obs.Clock.now_ns () in
@@ -961,6 +977,11 @@ end = struct
   let member t k = Client.member (client t) k
   let replace t ~remove ~add = Client.replace (client t) ~remove ~add
   let size t = Client.size (client t)
+
+  (* The served structure lives in this process, so the shape/descent
+     capabilities read it directly rather than over the wire. *)
+  let census t = S.census t.inner
+  let descent_stats t = S.descent_stats t.inner
 
   (* The protocol deliberately has no LIST bulk dump; enumerate the
      bounded universe with pipelined MEMBER batches instead (quiescent

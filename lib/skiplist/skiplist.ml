@@ -234,3 +234,9 @@ let check_invariants t =
     walk (Atomic.get t.head.next.(lvl)).succ_node
   done;
   match !errors with [] -> Ok () | es -> Error (String.concat "; " es)
+
+(* Structure forensics: this baseline is not instrumented; [None] is
+   the registry's explicit "unsupported" marker for the census and
+   descent-cost capabilities. *)
+let census _ = None
+let descent_stats _ = None

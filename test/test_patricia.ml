@@ -327,6 +327,11 @@ let test_stats_recording () =
           "flag_failures";
           "backtracks";
           "backoff_waits";
+          "descent_nodes_find";
+          "descent_nodes_insert";
+          "descent_nodes_delete";
+          "descent_nodes_replace";
+          "descent_searches";
         ]
         (List.map fst alist);
       Alcotest.(check int)
