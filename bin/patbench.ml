@@ -846,13 +846,66 @@ let serve_cmd =
     in
     Arg.(value & opt int 4096 & info [ "hard-buffer-kb" ] ~doc ~docv:"KIB")
   in
+  let follow_arg =
+    let doc =
+      "Start as a replication follower of the primary at $(docv): subscribe \
+       to its WAL stream from the persisted watermark, apply every record \
+       through the normal store path (re-logged into this server's own WAL), \
+       serve reads within --staleness, and refuse mutations until PROMOTE.  \
+       Requires --data-dir with --durability async or sync."
+    in
+    let parse s =
+      match String.rindex_opt s ':' with
+      | Some i -> (
+          let host = String.sub s 0 i in
+          match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+          | Some p when p > 0 && host <> "" -> Ok (host, p)
+          | _ -> Error (`Msg ("expected HOST:PORT, got " ^ s)))
+      | None -> Error (`Msg ("expected HOST:PORT, got " ^ s))
+    in
+    let print ppf (h, p) = Format.fprintf ppf "%s:%d" h p in
+    Arg.(
+      value
+      & opt (some (conv (parse, print))) None
+      & info [ "follow" ] ~doc ~docv:"HOST:PORT")
+  in
+  let staleness_arg =
+    let doc =
+      "Follower read staleness bound: MEMBER/SIZE are served while this \
+       replica's applied position is within $(docv) records of the \
+       primary's head, and declined BUSY past it (the watchdog reports \
+       degraded: repl_lag at the same threshold)."
+    in
+    Arg.(value & opt int 1024 & info [ "staleness" ] ~doc ~docv:"RECORDS")
+  in
+  let repl_sync_arg =
+    let doc =
+      "Sync-ack replication (primary side): a mutation's acknowledgement \
+       additionally waits until every attached follower has applied it, so \
+       an acked write survives losing the primary outright.  Without it \
+       followers trail asynchronously."
+    in
+    Arg.(value & flag & info [ "repl-sync" ] ~doc)
+  in
   let run port range domains metrics_port seconds data_dir durability
       checkpoint_s trace_out runtime_events memprof max_conns idle_timeout_s
-      queue_deadline_ms soft_buffer_kb hard_buffer_kb =
+      queue_deadline_ms soft_buffer_kb hard_buffer_kb follow staleness
+      repl_sync =
+    (* Anti-entropy hash tree width: enough prefix bits to cover the
+       whole key universe, so a HASHCHECK descent bottoms out at a
+       single key after [width] levels — the O(log n) bound. *)
+    let hash_width =
+      let w = ref 0 in
+      while 1 lsl !w < range do
+        incr w
+      done;
+      !w
+    in
     (* Assemble the served operations, the ack barrier, the periodic-tick
-       work, the teardown and the live trie handle (for the shape census
-       and descent histogram) from the durability configuration. *)
-    let ops, trie, barrier, tick, teardown, durability_banner =
+       work, the teardown, the live trie handle (for the shape census
+       and descent histogram) and the replication hooks from the
+       durability configuration. *)
+    let ops, get_trie, barrier, tick, teardown, durability_banner, repl, gate =
       match data_dir with
       | None ->
           (* Descent accounting rides on the metrics endpoint: striped
@@ -861,6 +914,9 @@ let serve_cmd =
             Core.Patricia.create ~universe:range
               ~record_stats:(metrics_port <> None) ()
           in
+          if follow <> None then
+            failwith "patserve: --follow requires --data-dir (replication \
+                      streams the WAL)";
           ( Server.
               {
                 insert = Core.Patricia.insert trie;
@@ -870,11 +926,13 @@ let serve_cmd =
                   (fun ~remove ~add -> Core.Patricia.replace trie ~remove ~add);
                 size = (fun () -> Core.Patricia.size trie);
               },
-            trie,
+            (fun () -> trie),
             (fun () -> ()),
             (fun () -> ()),
             (fun () -> ()),
-            "in-memory" )
+            "in-memory",
+            None,
+            None )
       | Some dir ->
           let mode =
             match durability with
@@ -882,25 +940,164 @@ let serve_cmd =
             | `Async -> Pstore.Async
             | `Sync -> Pstore.Sync
           in
+          if follow <> None && mode = Pstore.Ephemeral then
+            failwith "patserve: --follow requires --durability async or sync \
+                      (the follower re-logs applied records)";
           pstore_record_stats := metrics_port <> None;
-          let store = Pstore.open_ ~dir ~universe:range ~mode () in
+          (* Behind a ref: PROMOTE swaps in a freshly recovered store
+             (seal the WAL, re-run open-time recovery, start a new
+             writer) while the serving closures stay in place. *)
+          let store = ref (Pstore.open_ ~dir ~universe:range ~mode ()) in
           Persist.Metrics.set_queue_depth_source
-            (Some (fun () -> Pstore.queue_depth store));
+            (Some (fun () -> Pstore.queue_depth !store));
           Format.printf "patserve: %a@." pp_recovery
-            (Pstore.recovery_info store);
+            (Pstore.recovery_info !store);
+          (* Replication roles.  A durable server is always willing to
+             be a primary (it has a WAL to stream); with --follow it
+             starts as a follower instead and becomes a primary only
+             through PROMOTE. *)
+          let primary : Replica.Primary.t option ref = ref None in
+          let follower : Replica.Follower.t option ref = ref None in
+          let repl_mu = Mutex.create () in
+          let wire_primary () =
+            match Pstore.wal_writer !store with
+            | None -> ()
+            | Some w ->
+                let p =
+                  Replica.Primary.create ~dir ~writer:w ~sync_ack:repl_sync ()
+                in
+                Pstore.set_retention_hook !store
+                  (Replica.Primary.retention_floor p);
+                primary := Some p
+          in
+          let follower_ops =
+            (* Forced application through the normal store path: the
+               result-conditional logging means every effect that
+               changed the trie lands in the follower's own WAL, so
+               crash recovery is the ordinary open path, verbatim. *)
+            Replica.Follower.
+              {
+                apply_insert =
+                  (fun k -> ignore (Pstore.insert !store k : bool));
+                apply_delete =
+                  (fun k -> ignore (Pstore.delete !store k : bool));
+                wal_sync =
+                  (fun () ->
+                    match Pstore.wal_writer !store with
+                    | Some w ->
+                        let last = Pstore.last_logged_here !store in
+                        if last >= 0 then
+                          Persist.Wal.Writer.wait_durable w last
+                    | None -> ());
+              }
+          in
+          (match follow with
+          | None -> wire_primary ()
+          | Some (fhost, fport) -> (
+              let from_seq =
+                match Replica.Watermark.read ~dir with
+                | Some w -> w + 1
+                | None -> 0
+              in
+              match
+                Replica.Follower.start ~addr:fhost ~port:fport ~from_seq
+                  ~watermark_dir:dir follower_ops
+              with
+              | Result.Error msg ->
+                  failwith ("patserve: cannot follow: " ^ msg)
+              | Result.Ok f ->
+                  Format.printf
+                    "patserve: following %s:%d from seq %d (staleness bound \
+                     %d records%s)@."
+                    fhost fport from_seq staleness
+                    (if repl_sync then ", will sync-ack after promotion"
+                     else "");
+                  follower := Some f));
+          Replica.Metrics.set_lag_sources
+            ~records:
+              (Some
+                 (fun () ->
+                   match (!follower, !primary) with
+                   | Some f, _ -> Replica.Follower.lag_records f
+                   | None, Some p -> Replica.Primary.lag_records p
+                   | None, None -> 0))
+            ~bytes:
+              (Some
+                 (fun () ->
+                   match (!follower, !primary) with
+                   | Some f, _ -> Replica.Follower.lag_bytes f
+                   | None, Some p -> Replica.Primary.lag_bytes p
+                   | None, None -> 0));
+          let repl_hooks =
+            Server.
+              {
+                subscribe =
+                  (fun ~fd ~seq ~from_seq ->
+                    match !primary with
+                    | Some p -> Replica.Primary.subscribe p ~fd ~seq ~from_seq
+                    | None ->
+                        Replica.reject_subscribe
+                          ~reason:
+                            "not a primary: followers do not serve \
+                             subscriptions"
+                          ~fd ~seq ~from_seq);
+                hashcheck =
+                  (fun ~prefix ~len ->
+                    let trie = Pstore.underlying !store in
+                    let fold ~lo ~hi ~init ~f =
+                      Core.Patricia.fold_range trie ~lo ~hi ~init ~f
+                    in
+                    Replica.Hash.hashes fold ~width:hash_width ~prefix ~len);
+                promote =
+                  (fun () ->
+                    Mutex.lock repl_mu;
+                    Fun.protect
+                      ~finally:(fun () -> Mutex.unlock repl_mu)
+                    @@ fun () ->
+                    match !follower with
+                    | None ->
+                        (* Already a primary (or promoted concurrently):
+                           PROMOTE is idempotent by design — the crash
+                           fuzzer promotes twice on purpose. *)
+                        Result.Ok ()
+                    | Some f ->
+                        (* Detach (final watermark persisted), seal the
+                           follower's WAL, and flip to primary through
+                           the ordinary open-time recovery. *)
+                        Replica.Follower.stop f;
+                        follower := None;
+                        Pstore.close !store;
+                        store := Pstore.open_ ~dir ~universe:range ~mode ();
+                        wire_primary ();
+                        Obs.Counter.incr Replica.Metrics.promotions;
+                        Format.printf "patserve: promoted to primary: %a@."
+                          pp_recovery
+                          (Pstore.recovery_info !store);
+                        Format.print_flush ();
+                        Result.Ok ());
+              }
+          in
+          let gate op =
+            match !follower with
+            | None -> `Proceed
+            | Some f ->
+                Replica.Gate.follower ~staleness
+                  ~lag:(fun () -> Replica.Follower.lag_records f)
+                  ~retry_after_ms:25 op
+          in
           let ops =
             Server.
               {
-                insert = Pstore.insert store;
-                delete = Pstore.delete store;
-                member = Pstore.member store;
+                insert = (fun k -> Pstore.insert !store k);
+                delete = (fun k -> Pstore.delete !store k);
+                member = (fun k -> Pstore.member !store k);
                 replace =
-                  (fun ~remove ~add -> Pstore.replace store ~remove ~add);
-                size = (fun () -> Pstore.size store);
+                  (fun ~remove ~add -> Pstore.replace !store ~remove ~add);
+                size = (fun () -> Pstore.size !store);
               }
           in
           let run_checkpoint () =
-            let keys, deleted = Pstore.checkpoint store in
+            let keys, deleted = Pstore.checkpoint !store in
             Format.printf "patserve: checkpoint (%d keys, %d segments freed)@."
               keys deleted;
             Format.print_flush ()
@@ -916,17 +1113,43 @@ let serve_cmd =
             | _ -> ()
           in
           let teardown () =
+            (* Detach replication first: the follower's stop persists a
+               final watermark, the primary's joins its streamers. *)
+            (match !follower with
+            | Some f ->
+                Replica.Follower.stop f;
+                follower := None
+            | None -> ());
+            (match !primary with
+            | Some p ->
+                Replica.Primary.stop p;
+                primary := None
+            | None -> ());
+            Replica.Metrics.set_lag_sources ~records:None ~bytes:None;
             (* Final image makes the next open cheap; the writer must
                still be running (checkpoint awaits durability). *)
             if mode <> Pstore.Ephemeral then run_checkpoint ();
-            Pstore.close store
+            Pstore.close !store
           in
           ( ops,
-            Pstore.underlying store,
-            (fun () -> Pstore.barrier store),
+            (fun () -> Pstore.underlying !store),
+            (fun () ->
+              Pstore.barrier !store;
+              (* Sync-ack: the acknowledgement additionally waits until
+                 every attached follower has applied this domain's last
+                 logged record. *)
+              match !primary with
+              | Some p ->
+                  Replica.Primary.wait_acked p (Pstore.last_logged_here !store)
+              | None -> ()),
             tick,
             teardown,
-            Printf.sprintf "durability=%s dir=%s" (Pstore.mode_name mode) dir )
+            Printf.sprintf "durability=%s dir=%s%s" (Pstore.mode_name mode) dir
+              (match follow with
+              | Some (h, p) -> Printf.sprintf " follower-of=%s:%d" h p
+              | None -> ""),
+            Some repl_hooks,
+            Some gate )
     in
     (* Flight recorder: the same trace ring collects trie attempt spans,
        per-connection request/stage spans and (below) runtime-events
@@ -969,6 +1192,11 @@ let serve_cmd =
     let wd = Obs.Watchdog.create () in
     Obs.Watchdog.gauge wd ~name:"wal-queue" ~degraded_above:10_000
       ~stalled_above:100_000 Persist.Metrics.queue_depth;
+    (* Replication lag rides the same watchdog: past the staleness
+       bound /healthz reports "degraded: repl_lag".  Reads 0 on an
+       unreplicated server (no lag sources installed). *)
+    Obs.Watchdog.gauge wd ~name:"repl_lag" ~degraded_above:staleness
+      Replica.Metrics.lag_records;
     Obs.Watchdog.start_monitor wd;
     let limits =
       {
@@ -981,7 +1209,9 @@ let serve_cmd =
         hard_buffer_bytes = hard_buffer_kb * 1024;
       }
     in
-    let srv = Server.start ~port ~domains ~barrier ~watchdog:wd ~limits ops in
+    let srv =
+      Server.start ~port ~domains ~barrier ~watchdog:wd ~limits ?repl ?gate ops
+    in
     Format.printf "patserve: %d domains on 127.0.0.1:%d, range (0, %d), %s@."
       domains (Server.port srv) range durability_banner;
     (match max_conns with
@@ -994,6 +1224,7 @@ let serve_cmd =
           Harness.Live.clear_extra_producers ();
           Harness.Live.add_extra_producer Server.Metrics.emit;
           Harness.Live.add_extra_producer Persist.Metrics.emit;
+          Harness.Live.add_extra_producer Replica.Metrics.emit;
           Harness.Live.add_extra_producer (Obs.Watchdog.emit wd);
           if runtime <> None then
             Harness.Live.add_extra_producer Obs.Runtime.emit;
@@ -1003,11 +1234,11 @@ let serve_cmd =
              families (patserve_alloc_up 0 when memprof is off or
              unsupported). *)
           Harness.Live.add_extra_producer (fun b ->
-              match Core.Patricia.census trie with
+              match Core.Patricia.census (get_trie ()) with
               | Some c -> Obs.Shape.emit b c
               | None -> ());
           Harness.Live.add_extra_producer (fun b ->
-              match Core.Patricia.descent_summary trie with
+              match Core.Patricia.descent_summary (get_trie ()) with
               | Some s ->
                   Obs.Prometheus.histogram_summary b ~name:"pat_descent_depth"
                     ~help:"Nodes visited per search (descent depth)" s
@@ -1023,7 +1254,7 @@ let serve_cmd =
               ( "/debug/shape",
                 fun () ->
                   ( "application/json",
-                    (match Core.Patricia.census trie with
+                    (match Core.Patricia.census (get_trie ()) with
                     | Some c -> Obs.Json.to_string (Obs.Shape.to_json c)
                     | None -> "null")
                     ^ "\n" ) );
@@ -1105,7 +1336,7 @@ let serve_cmd =
       $ seconds_opt_arg $ data_dir_arg $ durability_arg $ checkpoint_s_arg
       $ serve_trace_arg $ runtime_events_arg $ memprof_arg $ max_conns_arg
       $ idle_timeout_arg $ queue_deadline_arg $ soft_buffer_arg
-      $ hard_buffer_arg)
+      $ hard_buffer_arg $ follow_arg $ staleness_arg $ repl_sync_arg)
 
 (* ------------------------------------------------------------------ *)
 (* recover subcommand: offline recovery / inspection of a data dir *)
@@ -1568,6 +1799,329 @@ let analyze_cmd =
        $ json_arg))
 
 (* ------------------------------------------------------------------ *)
+(* promote subcommand: failover — flip a follower to primary *)
+
+let promote_cmd =
+  let addr_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "addr" ] ~doc:"Server address.")
+  in
+  let port_arg =
+    Arg.(value & opt int 7113 & info [ "port" ] ~doc:"Server port.")
+  in
+  let run addr port =
+    match Server.Client.connect ~addr ~port () with
+    | exception Unix.Unix_error (e, fn, _) ->
+        `Error (false, Printf.sprintf "%s failed: %s" fn (Unix.error_message e))
+    | c -> (
+        match Server.Client.promote c with
+        | true ->
+            Server.Client.close c;
+            Format.printf "promote: %s:%d is now a primary@." addr port;
+            Format.print_flush ();
+            `Ok ()
+        | false ->
+            Server.Client.close c;
+            `Error (false, "server refused promotion")
+        | exception Server.Client.Protocol_error m ->
+            Server.Client.close c;
+            `Error (false, "promote failed: " ^ m))
+  in
+  let doc =
+    "Promote a running replication follower to primary: it detaches from \
+     its stream, seals its WAL and flips through open-time recovery.  \
+     Idempotent — promoting a primary succeeds without effect."
+  in
+  Cmd.v (Cmd.info "promote" ~doc) Term.(ret (const run $ addr_arg $ port_arg))
+
+(* ------------------------------------------------------------------ *)
+(* replicate subcommand: the cost of a copy — in-process primary plus
+   0..N followers under load, async vs sync-ack, with convergence,
+   verifiable-sync (root hash) and failover-time measurements.  This is
+   the instrument behind EXPERIMENTS.md's "The cost of a copy". *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error (_, _, _) -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error (_, _, _) -> ())
+  | exception Unix.Unix_error (_, _, _) -> ()
+
+let replicate_cmd =
+  let range_arg =
+    Arg.(
+      value & opt int 65_536
+      & info [ "range" ] ~doc:"Key range (universe) of the replicated trie.")
+  in
+  let seconds_arg' =
+    Arg.(value & opt float 5.0 & info [ "seconds" ] ~doc:"Load duration.")
+  in
+  let followers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "followers" ] ~doc:"Followers attached to the primary (0..8).")
+  in
+  let sync_arg =
+    let doc =
+      "Sync-ack mode: client acknowledgements wait for every follower's \
+       LOGACK (default: async, followers trail)."
+    in
+    Arg.(value & flag & info [ "sync" ] ~doc)
+  in
+  let seed_arg' =
+    Arg.(value & opt int 2013 & info [ "seed" ] ~doc:"Workload seed.")
+  in
+  let keep_arg =
+    Arg.(
+      value & flag
+      & info [ "keep" ] ~doc:"Keep the scratch data directories (default: \
+                              delete them at exit).")
+  in
+  let run range seconds followers sync seed keep =
+    if followers < 0 || followers > 8 then
+      `Error (false, "replicate: --followers must be in 0..8")
+    else begin
+      let hash_width =
+        let w = ref 0 in
+        while 1 lsl !w < range do
+          incr w
+        done;
+        !w
+      in
+      let base =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "patbench-replicate-%d" (Unix.getpid ()))
+      in
+      rm_rf base;
+      let pdir = Filename.concat base "primary" in
+      let fdir i = Filename.concat base (Printf.sprintf "follower%d" i) in
+      let root_hash store =
+        let trie = Pstore.underlying store in
+        let fold ~lo ~hi ~init ~f =
+          Core.Patricia.fold_range trie ~lo ~hi ~init ~f
+        in
+        Replica.Hash.range fold ~lo:0 ~hi:((1 lsl hash_width) - 1)
+      in
+      let pstore = Pstore.open_ ~dir:pdir ~universe:range ~mode:Pstore.Sync () in
+      let writer = Option.get (Pstore.wal_writer pstore) in
+      let prim = Replica.Primary.create ~dir:pdir ~writer ~sync_ack:sync () in
+      Pstore.set_retention_hook pstore (Replica.Primary.retention_floor prim);
+      let ops =
+        Server.
+          {
+            insert = Pstore.insert pstore;
+            delete = Pstore.delete pstore;
+            member = Pstore.member pstore;
+            replace = (fun ~remove ~add -> Pstore.replace pstore ~remove ~add);
+            size = (fun () -> Pstore.size pstore);
+          }
+      in
+      let barrier () =
+        Pstore.barrier pstore;
+        Replica.Primary.wait_acked prim (Pstore.last_logged_here pstore)
+      in
+      let repl =
+        Server.
+          {
+            subscribe = Replica.Primary.subscribe prim;
+            hashcheck =
+              (fun ~prefix ~len ->
+                let trie = Pstore.underlying pstore in
+                let fold ~lo ~hi ~init ~f =
+                  Core.Patricia.fold_range trie ~lo ~hi ~init ~f
+                in
+                Replica.Hash.hashes fold ~width:hash_width ~prefix ~len);
+            promote = (fun () -> Result.Ok ());
+          }
+      in
+      let srv = Server.start ~port:0 ~domains:2 ~barrier ~repl ops in
+      let port = Server.port srv in
+      let fstores =
+        List.init followers (fun i ->
+            Pstore.open_ ~dir:(fdir i) ~universe:range ~mode:Pstore.Sync ())
+      in
+      let fls =
+        List.mapi
+          (fun i st ->
+            let fops =
+              Replica.Follower.
+                {
+                  apply_insert = (fun k -> ignore (Pstore.insert st k : bool));
+                  apply_delete = (fun k -> ignore (Pstore.delete st k : bool));
+                  wal_sync =
+                    (fun () ->
+                      match Pstore.wal_writer st with
+                      | Some w ->
+                          let last = Pstore.last_logged_here st in
+                          if last >= 0 then Persist.Wal.Writer.wait_durable w last
+                      | None -> ());
+                }
+            in
+            match
+              Replica.Follower.start ~port ~from_seq:0
+                ~watermark_dir:(fdir i) fops
+            with
+            | Result.Ok f -> f
+            | Result.Error msg ->
+                failwith (Printf.sprintf "follower %d: %s" i msg))
+          fstores
+      in
+      Format.printf
+        "replicate: %d follower(s), %s acks, range (0, %d), %.1fs load@."
+        followers
+        (if sync then "sync (wait for LOGACK)" else "async")
+        range seconds;
+      Format.print_flush ();
+      (* Lag sampler: peak and mean primary-side lag during the load —
+         the steady-state number the experiment is after. *)
+      let sampling = Atomic.make true in
+      let peak_lag = Atomic.make 0 in
+      let lag_sum = Atomic.make 0 in
+      let lag_n = Atomic.make 0 in
+      let sampler =
+        Domain.spawn (fun () ->
+            while Atomic.get sampling do
+              let l = Replica.Primary.lag_records prim in
+              if l > Atomic.get peak_lag then Atomic.set peak_lag l;
+              ignore (Atomic.fetch_and_add lag_sum l);
+              ignore (Atomic.fetch_and_add lag_n 1);
+              Unix.sleepf 0.01
+            done)
+      in
+      let prefilled =
+        Server.Loadgen.prefill ~addr:"127.0.0.1" ~port ~universe:range ~seed ()
+      in
+      let cfg =
+        Server.Loadgen.
+          {
+            addr = "127.0.0.1";
+            port;
+            domains = 4;
+            depth = 16;
+            seconds;
+            mix = Harness.Mix.v ~insert:10 ~delete:10 ~find:0 ~replace:80 ();
+            universe = range;
+            dist = Harness.Uniform;
+            seed;
+            journal = false;
+            tolerate_disconnect = false;
+            partition = false;
+            scrape_port = None;
+          }
+      in
+      let r = Server.Loadgen.run cfg in
+      Atomic.set sampling false;
+      Domain.join sampler;
+      let l = r.Server.Loadgen.latency in
+      Format.printf
+        "replicate: prefill %d, %d ops in %.2fs = %.0f ops/s, %d errors@.\
+         replicate: ack latency ns p50=%d p99=%d max=%d@."
+        prefilled r.Server.Loadgen.ops r.Server.Loadgen.elapsed_s
+        r.Server.Loadgen.throughput r.Server.Loadgen.errors l.Obs.Histogram.p50
+        l.Obs.Histogram.p99 l.Obs.Histogram.max;
+      (if followers > 0 then
+         let mean =
+           if Atomic.get lag_n > 0 then
+             float_of_int (Atomic.get lag_sum) /. float_of_int (Atomic.get lag_n)
+           else 0.0
+         in
+         Format.printf
+           "replicate: steady-state lag mean %.1f records, peak %d records@."
+           mean (Atomic.get peak_lag));
+      (* Convergence: how long after the last acked write until every
+         follower has applied the whole history. *)
+      let head = Persist.Wal.Writer.last_assigned writer in
+      let t0 = Obs.Clock.now_ns () in
+      let deadline = Unix.gettimeofday () +. 30.0 in
+      let rec settle () =
+        if
+          List.for_all (fun f -> Replica.Follower.applied_seq f >= head) fls
+          || Unix.gettimeofday () >= deadline
+        then ()
+        else begin
+          Unix.sleepf 0.001;
+          settle ()
+        end
+      in
+      settle ();
+      let converge_ms =
+        float_of_int (Obs.Clock.now_ns () - t0) /. 1e6
+      in
+      List.iter
+        (fun f ->
+          match Replica.Follower.failure f with
+          | Some m -> failwith ("follower failed: " ^ m)
+          | None -> ())
+        fls;
+      if followers > 0 then
+        Format.printf "replicate: convergence after last ack: %.1f ms@."
+          converge_ms;
+      (* Verifiable sync: equal key sets must hash equal (the trie is
+         history-independent, so this is exactly set equality). *)
+      let ph = root_hash pstore in
+      let psize = Pstore.size pstore in
+      let all_equal =
+        List.for_all2
+          (fun st _ -> root_hash st = ph && Pstore.size st = psize)
+          fstores fls
+      in
+      Format.printf "replicate: primary %d keys, root hash %x; %s@." psize ph
+        (if followers = 0 then "no followers to compare"
+         else if all_equal then
+           Printf.sprintf "all %d follower(s) hash-identical" followers
+         else "FOLLOWER DIVERGENCE — root hashes differ");
+      (* Failover budget: detach follower 0, seal its WAL, reopen via
+         recovery — the exact PROMOTE path — and time it. *)
+      let failover_ms =
+        match (fls, fstores) with
+        | f :: _, st :: _ ->
+            let t0 = Obs.Clock.now_ns () in
+            Replica.Follower.stop f;
+            Pstore.close st;
+            let promoted =
+              Pstore.open_ ~dir:(fdir 0) ~universe:range ~mode:Pstore.Sync ()
+            in
+            let ms = float_of_int (Obs.Clock.now_ns () - t0) /. 1e6 in
+            let ok = Pstore.size promoted = psize && root_hash promoted = ph in
+            Pstore.close promoted;
+            Format.printf
+              "replicate: failover (seal + open-time recovery): %.1f ms, \
+               promoted state %s@."
+              ms
+              (if ok then "identical to primary" else "DIVERGED");
+            if not ok then failwith "promoted follower diverged from primary";
+            Some ms
+        | _ -> None
+      in
+      ignore (failover_ms : float option);
+      (* Teardown: remaining followers, server, primary, stores. *)
+      List.iteri (fun i f -> if i > 0 then Replica.Follower.stop f) fls;
+      Server.stop ~drain_s:0.5 srv;
+      Replica.Primary.stop prim;
+      Pstore.close pstore;
+      List.iteri (fun i st -> if i > 0 then Pstore.close st) fstores;
+      if not keep then rm_rf base
+      else Format.printf "replicate: data kept under %s@." base;
+      Format.print_flush ();
+      if followers > 0 && not all_equal then
+        `Error (false, "follower divergence detected")
+      else `Ok ()
+    end
+  in
+  let doc =
+    "Measure the cost of a copy: run a pipelined load against an in-process \
+     replicated primary with 0..N followers (async or --sync acks), report \
+     throughput, steady-state and convergence lag, verify the replicas \
+     hash-identical, and time the failover (promotion) path."
+  in
+  Cmd.v (Cmd.info "replicate" ~doc)
+    Term.(
+      ret
+        (const run $ range_arg $ seconds_arg' $ followers_arg $ sync_arg
+       $ seed_arg' $ keep_arg))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc =
@@ -1586,4 +2140,6 @@ let () =
             load_cmd;
             recover_cmd;
             analyze_cmd;
+            promote_cmd;
+            replicate_cmd;
           ]))

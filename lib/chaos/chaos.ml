@@ -21,6 +21,7 @@ type site =
   | Wal_append
   | Wal_fsync
   | Wal_rotate
+  | Repl_apply
 
 let all_sites =
   [
@@ -37,6 +38,7 @@ let all_sites =
     Wal_append;
     Wal_fsync;
     Wal_rotate;
+    Repl_apply;
   ]
 
 let site_name = function
@@ -53,6 +55,7 @@ let site_name = function
   | Wal_append -> "wal_append"
   | Wal_fsync -> "wal_fsync"
   | Wal_rotate -> "wal_rotate"
+  | Repl_apply -> "repl_apply"
 
 let site_index = function
   | Flag_cas -> 0
@@ -68,6 +71,7 @@ let site_index = function
   | Wal_append -> 10
   | Wal_fsync -> 11
   | Wal_rotate -> 12
+  | Repl_apply -> 13
 
 let n_sites = List.length all_sites
 

@@ -52,6 +52,11 @@ type site =
   | Wal_rotate
       (** persist: about to rotate to a fresh WAL segment (close + fsync
           the old one, create and header-stamp the new one) *)
+  | Repl_apply
+      (** replica: a follower is about to apply one streamed log record
+          to its local store.  A policy stalling here makes the
+          follower's [applied_seq] fall behind the primary's head — the
+          lag-injection lever behind the staleness-bound tests. *)
 
 val all_sites : site list
 val site_name : site -> string

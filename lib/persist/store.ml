@@ -60,6 +60,9 @@ module Make (S : Dset_intf.CONCURRENT_SET_WITH_REPLACE) = struct
     info : recovery_info;
     last_logged : int ref Domain.DLS.key;
     ckpt_mu : Mutex.t;
+    retention : (unit -> int option) Atomic.t;
+        (* checkpoint GC floor: lowest WAL seq some attached consumer
+           (a replication tailer) still needs; [None] = unconstrained *)
   }
 
   let rec mkdirs dir =
@@ -134,11 +137,29 @@ module Make (S : Dset_intf.CONCURRENT_SET_WITH_REPLACE) = struct
       info;
       last_logged = Domain.DLS.new_key (fun () -> ref (-1));
       ckpt_mu = Mutex.create ();
+      retention = Atomic.make (fun () -> None);
     }
 
   let recovery_info t = t.info
   let mode t = t.mode
   let underlying t = t.set
+  let dir t = t.dir
+
+  (** The store's WAL writer, for consumers that stream or pin the log
+      (the replication primary's tailer).  [None] in {!Ephemeral}. *)
+  let wal_writer t = t.writer
+
+  (** Highest WAL sequence number logged by the {e calling} domain —
+      the per-domain stamp {!barrier} waits on.  A replication layer
+      running a sync-ack barrier needs the same stamp to know which
+      sequence its followers must acknowledge. *)
+  let last_logged_here t = !(Domain.DLS.get t.last_logged)
+
+  (** Install the checkpoint-GC retention hook: a closure returning the
+      lowest WAL sequence number still needed by an attached log
+      consumer ([None] = no constraint).  Segments that may contain
+      records at or past the returned floor survive checkpointing. *)
+  let set_retention_hook t f = Atomic.set t.retention f
 
   let log t r =
     match t.writer with
@@ -206,7 +227,10 @@ module Make (S : Dset_intf.CONCURRENT_SET_WITH_REPLACE) = struct
     ignore
       (Checkpoint.write ~dir:t.dir ~universe:t.universe ~replay_from:s0 ~keys
         : string);
-    let deleted = Wal.delete_obsolete_segments ~dir:t.dir ~upto:s0 in
+    let keep_from = (Atomic.get t.retention) () in
+    let deleted =
+      Wal.delete_obsolete_segments ~dir:t.dir ~upto:s0 ?keep_from ()
+    in
     (List.length keys, deleted)
 
   (** Stop the log domain after draining every accepted record (final

@@ -292,8 +292,15 @@ let scan ~dir ~replay_from ~f =
 (** Delete segments made obsolete by a checkpoint that replays from
     [upto]: a segment may go iff {e every} record it can contain is
     [<= upto], i.e. the next segment's base is [<= upto + 1].  The last
-    (active) segment never goes.  Returns how many files were deleted. *)
-let delete_obsolete_segments ~dir ~upto =
+    (active) segment never goes.  [keep_from], if given, is a retention
+    low-water mark: segments that may still contain records [>=
+    keep_from] survive even below [upto] — an attached follower cursor
+    ({!Tail}) positioned at [keep_from] must be able to keep streaming
+    after the checkpoint.  Returns how many files were deleted. *)
+let delete_obsolete_segments ~dir ~upto ?keep_from () =
+  let upto =
+    match keep_from with None -> upto | Some k -> min upto (k - 1)
+  in
   let segs = list_segments dir in
   let rec go deleted = function
     | (_, path) :: ((next_base, _) :: _ as rest) when next_base <= upto + 1 ->
@@ -481,6 +488,31 @@ module Writer = struct
     Mutex.unlock w.mu;
     s
 
+  let stopped w =
+    Mutex.lock w.mu;
+    let s = w.stopping in
+    Mutex.unlock w.mu;
+    s
+
+  (** Block until group commit advances past [known] (i.e. [durable_upto
+      > known]), the writer stops, or [timeout_s] elapses; returns the
+      current [durable_upto].  Polling rather than a timed condition
+      wait — the stdlib [Condition] has no deadline — at a 1ms grain,
+      which only costs while a tailer is idle at the head of the log. *)
+  let wait_new_durable w ~known ~timeout_s =
+    let deadline = Unix.gettimeofday () +. timeout_s in
+    let rec go () =
+      Mutex.lock w.mu;
+      let d = w.durable_upto and stopping = w.stopping in
+      Mutex.unlock w.mu;
+      if d > known || stopping || Unix.gettimeofday () >= deadline then d
+      else begin
+        Unix.sleepf 0.001;
+        go ()
+      end
+    in
+    go ()
+
   let durable_upto w =
     Mutex.lock w.mu;
     let s = w.durable_upto in
@@ -507,4 +539,224 @@ module Writer = struct
     Condition.broadcast w.durable;
     Mutex.unlock w.mu;
     Option.iter Domain.join d
+end
+
+(* ------------------------------------------------------------------ *)
+(* Tail cursor (replication read path) *)
+
+(** A read cursor over the segments of a WAL directory, in sequence
+    order, across rotations.  Two modes:
+
+    - {e live} ([~writer] given): the cursor follows the directory's
+      active writer and never delivers a record beyond
+      {!Writer.durable_upto} — the bytes it reads are always part of a
+      completed (and, in fsync mode, synced) group commit, so a torn or
+      half-written tail is unreachable by construction.
+      {!Tail.next_batch} blocks (bounded) on group-commit progress when
+      it has drained the durable prefix.
+    - {e offline} (no writer): the cursor reads until the end of the
+      log and stops quietly at a torn final record — the same bytes
+      {!scan} would truncate — so a recovery-side consumer sees exactly
+      the replayable history.
+
+    A cursor positioned at [from_seq] pins segments from the one
+    containing [from_seq] onward; {!delete_obsolete_segments}'s
+    [keep_from] is how an owner keeps checkpoint GC from deleting them
+    underneath it. *)
+module Tail = struct
+  type t = {
+    dir : string;
+    writer : Writer.t option;
+    mutable cur_base : int;
+    mutable fd : Unix.file_descr option;
+    mutable off : int;  (** next unread byte offset in the segment *)
+    mutable next_seq : int;  (** next sequence number to deliver *)
+  }
+
+  let pread fd ~off b ~len =
+    ignore (Unix.lseek fd off Unix.SEEK_SET : int);
+    let rec go got =
+      if got >= len then got
+      else
+        match Unix.read fd b got (len - got) with
+        | 0 -> got
+        | n -> go (got + n)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go got
+    in
+    go 0
+
+  let header_valid fd ~base =
+    let b = Bytes.create header_len in
+    pread fd ~off:0 b ~len:header_len = header_len
+    && Bytes.sub_string b 0 8 = magic
+    && get_u64 b 8 = base
+    && get_u32 b 16 = Crc.crc32c b ~off:0 ~len:16
+
+  let close t =
+    (match t.fd with
+    | Some fd -> ( try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    | None -> ());
+    t.fd <- None
+
+  let open_segment t base =
+    close t;
+    let path = Filename.concat t.dir (segment_name base) in
+    let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+    t.fd <- Some fd;
+    t.cur_base <- base;
+    t.off <- header_len;
+    if not (header_valid fd ~base) then begin
+      (* Only the last segment can legitimately have a torn header (a
+         rotation killed before the header hit disk); position at its
+         end so the cursor reports no records from it. *)
+      t.off <- max_int
+    end
+
+  (** [open_ ~dir ~from_seq ()] positions a cursor so the next record it
+      delivers is the first one with [seq >= from_seq].  Errors loudly
+      when the history at [from_seq] is no longer retained (the oldest
+      segment's base is newer) — streaming from such a cursor would
+      silently skip acknowledged operations, which a replication
+      consumer must treat as "resync from a checkpoint", never as an
+      empty diff. *)
+  let open_ ~dir ?writer ~from_seq () =
+    if from_seq < 0 then Result.Error "Wal.Tail: from_seq must be >= 0"
+    else
+      match list_segments dir with
+      | [] -> Result.Error (Printf.sprintf "Wal.Tail: no segments in %s" dir)
+      | (oldest, _) :: _ as segs ->
+          if from_seq < oldest then
+            Result.Error
+              (Printf.sprintf
+                 "Wal.Tail: seq %d predates the oldest retained segment \
+                  (base %d): history was checkpointed away, resync required"
+                 from_seq oldest)
+          else begin
+            let start_base =
+              List.fold_left
+                (fun acc (base, _) -> if base <= from_seq then base else acc)
+                oldest segs
+            in
+            let t =
+              {
+                dir;
+                writer;
+                cur_base = start_base;
+                fd = None;
+                off = header_len;
+                next_seq = from_seq;
+              }
+            in
+            match open_segment t start_base with
+            | () -> Result.Ok t
+            | exception Unix.Unix_error (e, _, _) ->
+                Result.Error
+                  (Printf.sprintf "Wal.Tail: cannot open segment %016x: %s"
+                     start_base (Unix.error_message e))
+          end
+
+  let pos_seq t = t.next_seq
+
+  (* The next segment to move to once the current one is exhausted:
+     smallest base strictly above the current.  [None] while the cursor
+     is inside the active (or last) segment. *)
+  let next_segment t =
+    List.fold_left
+      (fun acc (base, _) ->
+        if base > t.cur_base then
+          match acc with Some b when b <= base -> acc | _ -> Some base
+        else acc)
+      None (list_segments t.dir)
+
+  (** Bytes of log the cursor has not yet consumed: the unread remainder
+      of its current segment plus every whole segment after it.  The
+      primary's per-subscription [repl_lag_bytes] gauge. *)
+  let lag_bytes t =
+    let cur_remaining =
+      match t.fd with
+      | Some fd ->
+          let size = (Unix.fstat fd).Unix.st_size in
+          if t.off >= size then 0 else size - t.off
+      | None -> 0
+    in
+    List.fold_left
+      (fun acc (base, path) ->
+        if base > t.cur_base then
+          acc
+          + (try (Unix.stat path).Unix.st_size - header_len
+             with Unix.Unix_error (_, _, _) -> 0)
+        else acc)
+      cur_remaining (list_segments t.dir)
+
+  (* Read one frame at the current offset.  [`Record] advances past it;
+     [`Skip] advanced past a record older than the cursor position;
+     [`End] means no complete, valid frame is readable here — end of
+     durable data (live), torn tail (offline), or a frame beyond the
+     durability limit. *)
+  let read_frame t ~limit =
+    match t.fd with
+    | None -> `End
+    | Some fd -> (
+        let hd = Bytes.create frame_overhead in
+        if t.off = max_int || pread fd ~off:t.off hd ~len:frame_overhead <> frame_overhead
+        then `End
+        else
+          let plen = get_u32 hd 0 in
+          let crc = get_u32 hd 4 in
+          if plen > max_record_payload || plen < 17 then `End
+          else
+            let pb = Bytes.create plen in
+            if pread fd ~off:(t.off + frame_overhead) pb ~len:plen <> plen then
+              `End
+            else if Crc.crc32c pb ~off:0 ~len:plen <> crc then `End
+            else
+              match decode_payload pb ~off:0 ~len:plen with
+              | Result.Error _ -> `End
+              | Result.Ok (seq, record) ->
+                  if seq > limit then `End
+                  else begin
+                    t.off <- t.off + frame_overhead + plen;
+                    if seq < t.next_seq then `Skip
+                    else begin
+                      t.next_seq <- seq + 1;
+                      `Record (seq, record)
+                    end
+                  end)
+
+  (** [next_batch t ~max_records ~timeout_s] returns the next run of
+      records in sequence order, at most [max_records].  A live cursor
+      that has drained the durable prefix blocks on group-commit
+      progress for up to [timeout_s] and returns [[]] if nothing new
+      committed (also when the writer stopped); an offline cursor
+      returns [[]] at the end of the log.  Rotation is followed
+      transparently. *)
+  let next_batch t ~max_records ~timeout_s =
+    let limit =
+      match t.writer with
+      | Some w ->
+          let d = Writer.durable_upto w in
+          if d < t.next_seq && not (Writer.stopped w) then
+            Writer.wait_new_durable w ~known:(t.next_seq - 1) ~timeout_s
+          else d
+      | None -> max_int
+    in
+    let acc = ref [] in
+    let n = ref 0 in
+    let continue = ref true in
+    while !continue && !n < max_records do
+      match read_frame t ~limit with
+      | `Record (seq, r) ->
+          acc := (seq, r) :: !acc;
+          incr n
+      | `Skip -> ()
+      | `End -> (
+          (* Exhausted the readable part of this segment: follow a
+             rotation when the next segment starts exactly where the
+             cursor stands; otherwise there is nothing more (yet). *)
+          match next_segment t with
+          | Some base when base <= t.next_seq && base > t.cur_base ->
+              open_segment t base
+          | _ -> continue := false)
+    done;
+    List.rev !acc
 end

@@ -253,3 +253,17 @@ let batch t ops =
       | Protocol.Many bs -> bs
       | Protocol.Busy { retry_after_ms } -> raise (Busy { retry_after_ms })
       | _ -> raise (Protocol_error "expected vector result"))
+
+(** [promote t] asks the server (a replication follower) to seal its WAL
+    and flip to primary; [true] on success.  Idempotent server-side. *)
+let promote t = with_retry t (fun () -> bool_result (request t Protocol.Promote))
+
+(** [hashcheck t ~prefix ~len] fetches the anti-entropy hashes
+    [(node, left, right)] of the subtree at the [len]-bit key prefix. *)
+let hashcheck t ~prefix ~len =
+  with_retry t (fun () ->
+      match request t (Protocol.Hashcheck { prefix; len }) with
+      | Protocol.Hashes { node; left; right } -> (node, left, right)
+      | Protocol.Busy { retry_after_ms } -> raise (Busy { retry_after_ms })
+      | Protocol.Error msg -> raise (Protocol_error ("server error: " ^ msg))
+      | _ -> raise (Protocol_error "expected hashes result"))

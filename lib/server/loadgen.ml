@@ -125,7 +125,8 @@ let in_flight_op (cfg : config) (t : tally) hist q (resp : Protocol.response) =
          size-neutral by definition. *)
       t.busy <- t.busy + 1
   | Protocol.Error _, _ -> t.errs <- t.errs + 1
-  | (Protocol.Count _ | Protocol.Many _), _ -> t.errs <- t.errs + 1
+  | (Protocol.Count _ | Protocol.Many _ | Protocol.Logrecs _ | Protocol.Hashes _), _ ->
+      t.errs <- t.errs + 1
 
 let worker (cfg : config) hist go d =
   let c = Client.connect ~addr:cfg.addr ~port:cfg.port () in
@@ -249,6 +250,11 @@ let scrape_server_metrics ~addr ~port =
         take acc "server_descent_depth_p99" "pat_descent_depth"
           [ ("quantile", "0.99") ]
       in
+      (* Replication lag at end of run: present when the server is a
+         replication primary (slowest attached follower) or follower
+         (behind its primary); absent on an unreplicated server. *)
+      let acc = take acc "server_repl_lag_records" "patserve_repl_lag_records" [] in
+      let acc = take acc "server_repl_lag_bytes" "patserve_repl_lag_bytes" [] in
       List.rev acc
 
 (** Run the configured load.  Raises [Client.Protocol_error] (or a
@@ -273,7 +279,10 @@ let run cfg =
   let size_delta = List.fold_left (fun a t -> a + t.delta) 0 tallies in
   let per_op =
     List.init Protocol.op_count (fun i ->
-        ( [| "insert"; "delete"; "member"; "replace"; "size"; "batch" |].(i),
+        ( [|
+            "insert"; "delete"; "member"; "replace"; "size"; "batch";
+            "subscribe"; "logack"; "hashcheck"; "promote";
+          |].(i),
           List.fold_left (fun a t -> a + t.counts.(i)) 0 tallies ))
   in
   let disconnects =

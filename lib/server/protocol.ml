@@ -14,6 +14,15 @@ type op =
   | Replace of { remove : int; add : int }
   | Size
   | Batch of op list
+  | Subscribe of { from_seq : int }
+  | Logack of { applied_seq : int }
+  | Hashcheck of { prefix : int; len : int }
+  | Promote
+
+(* One replicated log record as it crosses the wire inside a LOGRECS
+   push: the primary's WAL sequence number plus the mutation, re-using
+   the request op encoding (restricted to INSERT/DELETE/REPLACE). *)
+type logrec = { rseq : int; rop : op }
 
 type request = { seq : int; op : op }
 
@@ -21,6 +30,8 @@ type result_ =
   | Bool of bool
   | Count of int
   | Many of bool list
+  | Logrecs of { head_seq : int; recs : logrec list }
+  | Hashes of { node : int; left : int; right : int }
   | Busy of { retry_after_ms : int }
   | Error of string
 
@@ -33,6 +44,10 @@ let op_name = function
   | Replace _ -> "replace"
   | Size -> "size"
   | Batch _ -> "batch"
+  | Subscribe _ -> "subscribe"
+  | Logack _ -> "logack"
+  | Hashcheck _ -> "hashcheck"
+  | Promote -> "promote"
 
 let op_index = function
   | Insert _ -> 0
@@ -41,8 +56,12 @@ let op_index = function
   | Replace _ -> 3
   | Size -> 4
   | Batch _ -> 5
+  | Subscribe _ -> 6
+  | Logack _ -> 7
+  | Hashcheck _ -> 8
+  | Promote -> 9
 
-let op_count = 6
+let op_count = 10
 
 (* Opcode and status bytes. *)
 let opc_insert = 1
@@ -51,13 +70,21 @@ and opc_member = 3
 and opc_replace = 4
 and opc_size = 5
 and opc_batch = 6
+and opc_subscribe = 7
+and opc_logack = 8
+and opc_hashcheck = 9
+and opc_promote = 10
 
 let st_false = 0
 and st_true = 1
 and st_count = 2
 and st_many = 3
+and st_logrecs = 4
+and st_hashes = 5
 and st_busy = 254
 and st_error = 255
+
+let max_logrecs = 0xFFFF
 
 (* ------------------------------------------------------------------ *)
 (* Encoding.  Frames are assembled payload-first into the caller's
@@ -93,6 +120,8 @@ let encode_simple_op buf op =
       add_i64 buf add
   | Size -> Buffer.add_char buf (Char.chr opc_size)
   | Batch _ -> invalid_arg "Protocol: nested BATCH"
+  | Subscribe _ | Logack _ | Hashcheck _ | Promote ->
+      invalid_arg "Protocol: replication op is not a simple op"
 
 let encode_op buf op =
   match op with
@@ -107,6 +136,19 @@ let encode_op buf op =
           | Size -> invalid_arg "Protocol: SIZE inside BATCH"
           | o -> encode_simple_op buf o)
         ops
+  | Subscribe { from_seq } ->
+      Buffer.add_char buf (Char.chr opc_subscribe);
+      add_i64 buf from_seq
+  | Logack { applied_seq } ->
+      Buffer.add_char buf (Char.chr opc_logack);
+      add_i64 buf applied_seq
+  | Hashcheck { prefix; len } ->
+      if len < 0 || len > 0xFF then
+        invalid_arg "Protocol: HASHCHECK prefix length out of u8 range";
+      Buffer.add_char buf (Char.chr opc_hashcheck);
+      add_i64 buf prefix;
+      Buffer.add_char buf (Char.chr len)
+  | Promote -> Buffer.add_char buf (Char.chr opc_promote)
   | op -> encode_simple_op buf op
 
 let frame buf payload =
@@ -138,6 +180,25 @@ let encode_response buf { seq; result } =
       Buffer.add_char p (Char.chr st_many);
       add_u16 p n;
       List.iter (fun b -> Buffer.add_char p (if b then '\001' else '\000')) bs
+  | Logrecs { head_seq; recs } ->
+      let n = List.length recs in
+      if n > max_logrecs then invalid_arg "Protocol: LOGRECS too large";
+      Buffer.add_char p (Char.chr st_logrecs);
+      add_i64 p head_seq;
+      add_u16 p n;
+      List.iter
+        (fun { rseq; rop } ->
+          (match rop with
+          | Insert _ | Delete _ | Replace _ -> ()
+          | _ -> invalid_arg "Protocol: LOGRECS record must be a mutation");
+          add_i64 p rseq;
+          encode_simple_op p rop)
+        recs
+  | Hashes { node; left; right } ->
+      Buffer.add_char p (Char.chr st_hashes);
+      add_i64 p node;
+      add_i64 p left;
+      add_i64 p right
   | Busy { retry_after_ms } ->
       if retry_after_ms < 0 || retry_after_ms > 0xFFFFFFFF then
         invalid_arg "Protocol: retry_after_ms out of u32 range";
@@ -214,6 +275,13 @@ let decode_op c =
           | opc -> go (i + 1) (decode_simple_op c opc :: acc)
       in
       Batch (go 0 [])
+  | opc when opc = opc_subscribe -> Subscribe { from_seq = i64 c }
+  | opc when opc = opc_logack -> Logack { applied_seq = i64 c }
+  | opc when opc = opc_hashcheck ->
+      let prefix = i64 c in
+      let len = u8 c in
+      Hashcheck { prefix; len }
+  | opc when opc = opc_promote -> Promote
   | opc -> decode_simple_op c opc
 
 let finish c v =
@@ -254,6 +322,25 @@ let decode_response buf ~off ~len =
                 | _ -> raise (Bad "MANY element not a boolean")
             in
             Many (go 0 [])
+        | st when st = st_logrecs ->
+            let head_seq = i64 c in
+            let n = u16 c in
+            let rec go i acc =
+              if i = n then List.rev acc
+              else
+                let rseq = i64 c in
+                let rop = decode_simple_op c (u8 c) in
+                (match rop with
+                | Insert _ | Delete _ | Replace _ -> ()
+                | _ -> raise (Bad "LOGRECS record is not a mutation"));
+                go (i + 1) ({ rseq; rop } :: acc)
+            in
+            Logrecs { head_seq; recs = go 0 [] }
+        | st when st = st_hashes ->
+            let node = i64 c in
+            let left = i64 c in
+            let right = i64 c in
+            Hashes { node; left; right }
         | st when st = st_busy -> Busy { retry_after_ms = u32 c }
         | st when st = st_error ->
             let msg = Bytes.sub_string c.buf c.pos (c.limit - c.pos) in

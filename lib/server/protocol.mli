@@ -18,17 +18,30 @@
 
     {v
     payload := seq:u32be  opcode:u8  body
-    opcode  := 1 INSERT   body = key:i64be
-             | 2 DELETE   body = key:i64be
-             | 3 MEMBER   body = key:i64be
-             | 4 REPLACE  body = remove:i64be add:i64be
-             | 5 SIZE     body = (empty)
-             | 6 BATCH    body = count:u16be (opcode:u8 body)^count
+    opcode  := 1 INSERT     body = key:i64be
+             | 2 DELETE     body = key:i64be
+             | 3 MEMBER     body = key:i64be
+             | 4 REPLACE    body = remove:i64be add:i64be
+             | 5 SIZE       body = (empty)
+             | 6 BATCH      body = count:u16be (opcode:u8 body)^count
+             | 7 SUBSCRIBE  body = from_seq:i64be
+             | 8 LOGACK     body = applied_seq:i64be
+             | 9 HASHCHECK  body = prefix:i64be len:u8
+             | 10 PROMOTE   body = (empty)
     v}
 
     BATCH sub-operations are restricted to the four boolean-result
     opcodes (INSERT/DELETE/MEMBER/REPLACE) so the reply is a uniform
     vector of booleans; nesting is a protocol error.
+
+    Opcodes 7-10 are the replication surface (see [lib/replica]):
+    SUBSCRIBE turns the connection into a log stream (the server's
+    answer is TRUE followed by LOGRECS pushes, all tagged with the
+    SUBSCRIBE request's seq), LOGACK flows follower-to-primary {e on
+    the subscription connection} to acknowledge application progress,
+    HASHCHECK asks for the anti-entropy hashes of one key-prefix
+    subtree, and PROMOTE seals a follower's WAL and flips it to
+    primary.  None of them is valid inside a BATCH.
 
     {2 Responses}
 
@@ -38,9 +51,21 @@
              | 1 TRUE     body = (empty)
              | 2 COUNT    body = value:i64be          (SIZE)
              | 3 MANY     body = count:u16be bool:u8^count  (BATCH)
+             | 4 LOGRECS  body = head_seq:i64be count:u16be
+                                 (seq:i64be opcode:u8 body)^count
+             | 5 HASHES   body = node:i64be left:i64be right:i64be
              | 254 BUSY   body = retry_after_ms:u32be
              | 255 ERROR  body = utf-8 message
     v}
+
+    LOGRECS records re-use the INSERT/DELETE/REPLACE request encoding;
+    [head_seq] is the primary's newest assigned sequence number at push
+    time, which is what lets a follower compute its replication lag
+    without a second round trip.  HASHES carries the anti-entropy hash
+    of the requested prefix subtree plus the hashes of its two child
+    prefixes, so a divergence hunt descends one trie level per round
+    trip.  All hash values are masked to 62 bits — i64 fields reject
+    values that do not round-trip through a 63-bit OCaml [int].
 
     [seq] echoes the request's tag, which is what makes pipelining
     work: a client may have any number of requests in flight and
@@ -88,6 +113,9 @@ val max_frame_payload : int
 val max_batch : int
 (** Upper bound on BATCH sub-operations (fits the u16 count). *)
 
+val max_logrecs : int
+(** Upper bound on records per LOGRECS push (fits the u16 count). *)
+
 type op =
   | Insert of int
   | Delete of int
@@ -95,6 +123,14 @@ type op =
   | Replace of { remove : int; add : int }
   | Size
   | Batch of op list
+  | Subscribe of { from_seq : int }
+  | Logack of { applied_seq : int }
+  | Hashcheck of { prefix : int; len : int }
+  | Promote
+
+type logrec = { rseq : int; rop : op }
+(** One replicated WAL record: the primary's sequence number and the
+    mutation ([rop] is always INSERT/DELETE/REPLACE). *)
 
 type request = { seq : int; op : op }
 
@@ -102,6 +138,8 @@ type result_ =
   | Bool of bool
   | Count of int
   | Many of bool list
+  | Logrecs of { head_seq : int; recs : logrec list }
+  | Hashes of { node : int; left : int; right : int }
   | Busy of { retry_after_ms : int }
   | Error of string
 
@@ -111,7 +149,7 @@ val op_name : op -> string
 (** ["insert"], ["delete"], ... — metrics labels. *)
 
 val op_index : op -> int
-(** Dense index in declaration order (0..5), for counter arrays. *)
+(** Dense index in declaration order (0..9), for counter arrays. *)
 
 val op_count : int
 

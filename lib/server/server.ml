@@ -36,7 +36,11 @@ module Loadgen = Loadgen
    on the write path like every other hot-path counter in the repo. *)
 
 module Metrics = struct
-  let op_names = [| "insert"; "delete"; "member"; "replace"; "size"; "batch" |]
+  let op_names =
+    [|
+      "insert"; "delete"; "member"; "replace"; "size"; "batch"; "subscribe";
+      "logack"; "hashcheck"; "promote";
+    |]
   let requests = Array.init Protocol.op_count (fun _ -> Obs.Counter.create ())
   let latency = Array.init Protocol.op_count (fun _ -> Obs.Histogram.create ())
   let accepted = Obs.Counter.create ()
@@ -246,6 +250,11 @@ let rec exec ops op =
                  (* The decoder rejects SIZE/BATCH inside BATCH. *)
                  assert false)
            l)
+  | Protocol.Subscribe _ | Protocol.Logack _ | Protocol.Hashcheck _
+  | Protocol.Promote ->
+      (* Intercepted in [handle_request] when a replication context is
+         installed; reaching exec means there is none. *)
+      Protocol.Error "replication is not enabled on this server"
 
 let trace_kind = function
   | Protocol.Insert _ -> Obs.Trace.Insert
@@ -254,11 +263,17 @@ let trace_kind = function
   | Protocol.Replace _ -> Obs.Trace.Replace
   | Protocol.Size -> Obs.Trace.Custom "size"
   | Protocol.Batch _ -> Obs.Trace.Custom "batch"
+  | Protocol.Subscribe _ -> Obs.Trace.Custom "subscribe"
+  | Protocol.Logack _ -> Obs.Trace.Custom "logack"
+  | Protocol.Hashcheck _ -> Obs.Trace.Custom "hashcheck"
+  | Protocol.Promote -> Obs.Trace.Custom "promote"
 
 let trace_key = function
   | Protocol.Insert k | Protocol.Delete k | Protocol.Member k -> k
   | Protocol.Replace { remove; _ } -> remove
-  | Protocol.Size | Protocol.Batch _ -> 0
+  | Protocol.Size | Protocol.Batch _ | Protocol.Subscribe _
+  | Protocol.Logack _ | Protocol.Hashcheck _ | Protocol.Promote ->
+      0
 
 (* ------------------------------------------------------------------ *)
 (* Overload-protection limits.
@@ -310,12 +325,49 @@ let default_limits =
     overload_hold_s = 2.0;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Replication hooks.
+
+   The server itself knows nothing about WALs or followers; a
+   replication layer (lib/replica) plugs in through these closures.
+   [subscribe] is special: it takes {e ownership} of the connection's
+   file descriptor — the server stops tracking the fd entirely and the
+   replication streamer (its own domain, blocking I/O) answers the
+   SUBSCRIBE request and pushes LOGRECS / reads LOGACKs from then on.
+   Pumping the stream from the select loop would deadlock under
+   sync-ack replication: the worker blocked in the window barrier
+   waiting for a follower ack can be the very worker that owns the
+   follower's subscription connection. *)
+
+type repl = {
+  subscribe : fd:Unix.file_descr -> seq:int -> from_seq:int -> unit;
+      (** Take ownership of [fd] (blocking mode, nothing buffered in
+          either direction) and serve the log stream for a follower
+          positioned at [from_seq].  Must answer the SUBSCRIBE request
+          (tag [seq]) itself — TRUE, or ERROR when [from_seq] is no
+          longer retained — and must eventually close the fd. *)
+  hashcheck : prefix:int -> len:int -> (int * int * int, string) result;
+      (** Anti-entropy: [(node, left, right)] hashes of the subtree at
+          the [len]-bit key prefix [prefix]. *)
+  promote : unit -> (unit, string) result;
+      (** Seal the local WAL and flip this node to primary (idempotent
+          on a node that is already primary). *)
+}
+
+(* Per-request admission verdict from the replication role: a follower
+   refuses mutations outright (read-only replica) and answers BUSY on
+   reads while its applied position lags the staleness bound. *)
+type gate_verdict =
+  [ `Proceed | `Busy_gate of int (* retry_after_ms *) | `Refuse of string ]
+
 (* State shared by all workers of one server: the admission counter,
    the limits, and the overload stamp behind the watchdog gauge. *)
 type shared = {
   limits : limits;
   live : int Atomic.t; (* connections currently registered *)
   overload_ns : int Atomic.t; (* last shed/eviction/BUSY stamp *)
+  repl : repl option;
+  gate : (Protocol.op -> gate_verdict) option;
 }
 
 let note_overload sh = Atomic.set sh.overload_ns (Obs.Clock.now_ns ())
@@ -352,6 +404,10 @@ type conn = {
   mutable closing : bool; (* EOF seen or protocol error sent *)
   mutable window : pending list; (* newest first; emptied on finalize *)
   mutable last_ns : int; (* last inbound traffic, for the idle reaper *)
+  mutable handoff : (int * int) option;
+      (* a decoded SUBSCRIBE (seq, from_seq) awaiting fd handoff to the
+         replication streamer — set in handle_request, consumed by
+         [maybe_handoff] once the pre-subscribe output is flushed *)
 }
 
 let next_conn_id = Atomic.make 0
@@ -367,19 +423,59 @@ let alloc_decode = Obs.Memprof.region "stage:decode"
 let alloc_write = Obs.Memprof.region "stage:write"
 let alloc_barrier = Obs.Memprof.region "stage:barrier"
 
-let handle_request ops c ~arrival ~d0 ~d1 { Protocol.seq; op } =
+let handle_request sh ops c ~arrival ~d0 ~d1 { Protocol.seq; op } =
   let idx = Protocol.op_index op in
   Obs.Memprof.set_region alloc_op_regions.(idx);
-  let result =
-    (* An operation raising (key outside the structure's universe, a
-       buggy served module) must answer this request, not kill the
-       worker domain serving every other connection. *)
-    match exec ops op with
-    | r -> r
-    | exception e ->
-        Obs.Counter.incr Metrics.op_errors;
-        Protocol.Error (Printexc.to_string e)
+  let op_error msg =
+    Obs.Counter.incr Metrics.op_errors;
+    Protocol.Error msg
   in
+  let result =
+    match (op, sh.repl) with
+    | Protocol.Subscribe { from_seq }, Some _ ->
+        (* The streamer answers this request after the handoff; nothing
+           is encoded here.  [maybe_handoff] completes the transfer once
+           the frames before this one have been flushed. *)
+        c.handoff <- Some (seq, from_seq);
+        Protocol.Bool true
+    | Protocol.Hashcheck { prefix; len }, Some r -> (
+        match r.hashcheck ~prefix ~len with
+        | Result.Ok (node, left, right) -> Protocol.Hashes { node; left; right }
+        | Result.Error msg -> op_error msg
+        | exception e -> op_error (Printexc.to_string e))
+    | Protocol.Promote, Some r -> (
+        match r.promote () with
+        | Result.Ok () -> Protocol.Bool true
+        | Result.Error msg -> op_error msg
+        | exception e -> op_error (Printexc.to_string e))
+    | Protocol.Logack _, Some _ ->
+        op_error "LOGACK is only valid on a subscription stream"
+    | _ -> (
+        match match sh.gate with None -> `Proceed | Some g -> g op with
+        | `Busy_gate retry_after_ms ->
+            (* Staleness-bound decline on a lagging follower: the read
+               was not executed; retrying (here or at the primary) is
+               safe.  Counted with the other BUSY replies but not
+               stamped as overload — the watchdog's [repl_lag] gauge is
+               the signal for this condition. *)
+            Obs.Counter.incr Metrics.busy_replies;
+            Protocol.Busy { retry_after_ms }
+        | `Refuse msg -> op_error msg
+        | `Proceed -> (
+            (* An operation raising (key outside the structure's
+               universe, a buggy served module) must answer this
+               request, not kill the worker domain serving every other
+               connection. *)
+            match exec ops op with
+            | r -> r
+            | exception e -> op_error (Printexc.to_string e)))
+  in
+  match c.handoff with
+  | Some _ ->
+      (* No response encoded and no window entry: the subscription
+         streamer owns the reply from here on. *)
+      ignore (result : Protocol.result_)
+  | None ->
   let dt = Obs.Clock.now_ns () - d1 in
   Obs.Memprof.set_region alloc_decode;
   Metrics.record idx dt;
@@ -481,7 +577,11 @@ let protocol_failure c msg =
 let process_frames sh ops c ~arrival =
   Obs.Memprof.set_region alloc_decode;
   let rec go () =
-    if (not c.closing) && pending c <= sh.limits.hard_buffer_bytes then begin
+    if
+      (not c.closing)
+      && c.handoff = None
+      && pending c <= sh.limits.hard_buffer_bytes
+    then begin
       let d0 = Obs.Clock.now_ns () in
       match Protocol.Reader.next_payload c.reader with
       | `None -> ()
@@ -504,7 +604,7 @@ let process_frames sh ops c ~arrival =
                     }
               | _ ->
                   let d1 = Obs.Clock.now_ns () in
-                  handle_request ops c ~arrival ~d0 ~d1 req);
+                  handle_request sh ops c ~arrival ~d0 ~d1 req);
               go ())
     end
   in
@@ -575,6 +675,37 @@ let finalize_window c ~b0 ~b1 ~w1 =
           | None -> ())
         (List.rev entries)
 
+(* Complete a pending SUBSCRIBE handoff: flush everything the server
+   still owes on the socket (responses to frames pipelined before the
+   SUBSCRIBE), deregister the fd without closing it, restore blocking
+   mode, and pass ownership to the replication streamer.  A socket that
+   cannot be drained here (stalled peer mid-subscribe) is torn down
+   instead — handing off buffered bytes would interleave the streamer's
+   frames into half-written ones. *)
+let maybe_handoff sh conns c =
+  match c.handoff with
+  | None -> ()
+  | Some (seq, from_seq) ->
+      c.handoff <- None;
+      if Hashtbl.mem conns c.fd then
+        if flush_out sh conns c then begin
+          if pending c > 0 then begin
+            Obs.Counter.incr Metrics.conn_errors;
+            force_close sh conns c
+          end
+          else begin
+            Hashtbl.remove conns c.fd;
+            Atomic.decr sh.live;
+            (try Unix.clear_nonblock c.fd
+             with Unix.Unix_error (_, _, _) -> ());
+            match sh.repl with
+            | Some r -> r.subscribe ~fd:c.fd ~seq ~from_seq
+            | None ->
+                (* handle_request only sets handoff when repl is on *)
+                Obs.Net.close_noerr c.fd
+          end
+        end
+
 (* [barrier] runs between executing a window of pipelined requests and
    flushing their responses: the durability layer uses it to hold acks
    until the group commit covering the window is on disk, so one fsync
@@ -605,7 +736,8 @@ let handle_read sh ops barrier conns scratch c =
       c.last_ns <- arrival;
       Protocol.Reader.feed c.reader scratch n;
       process_frames sh ops c ~arrival;
-      finish_window sh barrier conns c
+      finish_window sh barrier conns c;
+      maybe_handoff sh conns c
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
     ->
       ()
@@ -624,7 +756,8 @@ let resume_buffered sh ops barrier conns c =
   then begin
     let arrival = Obs.Clock.now_ns () in
     process_frames sh ops c ~arrival;
-    if c.window <> [] then finish_window sh barrier conns c
+    if c.window <> [] then finish_window sh barrier conns c;
+    maybe_handoff sh conns c
   end
 
 (* One BUSY frame (retry-after hint), then close: the admission-control
@@ -680,6 +813,7 @@ let accept_new sh conns lsock =
             closing = false;
             window = [];
             last_ns = Obs.Clock.now_ns ();
+            handoff = None;
           }
       end
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
@@ -852,13 +986,14 @@ type t = { net : Obs.Net.t; drain_s : float Atomic.t; shared : shared }
     vanishes mid-write must surface as [EPIPE] on that connection, not
     kill the process. *)
 let start ?(addr = "127.0.0.1") ?(port = 0) ?(domains = 2) ?(backlog = 64)
-    ?(barrier = fun () -> ()) ?watchdog ?(limits = default_limits) ops =
+    ?(barrier = fun () -> ()) ?watchdog ?(limits = default_limits) ?repl ?gate
+    ops =
   if limits.hard_buffer_bytes < limits.soft_buffer_bytes then
     invalid_arg "Server.start: hard buffer cap below soft cap";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   let sh =
-    { limits; live = Atomic.make 0; overload_ns = Atomic.make 0 }
+    { limits; live = Atomic.make 0; overload_ns = Atomic.make 0; repl; gate }
   in
   (match watchdog with
   | Some wd ->

@@ -71,6 +71,7 @@ let server_mode () =
   let domains = arg_int "server-domains" 2 in
   let chaos_us = arg_int "chaos-us" 0 in
   let checkpoint_s = arg_float "checkpoint-s" 0. in
+  let repl = has_flag "repl" in
   let segment_bytes =
     match arg_int "segment-bytes" 0 with 0 -> None | n -> Some n
   in
@@ -93,9 +94,32 @@ let server_mode () =
         size = (fun () -> Pstore.size store);
       }
   in
-  let srv =
-    Server.start ~port:0 ~domains ~barrier:(fun () -> Pstore.barrier store) ops
+  (* With --repl the child is a sync-ack replication primary: followers
+     may SUBSCRIBE, and every acknowledgement waits until each attached
+     follower has applied the mutation — the property the failover
+     trials verify across a SIGKILL. *)
+  let primary, barrier, repl_hooks =
+    if not repl then (None, (fun () -> Pstore.barrier store), None)
+    else begin
+      let writer = Option.get (Pstore.wal_writer store) in
+      let p = Replica.Primary.create ~dir ~writer ~sync_ack:true () in
+      Pstore.set_retention_hook store (Replica.Primary.retention_floor p);
+      ( Some p,
+        (fun () ->
+          Pstore.barrier store;
+          Replica.Primary.wait_acked p (Pstore.last_logged_here store)),
+        Some
+          Server.
+            {
+              subscribe = Replica.Primary.subscribe p;
+              hashcheck =
+                (fun ~prefix:_ ~len:_ -> Result.Error "no hashes here");
+              promote = (fun () -> Result.Ok ());
+            } )
+    end
   in
+  ignore (primary : Replica.Primary.t option);
+  let srv = Server.start ~port:0 ~domains ~barrier ?repl:repl_hooks ops in
   (* The parent parses this line; everything else goes to stderr. *)
   Printf.printf "PORT=%d\n%!" (Server.port srv);
   let last = ref (Unix.gettimeofday ()) in
@@ -105,6 +129,105 @@ let server_mode () =
       ignore (Pstore.checkpoint store : int * int);
       last := Unix.gettimeofday ()
     end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Child: a replication follower that can be promoted. *)
+
+let follower_mode () =
+  let dir = arg_string "dir" "" in
+  let universe = arg_int "universe" 4096 in
+  let follow_port = arg_int "follow-port" 0 in
+  if dir = "" || follow_port = 0 then
+    failwith "--follower requires --dir and --follow-port";
+  let store = ref (Pstore.open_ ~dir ~universe ~mode:Pstore.Sync ()) in
+  let follower = ref None in
+  let primary = ref None in
+  let repl_mu = Mutex.create () in
+  let fops =
+    Replica.Follower.
+      {
+        apply_insert = (fun k -> ignore (Pstore.insert !store k : bool));
+        apply_delete = (fun k -> ignore (Pstore.delete !store k : bool));
+        wal_sync =
+          (fun () ->
+            match Pstore.wal_writer !store with
+            | Some w ->
+                let last = Pstore.last_logged_here !store in
+                if last >= 0 then Persist.Wal.Writer.wait_durable w last
+            | None -> ());
+      }
+  in
+  let from_seq =
+    match Replica.Watermark.read ~dir with Some w -> w + 1 | None -> 0
+  in
+  (match
+     Replica.Follower.start ~port:follow_port ~from_seq ~watermark_dir:dir fops
+   with
+  | Result.Ok f -> follower := Some f
+  | Result.Error msg -> failwith ("follower subscribe: " ^ msg));
+  let ops =
+    Server.
+      {
+        insert = (fun k -> Pstore.insert !store k);
+        delete = (fun k -> Pstore.delete !store k);
+        member = (fun k -> Pstore.member !store k);
+        replace = (fun ~remove ~add -> Pstore.replace !store ~remove ~add);
+        size = (fun () -> Pstore.size !store);
+      }
+  in
+  let repl_hooks =
+    Server.
+      {
+        subscribe =
+          (fun ~fd ~seq ~from_seq ->
+            match !primary with
+            | Some p -> Replica.Primary.subscribe p ~fd ~seq ~from_seq
+            | None ->
+                Replica.reject_subscribe ~reason:"not a primary" ~fd ~seq
+                  ~from_seq);
+        hashcheck = (fun ~prefix:_ ~len:_ -> Result.Error "no hashes here");
+        promote =
+          (fun () ->
+            Mutex.lock repl_mu;
+            Fun.protect ~finally:(fun () -> Mutex.unlock repl_mu) @@ fun () ->
+            match !follower with
+            | None -> Result.Ok () (* double promotion: idempotent *)
+            | Some f ->
+                Replica.Follower.stop f;
+                follower := None;
+                Pstore.close !store;
+                store := Pstore.open_ ~dir ~universe ~mode:Pstore.Sync ();
+                (match Pstore.wal_writer !store with
+                | Some w ->
+                    let p = Replica.Primary.create ~dir ~writer:w () in
+                    Pstore.set_retention_hook !store
+                      (Replica.Primary.retention_floor p);
+                    primary := Some p
+                | None -> ());
+                Result.Ok ());
+      }
+  in
+  let gate op =
+    match !follower with
+    | None -> `Proceed
+    | Some f ->
+        Replica.Gate.follower ~staleness:1_000_000
+          ~lag:(fun () -> Replica.Follower.lag_records f)
+          ~retry_after_ms:25 op
+  in
+  let barrier () =
+    Pstore.barrier !store;
+    match !primary with
+    | Some p -> Replica.Primary.wait_acked p (Pstore.last_logged_here !store)
+    | None -> ()
+  in
+  let srv =
+    Server.start ~port:0 ~domains:2 ~barrier ~repl:repl_hooks ~gate ops
+  in
+  Printf.printf "PORT=%d\n%!" (Server.port srv);
+  while true do
+    Unix.sleepf 0.05
   done
 
 (* ------------------------------------------------------------------ *)
@@ -297,8 +420,163 @@ let run_trial ~seed ~trial ~universe ~keep =
     | None -> "");
   if not keep then rm_rf dir
 
+(* ------------------------------------------------------------------ *)
+(* Parent: one failover trial — SIGKILL the sync-ack primary mid-stream,
+   promote the follower (twice: the second must be an idempotent
+   success), and verify over the wire that the promoted follower serves
+   exactly the acknowledged history plus a prefix-closed cut of each
+   connection's in-flight operations. *)
+
+let spawn_child args =
+  let out_r, out_w = Unix.pipe () in
+  let pid =
+    Unix.create_process Sys.executable_name
+      (Array.append [| Sys.executable_name |] args)
+      Unix.stdin out_w Unix.stderr
+  in
+  Unix.close out_w;
+  (pid, Unix.in_channel_of_descr out_r)
+
+let run_failover_trial ~seed ~trial ~universe ~keep =
+  let rng = Rng.of_int_seed (seed + (trial * 6977)) in
+  let mkdir_fresh d =
+    rm_rf d;
+    Unix.mkdir d 0o755;
+    d
+  in
+  let pdir =
+    mkdir_fresh
+      (Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "crashfuzz_fo_%d_%d_p" (Unix.getpid ()) trial))
+  in
+  let fdir =
+    mkdir_fresh
+      (Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "crashfuzz_fo_%d_%d_f" (Unix.getpid ()) trial))
+  in
+  let kill_delay = 0.08 +. (float_of_int (Rng.int rng 400) /. 1000.) in
+  let segment_bytes = [| 0; 0; 16384; 65536 |].(Rng.int rng 4) in
+  let ppid, pic =
+    spawn_child
+      [|
+        "--server"; "--repl";
+        "--dir"; pdir;
+        "--universe"; string_of_int universe;
+        "--segment-bytes"; string_of_int segment_bytes;
+      |]
+  in
+  let fpid = ref (-1) in
+  let fic = ref None in
+  Fun.protect ~finally:(fun () ->
+      List.iter
+        (fun pid ->
+          if pid > 0 then begin
+            (try Unix.kill pid Sys.sigkill
+             with Unix.Unix_error (_, _, _) -> ());
+            try ignore (Unix.waitpid [] pid : int * Unix.process_status)
+            with Unix.Unix_error (_, _, _) -> ()
+          end)
+        [ ppid; !fpid ];
+      close_in_noerr pic;
+      Option.iter close_in_noerr !fic)
+  @@ fun () ->
+  let pport = read_port pic in
+  (* The follower child only prints its PORT after its subscription is
+     confirmed — from then on the primary's sync-ack barrier gates every
+     acknowledgement on this follower having applied the mutation. *)
+  let fpid', fic' =
+    spawn_child
+      [|
+        "--follower";
+        "--dir"; fdir;
+        "--universe"; string_of_int universe;
+        "--follow-port"; string_of_int pport;
+      |]
+  in
+  fpid := fpid';
+  fic := Some fic';
+  let fport = read_port fic' in
+  let load_domains = 3 in
+  let cfg =
+    {
+      Server.Loadgen.default_config with
+      port = pport;
+      domains = load_domains;
+      depth = 8;
+      seconds = 60.0 (* the kill, not the clock, ends the run *);
+      universe;
+      seed = seed + trial;
+      mix = Harness.Mix.v ~insert:40 ~delete:20 ~find:10 ~replace:30 ();
+      journal = true;
+      tolerate_disconnect = true;
+      partition = true;
+    }
+  in
+  let killer =
+    Domain.spawn (fun () ->
+        Unix.sleepf kill_delay;
+        try Unix.kill ppid Sys.sigkill with Unix.Unix_error (_, _, _) -> ())
+  in
+  let r = Server.Loadgen.run cfg in
+  Domain.join killer;
+  ignore (Unix.waitpid [] ppid : int * Unix.process_status);
+  (* Promote the survivor — twice.  Both must succeed: promotion is
+     keyed on "am I still a follower", so the second is a no-op. *)
+  let c = Server.Client.connect ~port:fport ~retries:5 () in
+  if not (Server.Client.promote c) then violate "first PROMOTE refused";
+  if not (Server.Client.promote c) then
+    violate "second PROMOTE refused: promotion is not idempotent";
+  (* The promoted follower must now serve reads (it no longer lags
+     anything) and the served state must be the acked history plus a
+     prefix-closed cut of the in-flight suffix per connection. *)
+  let recovered = ref IS.empty in
+  let chunk = 1024 in
+  let k = ref 0 in
+  while !k < universe do
+    let n = min chunk (universe - !k) in
+    let ops = List.init n (fun i -> P.Member (!k + i)) in
+    List.iteri
+      (fun i b -> if b then recovered := IS.add (!k + i) !recovered)
+      (Server.Client.batch c ops);
+    k := !k + n
+  done;
+  let recovered = !recovered in
+  Server.Client.close c;
+  let span = max 1 (universe / load_domains) in
+  let ghost = IS.filter (fun k -> k >= load_domains * span) recovered in
+  if not (IS.is_empty ghost) then
+    violate "promoted follower serves keys outside every partition: %d"
+      (IS.cardinal ghost);
+  List.iteri
+    (fun conn (j : Server.Loadgen.journal) ->
+      check_connection ~conn ~recovered ~lo:(conn * span)
+        ~hi:((conn + 1) * span) j)
+    r.Server.Loadgen.journals;
+  let acked = r.Server.Loadgen.ops in
+  let in_flight =
+    List.fold_left
+      (fun a (j : Server.Loadgen.journal) ->
+        a + List.length j.Server.Loadgen.in_flight)
+      0 r.Server.Loadgen.journals
+  in
+  Printf.eprintf
+    "failover %3d: kill@%.3fs | acked=%d in-flight=%d promoted-serves=%d\n%!"
+    trial kill_delay acked in_flight (IS.cardinal recovered);
+  if not keep then begin
+    (* The follower child still holds the dir; reap it first. *)
+    (try Unix.kill !fpid Sys.sigkill with Unix.Unix_error (_, _, _) -> ());
+    (try ignore (Unix.waitpid [] !fpid : int * Unix.process_status)
+     with Unix.Unix_error (_, _, _) -> ());
+    fpid := -1;
+    rm_rf pdir;
+    rm_rf fdir
+  end
+
 let () =
   if has_flag "server" then server_mode ()
+  else if has_flag "follower" then follower_mode ()
   else begin
     let trials = arg_int "trials" 50 in
     let seed = arg_int "seed" 2013 in
@@ -306,10 +584,13 @@ let () =
     let keep = has_flag "keep" in
     (* A worker blocked on a vanished peer can get SIGPIPE on write. *)
     ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore : Sys.signal_behavior);
+    let failover = has_flag "failover" in
     let failures = ref 0 in
     (try
        for trial = 1 to trials do
-         try run_trial ~seed ~trial ~universe ~keep
+         try
+           if failover then run_failover_trial ~seed ~trial ~universe ~keep
+           else run_trial ~seed ~trial ~universe ~keep
          with Violation m ->
            incr failures;
            Printf.eprintf
@@ -318,15 +599,19 @@ let () =
              trial m
              (Filename.concat
                 (Filename.get_temp_dir_name ())
-                (Printf.sprintf "crashfuzz_%d_%d" (Unix.getpid ()) trial));
+                (Printf.sprintf
+                   (if failover then "crashfuzz_fo_%d_%d_f"
+                    else "crashfuzz_%d_%d")
+                   (Unix.getpid ()) trial));
            raise Exit
        done
      with Exit -> ());
     if !failures = 0 then
       Printf.printf
-        "crash_fuzzer: %d trials, zero synchronously-acknowledged operations \
-         lost\n%!"
+        "crash_fuzzer: %d %strials, zero synchronously-acknowledged \
+         operations lost\n%!"
         trials
+        (if failover then "failover " else "")
     else begin
       Printf.printf "crash_fuzzer: FAILED\n%!";
       exit 1

@@ -334,6 +334,32 @@ let test_client_retries_through_shed () =
   Alcotest.(check bool) "retried insert lands" true (Server.Client.insert c 7);
   Alcotest.(check bool) "at least one shed happened" true (counter "shed" >= 1)
 
+(* Reconnect-and-resend: the server closes the connection while the
+   client still has a pipelined window outstanding (the idle reaper
+   stands in for any server-side close).  The dead window is forgotten
+   — its replies can never be matched — but the next synchronous helper
+   on the same client must transparently reconnect and resend. *)
+
+let test_reconnect_resend_mid_window () =
+  let limits =
+    { Server.default_limits with Server.idle_timeout_s = Some 0.2 }
+  in
+  with_server ~domains:1 ~limits ~universe:256 @@ fun port ->
+  with_client ~retries:3 port @@ fun c ->
+  (* A full window in flight, responses deliberately not drained... *)
+  ignore
+    (Server.Client.send_many c (List.init 8 (fun i -> P.Insert i)) : int list);
+  (* ...while the server closes the connection under the client. *)
+  let base = counter "idle_reaped" in
+  await "connection closed mid-window" (fun () -> counter "idle_reaped" > base);
+  (* The first attempt trips over the dead connection (stale responses
+     or EOF); the retry layer reconnects and resends.  Key 100 was not
+     in the lost window, so [true] proves the resend executed. *)
+  Alcotest.(check bool) "reconnect-and-resend lands" true
+    (Server.Client.insert c 100);
+  Alcotest.(check bool) "resent connection stays usable" true
+    (Server.Client.member c 100)
+
 (* Without a retry budget the same shed surfaces as Busy with the
    server's hint. *)
 let test_client_no_retries_raises_busy () =
@@ -445,6 +471,8 @@ let () =
         [
           Alcotest.test_case "client retries through shed" `Quick
             test_client_retries_through_shed;
+          Alcotest.test_case "reconnect-and-resend mid window" `Quick
+            test_reconnect_resend_mid_window;
           Alcotest.test_case "client surfaces busy" `Quick
             test_client_no_retries_raises_busy;
           Alcotest.test_case "healthz overload cycle" `Quick

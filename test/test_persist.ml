@@ -127,7 +127,7 @@ let test_wal_rotation () =
   Alcotest.(check int) "records survive rotation" 2000 s.Wal.records;
   if s.Wal.segments < 2 then Alcotest.fail "expected multiple segments";
   (* A checkpoint cut at the end releases all but the active segment. *)
-  let deleted = Wal.delete_obsolete_segments ~dir ~upto:2000 in
+  let deleted = Wal.delete_obsolete_segments ~dir ~upto:2000 () in
   Alcotest.(check int) "all but last deleted" (s.Wal.segments - 1) deleted;
   let s', _ = scan_all ~dir in
   Alcotest.(check int) "survivor still scans" 1 s'.Wal.segments

@@ -67,6 +67,13 @@ let test_request_roundtrips () =
       P.Size;
       P.Batch [ P.Insert 1; P.Delete 2; P.Member 3; P.Replace { remove = 4; add = 5 } ];
       P.Batch [];
+      P.Subscribe { from_seq = 0 };
+      P.Subscribe { from_seq = max_int };
+      P.Logack { applied_seq = 0 };
+      P.Logack { applied_seq = 123456789 };
+      P.Hashcheck { prefix = 0; len = 0 };
+      P.Hashcheck { prefix = 0x3FF; len = 10 };
+      P.Promote;
     ]
 
 let test_response_roundtrips () =
@@ -86,6 +93,24 @@ let test_response_roundtrips () =
       P.Busy { retry_after_ms = 0xFFFFFFFF };
       P.Error "no such thing";
       P.Error "";
+      P.Logrecs { head_seq = 0; recs = [] };
+      P.Logrecs
+        {
+          head_seq = 77;
+          recs =
+            [
+              { P.rseq = 75; rop = P.Insert 1 };
+              { P.rseq = 76; rop = P.Delete 2 };
+              { P.rseq = 77; rop = P.Replace { remove = 3; add = 4 } };
+            ];
+        };
+      P.Hashes { node = 0; left = 0; right = 0 };
+      P.Hashes
+        {
+          node = 0x3FFFFFFFFFFFFFFF;
+          left = 0x123456789ABCDEF;
+          right = 0x2AAAAAAAAAAAAAAA;
+        };
     ]
 
 let test_seq_bounds () =
