@@ -18,7 +18,7 @@
      REPRO_LARGE     large key range                (default 1000000)
      REPRO_SMALL     small key range                (default 100)
      REPRO_ONLY      comma-separated sections to run
-                     (fig8,fig9,fig10,fig11,micro; default all)
+                     (fig8,fig9,fig10,fig11,scan,micro; default all)
      REPRO_SKIP_MICRO  set to skip the Bechamel suite
      REPRO_METRICS_JSON  path of a machine-readable metrics file; also
                      settable as `--metrics-json PATH`.  When set, every
@@ -52,7 +52,7 @@ let threads_list =
 let sections =
   match Sys.getenv_opt "REPRO_ONLY" with
   | Some s -> String.split_on_char ',' s
-  | None -> [ "fig8"; "fig9"; "fig10"; "fig11"; "micro" ]
+  | None -> [ "fig8"; "fig9"; "fig10"; "fig11"; "scan"; "micro" ]
 
 let enabled s = List.mem s sections
 
@@ -210,6 +210,140 @@ let () =
       Harness.all_subjects
       Harness.
         { universe = large_range; mix = Mix.i15_d15_f70; dist = Clustered 50 }
+
+(* ------------------------------------------------------------------ *)
+(* Scan section: what a frozen view costs, as regression-gated
+   datapoints (EXPERIMENTS.md, "What a frozen view costs").  Same
+   {figure, structure, threads, mean_ops_s} shape as the figures so
+   compare_bench gates them identically:
+
+     "Scan (snapshot)"  the measured domain calling snapshot() in a
+                        loop, threads-1 writers churning — calls/s
+                        (the O(1) claim, watched for regression);
+     "Scan (goodput)"   the measured domain folding whole frozen views,
+                        threads-1 writers churning — keys/s;
+     "Scan (writer)"    the measured domain churning writes with a
+                        continuous whole-view scanner attached plus
+                        threads-1 further writers — ops/s (the
+                        copy-on-descent cost on the write path). *)
+
+let scan_universe = 65_536
+
+let scan_prefilled seed =
+  let t = Core.Patricia.create ~universe:scan_universe () in
+  let rng = Rng.of_int_seed seed in
+  for _ = 1 to scan_universe / 2 do
+    ignore (Core.Patricia.insert t (Rng.int rng scan_universe) : bool)
+  done;
+  t
+
+let scan_churn t rng =
+  let k = Rng.int rng scan_universe in
+  match Rng.int rng 3 with
+  | 0 -> ignore (Core.Patricia.insert t k : bool)
+  | 1 -> ignore (Core.Patricia.delete t k : bool)
+  | _ ->
+      ignore
+        (Core.Patricia.replace t ~remove:k ~add:(Rng.int rng scan_universe)
+          : bool)
+
+(* One sample: [step] (returning a unit count) runs on the main domain
+   for ~[seconds] with [bg] churn domains and, when [scanner], a domain
+   folding whole frozen views in a loop.  Side domains are joined before
+   the sample is returned so trials don't bleed into each other. *)
+let scan_rate ~bg ~scanner t step =
+  let stop = Atomic.make false in
+  let doms =
+    List.init bg (fun i ->
+        Domain.spawn (fun () ->
+            let rng = Rng.of_int_seed (7000 + i) in
+            while not (Atomic.get stop) do
+              scan_churn t rng
+            done))
+    @
+    if not scanner then []
+    else
+      [
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              let v = Core.Patricia.snapshot t in
+              ignore
+                (Core.Patricia.View.fold v ~init:0 ~f:(fun n _ -> n + 1) : int)
+            done);
+      ]
+  in
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. seconds in
+  let count = ref 0.0 in
+  while Unix.gettimeofday () < deadline do
+    count := !count +. step ()
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Atomic.set stop true;
+  List.iter Domain.join doms;
+  !count /. elapsed
+
+let scan_point ~figure:fig ~threads make =
+  let samples =
+    List.init trials (fun _ ->
+        let t, bg, scanner, step = make () in
+        scan_rate ~bg ~scanner t step)
+  in
+  let n = float_of_int (List.length samples) in
+  let mean = List.fold_left ( +. ) 0.0 samples /. n in
+  let stddev =
+    sqrt
+      (List.fold_left (fun a x -> a +. ((x -. mean) *. (x -. mean))) 0.0 samples
+      /. n)
+  in
+  Format.printf "%-16s threads=%d %14.0f /s (±%.0f)@." fig threads mean stddev;
+  if baseline_on then
+    baseline_acc :=
+      Obs.Json.Obj
+        [
+          ("figure", Obs.Json.Str fig);
+          ("structure", Obs.Json.Str "PAT");
+          ("threads", Obs.Json.Int threads);
+          ("mean_ops_s", Obs.Json.Float mean);
+          ("stddev_ops_s", Obs.Json.Float stddev);
+        ]
+      :: !baseline_acc
+
+let () =
+  if enabled "scan" then begin
+    Format.printf "@.=== Scan: what a frozen view costs ===@.";
+    List.iter
+      (fun threads ->
+        scan_point ~figure:"Scan (snapshot)" ~threads (fun () ->
+            let t = scan_prefilled 2013 in
+            ( t,
+              threads - 1,
+              false,
+              fun () ->
+                for _ = 1 to 64 do
+                  ignore (Core.Patricia.snapshot t)
+                done;
+                64.0 ));
+        scan_point ~figure:"Scan (goodput)" ~threads (fun () ->
+            let t = scan_prefilled 2014 in
+            ( t,
+              threads - 1,
+              false,
+              fun () ->
+                let v = Core.Patricia.snapshot t in
+                float_of_int
+                  (Core.Patricia.View.fold v ~init:0 ~f:(fun n _ -> n + 1)) ));
+        scan_point ~figure:"Scan (writer)" ~threads (fun () ->
+            let t = scan_prefilled 2015 in
+            let rng = Rng.of_int_seed 7919 in
+            ( t,
+              threads - 1,
+              true,
+              fun () ->
+                scan_churn t rng;
+                1.0 )))
+      threads_list
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: single-threaded operation latency on a

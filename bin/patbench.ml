@@ -698,6 +698,8 @@ module Pstore = Persist.Store.Make (struct
 
   let create ~universe () =
     Core.Patricia.create ~universe ~record_stats:!pstore_record_stats ()
+
+  let snapshot = Core.Patricia.snapshot_capability
 end)
 
 let pp_recovery ppf (ri : Pstore.recovery_info) =
@@ -869,6 +871,18 @@ let serve_cmd =
       & opt (some (conv (parse, print))) None
       & info [ "follow" ] ~doc ~docv:"HOST:PORT")
   in
+  let bootstrap_arg =
+    let doc =
+      "With --follow: if subscribing from the persisted watermark is \
+       rejected because the primary checkpointed that history away \
+       (\"resync required\"), snapshot-bootstrap instead of exiting — \
+       stream the primary's contents as frozen SCAN pages into this \
+       (fresh, empty) store, then subscribe from the pages' WAL cut.  \
+       Refused on a store that recovered any keys: bootstrap pages only \
+       insert, so stale local keys would survive."
+    in
+    Arg.(value & flag & info [ "bootstrap" ] ~doc)
+  in
   let staleness_arg =
     let doc =
       "Follower read staleness bound: MEMBER/SIZE are served while this \
@@ -889,8 +903,8 @@ let serve_cmd =
   in
   let run port range domains metrics_port seconds data_dir durability
       checkpoint_s trace_out runtime_events memprof max_conns idle_timeout_s
-      queue_deadline_ms soft_buffer_kb hard_buffer_kb follow staleness
-      repl_sync =
+      queue_deadline_ms soft_buffer_kb hard_buffer_kb follow bootstrap
+      staleness repl_sync =
     (* Anti-entropy hash tree width: enough prefix bits to cover the
        whole key universe, so a HASHCHECK descent bottoms out at a
        single key after [width] levels — the O(log n) bound. *)
@@ -925,6 +939,9 @@ let serve_cmd =
                 replace =
                   (fun ~remove ~add -> Core.Patricia.replace trie ~remove ~add);
                 size = (fun () -> Core.Patricia.size trie);
+                snapshot =
+                  (fun () -> Core.Patricia.snapshot_capability trie);
+                scan_cut = (fun () -> -1);
               },
             (fun () -> trie),
             (fun () -> ()),
@@ -994,22 +1011,76 @@ let serve_cmd =
           (match follow with
           | None -> wire_primary ()
           | Some (fhost, fport) -> (
+              let subscribe from_seq =
+                Replica.Follower.start ~addr:fhost ~port:fport ~from_seq
+                  ~watermark_dir:dir follower_ops
+              in
+              let contains_resync msg =
+                let n = String.length msg in
+                let rec go i =
+                  i + 6 <= n && (String.sub msg i 6 = "resync" || go (i + 1))
+                in
+                go 0
+              in
               let from_seq =
                 match Replica.Watermark.read ~dir with
                 | Some w -> w + 1
                 | None -> 0
               in
-              match
-                Replica.Follower.start ~addr:fhost ~port:fport ~from_seq
-                  ~watermark_dir:dir follower_ops
-              with
+              let started =
+                match subscribe from_seq with
+                | Result.Error msg when contains_resync msg && not bootstrap ->
+                    (* Distinct exit code: the follower is not broken, it
+                       is stale past the primary's retained history.  An
+                       orchestrator matches on 3 to trigger the resync
+                       remedy instead of a blind restart loop. *)
+                    Format.eprintf
+                      "patserve: cannot follow %s:%d: %s@.patserve: the \
+                       primary no longer retains WAL history back to seq %d \
+                       — snapshot-bootstrap this follower instead: wipe its \
+                       --data-dir and re-run with --bootstrap to stream the \
+                       primary's frozen SCAN pages and subscribe from their \
+                       WAL cut.@."
+                      fhost fport msg from_seq;
+                    Format.pp_print_flush Format.err_formatter ();
+                    exit 3
+                | Result.Error msg when contains_resync msg ->
+                    if Pstore.size !store > 0 then begin
+                      Format.eprintf
+                        "patserve: --bootstrap needs a fresh store, but %s \
+                         recovered %d keys; wipe the --data-dir first \
+                         (bootstrap pages only insert, so stale local keys \
+                         would survive).@."
+                        dir (Pstore.size !store);
+                      Format.pp_print_flush Format.err_formatter ();
+                      exit 3
+                    end;
+                    (match
+                       Replica.Follower.bootstrap ~addr:fhost ~port:fport
+                         follower_ops
+                     with
+                    | Result.Error bmsg ->
+                        failwith ("patserve: snapshot-bootstrap: " ^ bmsg)
+                    | Result.Ok (bs_from, keys) ->
+                        Format.printf
+                          "patserve: snapshot-bootstrap streamed %d keys \
+                           from %s:%d; subscribing from seq %d@."
+                          keys fhost fport bs_from;
+                        (* Stamp the watermark before subscribing so a
+                           crash in the gap re-subscribes from the cut,
+                           not from seq 0. *)
+                        Replica.Watermark.write ~dir (bs_from - 1);
+                        subscribe bs_from)
+                | r -> r
+              in
+              match started with
               | Result.Error msg ->
                   failwith ("patserve: cannot follow: " ^ msg)
               | Result.Ok f ->
                   Format.printf
-                    "patserve: following %s:%d from seq %d (staleness bound \
-                     %d records%s)@."
-                    fhost fport from_seq staleness
+                    "patserve: following %s:%d (staleness bound %d \
+                     records%s)@."
+                    fhost fport staleness
                     (if repl_sync then ", will sync-ack after promotion"
                      else "");
                   follower := Some f));
@@ -1094,6 +1165,8 @@ let serve_cmd =
                 replace =
                   (fun ~remove ~add -> Pstore.replace !store ~remove ~add);
                 size = (fun () -> Pstore.size !store);
+                snapshot = (fun () -> Pstore.snapshot !store);
+                scan_cut = (fun () -> Pstore.scan_cut !store);
               }
           in
           let run_checkpoint () =
@@ -1336,7 +1409,8 @@ let serve_cmd =
       $ seconds_opt_arg $ data_dir_arg $ durability_arg $ checkpoint_s_arg
       $ serve_trace_arg $ runtime_events_arg $ memprof_arg $ max_conns_arg
       $ idle_timeout_arg $ queue_deadline_arg $ soft_buffer_arg
-      $ hard_buffer_arg $ follow_arg $ staleness_arg $ repl_sync_arg)
+      $ hard_buffer_arg $ follow_arg $ bootstrap_arg $ staleness_arg
+      $ repl_sync_arg)
 
 (* ------------------------------------------------------------------ *)
 (* recover subcommand: offline recovery / inspection of a data dir *)
@@ -1439,6 +1513,19 @@ let load_cmd =
     Arg.(
       value & opt (some float) None & info [ "open-loop" ] ~doc ~docv:"RATE")
   in
+  let scan_every_arg =
+    let doc =
+      "Mix one SCAN page per $(docv) generated requests into the workload \
+       (closed loop only; 0 = never).  Each generator runs a resumable \
+       cursor and verifies every page against the cursor contract."
+    in
+    Arg.(value & opt int 0 & info [ "scan-every" ] ~doc ~docv:"N")
+  in
+  let scan_count_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "scan-count" ] ~doc:"Page size for generated SCANs.")
+  in
   let run_open_loop ~addr ~port ~domains ~seconds ~mix ~range ~seed ~metrics
       rate =
     let cfg =
@@ -1481,7 +1568,7 @@ let load_cmd =
     `Ok ()
   in
   let run addr port domains depth seconds insert delete find replace range seed
-      metrics scrape open_loop =
+      metrics scrape open_loop scan_every scan_count =
     match Harness.Mix.v ~insert ~delete ~find ~replace () with
     | exception Invalid_argument m -> `Error (false, m)
     | mix when open_loop <> None -> (
@@ -1510,6 +1597,8 @@ let load_cmd =
               tolerate_disconnect = false;
               partition = false;
               scrape_port = scrape;
+              scan_every;
+              scan_count;
             }
         in
         try
@@ -1541,6 +1630,10 @@ let load_cmd =
             r.Server.Loadgen.throughput r.Server.Loadgen.errors
             l.Obs.Histogram.p50 l.Obs.Histogram.p90 l.Obs.Histogram.p99
             l.Obs.Histogram.p999 l.Obs.Histogram.max final expected;
+          if r.Server.Loadgen.scan_pages > 0 then
+            Format.printf
+              "load: %d scan pages verified (%d keys streamed)@."
+              r.Server.Loadgen.scan_pages r.Server.Loadgen.scan_keys;
           (match r.Server.Loadgen.server_metrics with
           | [] -> ()
           | kv ->
@@ -1582,7 +1675,7 @@ let load_cmd =
         (const run $ addr_arg $ port_arg $ domains_arg $ depth_arg
        $ seconds_arg' $ pct "insert" 10 $ pct "delete" 10 $ pct "find" 0
        $ pct "replace" 80 $ range_arg $ seed_arg $ metrics_arg
-       $ scrape_port_arg $ open_loop_arg))
+       $ scrape_port_arg $ open_loop_arg $ scan_every_arg $ scan_count_arg))
 
 (* ------------------------------------------------------------------ *)
 (* analyze subcommand: structure forensics — shape census, bytes/key
@@ -1915,6 +2008,8 @@ let replicate_cmd =
             member = Pstore.member pstore;
             replace = (fun ~remove ~add -> Pstore.replace pstore ~remove ~add);
             size = (fun () -> Pstore.size pstore);
+            snapshot = (fun () -> Pstore.snapshot pstore);
+            scan_cut = (fun () -> Pstore.scan_cut pstore);
           }
       in
       let barrier () =
@@ -2008,6 +2103,8 @@ let replicate_cmd =
             tolerate_disconnect = false;
             partition = false;
             scrape_port = None;
+            scan_every = 0;
+            scan_count = 256;
           }
       in
       let r = Server.Loadgen.run cfg in
@@ -2122,6 +2219,199 @@ let replicate_cmd =
        $ seed_arg' $ keep_arg))
 
 (* ------------------------------------------------------------------ *)
+(* scan subcommand: what a frozen view costs — snapshot cost vs trie
+   size (the O(1) claim), scan goodput vs range width, and writer
+   throughput with a continuous scanner attached (the copy-on-descent
+   overhead on the write path).  In-process measurements of lib/core's
+   snapshot machinery; the served SCAN path is exercised by
+   `load --scan-every` and the bench driver's "scan" section. *)
+
+let scan_cmd =
+  let universe_arg =
+    let doc = "Key universe; the trie is prefilled to half of it." in
+    Arg.(value & opt int 65_536 & info [ "universe" ] ~doc)
+  in
+  let widths_arg =
+    let doc = "Comma-separated range widths for the goodput sweep." in
+    Arg.(value & opt (list int) [ 1_024; 8_192; 65_536 ] & info [ "widths" ] ~doc)
+  in
+  let writers_arg =
+    let doc = "Churning writer domains attached during the measurements." in
+    Arg.(value & opt int 2 & info [ "writers" ] ~doc)
+  in
+  let run universe widths writers seconds trials seed csv =
+    if universe < 2 then `Error (false, "--universe must be at least 2")
+    else if writers < 1 then `Error (false, "--writers must be at least 1")
+    else begin
+      let mean_stddev = function
+        | [] -> (0.0, 0.0)
+        | xs ->
+            let n = float_of_int (List.length xs) in
+            let mean = List.fold_left ( +. ) 0.0 xs /. n in
+            let var =
+              List.fold_left
+                (fun a x -> a +. ((x -. mean) *. (x -. mean)))
+                0.0 xs
+              /. n
+            in
+            (mean, sqrt var)
+      in
+      let prefilled () =
+        let t = Core.Patricia.create ~universe () in
+        let rng = Rng.of_int_seed seed in
+        for _ = 1 to universe / 2 do
+          ignore (Core.Patricia.insert t (Rng.int rng universe) : bool)
+        done;
+        t
+      in
+      let churn t rng =
+        let k = Rng.int rng universe in
+        match Rng.int rng 3 with
+        | 0 -> ignore (Core.Patricia.insert t k : bool)
+        | 1 -> ignore (Core.Patricia.delete t k : bool)
+        | _ ->
+            ignore
+              (Core.Patricia.replace t ~remove:k ~add:(Rng.int rng universe)
+                : bool)
+      in
+      (* One rate sample: run [step] (returning a unit count) on the
+         main domain for ~[seconds] with [bg] churning writer domains
+         and, when [scanner], a domain folding whole frozen views in a
+         loop.  All side domains are stopped and joined before the
+         sample is returned, so trials don't bleed into each other. *)
+      let rate ~bg ~scanner t step =
+        let stop = Atomic.make false in
+        let doms =
+          List.init bg (fun i ->
+              Domain.spawn (fun () ->
+                  let rng = Rng.of_int_seed (seed + 17 + i) in
+                  while not (Atomic.get stop) do
+                    churn t rng
+                  done))
+          @
+          if not scanner then []
+          else
+            [
+              Domain.spawn (fun () ->
+                  while not (Atomic.get stop) do
+                    let v = Core.Patricia.snapshot t in
+                    ignore
+                      (Core.Patricia.View.fold v ~init:0 ~f:(fun n _ -> n + 1)
+                        : int)
+                  done);
+            ]
+        in
+        let t0 = Unix.gettimeofday () in
+        let deadline = t0 +. seconds in
+        let count = ref 0.0 in
+        while Unix.gettimeofday () < deadline do
+          count := !count +. step ()
+        done;
+        let elapsed = Unix.gettimeofday () -. t0 in
+        Atomic.set stop true;
+        List.iter Domain.join doms;
+        !count /. elapsed
+      in
+      let samples ~bg ~scanner t step =
+        List.init trials (fun _ -> rate ~bg ~scanner t step)
+      in
+      let csv_rows = ref [] in
+      let report name xs unit_ =
+        let mean, stddev = mean_stddev xs in
+        Printf.printf "  %-44s %14.1f ±%10.1f %s\n%!" name mean stddev unit_;
+        csv_rows := (name, mean, stddev) :: !csv_rows
+      in
+      Printf.printf
+        "What a frozen view costs (universe %d, %d writer domain(s), %.1fs × \
+         %d trials)\n"
+        universe writers seconds trials;
+      (* 1. Snapshot cost: O(1) in the number of keys, so empty vs
+         half-full must land in the same ballpark; churn adds only the
+         cost of resolving in-flight descriptors. *)
+      Printf.printf "\nSnapshot cost (ns per snapshot):\n";
+      let snap_step t () =
+        for _ = 1 to 64 do
+          ignore (Core.Patricia.snapshot t)
+        done;
+        64.0
+      in
+      let ns rates = List.map (fun r -> 1e9 /. r) rates in
+      let empty = Core.Patricia.create ~universe () in
+      report "empty trie, quiesced"
+        (ns (samples ~bg:0 ~scanner:false empty (snap_step empty)))
+        "ns";
+      let t = prefilled () in
+      report
+        (Printf.sprintf "%d keys, quiesced" (Core.Patricia.size t))
+        (ns (samples ~bg:0 ~scanner:false t (snap_step t)))
+        "ns";
+      report
+        (Printf.sprintf "%d keys, %d writers churning" (Core.Patricia.size t)
+           writers)
+        (ns (samples ~bg:writers ~scanner:false t (snap_step t)))
+        "ns";
+      (* 2. Goodput vs range width: each step freezes a fresh view and
+         folds [0, width) out of it while the writers churn. *)
+      Printf.printf "\nScan goodput under churn (keys streamed per second):\n";
+      List.iter
+        (fun w ->
+          let w = min w universe in
+          let step () =
+            let v = Core.Patricia.snapshot t in
+            float_of_int
+              (Core.Patricia.View.fold_range v ~lo:0 ~hi:(w - 1) ~init:0
+                 ~f:(fun n _ -> n + 1))
+          in
+          report
+            (Printf.sprintf "width %d" w)
+            (samples ~bg:writers ~scanner:false t step)
+            "keys/s")
+        widths;
+      (* 3. The write path's side of the bargain: one measured writer
+         (plus --writers-1 background ones) with and without a
+         continuous whole-view scanner attached. *)
+      Printf.printf "\nWriter throughput (measured domain, ops/s):\n";
+      let writer_step t =
+        let rng = Rng.of_int_seed (seed + 5) in
+        fun () ->
+          churn t rng;
+          1.0
+      in
+      let quiet =
+        let t = prefilled () in
+        samples ~bg:(writers - 1) ~scanner:false t (writer_step t)
+      in
+      let scanned =
+        let t = prefilled () in
+        samples ~bg:(writers - 1) ~scanner:true t (writer_step t)
+      in
+      report "no scanner" quiet "ops/s";
+      report "continuous scanner attached" scanned "ops/s";
+      let mq, _ = mean_stddev quiet and ms, _ = mean_stddev scanned in
+      if mq > 0.0 then
+        Printf.printf "  scanner overhead on the write path: %.1f%%\n"
+          ((1.0 -. (ms /. mq)) *. 100.0);
+      if csv then begin
+        Printf.printf "\ndatapoint,mean,stddev\n";
+        List.iter
+          (fun (n, m, s) -> Printf.printf "%S,%f,%f\n" n m s)
+          (List.rev !csv_rows)
+      end;
+      `Ok ()
+    end
+  in
+  let doc =
+    "Measure what a frozen view costs: snapshot latency vs trie size (the \
+     O(1) claim), scan goodput vs range width under writer churn, and \
+     writer throughput with a continuous scanner attached."
+  in
+  Cmd.v (Cmd.info "scan" ~doc)
+    Term.(
+      ret
+        (const run $ universe_arg $ widths_arg $ writers_arg $ seconds_arg
+       $ trials_arg $ seed_arg $ csv_arg))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc =
@@ -2142,4 +2432,5 @@ let () =
             analyze_cmd;
             promote_cmd;
             replicate_cmd;
+            scan_cmd;
           ]))

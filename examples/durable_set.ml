@@ -14,6 +14,7 @@ module Store = Persist.Store.Make (struct
   include Core.Patricia
 
   let create ~universe () = Core.Patricia.create ~universe ()
+  let snapshot = Core.Patricia.snapshot_capability
 end)
 
 let dir = Filename.concat (Filename.get_temp_dir_name ()) "durable_set_example"

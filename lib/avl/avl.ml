@@ -502,3 +502,5 @@ let check_invariants t =
    descent-cost capabilities. *)
 let census _ = None
 let descent_stats _ = None
+
+let snapshot _ = None

@@ -18,11 +18,17 @@
      allocation, so two Unflags are never physically equal.
    - A Flag descriptor must be wrapped in the [info] variant exactly once
      so that all CASes and reads compare the same physical value; the
-     shared wrapper is created in [new_flag] and threaded everywhere. *)
+     shared wrapper is created in [new_flag] and threaded everywhere.
+
+   Snapshots (not part of the paper; see the [Snapshots] section below):
+   the trie root sits behind a generation-stamped holder, every update
+   descriptor validates the holder at a single decision CAS, and a
+   snapshot swings the holder to a copied root — O(1) in the number of
+   keys — after which the old generation is immutable. *)
 
 module Label = Bitkey.Label
 
-type info = Unflag of unit ref | Flag of flag
+type info = Unflag of unit ref | Flag of flag | Snap of snap
 
 and node = Leaf of leaf | Internal of internal
 
@@ -32,7 +38,27 @@ and internal = {
   label : Label.t;
   children : node Atomic.t array; (* length 2: left (bit 0), right (bit 1) *)
   iinfo : info Atomic.t;
+  gen : unit ref;
+      (* Generation stamp: physically equal to [hgen] of the holder that
+         was current when this node was created.  Immutable.  Updates
+         renew (copy into the current generation) every internal node
+         they descend through whose stamp is stale, so the nodes whose
+         children they CAS always belong to the live generation and the
+         frozen generations behind past snapshots are never mutated. *)
 }
+
+(* One generation of the trie.  [hroot] is that generation's root;
+   [hgen] is the identity the root's descendants are stamped with.
+   The live generation is the one in [t.holder]; a snapshot replaces it
+   wholesale (fresh [hroot] sharing the old children), so a holder value
+   doubles as a frozen, immutable version once superseded. *)
+and holder = { epoch : int; hgen : unit ref; hroot : internal }
+
+(* The fate of an update descriptor.  [Pending] until some process that
+   completed the flagging phase validates the generation; the single
+   decision CAS is the only place an update commits, so a snapshot that
+   swings the holder strictly before that CAS is never missed. *)
+and decision = Pending | Commit | Abort
 
 (* The Flag descriptor (paper Figure 2, lines 8-16).  [flag_nodes] are the
    internal nodes to flag, sorted by label; [old_infos.(i)] is the value
@@ -50,13 +76,28 @@ and flag = {
   old_children : node array;
   new_children : node array;
   rmv_leaf : leaf option;
-  flag_done : bool Atomic.t;
+  decision : decision Atomic.t;
+      (* Replaces the paper's [flag_done] bit: [Commit] is decided by
+         the single CAS of a process that observed every flag CAS
+         succeed *and* the owning trie's holder still equal to
+         [fholder]; the child CASes run only under a [Commit].  The
+         paper's semantics are the special case where the holder never
+         changes. *)
+  fholder : holder; (* the generation this attempt's search ran against *)
+  fcell : holder Atomic.t; (* the owning trie's holder cell, for validation *)
   fwidth : int; (* key width of the owning trie, for child-index computation *)
   fstats : stats option;
       (* The owning trie's counters, carried by the descriptor so that
          helpers — which see only the descriptor — can attribute events
          (helps received, backtracks) to the right trie. *)
 }
+
+(* Descriptor of an in-flight snapshot, installed on the old root's
+   [iinfo] like a one-node flag: it proves the root's children did not
+   change between being copied into [s_new.hroot] and the holder CAS,
+   and it lets any process (an update that finds it while flagging the
+   root, or a concurrent snapshot) complete the swing. *)
+and snap = { s_old : holder; s_new : holder; s_cell : holder Atomic.t }
 
 (* Counters for the help-rate ablation and the observability layer;
    disabled (None) by default so the hot path pays a single branch.
@@ -102,11 +143,35 @@ type snapshot = {
 
 type t = {
   width : int;
-  root : internal;
+  holder : holder Atomic.t; (* the live generation; swung only by snapshots *)
+  slots : info option Atomic.t list Atomic.t;
+      (* Published-descriptor registry: one slot per domain that ever
+         updated this trie.  An update publishes its descriptor before
+         the flagging phase and clears the slot after completion, so a
+         snapshot can resolve (commit or abort) every descriptor that
+         might still commit against the generation it froze — the scan
+         is O(#domains), independent of the key count. *)
+  slot_key : info option Atomic.t option ref Domain.DLS.key;
   offset : int;
   bound : int; (* exclusive upper bound on user keys *)
   stats : stats option;
 }
+
+(* The calling domain's published-descriptor slot for [t], created and
+   registered on first use. *)
+let my_slot t =
+  let r = Domain.DLS.get t.slot_key in
+  match !r with
+  | Some s -> s
+  | None ->
+      let s = Atomic.make None in
+      let rec push () =
+        let l = Atomic.get t.slots in
+        if not (Atomic.compare_and_set t.slots l (s :: l)) then push ()
+      in
+      push ();
+      r := Some s;
+      s
 
 let fresh_unflag () = Unflag (ref ())
 
@@ -211,7 +276,9 @@ let[@inline] attempt_retry kind ~key ~attempt ~t0 cause =
       ~site:(Obs.Attribution.cause_name cause)
       ~t0
 
-let[@inline] flagged = function Flag _ -> true | Unflag _ -> false
+let[@inline] flagged = function
+  | Flag _ | Snap _ -> true
+  | Unflag _ -> false
 
 (* Cause of a [None] return from the newFlag family, recovered from the
    info values the attempt read: if any was a Flag we restarted after
@@ -228,18 +295,23 @@ let create_width ~width ?(record_stats = false) () =
   if width < 2 || width > Bitkey.max_width then
     invalid_arg "Patricia.create_width: width must be in [2, 62]";
   let lo = new_leaf 0 and hi = new_leaf ((1 lsl width) - 1) in
-  (* Line 18-19: the root is permanent, its children start as the two
-     sentinel leaves 00...0 and 11...1, which are never elements of D. *)
+  (* Line 18-19: the root is permanent (within its generation), its
+     children start as the two sentinel leaves 00...0 and 11...1, which
+     are never elements of D. *)
+  let gen = ref () in
   let root =
     {
       label = Label.empty;
       children = [| Atomic.make (Leaf lo); Atomic.make (Leaf hi) |];
       iinfo = Atomic.make (fresh_unflag ());
+      gen;
     }
   in
   {
     width;
-    root;
+    holder = Atomic.make { epoch = 0; hgen = gen; hroot = root };
+    slots = Atomic.make [];
+    slot_key = Domain.DLS.new_key (fun () -> ref None);
     offset = 0;
     bound = (1 lsl width) - 1;
     stats = (if record_stats then Some (make_stats ()) else None);
@@ -268,7 +340,7 @@ let internal_key t k =
    replace is logically removed once the replace's first child CAS has
    happened, i.e. once oldChild[0] is no longer a child of pNode[0]. *)
 let logically_removed = function
-  | Unflag _ -> false
+  | Unflag _ | Snap _ -> false
   | Flag f ->
       let p = f.pnodes.(0) and old = f.old_children.(0) in
       not
@@ -294,8 +366,7 @@ type search_result = {
          holds, so uninstrumented searches pay one add per level. *)
 }
 
-let search t v =
-  let width = t.width in
+let search_from ~width (root : internal) v =
   (* The root's label ε is a prefix of every key, so the loop body runs at
      least once and [p] is always an internal node on return.  The root is
      never an old child of any CAS, so its boxed stand-in is harmless. *)
@@ -314,7 +385,9 @@ let search t v =
         in
         { gp; p; p_node = p_boxed; node; gp_info; p_info; rmvd; depth = d + 1 }
   in
-  go None None t.root (Internal t.root) (Atomic.get t.root.iinfo) 0
+  go None None root (Internal root) (Atomic.get root.iinfo) 0
+
+let search t v = search_from ~width:t.width (Atomic.get t.holder).hroot v
 
 (* keyInTrie (lines 125-126) *)
 let key_in_trie node v rmvd =
@@ -365,44 +438,72 @@ let child_cas_phase f =
 
 let help_counter_hook : (unit -> unit) option ref = ref None
 
+(* Complete an in-flight snapshot found installed on a root: swing the
+   holder (idempotent — the new holder value is carried by the
+   descriptor, so every helper CASes to the same value) and release the
+   old root's info field. *)
+let help_snap (si : info) (s : snap) =
+  ignore (Atomic.compare_and_set s.s_cell s.s_old s.s_new);
+  ignore (Atomic.compare_and_set s.s_old.hroot.iinfo si (fresh_unflag ()))
+
 let rec help (fi : info) : bool =
-  let f = match fi with Flag f -> f | Unflag _ -> assert false in
+  match fi with
+  | Unflag _ -> assert false
+  | Snap s ->
+      (* A snapshot never fails; completing it counts as success and the
+         helper retries its own operation against the new generation. *)
+      help_snap fi s;
+      true
+  | Flag f -> help_flag fi f
+
+and help_flag (fi : info) (f : flag) : bool =
   (match !help_counter_hook with Some h -> h () | None -> ());
   let do_child_cas = flag_phase fi f in
-  if do_child_cas then begin
-    Atomic.set f.flag_done true;
-    (* Line 95: flag the leaf removed by a general-case replace; leaves
-       are flagged by a plain write, never by CAS, and never unflagged. *)
-    (match f.rmv_leaf with Some l -> Atomic.set l.linfo fi | None -> ());
-    child_cas_phase f
-  end;
-  if Atomic.get f.flag_done then begin
-    (* Lines 99-102: unflag, in reverse order, the nodes still in the trie. *)
-    chaos_point Chaos.Unflag;
-    for i = Array.length f.unflag_nodes - 1 downto 0 do
-      ignore
-        (Atomic.compare_and_set f.unflag_nodes.(i).iinfo fi (fresh_unflag ()))
-    done;
-    true
-  end
-  else begin
-    (* Lines 103-106: flagging failed — back the flags out. *)
-    chaos_point Chaos.Backtrack;
-    bump f.fstats (fun s -> s.backtracks);
-    Obs.Attribution.mark Obs.Attribution.Backtrack ~attempt:0;
-    for i = Array.length f.flag_nodes - 1 downto 0 do
-      ignore
-        (Atomic.compare_and_set f.flag_nodes.(i).iinfo fi (fresh_unflag ()))
-    done;
-    false
-  end
+  (* The decision CAS (not in the paper): an update commits only if some
+     process that saw every flag in place also saw the trie's holder
+     still at the generation the attempt searched — so a snapshot that
+     swung the holder first wins, and the update aborts and retries
+     against the new generation.  Exactly one of Commit/Abort ever
+     lands; every helper then follows the recorded outcome, which
+     subsumes the paper's [flag_done] protocol. *)
+  (if Atomic.get f.decision = Pending then
+     let d =
+       if do_child_cas && Atomic.get f.fcell == f.fholder then Commit
+       else Abort
+     in
+     ignore (Atomic.compare_and_set f.decision Pending d));
+  match Atomic.get f.decision with
+  | Commit ->
+      (* Line 95: flag the leaf removed by a general-case replace; leaves
+         are flagged by a plain write, never by CAS, and never unflagged. *)
+      (match f.rmv_leaf with Some l -> Atomic.set l.linfo fi | None -> ());
+      child_cas_phase f;
+      (* Lines 99-102: unflag, in reverse order, the nodes still in the trie. *)
+      chaos_point Chaos.Unflag;
+      for i = Array.length f.unflag_nodes - 1 downto 0 do
+        ignore
+          (Atomic.compare_and_set f.unflag_nodes.(i).iinfo fi (fresh_unflag ()))
+      done;
+      true
+  | Abort ->
+      (* Lines 103-106: flagging failed (or the generation moved on) —
+         back the flags out. *)
+      chaos_point Chaos.Backtrack;
+      bump f.fstats (fun s -> s.backtracks);
+      Obs.Attribution.mark Obs.Attribution.Backtrack ~attempt:0;
+      for i = Array.length f.flag_nodes - 1 downto 0 do
+        ignore
+          (Atomic.compare_and_set f.flag_nodes.(i).iinfo fi (fresh_unflag ()))
+      done;
+      false
+  | Pending -> assert false
 
 (* Specialized newFlag for the one-flag shape (insert at a leaf, replace
    special case 1): allocation-lean version of the generic constructor
    below, to which it is behaviourally identical. *)
-and new_flag1 ~width ~stats ~node ~old ~old_child ~new_child =
+and new_flag1 ~width ~stats ~fh ~cell ~node ~old ~old_child ~new_child =
   match old with
-  | Flag _ ->
+  | Flag _ | Snap _ ->
       bump stats (fun s -> s.helps_given);
       ignore (help old);
       None
@@ -418,7 +519,9 @@ and new_flag1 ~width ~stats ~node ~old ~old_child ~new_child =
              old_children = [| old_child |];
              new_children = [| new_child |];
              rmv_leaf = None;
-             flag_done = Atomic.make false;
+             decision = Atomic.make Pending;
+             fholder = fh;
+             fcell = cell;
              fwidth = width;
              fstats = stats;
            })
@@ -427,15 +530,15 @@ and new_flag1 ~width ~stats ~node ~old ~old_child ~new_child =
    insert replacing an internal node; replace special cases 2/3).  The
    first node of the pair is the one to unflag and CAS; the other is
    removed from the trie and stays flagged. *)
-and new_flag2 ~width ~stats ~a ~a_old ~b ~b_old ~old_child ~new_child =
+and new_flag2 ~width ~stats ~fh ~cell ~a ~a_old ~b ~b_old ~old_child ~new_child =
   match a_old with
-  | Flag _ ->
+  | Flag _ | Snap _ ->
       bump stats (fun s -> s.helps_given);
       ignore (help a_old);
       None
   | Unflag _ -> (
       match b_old with
-      | Flag _ ->
+      | Flag _ | Snap _ ->
           bump stats (fun s -> s.helps_given);
           ignore (help b_old);
           None
@@ -454,7 +557,9 @@ and new_flag2 ~width ~stats ~a ~a_old ~b ~b_old ~old_child ~new_child =
                      old_children = [| old_child |];
                      new_children = [| new_child |];
                      rmv_leaf = None;
-                     flag_done = Atomic.make false;
+                     decision = Atomic.make Pending;
+                     fholder = fh;
+                     fcell = cell;
                      fwidth = width;
                      fstats = stats;
                    })
@@ -475,7 +580,9 @@ and new_flag2 ~width ~stats ~a ~a_old ~b ~b_old ~old_child ~new_child =
                    old_children = [| old_child |];
                    new_children = [| new_child |];
                    rmv_leaf = None;
-                   flag_done = Atomic.make false;
+                   decision = Atomic.make Pending;
+                   fholder = fh;
+                   fcell = cell;
                    fwidth = width;
                    fstats = stats;
                  }))
@@ -484,10 +591,12 @@ and new_flag2 ~width ~stats ~a ~a_old ~b ~b_old ~old_child ~new_child =
    flag three or four nodes.  Takes the nodes to flag paired with the
    info values read from them; returns the shared [Flag] info value, or
    [None] after helping a conflicting update (the caller then retries). *)
-and new_flag ~width ~stats ~flags ~unflag ~pnodes ~old_children ~new_children
-    ~rmv_leaf =
+and new_flag ~width ~stats ~fh ~cell ~flags ~unflag ~pnodes ~old_children
+    ~new_children ~rmv_leaf =
   match
-    List.find_opt (fun (_, i) -> match i with Flag _ -> true | _ -> false) flags
+    List.find_opt
+      (fun (_, i) -> match i with Flag _ | Snap _ -> true | Unflag _ -> false)
+      flags
   with
   | Some (_, old) ->
       (* Lines 109-111: someone else's update is pending on a node we
@@ -532,7 +641,9 @@ and new_flag ~width ~stats ~flags ~unflag ~pnodes ~old_children ~new_children
                  old_children = Array.of_list old_children;
                  new_children = Array.of_list new_children;
                  rmv_leaf;
-                 flag_done = Atomic.make false;
+                 decision = Atomic.make Pending;
+                 fholder = fh;
+                 fcell = cell;
                  fwidth = width;
                  fstats = stats;
                }))
@@ -541,11 +652,11 @@ and new_flag ~width ~stats ~flags ~unflag ~pnodes ~old_children ~new_children
    [n1] and [n2], unless one label prefixes the other — in which case the
    trie already (logically) contains a conflicting key and the caller
    must retry, after helping the update recorded in [info] if any. *)
-and create_node ~width ~stats n1 n2 info =
+and create_node ~width ~stats ~gen n1 n2 info =
   let l1 = node_label ~width n1 and l2 = node_label ~width n2 in
   if Label.is_prefix l1 l2 || Label.is_prefix l2 l1 then begin
     (match info with
-    | Some (Flag _ as fi) ->
+    | Some ((Flag _ | Snap _) as fi) ->
         bump stats (fun s -> s.helps_given);
         ignore (help fi)
     | _ -> ());
@@ -560,6 +671,7 @@ and create_node ~width ~stats n1 n2 info =
         label = lcp;
         children = [| Atomic.make c0; Atomic.make c1 |];
         iinfo = Atomic.make (fresh_unflag ());
+        gen;
       }
 
 (* ------------------------------------------------------------------ *)
@@ -568,7 +680,7 @@ and create_node ~width ~stats n1 n2 info =
    guarantees the children did not change in between (Lemma 31), so the
    copy's children equal the original's at the child CAS. *)
 
-let copy_node = function
+let copy_node ~gen = function
   | Leaf l -> Leaf (new_leaf l.key)
   | Internal i ->
       Internal
@@ -580,7 +692,96 @@ let copy_node = function
               Atomic.make (Atomic.get i.children.(1));
             |];
           iinfo = Atomic.make (fresh_unflag ());
+          gen;
         }
+
+(* ------------------------------------------------------------------ *)
+(* Update-side search: publication and copy-on-descent renewal.
+
+   [run_own] wraps [help] on a descriptor this domain created: the
+   descriptor is published in the domain's slot before the flagging
+   phase and withdrawn after completion.  The SC ordering argument the
+   snapshot relies on: a descriptor's Commit decision reads the holder
+   *after* the slot publish, and a snapshot reads the slots *after* its
+   holder CAS — so any descriptor that committed against the old
+   generation is either visible in a slot (and helped to completion
+   before the snapshot returns) or already fully applied.
+
+   [search_renew] is [search] for updates: it additionally copies every
+   stale-generation internal node the path descends *through* into the
+   current generation ([renew_child]) before using it, so the nodes an
+   update flags-and-CASes-children-of always carry the live generation
+   stamp and frozen views behind past snapshots are never structurally
+   mutated.  (Terminal nodes that only get *marked* — e.g. an internal
+   node an insert replaces — may be stale: marking touches only the
+   info field, which frozen-view traversals ignore.)  A renewal is an
+   ordinary two-flag descriptor (the stale node is marked forever, the
+   parent's child pointer swings to the copy), so it validates like any
+   update and aborts if a snapshot intervenes. *)
+
+let run_own t fi =
+  let slot = my_slot t in
+  Atomic.set slot (Some fi);
+  let r = help fi in
+  Atomic.set slot None;
+  r
+
+let renew_child t (h : holder) (p : internal) p_info c_boxed (i : internal) =
+  let width = t.width and stats = t.stats in
+  match Atomic.get i.iinfo with
+  | (Flag _ | Snap _) as fi ->
+      bump stats (fun s -> s.helps_given);
+      ignore (help fi)
+  | Unflag _ as ii -> (
+      (* The copy is taken after [ii] was read; the flag CAS on [ii]
+         then certifies the children did not change in between (the same
+         Lemma 31 discipline as an insert replacing an internal node). *)
+      let copy =
+        Internal
+          {
+            label = i.label;
+            children =
+              [|
+                Atomic.make (Atomic.get i.children.(0));
+                Atomic.make (Atomic.get i.children.(1));
+              |];
+            iinfo = Atomic.make (fresh_unflag ());
+            gen = h.hgen;
+          }
+      in
+      match
+        new_flag2 ~width ~stats ~fh:h ~cell:t.holder ~a:p ~a_old:p_info ~b:i
+          ~b_old:ii ~old_child:c_boxed ~new_child:copy
+      with
+      | Some fi -> ignore (run_own t fi)
+      | None -> ())
+
+(* [None] means the descent hit a stale node and (at most) renewed it:
+   the caller restarts the attempt from a fresh holder read. *)
+let search_renew t (h : holder) v =
+  let width = t.width in
+  let rec go gp gp_info (p : internal) p_boxed p_info d =
+    let node =
+      Atomic.get p.children.(Label.next_bit_of_key ~width p.label v)
+    in
+    match node with
+    | Internal i when Label.is_prefix_of_key ~width i.label v ->
+        if i.gen == h.hgen then
+          go (Some p) (Some p_info) i node (Atomic.get i.iinfo) (d + 1)
+        else begin
+          renew_child t h p p_info node i;
+          None
+        end
+    | _ ->
+        let rmvd =
+          match node with
+          | Leaf l -> logically_removed (Atomic.get l.linfo)
+          | Internal _ -> false
+        in
+        Some
+          { gp; p; p_node = p_boxed; node; gp_info; p_info; rmvd; depth = d + 1 }
+  in
+  go None None h.hroot (Internal h.hroot) (Atomic.get h.hroot.iinfo) 0
 
 (* ------------------------------------------------------------------ *)
 (* find (lines 72-75) *)
@@ -603,48 +804,57 @@ let insert_internal t v =
   let rec attempt bo n =
     bump stats (fun s -> s.attempts);
     let t0 = span_start () in
-    let r = search t v in
-    descent stats (fun s -> s.descent_insert) r.depth;
-    if key_in_trie r.node v r.rmvd then
-      attempt_done Obs.Trace.Insert ~key:v ~attempt:n ~t0 ~site:"present" false
-    else begin
-      let node_info_v = Atomic.get (node_info r.node) in
-      let node_copy = copy_node r.node in
-      match
-        create_node ~width ~stats node_copy (Leaf (new_leaf v)) (Some node_info_v)
-      with
-      | None ->
-          attempt_retry Obs.Trace.Insert ~key:v ~attempt:n ~t0
-            (if flagged node_info_v then Obs.Attribution.Flagged_ancestor
-             else Obs.Attribution.Conflict);
-          attempt (retry_pause stats bo) (n + 1)
-      | Some new_node ->
-          let fi =
-            match r.node with
-            | Internal i ->
-                (* Line 30: replacing an internal node permanently flags
-                   it, since it leaves the trie. *)
-                new_flag2 ~width ~stats ~a:r.p ~a_old:r.p_info ~b:i
-                  ~b_old:node_info_v ~old_child:r.node
-                  ~new_child:(Internal new_node)
-            | Leaf _ ->
-                new_flag1 ~width ~stats ~node:r.p ~old:r.p_info ~old_child:r.node
-                  ~new_child:(Internal new_node)
-          in
-          (match fi with
-          | Some fi when help fi ->
-              attempt_done Obs.Trace.Insert ~key:v ~attempt:n ~t0
-                ~site:"applied" true
-          | Some _ ->
-              bump stats (fun s -> s.flag_failures);
-              attempt_retry Obs.Trace.Insert ~key:v ~attempt:n ~t0
-                Obs.Attribution.Flag_cas_lost;
-              attempt (retry_pause stats bo) (n + 1)
+    let h = Atomic.get t.holder in
+    match search_renew t h v with
+    | None ->
+        attempt_retry Obs.Trace.Insert ~key:v ~attempt:n ~t0
+          Obs.Attribution.Conflict;
+        attempt (retry_pause stats bo) (n + 1)
+    | Some r -> (
+        descent stats (fun s -> s.descent_insert) r.depth;
+        if key_in_trie r.node v r.rmvd then
+          attempt_done Obs.Trace.Insert ~key:v ~attempt:n ~t0 ~site:"present"
+            false
+        else begin
+          let node_info_v = Atomic.get (node_info r.node) in
+          let node_copy = copy_node ~gen:h.hgen r.node in
+          match
+            create_node ~width ~stats ~gen:h.hgen node_copy
+              (Leaf (new_leaf v)) (Some node_info_v)
+          with
           | None ->
               attempt_retry Obs.Trace.Insert ~key:v ~attempt:n ~t0
-                (retry_cause2 r.p_info node_info_v);
-              attempt (retry_pause stats bo) (n + 1))
-    end
+                (if flagged node_info_v then Obs.Attribution.Flagged_ancestor
+                 else Obs.Attribution.Conflict);
+              attempt (retry_pause stats bo) (n + 1)
+          | Some new_node ->
+              let fi =
+                match r.node with
+                | Internal i ->
+                    (* Line 30: replacing an internal node permanently flags
+                       it, since it leaves the trie. *)
+                    new_flag2 ~width ~stats ~fh:h ~cell:t.holder ~a:r.p
+                      ~a_old:r.p_info ~b:i ~b_old:node_info_v ~old_child:r.node
+                      ~new_child:(Internal new_node)
+                | Leaf _ ->
+                    new_flag1 ~width ~stats ~fh:h ~cell:t.holder ~node:r.p
+                      ~old:r.p_info ~old_child:r.node
+                      ~new_child:(Internal new_node)
+              in
+              (match fi with
+              | Some fi when run_own t fi ->
+                  attempt_done Obs.Trace.Insert ~key:v ~attempt:n ~t0
+                    ~site:"applied" true
+              | Some _ ->
+                  bump stats (fun s -> s.flag_failures);
+                  attempt_retry Obs.Trace.Insert ~key:v ~attempt:n ~t0
+                    Obs.Attribution.Flag_cas_lost;
+                  attempt (retry_pause stats bo) (n + 1)
+              | None ->
+                  attempt_retry Obs.Trace.Insert ~key:v ~attempt:n ~t0
+                    (retry_cause2 r.p_info node_info_v);
+                  attempt (retry_pause stats bo) (n + 1))
+        end)
   in
   attempt Chaos.Backoff.init 1
 
@@ -658,40 +868,50 @@ let delete_internal t v =
   let rec attempt bo n =
     bump stats (fun s -> s.attempts);
     let t0 = span_start () in
-    let r = search t v in
-    descent stats (fun s -> s.descent_delete) r.depth;
-    if not (key_in_trie r.node v r.rmvd) then
-      attempt_done Obs.Trace.Delete ~key:v ~attempt:n ~t0 ~site:"absent" false
-    else begin
-      let node_sibling = Atomic.get r.p.children.(sibling_index ~width r.p v) in
-      match (r.gp, r.gp_info) with
-      | Some gp, Some gp_info -> (
-          (* Line 40: flag gp, mark p (p leaves the trie), and swing
-             gp's child from p to node's sibling. *)
-          match
-            new_flag2 ~width ~stats ~a:gp ~a_old:gp_info ~b:r.p ~b_old:r.p_info
-              ~old_child:r.p_node ~new_child:node_sibling
-          with
-          | Some fi when help fi ->
-              attempt_done Obs.Trace.Delete ~key:v ~attempt:n ~t0
-                ~site:"applied" true
-          | Some _ ->
-              bump stats (fun s -> s.flag_failures);
+    let h = Atomic.get t.holder in
+    match search_renew t h v with
+    | None ->
+        attempt_retry Obs.Trace.Delete ~key:v ~attempt:n ~t0
+          Obs.Attribution.Conflict;
+        attempt (retry_pause stats bo) (n + 1)
+    | Some r -> (
+        descent stats (fun s -> s.descent_delete) r.depth;
+        if not (key_in_trie r.node v r.rmvd) then
+          attempt_done Obs.Trace.Delete ~key:v ~attempt:n ~t0 ~site:"absent"
+            false
+        else begin
+          let node_sibling =
+            Atomic.get r.p.children.(sibling_index ~width r.p v)
+          in
+          match (r.gp, r.gp_info) with
+          | Some gp, Some gp_info -> (
+              (* Line 40: flag gp, mark p (p leaves the trie), and swing
+                 gp's child from p to node's sibling. *)
+              match
+                new_flag2 ~width ~stats ~fh:h ~cell:t.holder ~a:gp
+                  ~a_old:gp_info ~b:r.p ~b_old:r.p_info ~old_child:r.p_node
+                  ~new_child:node_sibling
+              with
+              | Some fi when run_own t fi ->
+                  attempt_done Obs.Trace.Delete ~key:v ~attempt:n ~t0
+                    ~site:"applied" true
+              | Some _ ->
+                  bump stats (fun s -> s.flag_failures);
+                  attempt_retry Obs.Trace.Delete ~key:v ~attempt:n ~t0
+                    Obs.Attribution.Flag_cas_lost;
+                  attempt (retry_pause stats bo) (n + 1)
+              | None ->
+                  attempt_retry Obs.Trace.Delete ~key:v ~attempt:n ~t0
+                    (retry_cause2 gp_info r.p_info);
+                  attempt (retry_pause stats bo) (n + 1))
+          | _ ->
+              (* gp = null can only be observed transiently: a real key's leaf
+                 always has an internal proper ancestor besides the root
+                 (the sentinel on its side shares that subtree).  Retry. *)
               attempt_retry Obs.Trace.Delete ~key:v ~attempt:n ~t0
-                Obs.Attribution.Flag_cas_lost;
+                Obs.Attribution.Conflict;
               attempt (retry_pause stats bo) (n + 1)
-          | None ->
-              attempt_retry Obs.Trace.Delete ~key:v ~attempt:n ~t0
-                (retry_cause2 gp_info r.p_info);
-              attempt (retry_pause stats bo) (n + 1))
-      | _ ->
-          (* gp = null can only be observed transiently: a real key's leaf
-             always has an internal proper ancestor besides the root
-             (the sentinel on its side shares that subtree).  Retry. *)
-          attempt_retry Obs.Trace.Delete ~key:v ~attempt:n ~t0
-            Obs.Attribution.Conflict;
-          attempt (retry_pause stats bo) (n + 1)
-    end
+        end)
   in
   attempt Chaos.Backoff.init 1
 
@@ -702,15 +922,25 @@ let delete t k = delete_internal t (internal_key t k)
 
 let replace_internal t vd vi =
   let width = t.width and stats = t.stats in
+  let restart bo n t0 =
+    attempt_retry Obs.Trace.Replace ~key:vd ~attempt:n ~t0
+      Obs.Attribution.Conflict;
+    bo
+  in
   let rec attempt bo n =
     bump stats (fun s -> s.attempts);
     let t0 = span_start () in
-    let rd = search t vd in
+    let h = Atomic.get t.holder in
+    match search_renew t h vd with
+    | None -> attempt (retry_pause stats (restart bo n t0)) (n + 1)
+    | Some rd -> (
     descent stats (fun s -> s.descent_replace) rd.depth;
     if not (key_in_trie rd.node vd rd.rmvd) then
       attempt_done Obs.Trace.Replace ~key:vd ~attempt:n ~t0 ~site:"absent" false
     else begin
-      let ri = search t vi in
+      match search_renew t h vi with
+      | None -> attempt (retry_pause stats (restart bo n t0)) (n + 1)
+      | Some ri -> (
       descent stats (fun s -> s.descent_replace) ri.depth;
       if key_in_trie ri.node vi ri.rmvd then
         attempt_done Obs.Trace.Replace ~key:vd ~attempt:n ~t0 ~site:"present"
@@ -745,16 +975,16 @@ let replace_internal t vd vi =
                at the first; noded is flagged as the logically-removed
                leaf in between. *)
             let gpd = Option.get rd.gp and gpd_info = Option.get rd.gp_info in
-            let copy_i = copy_node node_i in
+            let copy_i = copy_node ~gen:h.hgen node_i in
             match
-              create_node ~width ~stats copy_i (Leaf (new_leaf vi))
+              create_node ~width ~stats ~gen:h.hgen copy_i (Leaf (new_leaf vi))
                 (Some node_info_i)
             with
             | None -> None
             | Some new_node_i -> (
                 match node_i with
                 | Internal i ->
-                    new_flag ~width ~stats
+                    new_flag ~width ~stats ~fh:h ~cell:t.holder
                       ~flags:
                         [
                           (gpd, gpd_info);
@@ -768,7 +998,7 @@ let replace_internal t vd vi =
                       ~new_children:[ Internal new_node_i; node_sibling_d ]
                       ~rmv_leaf:(Some leaf_d)
                 | Leaf _ ->
-                    new_flag ~width ~stats
+                    new_flag ~width ~stats ~fh:h ~cell:t.holder
                       ~flags:
                         [ (gpd, gpd_info); (pd, rd.p_info); (pi, ri.p_info) ]
                       ~unflag:[ gpd; pi ]
@@ -780,8 +1010,8 @@ let replace_internal t vd vi =
           else if same_node node_i node_d then
             (* Special case 1 (lines 58-59): both searches ended at vd's
                leaf; replace it by a fresh leaf containing vi. *)
-            new_flag1 ~width ~stats ~node:pd ~old:rd.p_info ~old_child:node_i
-              ~new_child:(Leaf (new_leaf vi))
+            new_flag1 ~width ~stats ~fh:h ~cell:t.holder ~node:pd
+              ~old:rd.p_info ~old_child:node_i ~new_child:(Leaf (new_leaf vi))
           else if
             (node_i_is node_i pd
             && match rd.gp with Some gp -> pi == gp | None -> false)
@@ -794,13 +1024,13 @@ let replace_internal t vd vi =
             let gpd = Option.get rd.gp and gpd_info = Option.get rd.gp_info in
             let sib_info = Atomic.get (node_info node_sibling_d) in
             match
-              create_node ~width ~stats node_sibling_d (Leaf (new_leaf vi))
-                (Some sib_info)
+              create_node ~width ~stats ~gen:h.hgen node_sibling_d
+                (Leaf (new_leaf vi)) (Some sib_info)
             with
             | None -> None
             | Some new_node_i ->
-                new_flag2 ~width ~stats ~a:gpd ~a_old:gpd_info ~b:pd
-                  ~b_old:rd.p_info ~old_child:rd.p_node
+                new_flag2 ~width ~stats ~fh:h ~cell:t.holder ~a:gpd
+                  ~a_old:gpd_info ~b:pd ~b_old:rd.p_info ~old_child:rd.p_node
                   ~new_child:(Internal new_node_i)
           end
           else if
@@ -814,16 +1044,19 @@ let replace_internal t vd vi =
             let p_sibling_d =
               Atomic.get gpd.children.(sibling_index ~width gpd vd)
             in
-            match create_node ~width ~stats node_sibling_d p_sibling_d None with
+            match
+              create_node ~width ~stats ~gen:h.hgen node_sibling_d p_sibling_d
+                None
+            with
             | None -> None
             | Some new_child_i -> (
                 match
-                  create_node ~width ~stats (Internal new_child_i)
+                  create_node ~width ~stats ~gen:h.hgen (Internal new_child_i)
                     (Leaf (new_leaf vi)) None
                 with
                 | None -> None
                 | Some new_node_i ->
-                    new_flag ~width ~stats
+                    new_flag ~width ~stats ~fh:h ~cell:t.holder
                       ~flags:
                         [ (pi, ri.p_info); (gpd, Option.get rd.gp_info); (pd, rd.p_info) ]
                       ~unflag:[ pi ] ~pnodes:[ pi ] ~old_children:[ node_i ]
@@ -832,7 +1065,7 @@ let replace_internal t vd vi =
           else None
         in
         match fi with
-        | Some fi when help fi ->
+        | Some fi when run_own t fi ->
             attempt_done Obs.Trace.Replace ~key:vd ~attempt:n ~t0
               ~site:"applied" true
         | Some _ ->
@@ -853,8 +1086,8 @@ let replace_internal t vd vi =
             in
             attempt_retry Obs.Trace.Replace ~key:vd ~attempt:n ~t0 cause;
             attempt (retry_pause stats bo) (n + 1)
-      end
-    end
+      end)
+    end)
   in
   attempt Chaos.Backoff.init 1
 
@@ -882,7 +1115,7 @@ let fold_leaves t ~init ~f =
         else f acc l.key
     | Internal i -> go (go acc (Atomic.get i.children.(0))) (Atomic.get i.children.(1))
   in
-  go init (Internal t.root)
+  go init (Internal (Atomic.get t.holder).hroot)
 
 let fold t ~init ~f = fold_leaves t ~init ~f:(fun acc k -> f acc (k - t.offset))
 let iter t ~f = fold t ~init:() ~f:(fun () k -> f k)
@@ -911,7 +1144,7 @@ let max_elt t =
         go (Atomic.get i.children.(1));
         go (Atomic.get i.children.(0))
   in
-  match go (Internal t.root) with
+  match go (Internal (Atomic.get t.holder).hroot) with
   | () -> None
   | exception Found_key k -> Some k
 
@@ -943,8 +1176,169 @@ let fold_range t ~lo ~hi ~init ~f =
           if node_hi < ilo || node_lo > ihi then acc
           else go (go acc (Atomic.get i.children.(0))) (Atomic.get i.children.(1))
     in
-    go init (Internal t.root)
+    go init (Internal (Atomic.get t.holder).hroot)
   end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots.
+
+   [snapshot t] atomically freezes the current generation and returns a
+   view of it, in O(1) of the key count (O(#domains) for the slot scan):
+
+     1. read the holder [h] and the root's info field; if a Flag or a
+        Snap is pending, help it and retry;
+     2. read the root's two children and build a fresh-generation root
+        copy around them;
+     3. CAS the root's info from the Unflag read in (1) to a [Snap]
+        descriptor — the sandwich proves the children did not change
+        since (2), because children are only CASed under a Flag and
+        every unflag installs a physically fresh Unflag (no ABA);
+     4. swing the holder to the new generation (helpers of the Snap do
+        the same CAS, so this is idempotent) and release the old root's
+        info field;
+     5. help every descriptor published in the per-domain slots.
+
+   Step 4's holder CAS is the linearization point.  Step 5 makes the
+   frozen generation *physically* complete before [snapshot] returns:
+   a descriptor that committed against [h] (its decision CAS saw the
+   holder still equal to [h], hence ran before step 4) either already
+   finished its child CASes or is still published in its owner's slot
+   — the publish precedes the decision read, and our scan follows the
+   holder CAS, so SC order leaves no third case.  Helping it completes
+   those child CASes, which are the last writes the frozen subtree can
+   ever receive: updates after step 4 renew every internal node they
+   descend through into the new generation before CASing its children,
+   and late straggler CASes of old descriptors fail by no-ABA.
+
+   The frozen walk therefore ignores info fields entirely: every
+   reachable non-sentinel leaf is an element of the frozen set.  A
+   [logically_removed] mark on a shared leaf can only come from a
+   replace that committed *after* the snapshot (pre-snapshot commits
+   were physically completed in step 5, removing their victim from this
+   structure; aborted attempts never set the mark), and such a leaf was
+   present at the linearization point. *)
+
+type view = {
+  vwidth : int;
+  voffset : int;
+  vbound : int;
+  vepoch : int;
+  vroot : internal;
+}
+
+let snapshot t =
+  let rec attempt () =
+    let h = Atomic.get t.holder in
+    let root = h.hroot in
+    match Atomic.get root.iinfo with
+    | (Flag _ | Snap _) as fi ->
+        ignore (help fi);
+        attempt ()
+    | Unflag _ as ri ->
+        let c0 = Atomic.get root.children.(0)
+        and c1 = Atomic.get root.children.(1) in
+        let gen' = ref () in
+        let root' =
+          {
+            label = root.label;
+            children = [| Atomic.make c0; Atomic.make c1 |];
+            iinfo = Atomic.make (fresh_unflag ());
+            gen = gen';
+          }
+        in
+        let h' = { epoch = h.epoch + 1; hgen = gen'; hroot = root' } in
+        let si = Snap { s_old = h; s_new = h'; s_cell = t.holder } in
+        if Atomic.compare_and_set root.iinfo ri si then begin
+          (* If this holder CAS fails, a concurrent snapshot already
+             superseded [h] — then [h] is frozen all the same and this
+             call linearizes at that snapshot's swing. *)
+          ignore (Atomic.compare_and_set t.holder h h');
+          ignore (Atomic.compare_and_set root.iinfo si (fresh_unflag ()));
+          List.iter
+            (fun slot ->
+              match Atomic.get slot with
+              | Some fi -> ignore (help fi)
+              | None -> ())
+            (Atomic.get t.slots);
+          h
+        end
+        else attempt ()
+  in
+  let h = attempt () in
+  {
+    vwidth = t.width;
+    voffset = t.offset;
+    vbound = t.bound;
+    vepoch = h.epoch;
+    vroot = h.hroot;
+  }
+
+module View = struct
+  type t = view
+
+  let epoch v = v.vepoch
+
+  let fold v ~init ~f =
+    let maxs = (1 lsl v.vwidth) - 1 in
+    let rec go acc = function
+      | Leaf l ->
+          if l.key = 0 || l.key = maxs then acc else f acc (l.key - v.voffset)
+      | Internal i ->
+          go (go acc (Atomic.get i.children.(0))) (Atomic.get i.children.(1))
+    in
+    go init (Internal v.vroot)
+
+  let fold_range v ~lo ~hi ~init ~f =
+    let lo = max lo (1 - v.voffset) and hi = min hi (v.vbound - 1) in
+    if lo > hi then init
+    else begin
+      let ilo = lo + v.voffset and ihi = hi + v.voffset in
+      let width = v.vwidth in
+      let rec go acc node =
+        match node with
+        | Leaf l ->
+            if l.key >= ilo && l.key <= ihi then f acc (l.key - v.voffset)
+            else acc
+        | Internal i ->
+            let shift = width - Label.length i.label in
+            let node_lo = i.label.Label.bits lsl shift in
+            let node_hi = node_lo lor ((1 lsl shift) - 1) in
+            if node_hi < ilo || node_lo > ihi then acc
+            else
+              go (go acc (Atomic.get i.children.(0))) (Atomic.get i.children.(1))
+      in
+      go init (Internal v.vroot)
+    end
+
+  let to_list v = List.rev (fold v ~init:[] ~f:(fun acc k -> k :: acc))
+  let size v = fold v ~init:0 ~f:(fun acc _ -> acc + 1)
+
+  let to_seq v =
+    let maxs = (1 lsl v.vwidth) - 1 in
+    let rec walk node tail () =
+      match node with
+      | Leaf l ->
+          if l.key = 0 || l.key = maxs then tail ()
+          else Seq.Cons (l.key - v.voffset, tail)
+      | Internal i ->
+          walk
+            (Atomic.get i.children.(0))
+            (fun () -> walk (Atomic.get i.children.(1)) tail ())
+            ()
+    in
+    fun () -> walk (Internal v.vroot) (fun () -> Seq.Nil) ()
+end
+
+let snapshot_capability t =
+  let v = snapshot t in
+  Some
+    Dset_intf.
+      {
+        v_epoch = View.epoch v;
+        v_fold = (fun ~init ~f -> View.fold v ~init ~f);
+        v_fold_range = (fun ~lo ~hi ~init ~f -> View.fold_range v ~lo ~hi ~init ~f);
+        v_to_seq = (fun () -> View.to_seq v);
+      }
 
 let stats_snapshot t : snapshot option =
   match t.stats with
@@ -1017,6 +1411,7 @@ let check_invariants t =
   let rec go (lab : Label.t) node =
     (match Atomic.get (node_info node) with
     | Unflag _ -> ()
+    | Snap _ -> err "residual snapshot descriptor on reachable node"
     | Flag _ -> (
         match node with
         | Leaf l -> err "residual flag on reachable leaf %d" l.key
@@ -1049,15 +1444,16 @@ let check_invariants t =
         go (Label.extend i.label 0) c0;
         go (Label.extend i.label 1) c1
   in
-  go Label.empty (Internal t.root);
+  let root = (Atomic.get t.holder).hroot in
+  go Label.empty (Internal root);
   (* The two sentinels must always be logically in the trie (Lemma 62). *)
   let rec find_leaf k = function
     | Leaf l -> l.key = k
     | Internal i ->
         find_leaf k (Atomic.get i.children.(Label.next_bit_of_key ~width i.label k))
   in
-  if not (find_leaf 0 (Internal t.root)) then err "missing sentinel 00...0";
-  if not (find_leaf (max_sentinel t) (Internal t.root)) then
+  if not (find_leaf 0 (Internal root)) then err "missing sentinel 00...0";
+  if not (find_leaf (max_sentinel t) (Internal root)) then
     err "missing sentinel 11...1";
   match !errors with [] -> Ok () | es -> Error (String.concat "; " es)
 
@@ -1065,9 +1461,9 @@ let check_invariants t =
 (* Shape census (Obs.Shape): weakly-consistent walk like [fold_leaves],
    exact in quiescence.  Per-node word estimates, 64-bit layout:
 
-     internal:  Internal wrapper 2 + record 4 + Label.t 3
+     internal:  Internal wrapper 2 + record 5 (incl. gen) + Label.t 3
                 + children array 3 + 2 child Atomics 4
-                + iinfo Atomic 2 + Unflag wrapper/ref 4     = 22
+                + iinfo Atomic 2 + Unflag wrapper/ref 4     = 23
      leaf:      Leaf wrapper 2 + record 3 + linfo Atomic 2
                 + Unflag wrapper/ref 4                      = 11
 
@@ -1075,7 +1471,7 @@ let check_invariants t =
    [measured_words] cross-checks the estimate with
    [Obj.reachable_words] from the root, which also charges shared or
    flag-retained blocks the estimate ignores. *)
-let internal_words = 22
+let internal_words = 23
 let leaf_words = 11
 
 let census t =
@@ -1094,8 +1490,9 @@ let census t =
         go (depth + 1) (Atomic.get i.children.(0));
         go (depth + 1) (Atomic.get i.children.(1))
   in
-  go 0 (Internal t.root);
-  let measured_words = Obj.reachable_words (Obj.repr t.root) in
+  let root = (Atomic.get t.holder).hroot in
+  go 0 (Internal root);
+  let measured_words = Obj.reachable_words (Obj.repr root) in
   Some (Obs.Shape.finish ~measured_words a)
 
 (* ------------------------------------------------------------------ *)
@@ -1113,25 +1510,26 @@ module For_testing = struct
   let prepare_insert t k =
     let v = internal_key t k in
     let width = t.width and stats = t.stats in
+    let h = Atomic.get t.holder in
     let r = search t v in
     if key_in_trie r.node v r.rmvd then None
     else
       let node_info_v = Atomic.get (node_info r.node) in
-      let node_copy = copy_node r.node in
+      let node_copy = copy_node ~gen:h.hgen r.node in
       match
-        create_node ~width:t.width ~stats node_copy (Leaf (new_leaf v))
-          (Some node_info_v)
+        create_node ~width:t.width ~stats ~gen:h.hgen node_copy
+          (Leaf (new_leaf v)) (Some node_info_v)
       with
       | None -> None
       | Some new_node -> (
           match r.node with
           | Internal i ->
-              new_flag ~width ~stats
+              new_flag ~width ~stats ~fh:h ~cell:t.holder
                 ~flags:[ (r.p, r.p_info); (i, node_info_v) ]
                 ~unflag:[ r.p ] ~pnodes:[ r.p ] ~old_children:[ r.node ]
                 ~new_children:[ Internal new_node ] ~rmv_leaf:None
           | Leaf _ ->
-              new_flag ~width ~stats
+              new_flag ~width ~stats ~fh:h ~cell:t.holder
                 ~flags:[ (r.p, r.p_info) ]
                 ~unflag:[ r.p ] ~pnodes:[ r.p ] ~old_children:[ r.node ]
                 ~new_children:[ Internal new_node ] ~rmv_leaf:None)
@@ -1142,14 +1540,16 @@ module For_testing = struct
   let prepare_delete t k =
     let v = internal_key t k in
     let width = t.width in
+    let h = Atomic.get t.holder in
     let r = search t v in
     if not (key_in_trie r.node v r.rmvd) then None
     else
       let node_sibling = Atomic.get r.p.children.(sibling_index ~width r.p v) in
       match (r.gp, r.gp_info) with
       | Some gp, Some gp_info ->
-          new_flag2 ~width ~stats:t.stats ~a:gp ~a_old:gp_info ~b:r.p
-            ~b_old:r.p_info ~old_child:r.p_node ~new_child:node_sibling
+          new_flag2 ~width ~stats:t.stats ~fh:h ~cell:t.holder ~a:gp
+            ~a_old:gp_info ~b:r.p ~b_old:r.p_info ~old_child:r.p_node
+            ~new_child:node_sibling
       | _ -> None
 
   (* Perform only the flagging phase of a descriptor, simulating a
@@ -1157,7 +1557,7 @@ module For_testing = struct
   let flag_only fi =
     match fi with
     | Flag f -> flag_phase fi f
-    | Unflag _ -> invalid_arg "flag_only: not a Flag descriptor"
+    | Unflag _ | Snap _ -> invalid_arg "flag_only: not a Flag descriptor"
 
   let set_help_hook h = help_counter_hook := h
 
@@ -1168,16 +1568,16 @@ module For_testing = struct
     let rec go acc (node : node) =
       match node with
       | Leaf l -> (
-          acc + match Atomic.get l.linfo with Flag _ -> 1 | Unflag _ -> 0)
+          acc + match Atomic.get l.linfo with Flag _ -> 1 | _ -> 0)
       | Internal i ->
           let acc =
-            acc + match Atomic.get i.iinfo with Flag _ -> 1 | Unflag _ -> 0
+            acc + match Atomic.get i.iinfo with Flag _ -> 1 | _ -> 0
           in
           if Label.is_prefix_of_key ~width i.label v then
             go acc (Atomic.get i.children.(Label.next_bit_of_key ~width i.label v))
           else acc
     in
-    go 0 (Internal t.root)
+    go 0 (Internal (Atomic.get t.holder).hroot)
 end
 
 let name = "PAT"

@@ -84,6 +84,62 @@ val fold_range : t -> lo:int -> hi:int -> init:'a -> f:('a -> int -> 'a) -> 'a
     range — the quadtree-style search behind the paper's GIS use case.
     Weakly consistent like {!fold}. *)
 
+type view
+(** A frozen, immutable version of the trie, produced by {!snapshot}.
+    Reading a view costs nothing beyond the traversal itself and never
+    interferes with concurrent writers. *)
+
+val snapshot : t -> view
+(** [snapshot t] atomically freezes the current contents and returns a
+    view of them.  O(1) in the number of keys (plus a scan of the
+    per-domain descriptor slots): the trie root sits behind a
+    generation-stamped holder; the snapshot installs a one-node
+    descriptor on the root, swings the holder to a fresh-generation
+    copy, and resolves every published update descriptor so the frozen
+    generation is physically complete before returning.  The
+    linearization point is the holder swing: the view contains exactly
+    the keys for which a successful insert linearized before it and no
+    successful delete/replace-removal did.  Subsequent updates pay a
+    one-time copy of each internal node they first descend through in
+    the new generation (copy-on-descent); {!member} is unaffected.
+    Lock-free; any number of snapshots may run concurrently with any
+    number of updates. *)
+
+(** Reading frozen views.  All traversals are exact with respect to the
+    snapshot's linearization point and never observe later updates. *)
+module View : sig
+  type t = view
+
+  val epoch : t -> int
+  (** Generation number of the view: 0 for a fresh trie, incremented by
+      every snapshot.  Two views of the same trie with the same epoch
+      are the same frozen version. *)
+
+  val fold : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+  (** In-order (ascending-key) fold over the frozen keys. *)
+
+  val fold_range : t -> lo:int -> hi:int -> init:'a -> f:('a -> int -> 'a) -> 'a
+  (** Ascending fold over the frozen keys within [\[lo, hi\]] (clamped
+      to the universe), with the same subtree pruning as
+      {!Patricia.fold_range}. *)
+
+  val to_list : t -> int list
+  (** Ascending list of the frozen keys. *)
+
+  val size : t -> int
+
+  val to_seq : t -> int Seq.t
+  (** Lazy ascending sequence over the frozen keys; safe to consume at
+      any pace — the version it reads can never change. *)
+end
+
+val snapshot_capability : t -> Dset_intf.view option
+(** {!snapshot} repackaged as the first-class optional capability record
+    of the common signature — always [Some] for PAT.  Adapters that
+    [include Core.Patricia] to satisfy [Dset_intf.CONCURRENT_SET] bind
+    [let snapshot = snapshot_capability] instead of re-wrapping the view
+    by hand. *)
+
 val check_invariants : t -> (unit, string) result
 (** Validate the structural invariants: Invariant 7 (a node's child label
     extends the node's label plus the branch bit), every internal node

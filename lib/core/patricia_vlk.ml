@@ -11,11 +11,18 @@
    As the paper notes, with unbounded keys searches remain non-blocking
    (they terminate: the trie's height at any moment is bounded by the
    longest key currently stored) but are no longer wait-free, since
-   concurrent insertions of ever-longer keys can extend a search path. *)
+   concurrent insertions of ever-longer keys can extend a search path.
+
+   Snapshots use the same generation-stamped-holder design as
+   {!Patricia} (see the [Snapshots] section there for the full
+   correctness argument): the root sits behind a holder, every update
+   descriptor validates the holder at a single decision CAS, updates
+   renew stale internals on descent, and [snapshot] swings the holder
+   to a copied root in O(1) of the key count. *)
 
 module B = Bitkey.Bitstr
 
-type info = Unflag of unit ref | Flag of flag
+type info = Unflag of unit ref | Flag of flag | Snap of snap
 
 and node = Leaf of leaf | Internal of internal
 
@@ -25,7 +32,12 @@ and internal = {
   label : B.t;
   children : node Atomic.t array;
   iinfo : info Atomic.t;
+  gen : unit ref; (* generation stamp, as in {!Patricia} *)
 }
+
+and holder = { epoch : int; hgen : unit ref; hroot : internal }
+
+and decision = Pending | Commit | Abort
 
 and flag = {
   flag_nodes : internal array;
@@ -35,8 +47,12 @@ and flag = {
   old_children : node array;
   new_children : node array;
   rmv_leaf : leaf option;
-  flag_done : bool Atomic.t;
+  decision : decision Atomic.t;
+  fholder : holder;
+  fcell : holder Atomic.t;
 }
+
+and snap = { s_old : holder; s_new : holder; s_cell : holder Atomic.t }
 
 (* Descent-cost accounting, the [Patricia.stats] subset that makes
    sense here (the contention counters stay PAT-only; the descriptor
@@ -50,7 +66,12 @@ type stats = {
   descent_depth : Obs.Histogram.t;
 }
 
-type t = { root : internal; stats : stats option }
+type t = {
+  holder : holder Atomic.t;
+  slots : info option Atomic.t list Atomic.t;
+  slot_key : info option Atomic.t option ref Domain.DLS.key;
+  stats : stats option;
+}
 
 let make_stats () =
   {
@@ -73,6 +94,25 @@ let[@inline] descent (stats : stats option) (field : stats -> Obs.Counter.t) d =
 
 let fresh_unflag () = Unflag (ref ())
 let new_leaf key = { key; linfo = Atomic.make (fresh_unflag ()) }
+
+(* The calling domain's published-descriptor slot for [t] (see
+   {!Patricia.my_slot}): an update publishes its descriptor here before
+   flagging and clears it after completion, so a snapshot can resolve
+   every descriptor that might still commit against the frozen
+   generation. *)
+let my_slot t =
+  let r = Domain.DLS.get t.slot_key in
+  match !r with
+  | Some s -> s
+  | None ->
+      let s = Atomic.make None in
+      let rec push () =
+        let l = Atomic.get t.slots in
+        if not (Atomic.compare_and_set t.slots l (s :: l)) then push ()
+      in
+      push ();
+      r := Some s;
+      s
 
 (* Fault-injection sites and retry backoff, as in {!Patricia}: one
    atomic load and an untaken branch per site unless a chaos policy or
@@ -112,7 +152,9 @@ let[@inline] attempt_retry kind ~key ~attempt ~t0 cause =
       ~site:(Obs.Attribution.cause_name cause)
       ~t0
 
-let[@inline] flagged = function Flag _ -> true | Unflag _ -> false
+let[@inline] flagged = function
+  | Flag _ | Snap _ -> true
+  | Unflag _ -> false
 
 let[@inline] retry_cause2 a b =
   if flagged a || flagged b then Obs.Attribution.Flagged_ancestor
@@ -124,17 +166,23 @@ let node_label = function Leaf l -> l.key | Internal i -> i.label
 let name = "PAT-VLK"
 
 let create ?(record_stats = false) () =
+  let gen = ref () in
+  let root =
+    {
+      label = B.empty;
+      children =
+        [|
+          Atomic.make (Leaf (new_leaf B.sentinel_lo));
+          Atomic.make (Leaf (new_leaf B.sentinel_hi));
+        |];
+      iinfo = Atomic.make (fresh_unflag ());
+      gen;
+    }
+  in
   {
-    root =
-      {
-        label = B.empty;
-        children =
-          [|
-            Atomic.make (Leaf (new_leaf B.sentinel_lo));
-            Atomic.make (Leaf (new_leaf B.sentinel_hi));
-          |];
-        iinfo = Atomic.make (fresh_unflag ());
-      };
+    holder = Atomic.make { epoch = 0; hgen = gen; hroot = root };
+    slots = Atomic.make [];
+    slot_key = Domain.DLS.new_key (fun () -> ref None);
     stats = (if record_stats then Some (make_stats ()) else None);
   }
 
@@ -142,7 +190,7 @@ let create ?(record_stats = false) () =
 (* Search *)
 
 let logically_removed = function
-  | Unflag _ -> false
+  | Unflag _ | Snap _ -> false
   | Flag f ->
       let p = f.pnodes.(0) and old = f.old_children.(0) in
       not
@@ -161,7 +209,7 @@ type search_result = {
           (the root's direct child is depth 1) *)
 }
 
-let search t v =
+let search_from (root : internal) v =
   let rec go gp gp_info (p : internal) p_boxed p_info d =
     let node = Atomic.get p.children.(B.next_bit p.label v) in
     match node with
@@ -175,7 +223,9 @@ let search t v =
         in
         { gp; p; p_node = p_boxed; node; gp_info; p_info; rmvd; depth = d + 1 }
   in
-  go None None t.root (Internal t.root) (Atomic.get t.root.iinfo) 0
+  go None None root (Internal root) (Atomic.get root.iinfo) 0
+
+let search t v = search_from (Atomic.get t.holder).hroot v
 
 let key_in_trie node v rmvd =
   match node with Leaf l -> B.equal l.key v && not rmvd | Internal _ -> false
@@ -196,6 +246,12 @@ let flag_phase fi f =
   in
   loop 0
 
+(* Complete an in-flight snapshot: swing the holder (idempotent) and
+   release the old root's info field. *)
+let help_snap (si : info) (s : snap) =
+  ignore (Atomic.compare_and_set s.s_cell s.s_old s.s_new);
+  ignore (Atomic.compare_and_set s.s_old.hroot.iinfo si (fresh_unflag ()))
+
 let child_cas_phase f =
   Array.iteri
     (fun i p ->
@@ -208,34 +264,50 @@ let child_cas_phase f =
     f.pnodes
 
 let rec help (fi : info) : bool =
-  let f = match fi with Flag f -> f | Unflag _ -> assert false in
-  let do_child_cas = flag_phase fi f in
-  if do_child_cas then begin
-    Atomic.set f.flag_done true;
-    (match f.rmv_leaf with Some l -> Atomic.set l.linfo fi | None -> ());
-    child_cas_phase f
-  end;
-  if Atomic.get f.flag_done then begin
-    chaos_point Chaos.Unflag;
-    for i = Array.length f.unflag_nodes - 1 downto 0 do
-      ignore
-        (Atomic.compare_and_set f.unflag_nodes.(i).iinfo fi (fresh_unflag ()))
-    done;
-    true
-  end
-  else begin
-    chaos_point Chaos.Backtrack;
-    Obs.Attribution.mark Obs.Attribution.Backtrack ~attempt:0;
-    for i = Array.length f.flag_nodes - 1 downto 0 do
-      ignore
-        (Atomic.compare_and_set f.flag_nodes.(i).iinfo fi (fresh_unflag ()))
-    done;
-    false
-  end
+  match fi with
+  | Unflag _ -> assert false
+  | Snap s ->
+      help_snap fi s;
+      true
+  | Flag f -> help_flag fi f
 
-and new_flag ~flags ~unflag ~pnodes ~old_children ~new_children ~rmv_leaf =
+and help_flag (fi : info) (f : flag) : bool =
+  let do_child_cas = flag_phase fi f in
+  (* The decision CAS: commit only if every flag landed *and* the
+     owning trie's holder is still the generation this attempt searched
+     — see {!Patricia.help_flag}. *)
+  (if Atomic.get f.decision = Pending then
+     let d =
+       if do_child_cas && Atomic.get f.fcell == f.fholder then Commit
+       else Abort
+     in
+     ignore (Atomic.compare_and_set f.decision Pending d));
+  match Atomic.get f.decision with
+  | Commit ->
+      (match f.rmv_leaf with Some l -> Atomic.set l.linfo fi | None -> ());
+      child_cas_phase f;
+      chaos_point Chaos.Unflag;
+      for i = Array.length f.unflag_nodes - 1 downto 0 do
+        ignore
+          (Atomic.compare_and_set f.unflag_nodes.(i).iinfo fi (fresh_unflag ()))
+      done;
+      true
+  | Abort ->
+      chaos_point Chaos.Backtrack;
+      Obs.Attribution.mark Obs.Attribution.Backtrack ~attempt:0;
+      for i = Array.length f.flag_nodes - 1 downto 0 do
+        ignore
+          (Atomic.compare_and_set f.flag_nodes.(i).iinfo fi (fresh_unflag ()))
+      done;
+      false
+  | Pending -> assert false
+
+and new_flag ~fh ~cell ~flags ~unflag ~pnodes ~old_children ~new_children
+    ~rmv_leaf =
   match
-    List.find_opt (fun (_, i) -> match i with Flag _ -> true | _ -> false) flags
+    List.find_opt
+      (fun (_, i) -> match i with Flag _ | Snap _ -> true | _ -> false)
+      flags
   with
   | Some (_, old) ->
       ignore (help old);
@@ -273,13 +345,17 @@ and new_flag ~flags ~unflag ~pnodes ~old_children ~new_children ~rmv_leaf =
                  old_children = Array.of_list old_children;
                  new_children = Array.of_list new_children;
                  rmv_leaf;
-                 flag_done = Atomic.make false;
+                 decision = Atomic.make Pending;
+                 fholder = fh;
+                 fcell = cell;
                }))
 
-and create_node n1 n2 info =
+and create_node ~gen n1 n2 info =
   let l1 = node_label n1 and l2 = node_label n2 in
   if B.is_prefix l1 l2 || B.is_prefix l2 l1 then begin
-    (match info with Some (Flag _ as fi) -> ignore (help fi) | _ -> ());
+    (match info with
+    | Some ((Flag _ | Snap _) as fi) -> ignore (help fi)
+    | _ -> ());
     None
   end
   else
@@ -291,9 +367,10 @@ and create_node n1 n2 info =
         label = lcp;
         children = [| Atomic.make c0; Atomic.make c1 |];
         iinfo = Atomic.make (fresh_unflag ());
+        gen;
       }
 
-let copy_node = function
+let copy_node ~gen = function
   | Leaf l -> Leaf (new_leaf l.key)
   | Internal i ->
       Internal
@@ -305,7 +382,68 @@ let copy_node = function
               Atomic.make (Atomic.get i.children.(1));
             |];
           iinfo = Atomic.make (fresh_unflag ());
+          gen;
         }
+
+(* Publication wrapper and copy-on-descent renewal — the update-side
+   snapshot machinery, as in {!Patricia.run_own} / [search_renew]. *)
+
+let run_own t fi =
+  let slot = my_slot t in
+  Atomic.set slot (Some fi);
+  let r = help fi in
+  Atomic.set slot None;
+  r
+
+let renew_child t (h : holder) (p : internal) p_info c_boxed (i : internal) =
+  match Atomic.get i.iinfo with
+  | (Flag _ | Snap _) as fi -> ignore (help fi)
+  | Unflag _ as ii -> (
+      let copy =
+        Internal
+          {
+            label = i.label;
+            children =
+              [|
+                Atomic.make (Atomic.get i.children.(0));
+                Atomic.make (Atomic.get i.children.(1));
+              |];
+            iinfo = Atomic.make (fresh_unflag ());
+            gen = h.hgen;
+          }
+      in
+      match
+        new_flag ~fh:h ~cell:t.holder
+          ~flags:[ (p, p_info); (i, ii) ]
+          ~unflag:[ p ] ~pnodes:[ p ] ~old_children:[ c_boxed ]
+          ~new_children:[ copy ] ~rmv_leaf:None
+      with
+      | Some fi -> ignore (run_own t fi)
+      | None -> ())
+
+(* [None]: the descent hit a stale-generation internal and (at most)
+   renewed it; the caller restarts from a fresh holder read. *)
+let search_renew t (h : holder) v =
+  let rec go gp gp_info (p : internal) p_boxed p_info d =
+    let node = Atomic.get p.children.(B.next_bit p.label v) in
+    match node with
+    | Internal i when B.is_proper_prefix i.label v ->
+        if i.gen == h.hgen then
+          go (Some p) (Some p_info) i node (Atomic.get i.iinfo) (d + 1)
+        else begin
+          renew_child t h p p_info node i;
+          None
+        end
+    | _ ->
+        let rmvd =
+          match node with
+          | Leaf l -> logically_removed (Atomic.get l.linfo)
+          | Internal _ -> false
+        in
+        Some
+          { gp; p; p_node = p_boxed; node; gp_info; p_info; rmvd; depth = d + 1 }
+  in
+  go None None h.hroot (Internal h.hroot) (Atomic.get h.hroot.iinfo) 0
 
 (* ------------------------------------------------------------------ *)
 (* Operations over raw encoded keys *)
@@ -330,46 +468,56 @@ let insert_key t v =
   check_key v;
   let rec attempt bo n =
     let t0 = span_start () in
-    let r = search t v in
-    descent t.stats (fun s -> s.descent_insert) r.depth;
-    if key_in_trie r.node v r.rmvd then
-      attempt_done Obs.Trace.Insert ~key:v ~attempt:n ~t0 ~site:"present" false
-    else begin
-      let node_info_v = Atomic.get (node_info r.node) in
-      let node_copy = copy_node r.node in
-      match create_node node_copy (Leaf (new_leaf v)) (Some node_info_v) with
-      | None ->
-          attempt_retry Obs.Trace.Insert ~key:v ~attempt:n ~t0
-            (if flagged node_info_v then Obs.Attribution.Flagged_ancestor
-             else Obs.Attribution.Conflict);
-          attempt (retry_pause bo) (n + 1)
-      | Some new_node ->
-          let fi =
-            match r.node with
-            | Internal i ->
-                new_flag
-                  ~flags:[ (r.p, r.p_info); (i, node_info_v) ]
-                  ~unflag:[ r.p ] ~pnodes:[ r.p ] ~old_children:[ r.node ]
-                  ~new_children:[ Internal new_node ] ~rmv_leaf:None
-            | Leaf _ ->
-                new_flag
-                  ~flags:[ (r.p, r.p_info) ]
-                  ~unflag:[ r.p ] ~pnodes:[ r.p ] ~old_children:[ r.node ]
-                  ~new_children:[ Internal new_node ] ~rmv_leaf:None
-          in
-          (match fi with
-          | Some fi when help fi ->
-              attempt_done Obs.Trace.Insert ~key:v ~attempt:n ~t0
-                ~site:"applied" true
-          | Some _ ->
-              attempt_retry Obs.Trace.Insert ~key:v ~attempt:n ~t0
-                Obs.Attribution.Flag_cas_lost;
-              attempt (retry_pause bo) (n + 1)
+    let h = Atomic.get t.holder in
+    match search_renew t h v with
+    | None ->
+        attempt_retry Obs.Trace.Insert ~key:v ~attempt:n ~t0
+          Obs.Attribution.Conflict;
+        attempt (retry_pause bo) (n + 1)
+    | Some r ->
+        descent t.stats (fun s -> s.descent_insert) r.depth;
+        if key_in_trie r.node v r.rmvd then
+          attempt_done Obs.Trace.Insert ~key:v ~attempt:n ~t0 ~site:"present"
+            false
+        else begin
+          let node_info_v = Atomic.get (node_info r.node) in
+          let node_copy = copy_node ~gen:h.hgen r.node in
+          match
+            create_node ~gen:h.hgen node_copy (Leaf (new_leaf v))
+              (Some node_info_v)
+          with
           | None ->
               attempt_retry Obs.Trace.Insert ~key:v ~attempt:n ~t0
-                (retry_cause2 r.p_info node_info_v);
-              attempt (retry_pause bo) (n + 1))
-    end
+                (if flagged node_info_v then Obs.Attribution.Flagged_ancestor
+                 else Obs.Attribution.Conflict);
+              attempt (retry_pause bo) (n + 1)
+          | Some new_node -> (
+              let fi =
+                match r.node with
+                | Internal i ->
+                    new_flag ~fh:h ~cell:t.holder
+                      ~flags:[ (r.p, r.p_info); (i, node_info_v) ]
+                      ~unflag:[ r.p ] ~pnodes:[ r.p ] ~old_children:[ r.node ]
+                      ~new_children:[ Internal new_node ] ~rmv_leaf:None
+                | Leaf _ ->
+                    new_flag ~fh:h ~cell:t.holder
+                      ~flags:[ (r.p, r.p_info) ]
+                      ~unflag:[ r.p ] ~pnodes:[ r.p ] ~old_children:[ r.node ]
+                      ~new_children:[ Internal new_node ] ~rmv_leaf:None
+              in
+              match fi with
+              | Some fi when run_own t fi ->
+                  attempt_done Obs.Trace.Insert ~key:v ~attempt:n ~t0
+                    ~site:"applied" true
+              | Some _ ->
+                  attempt_retry Obs.Trace.Insert ~key:v ~attempt:n ~t0
+                    Obs.Attribution.Flag_cas_lost;
+                  attempt (retry_pause bo) (n + 1)
+              | None ->
+                  attempt_retry Obs.Trace.Insert ~key:v ~attempt:n ~t0
+                    (retry_cause2 r.p_info node_info_v);
+                  attempt (retry_pause bo) (n + 1))
+        end
   in
   attempt Chaos.Backoff.init 1
 
@@ -377,36 +525,43 @@ let delete_key t v =
   check_key v;
   let rec attempt bo n =
     let t0 = span_start () in
-    let r = search t v in
-    descent t.stats (fun s -> s.descent_delete) r.depth;
-    if not (key_in_trie r.node v r.rmvd) then
-      attempt_done Obs.Trace.Delete ~key:v ~attempt:n ~t0 ~site:"absent" false
-    else begin
-      let node_sibling = Atomic.get r.p.children.(sibling_index r.p v) in
-      match (r.gp, r.gp_info) with
-      | Some gp, Some gp_info -> (
-          match
-            new_flag
-              ~flags:[ (gp, gp_info); (r.p, r.p_info) ]
-              ~unflag:[ gp ] ~pnodes:[ gp ] ~old_children:[ r.p_node ]
-              ~new_children:[ node_sibling ] ~rmv_leaf:None
-          with
-          | Some fi when help fi ->
-              attempt_done Obs.Trace.Delete ~key:v ~attempt:n ~t0
-                ~site:"applied" true
-          | Some _ ->
+    let h = Atomic.get t.holder in
+    match search_renew t h v with
+    | None ->
+        attempt_retry Obs.Trace.Delete ~key:v ~attempt:n ~t0
+          Obs.Attribution.Conflict;
+        attempt (retry_pause bo) (n + 1)
+    | Some r ->
+        descent t.stats (fun s -> s.descent_delete) r.depth;
+        if not (key_in_trie r.node v r.rmvd) then
+          attempt_done Obs.Trace.Delete ~key:v ~attempt:n ~t0 ~site:"absent"
+            false
+        else begin
+          let node_sibling = Atomic.get r.p.children.(sibling_index r.p v) in
+          match (r.gp, r.gp_info) with
+          | Some gp, Some gp_info -> (
+              match
+                new_flag ~fh:h ~cell:t.holder
+                  ~flags:[ (gp, gp_info); (r.p, r.p_info) ]
+                  ~unflag:[ gp ] ~pnodes:[ gp ] ~old_children:[ r.p_node ]
+                  ~new_children:[ node_sibling ] ~rmv_leaf:None
+              with
+              | Some fi when run_own t fi ->
+                  attempt_done Obs.Trace.Delete ~key:v ~attempt:n ~t0
+                    ~site:"applied" true
+              | Some _ ->
+                  attempt_retry Obs.Trace.Delete ~key:v ~attempt:n ~t0
+                    Obs.Attribution.Flag_cas_lost;
+                  attempt (retry_pause bo) (n + 1)
+              | None ->
+                  attempt_retry Obs.Trace.Delete ~key:v ~attempt:n ~t0
+                    (retry_cause2 gp_info r.p_info);
+                  attempt (retry_pause bo) (n + 1))
+          | _ ->
               attempt_retry Obs.Trace.Delete ~key:v ~attempt:n ~t0
-                Obs.Attribution.Flag_cas_lost;
+                Obs.Attribution.Conflict;
               attempt (retry_pause bo) (n + 1)
-          | None ->
-              attempt_retry Obs.Trace.Delete ~key:v ~attempt:n ~t0
-                (retry_cause2 gp_info r.p_info);
-              attempt (retry_pause bo) (n + 1))
-      | _ ->
-          attempt_retry Obs.Trace.Delete ~key:v ~attempt:n ~t0
-            Obs.Attribution.Conflict;
-          attempt (retry_pause bo) (n + 1)
-    end
+        end
   in
   attempt Chaos.Backoff.init 1
 
@@ -417,13 +572,23 @@ let replace_key t vd vi =
   else
     let rec attempt bo n =
       let t0 = span_start () in
-      let rd = search t vd in
+      let restart bo =
+        attempt_retry Obs.Trace.Replace ~key:vd ~attempt:n ~t0
+          Obs.Attribution.Conflict;
+        bo
+      in
+      let h = Atomic.get t.holder in
+      match search_renew t h vd with
+      | None -> attempt (retry_pause (restart bo)) (n + 1)
+      | Some rd -> (
       descent t.stats (fun s -> s.descent_replace) rd.depth;
       if not (key_in_trie rd.node vd rd.rmvd) then
         attempt_done Obs.Trace.Replace ~key:vd ~attempt:n ~t0 ~site:"absent"
           false
       else begin
-        let ri = search t vi in
+        match search_renew t h vi with
+        | None -> attempt (retry_pause (restart bo)) (n + 1)
+        | Some ri -> (
         descent t.stats (fun s -> s.descent_replace) ri.depth;
         if key_in_trie ri.node vi ri.rmvd then
           attempt_done Obs.Trace.Replace ~key:vd ~attempt:n ~t0 ~site:"present"
@@ -457,15 +622,16 @@ let replace_key t vd vi =
               && not (pi == pd)
             then begin
               let gpd = Option.get rd.gp and gpd_info = Option.get rd.gp_info in
-              let copy_i = copy_node node_i in
+              let copy_i = copy_node ~gen:h.hgen node_i in
               match
-                create_node copy_i (Leaf (new_leaf vi)) (Some node_info_i)
+                create_node ~gen:h.hgen copy_i (Leaf (new_leaf vi))
+                  (Some node_info_i)
               with
               | None -> None
               | Some new_node_i -> (
                   match node_i with
                   | Internal i ->
-                      new_flag
+                      new_flag ~fh:h ~cell:t.holder
                         ~flags:
                           [
                             (gpd, gpd_info);
@@ -479,7 +645,7 @@ let replace_key t vd vi =
                         ~new_children:[ Internal new_node_i; node_sibling_d ]
                         ~rmv_leaf:(Some leaf_d)
                   | Leaf _ ->
-                      new_flag
+                      new_flag ~fh:h ~cell:t.holder
                         ~flags:
                           [ (gpd, gpd_info); (pd, rd.p_info); (pi, ri.p_info) ]
                         ~unflag:[ gpd; pi ]
@@ -489,7 +655,7 @@ let replace_key t vd vi =
                         ~rmv_leaf:(Some leaf_d))
             end
             else if same_node node_i node_d then
-              new_flag
+              new_flag ~fh:h ~cell:t.holder
                 ~flags:[ (pd, rd.p_info) ]
                 ~unflag:[ pd ] ~pnodes:[ pd ] ~old_children:[ node_i ]
                 ~new_children:[ Leaf (new_leaf vi) ] ~rmv_leaf:None
@@ -501,11 +667,12 @@ let replace_key t vd vi =
               let gpd = Option.get rd.gp and gpd_info = Option.get rd.gp_info in
               let sib_info = Atomic.get (node_info node_sibling_d) in
               match
-                create_node node_sibling_d (Leaf (new_leaf vi)) (Some sib_info)
+                create_node ~gen:h.hgen node_sibling_d (Leaf (new_leaf vi))
+                  (Some sib_info)
               with
               | None -> None
               | Some new_node_i ->
-                  new_flag
+                  new_flag ~fh:h ~cell:t.holder
                     ~flags:[ (gpd, gpd_info); (pd, rd.p_info) ]
                     ~unflag:[ gpd ] ~pnodes:[ gpd ] ~old_children:[ rd.p_node ]
                     ~new_children:[ Internal new_node_i ] ~rmv_leaf:None
@@ -515,15 +682,16 @@ let replace_key t vd vi =
             then begin
               let gpd = Option.get rd.gp in
               let p_sibling_d = Atomic.get gpd.children.(sibling_index gpd vd) in
-              match create_node node_sibling_d p_sibling_d None with
+              match create_node ~gen:h.hgen node_sibling_d p_sibling_d None with
               | None -> None
               | Some new_child_i -> (
                   match
-                    create_node (Internal new_child_i) (Leaf (new_leaf vi)) None
+                    create_node ~gen:h.hgen (Internal new_child_i)
+                      (Leaf (new_leaf vi)) None
                   with
                   | None -> None
                   | Some new_node_i ->
-                      new_flag
+                      new_flag ~fh:h ~cell:t.holder
                         ~flags:
                           [
                             (pi, ri.p_info);
@@ -536,7 +704,7 @@ let replace_key t vd vi =
             else None
           in
           match fi with
-          | Some fi when help fi ->
+          | Some fi when run_own t fi ->
               attempt_done Obs.Trace.Replace ~key:vd ~attempt:n ~t0
                 ~site:"applied" true
           | Some _ ->
@@ -553,8 +721,8 @@ let replace_key t vd vi =
               in
               attempt_retry Obs.Trace.Replace ~key:vd ~attempt:n ~t0 cause;
               attempt (retry_pause bo) (n + 1)
-        end
-      end
+        end)
+      end)
     in
     attempt Chaos.Backoff.init 1
 
@@ -578,7 +746,7 @@ let fold_leaves t ~init ~f =
     | Internal i ->
         go (go acc (Atomic.get i.children.(0))) (Atomic.get i.children.(1))
   in
-  go init (Internal t.root)
+  go init (Internal (Atomic.get t.holder).hroot)
 
 let to_list t =
   List.rev (fold_leaves t ~init:[] ~f:(fun acc k -> B.decode_bytes k :: acc))
@@ -591,6 +759,7 @@ let check_invariants t =
   let rec go (path : B.t) node =
     (match Atomic.get (node_info node) with
     | Unflag _ -> ()
+    | Snap _ -> err "residual snapshot descriptor on reachable node"
     | Flag _ -> (
         match node with
         | Leaf l -> err "residual flag on reachable leaf %a" B.pp l.key
@@ -613,8 +782,80 @@ let check_invariants t =
         go (B.extend i.label 0) c0;
         go (B.extend i.label 1) c1
   in
-  go B.empty (Internal t.root);
+  go B.empty (Internal (Atomic.get t.holder).hroot);
   match !errors with [] -> Ok () | es -> Error (String.concat "; " es)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots: the same protocol as {!Patricia.snapshot} — sandwich a
+   Snap descriptor on the root's info field, swing the holder to a
+   fresh-generation copy, then resolve every published descriptor so
+   the frozen generation is physically complete before returning. *)
+
+type view = { vepoch : int; vroot : internal }
+
+let snapshot t =
+  let rec attempt () =
+    let h = Atomic.get t.holder in
+    let root = h.hroot in
+    match Atomic.get root.iinfo with
+    | (Flag _ | Snap _) as fi ->
+        ignore (help fi);
+        attempt ()
+    | Unflag _ as ri ->
+        let c0 = Atomic.get root.children.(0)
+        and c1 = Atomic.get root.children.(1) in
+        let gen' = ref () in
+        let root' =
+          {
+            label = root.label;
+            children = [| Atomic.make c0; Atomic.make c1 |];
+            iinfo = Atomic.make (fresh_unflag ());
+            gen = gen';
+          }
+        in
+        let h' = { epoch = h.epoch + 1; hgen = gen'; hroot = root' } in
+        let si = Snap { s_old = h; s_new = h'; s_cell = t.holder } in
+        if Atomic.compare_and_set root.iinfo ri si then begin
+          ignore (Atomic.compare_and_set t.holder h h');
+          ignore (Atomic.compare_and_set root.iinfo si (fresh_unflag ()));
+          List.iter
+            (fun slot ->
+              match Atomic.get slot with
+              | Some fi -> ignore (help fi)
+              | None -> ())
+            (Atomic.get t.slots);
+          h
+        end
+        else attempt ()
+  in
+  let h = attempt () in
+  { vepoch = h.epoch; vroot = h.hroot }
+
+module View = struct
+  type t = view
+
+  let epoch v = v.vepoch
+
+  (* Frozen walk: info fields are ignored (see {!Patricia.View}) —
+     every reachable non-sentinel leaf is an element of the frozen
+     set. *)
+  let fold_keys v ~init ~f =
+    let rec go acc = function
+      | Leaf l ->
+          if B.equal l.key B.sentinel_lo || B.equal l.key B.sentinel_hi then
+            acc
+          else f acc l.key
+      | Internal i ->
+          go (go acc (Atomic.get i.children.(0))) (Atomic.get i.children.(1))
+    in
+    go init (Internal v.vroot)
+
+  let fold v ~init ~f =
+    fold_keys v ~init ~f:(fun acc k -> f acc (B.decode_bytes k))
+
+  let to_list v = List.rev (fold v ~init:[] ~f:(fun acc s -> s :: acc))
+  let size v = fold_keys v ~init:0 ~f:(fun acc _ -> acc + 1)
+end
 
 (* ------------------------------------------------------------------ *)
 (* Structure forensics: shape census and descent-cost exports *)
@@ -630,7 +871,7 @@ let bitstr_words b =
   let bytes = (B.length b + 7) / 8 in
   3 + 1 + ((bytes + 8) / 8)
 
-let internal_base_words = 19
+let internal_base_words = 20 (* +1 over the PR 8 layout: the gen field *)
 let leaf_base_words = 11
 
 let census t =
@@ -652,8 +893,9 @@ let census t =
         go (depth + 1) (Atomic.get i.children.(0));
         go (depth + 1) (Atomic.get i.children.(1))
   in
-  go 0 (Internal t.root);
-  let measured_words = Obj.reachable_words (Obj.repr t.root) in
+  let root = (Atomic.get t.holder).hroot in
+  go 0 (Internal root);
+  let measured_words = Obj.reachable_words (Obj.repr root) in
   Some (Obs.Shape.finish ~measured_words a)
 
 let descent_stats t =

@@ -42,6 +42,29 @@ val to_list : t -> string list
 
 val size : t -> int
 
+type view
+(** A frozen, immutable version of the trie — see {!Patricia.view}. *)
+
+val snapshot : t -> view
+(** [snapshot t] atomically freezes the current contents, O(1) in the
+    key count, exactly as {!Patricia.snapshot}: the view contains the
+    keys present at the snapshot's linearization point (the holder
+    swing) and never observes later updates. *)
+
+module View : sig
+  type t = view
+
+  val epoch : t -> int
+
+  val fold : t -> init:'a -> f:('a -> string -> 'a) -> 'a
+  (** Fold over the frozen byte-string keys in encoded-key order.  Only
+      valid when every key was inserted through the byte-string API
+      (like {!to_list}). *)
+
+  val to_list : t -> string list
+  val size : t -> int
+end
+
 val check_invariants : t -> (unit, string) result
 (** Structural audit for quiescent states: label-prefix ordering
     (Invariant 7) and — like {!Patricia.check_invariants} — no residual

@@ -47,6 +47,23 @@ type census = {
   bytes_per_key : float;
 }
 
+(** A frozen, immutable version of a structure's contents, produced by
+    an atomic snapshot (see [CONCURRENT_SET.snapshot]).  The record
+    carries first-class polymorphic traversals so a [view] is the same
+    concrete type for every structure — the harness and the server scan
+    path consume it without knowing which implementation made it. *)
+type view = {
+  v_epoch : int;
+      (** Generation number: strictly increasing per structure, equal
+          epochs denote the same frozen version. *)
+  v_fold : 'a. init:'a -> f:('a -> int -> 'a) -> 'a;
+      (** In-order (ascending-key) fold over the frozen keys. *)
+  v_fold_range : 'a. lo:int -> hi:int -> init:'a -> f:('a -> int -> 'a) -> 'a;
+      (** Ascending fold over frozen keys within [\[lo, hi\]]. *)
+  v_to_seq : unit -> int Seq.t;
+      (** Lazy ascending sequence; safe to consume at any pace. *)
+}
+
 module type CONCURRENT_SET = sig
   type t
 
@@ -90,6 +107,13 @@ module type CONCURRENT_SET = sig
       the instance records no descent stats (not created with
       [~record_stats:true], or the structure has no accounting). *)
   val descent_stats : t -> (string * int) list option
+
+  (** Atomic snapshot: a frozen view of the contents that is a
+      linearization point of the concurrent history and never observes
+      later updates.  [None] is the explicit "unsupported" marker — the
+      baselines have no snapshot mechanism, and their weakly-consistent
+      folds must not masquerade as one. *)
+  val snapshot : t -> view option
 end
 
 (** Structures that additionally support the paper's atomic replace. *)

@@ -57,3 +57,7 @@ val descent_stats : t -> (string * int) list option
 val descent_summary : t -> Obs.Histogram.summary option
 (** Depth histogram of all recorded searches; [None] without
     [~record_stats:true]. *)
+
+val snapshot : t -> Dset_intf.view option
+(** Always [None] — the explicit "unsupported" marker of the atomic
+    snapshot capability; 4-ST has no snapshot mechanism. *)

@@ -19,10 +19,17 @@ type op_kind =
   | Delete of int
   | Member of int
   | Replace of int * int (* remove, add *)
+  | Scan of int * int (* lo, hi: an atomic multi-key read of [lo, hi] *)
+
+(* Boolean ops record their acknowledgement; a scan records the whole
+   key set it returned, as a bitmask — which is what makes a frozen
+   snapshot checkable: the witness order must contain a moment whose
+   masked state equals the returned keys exactly. *)
+type res = Bool of bool | Keys of int
 
 type recorded = {
   kind : op_kind;
-  result : bool;
+  result : res;
   invoke : int; (* strictly increasing global timestamps *)
   return : int;
 }
@@ -35,17 +42,20 @@ let max_universe = 62
 let apply state = function
   | Insert k ->
       let present = state land (1 lsl k) <> 0 in
-      (not present, state lor (1 lsl k))
+      (Bool (not present), state lor (1 lsl k))
   | Delete k ->
       let present = state land (1 lsl k) <> 0 in
-      (present, state land lnot (1 lsl k))
-  | Member k -> (state land (1 lsl k) <> 0, state)
+      (Bool present, state land lnot (1 lsl k))
+  | Member k -> (Bool (state land (1 lsl k) <> 0), state)
   | Replace (kd, ki) ->
       let d_in = state land (1 lsl kd) <> 0 in
       let i_in = state land (1 lsl ki) <> 0 in
       if kd <> ki && d_in && not i_in then
-        (true, state land lnot (1 lsl kd) lor (1 lsl ki))
-      else (false, state)
+        (Bool true, state land lnot (1 lsl kd) lor (1 lsl ki))
+      else (Bool false, state)
+  | Scan (lo, hi) ->
+      let mask = ((1 lsl (hi - lo + 1)) - 1) lsl lo in
+      (Keys (state land mask), state)
 
 let check_key op =
   match op.kind with
@@ -54,6 +64,9 @@ let check_key op =
   | Replace (a, b) ->
       if a < 0 || a >= max_universe || b < 0 || b >= max_universe then
         invalid_arg "Linearize: key too large"
+  | Scan (lo, hi) ->
+      if lo < 0 || hi < lo || hi >= max_universe then
+        invalid_arg "Linearize: scan range invalid"
 
 (** [check ?initial history] is [true] iff the history is linearizable
     with respect to the set specification starting from [initial]
@@ -119,8 +132,24 @@ module Recorder = struct
     let invoke = Atomic.fetch_and_add r.clock 1 in
     let result = run () in
     let return = Atomic.fetch_and_add r.clock 1 in
-    r.buffers.(thread) := { kind; result; invoke; return } :: !(r.buffers.(thread));
+    r.buffers.(thread) :=
+      { kind; result = Bool result; invoke; return } :: !(r.buffers.(thread));
     result
+
+  (** [record_scan r ~thread ~lo ~hi run] times a multi-key read: [run
+      ()] returns the bitmask of keys in [\[lo, hi\]] the scan reported
+      (a frozen snapshot fold, a wire SCAN page).  The checker then
+      demands a linearization point at which the masked state equals
+      that bitmask exactly — the property that separates an atomic
+      snapshot from a merely weakly-consistent walk. *)
+  let record_scan r ~thread ~lo ~hi run =
+    let invoke = Atomic.fetch_and_add r.clock 1 in
+    let keys = run () in
+    let return = Atomic.fetch_and_add r.clock 1 in
+    r.buffers.(thread) :=
+      { kind = Scan (lo, hi); result = Keys keys; invoke; return }
+      :: !(r.buffers.(thread));
+    keys
 
   let history r =
     Array.of_list (List.concat_map (fun b -> !b) (Array.to_list r.buffers))

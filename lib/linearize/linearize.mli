@@ -10,10 +10,19 @@ type op_kind =
   | Delete of int
   | Member of int
   | Replace of int * int  (** remove, add *)
+  | Scan of int * int
+      (** [lo, hi]: an atomic multi-key read of the range — a frozen
+          snapshot fold or a wire SCAN page *)
+
+(** A boolean acknowledgement, or the bitmask of keys a [Scan]
+    returned.  Recording the whole returned key set is what makes
+    snapshots checkable: the witness order must contain a moment whose
+    masked state equals the bitmask exactly. *)
+type res = Bool of bool | Keys of int
 
 type recorded = {
   kind : op_kind;
-  result : bool;
+  result : res;
   invoke : int;  (** globally unique, increasing timestamps *)
   return : int;
 }
@@ -21,11 +30,12 @@ type recorded = {
 val max_ops : int
 val max_universe : int
 
-val apply : int -> op_kind -> bool * int
+val apply : int -> op_kind -> res * int
 (** The sequential set specification over a bitmask state: expected
     result and post-state.  [Replace] succeeds iff the removed key is
     present, the added key absent and the two differ; on failure the
-    state is unchanged. *)
+    state is unchanged.  [Scan (lo, hi)] returns [Keys] of the state
+    masked to the range and leaves the state unchanged. *)
 
 val check : ?initial:int -> recorded array -> bool
 (** [check history] is [true] iff some sequential ordering of the
@@ -45,6 +55,11 @@ module Recorder : sig
   val record : t -> thread:int -> op_kind -> (unit -> bool) -> bool
   (** [record r ~thread kind run] executes [run ()] between two clock
       ticks and stores the completed operation; returns [run]'s result. *)
+
+  val record_scan : t -> thread:int -> lo:int -> hi:int -> (unit -> int) -> int
+  (** [record_scan r ~thread ~lo ~hi run] times a multi-key read:
+      [run ()] returns the bitmask of keys in [\[lo, hi\]] the scan
+      reported, recorded as a [Scan] operation with a [Keys] result. *)
 
   val history : t -> recorded array
   (** All recorded operations (call after the threads have joined). *)

@@ -70,6 +70,7 @@ module Make (S : Dset_intf.CONCURRENT_SET) :
   let size t = S.size t.inner
   let census t = S.census t.inner
   let descent_stats t = S.descent_stats t.inner
+  let snapshot t = S.snapshot t.inner
   let inner t = t.inner
 
   let latency t = function

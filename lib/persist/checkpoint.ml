@@ -19,20 +19,24 @@
 
     {2 Consistency against live traffic}
 
-    The checkpoint writer snapshots a {e live} trie: it records the
-    current WAL sequence [S] {e before} starting the ordered leaf
-    traversal and stamps the image [replay_from = S].  Every mutation
-    the traversal might have half-seen was applied after the stamp was
-    read, hence published to the WAL with a sequence [> S] (operations
-    publish after applying), and recovery's replay is {e forced} —
-    insert means present, delete means absent — so the replay overwrites
-    every key the traversal raced with.  Keys untouched since before the
-    stamp are exact in the image by the trie's weakly-consistent-fold
-    guarantee (a continuously present key is always reported).  The
-    recovered state therefore equals the linearization at the end of the
-    replayed WAL, which is the same durable history a recovery without
-    the checkpoint would have produced — the image only shortens the
-    replay. *)
+    The checkpoint writer images a {e live} trie: it records the
+    current WAL sequence [S] {e before} taking an atomic frozen
+    snapshot of the structure and stamps the image [replay_from = S].
+    Operations publish to the WAL {e after} applying to the structure,
+    so every record with [seq <= S] had finished applying before [S]
+    was read and is inside the snapshot; the only records the snapshot
+    may additionally contain have [seq > S] and are replayed on
+    recovery.  Replay runs each record with its {e exact} semantics
+    (see {!Store.Make}): insert and delete are naturally idempotent,
+    and a conditional Replace whose effect the image already holds
+    fails its precondition and no-ops rather than double-applying.
+    The recovered state therefore equals the linearization at the end
+    of the replayed WAL, which is the same durable history a recovery
+    without the checkpoint would have produced — the image only
+    shortens the replay.  (Structures without a snapshot capability
+    fall back to a weakly-consistent traversal, sound for
+    insert/delete histories because replay overwrites any key the
+    traversal raced with.) *)
 
 let magic = "PATCKPT1"
 let fixed_len = 8 + 8 + 8 + 8 (* magic, universe, replay_from, count *)

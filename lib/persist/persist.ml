@@ -12,9 +12,11 @@
       fsync, so synchronous durability costs one fsync per batch of
       concurrent operations rather than one per operation;
     - {!Checkpoint}: consistent images of a live trie, written
-      side-by-side with concurrent inserts/deletes/replaces using a
-      WAL-cut stamp plus forced tail replay (the snapshot problem
-      Prokopec et al. solve for Ctries, solved here against the log);
+      side-by-side with concurrent inserts/deletes/replaces by pairing
+      a WAL-cut stamp with an atomic frozen snapshot of the structure
+      (the trie's own snapshot capability — the problem Prokopec et
+      al. solve for Ctries, solved here inside the trie and stitched
+      to the log by exact, idempotent tail replay);
     - {!Store}: a functor packaging any [CONCURRENT_SET_WITH_REPLACE]
       with open-time recovery (newest valid checkpoint + WAL tail
       replay, torn tails truncated at the first bad CRC, idempotent

@@ -3,12 +3,19 @@
     ({!Checkpoint}).
 
     Opening a store recovers: load the newest valid checkpoint, replay
-    the WAL tail ([seq > replay_from]) with {e forced} semantics —
-    insert means present, delete means absent — truncating a torn tail
-    at the first bad CRC, then start a fresh segment for new appends.
-    Forced replay makes recovery idempotent: replaying the same log
-    twice (or over a state that already contains its effects) converges
-    to the same set.
+    the WAL tail ([seq > replay_from]) with the operations' {e exact}
+    semantics, truncating a torn tail at the first bad CRC, then start
+    a fresh segment for new appends.  Exact replay is idempotent over a
+    snapshot image: insert and delete converge regardless of whether
+    the image already holds their effect, and a conditional
+    [S.replace] of a record the image already contains finds its
+    [remove] key gone (or its [add] key present) and no-ops — so
+    replaying the same log twice, or over a state that already
+    contains a suffix of its effects, converges to the same set.  (The
+    older design forced Replace records as delete+insert to overwrite
+    keys a weakly-consistent traversal might have half-seen; with
+    checkpoint images drawn from an atomic frozen {!snapshot} there is
+    nothing half-seen left to overwrite, and the forced path is gone.)
 
     {2 Durability contract}
 
@@ -72,12 +79,14 @@ module Make (S : Dset_intf.CONCURRENT_SET_WITH_REPLACE) = struct
       with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
     end
 
-  let apply_forced set = function
+  (* Exact replay: each record re-runs as the operation it logged.
+     Over a snapshot-consistent image this is idempotent — a Replace
+     whose effect is already in the image fails its conditional check
+     and no-ops instead of being forced through as delete+insert. *)
+  let apply set = function
     | Wal.Insert k -> ignore (S.insert set k : bool)
     | Wal.Delete k -> ignore (S.delete set k : bool)
-    | Wal.Replace { remove; add } ->
-        ignore (S.delete set remove : bool);
-        ignore (S.insert set add : bool)
+    | Wal.Replace { remove; add } -> ignore (S.replace set ~remove ~add : bool)
 
   (** [open_ ~dir ~universe ~mode ()] recovers the state persisted in
       [dir] (creating it if absent) into a fresh [S.t] and, in the
@@ -101,7 +110,7 @@ module Make (S : Dset_intf.CONCURRENT_SET_WITH_REPLACE) = struct
       | None -> -1
     in
     let scan =
-      match Wal.scan ~dir ~replay_from ~f:(fun ~seq:_ r -> apply_forced set r) with
+      match Wal.scan ~dir ~replay_from ~f:(fun ~seq:_ r -> apply set r) with
       | Result.Ok s -> s
       | Result.Error msg -> failwith ("Persist.Store: " ^ msg)
     in
@@ -188,6 +197,21 @@ module Make (S : Dset_intf.CONCURRENT_SET_WITH_REPLACE) = struct
   let size t = S.size t.set
   let to_list t = S.to_list t.set
 
+  (** Atomic frozen view of the current contents (the structure's
+      snapshot capability, untouched by the WAL layer). *)
+  let snapshot t = S.snapshot t.set
+
+  (** Newest {e assigned} WAL sequence number — the [cut] a scan page
+      or checkpoint taken {e after} reading it may be paired with:
+      mutations apply to the structure before they log, so every record
+      [<= scan_cut t] is already visible to a snapshot taken later.
+      Falls back to the recovered [last_seq] when the store does not
+      log (Ephemeral). *)
+  let scan_cut t =
+    match t.writer with
+    | Some w -> Wal.Writer.last_assigned w
+    | None -> t.info.last_seq
+
   (** Block until this domain's most recent logged mutation is durable.
       In {!Sync} mode an acknowledgement must not be released before
       this returns; the patserve server calls it once per processed
@@ -211,7 +235,18 @@ module Make (S : Dset_intf.CONCURRENT_SET_WITH_REPLACE) = struct
       delete WAL segments it makes obsolete.  Returns
       [(keys_serialized, segments_deleted)].  Serialized against itself
       with a mutex; safe against concurrent mutations (see
-      {!Checkpoint} on why the image + tail replay is consistent). *)
+      {!Checkpoint} on why the image + tail replay is consistent).
+
+      The image is drawn from an atomic frozen {!S.snapshot} taken
+      {e after} the WAL cut [s0] is read — mutations apply to the
+      structure before they log, so every record [<= s0] is inside the
+      view and every record the view might additionally contain has
+      [seq > s0] and is replayed (idempotently) on recovery.  A
+      structure without the snapshot capability falls back to the
+      weakly-consistent [S.to_list] walk, which is exact when the
+      store is quiescent and sound under live insert/delete traffic
+      (replay overwrites anything the walk half-saw); only live
+      Replace traffic needs the frozen view. *)
   let checkpoint t =
     Mutex.lock t.ckpt_mu;
     Fun.protect ~finally:(fun () -> Mutex.unlock t.ckpt_mu) @@ fun () ->
@@ -223,7 +258,12 @@ module Make (S : Dset_intf.CONCURRENT_SET_WITH_REPLACE) = struct
     (* The image supersedes everything <= s0; make sure that prefix is
        on disk before segments carrying it can be deleted. *)
     (match t.writer with Some w -> Wal.Writer.wait_durable w s0 | None -> ());
-    let keys = S.to_list t.set in
+    let keys =
+      match S.snapshot t.set with
+      | Some v ->
+          List.rev (v.Dset_intf.v_fold ~init:[] ~f:(fun acc k -> k :: acc))
+      | None -> S.to_list t.set
+    in
     ignore
       (Checkpoint.write ~dir:t.dir ~universe:t.universe ~replay_from:s0 ~keys
         : string);

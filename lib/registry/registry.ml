@@ -21,6 +21,11 @@ struct
   let replace = Core.Patricia.replace
   let census = Core.Patricia.census
   let descent_stats = Core.Patricia.descent_stats
+
+  (* The one real snapshot capability in the registry: an O(1) frozen
+     view from [Core.Patricia.snapshot], repackaged as the first-class
+     traversal record of the common signature. *)
+  let snapshot = Core.Patricia.snapshot_capability
 end
 
 module Bst : Dset_intf.CONCURRENT_SET with type t = Nbbst.t = Nbbst

@@ -779,6 +779,49 @@ module Follower = struct
                 Obs.Net.close_noerr fd;
                 Result.Error "subscribe: unexpected confirmation"))
 
+  (** Snapshot-bootstrap: populate a {e fresh} follower store from a
+      live primary's frozen SCAN pages instead of replaying its whole
+      WAL history — the remedy when {!start} is rejected with "resync
+      required" (the subscription position was checkpointed away on the
+      primary).
+
+      Streams the primary's contents page by page (each page drawn
+      from an atomic frozen snapshot on the primary), applies every key
+      through [apply_insert] (re-logging into the follower's own WAL as
+      usual), and returns [(from_seq, keys_loaded)] where [from_seq] is
+      the position to pass to {!start}: the {e first} page's [cut] + 1.
+      Every mutation the primary logged at or before that cut is inside
+      its page's snapshot (pages after the first are newer snapshots,
+      so their cuts are at least as high), and every record past it is
+      replayed by the subscription with the follower's forced
+      application — the same half-seen-then-overwritten argument that
+      makes watermark-overlap replay idempotent.  The caller must only
+      run this against a store with no other writers (a fresh or
+      wiped data directory). *)
+  let bootstrap ?(addr = "127.0.0.1") ~port ops =
+    match Server.Client.connect ~addr ~port () with
+    | exception e ->
+        Result.Error ("bootstrap connect: " ^ Printexc.to_string e)
+    | c -> (
+        Fun.protect ~finally:(fun () -> Server.Client.close c) @@ fun () ->
+        let cut = ref None in
+        let loaded = ref 0 in
+        match
+          Server.Client.scan
+            ~f:(fun p ->
+              if !cut = None then cut := Some p.Server.Client.cut;
+              List.iter ops.apply_insert p.Server.Client.keys;
+              loaded := !loaded + List.length p.Server.Client.keys)
+            c
+        with
+        | (_ : int list) -> (
+            ops.wal_sync ();
+            match !cut with
+            | Some cut -> Result.Ok (cut + 1, !loaded)
+            | None -> Result.Error "bootstrap scan returned no pages")
+        | exception e ->
+            Result.Error ("bootstrap scan: " ^ Printexc.to_string e))
+
   (** Detach: stop the apply domain, close the socket, persist a final
       watermark.  Idempotent. *)
   let stop t =
@@ -804,7 +847,8 @@ module Gate = struct
       follower's applied position is within [staleness] records of the
       primary's head and declined BUSY past it. *)
   let follower ~staleness ~lag ~retry_after_ms : Protocol.op -> _ = function
-    | Protocol.Member _ | Protocol.Size | Protocol.Hashcheck _ ->
+    | Protocol.Member _ | Protocol.Size | Protocol.Hashcheck _
+    | Protocol.Scan _ | Protocol.Range _ ->
         if lag () > staleness then `Busy_gate retry_after_ms else `Proceed
     | Protocol.Batch ops
       when List.for_all

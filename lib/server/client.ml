@@ -267,3 +267,40 @@ let hashcheck t ~prefix ~len =
       | Protocol.Busy { retry_after_ms } -> raise (Busy { retry_after_ms })
       | Protocol.Error msg -> raise (Protocol_error ("server error: " ^ msg))
       | _ -> raise (Protocol_error "expected hashes result"))
+
+(** One SCAN/RANGE page as the client sees it; [keys] ascending.
+    [next_cursor] feeds the follow-up {!scan_page}; [cut] is the
+    server's WAL position for replica bootstrap (see protocol.mli). *)
+type page = { cut : int; next_cursor : int; complete : bool; keys : int list }
+
+let page_result = function
+  | Protocol.Page { cut; next_cursor; complete; keys } ->
+      { cut; next_cursor; complete; keys }
+  | Protocol.Busy { retry_after_ms } -> raise (Busy { retry_after_ms })
+  | Protocol.Error msg -> raise (Protocol_error ("server error: " ^ msg))
+  | _ -> raise (Protocol_error "expected page result")
+
+(** [scan_page t ~cursor] fetches up to [count] keys strictly greater
+    than [cursor] ([-1] to start) — one frozen-snapshot page.  [range]
+    restricts the walk to [(lo, hi)] inclusive.  Read-only, so the BUSY
+    retry layer applies as usual. *)
+let scan_page ?(count = Protocol.max_page_keys) ?range t ~cursor =
+  let op =
+    match range with
+    | None -> Protocol.Scan { cursor; count }
+    | Some (lo, hi) -> Protocol.Range { lo; hi; cursor; count }
+  in
+  with_retry t (fun () -> page_result (request t op))
+
+(** [scan t] drives a resumable page sequence to completion and returns
+    every key, ascending.  A single-page result is an exact frozen
+    version; multi-page scans carry the cursor-stability contract of
+    protocol.mli.  [f] (default ignore) sees each page as it lands. *)
+let scan ?count ?range ?(f = fun (_ : page) -> ()) t =
+  let rec go cursor acc =
+    let p = scan_page ?count ?range t ~cursor in
+    f p;
+    let acc = List.rev_append p.keys acc in
+    if p.complete then List.rev acc else go p.next_cursor acc
+  in
+  go (-1) []

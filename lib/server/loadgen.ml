@@ -42,6 +42,14 @@ type config = {
           server-side latency view (per-opcode p50/p99 and the WAL
           fsync p99) next to the client-side numbers — the cross-check
           that a client-observed tail is (or is not) server time *)
+  scan_every : int;
+      (** issue one SCAN page per this many generated requests (0 =
+          never).  Each generator runs its own resumable cursor and
+          verifies every page on receipt: keys strictly ascending, all
+          past the cursor, all inside the universe — replaying the
+          cursor contract the server promises.  A violation raises
+          [Client.Protocol_error] and fails the run. *)
+  scan_count : int;  (** page size for generated SCANs *)
 }
 
 let default_config =
@@ -59,6 +67,8 @@ let default_config =
     tolerate_disconnect = false;
     partition = false;
     scrape_port = None;
+    scan_every = 0;
+    scan_count = 256;
   }
 
 (** One connection's acknowledged-operation journal: [acked] in ack
@@ -72,6 +82,8 @@ type journal = {
 
 type report = {
   ops : int;  (** acknowledged requests *)
+  scan_pages : int;  (** SCAN pages received (all verified) *)
+  scan_keys : int;  (** keys streamed inside them *)
   errors : int;  (** [Error] results (app-level; framing errors raise) *)
   busy : int;  (** [Busy] declines (queue deadline) — not executed *)
   elapsed_s : float;
@@ -97,6 +109,9 @@ type tally = {
   mutable journal : (Protocol.op * bool) list; (* newest first *)
   mutable in_flight : Protocol.op list; (* oldest first *)
   mutable disconnected : bool;
+  mutable cursor : int; (* resumable scan position, -1 = start over *)
+  mutable scan_pages : int;
+  mutable scan_keys : int;
 }
 
 let in_flight_op (cfg : config) (t : tally) hist q (resp : Protocol.response) =
@@ -124,6 +139,39 @@ let in_flight_op (cfg : config) (t : tally) hist q (resp : Protocol.response) =
       (* Declined under the server's queue deadline: not executed, so
          size-neutral by definition. *)
       t.busy <- t.busy + 1
+  | Protocol.Page { next_cursor; complete; keys; _ }, Protocol.Scan { cursor; _ }
+    ->
+      (* Scan-result replay verification: the page must honor the
+         cursor contract — strictly ascending keys, all past the
+         cursor we sent, all inside the universe. *)
+      let rec check prev = function
+        | [] -> ()
+        | k :: rest ->
+            if k <= prev then
+              raise
+                (Client.Protocol_error
+                   (Printf.sprintf
+                      "scan page violates cursor contract: %d after %d" k prev));
+            if k < 0 || k >= cfg.universe then
+              raise
+                (Client.Protocol_error
+                   (Printf.sprintf "scan page key %d outside universe" k));
+            check k rest
+      in
+      check cursor keys;
+      (match (complete, keys) with
+      | false, [] ->
+          raise (Client.Protocol_error "incomplete scan page with no keys")
+      | false, _ ->
+          if next_cursor <> List.nth keys (List.length keys - 1) then
+            raise
+              (Client.Protocol_error "scan page cursor is not the last key")
+      | true, _ -> ());
+      t.scan_pages <- t.scan_pages + 1;
+      t.scan_keys <- t.scan_keys + List.length keys;
+      (* Resume from this page, wrap around when the walk is done. *)
+      t.cursor <- (if complete then -1 else next_cursor)
+  | Protocol.Page _, _ -> () (* scan pages are size-neutral *)
   | Protocol.Error _, _ -> t.errs <- t.errs + 1
   | (Protocol.Count _ | Protocol.Many _ | Protocol.Logrecs _ | Protocol.Hashes _), _ ->
       t.errs <- t.errs + 1
@@ -158,19 +206,27 @@ let worker (cfg : config) hist go d =
       journal = [];
       in_flight = [];
       disconnected = false;
+      cursor = -1;
+      scan_pages = 0;
+      scan_keys = 0;
     }
   in
   (* The operation being transmitted when a send fails never reached the
      queue but may have reached the server — it belongs in [in_flight]. *)
   let sending = ref None in
+  let sent = ref 0 in
   let send_one () =
-    let r = Rng.int rng 100 in
-    let k = next_key () in
+    incr sent;
     let op =
-      if r < t_ins then Protocol.Insert k
-      else if r < t_del then Protocol.Delete k
-      else if r < t_find then Protocol.Member k
-      else Protocol.Replace { remove = k; add = next_key () }
+      if cfg.scan_every > 0 && !sent mod cfg.scan_every = 0 then
+        Protocol.Scan { cursor = t.cursor; count = cfg.scan_count }
+      else
+        let r = Rng.int rng 100 in
+        let k = next_key () in
+        if r < t_ins then Protocol.Insert k
+        else if r < t_del then Protocol.Delete k
+        else if r < t_find then Protocol.Member k
+        else Protocol.Replace { remove = k; add = next_key () }
     in
     sending := Some op;
     let seq = Client.send c op in
@@ -277,11 +333,13 @@ let run cfg =
   let errors = List.fold_left (fun a t -> a + t.errs) 0 tallies in
   let busy = List.fold_left (fun a t -> a + t.busy) 0 tallies in
   let size_delta = List.fold_left (fun a t -> a + t.delta) 0 tallies in
+  let scan_pages = List.fold_left (fun a t -> a + t.scan_pages) 0 tallies in
+  let scan_keys = List.fold_left (fun a t -> a + t.scan_keys) 0 tallies in
   let per_op =
     List.init Protocol.op_count (fun i ->
         ( [|
             "insert"; "delete"; "member"; "replace"; "size"; "batch";
-            "subscribe"; "logack"; "hashcheck"; "promote";
+            "subscribe"; "logack"; "hashcheck"; "promote"; "scan"; "range";
           |].(i),
           List.fold_left (fun a t -> a + t.counts.(i)) 0 tallies ))
   in
@@ -298,6 +356,8 @@ let run cfg =
   in
   {
     ops;
+    scan_pages;
+    scan_keys;
     errors;
     busy;
     elapsed_s;
@@ -686,6 +746,8 @@ let report_to_json (cfg : config) (r : report) : Obs.Json.t =
               Obs.Json.Obj
                 (List.map (fun (k, v) -> (k, Obs.Json.Int v)) r.per_op) );
             ("size_delta", Obs.Json.Int r.size_delta);
+            ("scan_pages", Obs.Json.Int r.scan_pages);
+            ("scan_keys", Obs.Json.Int r.scan_keys);
             ("disconnects", Obs.Json.Int r.disconnects);
             ( "server",
               match r.server_metrics with

@@ -18,6 +18,8 @@ type op =
   | Logack of { applied_seq : int }
   | Hashcheck of { prefix : int; len : int }
   | Promote
+  | Scan of { cursor : int; count : int }
+  | Range of { lo : int; hi : int; cursor : int; count : int }
 
 (* One replicated log record as it crosses the wire inside a LOGRECS
    push: the primary's WAL sequence number plus the mutation, re-using
@@ -32,6 +34,7 @@ type result_ =
   | Many of bool list
   | Logrecs of { head_seq : int; recs : logrec list }
   | Hashes of { node : int; left : int; right : int }
+  | Page of { cut : int; next_cursor : int; complete : bool; keys : int list }
   | Busy of { retry_after_ms : int }
   | Error of string
 
@@ -48,6 +51,8 @@ let op_name = function
   | Logack _ -> "logack"
   | Hashcheck _ -> "hashcheck"
   | Promote -> "promote"
+  | Scan _ -> "scan"
+  | Range _ -> "range"
 
 let op_index = function
   | Insert _ -> 0
@@ -60,8 +65,10 @@ let op_index = function
   | Logack _ -> 7
   | Hashcheck _ -> 8
   | Promote -> 9
+  | Scan _ -> 10
+  | Range _ -> 11
 
-let op_count = 10
+let op_count = 12
 
 (* Opcode and status bytes. *)
 let opc_insert = 1
@@ -74,6 +81,8 @@ and opc_subscribe = 7
 and opc_logack = 8
 and opc_hashcheck = 9
 and opc_promote = 10
+and opc_scan = 11
+and opc_range = 12
 
 let st_false = 0
 and st_true = 1
@@ -81,10 +90,16 @@ and st_count = 2
 and st_many = 3
 and st_logrecs = 4
 and st_hashes = 5
+and st_page = 6
 and st_busy = 254
 and st_error = 255
 
 let max_logrecs = 0xFFFF
+
+(* A full page (8192 keys x 8 bytes) stays an order of magnitude under
+   [max_frame_payload], so a PAGE frame can never trip the framing cap
+   that protects the connection buffers. *)
+let max_page_keys = 8192
 
 (* ------------------------------------------------------------------ *)
 (* Encoding.  Frames are assembled payload-first into the caller's
@@ -122,6 +137,7 @@ let encode_simple_op buf op =
   | Batch _ -> invalid_arg "Protocol: nested BATCH"
   | Subscribe _ | Logack _ | Hashcheck _ | Promote ->
       invalid_arg "Protocol: replication op is not a simple op"
+  | Scan _ | Range _ -> invalid_arg "Protocol: scan op is not a simple op"
 
 let encode_op buf op =
   match op with
@@ -149,6 +165,20 @@ let encode_op buf op =
       add_i64 buf prefix;
       Buffer.add_char buf (Char.chr len)
   | Promote -> Buffer.add_char buf (Char.chr opc_promote)
+  | Scan { cursor; count } ->
+      if count < 1 || count > max_page_keys then
+        invalid_arg "Protocol: SCAN count out of range";
+      Buffer.add_char buf (Char.chr opc_scan);
+      add_i64 buf cursor;
+      add_u16 buf count
+  | Range { lo; hi; cursor; count } ->
+      if count < 1 || count > max_page_keys then
+        invalid_arg "Protocol: RANGE count out of range";
+      Buffer.add_char buf (Char.chr opc_range);
+      add_i64 buf lo;
+      add_i64 buf hi;
+      add_i64 buf cursor;
+      add_u16 buf count
   | op -> encode_simple_op buf op
 
 let frame buf payload =
@@ -199,6 +229,15 @@ let encode_response buf { seq; result } =
       add_i64 p node;
       add_i64 p left;
       add_i64 p right
+  | Page { cut; next_cursor; complete; keys } ->
+      let n = List.length keys in
+      if n > max_page_keys then invalid_arg "Protocol: PAGE too large";
+      Buffer.add_char p (Char.chr st_page);
+      add_i64 p cut;
+      add_i64 p next_cursor;
+      Buffer.add_char p (if complete then '\001' else '\000');
+      add_u16 p n;
+      List.iter (fun k -> add_i64 p k) keys
   | Busy { retry_after_ms } ->
       if retry_after_ms < 0 || retry_after_ms > 0xFFFFFFFF then
         invalid_arg "Protocol: retry_after_ms out of u32 range";
@@ -282,6 +321,20 @@ let decode_op c =
       let len = u8 c in
       Hashcheck { prefix; len }
   | opc when opc = opc_promote -> Promote
+  | opc when opc = opc_scan ->
+      let cursor = i64 c in
+      let count = u16 c in
+      if count < 1 || count > max_page_keys then
+        raise (Bad "SCAN count out of range");
+      Scan { cursor; count }
+  | opc when opc = opc_range ->
+      let lo = i64 c in
+      let hi = i64 c in
+      let cursor = i64 c in
+      let count = u16 c in
+      if count < 1 || count > max_page_keys then
+        raise (Bad "RANGE count out of range");
+      Range { lo; hi; cursor; count }
   | opc -> decode_simple_op c opc
 
 let finish c v =
@@ -341,6 +394,21 @@ let decode_response buf ~off ~len =
             let left = i64 c in
             let right = i64 c in
             Hashes { node; left; right }
+        | st when st = st_page ->
+            let cut = i64 c in
+            let next_cursor = i64 c in
+            let complete =
+              match u8 c with
+              | 0 -> false
+              | 1 -> true
+              | _ -> raise (Bad "PAGE complete flag not a boolean")
+            in
+            let n = u16 c in
+            if n > max_page_keys then raise (Bad "PAGE too large");
+            let rec go i acc =
+              if i = n then List.rev acc else go (i + 1) (i64 c :: acc)
+            in
+            Page { cut; next_cursor; complete; keys = go 0 [] }
         | st when st = st_busy -> Busy { retry_after_ms = u32 c }
         | st when st = st_error ->
             let msg = Bytes.sub_string c.buf c.pos (c.limit - c.pos) in

@@ -28,6 +28,8 @@
              | 8 LOGACK     body = applied_seq:i64be
              | 9 HASHCHECK  body = prefix:i64be len:u8
              | 10 PROMOTE   body = (empty)
+             | 11 SCAN      body = cursor:i64be count:u16be
+             | 12 RANGE     body = lo:i64be hi:i64be cursor:i64be count:u16be
     v}
 
     BATCH sub-operations are restricted to the four boolean-result
@@ -43,6 +45,20 @@
     subtree, and PROMOTE seals a follower's WAL and flips it to
     primary.  None of them is valid inside a BATCH.
 
+    Opcodes 11-12 are the streaming scan surface.  SCAN asks for up to
+    [count] keys strictly greater than [cursor] (pass [-1] to start);
+    RANGE restricts the walk to keys in [[lo, hi]].  Each request is
+    answered with one PAGE drawn from a fresh atomic snapshot of the
+    trie, so a single page is an exact frozen version; a multi-page
+    scan resumes from the returned [next_cursor] and is the
+    concatenation of per-page linearization points (every key returned
+    existed at its page's snapshot; keys inserted behind the cursor
+    mid-scan may be missed, keys removed ahead of it may be absent —
+    the standard cursor-stability contract).  The cursor is stateless:
+    the server keeps nothing between pages, so scans survive
+    reconnects and cost the server O(page) memory.  [count] must be in
+    [[1, max_page_keys]].  Not valid inside a BATCH.
+
     {2 Responses}
 
     {v
@@ -54,9 +70,20 @@
              | 4 LOGRECS  body = head_seq:i64be count:u16be
                                  (seq:i64be opcode:u8 body)^count
              | 5 HASHES   body = node:i64be left:i64be right:i64be
+             | 6 PAGE     body = cut:i64be next_cursor:i64be complete:u8
+                                 count:u16be key:i64be^count
              | 254 BUSY   body = retry_after_ms:u32be
              | 255 ERROR  body = utf-8 message
     v}
+
+    PAGE answers SCAN/RANGE: [keys] are ascending, [next_cursor] is
+    the value to pass in the follow-up request ([= the last key
+    returned]; meaningless when [complete] is 1, i.e. the walk is
+    exhausted), and [cut] is the server's newest {e assigned} WAL
+    sequence number at the page's snapshot — a follower bootstrapping
+    from scan pages subscribes from the first page's [cut] to catch
+    every mutation the snapshot did not contain.  [cut] is [-1] on a
+    server without a WAL.
 
     LOGRECS records re-use the INSERT/DELETE/REPLACE request encoding;
     [head_seq] is the primary's newest assigned sequence number at push
@@ -116,6 +143,10 @@ val max_batch : int
 val max_logrecs : int
 (** Upper bound on records per LOGRECS push (fits the u16 count). *)
 
+val max_page_keys : int
+(** Upper bound on keys per SCAN/RANGE page (8192).  Well under what
+    {!max_frame_payload} admits, so a full page frame always fits. *)
+
 type op =
   | Insert of int
   | Delete of int
@@ -127,6 +158,8 @@ type op =
   | Logack of { applied_seq : int }
   | Hashcheck of { prefix : int; len : int }
   | Promote
+  | Scan of { cursor : int; count : int }
+  | Range of { lo : int; hi : int; cursor : int; count : int }
 
 type logrec = { rseq : int; rop : op }
 (** One replicated WAL record: the primary's sequence number and the
@@ -140,6 +173,7 @@ type result_ =
   | Many of bool list
   | Logrecs of { head_seq : int; recs : logrec list }
   | Hashes of { node : int; left : int; right : int }
+  | Page of { cut : int; next_cursor : int; complete : bool; keys : int list }
   | Busy of { retry_after_ms : int }
   | Error of string
 
@@ -149,7 +183,7 @@ val op_name : op -> string
 (** ["insert"], ["delete"], ... — metrics labels. *)
 
 val op_index : op -> int
-(** Dense index in declaration order (0..9), for counter arrays. *)
+(** Dense index in declaration order (0..11), for counter arrays. *)
 
 val op_count : int
 

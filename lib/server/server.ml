@@ -39,7 +39,7 @@ module Metrics = struct
   let op_names =
     [|
       "insert"; "delete"; "member"; "replace"; "size"; "batch"; "subscribe";
-      "logack"; "hashcheck"; "promote";
+      "logack"; "hashcheck"; "promote"; "scan"; "range";
     |]
   let requests = Array.init Protocol.op_count (fun _ -> Obs.Counter.create ())
   let latency = Array.init Protocol.op_count (fun _ -> Obs.Histogram.create ())
@@ -57,6 +57,13 @@ module Metrics = struct
   let busy_replies = Obs.Counter.create ()
   let idle_reaped = Obs.Counter.create ()
   let conn_errors = Obs.Counter.create ()
+
+  (* Streaming-scan counters: pages served (one per SCAN/RANGE
+     request), keys streamed inside them, and pages that exhausted the
+     walk (complete flag set — the end of one logical scan). *)
+  let scan_pages = Obs.Counter.create ()
+  let scan_keys = Obs.Counter.create ()
+  let scan_complete = Obs.Counter.create ()
 
   (* Buffered-output gauge: each worker publishes the total unflushed
      response bytes across its connections once per event-loop
@@ -119,6 +126,9 @@ module Metrics = struct
     Obs.Counter.reset busy_replies;
     Obs.Counter.reset idle_reaped;
     Obs.Counter.reset conn_errors;
+    Obs.Counter.reset scan_pages;
+    Obs.Counter.reset scan_keys;
+    Obs.Counter.reset scan_complete;
     Mutex.lock buffer_slots_mu;
     buffer_slots := [];
     Mutex.unlock buffer_slots_mu
@@ -142,6 +152,9 @@ module Metrics = struct
         ("idle_reaped", Obs.Counter.sum idle_reaped);
         ("conn_errors", Obs.Counter.sum conn_errors);
         ("conn_buffer_bytes", conn_buffer_bytes ());
+        ("scan_pages", Obs.Counter.sum scan_pages);
+        ("scan_keys", Obs.Counter.sum scan_keys);
+        ("scan_complete", Obs.Counter.sum scan_complete);
       ]
 
   (** Append the patserve metric families to an exposition; the shape
@@ -182,6 +195,15 @@ module Metrics = struct
     counter b ~name:"patserve_idle_reaped_total"
       ~help:"Idle connections closed by the reaper"
       (float_of_int (Obs.Counter.sum idle_reaped));
+    counter b ~name:"patserve_scan_pages_total"
+      ~help:"SCAN/RANGE pages served"
+      (float_of_int (Obs.Counter.sum scan_pages));
+    counter b ~name:"patserve_scan_keys_total"
+      ~help:"Keys streamed inside SCAN/RANGE pages"
+      (float_of_int (Obs.Counter.sum scan_keys));
+    counter b ~name:"patserve_scan_complete_total"
+      ~help:"SCAN/RANGE pages that exhausted the walk (complete flag)"
+      (float_of_int (Obs.Counter.sum scan_complete));
     counter b ~name:"patserve_conn_errors_total"
       ~help:
         "Connections closed on a read/write error (EPIPE, ECONNRESET, ...)"
@@ -217,6 +239,14 @@ type ops = {
   member : int -> bool;
   replace : remove:int -> add:int -> bool;
   size : unit -> int;
+  snapshot : unit -> Dset_intf.view option;
+      (* atomic frozen view for SCAN/RANGE; [None] = structure does not
+         support snapshots and scans answer ERROR *)
+  scan_cut : unit -> int;
+      (* newest assigned WAL sequence number, stamped into every PAGE
+         as the replica-bootstrap subscription point; -1 without a WAL.
+         Read BEFORE the page's snapshot so every record <= cut is
+         already inside the view (mutations apply before they log). *)
 }
 
 let ops_of_set (type a)
@@ -228,10 +258,44 @@ let ops_of_set (type a)
     member = S.member t;
     replace = (fun ~remove ~add -> S.replace t ~remove ~add);
     size = (fun () -> S.size t);
+    snapshot = (fun () -> S.snapshot t);
+    scan_cut = (fun () -> -1);
   }
 
 (* ------------------------------------------------------------------ *)
 (* Request execution *)
+
+exception Page_full
+
+(* One SCAN/RANGE page: freeze a fresh snapshot, walk it from just past
+   the cursor, stop after [count] keys.  The cursor is stateless (the
+   last key returned), so the server holds nothing between pages; each
+   page is an exact frozen version on its own, and a multi-page scan is
+   a sequence of per-page linearization points stitched by the cursor
+   (the staleness contract documented in protocol.mli). *)
+let exec_scan ops ~lo ~hi ~cursor ~count =
+  let cut = ops.scan_cut () in
+  match ops.snapshot () with
+  | None -> Protocol.Error "scan is not supported by the served structure"
+  | Some v ->
+      let lo = max lo (cursor + 1) in
+      let acc = ref [] and n = ref 0 and more = ref false in
+      (try
+         v.Dset_intf.v_fold_range ~lo ~hi ~init:() ~f:(fun () k ->
+             if !n = count then begin
+               more := true;
+               raise_notrace Page_full
+             end;
+             acc := k :: !acc;
+             incr n)
+       with Page_full -> ());
+      let next_cursor = match !acc with [] -> cursor | k :: _ -> k in
+      let complete = not !more in
+      Obs.Counter.incr Metrics.scan_pages;
+      Obs.Counter.add Metrics.scan_keys !n;
+      if complete then Obs.Counter.incr Metrics.scan_complete;
+      Protocol.Page
+        { cut; next_cursor; complete; keys = List.rev !acc }
 
 let rec exec ops op =
   match op with
@@ -250,6 +314,11 @@ let rec exec ops op =
                  (* The decoder rejects SIZE/BATCH inside BATCH. *)
                  assert false)
            l)
+  | Protocol.Scan { cursor; count } ->
+      exec_scan ops ~lo:0 ~hi:max_int ~cursor ~count
+  | Protocol.Range { lo; hi; cursor; count } ->
+      if lo > hi then Protocol.Error "RANGE lo greater than hi"
+      else exec_scan ops ~lo ~hi ~cursor ~count
   | Protocol.Subscribe _ | Protocol.Logack _ | Protocol.Hashcheck _
   | Protocol.Promote ->
       (* Intercepted in [handle_request] when a replication context is
@@ -267,10 +336,13 @@ let trace_kind = function
   | Protocol.Logack _ -> Obs.Trace.Custom "logack"
   | Protocol.Hashcheck _ -> Obs.Trace.Custom "hashcheck"
   | Protocol.Promote -> Obs.Trace.Custom "promote"
+  | Protocol.Scan _ -> Obs.Trace.Custom "scan"
+  | Protocol.Range _ -> Obs.Trace.Custom "range"
 
 let trace_key = function
   | Protocol.Insert k | Protocol.Delete k | Protocol.Member k -> k
   | Protocol.Replace { remove; _ } -> remove
+  | Protocol.Scan { cursor; _ } | Protocol.Range { cursor; _ } -> cursor
   | Protocol.Size | Protocol.Batch _ | Protocol.Subscribe _
   | Protocol.Logack _ | Protocol.Hashcheck _ | Protocol.Promote ->
       0
@@ -1117,6 +1189,40 @@ end = struct
      capabilities read it directly rather than over the wire. *)
   let census t = S.census t.inner
   let descent_stats t = S.descent_stats t.inner
+
+  (* Loopback epochs are client-side: each snapshot gets a fresh one,
+     which never claims two distinct versions equal. *)
+  let snapshot_epoch = Atomic.make 0
+
+  (* Over the wire when one page covers the whole universe — a single
+     SCAN request is answered from one frozen server-side snapshot, so
+     the page itself is atomic and the linearizability battery
+     exercises the real scan path.  Universes too big for one page
+     delegate to the in-process structure's snapshot (still a true
+     frozen view, just not a wire round trip). *)
+  let snapshot t =
+    if t.universe > Protocol.max_page_keys then S.snapshot t.inner
+    else
+      let p = Client.scan_page ~count:t.universe (client t) ~cursor:(-1) in
+      if not p.Client.complete then
+        raise
+          (Client.Protocol_error
+             "single-page SCAN of the whole universe came back incomplete")
+      else
+        let keys = Array.of_list p.Client.keys in
+        Some
+          Dset_intf.
+            {
+              v_epoch = Atomic.fetch_and_add snapshot_epoch 1;
+              v_fold =
+                (fun ~init ~f -> Array.fold_left f init keys);
+              v_fold_range =
+                (fun ~lo ~hi ~init ~f ->
+                  Array.fold_left
+                    (fun acc k -> if k >= lo && k <= hi then f acc k else acc)
+                    init keys);
+              v_to_seq = (fun () -> Array.to_seq keys);
+            }
 
   (* The protocol deliberately has no LIST bulk dump; enumerate the
      bounded universe with pipelined MEMBER batches instead (quiescent

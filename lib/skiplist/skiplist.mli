@@ -32,3 +32,8 @@ val census : t -> Dset_intf.census option
 val descent_stats : t -> (string * int) list option
 (** Always [None] — descent-cost accounting is not wired into this
     baseline's search loop. *)
+
+val snapshot : t -> Dset_intf.view option
+(** Always [None] — the explicit "unsupported" marker of the atomic
+    snapshot capability; this baseline's weakly-consistent traversals
+    cannot masquerade as a frozen linearizable view. *)

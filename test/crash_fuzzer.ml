@@ -31,6 +31,7 @@ module Pstore = Persist.Store.Make (struct
   include Core.Patricia
 
   let create ~universe () = Core.Patricia.create ~universe ()
+  let snapshot = Core.Patricia.snapshot_capability
 end)
 
 (* ------------------------------------------------------------------ *)
@@ -92,6 +93,8 @@ let server_mode () =
         member = Pstore.member store;
         replace = (fun ~remove ~add -> Pstore.replace store ~remove ~add);
         size = (fun () -> Pstore.size store);
+        snapshot = (fun () -> Pstore.snapshot store);
+        scan_cut = (fun () -> Pstore.scan_cut store);
       }
   in
   (* With --repl the child is a sync-ack replication primary: followers
@@ -174,6 +177,8 @@ let follower_mode () =
         member = (fun k -> Pstore.member !store k);
         replace = (fun ~remove ~add -> Pstore.replace !store ~remove ~add);
         size = (fun () -> Pstore.size !store);
+        snapshot = (fun () -> Pstore.snapshot !store);
+        scan_cut = (fun () -> Pstore.scan_cut !store);
       }
   in
   let repl_hooks =
@@ -391,6 +396,30 @@ let run_trial ~seed ~trial ~universe ~keep =
   (match Core.Patricia.check_invariants (Pstore.underlying s1) with
   | Result.Ok () -> ()
   | Result.Error m -> violate "recovered trie violates invariants: %s" m);
+  (* Snapshot-checkpoint trial: image each recovered store through its
+     frozen view (the only checkpoint path — forced tail replay is
+     gone), require the two independent recoveries to write
+     byte-identical images, and reopen from the image alone. *)
+  let image_bytes () =
+    match Persist.Checkpoint.list_checkpoints dir with
+    | [] -> violate "no image on disk after snapshot checkpoint"
+    | l ->
+        let _, path = List.nth l (List.length l - 1) in
+        In_channel.with_open_bin path In_channel.input_all
+  in
+  ignore (Pstore.checkpoint s1 : int * int);
+  let img1 = image_bytes () in
+  ignore (Pstore.checkpoint s2 : int * int);
+  let img2 = image_bytes () in
+  if img1 <> img2 then
+    violate "snapshot checkpoints of identical recoveries are not \
+             byte-identical (%d vs %d bytes)"
+      (String.length img1) (String.length img2);
+  let s3 = Pstore.open_ ~dir ~universe ~mode:Pstore.Ephemeral () in
+  let recovered3 = IS.of_list (Pstore.to_list s3) in
+  if not (IS.equal recovered recovered3) then
+    violate "reopen from the snapshot checkpoint diverged: %d keys vs %d"
+      (IS.cardinal recovered) (IS.cardinal recovered3);
   let span = max 1 (universe / load_domains) in
   (* Keys no connection could have written must not appear. *)
   let ghost = IS.filter (fun k -> k >= load_domains * span) recovered in

@@ -11,78 +11,78 @@ let test_empty () = ok "empty history" [||]
 let test_sequential_valid () =
   ok "insert, member, delete"
     [|
-      { kind = Insert 1; result = true; invoke = 0; return = 1 };
-      { kind = Member 1; result = true; invoke = 2; return = 3 };
-      { kind = Delete 1; result = true; invoke = 4; return = 5 };
-      { kind = Member 1; result = false; invoke = 6; return = 7 };
+      { kind = Insert 1; result = Bool true; invoke = 0; return = 1 };
+      { kind = Member 1; result = Bool true; invoke = 2; return = 3 };
+      { kind = Delete 1; result = Bool true; invoke = 4; return = 5 };
+      { kind = Member 1; result = Bool false; invoke = 6; return = 7 };
     |]
 
 let test_sequential_invalid () =
   bad "member false after insert"
     [|
-      { kind = Insert 1; result = true; invoke = 0; return = 1 };
-      { kind = Member 1; result = false; invoke = 2; return = 3 };
+      { kind = Insert 1; result = Bool true; invoke = 0; return = 1 };
+      { kind = Member 1; result = Bool false; invoke = 2; return = 3 };
     |];
   bad "double insert both true"
     [|
-      { kind = Insert 1; result = true; invoke = 0; return = 1 };
-      { kind = Insert 1; result = true; invoke = 2; return = 3 };
+      { kind = Insert 1; result = Bool true; invoke = 0; return = 1 };
+      { kind = Insert 1; result = Bool true; invoke = 2; return = 3 };
     |];
   bad "delete absent returns true"
-    [| { kind = Delete 5; result = true; invoke = 0; return = 1 } |]
+    [| { kind = Delete 5; result = Bool true; invoke = 0; return = 1 } |]
 
 let test_overlap_reorders () =
   (* The member overlaps the insert, so it may linearize before it. *)
   ok "overlapping member may miss insert"
     [|
-      { kind = Insert 1; result = true; invoke = 0; return = 3 };
-      { kind = Member 1; result = false; invoke = 1; return = 2 };
+      { kind = Insert 1; result = Bool true; invoke = 0; return = 3 };
+      { kind = Member 1; result = Bool false; invoke = 1; return = 2 };
     |];
   ok "overlapping member may see insert"
     [|
-      { kind = Insert 1; result = true; invoke = 0; return = 3 };
-      { kind = Member 1; result = true; invoke = 1; return = 2 };
+      { kind = Insert 1; result = Bool true; invoke = 0; return = 3 };
+      { kind = Member 1; result = Bool true; invoke = 1; return = 2 };
     |];
   (* But a member that starts after the insert returned must see it. *)
   bad "real-time order enforced"
     [|
-      { kind = Insert 1; result = true; invoke = 0; return = 1 };
-      { kind = Member 1; result = false; invoke = 2; return = 3 };
+      { kind = Insert 1; result = Bool true; invoke = 0; return = 1 };
+      { kind = Member 1; result = Bool false; invoke = 2; return = 3 };
     |]
 
 let test_concurrent_inserts () =
   (* Two overlapping inserts of the same key: exactly one may win. *)
   ok "one winner"
     [|
-      { kind = Insert 1; result = true; invoke = 0; return = 3 };
-      { kind = Insert 1; result = false; invoke = 1; return = 2 };
+      { kind = Insert 1; result = Bool true; invoke = 0; return = 3 };
+      { kind = Insert 1; result = Bool false; invoke = 1; return = 2 };
     |];
   bad "two winners"
     [|
-      { kind = Insert 1; result = true; invoke = 0; return = 3 };
-      { kind = Insert 1; result = true; invoke = 1; return = 2 };
+      { kind = Insert 1; result = Bool true; invoke = 0; return = 3 };
+      { kind = Insert 1; result = Bool true; invoke = 1; return = 2 };
     |]
 
 let test_replace_semantics () =
   ok "replace moves the key"
     [|
-      { kind = Insert 1; result = true; invoke = 0; return = 1 };
-      { kind = Replace (1, 2); result = true; invoke = 2; return = 3 };
-      { kind = Member 1; result = false; invoke = 4; return = 5 };
-      { kind = Member 2; result = true; invoke = 6; return = 7 };
+      { kind = Insert 1; result = Bool true; invoke = 0; return = 1 };
+      { kind = Replace (1, 2); result = Bool true; invoke = 2; return = 3 };
+      { kind = Member 1; result = Bool false; invoke = 4; return = 5 };
+      { kind = Member 2; result = Bool true; invoke = 6; return = 7 };
     |];
   bad "replace with absent source"
-    [| { kind = Replace (1, 2); result = true; invoke = 0; return = 1 } |];
+    [| { kind = Replace (1, 2); result = Bool true; invoke = 0; return = 1 } |];
   bad "replace onto present target"
     [|
-      { kind = Insert 1; result = true; invoke = 0; return = 1 };
-      { kind = Insert 2; result = true; invoke = 2; return = 3 };
-      { kind = Replace (1, 2); result = true; invoke = 4; return = 5 };
+      { kind = Insert 1; result = Bool true; invoke = 0; return = 1 };
+      { kind = Insert 2; result = Bool true; invoke = 2; return = 3 };
+      { kind = Replace (1, 2); result = Bool true; invoke = 4; return = 5 };
     |];
   bad "replace same key never succeeds"
     [|
-      { kind = Insert 1; result = true; invoke = 0; return = 1 };
-      { kind = Replace (1, 1); result = true; invoke = 2; return = 3 };
+      { kind = Insert 1; result = Bool true; invoke = 0; return = 1 };
+      { kind = Replace (1, 1); result = Bool true; invoke = 2; return = 3 };
     |]
 
 let test_replace_atomicity () =
@@ -93,31 +93,106 @@ let test_replace_atomicity () =
      (1 absent) then (2 absent) would require a moment with neither key. *)
   bad "no intermediate state visible"
     [|
-      { kind = Insert 1; result = true; invoke = 0; return = 1 };
-      { kind = Replace (1, 2); result = true; invoke = 2; return = 9 };
-      { kind = Member 1; result = false; invoke = 3; return = 4 };
-      { kind = Member 2; result = false; invoke = 5; return = 6 };
+      { kind = Insert 1; result = Bool true; invoke = 0; return = 1 };
+      { kind = Replace (1, 2); result = Bool true; invoke = 2; return = 9 };
+      { kind = Member 1; result = Bool false; invoke = 3; return = 4 };
+      { kind = Member 2; result = Bool false; invoke = 5; return = 6 };
     |];
   bad "both keys never visible"
     [|
-      { kind = Insert 1; result = true; invoke = 0; return = 1 };
-      { kind = Replace (1, 2); result = true; invoke = 2; return = 9 };
-      { kind = Member 2; result = true; invoke = 3; return = 4 };
-      { kind = Member 1; result = true; invoke = 5; return = 6 };
+      { kind = Insert 1; result = Bool true; invoke = 0; return = 1 };
+      { kind = Replace (1, 2); result = Bool true; invoke = 2; return = 9 };
+      { kind = Member 2; result = Bool true; invoke = 3; return = 4 };
+      { kind = Member 1; result = Bool true; invoke = 5; return = 6 };
+    |]
+
+let test_scan_semantics () =
+  (* A scan after a sequential prefix must report exactly the masked
+     state at some moment. *)
+  ok "scan sees the settled state"
+    [|
+      { kind = Insert 1; result = Bool true; invoke = 0; return = 1 };
+      { kind = Insert 3; result = Bool true; invoke = 2; return = 3 };
+      { kind = Scan (0, 7); result = Keys 0b1010; invoke = 4; return = 5 };
+    |];
+  bad "scan missing a settled key"
+    [|
+      { kind = Insert 1; result = Bool true; invoke = 0; return = 1 };
+      { kind = Insert 3; result = Bool true; invoke = 2; return = 3 };
+      { kind = Scan (0, 7); result = Keys 0b1000; invoke = 4; return = 5 };
+    |];
+  bad "scan with a phantom key"
+    [|
+      { kind = Insert 1; result = Bool true; invoke = 0; return = 1 };
+      { kind = Scan (0, 7); result = Keys 0b110; invoke = 2; return = 3 };
+    |];
+  (* Range masking: keys outside [lo, hi] are invisible to the scan. *)
+  ok "scan masks to its range"
+    [|
+      { kind = Insert 1; result = Bool true; invoke = 0; return = 1 };
+      { kind = Insert 5; result = Bool true; invoke = 2; return = 3 };
+      { kind = Scan (4, 7); result = Keys 0b100000; invoke = 4; return = 5 };
+    |]
+
+let test_scan_atomicity () =
+  (* A scan concurrent with replace(1 -> 2) may report the old state or
+     the new state... *)
+  ok "scan sees pre-replace state"
+    [|
+      { kind = Insert 1; result = Bool true; invoke = 0; return = 1 };
+      { kind = Replace (1, 2); result = Bool true; invoke = 2; return = 7 };
+      { kind = Scan (0, 7); result = Keys 0b010; invoke = 3; return = 4 };
+    |];
+  ok "scan sees post-replace state"
+    [|
+      { kind = Insert 1; result = Bool true; invoke = 0; return = 1 };
+      { kind = Replace (1, 2); result = Bool true; invoke = 2; return = 7 };
+      { kind = Scan (0, 7); result = Keys 0b100; invoke = 3; return = 4 };
+    |];
+  (* ...but never the torn intermediate states a non-atomic walk could
+     produce: both keys, or neither. *)
+  bad "scan never sees both replace keys"
+    [|
+      { kind = Insert 1; result = Bool true; invoke = 0; return = 1 };
+      { kind = Replace (1, 2); result = Bool true; invoke = 2; return = 7 };
+      { kind = Scan (0, 7); result = Keys 0b110; invoke = 3; return = 4 };
+    |];
+  bad "scan never sees neither replace key"
+    [|
+      { kind = Insert 1; result = Bool true; invoke = 0; return = 1 };
+      { kind = Replace (1, 2); result = Bool true; invoke = 2; return = 7 };
+      { kind = Scan (0, 7); result = Keys 0; invoke = 3; return = 4 };
+    |];
+  (* The non-atomic signature of a weakly-consistent walk racing two
+     inserts: reporting the later key but not the earlier one has no
+     witness moment. *)
+  bad "torn walk across two inserts"
+    [|
+      { kind = Insert 1; result = Bool true; invoke = 0; return = 1 };
+      { kind = Insert 2; result = Bool true; invoke = 2; return = 3 };
+      { kind = Scan (0, 7); result = Keys 0b100; invoke = 4; return = 5 };
+    |];
+  (* A scan strictly between two settled mutations pins its moment. *)
+  ok "scan between mutations"
+    [|
+      { kind = Insert 1; result = Bool true; invoke = 0; return = 1 };
+      { kind = Scan (0, 7); result = Keys 0b10; invoke = 2; return = 3 };
+      { kind = Delete 1; result = Bool true; invoke = 4; return = 5 };
+      { kind = Scan (0, 7); result = Keys 0; invoke = 6; return = 7 };
     |]
 
 let test_initial_state () =
   Alcotest.(check bool) "initial contents honoured" true
     (check ~initial:0b10
-       [| { kind = Member 1; result = true; invoke = 0; return = 1 } |]);
+       [| { kind = Member 1; result = Bool true; invoke = 0; return = 1 } |]);
   Alcotest.(check bool) "initial contents honoured (negative)" false
     (check ~initial:0
-       [| { kind = Member 1; result = true; invoke = 0; return = 1 } |])
+       [| { kind = Member 1; result = Bool true; invoke = 0; return = 1 } |])
 
 let test_limits () =
   Alcotest.check_raises "too many keys"
     (Invalid_argument "Linearize: key too large") (fun () ->
-      ignore (check [| { kind = Member 62; result = true; invoke = 0; return = 1 } |]))
+      ignore (check [| { kind = Member 62; result = Bool true; invoke = 0; return = 1 } |]))
 
 let test_interleaving_search () =
   (* Pairwise-overlapping operations whose only witness interleaves them
@@ -126,17 +201,17 @@ let test_interleaving_search () =
   Alcotest.(check bool) "witness exists" true
     (check ~initial:0b10
        [|
-         { kind = Delete 1; result = true; invoke = 0; return = 10 };
-         { kind = Member 1; result = false; invoke = 1; return = 9 };
-         { kind = Insert 1; result = false; invoke = 2; return = 8 };
+         { kind = Delete 1; result = Bool true; invoke = 0; return = 10 };
+         { kind = Member 1; result = Bool false; invoke = 1; return = 9 };
+         { kind = Insert 1; result = Bool false; invoke = 2; return = 8 };
        |]);
   (* Without a delete, key 1 stays present and member(1)=false has no
      witness even though insert(1)=false is individually consistent. *)
   Alcotest.(check bool) "no witness" false
     (check ~initial:0b10
        [|
-         { kind = Member 1; result = false; invoke = 1; return = 9 };
-         { kind = Insert 1; result = false; invoke = 2; return = 8 };
+         { kind = Member 1; result = Bool false; invoke = 1; return = 9 };
+         { kind = Insert 1; result = Bool false; invoke = 2; return = 8 };
        |])
 
 let test_recorder () =
@@ -155,7 +230,7 @@ let prop_sequential_histories_always_ok =
   (* Any history generated by running ops sequentially against the spec
      itself must be accepted. *)
   Tutil.qtest ~count:300 "sequential spec histories accepted"
-    QCheck2.Gen.(list_size (int_bound 20) (pair (int_bound 3) (int_bound 7)))
+    QCheck2.Gen.(list_size (int_bound 20) (pair (int_bound 4) (int_bound 7)))
     (fun ops ->
       let state = ref 0 in
       let clock = ref 0 in
@@ -167,7 +242,8 @@ let prop_sequential_histories_always_ok =
               | 0 -> Insert k
               | 1 -> Delete k
               | 2 -> Member k
-              | _ -> Replace (k, (k + 3) mod 8)
+              | 3 -> Replace (k, (k + 3) mod 8)
+              | _ -> Scan (min k 4, 7)
             in
             let result, state' = Linearize.apply !state kind in
             state := state';
@@ -192,6 +268,8 @@ let () =
           Alcotest.test_case "concurrent inserts" `Quick test_concurrent_inserts;
           Alcotest.test_case "replace semantics" `Quick test_replace_semantics;
           Alcotest.test_case "replace atomicity" `Quick test_replace_atomicity;
+          Alcotest.test_case "scan semantics" `Quick test_scan_semantics;
+          Alcotest.test_case "scan atomicity" `Quick test_scan_atomicity;
           Alcotest.test_case "initial state" `Quick test_initial_state;
           Alcotest.test_case "limits" `Quick test_limits;
           Alcotest.test_case "interleaving search" `Quick test_interleaving_search;

@@ -20,6 +20,8 @@ let pat_server ?(domains = 2) ?watchdog ~limits ~universe () =
         member = Core.Patricia.member trie;
         replace = (fun ~remove ~add -> Core.Patricia.replace trie ~remove ~add);
         size = (fun () -> Core.Patricia.size trie);
+        snapshot = (fun () -> Core.Patricia.snapshot_capability trie);
+        scan_cut = (fun () -> -1);
       }
   in
   Server.start ~port:0 ~domains ?watchdog ~limits ops

@@ -11,6 +11,7 @@ module Pstore = Persist.Store.Make (struct
   include Core.Patricia
 
   let create ~universe () = Core.Patricia.create ~universe ()
+  let snapshot = Core.Patricia.snapshot_capability
 end)
 
 let tmpdir =

@@ -74,6 +74,10 @@ let test_request_roundtrips () =
       P.Hashcheck { prefix = 0; len = 0 };
       P.Hashcheck { prefix = 0x3FF; len = 10 };
       P.Promote;
+      P.Scan { cursor = -1; count = 1 };
+      P.Scan { cursor = 123456789; count = P.max_page_keys };
+      P.Range { lo = 0; hi = max_int; cursor = -1; count = 512 };
+      P.Range { lo = 17; hi = 17; cursor = 16; count = 1 };
     ]
 
 let test_response_roundtrips () =
@@ -111,6 +115,15 @@ let test_response_roundtrips () =
           left = 0x123456789ABCDEF;
           right = 0x2AAAAAAAAAAAAAAA;
         };
+      P.Page { cut = -1; next_cursor = -1; complete = true; keys = [] };
+      P.Page { cut = 0; next_cursor = 41; complete = false; keys = [ 41 ] };
+      P.Page
+        {
+          cut = 987654321;
+          next_cursor = 1023;
+          complete = false;
+          keys = List.init 100 (fun i -> (i * 10) + 33);
+        };
     ]
 
 let test_seq_bounds () =
@@ -134,6 +147,37 @@ let test_encode_rejects_bad_batches () =
       | exception Invalid_argument _ -> ())
     [ P.Batch [ P.Size ]; P.Batch [ P.Batch [] ] ]
 
+let test_encode_rejects_bad_scans () =
+  (* Count bounds are enforced on both sides of the wire; the encoder
+     is the caller-bug side. *)
+  List.iter
+    (fun op ->
+      match encode_frame P.encode_request { P.seq = 1; op } with
+      | _ -> Alcotest.fail "bad scan count accepted"
+      | exception Invalid_argument _ -> ())
+    [
+      P.Scan { cursor = -1; count = 0 };
+      P.Scan { cursor = -1; count = P.max_page_keys + 1 };
+      P.Range { lo = 0; hi = 10; cursor = -1; count = 0 };
+      P.Range { lo = 0; hi = 10; cursor = -1; count = 70_000 };
+    ];
+  match
+    encode_frame P.encode_response
+      {
+        P.seq = 1;
+        result =
+          P.Page
+            {
+              cut = 0;
+              next_cursor = 0;
+              complete = false;
+              keys = List.init (P.max_page_keys + 1) Fun.id;
+            };
+      }
+  with
+  | _ -> Alcotest.fail "oversized PAGE accepted"
+  | exception Invalid_argument _ -> ()
+
 (* qcheck: arbitrary op trees (bounded) survive the full stack, even
    when the stream arrives one byte at a time. *)
 let gen_simple_op =
@@ -155,7 +199,42 @@ let gen_op =
         gen_simple_op;
         return P.Size;
         map (fun l -> P.Batch l) (list_size (int_bound 20) gen_simple_op);
+        map2
+          (fun cursor count -> P.Scan { cursor; count = count + 1 })
+          (int_range (-1) 1_000_000)
+          (int_bound (P.max_page_keys - 1));
+        map
+          (fun (lo, hi, cursor, count) ->
+            P.Range { lo; hi; cursor; count = count + 1 })
+          (quad (int_bound 1_000_000) (int_bound 1_000_000)
+             (int_range (-1) 1_000_000)
+             (int_bound (P.max_page_keys - 1)));
       ])
+
+(* Arbitrary PAGE responses round-trip, including the empty and the
+   full page. *)
+let gen_page =
+  QCheck2.Gen.(
+    map
+      (fun (cut, start, complete, keys) ->
+        (* ascending, as the server produces them *)
+        let keys = List.sort_uniq compare keys in
+        let next_cursor =
+          match List.rev keys with [] -> start | k :: _ -> k
+        in
+        P.Page { cut; next_cursor; complete; keys })
+      (quad (int_range (-1) 1_000_000) (int_range (-1) 100) bool
+         (list_size (int_bound 200) (int_bound 1_000_000))))
+
+let prop_page_roundtrip =
+  Tutil.qtest ~count:100 "PAGE responses round-trip bytewise" gen_page
+    (fun result ->
+      let resp = { P.seq = 3; result } in
+      let got, bad =
+        decode_stream ~chunk:1 P.decode_response
+          (encode_frame P.encode_response resp)
+      in
+      bad = None && got = [ Ok resp ])
 
 let prop_pipeline_roundtrip =
   Tutil.qtest ~count:100 "pipelined frames round-trip bytewise"
@@ -222,7 +301,18 @@ let test_garbage_payloads () =
   decode_err "\x00\x00\x00\x01\x06\x00\x01\x05";         (* SIZE inside BATCH *)
   decode_err "\x00\x00\x00\x01\x06\x00\x02\x03\x00\x00\x00\x00\x00\x00\x00\x01"; (* BATCH count beyond body *)
   (* i64 that does not fit a 63-bit OCaml int *)
-  decode_err "\x00\x00\x00\x01\x01\x80\x00\x00\x00\x00\x00\x00\x00"
+  decode_err "\x00\x00\x00\x01\x01\x80\x00\x00\x00\x00\x00\x00\x00";
+  (* SCAN with truncated cursor *)
+  decode_err "\x00\x00\x00\x01\x0B\x00\x00";
+  (* SCAN with zero count *)
+  decode_err
+    "\x00\x00\x00\x01\x0B\x00\x00\x00\x00\x00\x00\x00\x05\x00\x00";
+  (* RANGE missing its cursor+count *)
+  decode_err
+    "\x00\x00\x00\x01\x0C\x00\x00\x00\x00\x00\x00\x00\x01\x00\x00\x00\x00\x00\x00\x00\x09";
+  (* SCAN inside BATCH: the batch decoder only admits simple opcodes *)
+  decode_err
+    "\x00\x00\x00\x01\x06\x00\x01\x0B\x00\x00\x00\x00\x00\x00\x00\x00\x00\x10"
 
 let test_garbage_response_payloads () =
   let err payload =
@@ -235,7 +325,15 @@ let test_garbage_response_payloads () =
   err "\x00\x00\x00\x01\x02\x00";              (* COUNT with truncated value *)
   err "\x00\x00\x00\x01\x03\x00\x02\x01";      (* MANY count beyond body *)
   err "\x00\x00\x00\x01\x03\x00\x01\x02";      (* MANY element not a boolean *)
-  err "\x00\x00\x00\x01\x00\xFF"               (* FALSE with trailing bytes *)
+  err "\x00\x00\x00\x01\x00\xFF";              (* FALSE with trailing bytes *)
+  (* PAGE: truncated header (cut only) *)
+  err "\x00\x00\x00\x01\x06\x00\x00\x00\x00\x00\x00\x00\x01";
+  (* PAGE: complete flag that is not a boolean *)
+  err
+    "\x00\x00\x00\x01\x06\x00\x00\x00\x00\x00\x00\x00\x01\x00\x00\x00\x00\x00\x00\x00\x02\x07\x00\x00";
+  (* PAGE: key count pointing beyond the body *)
+  err
+    "\x00\x00\x00\x01\x06\x00\x00\x00\x00\x00\x00\x00\x01\x00\x00\x00\x00\x00\x00\x00\x02\x01\x00\x03\x00\x00\x00\x00\x00\x00\x00\x09"
 
 (* The stream stays synchronized across an app-level error: a valid
    frame after a garbage-payload frame still decodes. *)
@@ -270,7 +368,10 @@ let () =
           Alcotest.test_case "seq bounds" `Quick test_seq_bounds;
           Alcotest.test_case "encode rejects bad batches" `Quick
             test_encode_rejects_bad_batches;
+          Alcotest.test_case "encode rejects bad scans" `Quick
+            test_encode_rejects_bad_scans;
           prop_pipeline_roundtrip;
+          prop_page_roundtrip;
         ] );
       ( "hostile",
         [

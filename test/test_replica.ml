@@ -14,6 +14,7 @@ module Pstore = Persist.Store.Make (struct
   include Core.Patricia
 
   let create ~universe () = Core.Patricia.create ~universe ()
+  let snapshot = Core.Patricia.snapshot_capability
 end)
 
 let tmpdir =
@@ -63,6 +64,8 @@ let store_ops store =
       member = (fun k -> Pstore.member store k);
       replace = (fun ~remove ~add -> Pstore.replace store ~remove ~add);
       size = (fun () -> Pstore.size store);
+      snapshot = (fun () -> Pstore.snapshot store);
+      scan_cut = (fun () -> Pstore.scan_cut store);
     }
 
 let follower_ops store =
@@ -291,6 +294,8 @@ let test_hashcheck_locates_divergence () =
         member = Core.Patricia.member t;
         replace = (fun ~remove ~add -> Core.Patricia.replace t ~remove ~add);
         size = (fun () -> Core.Patricia.size t);
+        snapshot = (fun () -> Core.Patricia.snapshot_capability t);
+        scan_cut = (fun () -> -1);
       }
   in
   let remote_fold ~lo ~hi ~init ~f =
@@ -340,6 +345,87 @@ let test_hashcheck_locates_divergence () =
     (Server.Client.member c d)
 
 (* ------------------------------------------------------------------ *)
+(* Snapshot-bootstrap: a primary that checkpointed its history away
+   rejects SUBSCRIBE from seq 0 with "resync required"; a fresh
+   follower bootstraps from frozen SCAN pages instead and then streams
+   the live suffix from the pages' WAL cut. *)
+
+let test_snapshot_bootstrap () =
+  let pdir = tmpdir () and fdir = tmpdir () in
+  (* Tiny segments so the checkpoint actually deletes sealed history. *)
+  let pstore =
+    Pstore.open_ ~dir:pdir ~universe ~mode:Pstore.Sync ~segment_bytes:16384 ()
+  in
+  let writer = Option.get (Pstore.wal_writer pstore) in
+  let prim = Replica.Primary.create ~dir:pdir ~writer ~sync_ack:true () in
+  Pstore.set_retention_hook pstore (Replica.Primary.retention_floor prim);
+  let barrier () =
+    Pstore.barrier pstore;
+    Replica.Primary.wait_acked prim (Pstore.last_logged_here pstore)
+  in
+  let srv =
+    Server.start ~port:0 ~domains:2 ~barrier
+      ~repl:(repl_hooks_for prim pstore)
+      (store_ops pstore)
+  in
+  let port = Server.port srv in
+  Fun.protect
+    ~finally:(fun () ->
+      Replica.Primary.stop prim;
+      Server.stop ~drain_s:0.5 srv;
+      Pstore.close pstore)
+  @@ fun () ->
+  let rng = Rng.of_int_seed 2718 in
+  for _ = 1 to 4000 do
+    let k = Rng.int rng universe in
+    match Rng.int rng 3 with
+    | 0 -> ignore (Pstore.insert pstore k : bool)
+    | 1 -> ignore (Pstore.delete pstore k : bool)
+    | _ ->
+        ignore (Pstore.replace pstore ~remove:k ~add:(Rng.int rng universe) : bool)
+  done;
+  Pstore.barrier pstore;
+  let _, deleted = Pstore.checkpoint pstore in
+  if deleted = 0 then Alcotest.fail "checkpoint deleted no segments";
+  (* The checkpointed-away prefix is gone: subscribing from 0 must fail
+     loudly with the resync marker the patserve exit path matches on. *)
+  let fstore = Pstore.open_ ~dir:fdir ~universe ~mode:Pstore.Sync () in
+  (match
+     Replica.Follower.start ~port ~from_seq:0 ~watermark_dir:fdir
+       (follower_ops fstore)
+   with
+  | Result.Ok f ->
+      Replica.Follower.stop f;
+      Alcotest.fail "subscribe from deleted history was accepted"
+  | Result.Error msg ->
+      Alcotest.(check bool) "error says resync" true (contains msg "resync"));
+  (* Bootstrap instead: frozen SCAN pages into the fresh store, then
+     subscribe from the returned cut and converge on live traffic. *)
+  let bs_from, loaded =
+    match Replica.Follower.bootstrap ~port (follower_ops fstore) with
+    | Result.Ok r -> r
+    | Result.Error msg -> Alcotest.fail ("bootstrap: " ^ msg)
+  in
+  Alcotest.(check int) "bootstrap streamed the primary's keys"
+    (Pstore.size pstore) loaded;
+  Alcotest.(check (list int)) "bootstrapped state = primary state"
+    (sorted_keys pstore) (sorted_keys fstore);
+  if bs_from <= 0 then Alcotest.failf "bootstrap cut %d not past 0" bs_from;
+  let f = start_follower ~port ~from_seq:bs_from ~watermark_dir:fdir fstore in
+  let c = Server.Client.connect ~port () in
+  for _ = 1 to 100 do
+    let k = Rng.int rng universe in
+    if Rng.int rng 2 = 0 then ignore (Server.Client.insert c k : bool)
+    else ignore (Server.Client.delete c k : bool)
+  done;
+  Server.Client.close c;
+  check_not_failed f;
+  Alcotest.(check (list int)) "converged after bootstrap + subscribe"
+    (sorted_keys pstore) (sorted_keys fstore);
+  Replica.Follower.stop f;
+  Pstore.close fstore
+
+(* ------------------------------------------------------------------ *)
 (* Watermark file: atomic, absent reads as None, survives rewrites. *)
 
 let test_watermark_roundtrip () =
@@ -365,6 +451,8 @@ let () =
             `Quick test_converge_sync_ack;
           Alcotest.test_case "staleness bound: BUSY + degraded healthz" `Quick
             test_staleness_busy_and_healthz;
+          Alcotest.test_case "snapshot-bootstrap after resync required" `Quick
+            test_snapshot_bootstrap;
         ] );
       ( "anti-entropy",
         [

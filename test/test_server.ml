@@ -19,6 +19,8 @@ let pat_server ?(domains = 2) ~universe () =
         member = Core.Patricia.member trie;
         replace = (fun ~remove ~add -> Core.Patricia.replace trie ~remove ~add);
         size = (fun () -> Core.Patricia.size trie);
+        snapshot = (fun () -> Core.Patricia.snapshot_capability trie);
+        scan_cut = (fun () -> -1);
       }
   in
   (trie, Server.start ~port:0 ~domains ops)
@@ -93,6 +95,101 @@ let test_batch () =
   let r2 = Server.Client.batch c (List.map (fun k -> P.Member k) keys) in
   Alcotest.(check bool) "all present" true (List.for_all Fun.id r2);
   Alcotest.(check int) "size" 300 (Server.Client.size c)
+
+(* SCAN/RANGE over the wire: paging with resumable cursors against a
+   quiescent server, then pipelined scans racing concurrent mutations
+   from a second connection — every page must honor the cursor
+   contract, and quiescent full scans must equal the trie exactly. *)
+let test_scan_pages () =
+  with_server ~universe:4_096 @@ fun trie port ->
+  with_client port @@ fun c ->
+  (* Empty server: one complete, empty page. *)
+  let p0 = Server.Client.scan_page ~count:16 c ~cursor:(-1) in
+  Alcotest.(check bool) "empty complete" true p0.Server.Client.complete;
+  Alcotest.(check (list int)) "empty keys" [] p0.Server.Client.keys;
+  (* Populate with a known pattern and page through with a small page
+     size; the concatenation must be exactly the contents, ascending. *)
+  let keys = List.init 500 (fun i -> (i * 7) mod 4_096) |> List.sort_uniq compare in
+  List.iter (fun k -> assert (Server.Client.insert c k)) keys;
+  let pages = ref 0 in
+  let got = Server.Client.scan ~count:64 ~f:(fun _ -> incr pages) c in
+  Alcotest.(check (list int)) "scan equals contents" keys got;
+  Alcotest.(check bool) "paged, not one shot" true (!pages >= 7);
+  (* Resumable by hand: a page starting past cursor k returns keys > k
+     only, and the advertised next_cursor resumes without overlap. *)
+  let p1 = Server.Client.scan_page ~count:10 c ~cursor:(-1) in
+  let p2 =
+    Server.Client.scan_page ~count:10 c ~cursor:p1.Server.Client.next_cursor
+  in
+  (match (p1.Server.Client.keys, p2.Server.Client.keys) with
+  | _ :: _, k2 :: _ ->
+      Alcotest.(check bool) "no overlap" true
+        (k2 > p1.Server.Client.next_cursor)
+  | _ -> Alcotest.fail "expected non-empty pages");
+  (* RANGE restricts the walk. *)
+  let lo, hi = (100, 900) in
+  let want = List.filter (fun k -> k >= lo && k <= hi) keys in
+  let got = Server.Client.scan ~count:64 ~range:(lo, hi) c in
+  Alcotest.(check (list int)) "range equals filtered contents" want got;
+  (* A single page covering the whole universe is atomic: equals the
+     trie's to_list at the snapshot point — quiescent, so now. *)
+  let p = Server.Client.scan_page ~count:4_096 c ~cursor:(-1) in
+  Alcotest.(check bool) "one-page complete" true p.Server.Client.complete;
+  Alcotest.(check (list int))
+    "one page equals trie" (Core.Patricia.to_list trie) p.Server.Client.keys
+
+let test_scan_interleaved_with_mutations () =
+  with_server ~domains:2 ~universe:8_192 @@ fun _ port ->
+  with_client port @@ fun scanner ->
+  with_client port @@ fun mutator ->
+  (* Seed half the universe. *)
+  let seeded = List.init 2_048 (fun i -> i * 4) in
+  ignore (Server.Client.batch mutator (List.map (fun k -> P.Insert k) seeded));
+  (* Pipeline scans from one connection while a second connection
+     mutates between pages.  Checks: every page sorted and past its
+     cursor (the loadgen verification, inlined), scans terminate, and
+     keys never scanned twice within one logical scan. *)
+  let stop = Atomic.make false in
+  let mut =
+    Domain.spawn (fun () ->
+        let rng = Rng.of_int_seed 11 in
+        let n = ref 0 in
+        while not (Atomic.get stop) do
+          let k = Rng.int rng 8_192 in
+          (match Rng.int rng 3 with
+          | 0 -> ignore (Server.Client.insert mutator k)
+          | 1 -> ignore (Server.Client.delete mutator k)
+          | _ ->
+              ignore (Server.Client.replace mutator ~remove:k ~add:(8_191 - k)));
+          incr n
+        done;
+        !n)
+  in
+  let scans = ref 0 in
+  Fun.protect ~finally:(fun () ->
+      Atomic.set stop true;
+      let muts = Domain.join mut in
+      Alcotest.(check bool) "mutator made progress" true (muts > 0))
+  @@ fun () ->
+  for _ = 1 to 20 do
+    let last = ref (-1) in
+    let total = ref 0 in
+    let keys =
+      Server.Client.scan ~count:256
+        ~f:(fun p ->
+          List.iter
+            (fun k ->
+              if k <= !last then
+                Alcotest.failf "page key %d not past cursor %d" k !last;
+              last := k)
+            p.Server.Client.keys;
+          total := !total + List.length p.Server.Client.keys)
+        scanner
+    in
+    Alcotest.(check int) "no key scanned twice" (List.length keys) !total;
+    incr scans
+  done;
+  Alcotest.(check int) "all scans completed" 20 !scans
 
 let test_app_error_keeps_stream () =
   with_server ~universe:16 @@ fun _ port ->
@@ -252,6 +349,20 @@ let served_pat_ops ~universe () =
       check = (fun () -> Core.Patricia.check_invariants trie);
       replace =
         Some (fun ~remove ~add -> Server.Client.replace (c ()) ~remove ~add);
+      (* A single SCAN page covering the whole universe is answered
+         from one frozen server-side snapshot, so the wire read is
+         atomic and the battery checks it as a linearization point. *)
+      scan_bits =
+        Some
+          (fun () ->
+            let p =
+              Server.Client.scan_page ~count:universe (c ()) ~cursor:(-1)
+            in
+            if not p.Server.Client.complete then
+              Alcotest.fail "universe-sized SCAN page came back incomplete";
+            List.fold_left
+              (fun acc k -> acc lor (1 lsl k))
+              0 p.Server.Client.keys);
     }
 
 let test_linearizable_over_network () =
@@ -387,6 +498,8 @@ let test_watchdog_stall_and_recovery () =
         member = Core.Patricia.member trie;
         replace = (fun ~remove ~add -> Core.Patricia.replace trie ~remove ~add);
         size = (fun () -> Core.Patricia.size trie);
+        snapshot = (fun () -> Core.Patricia.snapshot_capability trie);
+        scan_cut = (fun () -> -1);
       }
   in
   let srv = Server.start ~port:0 ~domains:1 ~watchdog:wd ops in
@@ -446,6 +559,9 @@ let () =
           Alcotest.test_case "model over network" `Quick test_model_over_network;
           Alcotest.test_case "pipelining order" `Quick test_pipelining_order;
           Alcotest.test_case "batch" `Quick test_batch;
+          Alcotest.test_case "scan pages" `Quick test_scan_pages;
+          Alcotest.test_case "scan interleaved with mutations" `Quick
+            test_scan_interleaved_with_mutations;
         ] );
       ( "errors",
         [

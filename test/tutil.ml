@@ -13,6 +13,10 @@ type ops = {
   size : unit -> int;
   check : unit -> (unit, string) result;
   replace : (remove:int -> add:int -> bool) option;
+  scan_bits : (unit -> int) option;
+      (* atomic multi-key read: the full key set as a bitmask, drawn
+         from a frozen snapshot (in-process view or wire SCAN page);
+         [None] for structures without the snapshot capability *)
 }
 
 let pat_ops ~universe () =
@@ -26,6 +30,12 @@ let pat_ops ~universe () =
     size = (fun () -> Core.Patricia.size t);
     check = (fun () -> Core.Patricia.check_invariants t);
     replace = Some (fun ~remove ~add -> Core.Patricia.replace t ~remove ~add);
+    scan_bits =
+      Some
+        (fun () ->
+          let v = Core.Patricia.snapshot t in
+          Core.Patricia.View.fold v ~init:0 ~f:(fun acc k ->
+              acc lor (1 lsl k)));
   }
 
 let bst_ops ~universe () =
@@ -39,6 +49,7 @@ let bst_ops ~universe () =
     size = (fun () -> Nbbst.size t);
     check = (fun () -> Nbbst.check_invariants t);
     replace = None;
+    scan_bits = None;
   }
 
 let kary_ops ~universe () =
@@ -52,6 +63,7 @@ let kary_ops ~universe () =
     size = (fun () -> Kary.size t);
     check = (fun () -> Kary.check_invariants t);
     replace = None;
+    scan_bits = None;
   }
 
 let sl_ops ~universe () =
@@ -65,6 +77,7 @@ let sl_ops ~universe () =
     size = (fun () -> Skiplist.size t);
     check = (fun () -> Skiplist.check_invariants t);
     replace = None;
+    scan_bits = None;
   }
 
 let avl_ops ~universe () =
@@ -78,6 +91,7 @@ let avl_ops ~universe () =
     size = (fun () -> Avl.size t);
     check = (fun () -> Avl.check_invariants t);
     replace = None;
+    scan_bits = None;
   }
 
 let ctrie_ops ~universe () =
@@ -91,6 +105,7 @@ let ctrie_ops ~universe () =
     size = (fun () -> Ctrie.size t);
     check = (fun () -> Ctrie.check_invariants t);
     replace = None;
+    scan_bits = None;
   }
 
 let all_makers =
@@ -138,11 +153,18 @@ let linearizable_run ?(threads = 3) ?(ops_per_thread = 12) ?(universe = 8)
     ?(seed = 0) ~with_replace (mk : universe:int -> unit -> ops) =
   let ops = mk ~universe () in
   let recorder = Linearize.Recorder.create ~threads in
+  (* Structures with a snapshot capability get atomic scans mixed into
+     the same history: each records the frozen view's key set, which
+     the checker must place at a single linearization point among the
+     concurrent mutations. *)
+  let with_scan = ops.scan_bits <> None in
   let worker d =
     let rng = Rng.of_int_seed (seed + (d * 31)) in
     for _ = 1 to ops_per_thread do
       let k = Rng.int rng universe in
-      let choices = if with_replace then 4 else 3 in
+      let choices =
+        (if with_replace then 4 else 3) + if with_scan then 1 else 0
+      in
       match Rng.int rng choices with
       | 0 ->
           ignore
@@ -156,12 +178,17 @@ let linearizable_run ?(threads = 3) ?(ops_per_thread = 12) ?(universe = 8)
           ignore
             (Linearize.Recorder.record recorder ~thread:d (Member k) (fun () ->
                  ops.member k))
-      | _ ->
+      | 3 when with_replace ->
           let k2 = Rng.int rng universe in
           let replace = Option.get ops.replace in
           ignore
             (Linearize.Recorder.record recorder ~thread:d (Replace (k, k2))
                (fun () -> replace ~remove:k ~add:k2))
+      | _ ->
+          ignore
+            (Linearize.Recorder.record_scan recorder ~thread:d ~lo:0
+               ~hi:(universe - 1)
+               (Option.get ops.scan_bits))
     done
   in
   join_all (spawn_n threads worker) |> ignore;
